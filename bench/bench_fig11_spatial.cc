@@ -1,0 +1,57 @@
+// Figure 11: kFlushing extensibility — the SPATIAL attribute (equal-area
+// grid tiles, ~4 mi²; §V-D). kFlushing-MK is omitted as in the paper
+// (spatial AND queries are semantically invalid, so MK == kFlushing).
+//   (a) number of k-filled spatial tiles vs memory budget,
+//   (b) hit ratio vs memory budget, uniform and correlated loads.
+
+#include "bench_util.h"
+
+using namespace kflush;
+using namespace kflush::bench;
+
+namespace {
+
+ExperimentConfig SpatialConfig(PolicyKind policy, WorkloadKind load,
+                               int mem_mb) {
+  ExperimentConfig config = DefaultConfig(policy);
+  config.store.attribute = AttributeKind::kSpatial;
+  config.workload.attribute = AttributeKind::kSpatial;
+  config.workload.kind = load;
+  config.store.memory_budget_bytes =
+      static_cast<size_t>(mem_mb * Scale() * (1 << 20));
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("fig11a", "k-filled spatial tiles vs memory budget");
+  for (int mem_mb : {8, 16, 32, 48}) {
+    for (PolicyKind policy : NoMkPolicies()) {
+      ExperimentConfig config =
+          SpatialConfig(policy, WorkloadKind::kCorrelated, mem_mb);
+      config.num_queries /= 2;
+      ExperimentResult result = RunExperiment(config);
+      PrintRow("fig11a", PolicyKindName(policy),
+               std::to_string(mem_mb) + "MB",
+               static_cast<double>(result.k_filled_terms));
+    }
+  }
+
+  PrintHeader("fig11b", "spatial hit ratio vs memory budget");
+  for (WorkloadKind load :
+       {WorkloadKind::kUniform, WorkloadKind::kCorrelated}) {
+    for (int mem_mb : {8, 16, 32, 48}) {
+      for (PolicyKind policy : NoMkPolicies()) {
+        ExperimentConfig config = SpatialConfig(policy, load, mem_mb);
+        ExperimentResult result = RunExperiment(config);
+        PrintRow("fig11b",
+                 std::string(PolicyKindName(policy)) + ":" +
+                     WorkloadKindName(load),
+                 std::to_string(mem_mb) + "MB",
+                 result.query_metrics.HitRatio() * 100.0);
+      }
+    }
+  }
+  return 0;
+}

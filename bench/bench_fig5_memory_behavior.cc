@@ -1,0 +1,50 @@
+// Figure 5: memory-consumption behaviour over time.
+//
+// (a) With only Phase 1 (regular flushing), each flush frees less than the
+//     one before and utilization saturates at ~100%.
+// (b) With all three phases, every flush frees the full budget B and the
+//     timeline is a stable sawtooth.
+//
+// Prints two series of utilization samples (fraction of budget, sampled
+// every fixed number of arrivals).
+
+#include "bench_util.h"
+
+using namespace kflush;
+using namespace kflush::bench;
+
+int main() {
+  PrintHeader("fig5", "memory consumption timeline: Phase 1 only vs full policy");
+
+  ExperimentConfig phase1_only = DefaultConfig(PolicyKind::kKFlushing);
+  phase1_only.store.enable_phase2 = false;
+  phase1_only.store.enable_phase3 = false;
+
+  ExperimentConfig full = DefaultConfig(PolicyKind::kKFlushing);
+
+  const uint64_t sample_every =
+      static_cast<uint64_t>(20'000 * Scale());
+  const size_t num_samples = 50;
+
+  auto a = MemoryTimeline(phase1_only, sample_every, num_samples);
+  auto b = MemoryTimeline(full, sample_every, num_samples);
+
+  for (size_t i = 0; i < num_samples; ++i) {
+    PrintRow("fig5a", "phase1_only", std::to_string(i), a[i] * 100.0);
+  }
+  for (size_t i = 0; i < num_samples; ++i) {
+    PrintRow("fig5b", "three_phase", std::to_string(i), b[i] * 100.0);
+  }
+
+  // Summary: tail behaviour.
+  double a_tail_min = 1e9, b_tail_min = 1e9;
+  for (size_t i = num_samples / 2; i < num_samples; ++i) {
+    a_tail_min = std::min(a_tail_min, a[i]);
+    b_tail_min = std::min(b_tail_min, b[i]);
+  }
+  std::printf(
+      "\nsummary: phase1-only tail min utilization = %.1f%% (saturated), "
+      "three-phase tail min = %.1f%% (sawtooth dips after each flush)\n",
+      a_tail_min * 100.0, b_tail_min * 100.0);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 8: memory hit ratio on the CORRELATED query workload (a term's
+// query probability equals its occurrence probability in the stream), for
+// all four policies:
+//   (a) varying k, (b) varying the flushing budget, (c) varying memory.
+//
+// Paper shape: kFlushing variations consistently above LRU and FIFO;
+// kFlushing-MK above plain kFlushing (the AND-query lift, §IV-D); hit
+// ratio falls with k and with flushing budget, rises with memory.
+
+#include "bench_util.h"
+
+using namespace kflush;
+using namespace kflush::bench;
+
+namespace {
+
+void PrintResult(const char* fig, PolicyKind policy, const std::string& x,
+                 const ExperimentResult& result) {
+  const auto& m = result.query_metrics;
+  PrintRow(fig, PolicyKindName(policy), x, m.HitRatio() * 100.0);
+  PrintRow(fig, std::string(PolicyKindName(policy)) + ":single", x,
+           m.HitRatioFor(QueryType::kSingle) * 100.0);
+  PrintRow(fig, std::string(PolicyKindName(policy)) + ":and", x,
+           m.HitRatioFor(QueryType::kAnd) * 100.0);
+  PrintRow(fig, std::string(PolicyKindName(policy)) + ":or", x,
+           m.HitRatioFor(QueryType::kOr) * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("fig8a", "hit ratio (correlated load) vs k");
+  for (uint32_t k : {5, 10, 20, 40, 80}) {
+    for (PolicyKind policy : AllPolicies()) {
+      ExperimentConfig config = DefaultConfig(policy);
+      config.store.k = k;
+      PrintResult("fig8a", policy, "k=" + std::to_string(k),
+                  RunExperiment(config));
+    }
+  }
+
+  PrintHeader("fig8b", "hit ratio (correlated load) vs flushing budget");
+  for (int budget_pct : {20, 40, 60, 80, 100}) {
+    for (PolicyKind policy : AllPolicies()) {
+      ExperimentConfig config = DefaultConfig(policy);
+      config.store.flush_fraction = budget_pct / 100.0;
+      PrintResult("fig8b", policy, "B=" + std::to_string(budget_pct) + "%",
+                  RunExperiment(config));
+    }
+  }
+
+  PrintHeader("fig8c", "hit ratio (correlated load) vs memory budget");
+  for (int mem_mb : {8, 16, 32, 48}) {
+    for (PolicyKind policy : AllPolicies()) {
+      ExperimentConfig config = DefaultConfig(policy);
+      config.store.memory_budget_bytes = static_cast<size_t>(
+          mem_mb * Scale() * (1 << 20));
+      PrintResult("fig8c", policy, std::to_string(mem_mb) + "MB",
+                  RunExperiment(config));
+    }
+  }
+  return 0;
+}

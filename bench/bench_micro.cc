@@ -1,0 +1,143 @@
+// Component micro-benchmarks (google-benchmark): the hot paths behind the
+// system-level numbers — posting-list insertion, index insert/query, the
+// Phase 2 single-pass victim selection, record (de)serialization, and the
+// end-to-end store insert path per policy.
+
+#include <benchmark/benchmark.h>
+
+#include "core/store.h"
+#include "gen/tweet_generator.h"
+#include "index/inverted_index.h"
+#include "storage/serde.h"
+#include "util/zipf.h"
+
+namespace kflush {
+namespace {
+
+void BM_PostingListHeadInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    PostingList list;
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      list.Insert(static_cast<MicroblogId>(i), static_cast<double>(i));
+    }
+    benchmark::DoNotOptimize(list.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_PostingListHeadInsert);
+
+void BM_PostingListTrim(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    PostingList list;
+    for (size_t i = 0; i < n; ++i) {
+      list.Insert(static_cast<MicroblogId>(i), static_cast<double>(i));
+    }
+    std::vector<Posting> trimmed;
+    state.ResumeTiming();
+    list.TrimBeyondK(20, nullptr, &trimmed);
+    benchmark::DoNotOptimize(trimmed.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PostingListTrim)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_InvertedIndexInsert(benchmark::State& state) {
+  InvertedIndex index;
+  Rng rng(1);
+  ZipfGenerator zipf(100000, 1.1);
+  MicroblogId id = 0;
+  for (auto _ : state) {
+    ++id;
+    index.Insert(zipf.Sample(&rng), id, static_cast<double>(id), id, 20);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InvertedIndexInsert);
+
+void BM_InvertedIndexQuery(benchmark::State& state) {
+  InvertedIndex index;
+  Rng rng(2);
+  ZipfGenerator zipf(10000, 1.1);
+  for (MicroblogId id = 0; id < 200000; ++id) {
+    index.Insert(zipf.Sample(&rng), id, static_cast<double>(id), id, 0);
+  }
+  std::vector<MicroblogId> out;
+  for (auto _ : state) {
+    out.clear();
+    index.Query(zipf.Sample(&rng), 20, 1, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InvertedIndexQuery);
+
+void BM_SerdeRoundTrip(benchmark::State& state) {
+  TweetGeneratorOptions opts;
+  TweetGenerator gen(opts);
+  Microblog blog = gen.Next();
+  blog.id = 1;
+  std::string buf;
+  for (auto _ : state) {
+    buf.clear();
+    EncodeMicroblog(blog, &buf);
+    Microblog decoded;
+    size_t consumed = 0;
+    benchmark::DoNotOptimize(
+        DecodeMicroblog(buf.data(), buf.size(), &decoded, &consumed).ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_SerdeRoundTrip);
+
+void BM_StoreInsert(benchmark::State& state) {
+  const PolicyKind policy = static_cast<PolicyKind>(state.range(0));
+  StoreOptions opts;
+  opts.policy = policy;
+  opts.memory_budget_bytes = 64 << 20;
+  opts.k = 20;
+  MicroblogStore store(opts);
+  TweetGeneratorOptions gopts;
+  gopts.vocabulary_size = 100000;
+  TweetGenerator gen(gopts);
+  for (auto _ : state) {
+    Status s = store.Insert(gen.Next());
+    benchmark::DoNotOptimize(s.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(PolicyKindName(policy));
+}
+BENCHMARK(BM_StoreInsert)
+    ->Arg(static_cast<int>(PolicyKind::kFifo))
+    ->Arg(static_cast<int>(PolicyKind::kLru))
+    ->Arg(static_cast<int>(PolicyKind::kKFlushing))
+    ->Arg(static_cast<int>(PolicyKind::kKFlushingMK));
+
+void BM_TweetGeneration(benchmark::State& state) {
+  TweetGeneratorOptions opts;
+  TweetGenerator gen(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next().id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TweetGeneration);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(3);
+  ZipfGenerator zipf(1000000, 1.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(&rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+}  // namespace kflush
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Inject measured tables from bench_output.txt into EXPERIMENTS.md.
+
+Replaces each `<!-- FIGx -->` marker with markdown tables generated from
+the corresponding `[figNx] series x value` rows.
+
+Usage: python3 scripts/fill_experiments.py bench_output.txt EXPERIMENTS.md
+"""
+
+import collections
+import re
+import sys
+
+ROW = re.compile(r"^\[([\w-]+)\]\s+(\S+)\s+(\S+)\s+([-\d.]+)\s*$")
+# Per-type / auxiliary breakdown series kept out of the summary tables.
+SKIP_SUFFIXES = (":single", ":and", ":or", ":flushbuf")
+
+MARKER_FIGS = {
+    "FIG1": ["fig1"],
+    "FIG7": ["fig7a", "fig7b", "fig7c"],
+    "FIG8": ["fig8a", "fig8b", "fig8c"],
+    "FIG9": ["fig9a", "fig9b", "fig9c"],
+    "FIG10": ["fig10a", "fig10b"],
+    "FIG11": ["fig11a", "fig11b"],
+    "FIG12": ["fig12a", "fig12b"],
+}
+
+FIG_TITLES = {
+    "fig1": "snapshot at k=20 (useless % / k-filled count)",
+    "fig7a": "k-filled keywords vs k",
+    "fig7b": "k-filled keywords vs flushing budget",
+    "fig7c": "k-filled keywords vs memory budget",
+    "fig8a": "hit % (correlated) vs k",
+    "fig8b": "hit % (correlated) vs flushing budget",
+    "fig8c": "hit % (correlated) vs memory budget",
+    "fig9a": "hit % (uniform) vs k",
+    "fig9b": "hit % (uniform) vs flushing budget",
+    "fig9c": "hit % (uniform) vs memory budget",
+    "fig10a": "policy bookkeeping memory (MB) vs k",
+    "fig10b": "digestion rate (K tweets/s) vs k",
+    "fig11a": "k-filled spatial tiles vs memory",
+    "fig11b": "spatial hit % vs memory",
+    "fig12a": "k-filled user ids vs memory",
+    "fig12b": "user-timeline hit % vs memory",
+}
+
+
+def load_rows(path):
+    figures = collections.defaultdict(list)
+    with open(path) as f:
+        for line in f:
+            m = ROW.match(line)
+            if m:
+                fig, series, x, value = m.groups()
+                figures[fig].append((series, x, float(value)))
+    return figures
+
+
+def make_table(rows):
+    x_order, series_order = [], []
+    values = {}
+    for series, x, value in rows:
+        if series.endswith(SKIP_SUFFIXES):
+            continue
+        if x not in x_order:
+            x_order.append(x)
+        if series not in series_order:
+            series_order.append(series)
+        values[(series, x)] = value
+    if not values:
+        return "(no data)\n"
+    out = ["| | " + " | ".join(series_order) + " |",
+           "|---|" + "---|" * len(series_order)]
+    for x in x_order:
+        cells = []
+        for s in series_order:
+            v = values.get((s, x))
+            cells.append("" if v is None else f"{v:g}")
+        out.append(f"| {x} | " + " | ".join(cells) + " |")
+    return "\n".join(out) + "\n"
+
+
+def micro_block(path):
+    lines, keep = [], False
+    with open(path) as f:
+        for line in f:
+            if "bench_micro" in line and line.startswith("######"):
+                keep = True
+                continue
+            if keep and line.startswith("######"):
+                break
+            if keep and (line.startswith("BM_") or "Benchmark" in line or
+                         line.startswith("---")):
+                lines.append(line.rstrip())
+    return "```\n" + "\n".join(lines) + "\n```\n"
+
+
+def fig5_block(path):
+    with open(path) as f:
+        for line in f:
+            if line.startswith("summary: phase1-only"):
+                return "Measured summary: " + line[len("summary: "):].strip() + "\n"
+    return "(no data)\n"
+
+
+def main():
+    bench_path, md_path = sys.argv[1], sys.argv[2]
+    figures = load_rows(bench_path)
+    with open(md_path) as f:
+        text = f.read()
+
+    for marker, figs in MARKER_FIGS.items():
+        blocks = []
+        for fig in figs:
+            blocks.append(f"**{fig}** — {FIG_TITLES[fig]}:\n\n" +
+                          make_table(figures.get(fig, [])))
+        text = text.replace(f"<!-- {marker} -->", "\n".join(blocks))
+    text = text.replace("<!-- FIG5 -->", fig5_block(bench_path))
+    text = text.replace("<!-- MICRO -->", micro_block(bench_path))
+
+    with open(md_path, "w") as f:
+        f.write(text)
+    print(f"updated {md_path}")
+
+
+if __name__ == "__main__":
+    main()

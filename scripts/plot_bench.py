@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Convert kflush bench output into per-figure CSV files.
+
+Usage:
+    python3 scripts/plot_bench.py bench_output.txt out_dir/
+
+Every line of the form `[figX] series x value` becomes a row of
+out_dir/figX.csv with columns series,x,value — ready for any plotting
+tool. If matplotlib is importable, a quick-look PNG per figure is also
+rendered (series as lines over the x categories).
+"""
+
+import collections
+import csv
+import os
+import re
+import sys
+
+ROW = re.compile(r"^\[([\w-]+)\]\s+(\S+)\s+(\S+)\s+([-\d.]+)\s*$")
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    src, out_dir = sys.argv[1], sys.argv[2]
+    os.makedirs(out_dir, exist_ok=True)
+
+    figures = collections.defaultdict(list)
+    with open(src) as f:
+        for line in f:
+            m = ROW.match(line)
+            if m:
+                fig, series, x, value = m.groups()
+                figures[fig].append((series, x, float(value)))
+
+    for fig, rows in sorted(figures.items()):
+        path = os.path.join(out_dir, f"{fig}.csv")
+        with open(path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(["series", "x", "value"])
+            writer.writerows(rows)
+        print(f"wrote {path} ({len(rows)} rows)")
+
+    try:
+        import matplotlib  # noqa: F401
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; CSVs only")
+        return 0
+
+    for fig, rows in sorted(figures.items()):
+        series = collections.defaultdict(list)
+        x_order = []
+        for name, x, value in rows:
+            if ":" in name:
+                continue  # skip per-type breakdown series in the quick look
+            if x not in x_order:
+                x_order.append(x)
+            series[name].append((x, value))
+        if not series:
+            continue
+        plt.figure(figsize=(6, 4))
+        for name, points in series.items():
+            xs = [x_order.index(x) for x, _ in points]
+            ys = [v for _, v in points]
+            plt.plot(xs, ys, marker="o", label=name)
+        plt.xticks(range(len(x_order)), x_order, rotation=30)
+        plt.title(fig)
+        plt.legend(fontsize=7)
+        plt.tight_layout()
+        png = os.path.join(out_dir, f"{fig}.png")
+        plt.savefig(png, dpi=120)
+        plt.close()
+        print(f"wrote {png}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+#include "core/metrics.h"
+
+#include <sstream>
+
+namespace kflush {
+
+const char* QueryTypeName(QueryType type) {
+  switch (type) {
+    case QueryType::kSingle:
+      return "single";
+    case QueryType::kAnd:
+      return "AND";
+    case QueryType::kOr:
+      return "OR";
+  }
+  return "unknown";
+}
+
+void QueryMetrics::Record(QueryType type, bool memory_hit,
+                          uint64_t disk_term_reads, uint64_t latency_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++data_.queries;
+  const int i = static_cast<int>(type);
+  ++data_.queries_by_type[i];
+  if (memory_hit) {
+    ++data_.memory_hits;
+    ++data_.hits_by_type[i];
+  } else {
+    ++data_.memory_misses;
+  }
+  data_.disk_term_reads += disk_term_reads;
+  data_.latency_micros.Record(latency_micros);
+}
+
+void QueryMetrics::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_ = QueryMetricsSnapshot();
+}
+
+QueryMetricsSnapshot QueryMetrics::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_;
+}
+
+std::string QueryMetricsSnapshot::ToString() const {
+  std::ostringstream os;
+  os << "queries=" << queries << " hit_ratio=" << HitRatio() * 100.0 << "%"
+     << " (single=" << HitRatioFor(QueryType::kSingle) * 100.0
+     << "% and=" << HitRatioFor(QueryType::kAnd) * 100.0
+     << "% or=" << HitRatioFor(QueryType::kOr) * 100.0
+     << "%) disk_term_reads=" << disk_term_reads;
+  return os.str();
+}
+
+}  // namespace kflush

@@ -1,0 +1,64 @@
+// Query-side metrics: the memory hit ratio (the paper's headline measure)
+// broken down by query type, plus query latency.
+
+#ifndef KFLUSH_CORE_METRICS_H_
+#define KFLUSH_CORE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/histogram.h"
+
+namespace kflush {
+
+/// Query kinds (single-term, multi-term AND, multi-term OR).
+enum class QueryType : int { kSingle = 0, kAnd, kOr };
+
+const char* QueryTypeName(QueryType type);
+
+/// Point-in-time snapshot of the engine's counters.
+struct QueryMetricsSnapshot {
+  uint64_t queries = 0;
+  uint64_t memory_hits = 0;
+  uint64_t memory_misses = 0;
+  uint64_t disk_term_reads = 0;
+  uint64_t queries_by_type[3] = {0, 0, 0};
+  uint64_t hits_by_type[3] = {0, 0, 0};
+  Histogram latency_micros;
+
+  /// memory_hits / queries, in [0, 1]; 0 when no queries ran.
+  double HitRatio() const {
+    return queries == 0
+               ? 0.0
+               : static_cast<double>(memory_hits) / static_cast<double>(queries);
+  }
+
+  double HitRatioFor(QueryType type) const {
+    const int i = static_cast<int>(type);
+    return queries_by_type[i] == 0
+               ? 0.0
+               : static_cast<double>(hits_by_type[i]) /
+                     static_cast<double>(queries_by_type[i]);
+  }
+
+  std::string ToString() const;
+};
+
+/// Thread-safe counters updated by the query engine.
+class QueryMetrics {
+ public:
+  void Record(QueryType type, bool memory_hit, uint64_t disk_term_reads,
+              uint64_t latency_micros);
+  void Reset();
+  QueryMetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  QueryMetricsSnapshot data_;
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_CORE_METRICS_H_

@@ -1,0 +1,95 @@
+#include "core/multi_store.h"
+
+#include <cassert>
+
+namespace kflush {
+
+StoreOptions MultiAttributeStore::MakeStoreOptions(
+    const MultiStoreOptions& options, AttributeKind attribute, double share) {
+  assert(share > 0.0 && share <= 1.0);
+  StoreOptions so;
+  so.memory_budget_bytes = static_cast<size_t>(
+      static_cast<double>(options.total_memory_budget_bytes) * share);
+  so.flush_fraction = options.flush_fraction;
+  so.k = options.k;
+  so.policy = options.policy;
+  so.attribute = attribute;
+  so.ranking = options.ranking;
+  so.clock = options.clock;
+  return so;
+}
+
+MultiAttributeStore::MultiAttributeStore(MultiStoreOptions options)
+    : options_(options),
+      keyword_store_(std::make_unique<MicroblogStore>(MakeStoreOptions(
+          options, AttributeKind::kKeyword, options.keyword_share))),
+      spatial_store_(std::make_unique<MicroblogStore>(MakeStoreOptions(
+          options, AttributeKind::kSpatial, options.spatial_share))),
+      user_store_(std::make_unique<MicroblogStore>(MakeStoreOptions(
+          options, AttributeKind::kUser, options.user_share))),
+      keyword_engine_(keyword_store_.get()),
+      spatial_engine_(spatial_store_.get()),
+      user_engine_(user_store_.get()) {}
+
+Status MultiAttributeStore::Insert(Microblog blog) {
+  if (blog.id == kInvalidMicroblogId) {
+    blog.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (blog.created_at == 0) {
+    blog.created_at = keyword_store_->clock()->NowMicros();
+  }
+  // Fan out copies; each store skips the record if it has no terms under
+  // that attribute.
+  KFLUSH_RETURN_IF_ERROR(keyword_store_->Insert(blog));
+  KFLUSH_RETURN_IF_ERROR(spatial_store_->Insert(blog));
+  return user_store_->Insert(std::move(blog));
+}
+
+Status MultiAttributeStore::InsertText(std::string text, UserId user,
+                                       uint32_t followers,
+                                       const GeoPoint* location) {
+  Microblog blog;
+  blog.text = std::move(text);
+  blog.user_id = user;
+  blog.follower_count = followers;
+  if (location != nullptr) {
+    blog.has_location = true;
+    blog.location = *location;
+  }
+  for (const std::string& token :
+       Tokenizer().Tokenize(blog.text)) {
+    blog.keywords.push_back(keyword_store_->dictionary()->Intern(token));
+  }
+  return Insert(std::move(blog));
+}
+
+Result<QueryResult> MultiAttributeStore::SearchKeywords(
+    const std::vector<std::string>& keywords, QueryType type, uint32_t k) {
+  return keyword_engine_.SearchKeywords(keywords, type, k);
+}
+
+Result<QueryResult> MultiAttributeStore::SearchLocation(double lat,
+                                                        double lon,
+                                                        uint32_t k) {
+  return spatial_engine_.SearchLocation(lat, lon, k);
+}
+
+Result<QueryResult> MultiAttributeStore::SearchArea(double min_lat,
+                                                    double min_lon,
+                                                    double max_lat,
+                                                    double max_lon,
+                                                    uint32_t k) {
+  return spatial_engine_.SearchArea(min_lat, min_lon, max_lat, max_lon, k);
+}
+
+Result<QueryResult> MultiAttributeStore::SearchUser(UserId user, uint32_t k) {
+  return user_engine_.SearchUser(user, k);
+}
+
+size_t MultiAttributeStore::DataUsed() const {
+  return keyword_store_->tracker().DataUsed() +
+         spatial_store_->tracker().DataUsed() +
+         user_store_->tracker().DataUsed();
+}
+
+}  // namespace kflush

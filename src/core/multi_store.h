@@ -1,0 +1,98 @@
+// MultiAttributeStore: one arrival stream served by keyword, spatial, and
+// user-timeline search simultaneously — the "generic microblogs data
+// management system" the paper positions kFlushing for (§IV-A: the policy
+// applies to any attribute index; Magdy & Mokbel's MDM'15 system vision).
+//
+// Deployment model: one store per attribute, each with its own memory
+// budget slice and its own flushing-policy instance (this mirrors
+// sharding-by-attribute in production, where the keyword, spatial, and
+// user services scale independently). Each attribute store holds its own
+// copy of the record; a shared raw store with coordinated cross-index
+// flushing is possible but couples the policies' eviction decisions —
+// see DESIGN.md.
+
+#ifndef KFLUSH_CORE_MULTI_STORE_H_
+#define KFLUSH_CORE_MULTI_STORE_H_
+
+#include <memory>
+
+#include "core/query_engine.h"
+#include "core/store.h"
+
+namespace kflush {
+
+/// Configuration for the composite store.
+struct MultiStoreOptions {
+  /// Total memory budget, split across the attribute stores.
+  size_t total_memory_budget_bytes = 96ull << 20;
+  /// Budget shares (keyword-heavy by default, matching query traffic);
+  /// must be positive and sum to at most 1.
+  double keyword_share = 0.50;
+  double spatial_share = 0.25;
+  double user_share = 0.25;
+
+  uint32_t k = 20;
+  double flush_fraction = 0.10;
+  PolicyKind policy = PolicyKind::kKFlushing;
+  RankingKind ranking = RankingKind::kTemporal;
+  Clock* clock = nullptr;
+};
+
+/// Three single-attribute stores behind one ingest + query facade.
+/// Thread-safety matches MicroblogStore (concurrent Insert/queries).
+class MultiAttributeStore {
+ public:
+  explicit MultiAttributeStore(MultiStoreOptions options);
+
+  MultiAttributeStore(const MultiAttributeStore&) = delete;
+  MultiAttributeStore& operator=(const MultiAttributeStore&) = delete;
+
+  /// Ingests one microblog into every attribute index it has terms under
+  /// (a record without location skips the spatial store, etc.). Assigns a
+  /// single id shared across the attribute stores.
+  Status Insert(Microblog blog);
+
+  /// Text convenience (keywords tokenized via the keyword store).
+  Status InsertText(std::string text, UserId user, uint32_t followers = 0,
+                    const GeoPoint* location = nullptr);
+
+  // --- query facade ---
+  Result<QueryResult> SearchKeywords(const std::vector<std::string>& keywords,
+                                     QueryType type, uint32_t k = 0);
+  Result<QueryResult> SearchLocation(double lat, double lon, uint32_t k = 0);
+  Result<QueryResult> SearchArea(double min_lat, double min_lon,
+                                 double max_lat, double max_lon,
+                                 uint32_t k = 0);
+  Result<QueryResult> SearchUser(UserId user, uint32_t k = 0);
+
+  // --- per-attribute access ---
+  MicroblogStore* keyword_store() { return keyword_store_.get(); }
+  MicroblogStore* spatial_store() { return spatial_store_.get(); }
+  MicroblogStore* user_store() { return user_store_.get(); }
+  QueryEngine* keyword_engine() { return &keyword_engine_; }
+  QueryEngine* spatial_engine() { return &spatial_engine_; }
+  QueryEngine* user_engine() { return &user_engine_; }
+
+  /// Total data bytes across the three stores.
+  size_t DataUsed() const;
+
+  const MultiStoreOptions& options() const { return options_; }
+
+ private:
+  static StoreOptions MakeStoreOptions(const MultiStoreOptions& options,
+                                       AttributeKind attribute,
+                                       double share);
+
+  MultiStoreOptions options_;
+  std::unique_ptr<MicroblogStore> keyword_store_;
+  std::unique_ptr<MicroblogStore> spatial_store_;
+  std::unique_ptr<MicroblogStore> user_store_;
+  QueryEngine keyword_engine_;
+  QueryEngine spatial_engine_;
+  QueryEngine user_engine_;
+  std::atomic<MicroblogId> next_id_{1};
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_CORE_MULTI_STORE_H_

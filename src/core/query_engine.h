@@ -1,0 +1,100 @@
+// The top-k query engine (paper §II-B, §IV-D). Evaluates basic search
+// queries — single-term, multi-term AND, multi-term OR — against in-memory
+// contents first; when fewer than k results can be guaranteed from memory
+// the query is a MISS and the disk tier is consulted to complete the
+// answer. Hit predicates follow the paper:
+//
+//   single : the term holds >= k in-memory postings.
+//   OR     : every queried term holds >= k in-memory postings (then the
+//            union's top-k is provably in memory, §IV-D).
+//   AND    : the in-memory lists' intersection yields >= k results (the
+//            paper's operational rule; kFlushing-MK exists to make this
+//            succeed more often).
+
+#ifndef KFLUSH_CORE_QUERY_ENGINE_H_
+#define KFLUSH_CORE_QUERY_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/store.h"
+
+namespace kflush {
+
+/// A basic top-k search query over the store's attribute.
+struct TopKQuery {
+  std::vector<TermId> terms;
+  QueryType type = QueryType::kSingle;
+  /// 0 = use the store's current k.
+  uint32_t k = 0;
+};
+
+/// Query outcome.
+struct QueryResult {
+  /// Final answer, best-ranked first, at most k records.
+  std::vector<Microblog> results;
+  /// True iff the answer was served entirely from memory.
+  bool memory_hit = false;
+  size_t from_memory = 0;
+  size_t from_disk = 0;
+};
+
+/// Evaluates queries against one MicroblogStore. Thread-safe; many engine
+/// instances may share a store (each keeps its own metrics), or one engine
+/// may serve many threads.
+class QueryEngine {
+ public:
+  explicit QueryEngine(MicroblogStore* store);
+
+  /// Evaluates `query`, materializing result records.
+  Result<QueryResult> Execute(const TopKQuery& query);
+
+  /// Convenience: keyword search from strings (keyword attribute only).
+  /// Unknown keywords become absent terms (guaranteed miss path).
+  Result<QueryResult> SearchKeywords(const std::vector<std::string>& keywords,
+                                     QueryType type, uint32_t k = 0);
+
+  /// Convenience: "find top-k posted at this location" (spatial attribute).
+  Result<QueryResult> SearchLocation(double lat, double lon, uint32_t k = 0);
+
+  /// Convenience: "find top-k posted inside this bounding box" (spatial
+  /// attribute): evaluated as an OR over the grid tiles overlapping the
+  /// box, then filtered to the box. `max_tiles` caps the fan-out
+  /// (InvalidArgument if the box needs more).
+  Result<QueryResult> SearchArea(double min_lat, double min_lon,
+                                 double max_lat, double max_lon,
+                                 uint32_t k = 0, size_t max_tiles = 256);
+
+  /// Convenience: user-timeline search (user attribute).
+  Result<QueryResult> SearchUser(UserId user, uint32_t k = 0);
+
+  QueryMetricsSnapshot metrics() const { return metrics_.Snapshot(); }
+  void ResetMetrics() { metrics_.Reset(); }
+
+ private:
+  struct Scored {
+    double score;
+    MicroblogId id;
+  };
+
+  Result<QueryResult> ExecuteSingle(TermId term, uint32_t k);
+  Result<QueryResult> ExecuteOr(const std::vector<TermId>& terms, uint32_t k);
+  Result<QueryResult> ExecuteAnd(const std::vector<TermId>& terms, uint32_t k);
+
+  /// Fetches term postings from memory as (score, id); scores recomputed
+  /// through the ranking function.
+  void MemoryPostings(TermId term, size_t limit, std::vector<Scored>* out);
+
+  /// Merges memory + disk candidates (sorted desc, deduped) into the final
+  /// top-k and materializes records from the raw store or disk.
+  Status Materialize(std::vector<Scored> candidates, uint32_t k,
+                     QueryResult* result);
+
+  MicroblogStore* store_;
+  QueryMetrics metrics_;
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_CORE_QUERY_ENGINE_H_

@@ -1,0 +1,39 @@
+#include "core/ranking.h"
+
+#include <cmath>
+
+namespace kflush {
+
+const char* RankingKindName(RankingKind kind) {
+  switch (kind) {
+    case RankingKind::kTemporal:
+      return "temporal";
+    case RankingKind::kPopularity:
+      return "popularity";
+  }
+  return "unknown";
+}
+
+double TemporalRanking::Score(const Microblog& blog) const {
+  return static_cast<double>(blog.created_at);
+}
+
+PopularityRanking::PopularityRanking(double boost_micros)
+    : boost_micros_(boost_micros) {}
+
+double PopularityRanking::Score(const Microblog& blog) const {
+  return static_cast<double>(blog.created_at) +
+         boost_micros_ * std::log2(1.0 + blog.follower_count);
+}
+
+std::unique_ptr<RankingFunction> MakeRanking(RankingKind kind) {
+  switch (kind) {
+    case RankingKind::kTemporal:
+      return std::make_unique<TemporalRanking>();
+    case RankingKind::kPopularity:
+      return std::make_unique<PopularityRanking>();
+  }
+  return nullptr;
+}
+
+}  // namespace kflush

@@ -1,0 +1,57 @@
+// Ranking functions (paper §IV-B). kFlushing supports any ranking whose
+// score is computable on microblog arrival: the score is fixed at ingest,
+// posting lists stay score-ordered, and top-k membership is known before
+// any query arrives. We ship the paper's default temporal ranking ("most
+// recent") and a popularity-weighted ranking in the spirit of Twitter's
+// "Top" mode (recency boosted by author follower count).
+
+#ifndef KFLUSH_CORE_RANKING_H_
+#define KFLUSH_CORE_RANKING_H_
+
+#include <memory>
+
+#include "model/microblog.h"
+
+namespace kflush {
+
+enum class RankingKind : int {
+  kTemporal = 0,   // score = arrival time ("All" mode; the paper's default)
+  kPopularity,     // recency + follower-count boost ("Top" mode)
+};
+
+const char* RankingKindName(RankingKind kind);
+
+/// Stateless scoring function; higher scores rank first.
+class RankingFunction {
+ public:
+  virtual ~RankingFunction() = default;
+  virtual RankingKind kind() const = 0;
+  /// Computable from the record alone, on arrival (§IV-B requirement).
+  virtual double Score(const Microblog& blog) const = 0;
+};
+
+/// Most-recent-first.
+class TemporalRanking : public RankingFunction {
+ public:
+  RankingKind kind() const override { return RankingKind::kTemporal; }
+  double Score(const Microblog& blog) const override;
+};
+
+/// Recency plus a follower-count boost: each doubling of the author's
+/// followers is worth `boost_micros` of recency (default: 10 minutes).
+class PopularityRanking : public RankingFunction {
+ public:
+  explicit PopularityRanking(double boost_micros = 600e6);
+
+  RankingKind kind() const override { return RankingKind::kPopularity; }
+  double Score(const Microblog& blog) const override;
+
+ private:
+  double boost_micros_;
+};
+
+std::unique_ptr<RankingFunction> MakeRanking(RankingKind kind);
+
+}  // namespace kflush
+
+#endif  // KFLUSH_CORE_RANKING_H_

@@ -1,0 +1,119 @@
+#include "core/store.h"
+
+#include "util/logging.h"
+
+namespace kflush {
+
+MicroblogStore::MicroblogStore(StoreOptions options)
+    : options_(options),
+      tracker_(options.memory_budget_bytes),
+      raw_store_(&tracker_),
+      flush_buffer_(&tracker_) {
+  clock_ = options_.clock != nullptr ? options_.clock : WallClock::Default();
+  if (options_.disk != nullptr) {
+    disk_ = options_.disk;
+  } else {
+    owned_disk_ = std::make_unique<SimDiskStore>();
+    disk_ = owned_disk_.get();
+  }
+  extractor_ = MakeAttribute(options_.attribute);
+  ranking_ = MakeRanking(options_.ranking);
+
+  PolicyContext ctx;
+  ctx.raw_store = &raw_store_;
+  ctx.disk_store = disk_;
+  ctx.flush_buffer = &flush_buffer_;
+  ctx.tracker = &tracker_;
+  ctx.clock = clock_;
+  ctx.extractor = extractor_.get();
+
+  PolicyOptions popts;
+  popts.k = options_.k;
+  popts.fifo_segment_bytes = FlushBudgetBytes();
+  popts.enable_phase2 = options_.enable_phase2;
+  popts.enable_phase3 = options_.enable_phase3;
+  popts.phase3_by_query_time = options_.phase3_by_query_time;
+  policy_ = MakePolicy(options_.policy, ctx, popts);
+}
+
+MicroblogStore::~MicroblogStore() = default;
+
+Status MicroblogStore::Insert(Microblog blog) {
+  if (blog.id == kInvalidMicroblogId) {
+    blog.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (blog.created_at == 0) {
+    blog.created_at = clock_->NowMicros();
+  }
+
+  std::vector<TermId> terms;
+  extractor_->ExtractTerms(blog, &terms);
+  if (terms.empty()) {
+    std::lock_guard<std::mutex> lock(ingest_stats_mu_);
+    ++ingest_stats_.skipped_no_terms;
+    return Status::OK();
+  }
+
+  const double score = ranking_->Score(blog);
+  // The record enters the raw store first (pcount = its index references),
+  // then the index — queries racing the insert simply don't see it yet.
+  KFLUSH_RETURN_IF_ERROR(
+      raw_store_.Put(blog, static_cast<uint32_t>(terms.size())));
+  policy_->Insert(blog, terms, score);
+
+  {
+    std::lock_guard<std::mutex> lock(ingest_stats_mu_);
+    ++ingest_stats_.inserted;
+  }
+
+  if (options_.auto_flush && tracker_.DataFull()) {
+    FlushOnce();
+  }
+  return Status::OK();
+}
+
+Status MicroblogStore::InsertText(std::string text, UserId user,
+                                  uint32_t followers) {
+  Microblog blog;
+  blog.text = std::move(text);
+  blog.user_id = user;
+  blog.follower_count = followers;
+  for (const std::string& token : tokenizer_.Tokenize(blog.text)) {
+    blog.keywords.push_back(dictionary_.Intern(token));
+  }
+  return Insert(std::move(blog));
+}
+
+size_t MicroblogStore::FlushOnce() {
+  // At most one flush cycle at a time; concurrent triggers coalesce.
+  if (flush_in_flight_.exchange(true)) return 0;
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  {
+    std::lock_guard<std::mutex> slock(ingest_stats_mu_);
+    ++ingest_stats_.flush_triggers;
+  }
+  const size_t freed = policy_->Flush(FlushBudgetBytes());
+  flush_in_flight_.store(false);
+  KFLUSH_DEBUG("flush freed " << freed << " bytes; " << tracker_.ToString());
+  return freed;
+}
+
+void MicroblogStore::SetK(uint32_t k) { policy_->SetK(k); }
+
+TermId MicroblogStore::TermForKeyword(std::string_view keyword) const {
+  const KeywordId id = dictionary_.Lookup(keyword);
+  return id == kInvalidKeywordId ? kInvalidTermId : static_cast<TermId>(id);
+}
+
+TermId MicroblogStore::TermForLocation(double lat, double lon) const {
+  const auto* spatial = dynamic_cast<const SpatialAttribute*>(extractor_.get());
+  if (spatial == nullptr) return kInvalidTermId;
+  return spatial->mapper().TileFor(lat, lon);
+}
+
+IngestStats MicroblogStore::ingest_stats() const {
+  std::lock_guard<std::mutex> lock(ingest_stats_mu_);
+  return ingest_stats_;
+}
+
+}  // namespace kflush

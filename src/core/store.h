@@ -1,0 +1,145 @@
+// MicroblogStore: the assembled in-memory microblogs store (paper Figure
+// 2/3). It wires together the raw data store, the policy-owned index
+// structure, the memory tracker, the flush buffer, and the disk tier, and
+// enforces the memory budget: once data contents fill the budget, a flush
+// of B% of the budget is triggered (inline, or by the background flusher
+// when embedded in a MicroblogSystem).
+
+#ifndef KFLUSH_CORE_STORE_H_
+#define KFLUSH_CORE_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/ranking.h"
+#include "model/attribute.h"
+#include "model/keyword_dictionary.h"
+#include "model/tokenizer.h"
+#include "policy/policy_factory.h"
+#include "storage/sim_disk_store.h"
+#include "util/status.h"
+
+namespace kflush {
+
+/// Store configuration. Defaults mirror the paper's defaults scaled to
+/// laptop experiments (see DESIGN.md): k=20, B=10% of the budget.
+struct StoreOptions {
+  /// Main-memory budget for data contents (raw records + index).
+  size_t memory_budget_bytes = 64ull << 20;
+  /// B: the fraction of the budget each flush must free (paper default 10%).
+  double flush_fraction = 0.10;
+  uint32_t k = 20;
+  PolicyKind policy = PolicyKind::kKFlushing;
+  AttributeKind attribute = AttributeKind::kKeyword;
+  RankingKind ranking = RankingKind::kTemporal;
+  /// kFlushing phase toggles (ablation experiments).
+  bool enable_phase2 = true;
+  bool enable_phase3 = true;
+  /// kFlushing Phase 3 ordering: least-recently-queried (the paper's
+  /// choice) when true, least-recently-arrived when false (ablation).
+  bool phase3_by_query_time = true;
+  /// Trigger a flush inline from Insert when memory fills. Disable when a
+  /// background flusher thread owns flushing (MicroblogSystem does).
+  bool auto_flush = true;
+  /// Timestamp source; null = the process wall clock. Experiments inject a
+  /// SimClock for reproducibility.
+  Clock* clock = nullptr;
+  /// Disk tier; null = an internally owned SimDiskStore.
+  DiskStore* disk = nullptr;
+};
+
+/// Counters maintained by the store's ingest path.
+struct IngestStats {
+  uint64_t inserted = 0;
+  /// Arrivals carrying no term under the configured attribute (e.g. no
+  /// location under the spatial attribute); they are not indexed.
+  uint64_t skipped_no_terms = 0;
+  uint64_t flush_triggers = 0;
+};
+
+/// The assembled store. Insert and the query surface are thread-safe;
+/// FlushOnce serializes internally so at most one flush cycle runs.
+class MicroblogStore {
+ public:
+  explicit MicroblogStore(StoreOptions options);
+  ~MicroblogStore();
+
+  MicroblogStore(const MicroblogStore&) = delete;
+  MicroblogStore& operator=(const MicroblogStore&) = delete;
+
+  /// Ingests one microblog. Assigns an id (monotonic in arrival order) if
+  /// unset and stamps created_at with the clock if zero. Returns OK also
+  /// for arrivals that carry no indexable term (they are counted and
+  /// dropped, not stored).
+  Status Insert(Microblog blog);
+
+  /// Convenience ingest from raw text: tokenizes, interns keywords, and
+  /// inserts. Only meaningful under the keyword attribute.
+  Status InsertText(std::string text, UserId user = 0,
+                    uint32_t followers = 0);
+
+  /// True once data contents (records + index) fill the budget.
+  bool MemoryFull() const { return tracker_.DataFull(); }
+
+  /// Runs one flush cycle freeing B% of the budget (no-op if another
+  /// cycle is in flight; returns 0 then). Returns bytes freed.
+  size_t FlushOnce();
+
+  /// Changes k; policies apply it at the next flush cycle (paper §IV-C).
+  void SetK(uint32_t k);
+  uint32_t k() const { return policy_->k(); }
+
+  /// Term helpers for building queries.
+  TermId TermForKeyword(std::string_view keyword) const;
+  TermId TermForLocation(double lat, double lon) const;
+  TermId TermForUser(UserId user) const { return static_cast<TermId>(user); }
+
+  // --- component access ---
+  FlushPolicy* policy() { return policy_.get(); }
+  const FlushPolicy* policy() const { return policy_.get(); }
+  RawDataStore* raw_store() { return &raw_store_; }
+  const FlushBuffer& flush_buffer() const { return flush_buffer_; }
+  DiskStore* disk() { return disk_; }
+  const MemoryTracker& tracker() const { return tracker_; }
+  const AttributeExtractor* extractor() const { return extractor_.get(); }
+  const RankingFunction* ranking() const { return ranking_.get(); }
+  KeywordDictionary* dictionary() { return &dictionary_; }
+  const KeywordDictionary* dictionary() const { return &dictionary_; }
+  Clock* clock() const { return clock_; }
+  const StoreOptions& options() const { return options_; }
+
+  IngestStats ingest_stats() const;
+
+  /// Bytes each flush cycle must free: flush_fraction * budget.
+  size_t FlushBudgetBytes() const {
+    return static_cast<size_t>(static_cast<double>(
+        options_.memory_budget_bytes) * options_.flush_fraction);
+  }
+
+ private:
+  StoreOptions options_;
+  MemoryTracker tracker_;
+  RawDataStore raw_store_;
+  FlushBuffer flush_buffer_;
+  std::unique_ptr<SimDiskStore> owned_disk_;
+  DiskStore* disk_;
+  Clock* clock_;
+  std::unique_ptr<AttributeExtractor> extractor_;
+  std::unique_ptr<RankingFunction> ranking_;
+  std::unique_ptr<FlushPolicy> policy_;
+  KeywordDictionary dictionary_;
+  Tokenizer tokenizer_;
+
+  std::atomic<MicroblogId> next_id_{1};
+  std::mutex flush_mu_;
+  std::atomic<bool> flush_in_flight_{false};
+
+  mutable std::mutex ingest_stats_mu_;
+  IngestStats ingest_stats_;
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_CORE_STORE_H_

@@ -1,0 +1,104 @@
+#include "core/system.h"
+
+#include "util/logging.h"
+
+namespace kflush {
+
+MicroblogSystem::MicroblogSystem(SystemOptions options)
+    : options_(std::move(options)),
+      store_([this] {
+        // The system owns flushing; the store must not flush inline.
+        StoreOptions so = options_.store;
+        so.auto_flush = false;
+        return std::make_unique<MicroblogStore>(so);
+      }()),
+      engine_(store_.get()),
+      queue_(options_.ingest_queue_capacity) {}
+
+MicroblogSystem::~MicroblogSystem() { Stop(); }
+
+void MicroblogSystem::Start() {
+  if (running_.exchange(true)) return;
+  stop_requested_.store(false);
+  digestion_thread_ = std::thread([this] { DigestionLoop(); });
+  flusher_thread_ = std::thread([this] { FlusherLoop(); });
+}
+
+void MicroblogSystem::Stop() {
+  if (!running_.load()) return;
+  queue_.Close();
+  if (digestion_thread_.joinable()) digestion_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    stop_requested_.store(true);
+    flush_wanted_ = true;
+  }
+  flush_cv_.notify_all();
+  if (flusher_thread_.joinable()) flusher_thread_.join();
+  running_.store(false);
+}
+
+bool MicroblogSystem::Submit(std::vector<Microblog> batch) {
+  return queue_.Push(std::move(batch));
+}
+
+Result<QueryResult> MicroblogSystem::Query(const TopKQuery& query) {
+  return engine_.Execute(query);
+}
+
+void MicroblogSystem::DigestionLoop() {
+  const size_t budget = options_.store.memory_budget_bytes;
+  const size_t stall_threshold = static_cast<size_t>(
+      static_cast<double>(budget) * options_.ingest_stall_factor);
+  while (true) {
+    auto batch = queue_.Pop();
+    if (!batch.has_value()) break;  // queue closed and drained
+    for (Microblog& blog : *batch) {
+      Status s = store_->Insert(std::move(blog));
+      if (!s.ok()) {
+        KFLUSH_WARN("insert failed: " << s.ToString());
+      }
+      digested_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (store_->tracker().DataFull()) {
+      {
+        std::lock_guard<std::mutex> lock(flush_mu_);
+        flush_wanted_ = true;
+      }
+      flush_cv_.notify_one();
+      // Backpressure: if the flusher can't keep up, stall digestion until
+      // it frees space rather than overshooting the budget unboundedly.
+      if (store_->tracker().DataUsed() > stall_threshold) {
+        std::unique_lock<std::mutex> lock(flush_mu_);
+        unstall_cv_.wait(lock, [&] {
+          return stop_requested_.load() ||
+                 store_->tracker().DataUsed() <= stall_threshold;
+        });
+      }
+    }
+  }
+}
+
+void MicroblogSystem::FlusherLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(flush_mu_);
+      flush_cv_.wait(lock,
+                     [&] { return flush_wanted_ || stop_requested_.load(); });
+      if (stop_requested_.load() && !store_->tracker().DataFull()) return;
+      flush_wanted_ = false;
+    }
+    // Keep flushing until data contents are back under budget: a batchy
+    // producer can overshoot by more than one flush budget, and digestion
+    // stalls until the flusher catches up.
+    while (store_->tracker().DataFull()) {
+      const size_t freed = store_->FlushOnce();
+      unstall_cv_.notify_all();
+      if (freed == 0) break;  // nothing flushable (or a cycle in flight)
+    }
+    unstall_cv_.notify_all();
+    if (stop_requested_.load()) return;
+  }
+}
+
+}  // namespace kflush

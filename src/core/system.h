@@ -1,0 +1,88 @@
+// MicroblogSystem: the full threaded deployment of Figure 2. Producers
+// push microblog batches into a bounded queue; one digestion thread drains
+// it into the store in real time; a background flusher thread wakes when
+// memory fills and runs the policy's flush cycle concurrently with
+// digestion (paper §III: flushing phases run "in a separate thread so that
+// [they do] not noticeably interrupt the continuous digestion of incoming
+// data"); query threads call Query() at any time. The digestion-rate
+// experiment (Figure 10(b)) measures this assembly under stress.
+
+#ifndef KFLUSH_CORE_SYSTEM_H_
+#define KFLUSH_CORE_SYSTEM_H_
+
+#include <condition_variable>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/query_engine.h"
+#include "core/store.h"
+#include "util/thread_util.h"
+
+namespace kflush {
+
+/// System configuration.
+struct SystemOptions {
+  StoreOptions store;
+  /// Capacity of the ingest queue, in batches.
+  size_t ingest_queue_capacity = 1024;
+  /// Digestion pauses when data memory exceeds budget × this factor,
+  /// resuming once the flusher catches up (bounds memory under stress).
+  double ingest_stall_factor = 1.2;
+};
+
+/// Threaded system facade. Start() launches the digestion and flusher
+/// threads; Stop() drains and joins them. A system runs once: after
+/// Stop() the ingest queue is closed for good (construct a new system to
+/// restart), though queries remain valid against the final contents.
+class MicroblogSystem {
+ public:
+  explicit MicroblogSystem(SystemOptions options);
+  ~MicroblogSystem();
+
+  MicroblogSystem(const MicroblogSystem&) = delete;
+  MicroblogSystem& operator=(const MicroblogSystem&) = delete;
+
+  void Start();
+
+  /// Closes the ingest queue, drains remaining batches, and joins all
+  /// threads. Idempotent.
+  void Stop();
+
+  /// Submits a batch of microblogs for digestion. Blocks while the queue
+  /// is full; returns false once the system is stopped.
+  bool Submit(std::vector<Microblog> batch);
+
+  /// Evaluates a query against current contents (thread-safe, any time).
+  Result<QueryResult> Query(const TopKQuery& query);
+
+  /// Total microblogs digested so far.
+  uint64_t digested() const { return digested_.load(std::memory_order_relaxed); }
+
+  MicroblogStore* store() { return store_.get(); }
+  QueryEngine* engine() { return &engine_; }
+
+ private:
+  void DigestionLoop();
+  void FlusherLoop();
+
+  SystemOptions options_;
+  std::unique_ptr<MicroblogStore> store_;
+  QueryEngine engine_;
+  BoundedQueue<std::vector<Microblog>> queue_;
+
+  std::thread digestion_thread_;
+  std::thread flusher_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<uint64_t> digested_{0};
+
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;    // digestion -> flusher: memory full
+  std::condition_variable unstall_cv_;  // flusher -> digestion: space freed
+  bool flush_wanted_ = false;
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_CORE_SYSTEM_H_

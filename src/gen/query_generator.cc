@@ -1,0 +1,140 @@
+#include "gen/query_generator.h"
+
+#include <algorithm>
+
+namespace kflush {
+
+const char* WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kCorrelated:
+      return "correlated";
+    case WorkloadKind::kUniform:
+      return "uniform";
+  }
+  return "unknown";
+}
+
+QueryGenerator::QueryGenerator(QueryWorkloadOptions options,
+                               const TweetGeneratorOptions& stream_options)
+    : options_(options),
+      stream_options_(stream_options),
+      rng_(options.seed),
+      keyword_zipf_(stream_options.vocabulary_size,
+                    stream_options.keyword_zipf_s),
+      user_zipf_(stream_options.num_users, stream_options.user_zipf_s),
+      hotspot_zipf_(std::max<size_t>(stream_options.num_hotspots, 1),
+                    stream_options.hotspot_zipf_s),
+      hotspots_(MakeHotspots(stream_options)),
+      mapper_() {}
+
+GeoPoint QueryGenerator::SampleLocation() {
+  const BoundingBox& r = stream_options_.region;
+  const bool uniform =
+      options_.kind == WorkloadKind::kUniform || hotspots_.empty() ||
+      rng_.Bernoulli(stream_options_.uniform_location_p);
+  if (uniform) {
+    GeoPoint p;
+    p.lat = r.min_lat + rng_.NextDouble() * (r.max_lat - r.min_lat);
+    p.lon = r.min_lon + rng_.NextDouble() * (r.max_lon - r.min_lon);
+    return p;
+  }
+  const GeoPoint& center = hotspots_[hotspot_zipf_.Sample(&rng_)];
+  GeoPoint p;
+  p.lat = center.lat +
+          rng_.NextGaussian() * stream_options_.hotspot_stddev_degrees;
+  p.lon = center.lon +
+          rng_.NextGaussian() * stream_options_.hotspot_stddev_degrees;
+  p.lat = std::clamp(p.lat, -90.0, 90.0);
+  p.lon = std::clamp(p.lon, -180.0, 180.0);
+  return p;
+}
+
+TermId QueryGenerator::SampleTerm() {
+  switch (options_.attribute) {
+    case AttributeKind::kKeyword:
+      if (options_.hot_set_p > 0.0 && options_.hot_set_size > 0 &&
+          options_.hot_set_size < stream_options_.vocabulary_size &&
+          rng_.Bernoulli(options_.hot_set_p)) {
+        // Temporal locality: a drifting window of hot keywords.
+        const uint64_t rotation =
+            std::max<uint64_t>(options_.hot_rotation_queries, 1);
+        const uint64_t step = std::max<uint64_t>(options_.hot_set_size / 2, 1);
+        const uint64_t offset =
+            (queries_issued_ / rotation) * step %
+            (stream_options_.vocabulary_size - options_.hot_set_size);
+        return offset + rng_.Uniform(options_.hot_set_size);
+      }
+      if (options_.kind == WorkloadKind::kUniform) {
+        return rng_.Uniform(stream_options_.vocabulary_size);
+      }
+      return keyword_zipf_.Sample(&rng_);
+    case AttributeKind::kSpatial: {
+      const GeoPoint p = SampleLocation();
+      return mapper_.TileFor(p.lat, p.lon);
+    }
+    case AttributeKind::kUser:
+      if (options_.kind == WorkloadKind::kUniform) {
+        return rng_.Uniform(stream_options_.num_users) + 1;
+      }
+      return user_zipf_.Sample(&rng_) + 1;
+  }
+  return kInvalidTermId;
+}
+
+TermId QueryGenerator::SampleDistinctTerm(TermId first) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    TermId t;
+    if (options_.attribute == AttributeKind::kKeyword &&
+        options_.kind == WorkloadKind::kCorrelated &&
+        stream_options_.companion_count > 0 &&
+        rng_.Bernoulli(stream_options_.companion_p)) {
+      // Correlated multi-keyword queries ask about tags that actually
+      // co-occur in the stream, mirroring how the paper draws queries
+      // from the keywords associated with real tweets.
+      t = CompanionKeyword(
+          static_cast<KeywordId>(first),
+          static_cast<uint32_t>(
+              rng_.Uniform(stream_options_.companion_count)),
+          stream_options_.vocabulary_size);
+    } else {
+      t = SampleTerm();
+    }
+    if (t != first) return t;
+  }
+  // Degenerate distribution (e.g. vocabulary of 1): fall back to first+1.
+  return first + 1;
+}
+
+QueryType QueryGenerator::SampleType() {
+  if (options_.attribute == AttributeKind::kUser) {
+    // User-timeline queries are single-key in practice (§V).
+    return QueryType::kSingle;
+  }
+  double single = options_.single_fraction;
+  double and_f = options_.and_fraction;
+  if (options_.attribute == AttributeKind::kSpatial) {
+    // AND is semantically invalid for point-located posts (§V-D); its
+    // share folds into the single-tile class.
+    single += and_f;
+    and_f = 0.0;
+  }
+  const double r = rng_.NextDouble();
+  if (r < single) return QueryType::kSingle;
+  if (r < single + and_f) return QueryType::kAnd;
+  return QueryType::kOr;
+}
+
+TopKQuery QueryGenerator::Next() {
+  ++queries_issued_;
+  TopKQuery query;
+  query.k = options_.k;
+  query.type = SampleType();
+  const TermId first = SampleTerm();
+  query.terms.push_back(first);
+  if (query.type != QueryType::kSingle) {
+    query.terms.push_back(SampleDistinctTerm(first));
+  }
+  return query;
+}
+
+}  // namespace kflush

@@ -1,0 +1,83 @@
+// Query workload generators (paper §V, "Query workloads"): in the absence
+// of a standard microblog query benchmark, workloads are generated from
+// the data distribution itself.
+//
+//   Correlated : a term's query probability equals its occurrence
+//                probability in the stream (active topics get queried).
+//   Uniform    : terms drawn uniformly from the whole vocabulary —
+//                the worst-case / quality-of-service workload.
+//
+// Keyword workloads mix 1/3 single-keyword, 1/3 two-keyword AND, and 1/3
+// two-keyword OR queries (the paper's mix). Spatial workloads have no AND
+// queries (a point lies in one tile; §V-D) and split the remainder between
+// single and OR; user workloads are single-key only, as in practice.
+
+#ifndef KFLUSH_GEN_QUERY_GENERATOR_H_
+#define KFLUSH_GEN_QUERY_GENERATOR_H_
+
+#include "core/query_engine.h"
+#include "gen/tweet_generator.h"
+
+namespace kflush {
+
+enum class WorkloadKind : int { kCorrelated = 0, kUniform };
+
+const char* WorkloadKindName(WorkloadKind kind);
+
+/// Workload parameters.
+struct QueryWorkloadOptions {
+  uint64_t seed = 4242;
+  WorkloadKind kind = WorkloadKind::kCorrelated;
+  AttributeKind attribute = AttributeKind::kKeyword;
+  /// k carried on each query; 0 = the store default.
+  uint32_t k = 0;
+  /// Query-type mix (ignored where the attribute restricts types).
+  double single_fraction = 1.0 / 3.0;
+  double and_fraction = 1.0 / 3.0;  // remainder is OR
+
+  /// Temporal locality (keyword attribute): with probability `hot_set_p`
+  /// a query targets the current hot set of `hot_set_size` keywords, and
+  /// the hot set drifts by half its size every `hot_rotation_queries`
+  /// queries. Models the strong temporal locality of real microblog query
+  /// streams (Lin & Mishne 2012) that kFlushing's Phase 3 exploits.
+  /// Disabled (0) by default.
+  double hot_set_p = 0.0;
+  uint64_t hot_set_size = 0;
+  uint64_t hot_rotation_queries = 10'000;
+};
+
+/// Generates an endless stream of top-k queries matched to the given
+/// tweet-stream model. Not thread-safe; give each query thread its own.
+class QueryGenerator {
+ public:
+  QueryGenerator(QueryWorkloadOptions options,
+                 const TweetGeneratorOptions& stream_options);
+
+  /// Produces the next query.
+  TopKQuery Next();
+
+  const QueryWorkloadOptions& options() const { return options_; }
+
+ private:
+  TermId SampleTerm();
+  /// A second, distinct term for multi-term queries. For the correlated
+  /// keyword workload the pair is sampled the way co-occurring hashtags
+  /// are: both frequency-proportional.
+  TermId SampleDistinctTerm(TermId first);
+  QueryType SampleType();
+  GeoPoint SampleLocation();
+
+  QueryWorkloadOptions options_;
+  TweetGeneratorOptions stream_options_;
+  uint64_t queries_issued_ = 0;
+  Rng rng_;
+  ZipfGenerator keyword_zipf_;
+  ZipfGenerator user_zipf_;
+  ZipfGenerator hotspot_zipf_;
+  std::vector<GeoPoint> hotspots_;
+  SpatialGridMapper mapper_;
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_GEN_QUERY_GENERATOR_H_

@@ -1,0 +1,148 @@
+#include "gen/trace.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "storage/serde.h"
+
+namespace kflush {
+
+namespace {
+constexpr char kMagic[8] = {'K', 'F', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr size_t kWriterBufferBytes = 1 << 20;
+constexpr size_t kReaderChunkBytes = 1 << 20;
+}  // namespace
+
+// --- TraceWriter ---
+
+Result<std::unique_ptr<TraceWriter>> TraceWriter::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), file) != sizeof(kMagic)) {
+    std::fclose(file);
+    return Status::IOError("cannot write trace header to " + path);
+  }
+  return std::unique_ptr<TraceWriter>(new TraceWriter(path, file));
+}
+
+TraceWriter::TraceWriter(std::string path, std::FILE* file)
+    : path_(std::move(path)), file_(file) {}
+
+TraceWriter::~TraceWriter() {
+  Status s = Flush();
+  (void)s;
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status TraceWriter::Append(const Microblog& blog) {
+  EncodeMicroblog(blog, &buffer_);
+  ++written_;
+  if (buffer_.size() >= kWriterBufferBytes) return Flush();
+  return Status::OK();
+}
+
+Status TraceWriter::Flush() {
+  if (buffer_.empty()) return Status::OK();
+  if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
+      buffer_.size()) {
+    return Status::IOError("short write to " + path_);
+  }
+  buffer_.clear();
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("flush failed: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+// --- TraceReader ---
+
+Result<std::unique_ptr<TraceReader>> TraceReader::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  char magic[sizeof(kMagic)];
+  if (std::fread(magic, 1, sizeof(magic), file) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    std::fclose(file);
+    return Status::Corruption(path + " is not a kflush trace");
+  }
+  return std::unique_ptr<TraceReader>(new TraceReader(path, file));
+}
+
+TraceReader::TraceReader(std::string path, std::FILE* file)
+    : path_(std::move(path)), file_(file) {}
+
+TraceReader::~TraceReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status TraceReader::FillBuffer() {
+  // Compact consumed bytes, then read another chunk.
+  buffer_.erase(0, pos_);
+  pos_ = 0;
+  if (eof_) return Status::OK();
+  const size_t old_size = buffer_.size();
+  buffer_.resize(old_size + kReaderChunkBytes);
+  const size_t got =
+      std::fread(buffer_.data() + old_size, 1, kReaderChunkBytes, file_);
+  buffer_.resize(old_size + got);
+  if (got < kReaderChunkBytes) {
+    if (std::ferror(file_) != 0) {
+      return Status::IOError("read failed on " + path_);
+    }
+    eof_ = true;
+  }
+  return Status::OK();
+}
+
+Status TraceReader::Next(Microblog* out) {
+  while (true) {
+    size_t consumed = 0;
+    Status s = DecodeMicroblog(buffer_.data() + pos_, buffer_.size() - pos_,
+                               out, &consumed);
+    if (s.ok()) {
+      pos_ += consumed;
+      return Status::OK();
+    }
+    if (eof_) {
+      if (buffer_.size() == pos_) return Status::NotFound("end of trace");
+      return Status::Corruption("trailing garbage in " + path_);
+    }
+    KFLUSH_RETURN_IF_ERROR(FillBuffer());
+  }
+}
+
+// --- one-shot helpers ---
+
+Status SaveTrace(const std::string& path,
+                 const std::vector<Microblog>& blogs) {
+  auto writer = TraceWriter::Open(path);
+  if (!writer.ok()) return writer.status();
+  for (const Microblog& blog : blogs) {
+    KFLUSH_RETURN_IF_ERROR((*writer)->Append(blog));
+  }
+  return (*writer)->Flush();
+}
+
+Result<std::vector<Microblog>> LoadTrace(const std::string& path) {
+  auto reader = TraceReader::Open(path);
+  if (!reader.ok()) return reader.status();
+  std::vector<Microblog> blogs;
+  Microblog blog;
+  while (true) {
+    Status s = (*reader)->Next(&blog);
+    if (s.IsNotFound()) break;
+    if (!s.ok()) return s;
+    blogs.push_back(std::move(blog));
+  }
+  return blogs;
+}
+
+}  // namespace kflush

@@ -1,0 +1,70 @@
+// Trace files: persist a generated microblog stream so experiments can
+// replay exactly the same data, and so heavyweight streams can be produced
+// once and shared. Format: a magic header followed by length-prefixed
+// serde-encoded records.
+
+#ifndef KFLUSH_GEN_TRACE_H_
+#define KFLUSH_GEN_TRACE_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/microblog.h"
+#include "util/status.h"
+
+namespace kflush {
+
+/// Streaming trace writer.
+class TraceWriter {
+ public:
+  static Result<std::unique_ptr<TraceWriter>> Open(const std::string& path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  Status Append(const Microblog& blog);
+  Status Flush();
+  uint64_t written() const { return written_; }
+
+ private:
+  TraceWriter(std::string path, std::FILE* file);
+
+  std::string path_;
+  std::FILE* file_;
+  std::string buffer_;
+  uint64_t written_ = 0;
+};
+
+/// Streaming trace reader.
+class TraceReader {
+ public:
+  static Result<std::unique_ptr<TraceReader>> Open(const std::string& path);
+  ~TraceReader();
+
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+
+  /// Reads the next record. Returns NotFound at end of trace.
+  Status Next(Microblog* out);
+
+ private:
+  TraceReader(std::string path, std::FILE* file);
+  Status FillBuffer();
+
+  std::string path_;
+  std::FILE* file_;
+  std::string buffer_;
+  size_t pos_ = 0;
+  bool eof_ = false;
+};
+
+/// One-shot helpers.
+Status SaveTrace(const std::string& path, const std::vector<Microblog>& blogs);
+Result<std::vector<Microblog>> LoadTrace(const std::string& path);
+
+}  // namespace kflush
+
+#endif  // KFLUSH_GEN_TRACE_H_

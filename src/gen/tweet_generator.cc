@@ -1,0 +1,137 @@
+#include "gen/tweet_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace kflush {
+
+std::vector<GeoPoint> MakeHotspots(const TweetGeneratorOptions& options) {
+  // Hotspot centers come from a dedicated sub-seed so the query generator
+  // can reproduce them from the options alone.
+  Rng rng(options.seed ^ 0xC17E5EEDULL);
+  std::vector<GeoPoint> hotspots;
+  hotspots.reserve(options.num_hotspots);
+  const BoundingBox& r = options.region;
+  for (size_t i = 0; i < options.num_hotspots; ++i) {
+    GeoPoint p;
+    p.lat = r.min_lat + rng.NextDouble() * (r.max_lat - r.min_lat);
+    p.lon = r.min_lon + rng.NextDouble() * (r.max_lon - r.min_lon);
+    hotspots.push_back(p);
+  }
+  return hotspots;
+}
+
+KeywordId CompanionKeyword(KeywordId base, uint32_t j, uint64_t vocabulary) {
+  // splitmix-style mix of (base, j); companions are fixed per keyword.
+  uint64_t z = (static_cast<uint64_t>(base) << 8) | j;
+  z = (z + 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z = z ^ (z >> 31);
+  return static_cast<KeywordId>(z % vocabulary);
+}
+
+TweetGenerator::TweetGenerator(TweetGeneratorOptions options)
+    : options_(options),
+      rng_(options.seed),
+      keyword_zipf_(options.vocabulary_size, options.keyword_zipf_s),
+      user_zipf_(options.num_users, options.user_zipf_s),
+      hotspot_zipf_(std::max<size_t>(options.num_hotspots, 1),
+                    options.hotspot_zipf_s),
+      hotspots_(MakeHotspots(options)) {}
+
+GeoPoint TweetGenerator::SampleLocation() {
+  const BoundingBox& r = options_.region;
+  if (hotspots_.empty() || rng_.Bernoulli(options_.uniform_location_p)) {
+    GeoPoint p;
+    p.lat = r.min_lat + rng_.NextDouble() * (r.max_lat - r.min_lat);
+    p.lon = r.min_lon + rng_.NextDouble() * (r.max_lon - r.min_lon);
+    return p;
+  }
+  const GeoPoint& center = hotspots_[hotspot_zipf_.Sample(&rng_)];
+  GeoPoint p;
+  p.lat = center.lat + rng_.NextGaussian() * options_.hotspot_stddev_degrees;
+  p.lon = center.lon + rng_.NextGaussian() * options_.hotspot_stddev_degrees;
+  p.lat = std::clamp(p.lat, -90.0, 90.0);
+  p.lon = std::clamp(p.lon, -180.0, 180.0);
+  return p;
+}
+
+uint32_t TweetGenerator::FollowersForUserRank(uint64_t rank) {
+  // Follower counts decay with activity rank (heavily skewed, like real
+  // social graphs), with multiplicative noise.
+  const double base = 2e6 / std::pow(static_cast<double>(rank) + 2.0, 0.9);
+  const double noise = 0.5 + rng_.NextDouble();
+  return static_cast<uint32_t>(base * noise);
+}
+
+void TweetGenerator::SynthesizeText(Microblog* blog) {
+  std::string& text = blog->text;
+  text.reserve(140);
+  for (KeywordId kw : blog->keywords) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "#tag%u ", kw);
+    text += buf;
+  }
+  // Pad with filler words to a realistic tweet length.
+  static const char* kFiller[] = {"just",  "saw",   "the",  "new",  "thing",
+                                  "today", "wow",   "cant", "wait", "for",
+                                  "this",  "really", "great", "news", "here"};
+  while (text.size() < 120) {
+    text += kFiller[rng_.Uniform(sizeof(kFiller) / sizeof(kFiller[0]))];
+    text += ' ';
+  }
+}
+
+Microblog TweetGenerator::Next() {
+  Microblog blog;
+  blog.created_at =
+      options_.start_time + count_ * options_.arrival_interval_micros;
+
+  // Keywords: 1 + geometric extras, distinct. The first tag is a Zipf
+  // draw; extras are topical companions of the first with probability
+  // companion_p, independent draws otherwise.
+  const uint32_t want =
+      rng_.OneNPlusGeometric(options_.extra_keyword_p, options_.max_keywords);
+  const KeywordId first =
+      static_cast<KeywordId>(keyword_zipf_.Sample(&rng_));
+  blog.keywords.push_back(first);
+  int attempts = 0;
+  while (blog.keywords.size() < want && attempts++ < 32) {
+    KeywordId kw;
+    if (options_.companion_count > 0 && rng_.Bernoulli(options_.companion_p)) {
+      kw = CompanionKeyword(first,
+                            static_cast<uint32_t>(
+                                rng_.Uniform(options_.companion_count)),
+                            options_.vocabulary_size);
+    } else {
+      kw = static_cast<KeywordId>(keyword_zipf_.Sample(&rng_));
+    }
+    if (std::find(blog.keywords.begin(), blog.keywords.end(), kw) ==
+        blog.keywords.end()) {
+      blog.keywords.push_back(kw);
+    }
+  }
+
+  const uint64_t user_rank = user_zipf_.Sample(&rng_);
+  blog.user_id = user_rank + 1;  // user ids are 1-based ranks
+  blog.follower_count = FollowersForUserRank(user_rank);
+
+  if (rng_.Bernoulli(options_.geotagged_fraction)) {
+    blog.has_location = true;
+    blog.location = SampleLocation();
+  }
+
+  if (options_.generate_text) SynthesizeText(&blog);
+
+  ++count_;
+  return blog;
+}
+
+void TweetGenerator::FillBatch(size_t n, std::vector<Microblog>* out) {
+  out->reserve(out->size() + n);
+  for (size_t i = 0; i < n; ++i) out->push_back(Next());
+}
+
+}  // namespace kflush

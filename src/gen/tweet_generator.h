@@ -1,0 +1,121 @@
+// Synthetic microblog stream generator — the stand-in for the paper's 2+
+// billion collected tweets (see DESIGN.md, substitutions). The flushing
+// policies only observe distributional properties of the stream, which the
+// generator reproduces:
+//
+//   keywords : Zipf-distributed hashtag vocabulary (s ≈ 1.0, the standard
+//              hashtag model) with a skewed per-tweet hashtag count — this
+//              yields the paper's measured shape that ~75% of memory under
+//              temporal flushing holds beyond-top-k postings at k = 20;
+//   users    : Zipf user activity; follower counts decay with user rank;
+//   location : a mixture of Gaussian hotspots (cities) over a region plus
+//              a uniform background;
+//   arrivals : strictly increasing timestamps at a configurable rate
+//              (default ≈ 6000 tweets/s of simulated time, the paper's
+//              replay rate).
+//
+// Fully deterministic given the seed.
+
+#ifndef KFLUSH_GEN_TWEET_GENERATOR_H_
+#define KFLUSH_GEN_TWEET_GENERATOR_H_
+
+#include <vector>
+
+#include "index/spatial_grid.h"
+#include "model/microblog.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace kflush {
+
+/// Stream model parameters.
+struct TweetGeneratorOptions {
+  uint64_t seed = 42;
+
+  // Keyword model.
+  uint64_t vocabulary_size = 200'000;
+  double keyword_zipf_s = 1.1;
+  /// Probability of each additional hashtag beyond the first.
+  double extra_keyword_p = 0.35;
+  uint32_t max_keywords = 4;
+  /// Co-occurrence model: real hashtags co-occur topically, which is what
+  /// gives multi-keyword AND queries non-empty answers. Each additional
+  /// keyword is, with probability `companion_p`, one of the first
+  /// keyword's `companion_count` fixed companion tags (deterministic per
+  /// keyword); otherwise an independent Zipf draw.
+  double companion_p = 0.6;
+  uint32_t companion_count = 4;
+
+  // User model.
+  uint64_t num_users = 100'000;
+  double user_zipf_s = 1.0;
+
+  // Spatial model.
+  size_t num_hotspots = 64;
+  double hotspot_zipf_s = 1.0;
+  double hotspot_stddev_degrees = 0.05;
+  /// Fraction of geotagged tweets drawn uniformly over the region instead
+  /// of from a hotspot.
+  double uniform_location_p = 0.10;
+  BoundingBox region{24.0, -125.0, 49.0, -66.0};  // continental US
+  double geotagged_fraction = 1.0;
+
+  // Arrival model.
+  Timestamp start_time = 1'000'000;
+  /// Simulated microseconds between arrivals (166 ≈ 6000 tweets/s).
+  Timestamp arrival_interval_micros = 166;
+
+  /// Synthesize a ~140-byte tweet text (realistic record footprint). Turn
+  /// off for raw-throughput microbenchmarks.
+  bool generate_text = true;
+};
+
+/// Deterministic hotspot centers for `options` (shared with the query
+/// generator so correlated spatial queries target the same hotspots).
+std::vector<GeoPoint> MakeHotspots(const TweetGeneratorOptions& options);
+
+/// The j-th fixed companion tag of `base` (j < companion_count), shared by
+/// the stream and the correlated query workload so AND queries target
+/// pairs that actually co-occur.
+KeywordId CompanionKeyword(KeywordId base, uint32_t j, uint64_t vocabulary);
+
+/// The stream generator. Not thread-safe; give each producer its own.
+class TweetGenerator {
+ public:
+  explicit TweetGenerator(TweetGeneratorOptions options);
+
+  /// Produces the next microblog in arrival order. The id is left unset
+  /// (the store assigns it); created_at is the simulated arrival time.
+  Microblog Next();
+
+  /// Appends `n` microblogs to `out`.
+  void FillBatch(size_t n, std::vector<Microblog>* out);
+
+  /// Number of microblogs generated so far.
+  uint64_t generated() const { return count_; }
+
+  const TweetGeneratorOptions& options() const { return options_; }
+
+  /// The analytic keyword distribution (rank 0 = most frequent). The
+  /// correlated query workload samples from this same law, matching the
+  /// paper's "probability of a keyword being queried equals its occurrence
+  /// probability in the dataset".
+  const ZipfGenerator& keyword_distribution() const { return keyword_zipf_; }
+
+ private:
+  GeoPoint SampleLocation();
+  uint32_t FollowersForUserRank(uint64_t rank);
+  void SynthesizeText(Microblog* blog);
+
+  TweetGeneratorOptions options_;
+  Rng rng_;
+  ZipfGenerator keyword_zipf_;
+  ZipfGenerator user_zipf_;
+  ZipfGenerator hotspot_zipf_;
+  std::vector<GeoPoint> hotspots_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_GEN_TWEET_GENERATOR_H_

@@ -1,0 +1,49 @@
+#include "index/index_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace kflush {
+
+const std::vector<size_t> kSizeBucketBounds = {1,   2,   5,    10,   20,
+                                               50,  100, 200,  500,  1000,
+                                               5000};
+
+FrequencySnapshot ComputeFrequencySnapshot(
+    const std::vector<size_t>& entry_sizes, size_t k) {
+  FrequencySnapshot snap;
+  snap.num_entries = entry_sizes.size();
+  snap.size_histogram.assign(kSizeBucketBounds.size(), 0);
+  for (size_t size : entry_sizes) {
+    snap.total_postings += size;
+    if (size >= k) ++snap.k_filled_entries;
+    if (size > k) snap.useless_postings += size - k;
+    snap.max_entry_size = std::max(snap.max_entry_size, size);
+    // Find the last bucket whose bound <= size.
+    size_t bucket = 0;
+    for (size_t b = 0; b < kSizeBucketBounds.size(); ++b) {
+      if (size >= kSizeBucketBounds[b]) bucket = b;
+    }
+    if (size > 0) snap.size_histogram[bucket]++;
+  }
+  if (snap.total_postings > 0) {
+    snap.useless_fraction = static_cast<double>(snap.useless_postings) /
+                            static_cast<double>(snap.total_postings);
+  }
+  if (snap.num_entries > 0) {
+    snap.mean_entry_size = static_cast<double>(snap.total_postings) /
+                           static_cast<double>(snap.num_entries);
+  }
+  return snap;
+}
+
+std::string FrequencySnapshot::ToString() const {
+  std::ostringstream os;
+  os << "entries=" << num_entries << " postings=" << total_postings
+     << " k_filled=" << k_filled_entries << " useless=" << useless_postings
+     << " (" << useless_fraction * 100.0 << "%)"
+     << " mean_size=" << mean_entry_size << " max_size=" << max_entry_size;
+  return os.str();
+}
+
+}  // namespace kflush

@@ -1,0 +1,45 @@
+// Statistics over in-memory index contents: the analysis behind the paper's
+// Figure 1 and Section V-A ("more than 75% of memory contents are consumed
+// by tweets that will never show up in a query answer"). Computed from an
+// entry-size snapshot so any policy's index structure can report them.
+
+#ifndef KFLUSH_INDEX_INDEX_STATS_H_
+#define KFLUSH_INDEX_INDEX_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kflush {
+
+/// Frequency-distribution summary of index entry sizes.
+struct FrequencySnapshot {
+  size_t num_entries = 0;
+  size_t total_postings = 0;
+  /// Entries with at least k postings ("k-filled": a query on them hits).
+  size_t k_filled_entries = 0;
+  /// Postings at positions >= k within their entry: the paper's "useless
+  /// microblogs" that no top-k query can return.
+  size_t useless_postings = 0;
+  /// useless_postings / total_postings (0 when empty).
+  double useless_fraction = 0.0;
+  size_t max_entry_size = 0;
+  double mean_entry_size = 0.0;
+  /// Entry-size histogram: bucket i counts entries of size in
+  /// [bounds[i], bounds[i+1]); see kSizeBucketBounds.
+  std::vector<size_t> size_histogram;
+
+  std::string ToString() const;
+};
+
+/// Bucket lower bounds for FrequencySnapshot::size_histogram.
+extern const std::vector<size_t> kSizeBucketBounds;
+
+/// Computes the snapshot from per-entry posting counts against `k`.
+FrequencySnapshot ComputeFrequencySnapshot(const std::vector<size_t>& entry_sizes,
+                                           size_t k);
+
+}  // namespace kflush
+
+#endif  // KFLUSH_INDEX_INDEX_STATS_H_

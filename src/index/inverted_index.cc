@@ -1,0 +1,241 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+namespace kflush {
+
+namespace {
+// Finalizer from MurmurHash3: spreads dense TermIds across shards.
+inline uint64_t MixHash(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+InvertedIndex::InvertedIndex(MemoryTracker* tracker)
+    : tracker_(tracker), shards_(kNumShards) {}
+
+InvertedIndex::~InvertedIndex() { Clear(); }
+
+InvertedIndex::Shard& InvertedIndex::ShardFor(TermId term) {
+  return shards_[MixHash(term) % kNumShards];
+}
+
+const InvertedIndex::Shard& InvertedIndex::ShardFor(TermId term) const {
+  return shards_[MixHash(term) % kNumShards];
+}
+
+void InvertedIndex::Charge(size_t bytes) {
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (tracker_ != nullptr) tracker_->Charge(MemoryComponent::kIndex, bytes);
+}
+
+void InvertedIndex::Release(size_t bytes) {
+  bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (tracker_ != nullptr) tracker_->Release(MemoryComponent::kIndex, bytes);
+}
+
+IndexInsertResult InvertedIndex::Insert(TermId term, MicroblogId id,
+                                        double score, Timestamp now,
+                                        size_t k) {
+  Shard& shard = ShardFor(term);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.entries.try_emplace(term);
+  Entry& entry = it->second;
+  if (inserted) {
+    num_entries_.fetch_add(1, std::memory_order_relaxed);
+    Charge(kBytesPerEntry);
+  }
+  entry.last_arrival = now;
+  PostingInsertResult pres = entry.postings.Insert(id, score);
+  num_postings_.fetch_add(1, std::memory_order_relaxed);
+  Charge(PostingList::kBytesPerPosting);
+
+  IndexInsertResult result;
+  result.size_after = pres.size_after;
+  result.insert_pos = pres.insert_pos;
+  if (k > 0 && pres.insert_pos < k && pres.size_after > k) {
+    result.fell_out_of_top_k = entry.postings.at(k).id;
+  }
+  return result;
+}
+
+size_t InvertedIndex::Query(TermId term, size_t limit, Timestamp now,
+                            std::vector<MicroblogId>* out) {
+  Shard& shard = ShardFor(term);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(term);
+  if (it == shard.entries.end()) return 0;
+  it->second.last_query = now;
+  return it->second.postings.TopIds(limit, out);
+}
+
+size_t InvertedIndex::Peek(TermId term, size_t limit,
+                           std::vector<MicroblogId>* out) const {
+  const Shard& shard = ShardFor(term);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(term);
+  if (it == shard.entries.end()) return 0;
+  return it->second.postings.TopIds(limit, out);
+}
+
+size_t InvertedIndex::PeekPostings(TermId term, size_t limit,
+                                   std::vector<Posting>* out) const {
+  const Shard& shard = ShardFor(term);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(term);
+  if (it == shard.entries.end()) return 0;
+  const PostingList& list = it->second.postings;
+  const size_t n = std::min(limit, list.size());
+  for (size_t i = 0; i < n; ++i) out->push_back(list.at(i));
+  return n;
+}
+
+size_t InvertedIndex::EntrySize(TermId term) const {
+  const Shard& shard = ShardFor(term);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(term);
+  return it == shard.entries.end() ? 0 : it->second.postings.size();
+}
+
+bool InvertedIndex::GetEntryMeta(TermId term, EntryMeta* meta) const {
+  const Shard& shard = ShardFor(term);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(term);
+  if (it == shard.entries.end()) return false;
+  const Entry& e = it->second;
+  meta->term = term;
+  meta->count = e.postings.size();
+  meta->bytes =
+      kBytesPerEntry + e.postings.size() * PostingList::kBytesPerPosting;
+  meta->last_arrival = e.last_arrival;
+  meta->last_query = e.last_query;
+  return true;
+}
+
+size_t InvertedIndex::TrimBeyondK(
+    TermId term, size_t k, const std::function<bool(MicroblogId)>& should_trim,
+    std::vector<Posting>* out) {
+  Shard& shard = ShardFor(term);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(term);
+  if (it == shard.entries.end()) return 0;
+  const size_t trimmed = it->second.postings.TrimBeyondK(k, should_trim, out);
+  if (trimmed > 0) {
+    num_postings_.fetch_sub(trimmed, std::memory_order_relaxed);
+    Release(trimmed * PostingList::kBytesPerPosting);
+  }
+  if (it->second.postings.empty()) {
+    shard.entries.erase(it);
+    num_entries_.fetch_sub(1, std::memory_order_relaxed);
+    Release(kBytesPerEntry);
+  }
+  return trimmed;
+}
+
+size_t InvertedIndex::RemoveMatching(
+    TermId term, size_t k,
+    const std::function<bool(MicroblogId)>& should_remove,
+    const std::function<void(const Posting&, bool)>& on_removed) {
+  Shard& shard = ShardFor(term);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(term);
+  if (it == shard.entries.end()) return 0;
+  const size_t removed =
+      it->second.postings.RemoveIf(k, should_remove, on_removed);
+  if (removed > 0) {
+    num_postings_.fetch_sub(removed, std::memory_order_relaxed);
+    Release(removed * PostingList::kBytesPerPosting);
+  }
+  if (it->second.postings.empty()) {
+    shard.entries.erase(it);
+    num_entries_.fetch_sub(1, std::memory_order_relaxed);
+    Release(kBytesPerEntry);
+  }
+  return removed;
+}
+
+bool InvertedIndex::ContainsId(TermId term, MicroblogId id) const {
+  const Shard& shard = ShardFor(term);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(term);
+  if (it == shard.entries.end()) return false;
+  return it->second.postings.Contains(id);
+}
+
+bool InvertedIndex::RemoveId(TermId term, MicroblogId id, size_t k,
+                             Posting* removed, bool* was_top_k) {
+  Shard& shard = ShardFor(term);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(term);
+  if (it == shard.entries.end()) return false;
+  if (!it->second.postings.Remove(id, k, removed, was_top_k)) return false;
+  num_postings_.fetch_sub(1, std::memory_order_relaxed);
+  Release(PostingList::kBytesPerPosting);
+  if (it->second.postings.empty()) {
+    shard.entries.erase(it);
+    num_entries_.fetch_sub(1, std::memory_order_relaxed);
+    Release(kBytesPerEntry);
+  }
+  return true;
+}
+
+void InvertedIndex::ForEachEntry(
+    const std::function<void(const EntryMeta&)>& fn) const {
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [term, entry] : shard.entries) {
+      EntryMeta meta;
+      meta.term = term;
+      meta.count = entry.postings.size();
+      meta.bytes = kBytesPerEntry +
+                   entry.postings.size() * PostingList::kBytesPerPosting;
+      meta.last_arrival = entry.last_arrival;
+      meta.last_query = entry.last_query;
+      fn(meta);
+    }
+  }
+}
+
+size_t InvertedIndex::NumEntries() const {
+  return num_entries_.load(std::memory_order_relaxed);
+}
+
+size_t InvertedIndex::NumEntriesWithAtLeast(size_t k) const {
+  size_t count = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [term, entry] : shard.entries) {
+      if (entry.postings.size() >= k) ++count;
+    }
+  }
+  return count;
+}
+
+size_t InvertedIndex::TotalPostings() const {
+  return num_postings_.load(std::memory_order_relaxed);
+}
+
+size_t InvertedIndex::MemoryBytes() const {
+  return bytes_.load(std::memory_order_relaxed);
+}
+
+void InvertedIndex::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [term, entry] : shard.entries) {
+      Release(entry.postings.size() * PostingList::kBytesPerPosting +
+              kBytesPerEntry);
+      num_postings_.fetch_sub(entry.postings.size(),
+                              std::memory_order_relaxed);
+      num_entries_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    shard.entries.clear();
+  }
+}
+
+}  // namespace kflush

@@ -1,0 +1,166 @@
+// The main-memory attribute index (paper Figure 3): a hash inverted table
+// mapping TermIds (keywords / spatial tiles / user ids) to posting lists,
+// with per-entry last-arrival and last-query timestamps — the only per-key
+// metadata the kFlushing phases need (paper §III-B/III-C: "a single
+// timestamp with each keyword rather than a timestamp per each data item").
+//
+// The table is sharded; each shard holds its own hash map behind a mutex so
+// the digestion thread, query threads, and the flushing thread contend only
+// on colliding shards. This realizes the paper's "entries are locked one at
+// a time so that atomicity overhead is negligible".
+
+#ifndef KFLUSH_INDEX_INVERTED_INDEX_H_
+#define KFLUSH_INDEX_INVERTED_INDEX_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "index/posting_list.h"
+#include "util/clock.h"
+#include "util/memory_tracker.h"
+
+namespace kflush {
+
+/// Result of an index insert, consumed by flushing policies.
+struct IndexInsertResult {
+  /// Entry size after the insert.
+  size_t size_after = 0;
+  /// Position the posting landed at (0 = best ranked).
+  size_t insert_pos = 0;
+  /// If the insert pushed a previously top-k posting out of the top-k
+  /// region (insert_pos < k and size_after > k), the id that fell out;
+  /// kInvalidMicroblogId otherwise. Used by kFlushing-MK to maintain
+  /// per-record top-k reference counts.
+  MicroblogId fell_out_of_top_k = kInvalidMicroblogId;
+};
+
+/// Metadata snapshot of one entry, used by the Phase 2/3 selection scans.
+struct EntryMeta {
+  TermId term = kInvalidTermId;
+  size_t count = 0;
+  /// Index-side bytes this entry accounts for (postings + entry overhead).
+  size_t bytes = 0;
+  Timestamp last_arrival = 0;
+  Timestamp last_query = 0;
+};
+
+/// Sharded hash inverted index. Thread-safe.
+class InvertedIndex {
+ public:
+  /// Index-side fixed cost per entry (hash node, timestamps, list header),
+  /// charged to MemoryComponent::kIndex alongside the postings.
+  static constexpr size_t kBytesPerEntry = 96;
+
+  /// `tracker` may be null (unit tests); when set, index memory is charged
+  /// to MemoryComponent::kIndex.
+  explicit InvertedIndex(MemoryTracker* tracker = nullptr);
+  ~InvertedIndex();
+
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+
+  /// Inserts `id` with `score` under `term`, stamping the entry's
+  /// last-arrival time with `now`. `k` parameterizes the fell-out-of-top-k
+  /// report (pass 0 to disable it).
+  IndexInsertResult Insert(TermId term, MicroblogId id, double score,
+                           Timestamp now, size_t k);
+
+  /// Appends up to `limit` best-ranked ids for `term` to `out` and stamps
+  /// the entry's last-query time with `now`. Returns the count appended
+  /// (0 if the term has no entry).
+  size_t Query(TermId term, size_t limit, Timestamp now,
+               std::vector<MicroblogId>* out);
+
+  /// Like Query but does not touch last-query time (policy internals,
+  /// tests). Safe to call concurrently with everything else.
+  size_t Peek(TermId term, size_t limit, std::vector<MicroblogId>* out) const;
+
+  /// Like Peek but returns full postings (id + score); used by the
+  /// segmented index to merge segment lists exactly under any ranking.
+  size_t PeekPostings(TermId term, size_t limit,
+                      std::vector<Posting>* out) const;
+
+  /// Number of postings under `term` (0 if absent).
+  size_t EntrySize(TermId term) const;
+
+  /// Metadata snapshot for `term`; returns false if absent.
+  bool GetEntryMeta(TermId term, EntryMeta* meta) const;
+
+  /// Trims postings of `term` beyond position k for which `should_trim`
+  /// returns true (all of them if empty). Trimmed postings are appended to
+  /// `out`. Removes the entry entirely if it becomes empty. Returns count
+  /// trimmed.
+  size_t TrimBeyondK(TermId term, size_t k,
+                     const std::function<bool(MicroblogId)>& should_trim,
+                     std::vector<Posting>* out);
+
+  /// Removes from `term`'s entry every posting for which `should_remove`
+  /// returns true (all if empty); each removal is reported via `on_removed`
+  /// with its top-k membership at call time (against `k`). The entry is
+  /// deleted when it becomes empty. Returns count removed.
+  size_t RemoveMatching(
+      TermId term, size_t k,
+      const std::function<bool(MicroblogId)>& should_remove,
+      const std::function<void(const Posting&, bool /*was_top_k*/)>&
+          on_removed);
+
+  /// Removes a single id from `term`'s entry (the LRU eviction path).
+  /// Returns true if found; sets `*removed` and `*was_top_k` when non-null.
+  bool RemoveId(TermId term, MicroblogId id, size_t k, Posting* removed,
+                bool* was_top_k);
+
+  /// True if `term`'s entry currently references `id`.
+  bool ContainsId(TermId term, MicroblogId id) const;
+
+  /// Calls `fn` for every entry's metadata. Shards are visited one at a
+  /// time under their lock; the callback must not reenter the index.
+  void ForEachEntry(const std::function<void(const EntryMeta&)>& fn) const;
+
+  size_t NumEntries() const;
+
+  /// Number of entries holding at least `k` postings (the paper's
+  /// "k-filled keywords" metric, Figures 7/11/12).
+  size_t NumEntriesWithAtLeast(size_t k) const;
+
+  size_t TotalPostings() const;
+
+  /// Index-side bytes currently charged (entries + postings).
+  size_t MemoryBytes() const;
+
+  /// Removes everything (releases all charged bytes).
+  void Clear();
+
+ private:
+  struct Entry {
+    PostingList postings;
+    Timestamp last_arrival = 0;
+    Timestamp last_query = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<TermId, Entry> entries;
+  };
+
+  static constexpr size_t kNumShards = 64;
+
+  Shard& ShardFor(TermId term);
+  const Shard& ShardFor(TermId term) const;
+
+  void Charge(size_t bytes);
+  void Release(size_t bytes);
+
+  MemoryTracker* tracker_;
+  std::vector<Shard> shards_;
+  std::atomic<size_t> bytes_{0};
+  std::atomic<size_t> num_entries_{0};
+  std::atomic<size_t> num_postings_{0};
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_INDEX_INVERTED_INDEX_H_

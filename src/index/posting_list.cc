@@ -1,0 +1,104 @@
+#include "index/posting_list.h"
+
+#include <algorithm>
+
+namespace kflush {
+
+PostingInsertResult PostingList::Insert(MicroblogId id, double score) {
+  PostingInsertResult result;
+  if (postings_.empty() || score >= postings_.front().score) {
+    // Fast path: new best-ranked posting (ties rank newest first).
+    postings_.push_front({id, score});
+    result.insert_pos = 0;
+  } else {
+    // Find the first position with a strictly smaller score; equal scores
+    // keep the earlier arrival after the later one already there — i.e. a
+    // tie inserts *before* existing equal scores only via the fast path.
+    auto it = std::upper_bound(
+        postings_.begin(), postings_.end(), score,
+        [](double s, const Posting& p) { return s >= p.score; });
+    result.insert_pos = static_cast<size_t>(it - postings_.begin());
+    postings_.insert(it, {id, score});
+  }
+  result.size_after = postings_.size();
+  return result;
+}
+
+size_t PostingList::TopIds(size_t limit, std::vector<MicroblogId>* out) const {
+  const size_t n = std::min(limit, postings_.size());
+  for (size_t i = 0; i < n; ++i) out->push_back(postings_[i].id);
+  return n;
+}
+
+size_t PostingList::TrimBeyondK(
+    size_t k, const std::function<bool(MicroblogId)>& should_trim,
+    std::vector<Posting>* out) {
+  if (postings_.size() <= k) return 0;
+  size_t trimmed = 0;
+  // Rebuild the tail, keeping only postings the filter protects. Popping a
+  // kept posting shrinks the list, so "positions >= k remain unprocessed"
+  // is exactly size() > k.
+  std::deque<Posting> kept_tail;
+  while (postings_.size() > k) {
+    Posting p = postings_.back();
+    postings_.pop_back();
+    if (!should_trim || should_trim(p.id)) {
+      out->push_back(p);
+      ++trimmed;
+    } else {
+      kept_tail.push_front(p);
+    }
+  }
+  for (auto& p : kept_tail) postings_.push_back(p);
+  return trimmed;
+}
+
+size_t PostingList::RemoveIf(
+    size_t k, const std::function<bool(MicroblogId)>& should_remove,
+    const std::function<void(const Posting&, bool)>& on_removed) {
+  size_t removed = 0;
+  std::deque<Posting> kept;
+  size_t pos = 0;
+  for (const Posting& p : postings_) {
+    const bool remove = !should_remove || should_remove(p.id);
+    if (remove) {
+      if (on_removed) on_removed(p, pos < k);
+      ++removed;
+    } else {
+      kept.push_back(p);
+    }
+    ++pos;
+  }
+  postings_.swap(kept);
+  return removed;
+}
+
+bool PostingList::Remove(MicroblogId id, size_t k, Posting* removed,
+                         bool* was_top_k) {
+  for (size_t i = 0; i < postings_.size(); ++i) {
+    if (postings_[i].id == id) {
+      if (removed != nullptr) *removed = postings_[i];
+      if (was_top_k != nullptr) *was_top_k = i < k;
+      postings_.erase(postings_.begin() + static_cast<ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PostingList::IsInTopK(MicroblogId id, size_t k) const {
+  const size_t n = std::min(k, postings_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (postings_[i].id == id) return true;
+  }
+  return false;
+}
+
+bool PostingList::Contains(MicroblogId id) const {
+  for (const Posting& p : postings_) {
+    if (p.id == id) return true;
+  }
+  return false;
+}
+
+}  // namespace kflush

@@ -1,0 +1,95 @@
+// A score-ordered posting list: the per-term id list inside an index entry
+// (paper Figure 3/4). Ranking scores are computed on microblog arrival
+// (paper §IV-B), so the list is maintained in descending score order:
+// position 0 is the best-ranked (most recent, under temporal ranking)
+// posting and trims happen at the tail. This head-insert / tail-trim
+// separation is what lets the flushing thread work without contending with
+// digestion (paper §III-A).
+
+#ifndef KFLUSH_INDEX_POSTING_LIST_H_
+#define KFLUSH_INDEX_POSTING_LIST_H_
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "model/microblog.h"
+
+namespace kflush {
+
+/// One indexed reference: microblog id plus its precomputed ranking score.
+struct Posting {
+  MicroblogId id = kInvalidMicroblogId;
+  double score = 0.0;
+};
+
+/// Outcome of a PostingList insert, consumed by policies that track top-k
+/// membership (the kFlushing-MK extension).
+struct PostingInsertResult {
+  /// List length after the insert.
+  size_t size_after = 0;
+  /// 0-based position the new posting landed at.
+  size_t insert_pos = 0;
+};
+
+/// Descending-score list of postings. Not thread-safe; the owning index
+/// entry is locked by its shard.
+class PostingList {
+ public:
+  PostingList() = default;
+
+  /// Inserts keeping descending score order; equal scores order newest
+  /// first. O(1) when the new posting is the best-ranked (the overwhelmingly
+  /// common case under temporal ranking), O(log n) search + O(n) shift
+  /// otherwise.
+  PostingInsertResult Insert(MicroblogId id, double score);
+
+  /// Appends the ids of up to `limit` best-ranked postings to `out`.
+  /// Returns the number appended.
+  size_t TopIds(size_t limit, std::vector<MicroblogId>* out) const;
+
+  /// Removes postings at positions >= k for which `should_trim` returns
+  /// true (always true if `should_trim` is empty). Trimmed postings are
+  /// appended to `out`. Positions < k are never touched, so top-k
+  /// membership of surviving postings is unchanged. Returns count trimmed.
+  size_t TrimBeyondK(size_t k, const std::function<bool(MicroblogId)>& should_trim,
+                     std::vector<Posting>* out);
+
+  /// Removes every posting for which `should_remove` returns true (all if
+  /// empty). Each removed posting is reported through `on_removed` along
+  /// with whether it occupied a top-k position (position < k) at call time.
+  /// Returns count removed.
+  size_t RemoveIf(size_t k, const std::function<bool(MicroblogId)>& should_remove,
+                  const std::function<void(const Posting&, bool /*was_top_k*/)>&
+                      on_removed);
+
+  /// Removes the posting with `id` if present. Returns true if removed;
+  /// sets `*removed` to the removed posting and `*was_top_k` (position < k)
+  /// when non-null.
+  bool Remove(MicroblogId id, size_t k, Posting* removed, bool* was_top_k);
+
+  /// True if `id` occupies a position < k.
+  bool IsInTopK(MicroblogId id, size_t k) const;
+
+  bool Contains(MicroblogId id) const;
+
+  size_t size() const { return postings_.size(); }
+  bool empty() const { return postings_.empty(); }
+
+  const Posting& at(size_t pos) const { return postings_[pos]; }
+
+  /// Iteration, best-ranked first.
+  auto begin() const { return postings_.begin(); }
+  auto end() const { return postings_.end(); }
+
+  /// Bytes charged to the index tracker per posting.
+  static constexpr size_t kBytesPerPosting = sizeof(Posting);
+
+ private:
+  std::deque<Posting> postings_;
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_INDEX_POSTING_LIST_H_

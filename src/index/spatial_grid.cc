@@ -1,0 +1,56 @@
+#include "index/spatial_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kflush {
+
+std::vector<TermId> TilesOverlapping(const SpatialGridMapper& mapper,
+                                     const BoundingBox& box,
+                                     size_t max_tiles) {
+  std::vector<TermId> tiles;
+  const double edge = mapper.tile_edge_degrees();
+  const double min_lat = std::fmax(box.min_lat, -90.0);
+  const double max_lat = std::fmin(box.max_lat, 90.0);
+  const double min_lon = std::fmax(box.min_lon, -180.0);
+  const double max_lon = std::fmin(box.max_lon, 180.0);
+  if (min_lat > max_lat || min_lon > max_lon) return tiles;
+
+  const TermId first = mapper.TileFor(min_lat, min_lon);
+  const TermId last = mapper.TileFor(max_lat, max_lon);
+  const uint64_t per_row = mapper.tiles_per_row();
+  const uint64_t row0 = first / per_row;
+  const uint64_t col0 = first % per_row;
+  const uint64_t row1 = last / per_row;
+  const uint64_t col1 = last % per_row;
+  (void)edge;
+
+  for (uint64_t row = row0; row <= row1; ++row) {
+    for (uint64_t col = col0; col <= col1; ++col) {
+      tiles.push_back(row * per_row + col);
+      if (max_tiles != 0 && tiles.size() >= max_tiles) return tiles;
+    }
+  }
+  return tiles;
+}
+
+std::vector<TermId> TileNeighborhood(const SpatialGridMapper& mapper,
+                                     double lat, double lon, int radius) {
+  std::vector<TermId> tiles;
+  const TermId center = mapper.TileFor(lat, lon);
+  const uint64_t per_row = mapper.tiles_per_row();
+  const int64_t row = static_cast<int64_t>(center / per_row);
+  const int64_t col = static_cast<int64_t>(center % per_row);
+  for (int64_t dr = -radius; dr <= radius; ++dr) {
+    for (int64_t dc = -radius; dc <= radius; ++dc) {
+      const int64_t r = row + dr;
+      const int64_t c = col + dc;
+      if (r < 0 || c < 0 || c >= static_cast<int64_t>(per_row)) continue;
+      tiles.push_back(static_cast<uint64_t>(r) * per_row +
+                      static_cast<uint64_t>(c));
+    }
+  }
+  return tiles;
+}
+
+}  // namespace kflush

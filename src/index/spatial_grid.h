@@ -1,0 +1,42 @@
+// Spatial-grid query helpers over the SpatialGridMapper term space
+// (paper §V-D: "a spatial grid index that is composed of equal-area spatial
+// tiles, each of 4 mile²"). Point queries resolve to the containing tile;
+// range queries enumerate the tiles overlapping a bounding box so the query
+// engine can evaluate them as a multi-term OR.
+
+#ifndef KFLUSH_INDEX_SPATIAL_GRID_H_
+#define KFLUSH_INDEX_SPATIAL_GRID_H_
+
+#include <vector>
+
+#include "model/attribute.h"
+
+namespace kflush {
+
+/// Geographic bounding box (inclusive).
+struct BoundingBox {
+  double min_lat = 0.0;
+  double min_lon = 0.0;
+  double max_lat = 0.0;
+  double max_lon = 0.0;
+
+  bool Contains(const GeoPoint& p) const {
+    return p.lat >= min_lat && p.lat <= max_lat && p.lon >= min_lon &&
+           p.lon <= max_lon;
+  }
+};
+
+/// Returns the TermIds of every grid tile overlapping `box`, capped at
+/// `max_tiles` (0 = uncapped). Tiles are emitted row-major.
+std::vector<TermId> TilesOverlapping(const SpatialGridMapper& mapper,
+                                     const BoundingBox& box,
+                                     size_t max_tiles = 0);
+
+/// Returns the TermIds of the (2r+1)² tile neighborhood centered on the
+/// tile containing (lat, lon); r = 0 is just the containing tile.
+std::vector<TermId> TileNeighborhood(const SpatialGridMapper& mapper,
+                                     double lat, double lon, int radius);
+
+}  // namespace kflush
+
+#endif  // KFLUSH_INDEX_SPATIAL_GRID_H_

@@ -1,0 +1,86 @@
+#include "model/attribute.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace kflush {
+
+const char* AttributeKindName(AttributeKind kind) {
+  switch (kind) {
+    case AttributeKind::kKeyword:
+      return "keyword";
+    case AttributeKind::kSpatial:
+      return "spatial";
+    case AttributeKind::kUser:
+      return "user";
+  }
+  return "unknown";
+}
+
+SpatialGridMapper::SpatialGridMapper(double tile_edge_degrees)
+    : tile_edge_degrees_(tile_edge_degrees) {
+  assert(tile_edge_degrees > 0.0);
+  tiles_per_row_ =
+      static_cast<uint64_t>(std::ceil(360.0 / tile_edge_degrees_)) + 1;
+  num_rows_ = static_cast<uint64_t>(std::ceil(180.0 / tile_edge_degrees_)) + 1;
+}
+
+TermId SpatialGridMapper::TileFor(double lat, double lon) const {
+  // Clamp into valid WGS84 ranges; malformed coordinates land in edge tiles
+  // rather than corrupting the term space.
+  lat = std::fmin(std::fmax(lat, -90.0), 90.0);
+  lon = std::fmin(std::fmax(lon, -180.0), 180.0);
+  const uint64_t row =
+      static_cast<uint64_t>((lat + 90.0) / tile_edge_degrees_);
+  const uint64_t col =
+      static_cast<uint64_t>((lon + 180.0) / tile_edge_degrees_);
+  return row * tiles_per_row_ + col;
+}
+
+GeoPoint SpatialGridMapper::TileCenter(TermId tile) const {
+  const uint64_t row = tile / tiles_per_row_;
+  const uint64_t col = tile % tiles_per_row_;
+  GeoPoint p;
+  p.lat = -90.0 + (static_cast<double>(row) + 0.5) * tile_edge_degrees_;
+  p.lon = -180.0 + (static_cast<double>(col) + 0.5) * tile_edge_degrees_;
+  return p;
+}
+
+void KeywordAttribute::ExtractTerms(const Microblog& blog,
+                                    std::vector<TermId>* out) const {
+  out->clear();
+  out->reserve(blog.keywords.size());
+  for (KeywordId kw : blog.keywords) {
+    out->push_back(static_cast<TermId>(kw));
+  }
+}
+
+SpatialAttribute::SpatialAttribute(SpatialGridMapper mapper)
+    : mapper_(mapper) {}
+
+void SpatialAttribute::ExtractTerms(const Microblog& blog,
+                                    std::vector<TermId>* out) const {
+  out->clear();
+  if (!blog.has_location) return;
+  out->push_back(mapper_.TileFor(blog.location.lat, blog.location.lon));
+}
+
+void UserAttribute::ExtractTerms(const Microblog& blog,
+                                 std::vector<TermId>* out) const {
+  out->clear();
+  out->push_back(static_cast<TermId>(blog.user_id));
+}
+
+std::unique_ptr<AttributeExtractor> MakeAttribute(AttributeKind kind) {
+  switch (kind) {
+    case AttributeKind::kKeyword:
+      return std::make_unique<KeywordAttribute>();
+    case AttributeKind::kSpatial:
+      return std::make_unique<SpatialAttribute>();
+    case AttributeKind::kUser:
+      return std::make_unique<UserAttribute>();
+  }
+  return nullptr;
+}
+
+}  // namespace kflush

@@ -1,0 +1,102 @@
+// Search attributes (paper §IV-A). The store and the flushing policies are
+// generic over a term space: an AttributeExtractor maps each microblog to
+// the TermIds under which it is indexed — its keywords, its spatial grid
+// tile, or its author's user id. One index + policy implementation then
+// serves keyword search, location search, and user-timeline search.
+
+#ifndef KFLUSH_MODEL_ATTRIBUTE_H_
+#define KFLUSH_MODEL_ATTRIBUTE_H_
+
+#include <memory>
+#include <vector>
+
+#include "model/microblog.h"
+
+namespace kflush {
+
+/// Which microblog attribute an index is built over.
+enum class AttributeKind : int {
+  kKeyword = 0,  // "Find k microblogs that contain keyword w"
+  kSpatial,      // "Find k microblogs posted in location tile t"
+  kUser,         // "Find k microblogs posted by user u"
+};
+
+const char* AttributeKindName(AttributeKind kind);
+
+/// Maps (lat, lon) to equal-area grid tiles. The paper uses ~4 mi² tiles;
+/// we parameterize the tile edge in degrees of latitude and correct
+/// longitude spacing at the equator-scale approximation the paper's grid
+/// implies (equal-area tiles over the region of interest).
+class SpatialGridMapper {
+ public:
+  /// `tile_edge_degrees` is the tile side length in degrees. The default
+  /// 0.029 degrees of latitude ~= 2 miles, giving ~4 mi² tiles.
+  explicit SpatialGridMapper(double tile_edge_degrees = 0.029);
+
+  /// Returns the TermId of the tile containing (lat, lon). Total ordering of
+  /// tiles is row-major over the lat/lon grid covering the globe.
+  TermId TileFor(double lat, double lon) const;
+
+  /// Center coordinates of a tile (for display / debugging).
+  GeoPoint TileCenter(TermId tile) const;
+
+  uint64_t tiles_per_row() const { return tiles_per_row_; }
+  double tile_edge_degrees() const { return tile_edge_degrees_; }
+
+ private:
+  double tile_edge_degrees_;
+  uint64_t tiles_per_row_;
+  uint64_t num_rows_;
+};
+
+/// Maps a microblog to the index terms it appears under.
+class AttributeExtractor {
+ public:
+  virtual ~AttributeExtractor() = default;
+
+  virtual AttributeKind kind() const = 0;
+
+  /// Appends the microblog's terms to `out` (cleared first). A microblog
+  /// with no terms under this attribute (e.g. no location) is simply not
+  /// indexed.
+  virtual void ExtractTerms(const Microblog& blog,
+                            std::vector<TermId>* out) const = 0;
+};
+
+/// Keyword attribute: one term per extracted keyword.
+class KeywordAttribute : public AttributeExtractor {
+ public:
+  AttributeKind kind() const override { return AttributeKind::kKeyword; }
+  void ExtractTerms(const Microblog& blog,
+                    std::vector<TermId>* out) const override;
+};
+
+/// Spatial attribute: the single grid tile containing the post location.
+class SpatialAttribute : public AttributeExtractor {
+ public:
+  explicit SpatialAttribute(SpatialGridMapper mapper = SpatialGridMapper());
+
+  AttributeKind kind() const override { return AttributeKind::kSpatial; }
+  void ExtractTerms(const Microblog& blog,
+                    std::vector<TermId>* out) const override;
+
+  const SpatialGridMapper& mapper() const { return mapper_; }
+
+ private:
+  SpatialGridMapper mapper_;
+};
+
+/// User attribute: the single author id.
+class UserAttribute : public AttributeExtractor {
+ public:
+  AttributeKind kind() const override { return AttributeKind::kUser; }
+  void ExtractTerms(const Microblog& blog,
+                    std::vector<TermId>* out) const override;
+};
+
+/// Factory for the three built-in attributes.
+std::unique_ptr<AttributeExtractor> MakeAttribute(AttributeKind kind);
+
+}  // namespace kflush
+
+#endif  // KFLUSH_MODEL_ATTRIBUTE_H_

@@ -1,0 +1,47 @@
+#include "model/keyword_dictionary.h"
+
+#include <mutex>
+
+namespace kflush {
+
+KeywordId KeywordDictionary::Intern(std::string_view keyword) {
+  {
+    std::shared_lock<std::shared_mutex> read_lock(mu_);
+    auto it = by_name_.find(std::string(keyword));
+    if (it != by_name_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> write_lock(mu_);
+  auto [it, inserted] =
+      by_name_.try_emplace(std::string(keyword),
+                           static_cast<KeywordId>(by_id_.size()));
+  if (inserted) {
+    by_id_.push_back(it->first);
+    string_bytes_ += keyword.size();
+  }
+  return it->second;
+}
+
+KeywordId KeywordDictionary::Lookup(std::string_view keyword) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = by_name_.find(std::string(keyword));
+  return it == by_name_.end() ? kInvalidKeywordId : it->second;
+}
+
+std::string KeywordDictionary::Name(KeywordId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (id >= by_id_.size()) return "";
+  return by_id_[id];
+}
+
+size_t KeywordDictionary::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return by_id_.size();
+}
+
+size_t KeywordDictionary::FootprintBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  // Two copies of each string (map key + vector) plus node/bucket overhead.
+  return 2 * string_bytes_ + by_id_.size() * (sizeof(std::string) * 2 + 48);
+}
+
+}  // namespace kflush

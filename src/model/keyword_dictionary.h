@@ -1,0 +1,51 @@
+// String interning for keywords. The index and policies work on dense
+// KeywordIds; the dictionary maps raw hashtag strings to ids at ingest time
+// and back for display. Thread-safe: ingest interns concurrently with query
+// threads resolving ids.
+
+#ifndef KFLUSH_MODEL_KEYWORD_DICTIONARY_H_
+#define KFLUSH_MODEL_KEYWORD_DICTIONARY_H_
+
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "model/microblog.h"
+
+namespace kflush {
+
+constexpr KeywordId kInvalidKeywordId = ~0U;
+
+/// Bidirectional keyword <-> id mapping.
+class KeywordDictionary {
+ public:
+  KeywordDictionary() = default;
+  KeywordDictionary(const KeywordDictionary&) = delete;
+  KeywordDictionary& operator=(const KeywordDictionary&) = delete;
+
+  /// Returns the id for `keyword`, interning it if new.
+  KeywordId Intern(std::string_view keyword);
+
+  /// Returns the id for `keyword` or kInvalidKeywordId if never interned.
+  KeywordId Lookup(std::string_view keyword) const;
+
+  /// Returns the keyword string for `id`; empty string if out of range.
+  std::string Name(KeywordId id) const;
+
+  size_t size() const;
+
+  /// Estimated heap footprint (strings + map overhead).
+  size_t FootprintBytes() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, KeywordId> by_name_;
+  std::vector<std::string> by_id_;
+  size_t string_bytes_ = 0;
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_MODEL_KEYWORD_DICTIONARY_H_

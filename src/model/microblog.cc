@@ -1,0 +1,76 @@
+#include "model/microblog.h"
+
+#include <sstream>
+
+namespace kflush {
+
+size_t Microblog::FootprintBytes() const {
+  // Fixed struct overhead plus the variable-length payloads. We charge
+  // logical sizes (not allocator capacities) so the same record always
+  // accounts to the same number of bytes wherever it lives.
+  size_t bytes = sizeof(Microblog);
+  bytes += text.size();
+  bytes += keywords.size() * sizeof(KeywordId);
+  return bytes;
+}
+
+std::string Microblog::DebugString() const {
+  std::ostringstream os;
+  os << "Microblog{id=" << id << " t=" << created_at << " user=" << user_id;
+  if (has_location) {
+    os << " loc=(" << location.lat << "," << location.lon << ")";
+  }
+  os << " kws=[";
+  for (size_t i = 0; i < keywords.size(); ++i) {
+    if (i > 0) os << ",";
+    os << keywords[i];
+  }
+  os << "] text=\"" << text << "\"}";
+  return os.str();
+}
+
+MicroblogBuilder& MicroblogBuilder::WithId(MicroblogId id) {
+  blog_.id = id;
+  return *this;
+}
+
+MicroblogBuilder& MicroblogBuilder::WithTimestamp(Timestamp ts) {
+  blog_.created_at = ts;
+  return *this;
+}
+
+MicroblogBuilder& MicroblogBuilder::WithUser(UserId user) {
+  blog_.user_id = user;
+  return *this;
+}
+
+MicroblogBuilder& MicroblogBuilder::WithFollowers(uint32_t followers) {
+  blog_.follower_count = followers;
+  return *this;
+}
+
+MicroblogBuilder& MicroblogBuilder::WithLocation(double lat, double lon) {
+  blog_.has_location = true;
+  blog_.location = {lat, lon};
+  return *this;
+}
+
+MicroblogBuilder& MicroblogBuilder::WithText(std::string text) {
+  blog_.text = std::move(text);
+  return *this;
+}
+
+MicroblogBuilder& MicroblogBuilder::WithKeywords(
+    std::vector<KeywordId> keywords) {
+  blog_.keywords = std::move(keywords);
+  return *this;
+}
+
+MicroblogBuilder& MicroblogBuilder::AddKeyword(KeywordId kw) {
+  blog_.keywords.push_back(kw);
+  return *this;
+}
+
+Microblog MicroblogBuilder::Build() { return std::move(blog_); }
+
+}  // namespace kflush

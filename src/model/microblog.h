@@ -1,0 +1,82 @@
+// The microblog record: the unit of data flowing through the system.
+// Matches the paper's model (Figure 3): a raw record with an id, arrival
+// timestamp, user, optional location, text, and the extracted keyword set
+// used by the inverted index.
+
+#ifndef KFLUSH_MODEL_MICROBLOG_H_
+#define KFLUSH_MODEL_MICROBLOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace kflush {
+
+/// Unique microblog identifier (assigned by the ingest path, monotonically
+/// increasing with arrival order).
+using MicroblogId = uint64_t;
+
+/// A term in the generic attribute space: an interned keyword id, a spatial
+/// tile id, or a user id, depending on the index's attribute (paper §IV-A).
+using TermId = uint64_t;
+
+/// Interned keyword identifier (dense, assigned by KeywordDictionary).
+using KeywordId = uint32_t;
+
+using UserId = uint64_t;
+
+constexpr MicroblogId kInvalidMicroblogId = ~0ULL;
+constexpr TermId kInvalidTermId = ~0ULL;
+
+/// WGS84 coordinate carried by geotagged microblogs.
+struct GeoPoint {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// One microblog (tweet / comment / check-in).
+struct Microblog {
+  MicroblogId id = kInvalidMicroblogId;
+  /// Arrival timestamp; the default (temporal) ranking orders by this.
+  Timestamp created_at = 0;
+  UserId user_id = 0;
+  /// Author's follower count, used by the popularity ranking function.
+  uint32_t follower_count = 0;
+  bool has_location = false;
+  GeoPoint location;
+  std::string text;
+  /// Interned keywords (hashtags) extracted at ingest time.
+  std::vector<KeywordId> keywords;
+
+  /// Estimated in-memory footprint in bytes, charged to the raw store.
+  /// Deterministic in the logical content (uses sizes, not capacities) so
+  /// that Charge/Release pairs always balance.
+  size_t FootprintBytes() const;
+
+  /// Compact single-line rendering for examples and debugging.
+  std::string DebugString() const;
+};
+
+/// Fluent builder for tests and examples.
+class MicroblogBuilder {
+ public:
+  MicroblogBuilder& WithId(MicroblogId id);
+  MicroblogBuilder& WithTimestamp(Timestamp ts);
+  MicroblogBuilder& WithUser(UserId user);
+  MicroblogBuilder& WithFollowers(uint32_t followers);
+  MicroblogBuilder& WithLocation(double lat, double lon);
+  MicroblogBuilder& WithText(std::string text);
+  MicroblogBuilder& WithKeywords(std::vector<KeywordId> keywords);
+  MicroblogBuilder& AddKeyword(KeywordId kw);
+
+  Microblog Build();
+
+ private:
+  Microblog blog_;
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_MODEL_MICROBLOG_H_

@@ -1,0 +1,76 @@
+#include "model/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+namespace kflush {
+
+namespace {
+
+const std::unordered_set<std::string_view>& Stopwords() {
+  static const auto* kSet = new std::unordered_set<std::string_view>{
+      "a",    "an",  "and", "are", "as",   "at",   "be",   "but", "by",
+      "for",  "if",  "in",  "is",  "it",   "its",  "of",   "on",  "or",
+      "not",  "no",  "so",  "the", "that", "this", "to",   "was", "we",
+      "were", "will", "with", "you", "your", "i",   "me",  "my",  "he",
+      "she",  "they", "them", "his", "her",  "rt",  "via",
+  };
+  return *kSet;
+}
+
+bool IsTokenChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+bool Tokenizer::IsStopword(std::string_view token) const {
+  return Stopwords().count(token) > 0;
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> hashtags;
+  std::vector<std::string> terms;
+  std::unordered_set<std::string> seen;
+
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    bool is_hashtag = false;
+    if (text[i] == '#') {
+      is_hashtag = true;
+      ++i;
+    }
+    if (i >= n || !IsTokenChar(text[i])) {
+      if (!is_hashtag) ++i;
+      continue;
+    }
+    size_t start = i;
+    while (i < n && IsTokenChar(text[i])) ++i;
+    std::string token(text.substr(start, i - start));
+    std::transform(token.begin(), token.end(), token.begin(), [](char c) {
+      return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    });
+    if (token.size() < options_.min_token_length) continue;
+    if (is_hashtag) {
+      if (seen.insert(token).second) hashtags.push_back(std::move(token));
+    } else {
+      if (options_.drop_stopwords && IsStopword(token)) continue;
+      if (seen.insert(token).second) terms.push_back(std::move(token));
+    }
+  }
+
+  if (!options_.hashtags_only) {
+    // All tokens count; hashtags first to preserve their salience.
+    hashtags.insert(hashtags.end(), std::make_move_iterator(terms.begin()),
+                    std::make_move_iterator(terms.end()));
+    return hashtags;
+  }
+  if (!hashtags.empty() || !options_.fallback_to_terms) return hashtags;
+  return terms;
+}
+
+}  // namespace kflush

@@ -1,0 +1,47 @@
+// Keyword extraction from microblog text. The paper indexes hashtags when
+// available, falling back to content terms. The tokenizer lower-cases,
+// strips punctuation, drops stopwords and single characters, and can run in
+// hashtag-only or all-terms mode.
+
+#ifndef KFLUSH_MODEL_TOKENIZER_H_
+#define KFLUSH_MODEL_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kflush {
+
+/// Tokenization behaviour.
+struct TokenizerOptions {
+  /// If true, only `#hashtag` tokens are produced (the paper's default:
+  /// "we use hashtags, if available, as keywords"). If the text has no
+  /// hashtags and `fallback_to_terms` is set, plain terms are produced.
+  bool hashtags_only = true;
+  bool fallback_to_terms = true;
+  /// Tokens shorter than this are dropped.
+  size_t min_token_length = 2;
+  /// Drop common English stopwords in all-terms mode.
+  bool drop_stopwords = true;
+};
+
+/// Stateless, thread-safe tokenizer.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// Extracts keyword tokens from `text`, deduplicated, in first-occurrence
+  /// order. Hashtag tokens are returned without the leading '#'.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  bool IsStopword(std::string_view token) const;
+
+  TokenizerOptions options_;
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_MODEL_TOKENIZER_H_

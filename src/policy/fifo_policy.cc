@@ -1,0 +1,81 @@
+#include "policy/fifo_policy.h"
+
+namespace kflush {
+
+FifoPolicy::FifoPolicy(const PolicyContext& ctx, uint32_t k,
+                       size_t segment_bytes)
+    : FlushPolicy(ctx, k), index_(ctx.tracker), segment_bytes_(segment_bytes) {}
+
+void FifoPolicy::Insert(const Microblog& blog, const std::vector<TermId>& terms,
+                        double score) {
+  const Timestamp now = Now();
+  for (TermId term : terms) {
+    index_.Insert(term, blog.id, score, now);
+  }
+  const size_t added = RawDataStore::RecordBytes(blog) +
+                       terms.size() * PostingList::kBytesPerPosting;
+  const size_t total =
+      active_segment_bytes_.fetch_add(added, std::memory_order_relaxed) +
+      added;
+  if (total >= segment_bytes_) {
+    // Single sealer: the thread that crosses the threshold resets the
+    // counter, so concurrent inserts cannot seal twice for one crossing.
+    size_t expected = total;
+    if (active_segment_bytes_.compare_exchange_strong(
+            expected, 0, std::memory_order_relaxed)) {
+      index_.SealActiveSegment();
+    }
+  }
+}
+
+size_t FifoPolicy::QueryTerm(TermId term, size_t limit,
+                             std::vector<MicroblogId>* out,
+                             bool record_access) {
+  // FIFO keeps no recency metadata; queries are pure reads.
+  (void)record_access;
+  return index_.Query(term, limit, out);
+}
+
+size_t FifoPolicy::EntrySize(TermId term) const {
+  return index_.EntrySize(term);
+}
+
+size_t FifoPolicy::FlushImpl(size_t bytes_needed) {
+  size_t freed = 0;
+  // Drop whole oldest segments until the budget is met. Flushing the only
+  // (active) segment empties memory entirely; stop there regardless.
+  while (freed < bytes_needed) {
+    const size_t segments_before = index_.NumSegments();
+    const size_t index_freed =
+        index_.FlushOldestSegment([&](TermId term, const Posting& posting) {
+          freed += OnPostingDropped(term, posting);
+        });
+    freed += index_freed;
+    if (segments_before <= 1) break;  // flushed the last segment
+  }
+  return freed;
+}
+
+size_t FifoPolicy::NumTerms() const { return index_.NumTerms(); }
+
+size_t FifoPolicy::NumKFilledTerms() const {
+  return index_.NumTermsWithAtLeast(k());
+}
+
+void FifoPolicy::CollectEntrySizes(std::vector<size_t>* out) const {
+  // Per-term totals across segments.
+  std::unordered_map<TermId, size_t> counts;
+  // SegmentedIndex has no cross-segment iteration helper beyond the stats
+  // methods; reuse NumTermsWithAtLeast-style accounting via a snapshot.
+  index_.ForEachTermCount(
+      [&](TermId term, size_t count) { counts[term] += count; });
+  out->reserve(out->size() + counts.size());
+  for (const auto& [term, count] : counts) out->push_back(count);
+}
+
+size_t FifoPolicy::AuxMemoryBytes() const {
+  // Segment headers only: FIFO tracks nothing per item or per entry.
+  return index_.NumSegments() * 64;
+}
+
+}  // namespace kflush

@@ -1,0 +1,154 @@
+// The flushing-policy abstraction. A policy owns the in-memory index
+// structure (policies are *structural* in this system: FIFO really is a
+// temporally segmented index, LRU really maintains a global access list)
+// and implements three responsibilities:
+//
+//   1. ingest  — index a newly stored microblog,
+//   2. query   — serve best-ranked in-memory ids for a term,
+//   3. flush   — free at least the requested bytes, moving victims to disk
+//                through the shared raw store / flush buffer machinery.
+//
+// The problem statement (paper §II-C): given in-memory microblogs S and a
+// flushing budget B, pick s ⊆ S consuming at least B that maximizes the
+// memory hit ratio of incoming top-k queries.
+
+#ifndef KFLUSH_POLICY_FLUSH_POLICY_H_
+#define KFLUSH_POLICY_FLUSH_POLICY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "index/posting_list.h"
+#include "model/attribute.h"
+#include "model/microblog.h"
+#include "storage/disk_store.h"
+#include "storage/flush_buffer.h"
+#include "storage/raw_store.h"
+#include "util/clock.h"
+#include "util/histogram.h"
+#include "util/memory_tracker.h"
+
+namespace kflush {
+
+/// The four evaluated policies (paper §V).
+enum class PolicyKind : int {
+  kFifo = 0,     // temporal flushing over a segmented index (baseline)
+  kLru,          // H-Store-style anti-caching with a global LRU list
+  kKFlushing,    // the paper's three-phase policy
+  kKFlushingMK,  // kFlushing + the multiple-keyword extension (§IV-D)
+};
+
+const char* PolicyKindName(PolicyKind kind);
+
+/// Shared infrastructure handed to every policy.
+struct PolicyContext {
+  RawDataStore* raw_store = nullptr;
+  DiskStore* disk_store = nullptr;
+  FlushBuffer* flush_buffer = nullptr;
+  MemoryTracker* tracker = nullptr;
+  Clock* clock = nullptr;
+  /// Used by policies that must recover a record's terms at flush time
+  /// (LRU eviction, kFlushing-MK rules).
+  const AttributeExtractor* extractor = nullptr;
+};
+
+/// Cumulative policy statistics.
+struct PolicyStats {
+  uint64_t flush_cycles = 0;
+  uint64_t records_flushed = 0;
+  uint64_t record_bytes_flushed = 0;
+  uint64_t postings_dropped = 0;
+  /// kFlushing per-phase contributions (postings dropped by each phase).
+  uint64_t phase1_postings = 0;
+  uint64_t phase2_postings = 0;
+  uint64_t phase3_postings = 0;
+  uint64_t phase2_entries = 0;
+  uint64_t phase3_entries = 0;
+  /// Wall time per flush cycle, microseconds.
+  Histogram cycle_micros;
+
+  std::string ToString() const;
+};
+
+/// Abstract flushing policy. Insert/QueryTerm may be called concurrently
+/// from many threads; Flush is called from one flushing thread at a time.
+class FlushPolicy {
+ public:
+  explicit FlushPolicy(const PolicyContext& ctx, uint32_t k);
+  virtual ~FlushPolicy() = default;
+
+  FlushPolicy(const FlushPolicy&) = delete;
+  FlushPolicy& operator=(const FlushPolicy&) = delete;
+
+  virtual PolicyKind kind() const = 0;
+  const char* name() const { return PolicyKindName(kind()); }
+
+  /// Indexes `blog` (already Put into the raw store with
+  /// pcount == terms.size()) under each of `terms` with ranking `score`.
+  virtual void Insert(const Microblog& blog, const std::vector<TermId>& terms,
+                      double score) = 0;
+
+  /// Appends up to `limit` best-ranked in-memory ids for `term` to `out`;
+  /// returns the count appended. When `record_access` is true the call is
+  /// a user query and recency metadata is updated (last-query time for
+  /// kFlushing Phase 3, list touches for LRU).
+  virtual size_t QueryTerm(TermId term, size_t limit,
+                           std::vector<MicroblogId>* out,
+                           bool record_access) = 0;
+
+  /// In-memory postings under `term` (the hit predicate's input).
+  virtual size_t EntrySize(TermId term) const = 0;
+
+  /// Notifies the policy that these microblogs were returned to a user
+  /// query. LRU moves them to the MRU head (the H-Store access path);
+  /// other policies keep recency per term, not per item, and ignore this.
+  virtual void OnResultAccess(const std::vector<MicroblogId>& ids) {
+    (void)ids;
+  }
+
+  /// Frees at least `bytes_needed` of data memory (best effort: returns
+  /// the bytes actually freed, which is less only when memory is
+  /// exhausted of candidates). Victim records are registered with the disk
+  /// store; the flush buffer is drained before returning.
+  size_t Flush(size_t bytes_needed);
+
+  /// Changes k. Takes effect at the next flush cycle (paper §IV-C).
+  virtual void SetK(uint32_t k);
+  uint32_t k() const { return k_.load(std::memory_order_relaxed); }
+
+  /// --- introspection (experiment metrics) ---
+  virtual size_t NumTerms() const = 0;
+  /// Entries holding >= k postings: the "k-filled" metric of Figures 7/11/12.
+  virtual size_t NumKFilledTerms() const = 0;
+  /// Per-entry posting counts, for frequency snapshots (Figure 1 analysis).
+  virtual void CollectEntrySizes(std::vector<size_t>* out) const = 0;
+  /// Policy bookkeeping bytes beyond raw data + index (Figure 10(a)).
+  virtual size_t AuxMemoryBytes() const = 0;
+
+  PolicyStats stats() const;
+
+ protected:
+  /// Subclass flush body; returns bytes freed.
+  virtual size_t FlushImpl(size_t bytes_needed) = 0;
+
+  /// Standard handling for a posting leaving the in-memory index: register
+  /// the association on disk, decrement the record's reference count, and
+  /// when it reaches zero move the record to the flush buffer. Returns the
+  /// data bytes freed by this drop (posting bytes, plus record bytes when
+  /// the record left memory).
+  size_t OnPostingDropped(TermId term, const Posting& posting);
+
+  Timestamp Now() const { return ctx_.clock->NowMicros(); }
+
+  PolicyContext ctx_;
+  std::atomic<uint32_t> k_;
+  mutable std::mutex stats_mu_;
+  PolicyStats stats_;
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_POLICY_FLUSH_POLICY_H_

@@ -1,0 +1,333 @@
+#include "policy/kflushing_policy.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace kflush {
+
+KFlushingPolicy::KFlushingPolicy(const PolicyContext& ctx, uint32_t k,
+                                 KFlushingOptions options)
+    : FlushPolicy(ctx, k), index_(ctx.tracker), options_(options) {}
+
+KFlushingPolicy::~KFlushingPolicy() {
+  if (ctx_.tracker != nullptr) {
+    std::lock_guard<SpinLock> lock(over_k_mu_);
+    ctx_.tracker->Release(MemoryComponent::kPolicyOverhead,
+                          over_k_terms_.size() * kBytesPerTrackedTerm);
+  }
+}
+
+void KFlushingPolicy::Insert(const Microblog& blog,
+                             const std::vector<TermId>& terms, double score) {
+  const Timestamp now = Now();
+  const uint32_t k = this->k();
+  for (TermId term : terms) {
+    IndexInsertResult res = index_.Insert(term, blog.id, score, now, k);
+    if (res.size_after > k) {
+      // Track the over-k entry in L so Phase 1 never scans the index.
+      std::lock_guard<SpinLock> lock(over_k_mu_);
+      if (over_k_terms_.insert(term).second && ctx_.tracker != nullptr) {
+        ctx_.tracker->Charge(MemoryComponent::kPolicyOverhead,
+                             kBytesPerTrackedTerm);
+      }
+    }
+    if (options_.mk_extension) {
+      // Maintain the per-record count of entries in which it ranks top-k.
+      if (res.insert_pos < k) ctx_.raw_store->IncrementTopK(blog.id);
+      if (res.fell_out_of_top_k != kInvalidMicroblogId) {
+        ctx_.raw_store->DecrementTopK(res.fell_out_of_top_k);
+      }
+    }
+  }
+}
+
+size_t KFlushingPolicy::QueryTerm(TermId term, size_t limit,
+                                  std::vector<MicroblogId>* out,
+                                  bool record_access) {
+  if (record_access) {
+    // Stamps the entry's last-query time — Phase 3's eviction key. Racing
+    // queries both write ~NOW, so no extra synchronization is needed
+    // beyond the shard lock already taken (paper §III-C).
+    return index_.Query(term, limit, Now(), out);
+  }
+  return index_.Peek(term, limit, out);
+}
+
+size_t KFlushingPolicy::EntrySize(TermId term) const {
+  return index_.EntrySize(term);
+}
+
+void KFlushingPolicy::SetK(uint32_t k) {
+  FlushPolicy::SetK(k);
+  // L was built against the old k; the next flush rebuilds it by scanning.
+  k_changed_.store(true, std::memory_order_relaxed);
+}
+
+size_t KFlushingPolicy::FlushImpl(size_t bytes_needed) {
+  size_t freed = RunPhase1();
+  if (freed < bytes_needed && options_.enable_phase2) {
+    freed += RunPhase2(bytes_needed - freed);
+  }
+  if (freed < bytes_needed && options_.enable_phase3) {
+    freed += RunPhase3(bytes_needed - freed);
+  }
+  return freed;
+}
+
+size_t KFlushingPolicy::RunPhase1() {
+  const uint32_t k = this->k();
+  std::unordered_set<TermId> terms;
+  if (k_changed_.exchange(false, std::memory_order_relaxed)) {
+    // k changed since L was built: rebuild by scanning for over-k entries
+    // (paper §IV-C — the new k takes effect at this cycle).
+    {
+      std::lock_guard<SpinLock> lock(over_k_mu_);
+      if (ctx_.tracker != nullptr) {
+        ctx_.tracker->Release(MemoryComponent::kPolicyOverhead,
+                              over_k_terms_.size() * kBytesPerTrackedTerm);
+      }
+      over_k_terms_.clear();
+    }
+    index_.ForEachEntry([&](const EntryMeta& meta) {
+      if (meta.count > k) terms.insert(meta.term);
+    });
+  } else {
+    std::lock_guard<SpinLock> lock(over_k_mu_);
+    terms.swap(over_k_terms_);
+    if (ctx_.tracker != nullptr) {
+      ctx_.tracker->Release(MemoryComponent::kPolicyOverhead,
+                            terms.size() * kBytesPerTrackedTerm);
+    }
+  }
+
+  size_t freed = 0;
+  for (TermId term : terms) {
+    freed += TrimEntry(term, k);
+  }
+  return freed;
+}
+
+size_t KFlushingPolicy::TrimEntry(TermId term, uint32_t k) {
+  std::function<bool(MicroblogId)> should_trim;  // default: trim everything
+  if (options_.mk_extension) {
+    // MK Phase 1 rule: keep a beyond-top-k posting while its microblog is
+    // still within top-k of some other entry (§IV-D condition 2). Being
+    // beyond-k here, its top-k refcount counts only *other* entries.
+    RawDataStore* raw = ctx_.raw_store;
+    should_trim = [raw](MicroblogId id) { return raw->TopKCount(id) == 0; };
+  }
+
+  std::vector<Posting> trimmed;
+  index_.TrimBeyondK(term, k, should_trim, &trimmed);
+  size_t freed = 0;
+  for (const Posting& p : trimmed) {
+    freed += OnPostingDropped(term, p);
+  }
+  if (options_.mk_extension && index_.EntrySize(term) > k) {
+    // Kept postings leave the entry over-k; re-track it so a later Phase 1
+    // retires them once they drop out of every top-k.
+    std::lock_guard<SpinLock> lock(over_k_mu_);
+    if (over_k_terms_.insert(term).second && ctx_.tracker != nullptr) {
+      ctx_.tracker->Charge(MemoryComponent::kPolicyOverhead,
+                           kBytesPerTrackedTerm);
+    }
+  }
+  if (!trimmed.empty()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.phase1_postings += trimmed.size();
+  }
+  return freed;
+}
+
+std::vector<KFlushingPolicy::Candidate> KFlushingPolicy::SelectVictims(
+    std::vector<Candidate> candidates, size_t target) {
+  // Single-pass O(n) selection (paper §III-B): keep a max-heap on the
+  // order key whose members' bytes sum to at least `target`, replacing the
+  // most recent member whenever an older candidate can take its place
+  // without dropping the sum below target.
+  auto more_recent = [](const Candidate& a, const Candidate& b) {
+    return a.order_key < b.order_key;  // heap top = most recent
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>,
+                      decltype(more_recent)>
+      heap(more_recent);
+  size_t sum = 0;
+  for (const Candidate& c : candidates) {
+    if (sum < target) {
+      heap.push(c);
+      sum += c.bytes;
+    } else if (!heap.empty() && c.order_key < heap.top().order_key) {
+      const Candidate& top = heap.top();
+      if (sum - top.bytes + c.bytes >= target) {
+        sum -= top.bytes;
+        heap.pop();
+        heap.push(c);
+        sum += c.bytes;
+      } else {
+        // Replacement would under-shoot the budget: add without removing
+        // (paper: "the new keyword is inserted without removing H's most
+        // recent keyword").
+        heap.push(c);
+        sum += c.bytes;
+      }
+    }
+  }
+  std::vector<Candidate> selected;
+  selected.reserve(heap.size());
+  while (!heap.empty()) {
+    selected.push_back(heap.top());
+    heap.pop();
+  }
+  return selected;
+}
+
+size_t KFlushingPolicy::EstimateEntryCost(const EntryMeta& meta) const {
+  const size_t records = ctx_.raw_store->size();
+  const size_t mean_record =
+      records == 0 ? 0 : ctx_.raw_store->MemoryBytes() / records;
+  return meta.bytes + meta.count * mean_record;
+}
+
+size_t KFlushingPolicy::EvictEntry(TermId term, int phase) {
+  const uint32_t k = this->k();
+
+  // MK Phase 2 rule (§IV-D condition 3): keep a posting whose microblog
+  // also exists in some entry holding >= k postings — trimming it there
+  // would newly break AND queries spanning a frequent keyword. The keep
+  // set is computed before mutating so no index locks nest.
+  std::function<bool(MicroblogId)> should_remove;  // default: remove all
+  if (options_.mk_extension && phase == 2) {
+    std::vector<MicroblogId> ids;
+    index_.Peek(term, ~size_t{0}, &ids);
+    auto keep = std::make_shared<std::unordered_set<MicroblogId>>();
+    std::vector<TermId> other_terms;
+    for (MicroblogId id : ids) {
+      bool keep_this = false;
+      ctx_.raw_store->With(id, [&](const Microblog& blog) {
+        other_terms.clear();
+        ctx_.extractor->ExtractTerms(blog, &other_terms);
+        for (TermId t : other_terms) {
+          if (t == term) continue;
+          if (index_.EntrySize(t) >= k && index_.ContainsId(t, id)) {
+            keep_this = true;
+            break;
+          }
+        }
+      });
+      if (keep_this) keep->insert(id);
+    }
+    if (!keep->empty()) {
+      should_remove = [keep](MicroblogId id) { return keep->count(id) == 0; };
+    }
+  }
+
+  size_t freed = 0;
+  size_t removed_count = 0;
+  const bool mk = options_.mk_extension;
+  RawDataStore* raw = ctx_.raw_store;
+  removed_count = index_.RemoveMatching(
+      term, k, should_remove, [&](const Posting& p, bool was_top_k) {
+        if (mk && was_top_k) raw->DecrementTopK(p.id);
+        freed += OnPostingDropped(term, p);
+      });
+  const bool entry_gone = index_.EntrySize(term) == 0;
+  if (entry_gone) freed += InvertedIndex::kBytesPerEntry;
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (phase == 2) {
+      stats_.phase2_postings += removed_count;
+      if (entry_gone) ++stats_.phase2_entries;
+    } else {
+      stats_.phase3_postings += removed_count;
+      if (entry_gone) ++stats_.phase3_entries;
+    }
+  }
+  return freed;
+}
+
+size_t KFlushingPolicy::RunPhase2(size_t bytes_needed) {
+  const uint32_t k = this->k();
+  size_t freed = 0;
+  // The cost estimate can overshoot for records shared across entries, so
+  // re-scan until the budget is met or no under-k entries remain.
+  while (freed < bytes_needed) {
+    std::vector<Candidate> candidates;
+    index_.ForEachEntry([&](const EntryMeta& meta) {
+      if (meta.count < k) {
+        candidates.push_back(
+            {meta.term, meta.last_arrival, EstimateEntryCost(meta)});
+      }
+    });
+    if (candidates.empty()) break;
+    std::vector<Candidate> victims =
+        SelectVictims(std::move(candidates), bytes_needed - freed);
+    if (victims.empty()) break;
+    const size_t freed_before = freed;
+    for (const Candidate& victim : victims) {
+      freed += EvictEntry(victim.term, /*phase=*/2);
+    }
+    // MK can keep an entire selected entry (all its microblogs pinned by
+    // frequent keywords); without progress, rescanning would spin.
+    if (freed == freed_before) break;
+  }
+  return freed;
+}
+
+size_t KFlushingPolicy::RunPhase3(size_t bytes_needed) {
+  size_t freed = 0;
+  while (freed < bytes_needed) {
+    std::vector<Candidate> candidates;
+    index_.ForEachEntry([&](const EntryMeta& meta) {
+      // Phase 3 considers every remaining entry, keyed by last query time
+      // so recently popular keywords stay in memory (or by last arrival
+      // under the ablation configuration).
+      const Timestamp key = options_.phase3_by_query_time ? meta.last_query
+                                                          : meta.last_arrival;
+      candidates.push_back({meta.term, key, EstimateEntryCost(meta)});
+    });
+    if (candidates.empty()) break;
+    std::vector<Candidate> victims =
+        SelectVictims(std::move(candidates), bytes_needed - freed);
+    if (victims.empty()) break;
+    const size_t freed_before = freed;
+    for (const Candidate& victim : victims) {
+      freed += EvictEntry(victim.term, /*phase=*/3);
+    }
+    if (freed == freed_before) break;
+  }
+  return freed;
+}
+
+size_t KFlushingPolicy::NumTerms() const { return index_.NumEntries(); }
+
+size_t KFlushingPolicy::NumKFilledTerms() const {
+  return index_.NumEntriesWithAtLeast(k());
+}
+
+void KFlushingPolicy::CollectEntrySizes(std::vector<size_t>* out) const {
+  index_.ForEachEntry(
+      [&](const EntryMeta& meta) { out->push_back(meta.count); });
+}
+
+size_t KFlushingPolicy::AuxMemoryBytes() const {
+  size_t bytes = 0;
+  {
+    std::lock_guard<SpinLock> lock(over_k_mu_);
+    bytes += over_k_terms_.size() * kBytesPerTrackedTerm;
+  }
+  // Per-entry last-arrival + last-query timestamps (vs. FIFO, which keeps
+  // neither), plus per-record top-k refcounts in MK mode.
+  bytes += index_.NumEntries() * 2 * sizeof(Timestamp);
+  if (options_.mk_extension) {
+    bytes += ctx_.raw_store->size() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+size_t KFlushingPolicy::TrackedOverKTerms() const {
+  std::lock_guard<SpinLock> lock(over_k_mu_);
+  return over_k_terms_.size();
+}
+
+}  // namespace kflush

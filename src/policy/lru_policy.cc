@@ -1,0 +1,125 @@
+#include "policy/lru_policy.h"
+
+namespace kflush {
+
+LruPolicy::LruPolicy(const PolicyContext& ctx, uint32_t k)
+    : FlushPolicy(ctx, k), index_(ctx.tracker) {}
+
+LruPolicy::~LruPolicy() {
+  if (ctx_.tracker != nullptr) {
+    std::lock_guard<std::mutex> lock(lru_mu_);
+    ctx_.tracker->Release(MemoryComponent::kPolicyOverhead,
+                          lru_.size() * kBytesPerNode);
+  }
+}
+
+void LruPolicy::Touch(MicroblogId id) {
+  std::lock_guard<std::mutex> lock(lru_mu_);
+  auto it = position_.find(id);
+  if (it != position_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second = lru_.begin();
+    return;
+  }
+  lru_.push_front(id);
+  position_[id] = lru_.begin();
+  if (ctx_.tracker != nullptr) {
+    ctx_.tracker->Charge(MemoryComponent::kPolicyOverhead, kBytesPerNode);
+  }
+}
+
+MicroblogId LruPolicy::PopColdest() {
+  std::lock_guard<std::mutex> lock(lru_mu_);
+  if (lru_.empty()) return kInvalidMicroblogId;
+  const MicroblogId id = lru_.back();
+  lru_.pop_back();
+  position_.erase(id);
+  if (ctx_.tracker != nullptr) {
+    ctx_.tracker->Release(MemoryComponent::kPolicyOverhead, kBytesPerNode);
+  }
+  return id;
+}
+
+void LruPolicy::Untrack(MicroblogId id) {
+  std::lock_guard<std::mutex> lock(lru_mu_);
+  auto it = position_.find(id);
+  if (it == position_.end()) return;
+  lru_.erase(it->second);
+  position_.erase(it);
+  if (ctx_.tracker != nullptr) {
+    ctx_.tracker->Release(MemoryComponent::kPolicyOverhead, kBytesPerNode);
+  }
+}
+
+void LruPolicy::Insert(const Microblog& blog, const std::vector<TermId>& terms,
+                       double score) {
+  const Timestamp now = Now();
+  for (TermId term : terms) {
+    index_.Insert(term, blog.id, score, now, /*k=*/0);
+  }
+  // New arrivals enter at the MRU head (H-Store semantics).
+  Touch(blog.id);
+}
+
+size_t LruPolicy::QueryTerm(TermId term, size_t limit,
+                            std::vector<MicroblogId>* out,
+                            bool record_access) {
+  (void)record_access;  // LRU recency updates happen via OnResultAccess.
+  return index_.Query(term, limit, Now(), out);
+}
+
+void LruPolicy::OnResultAccess(const std::vector<MicroblogId>& ids) {
+  // Every microblog returned to a query moves to the MRU head — the
+  // global-list contention that throttles H-Store-style anti-caching.
+  for (MicroblogId id : ids) Touch(id);
+}
+
+size_t LruPolicy::EntrySize(TermId term) const {
+  return index_.EntrySize(term);
+}
+
+size_t LruPolicy::FlushImpl(size_t bytes_needed) {
+  size_t freed = 0;
+  std::vector<TermId> terms;
+  while (freed < bytes_needed) {
+    const MicroblogId victim = PopColdest();
+    if (victim == kInvalidMicroblogId) break;  // memory is empty
+    // Recover the victim's terms and unlink it from every index entry.
+    auto blog = ctx_.raw_store->Get(victim);
+    if (!blog.has_value()) continue;  // already gone (defensive)
+    terms.clear();
+    ctx_.extractor->ExtractTerms(*blog, &terms);
+    for (TermId term : terms) {
+      Posting removed;
+      if (index_.RemoveId(term, victim, /*k=*/0, &removed, nullptr)) {
+        freed += OnPostingDropped(term, removed);
+        // Entry erased when it became empty.
+        if (index_.EntrySize(term) == 0) freed += InvertedIndex::kBytesPerEntry;
+      }
+    }
+  }
+  return freed;
+}
+
+size_t LruPolicy::NumTerms() const { return index_.NumEntries(); }
+
+size_t LruPolicy::NumKFilledTerms() const {
+  return index_.NumEntriesWithAtLeast(k());
+}
+
+void LruPolicy::CollectEntrySizes(std::vector<size_t>* out) const {
+  index_.ForEachEntry(
+      [&](const EntryMeta& meta) { out->push_back(meta.count); });
+}
+
+size_t LruPolicy::AuxMemoryBytes() const {
+  std::lock_guard<std::mutex> lock(lru_mu_);
+  return lru_.size() * kBytesPerNode;
+}
+
+size_t LruPolicy::LruListSize() const {
+  std::lock_guard<std::mutex> lock(lru_mu_);
+  return lru_.size();
+}
+
+}  // namespace kflush

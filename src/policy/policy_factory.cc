@@ -1,0 +1,38 @@
+#include "policy/policy_factory.h"
+
+#include "policy/fifo_policy.h"
+#include "policy/kflushing_policy.h"
+#include "policy/lru_policy.h"
+
+namespace kflush {
+
+std::unique_ptr<FlushPolicy> MakePolicy(PolicyKind kind,
+                                        const PolicyContext& ctx,
+                                        const PolicyOptions& options) {
+  switch (kind) {
+    case PolicyKind::kFifo:
+      return std::make_unique<FifoPolicy>(ctx, options.k,
+                                          options.fifo_segment_bytes);
+    case PolicyKind::kLru:
+      return std::make_unique<LruPolicy>(ctx, options.k);
+    case PolicyKind::kKFlushing: {
+      KFlushingOptions kf;
+      kf.enable_phase2 = options.enable_phase2;
+      kf.enable_phase3 = options.enable_phase3;
+      kf.phase3_by_query_time = options.phase3_by_query_time;
+      kf.mk_extension = false;
+      return std::make_unique<KFlushingPolicy>(ctx, options.k, kf);
+    }
+    case PolicyKind::kKFlushingMK: {
+      KFlushingOptions kf;
+      kf.enable_phase2 = options.enable_phase2;
+      kf.enable_phase3 = options.enable_phase3;
+      kf.phase3_by_query_time = options.phase3_by_query_time;
+      kf.mk_extension = true;
+      return std::make_unique<KFlushingPolicy>(ctx, options.k, kf);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace kflush

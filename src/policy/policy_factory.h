@@ -1,0 +1,31 @@
+// Construction of the four evaluated flushing policies from a PolicyKind.
+
+#ifndef KFLUSH_POLICY_POLICY_FACTORY_H_
+#define KFLUSH_POLICY_POLICY_FACTORY_H_
+
+#include <memory>
+
+#include "policy/flush_policy.h"
+
+namespace kflush {
+
+/// Policy construction parameters beyond the shared context.
+struct PolicyOptions {
+  uint32_t k = 20;
+  /// FIFO segment size in bytes (typically the flush budget B).
+  size_t fifo_segment_bytes = 4 << 20;
+  /// kFlushing phase toggles (ablations); MK is implied by the kind.
+  bool enable_phase2 = true;
+  bool enable_phase3 = true;
+  /// kFlushing Phase 3 ordering: last-queried (paper) vs last-arrived.
+  bool phase3_by_query_time = true;
+};
+
+/// Builds a policy of `kind`. The context pointers must outlive the policy.
+std::unique_ptr<FlushPolicy> MakePolicy(PolicyKind kind,
+                                        const PolicyContext& ctx,
+                                        const PolicyOptions& options);
+
+}  // namespace kflush
+
+#endif  // KFLUSH_POLICY_POLICY_FACTORY_H_

@@ -1,0 +1,131 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace kflush {
+
+namespace {
+
+/// Shared run state: a store driven by a SimClock pinned to the stream's
+/// arrival timestamps.
+struct Run {
+  explicit Run(const ExperimentConfig& config)
+      : clock(config.stream.start_time),
+        store([&] {
+          StoreOptions so = config.store;
+          so.clock = &clock;
+          so.auto_flush = true;
+          return so;
+        }()),
+        engine(&store),
+        tweets(config.stream),
+        queries(config.workload, config.stream) {}
+
+  /// Streams one tweet, advancing the clock to its arrival time.
+  void StreamOne() {
+    Microblog blog = tweets.Next();
+    clock.Set(blog.created_at);
+    Status s = store.Insert(std::move(blog));
+    if (!s.ok()) {
+      KFLUSH_WARN("experiment insert failed: " << s.ToString());
+    }
+  }
+
+  SimClock clock;
+  MicroblogStore store;
+  QueryEngine engine;
+  TweetGenerator tweets;
+  QueryGenerator queries;
+};
+
+}  // namespace
+
+ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  Run run(config);
+  ExperimentResult result;
+
+  // --- Phase A: reach steady state ("after filling the main-memory
+  // budget and have multiple data flushes", §V). ---
+  while (run.store.ingest_stats().flush_triggers <
+             config.steady_state_flushes &&
+         run.tweets.generated() < config.max_stream_tweets) {
+    run.StreamOne();
+  }
+  result.reached_steady_state =
+      run.store.ingest_stats().flush_triggers >= config.steady_state_flushes;
+
+  // --- Phase B: measured queries interleaved with continued ingest at
+  // the configured tweet/query rate ratio. ---
+  run.engine.ResetMetrics();
+  const double tweets_per_query =
+      config.queries_per_second <= 0.0
+          ? 0.0
+          : 1e6 / (config.queries_per_second *
+                   static_cast<double>(
+                       std::max<Timestamp>(
+                           config.stream.arrival_interval_micros, 1)));
+  double ingest_debt = 0.0;
+  for (uint64_t q = 0; q < config.num_queries; ++q) {
+    ingest_debt += tweets_per_query;
+    while (ingest_debt >= 1.0) {
+      run.StreamOne();
+      ingest_debt -= 1.0;
+    }
+    run.clock.Advance(1);  // queries razor-advance the clock
+    TopKQuery query = run.queries.Next();
+    auto outcome = run.engine.Execute(query);
+    if (!outcome.ok()) {
+      KFLUSH_WARN("experiment query failed: " << outcome.status().ToString());
+    }
+  }
+
+  // --- Collect. ---
+  result.query_metrics = run.engine.metrics();
+  const FlushPolicy* policy = run.store.policy();
+  result.k_filled_terms = policy->NumKFilledTerms();
+  result.num_terms = policy->NumTerms();
+  result.aux_memory_bytes = policy->AuxMemoryBytes();
+  result.policy_stats = policy->stats();
+  result.ingest_stats = run.store.ingest_stats();
+  result.disk_stats = run.store.disk()->stats();
+  result.data_bytes_used = run.store.tracker().DataUsed();
+  result.tweets_streamed = run.tweets.generated();
+
+  std::vector<size_t> sizes;
+  policy->CollectEntrySizes(&sizes);
+  result.frequency = ComputeFrequencySnapshot(sizes, run.store.k());
+
+  result.peak_flush_buffer_bytes = run.store.flush_buffer().peak_bytes();
+  return result;
+}
+
+std::vector<double> MemoryTimeline(const ExperimentConfig& config,
+                                   uint64_t sample_every,
+                                   size_t num_samples) {
+  Run run(config);
+  std::vector<double> samples;
+  samples.reserve(num_samples);
+  const double budget =
+      static_cast<double>(config.store.memory_budget_bytes);
+  while (samples.size() < num_samples) {
+    for (uint64_t i = 0; i < sample_every; ++i) run.StreamOne();
+    samples.push_back(
+        static_cast<double>(run.store.tracker().DataUsed()) / budget);
+  }
+  return samples;
+}
+
+std::string ExperimentResult::ToString() const {
+  std::ostringstream os;
+  os << "steady=" << (reached_steady_state ? "yes" : "no")
+     << " streamed=" << tweets_streamed << " terms=" << num_terms
+     << " k_filled=" << k_filled_terms << " | " << query_metrics.ToString()
+     << " | aux_bytes=" << aux_memory_bytes << " | "
+     << frequency.ToString();
+  return os.str();
+}
+
+}  // namespace kflush

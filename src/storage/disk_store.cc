@@ -1,0 +1,16 @@
+#include "storage/disk_store.h"
+
+#include <sstream>
+
+namespace kflush {
+
+std::string DiskStats::ToString() const {
+  std::ostringstream os;
+  os << "disk{postings=" << postings_added << " records=" << records_written
+     << " bytes=" << record_bytes_written << " batches=" << write_batches
+     << " term_queries=" << term_queries << " record_reads=" << records_read
+     << "}";
+  return os.str();
+}
+
+}  // namespace kflush

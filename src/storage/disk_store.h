@@ -1,0 +1,66 @@
+// Disk-side storage. When the flushing policy drops an id's association
+// from a memory index entry, the association is registered with the disk
+// store immediately (AddPosting); the record payload itself is written when
+// its last in-memory reference disappears (WriteBatch, fed by the
+// FlushBuffer). Memory ∪ disk therefore always covers the complete answer
+// of any query — the property the paper's hit-ratio metric presumes
+// ("flushed data is moved to disk, and hence the answers are always
+// accurate", §VI).
+//
+// Two implementations ship: SimDiskStore (an accounting disk for fast
+// experiments) and FileDiskStore (real append-only segment files).
+
+#ifndef KFLUSH_STORAGE_DISK_STORE_H_
+#define KFLUSH_STORAGE_DISK_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/posting_list.h"
+#include "model/microblog.h"
+#include "util/status.h"
+
+namespace kflush {
+
+/// Access counters; the experiments read hit/miss economics off these.
+struct DiskStats {
+  uint64_t postings_added = 0;
+  uint64_t records_written = 0;
+  uint64_t record_bytes_written = 0;
+  uint64_t write_batches = 0;
+  uint64_t term_queries = 0;
+  uint64_t records_read = 0;
+
+  std::string ToString() const;
+};
+
+/// Abstract disk storage + disk-side term index.
+class DiskStore {
+ public:
+  virtual ~DiskStore() = default;
+
+  /// Registers that `id` (with ranking `score`) now lives under `term` on
+  /// disk. Idempotent per (term, id).
+  virtual Status AddPosting(TermId term, MicroblogId id, double score) = 0;
+
+  /// Persists record payloads (called by the flush buffer drain).
+  virtual Status WriteBatch(std::vector<Microblog> batch) = 0;
+
+  /// Appends up to `limit` best-ranked disk postings for `term` to `out`.
+  virtual Status QueryTerm(TermId term, size_t limit,
+                           std::vector<Posting>* out) = 0;
+
+  /// Fetches a record payload written earlier. NotFound if the payload has
+  /// not reached disk (e.g. the record is still memory-resident).
+  virtual Status GetRecord(MicroblogId id, Microblog* out) = 0;
+
+  virtual DiskStats stats() const = 0;
+
+  virtual size_t NumRecords() const = 0;
+  virtual size_t NumPostings() const = 0;
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_STORAGE_DISK_STORE_H_

@@ -1,0 +1,193 @@
+#include "storage/file_disk_store.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "storage/serde.h"
+
+namespace kflush {
+
+Result<std::unique_ptr<FileDiskStore>> FileDiskStore::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w+b");
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  return std::unique_ptr<FileDiskStore>(new FileDiskStore(path, file));
+}
+
+Result<std::unique_ptr<FileDiskStore>> FileDiskStore::OpenOrRecover(
+    const std::string& path, const AttributeExtractor* extractor,
+    const std::function<double(const Microblog&)>& score_fn) {
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) {
+    // Nothing to recover: behave like Open().
+    return Open(path);
+  }
+  auto store =
+      std::unique_ptr<FileDiskStore>(new FileDiskStore(path, file));
+
+  // Sequentially scan the data file, rebuilding the record catalog (and,
+  // when possible, the term index) from the self-describing records.
+  std::string contents;
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    return Status::IOError("seek failed on " + path);
+  }
+  const long size = std::ftell(file);
+  if (size < 0) return Status::IOError("ftell failed on " + path);
+  contents.resize(static_cast<size_t>(size));
+  std::rewind(file);
+  if (std::fread(contents.data(), 1, contents.size(), file) !=
+      contents.size()) {
+    return Status::IOError("short read recovering " + path);
+  }
+
+  size_t pos = 0;
+  std::vector<TermId> terms;
+  while (pos < contents.size()) {
+    Microblog blog;
+    size_t consumed = 0;
+    Status s = DecodeMicroblog(contents.data() + pos, contents.size() - pos,
+                               &blog, &consumed);
+    if (!s.ok()) {
+      return Status::Corruption(path + " is corrupt at offset " +
+                                std::to_string(pos) + ": " + s.ToString());
+    }
+    RecordLocation loc;
+    loc.offset = pos;
+    loc.length = static_cast<uint32_t>(consumed);
+    store->locations_[blog.id] = loc;
+    ++store->stats_.records_written;
+    store->stats_.record_bytes_written += consumed;
+    if (extractor != nullptr && score_fn != nullptr) {
+      const double score = score_fn(blog);
+      extractor->ExtractTerms(blog, &terms);
+      for (TermId term : terms) {
+        KFLUSH_RETURN_IF_ERROR(store->AddPosting(term, blog.id, score));
+      }
+    }
+    pos += consumed;
+  }
+  store->file_size_ = contents.size();
+  return store;
+}
+
+FileDiskStore::FileDiskStore(std::string path, std::FILE* file)
+    : path_(std::move(path)), file_(file) {}
+
+FileDiskStore::~FileDiskStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileDiskStore::AddPosting(TermId term, MicroblogId id, double score) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& list = postings_[term];
+  auto it = std::upper_bound(
+      list.begin(), list.end(), score,
+      [](double s, const Posting& p) { return s > p.score; });
+  for (auto dup = it; dup != list.begin() && (dup - 1)->score == score;
+       --dup) {
+    if ((dup - 1)->id == id) return Status::OK();
+  }
+  list.insert(it, Posting{id, score});
+  ++num_postings_;
+  ++stats_.postings_added;
+  return Status::OK();
+}
+
+Status FileDiskStore::WriteBatch(std::vector<Microblog> batch) {
+  if (batch.empty()) return Status::OK();
+  std::string encoded;
+  std::vector<std::pair<MicroblogId, RecordLocation>> locations;
+  locations.reserve(batch.size());
+  uint64_t offset_in_batch = 0;
+  for (const Microblog& blog : batch) {
+    const size_t before = encoded.size();
+    EncodeMicroblog(blog, &encoded);
+    RecordLocation loc;
+    loc.offset = offset_in_batch;
+    loc.length = static_cast<uint32_t>(encoded.size() - before);
+    locations.emplace_back(blog.id, loc);
+    offset_in_batch += loc.length;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::IOError("seek failed: " + std::string(std::strerror(errno)));
+  }
+  const uint64_t base = file_size_;
+  const size_t written =
+      std::fwrite(encoded.data(), 1, encoded.size(), file_);
+  if (written != encoded.size()) {
+    return Status::IOError("short write to " + path_);
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("flush failed: " + std::string(std::strerror(errno)));
+  }
+  file_size_ += encoded.size();
+  for (auto& [id, loc] : locations) {
+    loc.offset += base;
+    locations_[id] = loc;
+    ++stats_.records_written;
+  }
+  stats_.record_bytes_written += encoded.size();
+  ++stats_.write_batches;
+  return Status::OK();
+}
+
+Status FileDiskStore::QueryTerm(TermId term, size_t limit,
+                                std::vector<Posting>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.term_queries;
+  auto it = postings_.find(term);
+  if (it == postings_.end()) return Status::OK();
+  const auto& list = it->second;
+  const size_t n = std::min(limit, list.size());
+  out->insert(out->end(), list.begin(),
+              list.begin() + static_cast<ptrdiff_t>(n));
+  return Status::OK();
+}
+
+Status FileDiskStore::GetRecord(MicroblogId id, Microblog* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.records_read;
+  auto it = locations_.find(id);
+  if (it == locations_.end()) {
+    return Status::NotFound("record not on disk");
+  }
+  const RecordLocation& loc = it->second;
+  std::string buf(loc.length, '\0');
+  if (std::fseek(file_, static_cast<long>(loc.offset), SEEK_SET) != 0) {
+    return Status::IOError("seek failed: " + std::string(std::strerror(errno)));
+  }
+  const size_t got = std::fread(buf.data(), 1, loc.length, file_);
+  if (got != loc.length) {
+    return Status::IOError("short read from " + path_);
+  }
+  size_t consumed = 0;
+  KFLUSH_RETURN_IF_ERROR(DecodeMicroblog(buf.data(), buf.size(), out,
+                                         &consumed));
+  if (consumed != loc.length) {
+    return Status::Corruption("record length mismatch");
+  }
+  return Status::OK();
+}
+
+DiskStats FileDiskStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t FileDiskStore::NumRecords() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return locations_.size();
+}
+
+size_t FileDiskStore::NumPostings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_postings_;
+}
+
+}  // namespace kflush

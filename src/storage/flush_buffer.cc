@@ -1,0 +1,57 @@
+#include "storage/flush_buffer.h"
+
+#include <algorithm>
+
+namespace kflush {
+
+FlushBuffer::FlushBuffer(MemoryTracker* tracker) : tracker_(tracker) {}
+
+FlushBuffer::~FlushBuffer() {
+  if (tracker_ != nullptr && bytes_ > 0) {
+    tracker_->Release(MemoryComponent::kFlushBuffer, bytes_);
+  }
+}
+
+void FlushBuffer::Add(Microblog blog) {
+  const size_t record_bytes = blog.FootprintBytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(std::move(blog));
+  bytes_ += record_bytes;
+  peak_bytes_ = std::max(peak_bytes_, bytes_);
+  if (tracker_ != nullptr) {
+    tracker_->Charge(MemoryComponent::kFlushBuffer, record_bytes);
+  }
+}
+
+Status FlushBuffer::DrainTo(DiskStore* disk) {
+  std::vector<Microblog> batch;
+  size_t drained_bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (records_.empty()) return Status::OK();
+    batch.swap(records_);
+    drained_bytes = bytes_;
+    bytes_ = 0;
+  }
+  if (tracker_ != nullptr) {
+    tracker_->Release(MemoryComponent::kFlushBuffer, drained_bytes);
+  }
+  return disk->WriteBatch(std::move(batch));
+}
+
+size_t FlushBuffer::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+size_t FlushBuffer::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+size_t FlushBuffer::peak_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_bytes_;
+}
+
+}  // namespace kflush

@@ -1,0 +1,150 @@
+#include "storage/raw_store.h"
+
+namespace kflush {
+
+namespace {
+inline uint64_t MixHash(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+RawDataStore::RawDataStore(MemoryTracker* tracker)
+    : tracker_(tracker), shards_(kNumShards) {}
+
+RawDataStore::~RawDataStore() {
+  if (tracker_ != nullptr) {
+    tracker_->Release(MemoryComponent::kRawStore,
+                      bytes_.load(std::memory_order_relaxed));
+  }
+}
+
+RawDataStore::Shard& RawDataStore::ShardFor(MicroblogId id) {
+  return shards_[MixHash(id) % kNumShards];
+}
+
+const RawDataStore::Shard& RawDataStore::ShardFor(MicroblogId id) const {
+  return shards_[MixHash(id) % kNumShards];
+}
+
+Status RawDataStore::Put(Microblog blog, uint32_t pcount) {
+  const MicroblogId id = blog.id;
+  const size_t bytes = RecordBytes(blog);
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.records.try_emplace(id);
+  if (!inserted) {
+    return Status::AlreadyExists("microblog id already stored");
+  }
+  it->second.blog = std::move(blog);
+  it->second.pcount = pcount;
+  it->second.topk_count = 0;
+  size_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (tracker_ != nullptr) tracker_->Charge(MemoryComponent::kRawStore, bytes);
+  return Status::OK();
+}
+
+bool RawDataStore::Contains(MicroblogId id) const {
+  const Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.records.count(id) > 0;
+}
+
+std::optional<Microblog> RawDataStore::Get(MicroblogId id) const {
+  const Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.records.find(id);
+  if (it == shard.records.end()) return std::nullopt;
+  return it->second.blog;
+}
+
+bool RawDataStore::With(
+    MicroblogId id, const std::function<void(const Microblog&)>& fn) const {
+  const Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.records.find(id);
+  if (it == shard.records.end()) return false;
+  fn(it->second.blog);
+  return true;
+}
+
+uint32_t RawDataStore::DecrementPcount(MicroblogId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.records.find(id);
+  if (it == shard.records.end()) return 0;
+  if (it->second.pcount > 0) --it->second.pcount;
+  return it->second.pcount;
+}
+
+uint32_t RawDataStore::Pcount(MicroblogId id) const {
+  const Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.records.find(id);
+  return it == shard.records.end() ? 0 : it->second.pcount;
+}
+
+void RawDataStore::IncrementTopK(MicroblogId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.records.find(id);
+  if (it != shard.records.end()) ++it->second.topk_count;
+}
+
+uint32_t RawDataStore::DecrementTopK(MicroblogId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.records.find(id);
+  if (it == shard.records.end()) return 0;
+  if (it->second.topk_count > 0) --it->second.topk_count;
+  return it->second.topk_count;
+}
+
+uint32_t RawDataStore::TopKCount(MicroblogId id) const {
+  const Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.records.find(id);
+  return it == shard.records.end() ? 0 : it->second.topk_count;
+}
+
+std::optional<Microblog> RawDataStore::Remove(MicroblogId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.records.find(id);
+  if (it == shard.records.end()) return std::nullopt;
+  Microblog blog = std::move(it->second.blog);
+  shard.records.erase(it);
+  const size_t bytes = RecordBytes(blog);
+  size_.fetch_sub(1, std::memory_order_relaxed);
+  bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (tracker_ != nullptr) {
+    tracker_->Release(MemoryComponent::kRawStore, bytes);
+  }
+  return blog;
+}
+
+void RawDataStore::ForEach(
+    const std::function<void(const Microblog&, uint32_t, uint32_t)>& fn)
+    const {
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [id, record] : shard.records) {
+      fn(record.blog, record.pcount, record.topk_count);
+    }
+  }
+}
+
+size_t RawDataStore::size() const {
+  return size_.load(std::memory_order_relaxed);
+}
+
+size_t RawDataStore::MemoryBytes() const {
+  return bytes_.load(std::memory_order_relaxed);
+}
+
+}  // namespace kflush

@@ -1,0 +1,105 @@
+// The in-memory raw data store (paper Figure 3): the container of complete
+// microblog records, keyed by id. Index entries hold ids that point here.
+// Each record carries its reference count `pcount` — the number of index
+// entries still referencing it (paper §III-A) — and, for the kFlushing-MK
+// extension, the number of entries in which it currently ranks within
+// top-k. A record leaves memory exactly when pcount reaches zero.
+
+#ifndef KFLUSH_STORAGE_RAW_STORE_H_
+#define KFLUSH_STORAGE_RAW_STORE_H_
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "model/microblog.h"
+#include "util/memory_tracker.h"
+#include "util/status.h"
+
+namespace kflush {
+
+/// Sharded id -> record map with byte accounting. Thread-safe.
+class RawDataStore {
+ public:
+  /// Fixed per-record bookkeeping bytes (hash node, refcounts) charged on
+  /// top of Microblog::FootprintBytes().
+  static constexpr size_t kBytesPerRecordOverhead = 48;
+
+  /// `tracker` may be null; when set, record bytes are charged to
+  /// MemoryComponent::kRawStore.
+  explicit RawDataStore(MemoryTracker* tracker = nullptr);
+  ~RawDataStore();
+
+  RawDataStore(const RawDataStore&) = delete;
+  RawDataStore& operator=(const RawDataStore&) = delete;
+
+  /// Stores `blog` with an initial reference count. Fails with
+  /// AlreadyExists if the id is present.
+  Status Put(Microblog blog, uint32_t pcount);
+
+  bool Contains(MicroblogId id) const;
+
+  /// Copies the record out (safe to use without holding locks).
+  std::optional<Microblog> Get(MicroblogId id) const;
+
+  /// Runs `fn` on the record under the shard lock, avoiding a copy.
+  /// Returns false if absent. `fn` must not reenter the store.
+  bool With(MicroblogId id, const std::function<void(const Microblog&)>& fn) const;
+
+  /// Decrements the reference count; returns the remaining count.
+  /// The record itself stays until Remove(). Returns 0 also when absent.
+  uint32_t DecrementPcount(MicroblogId id);
+
+  uint32_t Pcount(MicroblogId id) const;
+
+  /// Top-k reference count maintenance (kFlushing-MK bookkeeping).
+  void IncrementTopK(MicroblogId id);
+  uint32_t DecrementTopK(MicroblogId id);
+  uint32_t TopKCount(MicroblogId id) const;
+
+  /// Removes and returns the record, releasing its bytes. nullopt if
+  /// absent.
+  std::optional<Microblog> Remove(MicroblogId id);
+
+  /// Visits every record under its shard lock (shards visited one at a
+  /// time). `fn` must not reenter the store.
+  void ForEach(const std::function<void(const Microblog&, uint32_t /*pcount*/,
+                                        uint32_t /*topk_count*/)>& fn) const;
+
+  size_t size() const;
+  size_t MemoryBytes() const;
+
+  /// Bytes a record of this shape accounts for.
+  static size_t RecordBytes(const Microblog& blog) {
+    return blog.FootprintBytes() + kBytesPerRecordOverhead;
+  }
+
+ private:
+  struct Record {
+    Microblog blog;
+    uint32_t pcount = 0;
+    uint32_t topk_count = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<MicroblogId, Record> records;
+  };
+
+  static constexpr size_t kNumShards = 64;
+
+  Shard& ShardFor(MicroblogId id);
+  const Shard& ShardFor(MicroblogId id) const;
+
+  MemoryTracker* tracker_;
+  std::vector<Shard> shards_;
+  std::atomic<size_t> size_{0};
+  std::atomic<size_t> bytes_{0};
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_STORAGE_RAW_STORE_H_

@@ -1,0 +1,106 @@
+#include "storage/serde.h"
+
+#include <cstring>
+
+namespace kflush {
+
+namespace {
+
+template <typename T>
+void PutRaw(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool GetRaw(const char*& p, const char* end, T* value) {
+  if (static_cast<size_t>(end - p) < sizeof(T)) return false;
+  std::memcpy(value, p, sizeof(T));
+  p += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+void EncodeMicroblog(const Microblog& blog, std::string* out) {
+  const size_t len_pos = out->size();
+  PutRaw<uint32_t>(out, 0);  // payload_len placeholder
+  const size_t payload_start = out->size();
+
+  PutRaw<uint64_t>(out, blog.id);
+  PutRaw<uint64_t>(out, blog.created_at);
+  PutRaw<uint64_t>(out, blog.user_id);
+  PutRaw<uint32_t>(out, blog.follower_count);
+  PutRaw<uint8_t>(out, blog.has_location ? 1 : 0);
+  if (blog.has_location) {
+    PutRaw<double>(out, blog.location.lat);
+    PutRaw<double>(out, blog.location.lon);
+  }
+  PutRaw<uint16_t>(out, static_cast<uint16_t>(blog.keywords.size()));
+  for (KeywordId kw : blog.keywords) PutRaw<uint32_t>(out, kw);
+  PutRaw<uint32_t>(out, static_cast<uint32_t>(blog.text.size()));
+  out->append(blog.text);
+
+  const uint32_t payload_len =
+      static_cast<uint32_t>(out->size() - payload_start);
+  std::memcpy(out->data() + len_pos, &payload_len, sizeof(payload_len));
+}
+
+Status DecodeMicroblog(const char* data, size_t len, Microblog* out,
+                       size_t* consumed) {
+  const char* p = data;
+  const char* end = data + len;
+
+  uint32_t payload_len = 0;
+  if (!GetRaw(p, end, &payload_len)) {
+    return Status::Corruption("truncated record header");
+  }
+  if (static_cast<size_t>(end - p) < payload_len) {
+    return Status::Corruption("truncated record payload");
+  }
+  const char* payload_end = p + payload_len;
+
+  Microblog blog;
+  uint8_t flags = 0;
+  uint16_t num_keywords = 0;
+  uint32_t text_len = 0;
+  if (!GetRaw(p, payload_end, &blog.id) ||
+      !GetRaw(p, payload_end, &blog.created_at) ||
+      !GetRaw(p, payload_end, &blog.user_id) ||
+      !GetRaw(p, payload_end, &blog.follower_count) ||
+      !GetRaw(p, payload_end, &flags)) {
+    return Status::Corruption("truncated record fields");
+  }
+  blog.has_location = (flags & 1) != 0;
+  if (blog.has_location) {
+    if (!GetRaw(p, payload_end, &blog.location.lat) ||
+        !GetRaw(p, payload_end, &blog.location.lon)) {
+      return Status::Corruption("truncated location");
+    }
+  }
+  if (!GetRaw(p, payload_end, &num_keywords)) {
+    return Status::Corruption("truncated keyword count");
+  }
+  blog.keywords.resize(num_keywords);
+  for (uint16_t i = 0; i < num_keywords; ++i) {
+    if (!GetRaw(p, payload_end, &blog.keywords[i])) {
+      return Status::Corruption("truncated keywords");
+    }
+  }
+  if (!GetRaw(p, payload_end, &text_len)) {
+    return Status::Corruption("truncated text length");
+  }
+  if (static_cast<size_t>(payload_end - p) < text_len) {
+    return Status::Corruption("truncated text");
+  }
+  blog.text.assign(p, text_len);
+  p += text_len;
+  if (p != payload_end) {
+    return Status::Corruption("record payload has trailing bytes");
+  }
+
+  *out = std::move(blog);
+  *consumed = static_cast<size_t>(p - data);
+  return Status::OK();
+}
+
+}  // namespace kflush

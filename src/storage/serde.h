@@ -1,0 +1,32 @@
+// Binary (de)serialization of microblog records: the on-disk segment record
+// format used by FileDiskStore and the trace file format used by gen/trace.
+//
+// Record layout (little-endian):
+//   u32 payload_len (bytes after this field)
+//   u64 id | u64 created_at | u64 user_id | u32 follower_count
+//   u8  flags (bit 0: has_location)
+//   f64 lat | f64 lon          (present only when has_location)
+//   u16 num_keywords | u32 keyword_id ×n
+//   u32 text_len | text bytes
+
+#ifndef KFLUSH_STORAGE_SERDE_H_
+#define KFLUSH_STORAGE_SERDE_H_
+
+#include <string>
+
+#include "model/microblog.h"
+#include "util/status.h"
+
+namespace kflush {
+
+/// Appends the encoded record to `*out`.
+void EncodeMicroblog(const Microblog& blog, std::string* out);
+
+/// Decodes one record starting at `data`; on success sets `*consumed` to
+/// the total encoded length. Returns Corruption on malformed input.
+Status DecodeMicroblog(const char* data, size_t len, Microblog* out,
+                       size_t* consumed);
+
+}  // namespace kflush
+
+#endif  // KFLUSH_STORAGE_SERDE_H_

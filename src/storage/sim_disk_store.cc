@@ -1,0 +1,76 @@
+#include "storage/sim_disk_store.h"
+
+#include <algorithm>
+
+namespace kflush {
+
+Status SimDiskStore::AddPosting(TermId term, MicroblogId id, double score) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& list = postings_[term];
+  // Insert keeping descending score order; drop exact duplicates (a record
+  // may be re-registered if it was trimmed from an entry and later the
+  // whole record is flushed).
+  auto it = std::upper_bound(
+      list.begin(), list.end(), score,
+      [](double s, const Posting& p) { return s > p.score; });
+  // Scan the equal-score run for a duplicate id.
+  for (auto dup = it;
+       dup != list.begin() && (dup - 1)->score == score; --dup) {
+    if ((dup - 1)->id == id) return Status::OK();
+  }
+  list.insert(it, Posting{id, score});
+  ++num_postings_;
+  ++stats_.postings_added;
+  return Status::OK();
+}
+
+Status SimDiskStore::WriteBatch(std::vector<Microblog> batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.write_batches;
+  for (Microblog& blog : batch) {
+    stats_.record_bytes_written += blog.FootprintBytes();
+    ++stats_.records_written;
+    records_[blog.id] = std::move(blog);
+  }
+  return Status::OK();
+}
+
+Status SimDiskStore::QueryTerm(TermId term, size_t limit,
+                               std::vector<Posting>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.term_queries;
+  auto it = postings_.find(term);
+  if (it == postings_.end()) return Status::OK();
+  const auto& list = it->second;
+  const size_t n = std::min(limit, list.size());
+  out->insert(out->end(), list.begin(), list.begin() + static_cast<ptrdiff_t>(n));
+  return Status::OK();
+}
+
+Status SimDiskStore::GetRecord(MicroblogId id, Microblog* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.records_read;
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("record not on disk");
+  }
+  *out = it->second;
+  return Status::OK();
+}
+
+DiskStats SimDiskStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t SimDiskStore::NumRecords() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+size_t SimDiskStore::NumPostings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_postings_;
+}
+
+}  // namespace kflush

@@ -1,0 +1,19 @@
+#include "util/clock.h"
+
+#include <chrono>
+
+namespace kflush {
+
+Timestamp WallClock::NowMicros() const {
+  return static_cast<Timestamp>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+WallClock* WallClock::Default() {
+  static WallClock clock;
+  return &clock;
+}
+
+}  // namespace kflush

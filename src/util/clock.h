@@ -1,0 +1,80 @@
+// Clock abstractions. The store timestamps arrivals and query accesses; for
+// reproducible experiments the simulation advances a logical clock, while
+// throughput measurements use the wall clock.
+
+#ifndef KFLUSH_UTIL_CLOCK_H_
+#define KFLUSH_UTIL_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace kflush {
+
+/// Microseconds since an arbitrary epoch.
+using Timestamp = uint64_t;
+
+constexpr Timestamp kMicrosPerSecond = 1'000'000;
+constexpr Timestamp kMicrosPerMilli = 1'000;
+
+/// Source of timestamps.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds.
+  virtual Timestamp NowMicros() const = 0;
+};
+
+/// Monotonic wall clock (steady_clock based).
+class WallClock : public Clock {
+ public:
+  Timestamp NowMicros() const override;
+
+  /// Process-wide singleton.
+  static WallClock* Default();
+};
+
+/// A manually advanced logical clock. Thread-safe: ingest advances it, the
+/// flushing and query threads read it.
+class SimClock : public Clock {
+ public:
+  explicit SimClock(Timestamp start = 0) : now_(start) {}
+
+  Timestamp NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  /// Advances by `delta` microseconds; returns the new time.
+  Timestamp Advance(Timestamp delta) {
+    return now_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  }
+
+  void Set(Timestamp t) { now_.store(t, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<Timestamp> now_;
+};
+
+/// Scoped wall-time stopwatch for throughput/latency measurements.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = WallClock::Default()->NowMicros(); }
+
+  /// Elapsed microseconds since construction or last Restart().
+  Timestamp ElapsedMicros() const {
+    return WallClock::Default()->NowMicros() - start_;
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / kMicrosPerSecond;
+  }
+
+ private:
+  Timestamp start_;
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_UTIL_CLOCK_H_

@@ -1,0 +1,84 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace kflush {
+
+Histogram::Histogram()
+    : count_(0), sum_(0), min_(~0ULL), max_(0), buckets_(kNumBuckets, 0) {}
+
+// Exponential buckets: 0..15 linear, then doubling ranges split in 8.
+uint64_t Histogram::LowerBound(int bucket) {
+  if (bucket < 16) return static_cast<uint64_t>(bucket);
+  const int shift = (bucket - 16) / 8;
+  const int sub = (bucket - 16) % 8;
+  const uint64_t base = 16ULL << shift;
+  return base + (static_cast<uint64_t>(sub) * base) / 8;
+}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < 16) return static_cast<int>(value);
+  int shift = 0;
+  while ((32ULL << shift) <= value && shift < 56) ++shift;
+  const uint64_t base = 16ULL << shift;
+  int sub = static_cast<int>(((value - base) * 8) / base);
+  if (sub > 7) sub = 7;
+  int b = 16 + shift * 8 + sub;
+  return b >= kNumBuckets ? kNumBuckets - 1 : b;
+}
+
+void Histogram::Record(uint64_t value) {
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  buckets_[BucketFor(value)]++;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  assert(p >= 0.0 && p <= 100.0);
+  const uint64_t target =
+      static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_) + 0.5);
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      // Midpoint of the bucket, clamped to observed extremes.
+      uint64_t lo = LowerBound(i);
+      uint64_t hi = (i + 1 < kNumBuckets) ? LowerBound(i + 1) : max_;
+      uint64_t mid = lo + (hi - lo) / 2;
+      return std::clamp(mid, min(), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << mean() << " p50=" << Percentile(50)
+     << " p95=" << Percentile(95) << " p99=" << Percentile(99)
+     << " max=" << max_;
+  return os.str();
+}
+
+}  // namespace kflush

@@ -1,0 +1,53 @@
+// Simple streaming histogram for latency / size distributions, with
+// percentile estimation over exponential buckets (HdrHistogram-lite).
+
+#ifndef KFLUSH_UTIL_HISTOGRAM_H_
+#define KFLUSH_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kflush {
+
+/// Records non-negative integer samples (e.g. microseconds, bytes) and
+/// reports count/mean/min/max and approximate percentiles. Not thread-safe;
+/// each thread records into its own histogram and merges.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  }
+  uint64_t sum() const { return sum_; }
+
+  /// Approximate value at percentile p in [0, 100].
+  uint64_t Percentile(double p) const;
+
+  /// "count=... mean=... p50=... p99=... max=..."
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 128;
+  // Bucket i covers [LowerBound(i), LowerBound(i+1)).
+  static uint64_t LowerBound(int bucket);
+  static int BucketFor(uint64_t value);
+
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_UTIL_HISTOGRAM_H_

@@ -1,0 +1,39 @@
+// Minimal leveled logger. Experiments run at kWarn by default so benchmark
+// output stays clean; set KFLUSH_LOG_LEVEL or call SetLogLevel for debugging.
+
+#ifndef KFLUSH_UTIL_LOGGING_H_
+#define KFLUSH_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace kflush {
+
+enum class LogLevel : int { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+}  // namespace internal
+
+#define KFLUSH_LOG(level, msg_expr)                                        \
+  do {                                                                     \
+    if (static_cast<int>(level) >=                                         \
+        static_cast<int>(::kflush::GetLogLevel())) {                       \
+      std::ostringstream _os;                                              \
+      _os << msg_expr;                                                     \
+      ::kflush::internal::LogMessage(level, __FILE__, __LINE__, _os.str());\
+    }                                                                      \
+  } while (0)
+
+#define KFLUSH_DEBUG(msg) KFLUSH_LOG(::kflush::LogLevel::kDebug, msg)
+#define KFLUSH_INFO(msg) KFLUSH_LOG(::kflush::LogLevel::kInfo, msg)
+#define KFLUSH_WARN(msg) KFLUSH_LOG(::kflush::LogLevel::kWarn, msg)
+#define KFLUSH_ERROR(msg) KFLUSH_LOG(::kflush::LogLevel::kError, msg)
+
+}  // namespace kflush
+
+#endif  // KFLUSH_UTIL_LOGGING_H_

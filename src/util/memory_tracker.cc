@@ -1,0 +1,66 @@
+#include "util/memory_tracker.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace kflush {
+
+namespace {
+const char* ComponentName(MemoryComponent c) {
+  switch (c) {
+    case MemoryComponent::kRawStore:
+      return "raw_store";
+    case MemoryComponent::kIndex:
+      return "index";
+    case MemoryComponent::kPolicyOverhead:
+      return "policy_overhead";
+    case MemoryComponent::kFlushBuffer:
+      return "flush_buffer";
+    case MemoryComponent::kNumComponents:
+      break;
+  }
+  return "unknown";
+}
+}  // namespace
+
+MemoryTracker::MemoryTracker(size_t budget_bytes)
+    : budget_(budget_bytes), used_(0) {
+  assert(budget_bytes > 0);
+  for (auto& c : per_component_) c.store(0, std::memory_order_relaxed);
+}
+
+void MemoryTracker::Charge(MemoryComponent component, size_t bytes) {
+  used_.fetch_add(bytes, std::memory_order_relaxed);
+  per_component_[static_cast<int>(component)].fetch_add(
+      bytes, std::memory_order_relaxed);
+}
+
+void MemoryTracker::Release(MemoryComponent component, size_t bytes) {
+  size_t prev = used_.fetch_sub(bytes, std::memory_order_relaxed);
+  (void)prev;
+  assert(prev >= bytes && "releasing more than charged");
+  size_t prev_c = per_component_[static_cast<int>(component)].fetch_sub(
+      bytes, std::memory_order_relaxed);
+  (void)prev_c;
+  assert(prev_c >= bytes && "releasing more than charged to component");
+}
+
+size_t MemoryTracker::ComponentUsed(MemoryComponent component) const {
+  return per_component_[static_cast<int>(component)].load(
+      std::memory_order_relaxed);
+}
+
+std::string MemoryTracker::ToString() const {
+  std::ostringstream os;
+  os << "memory " << used() << "/" << budget_ << " bytes (";
+  for (int i = 0; i < static_cast<int>(MemoryComponent::kNumComponents);
+       ++i) {
+    if (i > 0) os << ", ";
+    os << ComponentName(static_cast<MemoryComponent>(i)) << "="
+       << per_component_[i].load(std::memory_order_relaxed);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace kflush

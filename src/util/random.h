@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation. All stochastic components
+// (stream generators, workload generators) draw from a seeded Rng so that
+// experiments are reproducible run-to-run.
+
+#ifndef KFLUSH_UTIL_RANDOM_H_
+#define KFLUSH_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kflush {
+
+/// xoshiro256** PRNG: fast, high-quality, 64-bit state-splittable generator.
+/// Not cryptographically secure (nothing here needs to be).
+class Rng {
+ public:
+  /// Seeds the generator; the same seed always yields the same sequence.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform value in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform value in [lo, hi]. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Standard-normal variate (Box-Muller).
+  double NextGaussian();
+
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p);
+
+  /// Geometric-ish skewed small counts: returns 1 + Binomial-ish extra terms.
+  /// Used for e.g. "number of hashtags in a tweet".
+  uint32_t OneNPlusGeometric(double p_more, uint32_t max_n);
+
+  /// Returns an Rng seeded from this one's stream; use to give each
+  /// component an independent deterministic stream.
+  Rng Split();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_UTIL_RANDOM_H_

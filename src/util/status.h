@@ -1,0 +1,147 @@
+// Status / Result error-handling primitives, in the style used throughout
+// database codebases (RocksDB, Arrow): fallible operations return a Status
+// (or a Result<T> carrying a value), never throw.
+
+#ifndef KFLUSH_UTIL_STATUS_H_
+#define KFLUSH_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace kflush {
+
+/// Error category for a failed operation.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfMemory,
+  kIOError,
+  kCorruption,
+  kNotSupported,
+  kResourceExhausted,
+  kAborted,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code`, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+/// OK statuses carry no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error sum type. Accessing the value of an errored Result is a
+/// programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  /* implicit */ Result(T value) : value_(std::move(value)) {}
+  /* implicit */ Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "use Result(T) for success values");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` if errored.
+  T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define KFLUSH_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::kflush::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace kflush
+
+#endif  // KFLUSH_UTIL_STATUS_H_

@@ -1,0 +1,3 @@
+#include "util/thread_util.h"
+
+// Header-only helpers; this translation unit anchors the library target.

@@ -1,0 +1,128 @@
+#include "util/zipf.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace kflush {
+
+// --- ZipfGenerator (rejection-inversion, Hormann & Derflinger 1996) ---
+//
+// We sample from the density proportional to x^{-s} on [0.5, n + 0.5] via
+// the integral H(x) = ((x)^{1-s} - 1) / (1 - s) (or log x when s == 1),
+// inverted analytically, with rejection to correct the discretization.
+
+namespace {
+// (exp(x * log v) - 1) / x, stable as x -> 0.
+double ExpM1Over(double x, double log_v) {
+  if (std::abs(x * log_v) > 1e-8) {
+    return std::expm1(x * log_v) / x;
+  }
+  return log_v * (1.0 + 0.5 * x * log_v);
+}
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double s) : n_(n), s_(s) {
+  assert(n >= 1);
+  assert(s >= 0.0);
+  h_integral_x1_ = H(1.5) - 1.0;
+  h_integral_n_ = H(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -s));
+}
+
+double ZipfGenerator::H(double x) const {
+  // Integral of t^{-s} dt, anchored so H works with HInverse below.
+  const double log_x = std::log(x);
+  return ExpM1Over(1.0 - s_, log_x);
+}
+
+double ZipfGenerator::HInverse(double x) const {
+  double t = x * (1.0 - s_);
+  if (t < -1.0) t = -1.0;  // numerical guard near the head of the domain
+  // log1p(t) / t, stable as t -> 0 (which happens when s == 1).
+  double log1p_over_t;
+  if (std::abs(t) > 1e-8) {
+    log1p_over_t = std::log1p(t) / t;
+  } else {
+    log1p_over_t = 1.0 - 0.5 * t + t * t / 3.0;
+  }
+  return std::exp(log1p_over_t * x);
+}
+
+uint64_t ZipfGenerator::Sample(Rng* rng) const {
+  if (n_ == 1) return 0;
+  if (s_ == 0.0) return rng->Uniform(n_);
+  while (true) {
+    const double u =
+        h_integral_n_ + rng->NextDouble() * (h_integral_x1_ - h_integral_n_);
+    const double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    } else if (k > n_) {
+      k = n_;
+    }
+    const double kd = static_cast<double>(k);
+    if (kd - x <= threshold_ ||
+        u >= H(kd + 0.5) - std::exp(-std::log(kd) * s_)) {
+      return k - 1;  // 0-based rank
+    }
+  }
+}
+
+double ZipfGenerator::Probability(uint64_t rank) const {
+  assert(rank < n_);
+  if (harmonic_ < 0.0) {
+    double h = 0.0;
+    for (uint64_t i = 1; i <= n_; ++i) h += std::pow(static_cast<double>(i), -s_);
+    harmonic_ = h;
+  }
+  return std::pow(static_cast<double>(rank + 1), -s_) / harmonic_;
+}
+
+// --- AliasTable (Walker / Vose) ---
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  const size_t n = weights.size();
+  prob_.resize(n);
+  alias_.resize(n);
+
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+uint64_t AliasTable::Sample(Rng* rng) const {
+  const uint64_t i = rng->Uniform(prob_.size());
+  return rng->NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace kflush

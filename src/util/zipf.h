@@ -1,0 +1,75 @@
+// Zipf-distributed sampling over a finite rank space.
+//
+// The keyword (hashtag), user, and spatial popularity distributions of real
+// microblog streams are heavily skewed; the paper's entire premise (75% of
+// memory holds "useless" beyond-top-k postings at k=20) follows from that
+// skew. We model it with a Zipf law, the standard model for hashtag and
+// user-activity frequencies.
+
+#ifndef KFLUSH_UTIL_ZIPF_H_
+#define KFLUSH_UTIL_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace kflush {
+
+/// Samples ranks in [0, n) with P(rank = i) proportional to 1 / (i+1)^s.
+///
+/// Uses Rejection-Inversion sampling (Hormann & Derflinger 1996), which is
+/// O(1) per sample and exact for any n, so vocabularies of millions of
+/// keywords cost no setup beyond a few constants.
+class ZipfGenerator {
+ public:
+  /// `n` is the number of distinct items (must be >= 1); `s` is the skew
+  /// exponent (s = 0 is uniform; hashtags empirically fit s in [0.9, 1.2]).
+  ZipfGenerator(uint64_t n, double s);
+
+  /// Draws one rank in [0, n); rank 0 is the most popular item.
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+  /// Exact probability of rank i (computed on demand; O(n) the first call
+  /// because of the normalization constant, then cached).
+  double Probability(uint64_t rank) const;
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_integral_x1_;  // H(1.5) - 1
+  double h_integral_n_;   // H(n + 0.5)
+  double threshold_;      // 2 - HInverse(H(2.5) - pow(2, -s))
+  mutable double harmonic_ = -1.0;  // generalized harmonic number (lazy)
+};
+
+/// A discrete distribution over arbitrary weights, sampled in O(1) via
+/// Walker's alias method. Used when the workload must match an *empirical*
+/// frequency table (e.g. the correlated query load drawn from the realized
+/// stream) rather than an analytic law.
+class AliasTable {
+ public:
+  /// Builds the table from non-negative weights; at least one weight must be
+  /// positive.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draws an index in [0, weights.size()).
+  uint64_t Sample(Rng* rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_UTIL_ZIPF_H_

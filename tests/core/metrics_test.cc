@@ -1,0 +1,77 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace kflush {
+namespace {
+
+TEST(QueryMetricsTest, EmptySnapshot) {
+  QueryMetrics metrics;
+  auto snap = metrics.Snapshot();
+  EXPECT_EQ(snap.queries, 0u);
+  EXPECT_DOUBLE_EQ(snap.HitRatio(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.HitRatioFor(QueryType::kAnd), 0.0);
+}
+
+TEST(QueryMetricsTest, RecordsByType) {
+  QueryMetrics metrics;
+  metrics.Record(QueryType::kSingle, true, 0, 10);
+  metrics.Record(QueryType::kSingle, false, 1, 20);
+  metrics.Record(QueryType::kAnd, true, 0, 30);
+  metrics.Record(QueryType::kOr, false, 2, 40);
+  auto snap = metrics.Snapshot();
+  EXPECT_EQ(snap.queries, 4u);
+  EXPECT_EQ(snap.memory_hits, 2u);
+  EXPECT_EQ(snap.memory_misses, 2u);
+  EXPECT_EQ(snap.disk_term_reads, 3u);
+  EXPECT_DOUBLE_EQ(snap.HitRatio(), 0.5);
+  EXPECT_DOUBLE_EQ(snap.HitRatioFor(QueryType::kSingle), 0.5);
+  EXPECT_DOUBLE_EQ(snap.HitRatioFor(QueryType::kAnd), 1.0);
+  EXPECT_DOUBLE_EQ(snap.HitRatioFor(QueryType::kOr), 0.0);
+  EXPECT_EQ(snap.latency_micros.count(), 4u);
+}
+
+TEST(QueryMetricsTest, ResetClears) {
+  QueryMetrics metrics;
+  metrics.Record(QueryType::kSingle, true, 0, 10);
+  metrics.Reset();
+  EXPECT_EQ(metrics.Snapshot().queries, 0u);
+}
+
+TEST(QueryMetricsTest, ConcurrentRecording) {
+  QueryMetrics metrics;
+  constexpr int kThreads = 8;
+  constexpr int kEach = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&metrics] {
+      for (int i = 0; i < kEach; ++i) {
+        metrics.Record(QueryType::kSingle, i % 2 == 0, 0, 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  auto snap = metrics.Snapshot();
+  EXPECT_EQ(snap.queries, static_cast<uint64_t>(kThreads) * kEach);
+  EXPECT_EQ(snap.memory_hits, snap.memory_misses);
+}
+
+TEST(QueryMetricsTest, ToStringHasRates) {
+  QueryMetrics metrics;
+  metrics.Record(QueryType::kSingle, true, 0, 10);
+  const std::string s = metrics.Snapshot().ToString();
+  EXPECT_NE(s.find("queries=1"), std::string::npos);
+  EXPECT_NE(s.find("hit_ratio="), std::string::npos);
+}
+
+TEST(QueryTypeNameTest, Names) {
+  EXPECT_STREQ(QueryTypeName(QueryType::kSingle), "single");
+  EXPECT_STREQ(QueryTypeName(QueryType::kAnd), "AND");
+  EXPECT_STREQ(QueryTypeName(QueryType::kOr), "OR");
+}
+
+}  // namespace
+}  // namespace kflush

@@ -1,0 +1,110 @@
+#include "core/multi_store.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/test_util.h"
+#include "gen/tweet_generator.h"
+
+namespace kflush {
+namespace {
+
+MultiStoreOptions SmallMultiOptions() {
+  MultiStoreOptions options;
+  options.total_memory_budget_bytes = 3 << 20;
+  options.k = 5;
+  options.policy = PolicyKind::kKFlushing;
+  return options;
+}
+
+TEST(MultiAttributeStoreTest, InsertFansOutToAllAttributes) {
+  MultiAttributeStore store(SmallMultiOptions());
+  GeoPoint loc{44.97, -93.26};
+  ASSERT_TRUE(store.InsertText("hello #nba fans", 42, 10, &loc).ok());
+  EXPECT_EQ(store.keyword_store()->ingest_stats().inserted, 1u);
+  EXPECT_EQ(store.spatial_store()->ingest_stats().inserted, 1u);
+  EXPECT_EQ(store.user_store()->ingest_stats().inserted, 1u);
+}
+
+TEST(MultiAttributeStoreTest, SharedIdsAcrossStores) {
+  MultiAttributeStore store(SmallMultiOptions());
+  GeoPoint loc{44.97, -93.26};
+  ASSERT_TRUE(store.InsertText("#one", 1, 0, &loc).ok());
+  ASSERT_TRUE(store.InsertText("#two", 2, 0, &loc).ok());
+  auto kw = store.SearchKeywords({"two"}, QueryType::kSingle);
+  ASSERT_TRUE(kw.ok());
+  ASSERT_EQ(kw->results.size(), 1u);
+  const MicroblogId id = kw->results[0].id;
+  auto user = store.SearchUser(2);
+  ASSERT_TRUE(user.ok());
+  ASSERT_EQ(user->results.size(), 1u);
+  EXPECT_EQ(user->results[0].id, id);  // same record id in both indexes
+}
+
+TEST(MultiAttributeStoreTest, NoLocationSkipsSpatialOnly) {
+  MultiAttributeStore store(SmallMultiOptions());
+  ASSERT_TRUE(store.InsertText("#tag only", 7, 0, nullptr).ok());
+  EXPECT_EQ(store.keyword_store()->ingest_stats().inserted, 1u);
+  EXPECT_EQ(store.spatial_store()->ingest_stats().skipped_no_terms, 1u);
+  EXPECT_EQ(store.user_store()->ingest_stats().inserted, 1u);
+}
+
+TEST(MultiAttributeStoreTest, AllThreeQueryPathsAnswer) {
+  MultiAttributeStore store(SmallMultiOptions());
+  GeoPoint loc{40.0, -90.0};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store.InsertText("game night #nba", 5, 0, &loc).ok());
+  }
+  auto kw = store.SearchKeywords({"nba"}, QueryType::kSingle);
+  ASSERT_TRUE(kw.ok());
+  EXPECT_TRUE(kw->memory_hit);
+  EXPECT_EQ(kw->results.size(), 5u);
+
+  auto spatial = store.SearchLocation(40.0, -90.0);
+  ASSERT_TRUE(spatial.ok());
+  EXPECT_TRUE(spatial->memory_hit);
+
+  auto area = store.SearchArea(39.9, -90.1, 40.1, -89.9);
+  ASSERT_TRUE(area.ok());
+  EXPECT_EQ(area->results.size(), 5u);
+
+  auto user = store.SearchUser(5);
+  ASSERT_TRUE(user.ok());
+  EXPECT_TRUE(user->memory_hit);
+}
+
+TEST(MultiAttributeStoreTest, BudgetsSplitAndEnforced) {
+  MultiStoreOptions options = SmallMultiOptions();
+  MultiAttributeStore store(options);
+  EXPECT_EQ(store.keyword_store()->options().memory_budget_bytes,
+            options.total_memory_budget_bytes / 2);
+  EXPECT_EQ(store.spatial_store()->options().memory_budget_bytes,
+            options.total_memory_budget_bytes / 4);
+
+  // Stream enough to overflow every slice; each store must flush and stay
+  // near its own budget.
+  TweetGeneratorOptions stream;
+  stream.seed = 3;
+  stream.vocabulary_size = 10'000;
+  TweetGenerator gen(stream);
+  for (int i = 0; i < 40'000; ++i) {
+    ASSERT_TRUE(store.Insert(gen.Next()).ok());
+  }
+  EXPECT_GT(store.keyword_store()->ingest_stats().flush_triggers, 0u);
+  EXPECT_GT(store.spatial_store()->ingest_stats().flush_triggers, 0u);
+  EXPECT_GT(store.user_store()->ingest_stats().flush_triggers, 0u);
+  EXPECT_LT(store.DataUsed(), options.total_memory_budget_bytes * 2);
+}
+
+TEST(MultiAttributeStoreTest, EnginesKeepSeparateMetrics) {
+  MultiAttributeStore store(SmallMultiOptions());
+  GeoPoint loc{40.0, -90.0};
+  ASSERT_TRUE(store.InsertText("#x", 1, 0, &loc).ok());
+  ASSERT_TRUE(store.SearchKeywords({"x"}, QueryType::kSingle).ok());
+  ASSERT_TRUE(store.SearchUser(1).ok());
+  EXPECT_EQ(store.keyword_engine()->metrics().queries, 1u);
+  EXPECT_EQ(store.user_engine()->metrics().queries, 1u);
+  EXPECT_EQ(store.spatial_engine()->metrics().queries, 0u);
+}
+
+}  // namespace
+}  // namespace kflush

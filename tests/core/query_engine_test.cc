@@ -1,0 +1,199 @@
+#include "core/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/test_util.h"
+
+namespace kflush {
+namespace {
+
+using testing_util::MakeBlog;
+using testing_util::SmallStoreOptions;
+
+constexpr uint32_t kK = 5;
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  QueryEngineTest()
+      : store_(SmallStoreOptions(PolicyKind::kKFlushing, 1 << 20, kK)),
+        engine_(&store_) {}
+
+  void Ingest(MicroblogId id, Timestamp ts, std::vector<KeywordId> kws) {
+    ASSERT_TRUE(store_.Insert(MakeBlog(id, ts, std::move(kws))).ok());
+  }
+
+  TopKQuery Single(TermId term) {
+    TopKQuery q;
+    q.terms = {term};
+    q.type = QueryType::kSingle;
+    return q;
+  }
+
+  TopKQuery Multi(QueryType type, TermId a, TermId b) {
+    TopKQuery q;
+    q.terms = {a, b};
+    q.type = type;
+    return q;
+  }
+
+  MicroblogStore store_;
+  QueryEngine engine_;
+};
+
+TEST_F(QueryEngineTest, SingleHitWhenKInMemory) {
+  for (MicroblogId id = 1; id <= 8; ++id) Ingest(id, id * 10, {1});
+  auto result = engine_.Execute(Single(1));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->memory_hit);
+  ASSERT_EQ(result->results.size(), kK);
+  EXPECT_EQ(result->results[0].id, 8u);  // most recent first
+  EXPECT_EQ(result->results[4].id, 4u);
+  EXPECT_EQ(result->from_memory, kK);
+  EXPECT_EQ(result->from_disk, 0u);
+}
+
+TEST_F(QueryEngineTest, SingleMissWhenUnderK) {
+  for (MicroblogId id = 1; id <= 3; ++id) Ingest(id, id * 10, {1});
+  auto result = engine_.Execute(Single(1));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->memory_hit);
+  EXPECT_EQ(result->results.size(), 3u);  // disk has nothing more
+}
+
+TEST_F(QueryEngineTest, SingleMissCompletesFromDisk) {
+  // Fill keyword 1 beyond k, flush so the tail moves to disk, then
+  // shrink the memory side by querying a different k.
+  for (MicroblogId id = 1; id <= 12; ++id) Ingest(id, id * 10, {1});
+  store_.FlushOnce();  // trims to k=5 in memory, 7 postings on disk
+  TopKQuery q = Single(1);
+  q.k = 10;  // ask for more than memory holds
+  auto result = engine_.Execute(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->memory_hit);
+  ASSERT_EQ(result->results.size(), 10u);
+  // Merged answer is the true top-10 by recency: ids 12..3 in order.
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(result->results[i].id, 12 - i);
+  }
+  EXPECT_GT(result->from_disk, 0u);
+}
+
+TEST_F(QueryEngineTest, UnknownTermIsMissWithEmptyAnswer) {
+  auto result = engine_.Execute(Single(404));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->memory_hit);
+  EXPECT_TRUE(result->results.empty());
+}
+
+TEST_F(QueryEngineTest, OrHitRequiresAllTermsKFilled) {
+  for (MicroblogId id = 1; id <= 6; ++id) Ingest(id, id * 10, {1});
+  for (MicroblogId id = 11; id <= 16; ++id) Ingest(id, id * 10, {2});
+  auto hit = engine_.Execute(Multi(QueryType::kOr, 1, 2));
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->memory_hit);
+  ASSERT_EQ(hit->results.size(), kK);
+  // Union top-5 by recency: ids 16..12.
+  EXPECT_EQ(hit->results[0].id, 16u);
+  EXPECT_EQ(hit->results[4].id, 12u);
+
+  // One under-k term makes it a miss.
+  Ingest(100, 5, {3});
+  auto miss = engine_.Execute(Multi(QueryType::kOr, 1, 3));
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss->memory_hit);
+  EXPECT_EQ(miss->results.size(), kK);  // still answerable
+}
+
+TEST_F(QueryEngineTest, OrDeduplicatesSharedRecords) {
+  for (MicroblogId id = 1; id <= 6; ++id) Ingest(id, id * 10, {1, 2});
+  auto result = engine_.Execute(Multi(QueryType::kOr, 1, 2));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->results.size(), kK);
+  std::set<MicroblogId> distinct;
+  for (const auto& blog : result->results) distinct.insert(blog.id);
+  EXPECT_EQ(distinct.size(), kK);
+}
+
+TEST_F(QueryEngineTest, AndHitOnSharedRecords) {
+  for (MicroblogId id = 1; id <= 6; ++id) Ingest(id, id * 10, {1, 2});
+  Ingest(100, 5, {1});  // in 1 only
+  auto result = engine_.Execute(Multi(QueryType::kAnd, 1, 2));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->memory_hit);
+  ASSERT_EQ(result->results.size(), kK);
+  for (const auto& blog : result->results) {
+    EXPECT_NE(blog.id, 100u);
+    EXPECT_EQ(blog.keywords, (std::vector<KeywordId>{1, 2}));
+  }
+}
+
+TEST_F(QueryEngineTest, AndMissWhenIntersectionThin) {
+  for (MicroblogId id = 1; id <= 6; ++id) Ingest(id, id * 10, {1});
+  for (MicroblogId id = 11; id <= 16; ++id) Ingest(id, id * 10, {2});
+  Ingest(100, 500, {1, 2});  // only shared record
+  auto result = engine_.Execute(Multi(QueryType::kAnd, 1, 2));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->memory_hit);
+  ASSERT_EQ(result->results.size(), 1u);
+  EXPECT_EQ(result->results[0].id, 100u);
+}
+
+TEST_F(QueryEngineTest, AndMissMergesDiskSide) {
+  // Shared records pushed beyond top-k of keyword 1 and flushed from its
+  // in-memory entry; AND must recover them via disk.
+  for (MicroblogId id = 1; id <= 4; ++id) Ingest(id, id, {1, 2});
+  for (MicroblogId id = 10; id <= 19; ++id) Ingest(id, id * 10, {1});
+  store_.FlushOnce();  // keyword 1 trimmed to top-5 (ids 15..19)
+  auto result = engine_.Execute(Multi(QueryType::kAnd, 1, 2));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->memory_hit);
+  ASSERT_EQ(result->results.size(), 4u);  // ids 1..4 recovered
+  EXPECT_EQ(result->results[0].id, 4u);
+}
+
+TEST_F(QueryEngineTest, ValidationErrors) {
+  TopKQuery empty;
+  EXPECT_FALSE(engine_.Execute(empty).ok());
+  TopKQuery multi_single;
+  multi_single.terms = {1, 2};
+  multi_single.type = QueryType::kSingle;
+  EXPECT_FALSE(engine_.Execute(multi_single).ok());
+}
+
+TEST_F(QueryEngineTest, MetricsTrackHitsAndTypes) {
+  for (MicroblogId id = 1; id <= 6; ++id) Ingest(id, id * 10, {1});
+  ASSERT_TRUE(engine_.Execute(Single(1)).ok());   // hit
+  ASSERT_TRUE(engine_.Execute(Single(99)).ok());  // miss
+  ASSERT_TRUE(engine_.Execute(Multi(QueryType::kOr, 1, 99)).ok());  // miss
+  auto snap = engine_.metrics();
+  EXPECT_EQ(snap.queries, 3u);
+  EXPECT_EQ(snap.memory_hits, 1u);
+  EXPECT_EQ(snap.memory_misses, 2u);
+  EXPECT_DOUBLE_EQ(snap.HitRatio(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(snap.HitRatioFor(QueryType::kSingle), 0.5);
+  EXPECT_DOUBLE_EQ(snap.HitRatioFor(QueryType::kOr), 0.0);
+  EXPECT_GT(snap.disk_term_reads, 0u);
+  engine_.ResetMetrics();
+  EXPECT_EQ(engine_.metrics().queries, 0u);
+}
+
+TEST_F(QueryEngineTest, SearchKeywordsConvenience) {
+  ASSERT_TRUE(store_.InsertText("#breaking news", 1, 0).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store_.InsertText("#breaking again", 1, 0).ok());
+  }
+  auto result = engine_.SearchKeywords({"breaking"}, QueryType::kSingle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->memory_hit);
+  EXPECT_EQ(result->results.size(), kK);
+}
+
+TEST_F(QueryEngineTest, QueryUsesStoreDefaultK) {
+  for (MicroblogId id = 1; id <= 10; ++id) Ingest(id, id, {1});
+  auto result = engine_.Execute(Single(1));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->results.size(), static_cast<size_t>(store_.k()));
+}
+
+}  // namespace
+}  // namespace kflush

@@ -1,0 +1,66 @@
+#include "core/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/test_util.h"
+
+namespace kflush {
+namespace {
+
+using testing_util::MakeBlog;
+
+TEST(TemporalRankingTest, ScoreIsArrivalTime) {
+  TemporalRanking ranking;
+  EXPECT_DOUBLE_EQ(ranking.Score(MakeBlog(1, 1234, {})), 1234.0);
+  EXPECT_EQ(ranking.kind(), RankingKind::kTemporal);
+}
+
+TEST(TemporalRankingTest, NewerAlwaysWins) {
+  TemporalRanking ranking;
+  Microblog old_blog = MakeBlog(1, 100, {});
+  Microblog new_blog = MakeBlog(2, 200, {});
+  EXPECT_GT(ranking.Score(new_blog), ranking.Score(old_blog));
+}
+
+TEST(PopularityRankingTest, FollowersBoostScore) {
+  PopularityRanking ranking;
+  Microblog nobody = MakeBlog(1, 1000, {});
+  nobody.follower_count = 0;
+  Microblog celebrity = MakeBlog(2, 1000, {});
+  celebrity.follower_count = 1'000'000;
+  EXPECT_GT(ranking.Score(celebrity), ranking.Score(nobody));
+}
+
+TEST(PopularityRankingTest, BoostIsBounded) {
+  // A celebrity post from long ago still loses to a fresh post if the
+  // recency gap exceeds the follower boost.
+  PopularityRanking ranking(/*boost_micros=*/600e6);  // 10 min per doubling
+  Microblog celebrity = MakeBlog(1, 0, {});
+  celebrity.follower_count = 1'000'000;  // ~20 doublings -> ~200 min boost
+  Microblog fresh = MakeBlog(2, 86'400'000'000ULL, {});  // one day later
+  fresh.follower_count = 0;
+  EXPECT_GT(ranking.Score(fresh), ranking.Score(celebrity));
+}
+
+TEST(PopularityRankingTest, ScoreComputableOnArrival) {
+  // Same record, same score, always (the §IV-B requirement).
+  PopularityRanking ranking;
+  Microblog blog = MakeBlog(1, 1000, {});
+  blog.follower_count = 42;
+  const double s1 = ranking.Score(blog);
+  const double s2 = ranking.Score(blog);
+  EXPECT_DOUBLE_EQ(s1, s2);
+}
+
+TEST(MakeRankingTest, FactoryBuildsEveryKind) {
+  for (RankingKind kind : {RankingKind::kTemporal, RankingKind::kPopularity}) {
+    auto ranking = MakeRanking(kind);
+    ASSERT_NE(ranking, nullptr);
+    EXPECT_EQ(ranking->kind(), kind);
+  }
+  EXPECT_STREQ(RankingKindName(RankingKind::kTemporal), "temporal");
+  EXPECT_STREQ(RankingKindName(RankingKind::kPopularity), "popularity");
+}
+
+}  // namespace
+}  // namespace kflush

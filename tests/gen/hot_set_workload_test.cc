@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "gen/query_generator.h"
+
+namespace kflush {
+namespace {
+
+QueryWorkloadOptions HotOpts(double p, uint64_t size, uint64_t rotation) {
+  QueryWorkloadOptions opts;
+  opts.kind = WorkloadKind::kUniform;  // background stays uniform
+  opts.attribute = AttributeKind::kKeyword;
+  opts.seed = 21;
+  opts.single_fraction = 1.0;  // single-term queries for clean statistics
+  opts.and_fraction = 0.0;
+  opts.hot_set_p = p;
+  opts.hot_set_size = size;
+  opts.hot_rotation_queries = rotation;
+  return opts;
+}
+
+TEST(HotSetWorkloadTest, DisabledByDefault) {
+  TweetGeneratorOptions stream;
+  stream.vocabulary_size = 1'000;
+  QueryWorkloadOptions opts;
+  opts.kind = WorkloadKind::kUniform;
+  opts.seed = 5;
+  QueryGenerator gen(opts, stream);
+  // With no hot set, terms spread over most of the vocabulary.
+  std::set<TermId> seen;
+  for (int i = 0; i < 5'000; ++i) seen.insert(gen.Next().terms[0]);
+  EXPECT_GT(seen.size(), 500u);
+}
+
+TEST(HotSetWorkloadTest, ConcentratesOnHotWindow) {
+  TweetGeneratorOptions stream;
+  stream.vocabulary_size = 100'000;
+  QueryGenerator gen(HotOpts(0.8, 100, 1'000'000), stream);
+  std::map<TermId, int> counts;
+  constexpr int kN = 10'000;
+  for (int i = 0; i < kN; ++i) counts[gen.Next().terms[0]]++;
+  // ~80% of queries land in a 100-term window (no rotation within run).
+  int in_window = 0;
+  for (const auto& [term, count] : counts) {
+    if (term < 100) in_window += count;
+  }
+  EXPECT_NEAR(static_cast<double>(in_window) / kN, 0.8, 0.03);
+}
+
+TEST(HotSetWorkloadTest, HotSetRotates) {
+  TweetGeneratorOptions stream;
+  stream.vocabulary_size = 100'000;
+  QueryGenerator gen(HotOpts(1.0, 100, 1'000), stream);
+  std::set<TermId> first_phase, later_phase;
+  for (int i = 0; i < 900; ++i) first_phase.insert(gen.Next().terms[0]);
+  // Skip ahead several rotations.
+  for (int i = 0; i < 4'000; ++i) gen.Next();
+  for (int i = 0; i < 900; ++i) later_phase.insert(gen.Next().terms[0]);
+  // The windows drift: late-phase terms are mostly outside the first
+  // window.
+  int overlap = 0;
+  for (TermId t : later_phase) {
+    if (first_phase.count(t) > 0) ++overlap;
+  }
+  EXPECT_LT(overlap, static_cast<int>(later_phase.size()) / 2);
+}
+
+TEST(HotSetWorkloadTest, IgnoredWhenHotSetSpansVocabulary) {
+  TweetGeneratorOptions stream;
+  stream.vocabulary_size = 50;
+  QueryGenerator gen(HotOpts(1.0, 50, 1'000), stream);
+  // hot_set_size == vocabulary: falls back to the base distribution
+  // rather than dividing by zero.
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_LT(gen.Next().terms[0], 50u);
+  }
+}
+
+}  // namespace
+}  // namespace kflush

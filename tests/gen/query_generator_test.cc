@@ -1,0 +1,136 @@
+#include "gen/query_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace kflush {
+namespace {
+
+QueryWorkloadOptions Opts(WorkloadKind kind, AttributeKind attr) {
+  QueryWorkloadOptions opts;
+  opts.kind = kind;
+  opts.attribute = attr;
+  opts.seed = 33;
+  return opts;
+}
+
+TEST(QueryGeneratorTest, DeterministicForSeed) {
+  TweetGeneratorOptions stream;
+  QueryGenerator a(Opts(WorkloadKind::kCorrelated, AttributeKind::kKeyword),
+                   stream);
+  QueryGenerator b(Opts(WorkloadKind::kCorrelated, AttributeKind::kKeyword),
+                   stream);
+  for (int i = 0; i < 500; ++i) {
+    TopKQuery qa = a.Next(), qb = b.Next();
+    EXPECT_EQ(qa.type, qb.type);
+    EXPECT_EQ(qa.terms, qb.terms);
+  }
+}
+
+TEST(QueryGeneratorTest, KeywordMixIsOneThirdEach) {
+  TweetGeneratorOptions stream;
+  QueryGenerator gen(Opts(WorkloadKind::kCorrelated, AttributeKind::kKeyword),
+                     stream);
+  std::map<QueryType, int> counts;
+  constexpr int kN = 30000;
+  for (int i = 0; i < kN; ++i) counts[gen.Next().type]++;
+  for (QueryType type :
+       {QueryType::kSingle, QueryType::kAnd, QueryType::kOr}) {
+    EXPECT_NEAR(static_cast<double>(counts[type]) / kN, 1.0 / 3.0, 0.02)
+        << QueryTypeName(type);
+  }
+}
+
+TEST(QueryGeneratorTest, MultiTermQueriesHaveTwoDistinctTerms) {
+  TweetGeneratorOptions stream;
+  QueryGenerator gen(Opts(WorkloadKind::kCorrelated, AttributeKind::kKeyword),
+                     stream);
+  for (int i = 0; i < 5000; ++i) {
+    TopKQuery q = gen.Next();
+    if (q.type == QueryType::kSingle) {
+      EXPECT_EQ(q.terms.size(), 1u);
+    } else {
+      ASSERT_EQ(q.terms.size(), 2u);
+      EXPECT_NE(q.terms[0], q.terms[1]);
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, CorrelatedKeywordLoadIsSkewed) {
+  TweetGeneratorOptions stream;
+  QueryGenerator gen(Opts(WorkloadKind::kCorrelated, AttributeKind::kKeyword),
+                     stream);
+  std::map<TermId, int> counts;
+  constexpr int kN = 30000;
+  for (int i = 0; i < kN; ++i) counts[gen.Next().terms[0]]++;
+  // Rank-0 keyword queried far more often than uniform would predict.
+  EXPECT_GT(counts[0], static_cast<int>(5 * kN / stream.vocabulary_size));
+}
+
+TEST(QueryGeneratorTest, UniformKeywordLoadIsFlat) {
+  TweetGeneratorOptions stream;
+  stream.vocabulary_size = 100;  // small vocab for tight statistics
+  QueryGenerator gen(Opts(WorkloadKind::kUniform, AttributeKind::kKeyword),
+                     stream);
+  std::map<TermId, int> counts;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) counts[gen.Next().terms[0]]++;
+  for (const auto& [term, count] : counts) {
+    EXPECT_NEAR(count, kN / 100, kN / 100 * 0.25) << "term " << term;
+  }
+}
+
+TEST(QueryGeneratorTest, UserQueriesAreSingleOnly) {
+  TweetGeneratorOptions stream;
+  QueryGenerator gen(Opts(WorkloadKind::kCorrelated, AttributeKind::kUser),
+                     stream);
+  for (int i = 0; i < 2000; ++i) {
+    TopKQuery q = gen.Next();
+    EXPECT_EQ(q.type, QueryType::kSingle);
+    EXPECT_EQ(q.terms.size(), 1u);
+    EXPECT_GE(q.terms[0], 1u);  // user ids are 1-based
+    EXPECT_LE(q.terms[0], stream.num_users);
+  }
+}
+
+TEST(QueryGeneratorTest, SpatialQueriesHaveNoAnd) {
+  TweetGeneratorOptions stream;
+  QueryGenerator gen(Opts(WorkloadKind::kCorrelated, AttributeKind::kSpatial),
+                     stream);
+  std::map<QueryType, int> counts;
+  for (int i = 0; i < 10000; ++i) counts[gen.Next().type]++;
+  EXPECT_EQ(counts[QueryType::kAnd], 0);
+  EXPECT_GT(counts[QueryType::kSingle], 0);
+  EXPECT_GT(counts[QueryType::kOr], 0);
+}
+
+TEST(QueryGeneratorTest, CorrelatedSpatialTargetsHotspotTiles) {
+  // Correlated spatial queries should concentrate on few tiles (hotspots);
+  // uniform queries spread over many more tiles.
+  TweetGeneratorOptions stream;
+  stream.seed = 3;
+  QueryGenerator corr(Opts(WorkloadKind::kCorrelated, AttributeKind::kSpatial),
+                      stream);
+  QueryGenerator unif(Opts(WorkloadKind::kUniform, AttributeKind::kSpatial),
+                      stream);
+  std::map<TermId, int> corr_tiles, unif_tiles;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    corr_tiles[corr.Next().terms[0]]++;
+    unif_tiles[unif.Next().terms[0]]++;
+  }
+  EXPECT_LT(corr_tiles.size(), unif_tiles.size() / 2);
+}
+
+TEST(QueryGeneratorTest, KCarriedOnQueries) {
+  TweetGeneratorOptions stream;
+  QueryWorkloadOptions opts =
+      Opts(WorkloadKind::kCorrelated, AttributeKind::kKeyword);
+  opts.k = 42;
+  QueryGenerator gen(opts, stream);
+  EXPECT_EQ(gen.Next().k, 42u);
+}
+
+}  // namespace
+}  // namespace kflush

@@ -1,0 +1,168 @@
+#include "gen/tweet_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace kflush {
+namespace {
+
+TEST(TweetGeneratorTest, DeterministicForSeed) {
+  TweetGeneratorOptions opts;
+  opts.seed = 11;
+  TweetGenerator a(opts), b(opts);
+  for (int i = 0; i < 500; ++i) {
+    Microblog ba = a.Next(), bb = b.Next();
+    EXPECT_EQ(ba.created_at, bb.created_at);
+    EXPECT_EQ(ba.user_id, bb.user_id);
+    EXPECT_EQ(ba.keywords, bb.keywords);
+    EXPECT_EQ(ba.text, bb.text);
+    if (ba.has_location) {
+      EXPECT_DOUBLE_EQ(ba.location.lat, bb.location.lat);
+    }
+  }
+}
+
+TEST(TweetGeneratorTest, TimestampsStrictlyIncrease) {
+  TweetGeneratorOptions opts;
+  TweetGenerator gen(opts);
+  Timestamp prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    Microblog blog = gen.Next();
+    EXPECT_GT(blog.created_at, prev);
+    prev = blog.created_at;
+  }
+}
+
+TEST(TweetGeneratorTest, ArrivalRateMatchesInterval) {
+  TweetGeneratorOptions opts;
+  opts.arrival_interval_micros = 166;
+  opts.start_time = 1000;
+  TweetGenerator gen(opts);
+  Microblog first = gen.Next();
+  EXPECT_EQ(first.created_at, 1000u);
+  for (int i = 0; i < 99; ++i) gen.Next();
+  Microblog hundredth = gen.Next();
+  EXPECT_EQ(hundredth.created_at, 1000u + 100 * 166);
+}
+
+TEST(TweetGeneratorTest, KeywordsAreDistinctAndBounded) {
+  TweetGeneratorOptions opts;
+  opts.max_keywords = 4;
+  TweetGenerator gen(opts);
+  for (int i = 0; i < 2000; ++i) {
+    Microblog blog = gen.Next();
+    ASSERT_GE(blog.keywords.size(), 1u);
+    ASSERT_LE(blog.keywords.size(), 4u);
+    std::set<KeywordId> distinct(blog.keywords.begin(), blog.keywords.end());
+    EXPECT_EQ(distinct.size(), blog.keywords.size());
+    for (KeywordId kw : blog.keywords) {
+      EXPECT_LT(kw, opts.vocabulary_size);
+    }
+  }
+}
+
+TEST(TweetGeneratorTest, KeywordFrequencyIsSkewed) {
+  TweetGeneratorOptions opts;
+  opts.seed = 5;
+  TweetGenerator gen(opts);
+  std::map<KeywordId, int> counts;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    for (KeywordId kw : gen.Next().keywords) counts[kw]++;
+  }
+  // Rank 0 dominates and the tail is long — the Figure 1 shape.
+  int head = 0;
+  for (KeywordId kw = 0; kw < 10; ++kw) head += counts[kw];
+  EXPECT_GT(head, kN / 10);            // top-10 keywords > 10% of mass
+  EXPECT_GT(counts.size(), 5000u);     // long tail of distinct keywords
+  EXPECT_GT(counts[0], counts[50]);    // monotone-ish head
+}
+
+TEST(TweetGeneratorTest, LocationsWithinRegionMostly) {
+  TweetGeneratorOptions opts;
+  opts.seed = 9;
+  TweetGenerator gen(opts);
+  int inside = 0;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    Microblog blog = gen.Next();
+    ASSERT_TRUE(blog.has_location);
+    if (opts.region.Contains(blog.location)) ++inside;
+  }
+  // Hotspot Gaussians can spill slightly past the region edge.
+  EXPECT_GT(inside, kN * 95 / 100);
+}
+
+TEST(TweetGeneratorTest, GeotaggedFractionRespected) {
+  TweetGeneratorOptions opts;
+  opts.geotagged_fraction = 0.25;
+  opts.seed = 13;
+  TweetGenerator gen(opts);
+  int geo = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    if (gen.Next().has_location) ++geo;
+  }
+  EXPECT_NEAR(static_cast<double>(geo) / kN, 0.25, 0.02);
+}
+
+TEST(TweetGeneratorTest, UserActivityIsSkewed) {
+  TweetGeneratorOptions opts;
+  opts.seed = 17;
+  TweetGenerator gen(opts);
+  std::map<UserId, int> posts;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) posts[gen.Next().user_id]++;
+  // Most active user posts far more than the median user.
+  int max_posts = 0;
+  for (const auto& [user, count] : posts) max_posts = std::max(max_posts, count);
+  EXPECT_GT(max_posts, 50);
+  EXPECT_GT(posts.size(), 5000u);
+}
+
+TEST(TweetGeneratorTest, TextContainsHashtags) {
+  TweetGeneratorOptions opts;
+  TweetGenerator gen(opts);
+  Microblog blog = gen.Next();
+  ASSERT_FALSE(blog.text.empty());
+  EXPECT_NE(blog.text.find("#tag"), std::string::npos);
+  EXPECT_GE(blog.text.size(), 100u);  // realistic record footprint
+}
+
+TEST(TweetGeneratorTest, TextGenerationCanBeDisabled) {
+  TweetGeneratorOptions opts;
+  opts.generate_text = false;
+  TweetGenerator gen(opts);
+  EXPECT_TRUE(gen.Next().text.empty());
+}
+
+TEST(TweetGeneratorTest, HotspotsDeterministicFromOptions) {
+  TweetGeneratorOptions opts;
+  opts.seed = 21;
+  auto a = MakeHotspots(opts);
+  auto b = MakeHotspots(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].lat, b[i].lat);
+    EXPECT_DOUBLE_EQ(a[i].lon, b[i].lon);
+  }
+  // Different seed, different hotspots.
+  opts.seed = 22;
+  auto c = MakeHotspots(opts);
+  EXPECT_NE(a[0].lat, c[0].lat);
+}
+
+TEST(TweetGeneratorTest, FillBatchAppends) {
+  TweetGeneratorOptions opts;
+  TweetGenerator gen(opts);
+  std::vector<Microblog> batch;
+  gen.FillBatch(10, &batch);
+  gen.FillBatch(5, &batch);
+  EXPECT_EQ(batch.size(), 15u);
+  EXPECT_EQ(gen.generated(), 15u);
+}
+
+}  // namespace
+}  // namespace kflush

@@ -1,0 +1,71 @@
+#include "index/index_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace kflush {
+namespace {
+
+TEST(IndexStatsTest, EmptySnapshot) {
+  auto snap = ComputeFrequencySnapshot({}, 20);
+  EXPECT_EQ(snap.num_entries, 0u);
+  EXPECT_EQ(snap.total_postings, 0u);
+  EXPECT_EQ(snap.k_filled_entries, 0u);
+  EXPECT_DOUBLE_EQ(snap.useless_fraction, 0.0);
+}
+
+TEST(IndexStatsTest, CountsKFilled) {
+  // sizes: 5, 20, 21, 100 with k=20 -> k_filled = 3 (>= 20).
+  auto snap = ComputeFrequencySnapshot({5, 20, 21, 100}, 20);
+  EXPECT_EQ(snap.num_entries, 4u);
+  EXPECT_EQ(snap.k_filled_entries, 3u);
+}
+
+TEST(IndexStatsTest, UselessPostingsAreBeyondK) {
+  // sizes 30 and 10 with k=20: useless = 10 + 0 = 10 of 40 total.
+  auto snap = ComputeFrequencySnapshot({30, 10}, 20);
+  EXPECT_EQ(snap.useless_postings, 10u);
+  EXPECT_EQ(snap.total_postings, 40u);
+  EXPECT_DOUBLE_EQ(snap.useless_fraction, 0.25);
+}
+
+TEST(IndexStatsTest, ExactlyKIsNotUseless) {
+  auto snap = ComputeFrequencySnapshot({20, 20, 20}, 20);
+  EXPECT_EQ(snap.useless_postings, 0u);
+  EXPECT_EQ(snap.k_filled_entries, 3u);
+}
+
+TEST(IndexStatsTest, MeanAndMax) {
+  auto snap = ComputeFrequencySnapshot({1, 2, 3, 10}, 5);
+  EXPECT_EQ(snap.max_entry_size, 10u);
+  EXPECT_DOUBLE_EQ(snap.mean_entry_size, 4.0);
+}
+
+TEST(IndexStatsTest, HistogramBucketsSumToEntries) {
+  std::vector<size_t> sizes = {1, 1, 3, 7, 15, 60, 300, 2000, 9000};
+  auto snap = ComputeFrequencySnapshot(sizes, 20);
+  const size_t total = std::accumulate(snap.size_histogram.begin(),
+                                       snap.size_histogram.end(), size_t{0});
+  EXPECT_EQ(total, sizes.size());
+}
+
+TEST(IndexStatsTest, SkewedDistributionIsMostlyUseless) {
+  // One dominant keyword with 1000 postings, 99 rare ones with 1 each:
+  // at k=20, useless = 980 of 1099 ≈ 89% — the paper's Figure 1 shape.
+  std::vector<size_t> sizes(100, 1);
+  sizes[0] = 1000;
+  auto snap = ComputeFrequencySnapshot(sizes, 20);
+  EXPECT_GT(snap.useless_fraction, 0.85);
+  EXPECT_EQ(snap.k_filled_entries, 1u);
+}
+
+TEST(IndexStatsTest, ToStringContainsFields) {
+  auto snap = ComputeFrequencySnapshot({30, 10}, 20);
+  const std::string s = snap.ToString();
+  EXPECT_NE(s.find("entries=2"), std::string::npos);
+  EXPECT_NE(s.find("useless=10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kflush

@@ -1,0 +1,117 @@
+// Model-based fuzz test: PostingList against a trivial reference model
+// (a sorted std::vector) through long random operation sequences.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "index/posting_list.h"
+#include "util/random.h"
+
+namespace kflush {
+namespace {
+
+/// Reference implementation: a vector kept sorted descending by
+/// (score, id-newer-first-on-tie via stable insertion order semantics).
+class ModelList {
+ public:
+  void Insert(MicroblogId id, double score) {
+    // Mirror PostingList semantics: a new posting goes before the first
+    // strictly-smaller score; on equal scores it goes first only when it
+    // is the new head (fast path), otherwise after existing equals.
+    if (items_.empty() || score >= items_.front().score) {
+      items_.insert(items_.begin(), {id, score});
+      return;
+    }
+    auto it = std::upper_bound(
+        items_.begin(), items_.end(), score,
+        [](double s, const Posting& p) { return s >= p.score; });
+    items_.insert(it, {id, score});
+  }
+
+  void TrimBeyondK(size_t k) {
+    if (items_.size() > k) items_.resize(k);
+  }
+
+  bool Remove(MicroblogId id) {
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (items_[i].id == id) {
+        items_.erase(items_.begin() + static_cast<ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const std::vector<Posting>& items() const { return items_; }
+
+ private:
+  std::vector<Posting> items_;
+};
+
+void ExpectEquivalent(const PostingList& list, const ModelList& model) {
+  ASSERT_EQ(list.size(), model.items().size());
+  for (size_t i = 0; i < model.items().size(); ++i) {
+    ASSERT_EQ(list.at(i).id, model.items()[i].id) << "position " << i;
+    ASSERT_DOUBLE_EQ(list.at(i).score, model.items()[i].score);
+  }
+}
+
+class PostingListModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PostingListModelTest, RandomOpsMatchModel) {
+  Rng rng(GetParam());
+  PostingList list;
+  ModelList model;
+  MicroblogId next_id = 1;
+  std::vector<MicroblogId> live;
+
+  for (int op = 0; op < 3000; ++op) {
+    const uint64_t action = rng.Uniform(10);
+    if (action < 6) {
+      // Insert with mostly-increasing scores (temporal-ish) and
+      // occasional out-of-order / duplicate scores.
+      double score;
+      if (rng.Bernoulli(0.8)) {
+        score = static_cast<double>(op);
+      } else {
+        score = static_cast<double>(rng.Uniform(op + 1));
+      }
+      list.Insert(next_id, score);
+      model.Insert(next_id, score);
+      live.push_back(next_id);
+      ++next_id;
+    } else if (action < 8 && !live.empty()) {
+      // Remove a random live id (or a missing one occasionally).
+      MicroblogId id;
+      if (rng.Bernoulli(0.9)) {
+        const size_t pos = rng.Uniform(live.size());
+        id = live[pos];
+        live.erase(live.begin() + static_cast<ptrdiff_t>(pos));
+      } else {
+        id = 1'000'000 + rng.Uniform(1000);
+      }
+      const bool a = list.Remove(id, 5, nullptr, nullptr);
+      const bool b = model.Remove(id);
+      ASSERT_EQ(a, b);
+    } else {
+      // Trim beyond a random k.
+      const size_t k = rng.Uniform(40);
+      std::vector<Posting> trimmed;
+      list.TrimBeyondK(k, nullptr, &trimmed);
+      for (const Posting& p : trimmed) {
+        live.erase(std::remove(live.begin(), live.end(), p.id), live.end());
+      }
+      model.TrimBeyondK(k);
+    }
+    if (op % 100 == 0) ExpectEquivalent(list, model);
+  }
+  ExpectEquivalent(list, model);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PostingListModelTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 99, 1234, 777777));
+
+}  // namespace
+}  // namespace kflush

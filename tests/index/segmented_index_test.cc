@@ -1,0 +1,120 @@
+#include "index/segmented_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace kflush {
+namespace {
+
+TEST(SegmentedIndexTest, StartsWithOneSegment) {
+  SegmentedIndex index;
+  EXPECT_EQ(index.NumSegments(), 1u);
+  EXPECT_EQ(index.NumTerms(), 0u);
+}
+
+TEST(SegmentedIndexTest, QueryMergesAcrossSegments) {
+  SegmentedIndex index;
+  index.Insert(1, 10, 1.0, 1);
+  index.Insert(1, 11, 2.0, 2);
+  index.SealActiveSegment();
+  index.Insert(1, 12, 3.0, 3);
+  index.Insert(1, 13, 4.0, 4);
+  EXPECT_EQ(index.NumSegments(), 2u);
+  EXPECT_EQ(index.EntrySize(1), 4u);
+
+  std::vector<MicroblogId> out;
+  EXPECT_EQ(index.Query(1, 3, &out), 3u);
+  EXPECT_EQ(out, (std::vector<MicroblogId>{13, 12, 11}));
+}
+
+TEST(SegmentedIndexTest, QueryMergesInterleavedScores) {
+  // Non-temporal ranking can interleave across segments.
+  SegmentedIndex index;
+  index.Insert(1, 10, 5.0, 1);
+  index.Insert(1, 11, 1.0, 1);
+  index.SealActiveSegment();
+  index.Insert(1, 12, 3.0, 2);
+  std::vector<MicroblogId> out;
+  index.Query(1, 10, &out);
+  EXPECT_EQ(out, (std::vector<MicroblogId>{10, 12, 11}));
+}
+
+TEST(SegmentedIndexTest, FlushOldestReportsEveryPosting) {
+  SegmentedIndex index;
+  index.Insert(1, 10, 1.0, 1);
+  index.Insert(2, 10, 1.0, 1);
+  index.Insert(2, 11, 2.0, 2);
+  index.SealActiveSegment();
+  index.Insert(1, 12, 3.0, 3);
+
+  std::map<TermId, std::vector<MicroblogId>> removed;
+  const size_t freed = index.FlushOldestSegment(
+      [&](TermId term, const Posting& p) { removed[term].push_back(p.id); });
+  EXPECT_GT(freed, 0u);
+  EXPECT_EQ(removed[1], (std::vector<MicroblogId>{10}));
+  EXPECT_EQ(removed[2].size(), 2u);
+  // Newer segment unaffected.
+  EXPECT_EQ(index.EntrySize(1), 1u);
+  EXPECT_EQ(index.EntrySize(2), 0u);
+}
+
+TEST(SegmentedIndexTest, FlushLastSegmentLeavesFreshActive) {
+  SegmentedIndex index;
+  index.Insert(1, 10, 1.0, 1);
+  size_t reported = 0;
+  index.FlushOldestSegment([&](TermId, const Posting&) { ++reported; });
+  EXPECT_EQ(reported, 1u);
+  EXPECT_EQ(index.NumSegments(), 1u);
+  EXPECT_EQ(index.EntrySize(1), 0u);
+  // Still usable.
+  index.Insert(5, 50, 1.0, 1);
+  EXPECT_EQ(index.EntrySize(5), 1u);
+}
+
+TEST(SegmentedIndexTest, TermsWithAtLeastAggregatesSegments) {
+  SegmentedIndex index;
+  // Term 1: 2 postings in old segment + 2 in new = 4 total.
+  index.Insert(1, 10, 1.0, 1);
+  index.Insert(1, 11, 2.0, 1);
+  index.SealActiveSegment();
+  index.Insert(1, 12, 3.0, 2);
+  index.Insert(1, 13, 4.0, 2);
+  index.Insert(2, 14, 5.0, 2);
+  EXPECT_EQ(index.NumTermsWithAtLeast(4), 1u);
+  EXPECT_EQ(index.NumTermsWithAtLeast(1), 2u);
+  EXPECT_EQ(index.NumTerms(), 2u);
+  EXPECT_EQ(index.TotalPostings(), 5u);
+}
+
+TEST(SegmentedIndexTest, MemoryChargedToTracker) {
+  MemoryTracker tracker(1 << 20);
+  SegmentedIndex index(&tracker);
+  index.Insert(1, 10, 1.0, 1);
+  EXPECT_GT(tracker.ComponentUsed(MemoryComponent::kIndex), 0u);
+  EXPECT_EQ(index.MemoryBytes(),
+            tracker.ComponentUsed(MemoryComponent::kIndex));
+  index.FlushOldestSegment([](TermId, const Posting&) {});
+  EXPECT_EQ(tracker.ComponentUsed(MemoryComponent::kIndex), 0u);
+}
+
+TEST(SegmentedIndexTest, ManySegmentsFlushInOrder) {
+  SegmentedIndex index;
+  for (int seg = 0; seg < 5; ++seg) {
+    index.Insert(100 + seg, static_cast<MicroblogId>(seg),
+                 static_cast<double>(seg), seg);
+    index.SealActiveSegment();
+  }
+  EXPECT_EQ(index.NumSegments(), 6u);
+  // Oldest-first: segment holding term 100 goes first.
+  std::vector<TermId> flushed_terms;
+  index.FlushOldestSegment(
+      [&](TermId term, const Posting&) { flushed_terms.push_back(term); });
+  EXPECT_EQ(flushed_terms, (std::vector<TermId>{100}));
+  index.FlushOldestSegment(
+      [&](TermId term, const Posting&) { flushed_terms.push_back(term); });
+  EXPECT_EQ(flushed_terms, (std::vector<TermId>{100, 101}));
+}
+
+}  // namespace
+}  // namespace kflush

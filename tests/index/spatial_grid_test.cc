@@ -1,0 +1,81 @@
+#include "index/spatial_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace kflush {
+namespace {
+
+TEST(BoundingBoxTest, Contains) {
+  BoundingBox box{10.0, 20.0, 11.0, 21.0};
+  EXPECT_TRUE(box.Contains({10.5, 20.5}));
+  EXPECT_TRUE(box.Contains({10.0, 20.0}));  // inclusive edges
+  EXPECT_FALSE(box.Contains({9.9, 20.5}));
+  EXPECT_FALSE(box.Contains({10.5, 21.1}));
+}
+
+TEST(TilesOverlappingTest, SinglePointBoxIsOneTile) {
+  SpatialGridMapper mapper(1.0);
+  BoundingBox box{10.5, 20.5, 10.5, 20.5};
+  auto tiles = TilesOverlapping(mapper, box);
+  ASSERT_EQ(tiles.size(), 1u);
+  EXPECT_EQ(tiles[0], mapper.TileFor(10.5, 20.5));
+}
+
+TEST(TilesOverlappingTest, CoversBox) {
+  SpatialGridMapper mapper(1.0);
+  BoundingBox box{10.2, 20.2, 12.8, 21.8};
+  auto tiles = TilesOverlapping(mapper, box);
+  // 3 rows (10, 11, 12) x 2 cols (20, 21).
+  EXPECT_EQ(tiles.size(), 6u);
+  std::set<TermId> tile_set(tiles.begin(), tiles.end());
+  for (double lat : {10.5, 11.5, 12.5}) {
+    for (double lon : {20.5, 21.5}) {
+      EXPECT_TRUE(tile_set.count(mapper.TileFor(lat, lon)) > 0)
+          << lat << "," << lon;
+    }
+  }
+}
+
+TEST(TilesOverlappingTest, EmptyForInvertedBox) {
+  SpatialGridMapper mapper(1.0);
+  BoundingBox box{12.0, 20.0, 10.0, 21.0};  // min_lat > max_lat
+  EXPECT_TRUE(TilesOverlapping(mapper, box).empty());
+}
+
+TEST(TilesOverlappingTest, RespectsMaxTiles) {
+  SpatialGridMapper mapper(0.1);
+  BoundingBox box{10.0, 20.0, 15.0, 25.0};
+  auto tiles = TilesOverlapping(mapper, box, 10);
+  EXPECT_EQ(tiles.size(), 10u);
+}
+
+TEST(TileNeighborhoodTest, RadiusZeroIsCenter) {
+  SpatialGridMapper mapper(1.0);
+  auto tiles = TileNeighborhood(mapper, 10.5, 20.5, 0);
+  ASSERT_EQ(tiles.size(), 1u);
+  EXPECT_EQ(tiles[0], mapper.TileFor(10.5, 20.5));
+}
+
+TEST(TileNeighborhoodTest, RadiusOneIsNineTiles) {
+  SpatialGridMapper mapper(1.0);
+  auto tiles = TileNeighborhood(mapper, 10.5, 20.5, 1);
+  EXPECT_EQ(tiles.size(), 9u);
+  const TermId center = mapper.TileFor(10.5, 20.5);
+  EXPECT_NE(std::find(tiles.begin(), tiles.end(), center), tiles.end());
+  // All distinct.
+  std::set<TermId> distinct(tiles.begin(), tiles.end());
+  EXPECT_EQ(distinct.size(), 9u);
+}
+
+TEST(TileNeighborhoodTest, ClipsAtGridEdge) {
+  SpatialGridMapper mapper(1.0);
+  auto tiles = TileNeighborhood(mapper, -89.6, -179.6, 1);
+  // Bottom-left corner: row-1 and col-1 out of range -> 2x2 = 4 tiles.
+  EXPECT_EQ(tiles.size(), 4u);
+}
+
+}  // namespace
+}  // namespace kflush

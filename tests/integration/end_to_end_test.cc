@@ -1,0 +1,177 @@
+// End-to-end integration tests: full stream → steady state → query
+// workload runs for every policy, asserting the paper's qualitative
+// results hold (kFlushing accumulates more k-filled keywords and a higher
+// hit ratio than FIFO) and that answers remain exact across the
+// memory/disk boundary.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "gen/query_generator.h"
+#include "sim/experiment.h"
+
+namespace kflush {
+namespace {
+
+ExperimentConfig SmallConfig(PolicyKind policy, WorkloadKind workload) {
+  ExperimentConfig config;
+  config.store.memory_budget_bytes = 4 << 20;
+  config.store.flush_fraction = 0.10;
+  config.store.k = 10;
+  config.store.policy = policy;
+  config.stream.seed = 1234;
+  config.stream.vocabulary_size = 20'000;
+  config.stream.num_users = 5'000;
+  config.workload.kind = workload;
+  config.workload.seed = 777;
+  config.steady_state_flushes = 3;
+  config.num_queries = 4'000;
+  return config;
+}
+
+TEST(EndToEndTest, AllPoliciesReachSteadyState) {
+  for (PolicyKind policy :
+       {PolicyKind::kFifo, PolicyKind::kLru, PolicyKind::kKFlushing,
+        PolicyKind::kKFlushingMK}) {
+    auto result =
+        RunExperiment(SmallConfig(policy, WorkloadKind::kCorrelated));
+    EXPECT_TRUE(result.reached_steady_state) << PolicyKindName(policy);
+    EXPECT_EQ(result.query_metrics.queries, 4000u) << PolicyKindName(policy);
+    EXPECT_GT(result.num_terms, 0u) << PolicyKindName(policy);
+    EXPECT_GT(result.disk_stats.records_written, 0u)
+        << PolicyKindName(policy);
+    // Memory stayed around the budget.
+    EXPECT_LE(result.data_bytes_used, (4u << 20) * 11 / 10)
+        << PolicyKindName(policy);
+  }
+}
+
+TEST(EndToEndTest, KFlushingAccumulatesMoreKFilledKeywords) {
+  auto fifo = RunExperiment(
+      SmallConfig(PolicyKind::kFifo, WorkloadKind::kCorrelated));
+  auto kflushing = RunExperiment(
+      SmallConfig(PolicyKind::kKFlushing, WorkloadKind::kCorrelated));
+  // The paper's headline structural result (Figure 7): kFlushing
+  // accumulates a multiple of FIFO's k-filled keywords. (The paper
+  // measured up to 7x on real tweets; our synthetic skew yields ~2x —
+  // see EXPERIMENTS.md.)
+  EXPECT_GT(kflushing.k_filled_terms, fifo.k_filled_terms * 3 / 2);
+}
+
+TEST(EndToEndTest, KFlushingBeatsFifoHitRatioOnCorrelatedLoad) {
+  auto fifo = RunExperiment(
+      SmallConfig(PolicyKind::kFifo, WorkloadKind::kCorrelated));
+  auto kflushing = RunExperiment(
+      SmallConfig(PolicyKind::kKFlushing, WorkloadKind::kCorrelated));
+  EXPECT_GT(kflushing.query_metrics.HitRatio(),
+            fifo.query_metrics.HitRatio());
+}
+
+TEST(EndToEndTest, KFlushingBeatsFifoHitRatioOnUniformLoad) {
+  auto fifo =
+      RunExperiment(SmallConfig(PolicyKind::kFifo, WorkloadKind::kUniform));
+  auto kflushing = RunExperiment(
+      SmallConfig(PolicyKind::kKFlushing, WorkloadKind::kUniform));
+  EXPECT_GE(kflushing.query_metrics.HitRatio(),
+            fifo.query_metrics.HitRatio());
+}
+
+TEST(EndToEndTest, MKImprovesAndQueryHitRatio) {
+  auto plain = RunExperiment(
+      SmallConfig(PolicyKind::kKFlushing, WorkloadKind::kCorrelated));
+  auto mk = RunExperiment(
+      SmallConfig(PolicyKind::kKFlushingMK, WorkloadKind::kCorrelated));
+  // §IV-D: the MK extension exists to lift AND-query hits.
+  EXPECT_GE(mk.query_metrics.HitRatioFor(QueryType::kAnd),
+            plain.query_metrics.HitRatioFor(QueryType::kAnd));
+}
+
+TEST(EndToEndTest, UselessFractionCollapsesUnderKFlushing) {
+  auto fifo = RunExperiment(
+      SmallConfig(PolicyKind::kFifo, WorkloadKind::kCorrelated));
+  auto kflushing = RunExperiment(
+      SmallConfig(PolicyKind::kKFlushing, WorkloadKind::kCorrelated));
+  // Under temporal flushing a large share of memory is beyond-top-k
+  // (paper: ~75% on real data at k=20); kFlushing trims it away.
+  EXPECT_GT(fifo.frequency.useless_fraction, 0.3);
+  EXPECT_LT(kflushing.frequency.useless_fraction,
+            fifo.frequency.useless_fraction / 2);
+}
+
+TEST(EndToEndTest, Phase1OnlyMemoryTimelineSaturates) {
+  // Figure 5(a): with only Phase 1, flushes free less and less, so
+  // utilization climbs toward (and past) 100% and stays there. The full
+  // three-phase policy keeps a bounded sawtooth under the same stream.
+  ExperimentConfig config =
+      SmallConfig(PolicyKind::kKFlushing, WorkloadKind::kCorrelated);
+  config.store.enable_phase2 = false;
+  config.store.enable_phase3 = false;
+  auto phase1_only = MemoryTimeline(config, 20'000, 40);
+
+  ExperimentConfig full =
+      SmallConfig(PolicyKind::kKFlushing, WorkloadKind::kCorrelated);
+  auto three_phase = MemoryTimeline(full, 20'000, 40);
+
+  // Tail of the phase-1-only run sits at/above full utilization.
+  double tail_min = 1e9;
+  for (size_t i = 30; i < phase1_only.size(); ++i) {
+    tail_min = std::min(tail_min, phase1_only[i]);
+  }
+  EXPECT_GT(tail_min, 0.95);
+  // The full policy dips well below budget after flushes.
+  double full_min = 1e9;
+  for (size_t i = 30; i < three_phase.size(); ++i) {
+    full_min = std::min(full_min, three_phase[i]);
+  }
+  EXPECT_LT(full_min, 0.95);
+}
+
+TEST(EndToEndTest, SingleQueryAnswersMatchGroundTruth) {
+  // Exactness across the memory/disk boundary: after steady state, the
+  // top-k answer for any keyword must equal the brute-force top-k over
+  // everything ever streamed.
+  ExperimentConfig config =
+      SmallConfig(PolicyKind::kKFlushing, WorkloadKind::kCorrelated);
+  config.stream.vocabulary_size = 500;  // denser per-keyword history
+
+  SimClock clock(config.stream.start_time);
+  StoreOptions so = config.store;
+  so.clock = &clock;
+  MicroblogStore store(so);
+  QueryEngine engine(&store);
+  TweetGenerator gen(config.stream);
+
+  std::map<TermId, std::vector<MicroblogId>> truth;  // newest last
+  MicroblogId next_id = 1;
+  for (int i = 0; i < 120'000; ++i) {
+    Microblog blog = gen.Next();
+    blog.id = next_id++;
+    clock.Set(blog.created_at);
+    for (KeywordId kw : blog.keywords) truth[kw].push_back(blog.id);
+    ASSERT_TRUE(store.Insert(std::move(blog)).ok());
+  }
+  ASSERT_GT(store.ingest_stats().flush_triggers, 0u);
+
+  for (TermId term = 0; term < 50; ++term) {
+    auto it = truth.find(term);
+    if (it == truth.end()) continue;
+    TopKQuery q;
+    q.terms = {term};
+    q.type = QueryType::kSingle;
+    auto result = engine.Execute(q);
+    ASSERT_TRUE(result.ok());
+    // Expected: most recent k ids = suffix of the truth list, reversed.
+    const auto& ids = it->second;
+    const size_t expect_n = std::min<size_t>(ids.size(), store.k());
+    ASSERT_EQ(result->results.size(), expect_n) << "term " << term;
+    for (size_t i = 0; i < expect_n; ++i) {
+      EXPECT_EQ(result->results[i].id, ids[ids.size() - 1 - i])
+          << "term " << term << " pos " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kflush

@@ -1,0 +1,111 @@
+#include "model/attribute.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/test_util.h"
+
+namespace kflush {
+namespace {
+
+using testing_util::MakeBlog;
+using testing_util::MakeGeoBlog;
+
+TEST(SpatialGridMapperTest, SamePointSameTile) {
+  SpatialGridMapper mapper;
+  EXPECT_EQ(mapper.TileFor(44.98, -93.26), mapper.TileFor(44.98, -93.26));
+}
+
+TEST(SpatialGridMapperTest, NearbyPointsWithinTileEdgeShareTile) {
+  SpatialGridMapper mapper(1.0);  // 1-degree tiles for easy reasoning
+  EXPECT_EQ(mapper.TileFor(10.2, 20.2), mapper.TileFor(10.8, 20.8));
+  EXPECT_NE(mapper.TileFor(10.2, 20.2), mapper.TileFor(11.2, 20.2));
+  EXPECT_NE(mapper.TileFor(10.2, 20.2), mapper.TileFor(10.2, 21.2));
+}
+
+TEST(SpatialGridMapperTest, TileCenterRoundTrips) {
+  SpatialGridMapper mapper;
+  const TermId tile = mapper.TileFor(40.7128, -74.0060);  // NYC
+  const GeoPoint center = mapper.TileCenter(tile);
+  EXPECT_EQ(mapper.TileFor(center.lat, center.lon), tile);
+}
+
+TEST(SpatialGridMapperTest, ClampsOutOfRangeCoordinates) {
+  SpatialGridMapper mapper;
+  EXPECT_EQ(mapper.TileFor(95.0, 0.0), mapper.TileFor(90.0, 0.0));
+  EXPECT_EQ(mapper.TileFor(0.0, -200.0), mapper.TileFor(0.0, -180.0));
+}
+
+// Property sweep: round-trip holds across grid resolutions and points.
+class GridEdgeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GridEdgeTest, CenterRoundTripAcrossPoints) {
+  SpatialGridMapper mapper(GetParam());
+  const double lats[] = {-89.9, -45.0, 0.0, 0.01, 37.77, 89.9};
+  const double lons[] = {-179.9, -122.4, 0.0, 0.01, 116.4, 179.9};
+  for (double lat : lats) {
+    for (double lon : lons) {
+      const TermId tile = mapper.TileFor(lat, lon);
+      const GeoPoint c = mapper.TileCenter(tile);
+      EXPECT_EQ(mapper.TileFor(c.lat, c.lon), tile)
+          << "edge=" << GetParam() << " p=(" << lat << "," << lon << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Edges, GridEdgeTest,
+                         ::testing::Values(0.01, 0.029, 0.1, 1.0, 5.0));
+
+TEST(KeywordAttributeTest, OneTermPerKeyword) {
+  KeywordAttribute attr;
+  std::vector<TermId> terms;
+  attr.ExtractTerms(MakeBlog(1, 10, {5, 9, 12}), &terms);
+  EXPECT_EQ(terms, (std::vector<TermId>{5, 9, 12}));
+  EXPECT_EQ(attr.kind(), AttributeKind::kKeyword);
+}
+
+TEST(KeywordAttributeTest, NoKeywordsNoTerms) {
+  KeywordAttribute attr;
+  std::vector<TermId> terms{99};  // must be cleared
+  attr.ExtractTerms(MakeBlog(1, 10, {}), &terms);
+  EXPECT_TRUE(terms.empty());
+}
+
+TEST(SpatialAttributeTest, SingleTileTerm) {
+  SpatialAttribute attr;
+  std::vector<TermId> terms;
+  attr.ExtractTerms(MakeGeoBlog(1, 10, 44.9, -93.2), &terms);
+  ASSERT_EQ(terms.size(), 1u);
+  EXPECT_EQ(terms[0], attr.mapper().TileFor(44.9, -93.2));
+}
+
+TEST(SpatialAttributeTest, NoLocationNoTerms) {
+  SpatialAttribute attr;
+  std::vector<TermId> terms;
+  attr.ExtractTerms(MakeBlog(1, 10, {1, 2}), &terms);
+  EXPECT_TRUE(terms.empty());
+}
+
+TEST(UserAttributeTest, UserIdIsTheTerm) {
+  UserAttribute attr;
+  std::vector<TermId> terms;
+  attr.ExtractTerms(MakeBlog(1, 10, {1}, /*user=*/777), &terms);
+  EXPECT_EQ(terms, (std::vector<TermId>{777}));
+}
+
+TEST(MakeAttributeTest, FactoryBuildsEveryKind) {
+  for (AttributeKind kind : {AttributeKind::kKeyword, AttributeKind::kSpatial,
+                             AttributeKind::kUser}) {
+    auto attr = MakeAttribute(kind);
+    ASSERT_NE(attr, nullptr);
+    EXPECT_EQ(attr->kind(), kind);
+  }
+}
+
+TEST(AttributeKindNameTest, Names) {
+  EXPECT_STREQ(AttributeKindName(AttributeKind::kKeyword), "keyword");
+  EXPECT_STREQ(AttributeKindName(AttributeKind::kSpatial), "spatial");
+  EXPECT_STREQ(AttributeKindName(AttributeKind::kUser), "user");
+}
+
+}  // namespace
+}  // namespace kflush

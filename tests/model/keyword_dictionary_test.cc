@@ -1,0 +1,74 @@
+#include "model/keyword_dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace kflush {
+namespace {
+
+TEST(KeywordDictionaryTest, InternAssignsDenseIds) {
+  KeywordDictionary dict;
+  EXPECT_EQ(dict.Intern("alpha"), 0u);
+  EXPECT_EQ(dict.Intern("beta"), 1u);
+  EXPECT_EQ(dict.Intern("gamma"), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(KeywordDictionaryTest, InternIsIdempotent) {
+  KeywordDictionary dict;
+  const KeywordId a = dict.Intern("same");
+  EXPECT_EQ(dict.Intern("same"), a);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(KeywordDictionaryTest, LookupWithoutIntern) {
+  KeywordDictionary dict;
+  dict.Intern("known");
+  EXPECT_EQ(dict.Lookup("known"), 0u);
+  EXPECT_EQ(dict.Lookup("unknown"), kInvalidKeywordId);
+  EXPECT_EQ(dict.size(), 1u);  // Lookup never interns
+}
+
+TEST(KeywordDictionaryTest, NameRoundTrip) {
+  KeywordDictionary dict;
+  const KeywordId id = dict.Intern("roundtrip");
+  EXPECT_EQ(dict.Name(id), "roundtrip");
+  EXPECT_EQ(dict.Name(9999), "");
+}
+
+TEST(KeywordDictionaryTest, FootprintGrows) {
+  KeywordDictionary dict;
+  const size_t empty = dict.FootprintBytes();
+  dict.Intern("some-keyword");
+  EXPECT_GT(dict.FootprintBytes(), empty);
+}
+
+TEST(KeywordDictionaryTest, ConcurrentInterningIsConsistent) {
+  KeywordDictionary dict;
+  constexpr int kThreads = 8;
+  constexpr int kWords = 500;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<KeywordId>> ids(kThreads,
+                                          std::vector<KeywordId>(kWords));
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&dict, &ids, t] {
+      for (int w = 0; w < kWords; ++w) {
+        ids[t][w] = dict.Intern("word" + std::to_string(w));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(dict.size(), static_cast<size_t>(kWords));
+  // Every thread observed the same id per word.
+  for (int w = 0; w < kWords; ++w) {
+    for (int t = 1; t < kThreads; ++t) {
+      ASSERT_EQ(ids[t][w], ids[0][w]) << "word" << w;
+    }
+    EXPECT_EQ(dict.Name(ids[0][w]), "word" + std::to_string(w));
+  }
+}
+
+}  // namespace
+}  // namespace kflush

@@ -1,0 +1,74 @@
+#include "model/microblog.h"
+
+#include <gtest/gtest.h>
+
+namespace kflush {
+namespace {
+
+TEST(MicroblogTest, BuilderSetsAllFields) {
+  Microblog blog = MicroblogBuilder()
+                       .WithId(7)
+                       .WithTimestamp(1234)
+                       .WithUser(42)
+                       .WithFollowers(100)
+                       .WithLocation(44.98, -93.26)
+                       .WithText("hello #world")
+                       .WithKeywords({1, 2})
+                       .AddKeyword(3)
+                       .Build();
+  EXPECT_EQ(blog.id, 7u);
+  EXPECT_EQ(blog.created_at, 1234u);
+  EXPECT_EQ(blog.user_id, 42u);
+  EXPECT_EQ(blog.follower_count, 100u);
+  EXPECT_TRUE(blog.has_location);
+  EXPECT_DOUBLE_EQ(blog.location.lat, 44.98);
+  EXPECT_DOUBLE_EQ(blog.location.lon, -93.26);
+  EXPECT_EQ(blog.text, "hello #world");
+  EXPECT_EQ(blog.keywords, (std::vector<KeywordId>{1, 2, 3}));
+}
+
+TEST(MicroblogTest, DefaultHasNoLocationAndInvalidId) {
+  Microblog blog;
+  EXPECT_EQ(blog.id, kInvalidMicroblogId);
+  EXPECT_FALSE(blog.has_location);
+  EXPECT_TRUE(blog.keywords.empty());
+}
+
+TEST(MicroblogTest, FootprintGrowsWithText) {
+  Microblog small = MicroblogBuilder().WithText("ab").Build();
+  Microblog large = MicroblogBuilder().WithText(std::string(200, 'x')).Build();
+  EXPECT_GT(large.FootprintBytes(), small.FootprintBytes());
+  EXPECT_EQ(large.FootprintBytes() - small.FootprintBytes(), 198u);
+}
+
+TEST(MicroblogTest, FootprintGrowsWithKeywords) {
+  Microblog none = MicroblogBuilder().Build();
+  Microblog three = MicroblogBuilder().WithKeywords({1, 2, 3}).Build();
+  EXPECT_EQ(three.FootprintBytes() - none.FootprintBytes(),
+            3 * sizeof(KeywordId));
+}
+
+TEST(MicroblogTest, FootprintIsCopyInvariant) {
+  Microblog blog =
+      MicroblogBuilder().WithText("payload").WithKeywords({9, 8}).Build();
+  Microblog copy = blog;
+  copy.text.reserve(4096);  // capacity changes must not affect accounting
+  EXPECT_EQ(blog.FootprintBytes(), copy.FootprintBytes());
+}
+
+TEST(MicroblogTest, DebugStringMentionsKeyFields) {
+  Microblog blog = MicroblogBuilder()
+                       .WithId(5)
+                       .WithLocation(1.5, 2.5)
+                       .WithText("txt")
+                       .WithKeywords({11})
+                       .Build();
+  const std::string s = blog.DebugString();
+  EXPECT_NE(s.find("id=5"), std::string::npos);
+  EXPECT_NE(s.find("11"), std::string::npos);
+  EXPECT_NE(s.find("txt"), std::string::npos);
+  EXPECT_NE(s.find("loc="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kflush

@@ -1,0 +1,72 @@
+// Robustness fuzz: the tokenizer must never crash, loop, or emit invalid
+// tokens on arbitrary byte soup (microblog text is user-controlled).
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "model/tokenizer.h"
+#include "util/random.h"
+
+namespace kflush {
+namespace {
+
+std::string RandomBytes(Rng* rng, size_t max_len) {
+  const size_t len = rng->Uniform(max_len + 1);
+  std::string s(len, '\0');
+  for (size_t i = 0; i < len; ++i) {
+    s[i] = static_cast<char>(rng->Uniform(256));
+  }
+  return s;
+}
+
+class TokenizerFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TokenizerFuzzTest, ArbitraryBytesProduceWellFormedTokens) {
+  Rng rng(GetParam());
+  Tokenizer hashtag_tok;
+  TokenizerOptions all;
+  all.hashtags_only = false;
+  Tokenizer all_tok(all);
+
+  for (int round = 0; round < 2000; ++round) {
+    const std::string input = RandomBytes(&rng, 300);
+    for (const Tokenizer* tok : {&hashtag_tok, &all_tok}) {
+      auto tokens = tok->Tokenize(input);
+      for (const std::string& token : tokens) {
+        ASSERT_GE(token.size(), tok->options().min_token_length);
+        for (char c : token) {
+          const unsigned char uc = static_cast<unsigned char>(c);
+          ASSERT_TRUE(std::isalnum(uc) || c == '_')
+              << "bad byte in token from seed " << GetParam();
+          ASSERT_FALSE(std::isupper(uc));
+        }
+      }
+      // Tokens are distinct.
+      std::set<std::string> distinct(tokens.begin(), tokens.end());
+      ASSERT_EQ(distinct.size(), tokens.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerFuzzTest,
+                         ::testing::Values(1, 22, 333, 4444));
+
+TEST(TokenizerFuzzTest, PathologicalInputs) {
+  Tokenizer tok;
+  // Very long single token.
+  std::string long_token = "#" + std::string(100'000, 'a');
+  auto tokens = tok.Tokenize(long_token);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].size(), 100'000u);
+  // Many tiny tokens.
+  std::string many;
+  for (int i = 0; i < 10'000; ++i) many += "#ab ";
+  EXPECT_EQ(tok.Tokenize(many).size(), 1u);  // all duplicates
+  // Hash storm.
+  EXPECT_TRUE(tok.Tokenize(std::string(50'000, '#')).empty());
+}
+
+}  // namespace
+}  // namespace kflush

@@ -1,0 +1,89 @@
+#include "model/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace kflush {
+namespace {
+
+TEST(TokenizerTest, ExtractsHashtags) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("breaking: #obama speaks at #rally today");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"obama", "rally"}));
+}
+
+TEST(TokenizerTest, LowercasesTokens) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("#ObAmA #NBA");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"obama", "nba"}));
+}
+
+TEST(TokenizerTest, DeduplicatesPreservingFirstOccurrence) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("#a1 #b2 #a1 #b2 #a1");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"a1", "b2"}));
+}
+
+TEST(TokenizerTest, FallsBackToTermsWithoutHashtags) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("concurrency control considered useful");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"concurrency", "control",
+                                              "considered", "useful"}));
+}
+
+TEST(TokenizerTest, NoFallbackWhenDisabled) {
+  TokenizerOptions opts;
+  opts.fallback_to_terms = false;
+  Tokenizer tok(opts);
+  EXPECT_TRUE(tok.Tokenize("no hashtags here").empty());
+}
+
+TEST(TokenizerTest, DropsStopwordsInTermMode) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("the cat and the hat");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"cat", "hat"}));
+}
+
+TEST(TokenizerTest, DropsShortTokens) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("#a #ab c de");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"ab"}));
+}
+
+TEST(TokenizerTest, AllTermsModeKeepsHashtagsFirst) {
+  TokenizerOptions opts;
+  opts.hashtags_only = false;
+  Tokenizer tok(opts);
+  auto tokens = tok.Tokenize("great game #nba tonight");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "nba");
+}
+
+TEST(TokenizerTest, HandlesPunctuationAndUnderscores) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("#so_cool!!! (#wow), #after.dot");
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"so_cool", "wow", "after"}));
+}
+
+TEST(TokenizerTest, EmptyAndDegenerateInputs) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("###").empty());
+  EXPECT_TRUE(tok.Tokenize("    ").empty());
+  EXPECT_TRUE(tok.Tokenize("# # #").empty());
+}
+
+TEST(TokenizerTest, HashtagAtEndOfText) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("trailing #tag");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"tag"}));
+}
+
+TEST(TokenizerTest, NumbersAreTokens) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("#2024 election");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"2024"}));
+}
+
+}  // namespace
+}  // namespace kflush

@@ -1,0 +1,115 @@
+#include "policy/fifo_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/policy_harness.h"
+
+namespace kflush {
+namespace {
+
+using testing_util::PolicyHarness;
+
+constexpr uint32_t kK = 5;
+
+TEST(FifoPolicyTest, QueryReturnsMostRecent) {
+  PolicyHarness h;
+  auto policy = h.Make(PolicyKind::kFifo, kK);
+  for (MicroblogId id = 1; id <= 10; ++id) h.Ingest(policy.get(), id, {1});
+  auto ids = h.Query(policy.get(), 1, 3);
+  EXPECT_EQ(ids, (std::vector<MicroblogId>{10, 9, 8}));
+  EXPECT_EQ(policy->EntrySize(1), 10u);
+}
+
+TEST(FifoPolicyTest, SealsSegmentsAtByteThreshold) {
+  PolicyHarness h;
+  // Tiny segments: every couple of records seals one.
+  auto policy = h.Make(PolicyKind::kFifo, kK, /*fifo_segment_bytes=*/600);
+  auto* fifo = static_cast<FifoPolicy*>(policy.get());
+  EXPECT_EQ(fifo->NumSegments(), 1u);
+  for (MicroblogId id = 1; id <= 20; ++id) h.Ingest(policy.get(), id, {1});
+  EXPECT_GT(fifo->NumSegments(), 3u);
+  // Queries still see everything across segments.
+  EXPECT_EQ(policy->EntrySize(1), 20u);
+  auto ids = h.Query(policy.get(), 1, 20);
+  EXPECT_EQ(ids.size(), 20u);
+  EXPECT_EQ(ids.front(), 20u);
+  EXPECT_EQ(ids.back(), 1u);
+}
+
+TEST(FifoPolicyTest, FlushDropsOldestWholesale) {
+  PolicyHarness h;
+  auto policy = h.Make(PolicyKind::kFifo, kK, /*fifo_segment_bytes=*/600);
+  for (MicroblogId id = 1; id <= 20; ++id) h.Ingest(policy.get(), id, {1});
+  const size_t freed = policy->Flush(600);
+  EXPECT_GE(freed, 600u);
+  // The oldest records are gone from memory, newest survive.
+  EXPECT_FALSE(h.raw().Contains(1));
+  EXPECT_FALSE(h.raw().Contains(2));
+  EXPECT_TRUE(h.raw().Contains(20));
+  // Flushed records reachable on disk, postings registered.
+  std::vector<Posting> disk_postings;
+  ASSERT_TRUE(h.disk().QueryTerm(1, 100, &disk_postings).ok());
+  EXPECT_GE(disk_postings.size(), 2u);
+  Microblog blog;
+  EXPECT_TRUE(h.disk().GetRecord(1, &blog).ok());
+}
+
+TEST(FifoPolicyTest, FlushEverythingLeavesWorkingSystem) {
+  PolicyHarness h;
+  auto policy = h.Make(PolicyKind::kFifo, kK, 1 << 20);
+  for (MicroblogId id = 1; id <= 5; ++id) h.Ingest(policy.get(), id, {1});
+  policy->Flush(~size_t{0} >> 1);  // absurd budget: flush everything
+  EXPECT_EQ(h.raw().size(), 0u);
+  EXPECT_EQ(policy->EntrySize(1), 0u);
+  // Still ingestible afterwards.
+  h.Ingest(policy.get(), 6, {1});
+  EXPECT_EQ(policy->EntrySize(1), 1u);
+}
+
+TEST(FifoPolicyTest, KFilledCountsAcrossSegments) {
+  PolicyHarness h;
+  auto policy = h.Make(PolicyKind::kFifo, kK, /*fifo_segment_bytes=*/600);
+  // Keyword 1: 10 postings spread over several segments; keyword 2: 2.
+  for (MicroblogId id = 1; id <= 10; ++id) h.Ingest(policy.get(), id, {1});
+  h.Ingest(policy.get(), 11, {2});
+  h.Ingest(policy.get(), 12, {2});
+  EXPECT_EQ(policy->NumKFilledTerms(), 1u);
+  EXPECT_EQ(policy->NumTerms(), 2u);
+  std::vector<size_t> sizes;
+  policy->CollectEntrySizes(&sizes);
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<size_t>{2, 10}));
+}
+
+TEST(FifoPolicyTest, MultiKeywordRecordFlushedOnce) {
+  PolicyHarness h;
+  auto policy = h.Make(PolicyKind::kFifo, kK, 1 << 20);
+  h.Ingest(policy.get(), 1, {1, 2, 3});
+  policy->Flush(~size_t{0} >> 1);
+  EXPECT_EQ(h.disk().NumRecords(), 1u);
+  EXPECT_EQ(h.disk().NumPostings(), 3u);  // one per keyword
+}
+
+TEST(FifoPolicyTest, NegligibleAuxMemory) {
+  PolicyHarness h;
+  auto policy = h.Make(PolicyKind::kFifo, kK, /*fifo_segment_bytes=*/600);
+  for (MicroblogId id = 1; id <= 100; ++id) {
+    h.Ingest(policy.get(), id, {static_cast<KeywordId>(id % 10)});
+  }
+  // FIFO tracks nothing per item: aux memory is segment headers only.
+  EXPECT_LT(policy->AuxMemoryBytes(), 2048u);
+}
+
+TEST(FifoPolicyTest, StatsCountFlushedRecords) {
+  PolicyHarness h;
+  auto policy = h.Make(PolicyKind::kFifo, kK, /*fifo_segment_bytes=*/600);
+  for (MicroblogId id = 1; id <= 20; ++id) h.Ingest(policy.get(), id, {1});
+  policy->Flush(600);
+  const PolicyStats stats = policy->stats();
+  EXPECT_EQ(stats.flush_cycles, 1u);
+  EXPECT_GT(stats.records_flushed, 0u);
+  EXPECT_EQ(stats.records_flushed, h.disk().NumRecords());
+}
+
+}  // namespace
+}  // namespace kflush

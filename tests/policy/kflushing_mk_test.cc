@@ -1,0 +1,139 @@
+// Tests of the multiple-keyword extension (paper §IV-D), including the
+// Figure 6 scenario.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "../testing/policy_harness.h"
+#include "policy/kflushing_policy.h"
+
+namespace kflush {
+namespace {
+
+using testing_util::PolicyHarness;
+
+constexpr uint32_t kK = 5;
+
+TEST(KFlushingMKTest, TopKRefcountTracksMembership) {
+  PolicyHarness h;
+  auto policy = h.Make(PolicyKind::kKFlushingMK, kK);
+  // Record 100 enters top-k of both its keywords.
+  h.Ingest(policy.get(), 100, {1, 2});
+  EXPECT_EQ(h.raw().TopKCount(100), 2u);
+  // Push it out of keyword 1's top-k with k newer single-keyword posts.
+  for (MicroblogId id = 1; id <= kK; ++id) h.Ingest(policy.get(), id, {1});
+  EXPECT_EQ(h.raw().TopKCount(100), 1u);
+}
+
+TEST(KFlushingMKTest, Figure6Scenario) {
+  // M1 has keywords W1 and W2; beyond top-k in W1, top-k in W2.
+  // Extended Phase 1 must KEEP M1 in W1 (so AND queries on W1 ∧ W2 hit),
+  // and only flush it once it leaves every top-k.
+  // Phases 2/3 disabled: this test isolates the extended Phase 1 rule.
+  PolicyHarness h;
+  KFlushingOptions opts;
+  opts.mk_extension = true;
+  opts.enable_phase2 = false;
+  opts.enable_phase3 = false;
+  auto owned = std::make_unique<KFlushingPolicy>(h.ctx(), kK, opts);
+  auto* policy = owned.get();
+  h.Ingest(policy, 100, {1, 2});                // M1
+  for (MicroblogId id = 1; id <= kK; ++id) {
+    h.Ingest(policy, id, {1});                  // pushes M1 beyond k in W1
+  }
+  EXPECT_EQ(policy->EntrySize(1), kK + 1);
+
+  policy->Flush(1);
+  // Snapshot (a): M1 kept in W1 even though beyond top-k there.
+  EXPECT_EQ(policy->EntrySize(1), kK + 1);
+  EXPECT_EQ(h.raw().Pcount(100), 2u);
+  auto w1_all = h.Query(policy, 1, 100);
+  EXPECT_NE(std::find(w1_all.begin(), w1_all.end(), 100u), w1_all.end());
+
+  // Snapshot (b): push M1 out of W2's top-k as well.
+  for (MicroblogId id = 11; id <= 10 + kK; ++id) {
+    h.Ingest(policy, id, {2});
+  }
+  EXPECT_EQ(h.raw().TopKCount(100), 0u);
+  policy->Flush(1);
+  // Now trimmed from both entries and flushed from memory entirely.
+  EXPECT_EQ(policy->EntrySize(1), kK);
+  EXPECT_EQ(policy->EntrySize(2), kK);
+  EXPECT_FALSE(h.raw().Contains(100));
+  EXPECT_EQ(h.disk().NumRecords(), 1u);
+}
+
+TEST(KFlushingMKTest, PlainKFlushingTrimsTheFigure6Record) {
+  // Contrast: without MK, M1 is trimmed from W1 at the first flush.
+  PolicyHarness h;
+  auto policy = h.Make(PolicyKind::kKFlushing, kK);
+  h.Ingest(policy.get(), 100, {1, 2});
+  for (MicroblogId id = 1; id <= kK; ++id) h.Ingest(policy.get(), id, {1});
+  policy->Flush(1);
+  EXPECT_EQ(policy->EntrySize(1), kK);
+  auto w1 = h.Query(policy.get(), 1, 100);
+  EXPECT_EQ(std::find(w1.begin(), w1.end(), 100u), w1.end());
+  // Still memory-resident via W2, though — the inefficiency MK removes.
+  EXPECT_TRUE(h.raw().Contains(100));
+  EXPECT_EQ(h.raw().Pcount(100), 1u);
+}
+
+TEST(KFlushingMKTest, Phase2KeepsPostingsSharedWithFrequentKeywords) {
+  // Phase 3 disabled so the big budget exercises Phase 2 alone.
+  PolicyHarness h;
+  KFlushingOptions opts;
+  opts.mk_extension = true;
+  opts.enable_phase3 = false;
+  KFlushingPolicy policy_obj(h.ctx(), kK, opts);
+  auto* policy = &policy_obj;
+  // W1 becomes k-filled; record 100 is in W1's top-k AND in rare W2.
+  h.Ingest(policy, 100, {1, 2});
+  for (MicroblogId id = 1; id <= kK - 1; ++id) {
+    h.Ingest(policy, id, {1});
+  }
+  ASSERT_EQ(policy->EntrySize(1), kK);
+  ASSERT_EQ(policy->EntrySize(2), 1u);
+  // Another rare keyword to give Phase 2 a pure victim.
+  h.Ingest(policy, 200, {3});
+
+  // Force Phase 2 to consider everything under-k (big budget).
+  policy->Flush(1 << 20);
+  // W2's only posting (record 100) exists in k-filled W1 → kept in memory.
+  EXPECT_EQ(policy->EntrySize(2), 1u);
+  EXPECT_TRUE(h.raw().Contains(100));
+  // W3's record had no such protection → flushed.
+  EXPECT_EQ(policy->EntrySize(3), 0u);
+  EXPECT_FALSE(h.raw().Contains(200));
+}
+
+TEST(KFlushingMKTest, EntryRemovalDecrementsTopKCounts) {
+  PolicyHarness h;
+  KFlushingOptions opts;
+  opts.mk_extension = true;
+  opts.enable_phase3 = false;
+  KFlushingPolicy policy_obj(h.ctx(), kK, opts);
+  auto* policy = &policy_obj;
+  // Two under-k keywords sharing a record.
+  h.Ingest(policy, 100, {1, 2});
+  EXPECT_EQ(h.raw().TopKCount(100), 2u);
+  // Eviction via Phase 2 (no entry with >= k postings, so no keep rule).
+  policy->Flush(1 << 20);
+  EXPECT_FALSE(h.raw().Contains(100));
+}
+
+TEST(KFlushingMKTest, AuxMemoryIncludesPerRecordCounters) {
+  PolicyHarness h;
+  auto mk = h.Make(PolicyKind::kKFlushingMK, kK);
+  auto plain = h.Make(PolicyKind::kKFlushing, kK);
+  for (MicroblogId id = 1; id <= 10; ++id) {
+    h.Ingest(mk.get(), id, {static_cast<KeywordId>(id)});
+  }
+  // MK charges 4 bytes per raw-store record beyond plain kFlushing's
+  // per-entry timestamps. (Both policies see the same raw store here.)
+  EXPECT_GT(mk->AuxMemoryBytes(), plain->AuxMemoryBytes());
+}
+
+}  // namespace
+}  // namespace kflush

@@ -1,0 +1,251 @@
+// White-box tests of the three kFlushing phases (paper §III).
+
+#include "policy/kflushing_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../testing/policy_harness.h"
+
+namespace kflush {
+namespace {
+
+using testing_util::PolicyHarness;
+
+constexpr uint32_t kK = 5;
+
+TEST(KFlushingPhase1Test, TrimsBeyondTopKOnly) {
+  PolicyHarness h;
+  auto policy = h.Make(PolicyKind::kKFlushing, kK);
+  // Keyword 1 gets 12 microblogs; keyword 2 gets 3.
+  MicroblogId id = 1;
+  for (int i = 0; i < 12; ++i) h.Ingest(policy.get(), id++, {1});
+  for (int i = 0; i < 3; ++i) h.Ingest(policy.get(), id++, {2});
+  EXPECT_EQ(policy->EntrySize(1), 12u);
+
+  // Tiny budget: Phase 1 alone satisfies it, but it still trims ALL
+  // useless postings (useless data is flushed regardless of the budget).
+  policy->Flush(1);
+  EXPECT_EQ(policy->EntrySize(1), kK);
+  EXPECT_EQ(policy->EntrySize(2), 3u);  // under-k entry untouched
+  // Trimmed records (ids 1..7, single-keyword) left memory entirely.
+  for (MicroblogId trimmed = 1; trimmed <= 7; ++trimmed) {
+    EXPECT_FALSE(h.raw().Contains(trimmed)) << trimmed;
+  }
+  // Survivors are the most recent 5: ids 8..12.
+  auto ids = h.Query(policy.get(), 1, kK);
+  EXPECT_EQ(ids, (std::vector<MicroblogId>{12, 11, 10, 9, 8}));
+}
+
+TEST(KFlushingPhase1Test, TrimmedPostingsRegisteredOnDisk) {
+  PolicyHarness h;
+  auto policy = h.Make(PolicyKind::kKFlushing, kK);
+  for (MicroblogId id = 1; id <= 10; ++id) h.Ingest(policy.get(), id, {1});
+  policy->Flush(1);
+  std::vector<Posting> disk_postings;
+  ASSERT_TRUE(h.disk().QueryTerm(1, 100, &disk_postings).ok());
+  EXPECT_EQ(disk_postings.size(), 5u);  // ids 1..5 went to disk
+  EXPECT_EQ(h.disk().NumRecords(), 5u);  // payloads drained too
+}
+
+TEST(KFlushingPhase1Test, SharedRecordStaysUntilUnreferenced) {
+  PolicyHarness h;
+  auto policy = h.Make(PolicyKind::kKFlushing, kK);
+  // Record 100 carries keywords 1 and 2. Keyword 1 then overflows so 100
+  // is beyond top-k there; keyword 2 stays small so 100 remains top-k.
+  h.Ingest(policy.get(), 100, {1, 2});
+  for (MicroblogId id = 1; id <= 9; ++id) h.Ingest(policy.get(), id, {1});
+  policy->Flush(1);
+  EXPECT_EQ(policy->EntrySize(1), kK);
+  // Record 100 was trimmed from keyword 1 but is still referenced by 2.
+  EXPECT_TRUE(h.raw().Contains(100));
+  EXPECT_EQ(h.raw().Pcount(100), 1u);
+  auto kw2 = h.Query(policy.get(), 2, kK);
+  EXPECT_EQ(kw2, (std::vector<MicroblogId>{100}));
+  // But its association with keyword 1 is on disk now.
+  std::vector<Posting> disk_postings;
+  ASSERT_TRUE(h.disk().QueryTerm(1, 100, &disk_postings).ok());
+  bool found = false;
+  for (const Posting& p : disk_postings) found |= (p.id == 100);
+  EXPECT_TRUE(found);
+}
+
+TEST(KFlushingPhase1Test, OverKListTracksAndClears) {
+  PolicyHarness h;
+  auto policy = h.Make(PolicyKind::kKFlushing, kK);
+  auto* kf = static_cast<KFlushingPolicy*>(policy.get());
+  for (MicroblogId id = 1; id <= 6; ++id) h.Ingest(policy.get(), id, {1});
+  EXPECT_EQ(kf->TrackedOverKTerms(), 1u);
+  for (MicroblogId id = 7; id <= 9; ++id) h.Ingest(policy.get(), id, {2});
+  EXPECT_EQ(kf->TrackedOverKTerms(), 1u);  // keyword 2 never crossed k
+  policy->Flush(1);
+  EXPECT_EQ(kf->TrackedOverKTerms(), 0u);  // L wiped after Phase 1
+  // Crossing again re-tracks.
+  h.Ingest(policy.get(), 10, {1});
+  EXPECT_EQ(kf->TrackedOverKTerms(), 1u);
+}
+
+TEST(KFlushingPhase2Test, EvictsLeastRecentlyArrivedUnderKEntries) {
+  PolicyHarness h;
+  auto policy = h.Make(PolicyKind::kKFlushing, kK);
+  // Three under-k keywords arriving in order 10, 11, 12 (2 postings each);
+  // no over-k entries, so Phase 1 frees nothing.
+  for (KeywordId kw : {10, 11, 12}) {
+    h.Ingest(policy.get(), kw * 100 + 1, {kw});
+    h.Ingest(policy.get(), kw * 100 + 2, {kw});
+  }
+  // Need enough for roughly one entry: Phase 2 must pick keyword 10
+  // (least recently arrived).
+  const size_t one_entry = 2 * (RawDataStore::RecordBytes(testing_util::MakeBlog(
+                                   1, 1, {10})) +
+                               PostingList::kBytesPerPosting);
+  policy->Flush(one_entry);
+  EXPECT_EQ(policy->EntrySize(10), 0u);
+  EXPECT_GT(policy->EntrySize(12), 0u);  // most recent survives
+  EXPECT_FALSE(h.raw().Contains(1001));
+  EXPECT_FALSE(h.raw().Contains(1002));
+}
+
+TEST(KFlushingPhase2Test, FreesAtLeastRequestedWhenPossible) {
+  PolicyHarness h;
+  auto policy = h.Make(PolicyKind::kKFlushing, kK);
+  for (KeywordId kw = 1; kw <= 50; ++kw) {
+    h.Ingest(policy.get(), kw, {kw});
+  }
+  const size_t need = 4000;
+  const size_t freed = policy->Flush(need);
+  EXPECT_GE(freed, need);
+  EXPECT_LT(policy->NumTerms(), 50u);
+  EXPECT_GT(policy->NumTerms(), 0u);  // did not flush everything
+}
+
+TEST(KFlushingPhase3Test, EvictsLeastRecentlyQueriedWhenAllKFilled) {
+  PolicyHarness h;
+  auto policy = h.Make(PolicyKind::kKFlushing, kK);
+  MicroblogId id = 1;
+  // Three keywords with exactly k postings each: Phases 1 and 2 find
+  // nothing to flush.
+  for (KeywordId kw : {1, 2, 3}) {
+    for (uint32_t i = 0; i < kK; ++i) h.Ingest(policy.get(), id++, {kw});
+  }
+  // Query keywords 2 and 3 (recently queried); 1 is cold.
+  h.Query(policy.get(), 2, kK);
+  h.Query(policy.get(), 3, kK);
+
+  const size_t one_entry_cost = kK * 200;  // generous single-entry estimate
+  policy->Flush(one_entry_cost);
+  EXPECT_EQ(policy->EntrySize(1), 0u);  // least recently queried evicted
+  EXPECT_EQ(policy->EntrySize(2), kK);
+  EXPECT_EQ(policy->EntrySize(3), kK);
+  const PolicyStats stats = policy->stats();
+  EXPECT_GT(stats.phase3_postings, 0u);
+  EXPECT_EQ(stats.phase2_postings, 0u);
+}
+
+TEST(KFlushingTest, PhasesRunInOrderAndStopAtBudget) {
+  PolicyHarness h;
+  auto policy = h.Make(PolicyKind::kKFlushing, kK);
+  MicroblogId id = 1;
+  // Over-k keyword (Phase 1 fodder), under-k keywords (Phase 2 fodder).
+  for (int i = 0; i < 30; ++i) h.Ingest(policy.get(), id++, {1});
+  for (KeywordId kw = 2; kw <= 6; ++kw) h.Ingest(policy.get(), id++, {kw});
+  // Budget small enough that Phase 1 alone covers it: Phase 2 must not run.
+  policy->Flush(100);
+  const PolicyStats stats = policy->stats();
+  EXPECT_EQ(stats.phase1_postings, 25u);
+  EXPECT_EQ(stats.phase2_postings, 0u);
+  EXPECT_EQ(stats.phase3_postings, 0u);
+  for (KeywordId kw = 2; kw <= 6; ++kw) {
+    EXPECT_EQ(policy->EntrySize(kw), 1u);
+  }
+}
+
+TEST(KFlushingTest, Phase2DisabledFallsThroughToPhase3) {
+  PolicyHarness h;
+  KFlushingOptions opts;
+  opts.enable_phase2 = false;
+  KFlushingPolicy policy(h.ctx(), kK, opts);
+  MicroblogId id = 1;
+  for (KeywordId kw = 1; kw <= 4; ++kw) {
+    h.Ingest(&policy, id++, {kw});
+  }
+  policy.Flush(2000);
+  const PolicyStats stats = policy.stats();
+  EXPECT_EQ(stats.phase2_postings, 0u);
+  EXPECT_GT(stats.phase3_postings, 0u);
+}
+
+TEST(KFlushingTest, Phase1OnlySaturates) {
+  // With only Phase 1 enabled, repeated flushes free less and less —
+  // the Figure 5(a) behaviour.
+  PolicyHarness h;
+  KFlushingOptions opts;
+  opts.enable_phase2 = false;
+  opts.enable_phase3 = false;
+  KFlushingPolicy policy(h.ctx(), kK, opts);
+  MicroblogId id = 1;
+  for (int i = 0; i < 40; ++i) h.Ingest(&policy, id++, {1});
+  const size_t freed1 = policy.Flush(1 << 20);
+  EXPECT_GT(freed1, 0u);
+  // No new arrivals: a second flush finds nothing useless.
+  const size_t freed2 = policy.Flush(1 << 20);
+  EXPECT_EQ(freed2, 0u);
+}
+
+TEST(KFlushingTest, DynamicKDecreaseAppliesNextFlush) {
+  // Phases 2/3 disabled: with a single exactly-k entry they would evict it
+  // wholesale, which is not what this test is about.
+  PolicyHarness h;
+  KFlushingOptions opts;
+  opts.enable_phase2 = false;
+  opts.enable_phase3 = false;
+  KFlushingPolicy policy(h.ctx(), kK, opts);
+  for (MicroblogId id = 1; id <= 5; ++id) h.Ingest(&policy, id, {1});
+  policy.Flush(1);
+  EXPECT_EQ(policy.EntrySize(1), 5u);  // exactly k: nothing trimmed
+  policy.SetK(2);
+  // Entry (size 5 > new k=2) is not in L; the k-change rescan must find it.
+  policy.Flush(1);
+  EXPECT_EQ(policy.EntrySize(1), 2u);
+}
+
+TEST(KFlushingTest, DynamicKIncreaseAccumulatesMore) {
+  PolicyHarness h;
+  auto policy = h.Make(PolicyKind::kKFlushing, 2);
+  for (MicroblogId id = 1; id <= 6; ++id) h.Ingest(policy.get(), id, {1});
+  policy->Flush(1);
+  EXPECT_EQ(policy->EntrySize(1), 2u);
+  policy->SetK(4);
+  for (MicroblogId id = 7; id <= 12; ++id) h.Ingest(policy.get(), id, {1});
+  policy->Flush(1);
+  EXPECT_EQ(policy->EntrySize(1), 4u);  // new k honored
+}
+
+TEST(KFlushingTest, AuxMemoryAccountsForTrackingStructures) {
+  PolicyHarness h;
+  auto policy = h.Make(PolicyKind::kKFlushing, kK);
+  const size_t before = policy->AuxMemoryBytes();
+  for (MicroblogId id = 1; id <= 20; ++id) {
+    h.Ingest(policy.get(), id, {static_cast<KeywordId>(id % 2)});
+  }
+  EXPECT_GT(policy->AuxMemoryBytes(), before);
+}
+
+TEST(KFlushingTest, FlushOnEmptyPolicyIsSafe) {
+  PolicyHarness h;
+  auto policy = h.Make(PolicyKind::kKFlushing, kK);
+  EXPECT_EQ(policy->Flush(1 << 20), 0u);
+  EXPECT_EQ(policy->stats().flush_cycles, 1u);
+}
+
+TEST(KFlushingTest, KindNames) {
+  PolicyHarness h;
+  auto plain = h.Make(PolicyKind::kKFlushing, kK);
+  auto mk = h.Make(PolicyKind::kKFlushingMK, kK);
+  EXPECT_STREQ(plain->name(), "kFlushing");
+  EXPECT_STREQ(mk->name(), "kFlushing-MK");
+}
+
+}  // namespace
+}  // namespace kflush

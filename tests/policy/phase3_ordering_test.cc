@@ -1,0 +1,72 @@
+// The §III-C design choice: Phase 3 evicts least-recently-QUERIED entries.
+// These tests pin the mechanism (queried entries survive; unqueried ones
+// go) and the ablation switch (ordering by arrival instead).
+
+#include <gtest/gtest.h>
+
+#include "../testing/policy_harness.h"
+#include "policy/kflushing_policy.h"
+
+namespace kflush {
+namespace {
+
+using testing_util::PolicyHarness;
+
+constexpr uint32_t kK = 3;
+
+// Three exactly-k entries; 1 arrives first but is queried last. Under
+// query-time ordering the *unqueried* entry goes; under arrival-time
+// ordering the *oldest-arrived* goes.
+struct Scenario {
+  PolicyHarness h;
+  std::unique_ptr<KFlushingPolicy> policy;
+
+  explicit Scenario(bool by_query_time) {
+    KFlushingOptions opts;
+    opts.phase3_by_query_time = by_query_time;
+    policy = std::make_unique<KFlushingPolicy>(h.ctx(), kK, opts);
+    MicroblogId id = 1;
+    for (KeywordId kw : {1, 2, 3}) {
+      for (uint32_t i = 0; i < kK; ++i) h.Ingest(policy.get(), id++, {kw});
+    }
+    // Query entries 1 and 2 (entry 3 stays unqueried).
+    h.Query(policy.get(), 1, kK);
+    h.Query(policy.get(), 2, kK);
+  }
+};
+
+TEST(Phase3OrderingTest, QueryTimeOrderingEvictsUnqueried) {
+  Scenario setup(/*by_query_time=*/true);
+  setup.policy->Flush(600);  // roughly one entry's worth
+  EXPECT_EQ(setup.policy->EntrySize(3), 0u);  // never queried
+  EXPECT_EQ(setup.policy->EntrySize(1), kK);
+  EXPECT_EQ(setup.policy->EntrySize(2), kK);
+}
+
+TEST(Phase3OrderingTest, ArrivalOrderingEvictsOldest) {
+  Scenario setup(/*by_query_time=*/false);
+  setup.policy->Flush(600);
+  EXPECT_EQ(setup.policy->EntrySize(1), 0u);  // oldest arrivals
+  EXPECT_EQ(setup.policy->EntrySize(2), kK);
+  EXPECT_EQ(setup.policy->EntrySize(3), kK);
+}
+
+TEST(Phase3OrderingTest, RepeatQueriesRefreshRecency) {
+  PolicyHarness h;
+  KFlushingOptions opts;
+  KFlushingPolicy policy(h.ctx(), kK, opts);
+  MicroblogId id = 1;
+  for (KeywordId kw : {1, 2}) {
+    for (uint32_t i = 0; i < kK; ++i) h.Ingest(&policy, id++, {kw});
+  }
+  // Query 1, then 2, then 1 again: 2 is now the least recently queried.
+  h.Query(&policy, 1, kK);
+  h.Query(&policy, 2, kK);
+  h.Query(&policy, 1, kK);
+  policy.Flush(600);
+  EXPECT_EQ(policy.EntrySize(1), kK);
+  EXPECT_EQ(policy.EntrySize(2), 0u);
+}
+
+}  // namespace
+}  // namespace kflush

@@ -1,0 +1,111 @@
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace kflush {
+namespace {
+
+ExperimentConfig TinyConfig(PolicyKind policy) {
+  ExperimentConfig config;
+  config.store.policy = policy;
+  config.store.memory_budget_bytes = 1 << 20;
+  config.store.k = 5;
+  config.stream.seed = 7;
+  config.stream.vocabulary_size = 5'000;
+  config.stream.num_users = 1'000;
+  config.workload.seed = 11;
+  config.steady_state_flushes = 2;
+  config.num_queries = 500;
+  return config;
+}
+
+TEST(ExperimentTest, DeterministicAcrossRuns) {
+  auto a = RunExperiment(TinyConfig(PolicyKind::kKFlushing));
+  auto b = RunExperiment(TinyConfig(PolicyKind::kKFlushing));
+  EXPECT_EQ(a.tweets_streamed, b.tweets_streamed);
+  EXPECT_EQ(a.k_filled_terms, b.k_filled_terms);
+  EXPECT_EQ(a.num_terms, b.num_terms);
+  EXPECT_EQ(a.query_metrics.memory_hits, b.query_metrics.memory_hits);
+  EXPECT_EQ(a.query_metrics.queries, b.query_metrics.queries);
+  EXPECT_EQ(a.frequency.total_postings, b.frequency.total_postings);
+}
+
+TEST(ExperimentTest, DifferentSeedsDiffer) {
+  auto a = RunExperiment(TinyConfig(PolicyKind::kKFlushing));
+  ExperimentConfig other = TinyConfig(PolicyKind::kKFlushing);
+  other.stream.seed = 8;
+  auto b = RunExperiment(other);
+  // Same machinery, different stream: some statistic must move.
+  EXPECT_TRUE(a.k_filled_terms != b.k_filled_terms ||
+              a.query_metrics.memory_hits != b.query_metrics.memory_hits);
+}
+
+TEST(ExperimentTest, ReachesSteadyStateAndCountsQueries) {
+  for (PolicyKind policy :
+       {PolicyKind::kFifo, PolicyKind::kLru, PolicyKind::kKFlushing}) {
+    auto result = RunExperiment(TinyConfig(policy));
+    EXPECT_TRUE(result.reached_steady_state) << PolicyKindName(policy);
+    EXPECT_EQ(result.query_metrics.queries, 500u);
+    EXPECT_GE(result.ingest_stats.flush_triggers, 2u);
+    EXPECT_GT(result.tweets_streamed, 0u);
+  }
+}
+
+TEST(ExperimentTest, SteadyStateCapRespected) {
+  ExperimentConfig config = TinyConfig(PolicyKind::kKFlushing);
+  config.max_stream_tweets = 100;  // cannot possibly fill 1 MB
+  config.num_queries = 10;
+  auto result = RunExperiment(config);
+  EXPECT_FALSE(result.reached_steady_state);
+  EXPECT_LE(result.tweets_streamed, 200u);  // cap + measured-phase ingest
+}
+
+TEST(ExperimentTest, MemoryTimelineStaysBounded) {
+  ExperimentConfig config = TinyConfig(PolicyKind::kKFlushing);
+  auto samples = MemoryTimeline(config, 2'000, 30);
+  ASSERT_EQ(samples.size(), 30u);
+  for (double s : samples) {
+    EXPECT_GE(s, 0.0);
+    // auto_flush keeps utilization near budget; allow flush-lag slack.
+    EXPECT_LT(s, 1.5);
+  }
+  // It must actually fill up at some point.
+  double max_util = 0;
+  for (double s : samples) max_util = std::max(max_util, s);
+  EXPECT_GT(max_util, 0.8);
+}
+
+TEST(ExperimentTest, ZeroQueryRateStreamsNoExtraTweets) {
+  ExperimentConfig config = TinyConfig(PolicyKind::kFifo);
+  config.queries_per_second = 0.0;
+  auto result = RunExperiment(config);
+  EXPECT_EQ(result.query_metrics.queries, 500u);
+}
+
+TEST(ExperimentTest, ResultToStringMentionsKeyStats) {
+  auto result = RunExperiment(TinyConfig(PolicyKind::kKFlushing));
+  const std::string s = result.ToString();
+  EXPECT_NE(s.find("k_filled="), std::string::npos);
+  EXPECT_NE(s.find("hit_ratio="), std::string::npos);
+}
+
+TEST(ExperimentTest, SpatialAttributeRuns) {
+  ExperimentConfig config = TinyConfig(PolicyKind::kKFlushing);
+  config.store.attribute = AttributeKind::kSpatial;
+  config.workload.attribute = AttributeKind::kSpatial;
+  auto result = RunExperiment(config);
+  EXPECT_TRUE(result.reached_steady_state);
+  EXPECT_GT(result.num_terms, 0u);
+}
+
+TEST(ExperimentTest, UserAttributeRuns) {
+  ExperimentConfig config = TinyConfig(PolicyKind::kKFlushing);
+  config.store.attribute = AttributeKind::kUser;
+  config.workload.attribute = AttributeKind::kUser;
+  auto result = RunExperiment(config);
+  EXPECT_TRUE(result.reached_steady_state);
+  EXPECT_GT(result.k_filled_terms, 0u);
+}
+
+}  // namespace
+}  // namespace kflush

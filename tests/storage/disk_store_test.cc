@@ -1,0 +1,157 @@
+// Parameterized parity suite: SimDiskStore and FileDiskStore must behave
+// identically through the DiskStore interface.
+
+#include "storage/disk_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "../testing/test_util.h"
+#include "storage/file_disk_store.h"
+#include "storage/sim_disk_store.h"
+
+namespace kflush {
+namespace {
+
+using testing_util::MakeBlog;
+
+enum class StoreType { kSim, kFile };
+
+class DiskStoreTest : public ::testing::TestWithParam<StoreType> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == StoreType::kSim) {
+      store_ = std::make_unique<SimDiskStore>();
+    } else {
+      path_ = ::testing::TempDir() + "/kflush_disk_test.dat";
+      auto opened = FileDiskStore::Open(path_);
+      ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+      store_ = std::move(opened).value();
+    }
+  }
+
+  void TearDown() override {
+    store_.reset();
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+
+  std::unique_ptr<DiskStore> store_;
+  std::string path_;
+};
+
+TEST_P(DiskStoreTest, EmptyQueries) {
+  std::vector<Posting> out;
+  ASSERT_TRUE(store_->QueryTerm(5, 10, &out).ok());
+  EXPECT_TRUE(out.empty());
+  Microblog blog;
+  EXPECT_TRUE(store_->GetRecord(1, &blog).IsNotFound());
+  EXPECT_EQ(store_->NumRecords(), 0u);
+  EXPECT_EQ(store_->NumPostings(), 0u);
+}
+
+TEST_P(DiskStoreTest, PostingsComeBackScoreOrdered) {
+  ASSERT_TRUE(store_->AddPosting(1, 10, 5.0).ok());
+  ASSERT_TRUE(store_->AddPosting(1, 11, 9.0).ok());
+  ASSERT_TRUE(store_->AddPosting(1, 12, 7.0).ok());
+  std::vector<Posting> out;
+  ASSERT_TRUE(store_->QueryTerm(1, 10, &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].id, 11u);
+  EXPECT_EQ(out[1].id, 12u);
+  EXPECT_EQ(out[2].id, 10u);
+}
+
+TEST_P(DiskStoreTest, QueryTermRespectsLimit) {
+  for (MicroblogId id = 0; id < 20; ++id) {
+    ASSERT_TRUE(store_->AddPosting(1, id, static_cast<double>(id)).ok());
+  }
+  std::vector<Posting> out;
+  ASSERT_TRUE(store_->QueryTerm(1, 5, &out).ok());
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0].id, 19u);
+}
+
+TEST_P(DiskStoreTest, DuplicatePostingIgnored) {
+  ASSERT_TRUE(store_->AddPosting(1, 10, 5.0).ok());
+  ASSERT_TRUE(store_->AddPosting(1, 10, 5.0).ok());
+  EXPECT_EQ(store_->NumPostings(), 1u);
+}
+
+TEST_P(DiskStoreTest, WriteBatchThenGetRecord) {
+  std::vector<Microblog> batch;
+  batch.push_back(MakeBlog(1, 100, {1, 2}, 7, "first record"));
+  batch.push_back(MakeBlog(2, 200, {3}, 8, "second record"));
+  ASSERT_TRUE(store_->WriteBatch(std::move(batch)).ok());
+  EXPECT_EQ(store_->NumRecords(), 2u);
+
+  Microblog blog;
+  ASSERT_TRUE(store_->GetRecord(2, &blog).ok());
+  EXPECT_EQ(blog.created_at, 200u);
+  EXPECT_EQ(blog.text, "second record");
+  ASSERT_TRUE(store_->GetRecord(1, &blog).ok());
+  EXPECT_EQ(blog.keywords, (std::vector<KeywordId>{1, 2}));
+}
+
+TEST_P(DiskStoreTest, MultipleBatchesAccumulate) {
+  for (int b = 0; b < 5; ++b) {
+    std::vector<Microblog> batch;
+    for (int i = 0; i < 10; ++i) {
+      batch.push_back(MakeBlog(static_cast<MicroblogId>(b * 10 + i + 1),
+                               100, {1}, 1, "batch record " + std::to_string(b)));
+    }
+    ASSERT_TRUE(store_->WriteBatch(std::move(batch)).ok());
+  }
+  EXPECT_EQ(store_->NumRecords(), 50u);
+  Microblog blog;
+  ASSERT_TRUE(store_->GetRecord(37, &blog).ok());
+  EXPECT_EQ(blog.text, "batch record 3");
+  EXPECT_EQ(store_->stats().write_batches, 5u);
+  EXPECT_EQ(store_->stats().records_written, 50u);
+}
+
+TEST_P(DiskStoreTest, StatsCountAccesses) {
+  ASSERT_TRUE(store_->AddPosting(1, 10, 5.0).ok());
+  std::vector<Posting> out;
+  ASSERT_TRUE(store_->QueryTerm(1, 10, &out).ok());
+  ASSERT_TRUE(store_->QueryTerm(2, 10, &out).ok());
+  const DiskStats stats = store_->stats();
+  EXPECT_EQ(stats.postings_added, 1u);
+  EXPECT_EQ(stats.term_queries, 2u);
+}
+
+TEST_P(DiskStoreTest, EmptyBatchIsOk) {
+  ASSERT_TRUE(store_->WriteBatch({}).ok());
+  EXPECT_EQ(store_->NumRecords(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, DiskStoreTest,
+                         ::testing::Values(StoreType::kSim, StoreType::kFile),
+                         [](const auto& info) {
+                           return info.param == StoreType::kSim ? "Sim"
+                                                                : "File";
+                         });
+
+TEST(FileDiskStoreTest, OpenFailsOnBadPath) {
+  auto opened = FileDiskStore::Open("/nonexistent-dir/file.dat");
+  EXPECT_FALSE(opened.ok());
+  EXPECT_TRUE(opened.status().IsIOError());
+}
+
+TEST(FileDiskStoreTest, LargeRecordsRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/kflush_large.dat";
+  auto opened = FileDiskStore::Open(path);
+  ASSERT_TRUE(opened.ok());
+  auto store = std::move(opened).value();
+  std::vector<Microblog> batch;
+  batch.push_back(MakeBlog(1, 1, {}, 1, std::string(64 * 1024, 'q')));
+  ASSERT_TRUE(store->WriteBatch(std::move(batch)).ok());
+  Microblog blog;
+  ASSERT_TRUE(store->GetRecord(1, &blog).ok());
+  EXPECT_EQ(blog.text.size(), 64u * 1024);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace kflush

@@ -1,0 +1,75 @@
+#include "storage/flush_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/test_util.h"
+#include "storage/sim_disk_store.h"
+
+namespace kflush {
+namespace {
+
+using testing_util::MakeBlog;
+
+TEST(FlushBufferTest, StartsEmpty) {
+  FlushBuffer buffer;
+  EXPECT_EQ(buffer.count(), 0u);
+  EXPECT_EQ(buffer.bytes(), 0u);
+}
+
+TEST(FlushBufferTest, AddAccumulatesAndCharges) {
+  MemoryTracker tracker(1 << 20);
+  FlushBuffer buffer(&tracker);
+  Microblog blog = MakeBlog(1, 1, {1}, 1, "buffered payload");
+  const size_t bytes = blog.FootprintBytes();
+  buffer.Add(std::move(blog));
+  EXPECT_EQ(buffer.count(), 1u);
+  EXPECT_EQ(buffer.bytes(), bytes);
+  EXPECT_EQ(tracker.ComponentUsed(MemoryComponent::kFlushBuffer), bytes);
+}
+
+TEST(FlushBufferTest, DrainWritesOneBatchAndReleases) {
+  MemoryTracker tracker(1 << 20);
+  FlushBuffer buffer(&tracker);
+  SimDiskStore disk;
+  for (MicroblogId id = 1; id <= 5; ++id) {
+    buffer.Add(MakeBlog(id, id, {1}));
+  }
+  ASSERT_TRUE(buffer.DrainTo(&disk).ok());
+  EXPECT_EQ(buffer.count(), 0u);
+  EXPECT_EQ(buffer.bytes(), 0u);
+  EXPECT_EQ(tracker.ComponentUsed(MemoryComponent::kFlushBuffer), 0u);
+  EXPECT_EQ(disk.NumRecords(), 5u);
+  EXPECT_EQ(disk.stats().write_batches, 1u);  // single batched write
+}
+
+TEST(FlushBufferTest, DrainEmptyIsNoop) {
+  FlushBuffer buffer;
+  SimDiskStore disk;
+  ASSERT_TRUE(buffer.DrainTo(&disk).ok());
+  EXPECT_EQ(disk.stats().write_batches, 0u);
+}
+
+TEST(FlushBufferTest, PeakBytesTracksHighWater) {
+  FlushBuffer buffer;
+  SimDiskStore disk;
+  buffer.Add(MakeBlog(1, 1, {1}, 1, std::string(500, 'a')));
+  const size_t peak1 = buffer.peak_bytes();
+  ASSERT_TRUE(buffer.DrainTo(&disk).ok());
+  buffer.Add(MakeBlog(2, 2, {1}, 1, "tiny"));
+  EXPECT_EQ(buffer.peak_bytes(), peak1);  // smaller refill keeps the peak
+  buffer.Add(MakeBlog(3, 3, {1}, 1, std::string(2000, 'b')));
+  EXPECT_GT(buffer.peak_bytes(), peak1);
+}
+
+TEST(FlushBufferTest, DestructorReleasesCharges) {
+  MemoryTracker tracker(1 << 20);
+  {
+    FlushBuffer buffer(&tracker);
+    buffer.Add(MakeBlog(1, 1, {1}));
+    EXPECT_GT(tracker.ComponentUsed(MemoryComponent::kFlushBuffer), 0u);
+  }
+  EXPECT_EQ(tracker.ComponentUsed(MemoryComponent::kFlushBuffer), 0u);
+}
+
+}  // namespace
+}  // namespace kflush

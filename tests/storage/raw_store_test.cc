@@ -1,0 +1,131 @@
+#include "storage/raw_store.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "../testing/test_util.h"
+
+namespace kflush {
+namespace {
+
+using testing_util::MakeBlog;
+
+TEST(RawDataStoreTest, PutGetRoundTrip) {
+  RawDataStore store;
+  ASSERT_TRUE(store.Put(MakeBlog(1, 100, {5, 6}), 2).ok());
+  EXPECT_TRUE(store.Contains(1));
+  auto blog = store.Get(1);
+  ASSERT_TRUE(blog.has_value());
+  EXPECT_EQ(blog->created_at, 100u);
+  EXPECT_EQ(blog->keywords, (std::vector<KeywordId>{5, 6}));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(RawDataStoreTest, DuplicatePutFails) {
+  RawDataStore store;
+  ASSERT_TRUE(store.Put(MakeBlog(1, 100, {5}), 1).ok());
+  Status s = store.Put(MakeBlog(1, 200, {6}), 1);
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(store.Get(1)->created_at, 100u);  // original intact
+}
+
+TEST(RawDataStoreTest, GetMissing) {
+  RawDataStore store;
+  EXPECT_FALSE(store.Get(42).has_value());
+  EXPECT_FALSE(store.Contains(42));
+}
+
+TEST(RawDataStoreTest, WithVisitsInPlace) {
+  RawDataStore store;
+  ASSERT_TRUE(store.Put(MakeBlog(1, 100, {}, 7), 1).ok());
+  bool visited = false;
+  EXPECT_TRUE(store.With(1, [&](const Microblog& blog) {
+    visited = true;
+    EXPECT_EQ(blog.user_id, 7u);
+  }));
+  EXPECT_TRUE(visited);
+  EXPECT_FALSE(store.With(2, [](const Microblog&) {}));
+}
+
+TEST(RawDataStoreTest, PcountLifecycle) {
+  RawDataStore store;
+  ASSERT_TRUE(store.Put(MakeBlog(1, 100, {1, 2, 3}), 3).ok());
+  EXPECT_EQ(store.Pcount(1), 3u);
+  EXPECT_EQ(store.DecrementPcount(1), 2u);
+  EXPECT_EQ(store.DecrementPcount(1), 1u);
+  EXPECT_EQ(store.DecrementPcount(1), 0u);
+  // Saturates at zero rather than wrapping.
+  EXPECT_EQ(store.DecrementPcount(1), 0u);
+  // Missing records report zero.
+  EXPECT_EQ(store.DecrementPcount(99), 0u);
+  EXPECT_EQ(store.Pcount(99), 0u);
+}
+
+TEST(RawDataStoreTest, TopKCountLifecycle) {
+  RawDataStore store;
+  ASSERT_TRUE(store.Put(MakeBlog(1, 100, {1}), 1).ok());
+  EXPECT_EQ(store.TopKCount(1), 0u);
+  store.IncrementTopK(1);
+  store.IncrementTopK(1);
+  EXPECT_EQ(store.TopKCount(1), 2u);
+  EXPECT_EQ(store.DecrementTopK(1), 1u);
+  EXPECT_EQ(store.DecrementTopK(1), 0u);
+  EXPECT_EQ(store.DecrementTopK(1), 0u);  // saturates
+  store.IncrementTopK(42);                 // missing: no-op
+  EXPECT_EQ(store.TopKCount(42), 0u);
+}
+
+TEST(RawDataStoreTest, RemoveReturnsRecordAndFreesBytes) {
+  MemoryTracker tracker(1 << 20);
+  RawDataStore store(&tracker);
+  Microblog blog = MakeBlog(1, 100, {1, 2}, 1, "some text payload");
+  const size_t bytes = RawDataStore::RecordBytes(blog);
+  ASSERT_TRUE(store.Put(blog, 2).ok());
+  EXPECT_EQ(tracker.ComponentUsed(MemoryComponent::kRawStore), bytes);
+
+  auto removed = store.Remove(1);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->id, 1u);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(tracker.ComponentUsed(MemoryComponent::kRawStore), 0u);
+  EXPECT_FALSE(store.Remove(1).has_value());
+}
+
+TEST(RawDataStoreTest, MemoryBytesTracksContents) {
+  RawDataStore store;
+  EXPECT_EQ(store.MemoryBytes(), 0u);
+  Microblog a = MakeBlog(1, 1, {1});
+  Microblog b = MakeBlog(2, 2, {1, 2}, 1, std::string(100, 'x'));
+  store.Put(a, 1).ok();
+  store.Put(b, 2).ok();
+  EXPECT_EQ(store.MemoryBytes(),
+            RawDataStore::RecordBytes(a) + RawDataStore::RecordBytes(b));
+}
+
+TEST(RawDataStoreTest, ConcurrentPutsAndRemoves) {
+  RawDataStore store;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const MicroblogId id =
+            static_cast<MicroblogId>(t) * kPerThread + static_cast<MicroblogId>(i);
+        ASSERT_TRUE(store.Put(MakeBlog(id, id, {1}), 1).ok());
+      }
+      // Remove every other record.
+      for (int i = 0; i < kPerThread; i += 2) {
+        const MicroblogId id =
+            static_cast<MicroblogId>(t) * kPerThread + static_cast<MicroblogId>(i);
+        ASSERT_TRUE(store.Remove(id).has_value());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store.size(), static_cast<size_t>(kThreads) * kPerThread / 2);
+}
+
+}  // namespace
+}  // namespace kflush

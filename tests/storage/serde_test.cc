@@ -1,0 +1,112 @@
+#include "storage/serde.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/test_util.h"
+#include "gen/tweet_generator.h"
+
+namespace kflush {
+namespace {
+
+using testing_util::MakeBlog;
+using testing_util::MakeGeoBlog;
+
+void ExpectEqualBlogs(const Microblog& a, const Microblog& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.created_at, b.created_at);
+  EXPECT_EQ(a.user_id, b.user_id);
+  EXPECT_EQ(a.follower_count, b.follower_count);
+  EXPECT_EQ(a.has_location, b.has_location);
+  if (a.has_location) {
+    EXPECT_DOUBLE_EQ(a.location.lat, b.location.lat);
+    EXPECT_DOUBLE_EQ(a.location.lon, b.location.lon);
+  }
+  EXPECT_EQ(a.keywords, b.keywords);
+  EXPECT_EQ(a.text, b.text);
+}
+
+TEST(SerdeTest, RoundTripBasic) {
+  Microblog blog = MakeBlog(7, 1234, {1, 2, 3}, 42, "hello #world");
+  blog.follower_count = 99;
+  std::string buf;
+  EncodeMicroblog(blog, &buf);
+  Microblog decoded;
+  size_t consumed = 0;
+  ASSERT_TRUE(DecodeMicroblog(buf.data(), buf.size(), &decoded, &consumed).ok());
+  EXPECT_EQ(consumed, buf.size());
+  ExpectEqualBlogs(blog, decoded);
+}
+
+TEST(SerdeTest, RoundTripWithLocation) {
+  Microblog blog = MakeGeoBlog(9, 555, 44.97, -93.26, 3);
+  std::string buf;
+  EncodeMicroblog(blog, &buf);
+  Microblog decoded;
+  size_t consumed = 0;
+  ASSERT_TRUE(DecodeMicroblog(buf.data(), buf.size(), &decoded, &consumed).ok());
+  ExpectEqualBlogs(blog, decoded);
+}
+
+TEST(SerdeTest, RoundTripEmptyFields) {
+  Microblog blog;
+  blog.id = 1;
+  std::string buf;
+  EncodeMicroblog(blog, &buf);
+  Microblog decoded;
+  size_t consumed = 0;
+  ASSERT_TRUE(DecodeMicroblog(buf.data(), buf.size(), &decoded, &consumed).ok());
+  ExpectEqualBlogs(blog, decoded);
+}
+
+TEST(SerdeTest, MultipleRecordsDecodeSequentially) {
+  std::string buf;
+  std::vector<Microblog> blogs;
+  for (MicroblogId id = 1; id <= 10; ++id) {
+    blogs.push_back(MakeBlog(id, id * 10, {static_cast<KeywordId>(id)}));
+    EncodeMicroblog(blogs.back(), &buf);
+  }
+  size_t pos = 0;
+  for (const Microblog& expected : blogs) {
+    Microblog decoded;
+    size_t consumed = 0;
+    ASSERT_TRUE(
+        DecodeMicroblog(buf.data() + pos, buf.size() - pos, &decoded, &consumed)
+            .ok());
+    ExpectEqualBlogs(expected, decoded);
+    pos += consumed;
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(SerdeTest, TruncationIsCorruption) {
+  Microblog blog = MakeBlog(7, 1234, {1, 2}, 42, "payload text");
+  std::string buf;
+  EncodeMicroblog(blog, &buf);
+  Microblog decoded;
+  size_t consumed = 0;
+  // Every strict prefix must fail cleanly.
+  for (size_t len = 0; len < buf.size(); ++len) {
+    Status s = DecodeMicroblog(buf.data(), len, &decoded, &consumed);
+    EXPECT_TRUE(s.IsCorruption()) << "len=" << len;
+  }
+}
+
+TEST(SerdeTest, FuzzRoundTripGeneratedTweets) {
+  TweetGeneratorOptions opts;
+  opts.seed = 77;
+  TweetGenerator gen(opts);
+  for (int i = 0; i < 500; ++i) {
+    Microblog blog = gen.Next();
+    blog.id = static_cast<MicroblogId>(i + 1);
+    std::string buf;
+    EncodeMicroblog(blog, &buf);
+    Microblog decoded;
+    size_t consumed = 0;
+    ASSERT_TRUE(
+        DecodeMicroblog(buf.data(), buf.size(), &decoded, &consumed).ok());
+    ExpectEqualBlogs(blog, decoded);
+  }
+}
+
+}  // namespace
+}  // namespace kflush

@@ -1,0 +1,75 @@
+// Shared helpers for kflush tests.
+
+#ifndef KFLUSH_TESTS_TESTING_TEST_UTIL_H_
+#define KFLUSH_TESTS_TESTING_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/store.h"
+#include "model/microblog.h"
+
+namespace kflush {
+namespace testing_util {
+
+/// A microblog with the given keywords, timestamp, and ~realistic size.
+inline Microblog MakeBlog(MicroblogId id, Timestamp ts,
+                          std::vector<KeywordId> keywords, UserId user = 1,
+                          std::string text = "synthetic test microblog") {
+  Microblog blog;
+  blog.id = id;
+  blog.created_at = ts;
+  blog.user_id = user;
+  blog.keywords = std::move(keywords);
+  blog.text = std::move(text);
+  return blog;
+}
+
+/// A geotagged microblog.
+inline Microblog MakeGeoBlog(MicroblogId id, Timestamp ts, double lat,
+                             double lon, UserId user = 1) {
+  Microblog blog = MakeBlog(id, ts, {}, user);
+  blog.has_location = true;
+  blog.location = {lat, lon};
+  return blog;
+}
+
+/// Store options sized for fast unit tests.
+inline StoreOptions SmallStoreOptions(PolicyKind policy,
+                                      size_t budget = 256 * 1024,
+                                      uint32_t k = 5) {
+  StoreOptions opts;
+  opts.memory_budget_bytes = budget;
+  opts.flush_fraction = 0.2;
+  opts.k = k;
+  opts.policy = policy;
+  opts.auto_flush = false;  // tests trigger flushes explicitly
+  return opts;
+}
+
+/// Ingests `n` microblogs where blog i carries keyword (i % distinct).
+/// Ids are assigned by the store; timestamps increase.
+inline void FillRoundRobin(MicroblogStore* store, size_t n, size_t distinct,
+                           Timestamp start_ts = 1000) {
+  for (size_t i = 0; i < n; ++i) {
+    Microblog blog;
+    blog.created_at = start_ts + i;
+    blog.user_id = 1 + (i % 7);
+    blog.keywords = {static_cast<KeywordId>(i % distinct)};
+    blog.text = "round robin filler text for realistic record size";
+    auto s = store->Insert(std::move(blog));
+    if (!s.ok()) abort();
+  }
+}
+
+/// All policy kinds, for parameterized suites.
+inline std::vector<PolicyKind> AllPolicies() {
+  return {PolicyKind::kFifo, PolicyKind::kLru, PolicyKind::kKFlushing,
+          PolicyKind::kKFlushingMK};
+}
+
+}  // namespace testing_util
+}  // namespace kflush
+
+#endif  // KFLUSH_TESTS_TESTING_TEST_UTIL_H_

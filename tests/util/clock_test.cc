@@ -1,0 +1,58 @@
+#include "util/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace kflush {
+namespace {
+
+TEST(WallClockTest, Monotone) {
+  WallClock* clock = WallClock::Default();
+  Timestamp a = clock->NowMicros();
+  Timestamp b = clock->NowMicros();
+  EXPECT_LE(a, b);
+}
+
+TEST(SimClockTest, StartsAtGivenTime) {
+  SimClock clock(500);
+  EXPECT_EQ(clock.NowMicros(), 500u);
+}
+
+TEST(SimClockTest, AdvanceReturnsNewTime) {
+  SimClock clock(100);
+  EXPECT_EQ(clock.Advance(50), 150u);
+  EXPECT_EQ(clock.NowMicros(), 150u);
+}
+
+TEST(SimClockTest, SetOverrides) {
+  SimClock clock;
+  clock.Set(1234);
+  EXPECT_EQ(clock.NowMicros(), 1234u);
+}
+
+TEST(SimClockTest, ConcurrentAdvancesSumUp) {
+  SimClock clock(0);
+  constexpr int kThreads = 8;
+  constexpr int kSteps = 10000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&clock] {
+      for (int j = 0; j < kSteps; ++j) clock.Advance(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(clock.NowMicros(), static_cast<Timestamp>(kThreads) * kSteps);
+}
+
+TEST(StopwatchTest, MeasuresElapsed) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(watch.ElapsedMicros(), 4000u);
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedMicros(), 4000u);
+}
+
+}  // namespace
+}  // namespace kflush

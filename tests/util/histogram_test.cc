@@ -1,0 +1,101 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace kflush {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0u);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+  EXPECT_EQ(h.Percentile(50), 42u);
+}
+
+TEST(HistogramTest, ExactStatsForSmallValues) {
+  Histogram h;
+  for (uint64_t v = 0; v < 16; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 16u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 15u);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.5);
+}
+
+TEST(HistogramTest, PercentilesAreMonotone) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 10000; ++v) h.Record(v);
+  uint64_t prev = 0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    uint64_t v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, MedianApproximation) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100000; ++v) h.Record(v);
+  const uint64_t p50 = h.Percentile(50);
+  EXPECT_GT(p50, 40000u);
+  EXPECT_LT(p50, 62000u);  // bucketed estimate: generous bound
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Record(1);
+  a.Record(3);
+  b.Record(100);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 100u);
+  EXPECT_EQ(a.sum(), 104u);
+}
+
+TEST(HistogramTest, MergeWithEmptyIsNoop) {
+  Histogram a, empty;
+  a.Record(5);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 5u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(9);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, HandlesLargeValues) {
+  Histogram h;
+  h.Record(1ULL << 50);
+  h.Record(1ULL << 51);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), 1ULL << 51);
+  EXPECT_GE(h.Percentile(100), h.min());
+}
+
+TEST(HistogramTest, ToStringHasFields) {
+  Histogram h;
+  h.Record(10);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kflush

@@ -1,0 +1,61 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace kflush {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, SetAndGetLevel) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST(LoggingTest, MacroRespectsLevel) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "payload";
+  };
+  // Below-threshold messages must not evaluate their stream expression.
+  KFLUSH_DEBUG(expensive());
+  KFLUSH_ERROR(expensive());  // kOff suppresses even errors
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  KFLUSH_DEBUG(expensive());
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(out.find("payload"), std::string::npos);
+  EXPECT_NE(out.find("DEBUG"), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+}
+
+TEST(LoggingTest, LevelsAreOrdered) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  KFLUSH_INFO("hidden info");
+  KFLUSH_WARN("visible warning");
+  KFLUSH_ERROR("visible error");
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("hidden info"), std::string::npos);
+  EXPECT_NE(out.find("visible warning"), std::string::npos);
+  EXPECT_NE(out.find("visible error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kflush

@@ -1,0 +1,79 @@
+#include "util/memory_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace kflush {
+namespace {
+
+TEST(MemoryTrackerTest, StartsEmpty) {
+  MemoryTracker t(1000);
+  EXPECT_EQ(t.used(), 0u);
+  EXPECT_EQ(t.budget(), 1000u);
+  EXPECT_FALSE(t.IsFull());
+  EXPECT_FALSE(t.DataFull());
+}
+
+TEST(MemoryTrackerTest, ChargeAndRelease) {
+  MemoryTracker t(1000);
+  t.Charge(MemoryComponent::kRawStore, 300);
+  t.Charge(MemoryComponent::kIndex, 200);
+  EXPECT_EQ(t.used(), 500u);
+  EXPECT_EQ(t.ComponentUsed(MemoryComponent::kRawStore), 300u);
+  EXPECT_EQ(t.ComponentUsed(MemoryComponent::kIndex), 200u);
+  t.Release(MemoryComponent::kRawStore, 100);
+  EXPECT_EQ(t.used(), 400u);
+  EXPECT_EQ(t.ComponentUsed(MemoryComponent::kRawStore), 200u);
+}
+
+TEST(MemoryTrackerTest, FullAtBudget) {
+  MemoryTracker t(100);
+  t.Charge(MemoryComponent::kRawStore, 99);
+  EXPECT_FALSE(t.IsFull());
+  t.Charge(MemoryComponent::kRawStore, 1);
+  EXPECT_TRUE(t.IsFull());
+  EXPECT_DOUBLE_EQ(t.Utilization(), 1.0);
+}
+
+TEST(MemoryTrackerTest, DataUsedExcludesOverheadComponents) {
+  MemoryTracker t(1000);
+  t.Charge(MemoryComponent::kRawStore, 100);
+  t.Charge(MemoryComponent::kIndex, 50);
+  t.Charge(MemoryComponent::kPolicyOverhead, 500);
+  t.Charge(MemoryComponent::kFlushBuffer, 200);
+  EXPECT_EQ(t.DataUsed(), 150u);
+  EXPECT_FALSE(t.DataFull());
+  EXPECT_EQ(t.used(), 850u);
+}
+
+TEST(MemoryTrackerTest, ToStringMentionsComponents) {
+  MemoryTracker t(1000);
+  t.Charge(MemoryComponent::kIndex, 10);
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("index=10"), std::string::npos);
+  EXPECT_NE(s.find("raw_store=0"), std::string::npos);
+}
+
+TEST(MemoryTrackerTest, ConcurrentChargesBalance) {
+  MemoryTracker t(1 << 30);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&t] {
+      for (int j = 0; j < kOps; ++j) {
+        t.Charge(MemoryComponent::kIndex, 16);
+        t.Release(MemoryComponent::kIndex, 16);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.used(), 0u);
+  EXPECT_EQ(t.ComponentUsed(MemoryComponent::kIndex), 0u);
+}
+
+}  // namespace
+}  // namespace kflush

@@ -1,0 +1,107 @@
+#include "util/thread_util.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace kflush {
+namespace {
+
+TEST(SpinLockTest, MutualExclusion) {
+  SpinLock lock;
+  int counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 50000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < kIncrements; ++j) {
+        std::lock_guard<SpinLock> guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(SpinLockTest, TryLock) {
+  SpinLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q(10);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.Push(i));
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BoundedQueueTest, CloseDrainsRemaining) {
+  BoundedQueue<int> q(10);
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_FALSE(q.Push(3));  // closed: rejected
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_EQ(*q.Pop(), 2);
+  EXPECT_FALSE(q.Pop().has_value());  // drained
+}
+
+TEST(BoundedQueueTest, BlocksWhenFullUntilPop) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.Push(1));
+  std::thread producer([&] { EXPECT_TRUE(q.Push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(q.size(), 1u);  // producer blocked
+  EXPECT_EQ(*q.Pop(), 1);
+  producer.join();
+  EXPECT_EQ(*q.Pop(), 2);
+}
+
+TEST(BoundedQueueTest, ManyProducersOneConsumer) {
+  BoundedQueue<int> q(64);
+  constexpr int kProducers = 4;
+  constexpr int kItems = 20000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q] {
+      for (int i = 0; i < kItems; ++i) q.Push(1);
+    });
+  }
+  long long sum = 0;
+  std::thread consumer([&] {
+    for (int i = 0; i < kProducers * kItems; ++i) {
+      auto v = q.Pop();
+      ASSERT_TRUE(v.has_value());
+      sum += *v;
+    }
+  });
+  for (auto& t : producers) t.join();
+  consumer.join();
+  EXPECT_EQ(sum, static_cast<long long>(kProducers) * kItems);
+}
+
+TEST(BoundedQueueTest, PopBlocksUntilPush) {
+  BoundedQueue<int> q(4);
+  std::thread consumer([&] {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 7);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Push(7);
+  consumer.join();
+}
+
+}  // namespace
+}  // namespace kflush

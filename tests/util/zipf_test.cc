@@ -1,0 +1,137 @@
+#include "util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace kflush {
+namespace {
+
+TEST(ZipfTest, SamplesStayInRange) {
+  Rng rng(1);
+  ZipfGenerator zipf(1000, 1.0);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Sample(&rng), 1000u);
+  }
+}
+
+TEST(ZipfTest, SingleElementAlwaysZero) {
+  Rng rng(2);
+  ZipfGenerator zipf(1, 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+TEST(ZipfTest, SkewZeroIsUniform) {
+  Rng rng(3);
+  ZipfGenerator zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) counts[zipf.Sample(&rng)]++;
+  for (int c : counts) EXPECT_NEAR(c, kN / 10, kN / 10 * 0.1);
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfGenerator zipf(500, 1.0);
+  double sum = 0;
+  for (uint64_t i = 0; i < 500; ++i) sum += zipf.Probability(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, ProbabilityDecreasesWithRank) {
+  ZipfGenerator zipf(100, 1.2);
+  for (uint64_t i = 1; i < 100; ++i) {
+    EXPECT_GT(zipf.Probability(i - 1), zipf.Probability(i));
+  }
+}
+
+// Empirical frequencies track the analytic law for the head of the
+// distribution, across skews (parameterized property sweep).
+class ZipfSkewTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkewTest, EmpiricalMatchesAnalytic) {
+  const double s = GetParam();
+  constexpr uint64_t kN = 1000;
+  constexpr int kSamples = 400000;
+  Rng rng(42);
+  ZipfGenerator zipf(kN, s);
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kSamples; ++i) counts[zipf.Sample(&rng)]++;
+  for (uint64_t rank : {0ULL, 1ULL, 2ULL, 5ULL, 10ULL, 50ULL}) {
+    const double expected = zipf.Probability(rank) * kSamples;
+    if (expected < 50) continue;  // too rare for a tight bound
+    EXPECT_NEAR(counts[rank], expected, std::max(expected * 0.15, 30.0))
+        << "s=" << s << " rank=" << rank;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkewTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.2, 2.0));
+
+TEST(ZipfTest, HeadDominatesAtSkewOne) {
+  Rng rng(5);
+  ZipfGenerator zipf(100000, 1.0);
+  constexpr int kSamples = 200000;
+  int head = 0;  // top-100 ranks
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Sample(&rng) < 100) ++head;
+  }
+  // For n=1e5, s=1: P(rank<100) ≈ H(100)/H(1e5) ≈ 5.19/12.1 ≈ 0.43.
+  EXPECT_NEAR(static_cast<double>(head) / kSamples, 0.43, 0.05);
+}
+
+TEST(ZipfTest, DeterministicGivenRngSeed) {
+  ZipfGenerator zipf(1000, 1.0);
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(zipf.Sample(&a), zipf.Sample(&b));
+  }
+}
+
+// --- AliasTable ---
+
+TEST(AliasTableTest, SingleWeight) {
+  Rng rng(8);
+  AliasTable table({5.0});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.Sample(&rng), 0u);
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  Rng rng(9);
+  AliasTable table({1.0, 0.0, 1.0});
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_NE(table.Sample(&rng), 1u);
+  }
+}
+
+TEST(AliasTableTest, MatchesWeights) {
+  Rng rng(10);
+  std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  AliasTable table(weights);
+  std::vector<int> counts(4, 0);
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) counts[table.Sample(&rng)]++;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double expected = weights[i] / 10.0 * kN;
+    EXPECT_NEAR(counts[i], expected, expected * 0.05);
+  }
+}
+
+TEST(AliasTableTest, LargeSkewedTable) {
+  Rng rng(11);
+  std::vector<double> weights(10000);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1.0 / (1.0 + static_cast<double>(i));
+  }
+  AliasTable table(weights);
+  std::vector<int> counts(weights.size(), 0);
+  constexpr int kN = 500000;
+  for (int i = 0; i < kN; ++i) counts[table.Sample(&rng)]++;
+  // rank 0 weight fraction = 1 / H(10000) ≈ 1/9.79.
+  const double expected0 = kN / 9.79;
+  EXPECT_NEAR(counts[0], expected0, expected0 * 0.1);
+}
+
+}  // namespace
+}  // namespace kflush

@@ -1,0 +1,260 @@
+// kflushctl — command-line driver for the kflush library.
+//
+//   kflushctl gen-trace   --out FILE --count N [stream flags]
+//   kflushctl replay      --trace FILE [--policy P] [--k K] [--memory-mb M]
+//   kflushctl experiment  [--policy P] [--workload W] [--attribute A]
+//                         [--k K] [--memory-mb M] [--flush-pct B]
+//                         [--queries N] [--seed S]
+//   kflushctl compare     [same flags as experiment; runs all policies]
+//
+// `experiment` runs the same deterministic steady-state harness as the
+// figure benchmarks and prints the full result; `compare` tabulates all
+// four policies side by side; `replay` streams a saved trace through a
+// store and reports ingest + memory statistics.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "gen/trace.h"
+#include "sim/experiment.h"
+
+using namespace kflush;
+
+namespace {
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  bool Has(const std::string& key) const { return values.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : std::atol(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) continue;
+    std::string key = arg + 2;
+    std::string value = "true";
+    const size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+    } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      value = argv[++i];
+    }
+    flags.values[key] = value;
+  }
+  return flags;
+}
+
+PolicyKind ParsePolicy(const std::string& name) {
+  if (name == "fifo") return PolicyKind::kFifo;
+  if (name == "lru") return PolicyKind::kLru;
+  if (name == "kflushing") return PolicyKind::kKFlushing;
+  if (name == "kflushing-mk" || name == "mk") return PolicyKind::kKFlushingMK;
+  std::fprintf(stderr, "unknown policy '%s' (fifo|lru|kflushing|kflushing-mk)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+AttributeKind ParseAttribute(const std::string& name) {
+  if (name == "keyword") return AttributeKind::kKeyword;
+  if (name == "spatial") return AttributeKind::kSpatial;
+  if (name == "user") return AttributeKind::kUser;
+  std::fprintf(stderr, "unknown attribute '%s' (keyword|spatial|user)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+ExperimentConfig ConfigFromFlags(const Flags& flags) {
+  ExperimentConfig config;
+  config.store.policy = ParsePolicy(flags.Get("policy", "kflushing"));
+  config.store.attribute = ParseAttribute(flags.Get("attribute", "keyword"));
+  config.workload.attribute = config.store.attribute;
+  config.store.k = static_cast<uint32_t>(flags.GetInt("k", 20));
+  config.store.memory_budget_bytes =
+      static_cast<size_t>(flags.GetInt("memory-mb", 32)) << 20;
+  config.store.flush_fraction = flags.GetDouble("flush-pct", 10.0) / 100.0;
+  config.workload.kind = flags.Get("workload", "correlated") == "uniform"
+                             ? WorkloadKind::kUniform
+                             : WorkloadKind::kCorrelated;
+  config.num_queries =
+      static_cast<uint64_t>(flags.GetInt("queries", 20'000));
+  config.stream.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  config.stream.vocabulary_size =
+      static_cast<uint64_t>(flags.GetInt("vocab", 200'000));
+  config.stream.num_users =
+      static_cast<uint64_t>(flags.GetInt("users", 100'000));
+  config.stream.keyword_zipf_s = flags.GetDouble("zipf", 1.2);
+  config.workload.seed = config.stream.seed ^ 0xABCD;
+  // Query temporal locality (drifting hot set) and the Phase 3 ordering
+  // ablation switch.
+  config.workload.hot_set_p = flags.GetDouble("hot-p", 0.0);
+  config.workload.hot_set_size =
+      static_cast<uint64_t>(flags.GetInt("hot-size", 0));
+  config.store.phase3_by_query_time =
+      flags.Get("phase3-order", "queried") != "arrived";
+  return config;
+}
+
+int CmdGenTrace(const Flags& flags) {
+  const std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "gen-trace requires --out FILE\n");
+    return 2;
+  }
+  const long count = flags.GetInt("count", 100'000);
+  TweetGeneratorOptions opts = ConfigFromFlags(flags).stream;
+  TweetGenerator gen(opts);
+  auto writer = TraceWriter::Open(out);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "%s\n", writer.status().ToString().c_str());
+    return 1;
+  }
+  for (long i = 0; i < count; ++i) {
+    Microblog blog = gen.Next();
+    blog.id = static_cast<MicroblogId>(i + 1);
+    Status s = (*writer)->Append(blog);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  Status s = (*writer)->Flush();
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %ld microblogs to %s\n", count, out.c_str());
+  return 0;
+}
+
+int CmdReplay(const Flags& flags) {
+  const std::string path = flags.Get("trace", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "replay requires --trace FILE\n");
+    return 2;
+  }
+  auto reader = TraceReader::Open(path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+  ExperimentConfig config = ConfigFromFlags(flags);
+  MicroblogStore store(config.store);
+  Stopwatch watch;
+  Microblog blog;
+  uint64_t count = 0;
+  while (true) {
+    Status s = (*reader)->Next(&blog);
+    if (s.IsNotFound()) break;
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    blog.id = kInvalidMicroblogId;  // store assigns fresh ids
+    s = store.Insert(std::move(blog));
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    ++count;
+  }
+  const double secs = watch.ElapsedSeconds();
+  std::printf("replayed %llu microblogs in %.2fs (%.0f/s) under %s\n",
+              static_cast<unsigned long long>(count), secs,
+              secs > 0 ? static_cast<double>(count) / secs : 0.0,
+              store.policy()->name());
+  std::printf("%s\n", store.tracker().ToString().c_str());
+  std::printf("flushes: %llu | policy: %s\n",
+              static_cast<unsigned long long>(
+                  store.ingest_stats().flush_triggers),
+              store.policy()->stats().ToString().c_str());
+  std::printf("terms=%zu k_filled=%zu\n", store.policy()->NumTerms(),
+              store.policy()->NumKFilledTerms());
+  return 0;
+}
+
+void PrintExperiment(const ExperimentConfig& config,
+                     const ExperimentResult& result) {
+  std::printf("policy=%s attribute=%s workload=%s k=%u memory=%zuMB B=%.0f%%\n",
+              PolicyKindName(config.store.policy),
+              AttributeKindName(config.store.attribute),
+              WorkloadKindName(config.workload.kind), config.store.k,
+              config.store.memory_budget_bytes >> 20,
+              config.store.flush_fraction * 100.0);
+  std::printf("  %s\n", result.ToString().c_str());
+}
+
+int CmdExperiment(const Flags& flags) {
+  ExperimentConfig config = ConfigFromFlags(flags);
+  ExperimentResult result = RunExperiment(config);
+  PrintExperiment(config, result);
+  return 0;
+}
+
+int CmdCompare(const Flags& flags) {
+  ExperimentConfig base = ConfigFromFlags(flags);
+  std::printf("%-14s %10s %10s %8s %8s %8s %8s %12s\n", "policy", "k_filled",
+              "useless%", "hit%", "single%", "and%", "or%", "aux_KB");
+  for (PolicyKind policy :
+       {PolicyKind::kFifo, PolicyKind::kLru, PolicyKind::kKFlushing,
+        PolicyKind::kKFlushingMK}) {
+    ExperimentConfig config = base;
+    config.store.policy = policy;
+    ExperimentResult r = RunExperiment(config);
+    const auto& m = r.query_metrics;
+    std::printf("%-14s %10zu %9.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% %12zu\n",
+                PolicyKindName(policy), r.k_filled_terms,
+                r.frequency.useless_fraction * 100.0, m.HitRatio() * 100.0,
+                m.HitRatioFor(QueryType::kSingle) * 100.0,
+                m.HitRatioFor(QueryType::kAnd) * 100.0,
+                m.HitRatioFor(QueryType::kOr) * 100.0,
+                r.aux_memory_bytes / 1024);
+  }
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: kflushctl <command> [flags]\n"
+      "commands:\n"
+      "  gen-trace  --out FILE --count N [--seed S] [--vocab V] [--zipf Z]\n"
+      "  replay     --trace FILE [--policy P] [--k K] [--memory-mb M]\n"
+      "  experiment [--policy P] [--workload correlated|uniform]\n"
+      "             [--attribute keyword|spatial|user] [--k K]\n"
+      "             [--memory-mb M] [--flush-pct B] [--queries N] [--seed S]\n"
+      "  compare    [same flags as experiment]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Flags flags = ParseFlags(argc, argv, 2);
+  if (command == "gen-trace") return CmdGenTrace(flags);
+  if (command == "replay") return CmdReplay(flags);
+  if (command == "experiment") return CmdExperiment(flags);
+  if (command == "compare") return CmdCompare(flags);
+  Usage();
+  return 2;
+}

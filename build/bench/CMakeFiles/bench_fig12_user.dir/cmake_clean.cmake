@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_user.dir/bench_fig12_user.cc.o"
+  "CMakeFiles/bench_fig12_user.dir/bench_fig12_user.cc.o.d"
+  "bench_fig12_user"
+  "bench_fig12_user.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

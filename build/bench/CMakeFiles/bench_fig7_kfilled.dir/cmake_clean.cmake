@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_kfilled.dir/bench_fig7_kfilled.cc.o"
+  "CMakeFiles/bench_fig7_kfilled.dir/bench_fig7_kfilled.cc.o.d"
+  "bench_fig7_kfilled"
+  "bench_fig7_kfilled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_kfilled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_hit_correlated.dir/bench_fig8_hit_correlated.cc.o"
+  "CMakeFiles/bench_fig8_hit_correlated.dir/bench_fig8_hit_correlated.cc.o.d"
+  "bench_fig8_hit_correlated"
+  "bench_fig8_hit_correlated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_hit_correlated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

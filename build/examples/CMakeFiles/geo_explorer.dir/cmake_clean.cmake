@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_explorer.dir/geo_explorer.cpp.o"
+  "CMakeFiles/geo_explorer.dir/geo_explorer.cpp.o.d"
+  "geo_explorer"
+  "geo_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_timeline.dir/user_timeline.cpp.o"
+  "CMakeFiles/user_timeline.dir/user_timeline.cpp.o.d"
+  "user_timeline"
+  "user_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/kflush_core.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/kflush_core.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/multi_store.cc" "src/CMakeFiles/kflush_core.dir/core/multi_store.cc.o" "gcc" "src/CMakeFiles/kflush_core.dir/core/multi_store.cc.o.d"
+  "/root/repo/src/core/query_engine.cc" "src/CMakeFiles/kflush_core.dir/core/query_engine.cc.o" "gcc" "src/CMakeFiles/kflush_core.dir/core/query_engine.cc.o.d"
+  "/root/repo/src/core/ranking.cc" "src/CMakeFiles/kflush_core.dir/core/ranking.cc.o" "gcc" "src/CMakeFiles/kflush_core.dir/core/ranking.cc.o.d"
+  "/root/repo/src/core/store.cc" "src/CMakeFiles/kflush_core.dir/core/store.cc.o" "gcc" "src/CMakeFiles/kflush_core.dir/core/store.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/kflush_core.dir/core/system.cc.o" "gcc" "src/CMakeFiles/kflush_core.dir/core/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kflush_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kflush_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kflush_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kflush_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kflush_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflush_core.dir/core/metrics.cc.o"
+  "CMakeFiles/kflush_core.dir/core/metrics.cc.o.d"
+  "CMakeFiles/kflush_core.dir/core/multi_store.cc.o"
+  "CMakeFiles/kflush_core.dir/core/multi_store.cc.o.d"
+  "CMakeFiles/kflush_core.dir/core/query_engine.cc.o"
+  "CMakeFiles/kflush_core.dir/core/query_engine.cc.o.d"
+  "CMakeFiles/kflush_core.dir/core/ranking.cc.o"
+  "CMakeFiles/kflush_core.dir/core/ranking.cc.o.d"
+  "CMakeFiles/kflush_core.dir/core/store.cc.o"
+  "CMakeFiles/kflush_core.dir/core/store.cc.o.d"
+  "CMakeFiles/kflush_core.dir/core/system.cc.o"
+  "CMakeFiles/kflush_core.dir/core/system.cc.o.d"
+  "libkflush_core.a"
+  "libkflush_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflush_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

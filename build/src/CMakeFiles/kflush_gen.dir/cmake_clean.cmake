@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflush_gen.dir/gen/query_generator.cc.o"
+  "CMakeFiles/kflush_gen.dir/gen/query_generator.cc.o.d"
+  "CMakeFiles/kflush_gen.dir/gen/trace.cc.o"
+  "CMakeFiles/kflush_gen.dir/gen/trace.cc.o.d"
+  "CMakeFiles/kflush_gen.dir/gen/tweet_generator.cc.o"
+  "CMakeFiles/kflush_gen.dir/gen/tweet_generator.cc.o.d"
+  "libkflush_gen.a"
+  "libkflush_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflush_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

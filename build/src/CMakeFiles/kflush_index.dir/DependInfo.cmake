@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/index_stats.cc" "src/CMakeFiles/kflush_index.dir/index/index_stats.cc.o" "gcc" "src/CMakeFiles/kflush_index.dir/index/index_stats.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/CMakeFiles/kflush_index.dir/index/inverted_index.cc.o" "gcc" "src/CMakeFiles/kflush_index.dir/index/inverted_index.cc.o.d"
+  "/root/repo/src/index/posting_list.cc" "src/CMakeFiles/kflush_index.dir/index/posting_list.cc.o" "gcc" "src/CMakeFiles/kflush_index.dir/index/posting_list.cc.o.d"
+  "/root/repo/src/index/segmented_index.cc" "src/CMakeFiles/kflush_index.dir/index/segmented_index.cc.o" "gcc" "src/CMakeFiles/kflush_index.dir/index/segmented_index.cc.o.d"
+  "/root/repo/src/index/spatial_grid.cc" "src/CMakeFiles/kflush_index.dir/index/spatial_grid.cc.o" "gcc" "src/CMakeFiles/kflush_index.dir/index/spatial_grid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kflush_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kflush_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

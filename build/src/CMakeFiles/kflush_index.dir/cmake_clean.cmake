@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflush_index.dir/index/index_stats.cc.o"
+  "CMakeFiles/kflush_index.dir/index/index_stats.cc.o.d"
+  "CMakeFiles/kflush_index.dir/index/inverted_index.cc.o"
+  "CMakeFiles/kflush_index.dir/index/inverted_index.cc.o.d"
+  "CMakeFiles/kflush_index.dir/index/posting_list.cc.o"
+  "CMakeFiles/kflush_index.dir/index/posting_list.cc.o.d"
+  "CMakeFiles/kflush_index.dir/index/segmented_index.cc.o"
+  "CMakeFiles/kflush_index.dir/index/segmented_index.cc.o.d"
+  "CMakeFiles/kflush_index.dir/index/spatial_grid.cc.o"
+  "CMakeFiles/kflush_index.dir/index/spatial_grid.cc.o.d"
+  "libkflush_index.a"
+  "libkflush_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflush_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/attribute.cc" "src/CMakeFiles/kflush_model.dir/model/attribute.cc.o" "gcc" "src/CMakeFiles/kflush_model.dir/model/attribute.cc.o.d"
+  "/root/repo/src/model/keyword_dictionary.cc" "src/CMakeFiles/kflush_model.dir/model/keyword_dictionary.cc.o" "gcc" "src/CMakeFiles/kflush_model.dir/model/keyword_dictionary.cc.o.d"
+  "/root/repo/src/model/microblog.cc" "src/CMakeFiles/kflush_model.dir/model/microblog.cc.o" "gcc" "src/CMakeFiles/kflush_model.dir/model/microblog.cc.o.d"
+  "/root/repo/src/model/tokenizer.cc" "src/CMakeFiles/kflush_model.dir/model/tokenizer.cc.o" "gcc" "src/CMakeFiles/kflush_model.dir/model/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kflush_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflush_model.dir/model/attribute.cc.o"
+  "CMakeFiles/kflush_model.dir/model/attribute.cc.o.d"
+  "CMakeFiles/kflush_model.dir/model/keyword_dictionary.cc.o"
+  "CMakeFiles/kflush_model.dir/model/keyword_dictionary.cc.o.d"
+  "CMakeFiles/kflush_model.dir/model/microblog.cc.o"
+  "CMakeFiles/kflush_model.dir/model/microblog.cc.o.d"
+  "CMakeFiles/kflush_model.dir/model/tokenizer.cc.o"
+  "CMakeFiles/kflush_model.dir/model/tokenizer.cc.o.d"
+  "libkflush_model.a"
+  "libkflush_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflush_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/fifo_policy.cc" "src/CMakeFiles/kflush_policy.dir/policy/fifo_policy.cc.o" "gcc" "src/CMakeFiles/kflush_policy.dir/policy/fifo_policy.cc.o.d"
+  "/root/repo/src/policy/flush_policy.cc" "src/CMakeFiles/kflush_policy.dir/policy/flush_policy.cc.o" "gcc" "src/CMakeFiles/kflush_policy.dir/policy/flush_policy.cc.o.d"
+  "/root/repo/src/policy/kflushing_policy.cc" "src/CMakeFiles/kflush_policy.dir/policy/kflushing_policy.cc.o" "gcc" "src/CMakeFiles/kflush_policy.dir/policy/kflushing_policy.cc.o.d"
+  "/root/repo/src/policy/lru_policy.cc" "src/CMakeFiles/kflush_policy.dir/policy/lru_policy.cc.o" "gcc" "src/CMakeFiles/kflush_policy.dir/policy/lru_policy.cc.o.d"
+  "/root/repo/src/policy/policy_factory.cc" "src/CMakeFiles/kflush_policy.dir/policy/policy_factory.cc.o" "gcc" "src/CMakeFiles/kflush_policy.dir/policy/policy_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kflush_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kflush_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kflush_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kflush_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

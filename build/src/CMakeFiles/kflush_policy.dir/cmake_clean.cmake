@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflush_policy.dir/policy/fifo_policy.cc.o"
+  "CMakeFiles/kflush_policy.dir/policy/fifo_policy.cc.o.d"
+  "CMakeFiles/kflush_policy.dir/policy/flush_policy.cc.o"
+  "CMakeFiles/kflush_policy.dir/policy/flush_policy.cc.o.d"
+  "CMakeFiles/kflush_policy.dir/policy/kflushing_policy.cc.o"
+  "CMakeFiles/kflush_policy.dir/policy/kflushing_policy.cc.o.d"
+  "CMakeFiles/kflush_policy.dir/policy/lru_policy.cc.o"
+  "CMakeFiles/kflush_policy.dir/policy/lru_policy.cc.o.d"
+  "CMakeFiles/kflush_policy.dir/policy/policy_factory.cc.o"
+  "CMakeFiles/kflush_policy.dir/policy/policy_factory.cc.o.d"
+  "libkflush_policy.a"
+  "libkflush_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflush_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflush_sim.dir/sim/experiment.cc.o"
+  "CMakeFiles/kflush_sim.dir/sim/experiment.cc.o.d"
+  "libkflush_sim.a"
+  "libkflush_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflush_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

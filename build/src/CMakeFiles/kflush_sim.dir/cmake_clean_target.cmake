@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkflush_sim.a"
+)

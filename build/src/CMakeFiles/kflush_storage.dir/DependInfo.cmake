@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/disk_store.cc" "src/CMakeFiles/kflush_storage.dir/storage/disk_store.cc.o" "gcc" "src/CMakeFiles/kflush_storage.dir/storage/disk_store.cc.o.d"
+  "/root/repo/src/storage/file_disk_store.cc" "src/CMakeFiles/kflush_storage.dir/storage/file_disk_store.cc.o" "gcc" "src/CMakeFiles/kflush_storage.dir/storage/file_disk_store.cc.o.d"
+  "/root/repo/src/storage/flush_buffer.cc" "src/CMakeFiles/kflush_storage.dir/storage/flush_buffer.cc.o" "gcc" "src/CMakeFiles/kflush_storage.dir/storage/flush_buffer.cc.o.d"
+  "/root/repo/src/storage/raw_store.cc" "src/CMakeFiles/kflush_storage.dir/storage/raw_store.cc.o" "gcc" "src/CMakeFiles/kflush_storage.dir/storage/raw_store.cc.o.d"
+  "/root/repo/src/storage/serde.cc" "src/CMakeFiles/kflush_storage.dir/storage/serde.cc.o" "gcc" "src/CMakeFiles/kflush_storage.dir/storage/serde.cc.o.d"
+  "/root/repo/src/storage/sim_disk_store.cc" "src/CMakeFiles/kflush_storage.dir/storage/sim_disk_store.cc.o" "gcc" "src/CMakeFiles/kflush_storage.dir/storage/sim_disk_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kflush_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kflush_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kflush_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

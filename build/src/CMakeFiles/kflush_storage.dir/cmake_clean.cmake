@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflush_storage.dir/storage/disk_store.cc.o"
+  "CMakeFiles/kflush_storage.dir/storage/disk_store.cc.o.d"
+  "CMakeFiles/kflush_storage.dir/storage/file_disk_store.cc.o"
+  "CMakeFiles/kflush_storage.dir/storage/file_disk_store.cc.o.d"
+  "CMakeFiles/kflush_storage.dir/storage/flush_buffer.cc.o"
+  "CMakeFiles/kflush_storage.dir/storage/flush_buffer.cc.o.d"
+  "CMakeFiles/kflush_storage.dir/storage/raw_store.cc.o"
+  "CMakeFiles/kflush_storage.dir/storage/raw_store.cc.o.d"
+  "CMakeFiles/kflush_storage.dir/storage/serde.cc.o"
+  "CMakeFiles/kflush_storage.dir/storage/serde.cc.o.d"
+  "CMakeFiles/kflush_storage.dir/storage/sim_disk_store.cc.o"
+  "CMakeFiles/kflush_storage.dir/storage/sim_disk_store.cc.o.d"
+  "libkflush_storage.a"
+  "libkflush_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflush_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

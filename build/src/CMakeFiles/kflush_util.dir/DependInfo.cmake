@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/clock.cc" "src/CMakeFiles/kflush_util.dir/util/clock.cc.o" "gcc" "src/CMakeFiles/kflush_util.dir/util/clock.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/kflush_util.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/kflush_util.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/kflush_util.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/kflush_util.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/memory_tracker.cc" "src/CMakeFiles/kflush_util.dir/util/memory_tracker.cc.o" "gcc" "src/CMakeFiles/kflush_util.dir/util/memory_tracker.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/kflush_util.dir/util/random.cc.o" "gcc" "src/CMakeFiles/kflush_util.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/kflush_util.dir/util/status.cc.o" "gcc" "src/CMakeFiles/kflush_util.dir/util/status.cc.o.d"
+  "/root/repo/src/util/thread_util.cc" "src/CMakeFiles/kflush_util.dir/util/thread_util.cc.o" "gcc" "src/CMakeFiles/kflush_util.dir/util/thread_util.cc.o.d"
+  "/root/repo/src/util/zipf.cc" "src/CMakeFiles/kflush_util.dir/util/zipf.cc.o" "gcc" "src/CMakeFiles/kflush_util.dir/util/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflush_util.dir/util/clock.cc.o"
+  "CMakeFiles/kflush_util.dir/util/clock.cc.o.d"
+  "CMakeFiles/kflush_util.dir/util/histogram.cc.o"
+  "CMakeFiles/kflush_util.dir/util/histogram.cc.o.d"
+  "CMakeFiles/kflush_util.dir/util/logging.cc.o"
+  "CMakeFiles/kflush_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/kflush_util.dir/util/memory_tracker.cc.o"
+  "CMakeFiles/kflush_util.dir/util/memory_tracker.cc.o.d"
+  "CMakeFiles/kflush_util.dir/util/random.cc.o"
+  "CMakeFiles/kflush_util.dir/util/random.cc.o.d"
+  "CMakeFiles/kflush_util.dir/util/status.cc.o"
+  "CMakeFiles/kflush_util.dir/util/status.cc.o.d"
+  "CMakeFiles/kflush_util.dir/util/thread_util.cc.o"
+  "CMakeFiles/kflush_util.dir/util/thread_util.cc.o.d"
+  "CMakeFiles/kflush_util.dir/util/zipf.cc.o"
+  "CMakeFiles/kflush_util.dir/util/zipf.cc.o.d"
+  "libkflush_util.a"
+  "libkflush_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflush_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/metrics_test.cc" "tests/CMakeFiles/core_tests.dir/core/metrics_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/metrics_test.cc.o.d"
+  "/root/repo/tests/core/multi_store_test.cc" "tests/CMakeFiles/core_tests.dir/core/multi_store_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/multi_store_test.cc.o.d"
+  "/root/repo/tests/core/query_engine_extended_test.cc" "tests/CMakeFiles/core_tests.dir/core/query_engine_extended_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/query_engine_extended_test.cc.o.d"
+  "/root/repo/tests/core/query_engine_test.cc" "tests/CMakeFiles/core_tests.dir/core/query_engine_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/query_engine_test.cc.o.d"
+  "/root/repo/tests/core/ranking_test.cc" "tests/CMakeFiles/core_tests.dir/core/ranking_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/ranking_test.cc.o.d"
+  "/root/repo/tests/core/store_test.cc" "tests/CMakeFiles/core_tests.dir/core/store_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/store_test.cc.o.d"
+  "/root/repo/tests/core/system_test.cc" "tests/CMakeFiles/core_tests.dir/core/system_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/system_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kflush_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kflush_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kflush_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kflush_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kflush_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kflush_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kflush_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kflush_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

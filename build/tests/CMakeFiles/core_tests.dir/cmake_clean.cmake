@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/metrics_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/metrics_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/multi_store_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/multi_store_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/query_engine_extended_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/query_engine_extended_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/query_engine_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/query_engine_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/ranking_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/ranking_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/store_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/store_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/system_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/system_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

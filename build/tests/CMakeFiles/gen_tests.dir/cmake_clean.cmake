@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_tests.dir/gen/hot_set_workload_test.cc.o"
+  "CMakeFiles/gen_tests.dir/gen/hot_set_workload_test.cc.o.d"
+  "CMakeFiles/gen_tests.dir/gen/query_generator_test.cc.o"
+  "CMakeFiles/gen_tests.dir/gen/query_generator_test.cc.o.d"
+  "CMakeFiles/gen_tests.dir/gen/trace_test.cc.o"
+  "CMakeFiles/gen_tests.dir/gen/trace_test.cc.o.d"
+  "CMakeFiles/gen_tests.dir/gen/tweet_generator_test.cc.o"
+  "CMakeFiles/gen_tests.dir/gen/tweet_generator_test.cc.o.d"
+  "gen_tests"
+  "gen_tests.pdb"
+  "gen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

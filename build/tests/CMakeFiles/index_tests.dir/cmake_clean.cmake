@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_tests.dir/index/index_stats_test.cc.o"
+  "CMakeFiles/index_tests.dir/index/index_stats_test.cc.o.d"
+  "CMakeFiles/index_tests.dir/index/inverted_index_concurrency_test.cc.o"
+  "CMakeFiles/index_tests.dir/index/inverted_index_concurrency_test.cc.o.d"
+  "CMakeFiles/index_tests.dir/index/inverted_index_test.cc.o"
+  "CMakeFiles/index_tests.dir/index/inverted_index_test.cc.o.d"
+  "CMakeFiles/index_tests.dir/index/posting_list_model_test.cc.o"
+  "CMakeFiles/index_tests.dir/index/posting_list_model_test.cc.o.d"
+  "CMakeFiles/index_tests.dir/index/posting_list_test.cc.o"
+  "CMakeFiles/index_tests.dir/index/posting_list_test.cc.o.d"
+  "CMakeFiles/index_tests.dir/index/segmented_index_test.cc.o"
+  "CMakeFiles/index_tests.dir/index/segmented_index_test.cc.o.d"
+  "CMakeFiles/index_tests.dir/index/spatial_grid_test.cc.o"
+  "CMakeFiles/index_tests.dir/index/spatial_grid_test.cc.o.d"
+  "index_tests"
+  "index_tests.pdb"
+  "index_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

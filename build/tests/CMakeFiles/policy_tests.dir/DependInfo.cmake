@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/policy/fifo_policy_test.cc" "tests/CMakeFiles/policy_tests.dir/policy/fifo_policy_test.cc.o" "gcc" "tests/CMakeFiles/policy_tests.dir/policy/fifo_policy_test.cc.o.d"
+  "/root/repo/tests/policy/kflushing_mk_test.cc" "tests/CMakeFiles/policy_tests.dir/policy/kflushing_mk_test.cc.o" "gcc" "tests/CMakeFiles/policy_tests.dir/policy/kflushing_mk_test.cc.o.d"
+  "/root/repo/tests/policy/kflushing_policy_test.cc" "tests/CMakeFiles/policy_tests.dir/policy/kflushing_policy_test.cc.o" "gcc" "tests/CMakeFiles/policy_tests.dir/policy/kflushing_policy_test.cc.o.d"
+  "/root/repo/tests/policy/lru_policy_test.cc" "tests/CMakeFiles/policy_tests.dir/policy/lru_policy_test.cc.o" "gcc" "tests/CMakeFiles/policy_tests.dir/policy/lru_policy_test.cc.o.d"
+  "/root/repo/tests/policy/phase3_ordering_test.cc" "tests/CMakeFiles/policy_tests.dir/policy/phase3_ordering_test.cc.o" "gcc" "tests/CMakeFiles/policy_tests.dir/policy/phase3_ordering_test.cc.o.d"
+  "/root/repo/tests/policy/policy_invariants_test.cc" "tests/CMakeFiles/policy_tests.dir/policy/policy_invariants_test.cc.o" "gcc" "tests/CMakeFiles/policy_tests.dir/policy/policy_invariants_test.cc.o.d"
+  "/root/repo/tests/policy/ranking_flush_test.cc" "tests/CMakeFiles/policy_tests.dir/policy/ranking_flush_test.cc.o" "gcc" "tests/CMakeFiles/policy_tests.dir/policy/ranking_flush_test.cc.o.d"
+  "/root/repo/tests/policy/select_victims_test.cc" "tests/CMakeFiles/policy_tests.dir/policy/select_victims_test.cc.o" "gcc" "tests/CMakeFiles/policy_tests.dir/policy/select_victims_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kflush_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kflush_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kflush_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kflush_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kflush_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kflush_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kflush_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kflush_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_tests.dir/policy/fifo_policy_test.cc.o"
+  "CMakeFiles/policy_tests.dir/policy/fifo_policy_test.cc.o.d"
+  "CMakeFiles/policy_tests.dir/policy/kflushing_mk_test.cc.o"
+  "CMakeFiles/policy_tests.dir/policy/kflushing_mk_test.cc.o.d"
+  "CMakeFiles/policy_tests.dir/policy/kflushing_policy_test.cc.o"
+  "CMakeFiles/policy_tests.dir/policy/kflushing_policy_test.cc.o.d"
+  "CMakeFiles/policy_tests.dir/policy/lru_policy_test.cc.o"
+  "CMakeFiles/policy_tests.dir/policy/lru_policy_test.cc.o.d"
+  "CMakeFiles/policy_tests.dir/policy/phase3_ordering_test.cc.o"
+  "CMakeFiles/policy_tests.dir/policy/phase3_ordering_test.cc.o.d"
+  "CMakeFiles/policy_tests.dir/policy/policy_invariants_test.cc.o"
+  "CMakeFiles/policy_tests.dir/policy/policy_invariants_test.cc.o.d"
+  "CMakeFiles/policy_tests.dir/policy/ranking_flush_test.cc.o"
+  "CMakeFiles/policy_tests.dir/policy/ranking_flush_test.cc.o.d"
+  "CMakeFiles/policy_tests.dir/policy/select_victims_test.cc.o"
+  "CMakeFiles/policy_tests.dir/policy/select_victims_test.cc.o.d"
+  "policy_tests"
+  "policy_tests.pdb"
+  "policy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

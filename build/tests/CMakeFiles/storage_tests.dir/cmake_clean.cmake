@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_tests.dir/storage/disk_store_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/disk_store_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/failure_injection_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/failure_injection_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/file_disk_store_recovery_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/file_disk_store_recovery_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/flush_buffer_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/flush_buffer_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/raw_store_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/raw_store_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/serde_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/serde_test.cc.o.d"
+  "storage_tests"
+  "storage_tests.pdb"
+  "storage_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/model_tests[1]_include.cmake")
+include("/root/repo/build/tests/index_tests[1]_include.cmake")
+include("/root/repo/build/tests/storage_tests[1]_include.cmake")
+include("/root/repo/build/tests/policy_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/gen_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+add_test(kflushctl_usage "/root/repo/build/tools/kflushctl")
+set_tests_properties(kflushctl_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;89;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(kflushctl_experiment "/root/repo/build/tools/kflushctl" "experiment" "--queries" "200" "--memory-mb" "2" "--vocab" "2000" "--users" "500")
+set_tests_properties(kflushctl_experiment PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;91;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(kflushctl_compare "/root/repo/build/tools/kflushctl" "compare" "--queries" "200" "--memory-mb" "2" "--vocab" "2000" "--users" "500")
+set_tests_properties(kflushctl_compare PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;94;add_test;/root/repo/tests/CMakeLists.txt;0;")

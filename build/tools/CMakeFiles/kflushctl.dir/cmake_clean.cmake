@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kflushctl.dir/kflushctl.cc.o"
+  "CMakeFiles/kflushctl.dir/kflushctl.cc.o.d"
+  "kflushctl"
+  "kflushctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kflushctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+# Sanitizer wiring. Usage:
+#
+#   cmake -B build-tsan -S . -DKFLUSH_SANITIZE=thread
+#   cmake -B build-asan -S . -DKFLUSH_SANITIZE=address,undefined
+#
+# or via the presets in CMakePresets.json (`cmake --preset tsan`). Accepted
+# values: empty (off), "thread", "address", "undefined", or a comma-
+# separated combination of address/undefined. thread cannot combine with
+# address (the runtimes are mutually exclusive).
+#
+# Every sanitized build compiles with frame pointers and full debug info so
+# reports carry usable stacks, and kflush_sanitizer_env() hands tests the
+# *SAN_OPTIONS pointing at the suppression files under sanitizers/.
+
+set(KFLUSH_SANITIZE "" CACHE STRING
+    "Sanitizer(s) to build with: thread|address|undefined|address,undefined")
+set_property(CACHE KFLUSH_SANITIZE PROPERTY STRINGS
+             "" thread address undefined "address,undefined")
+
+set(KFLUSH_SANITIZER_FLAGS "")
+set(KFLUSH_SANITIZER_KINDS "")
+
+if(KFLUSH_SANITIZE)
+  string(REPLACE "," ";" _kflush_san_list "${KFLUSH_SANITIZE}")
+  foreach(_san IN LISTS _kflush_san_list)
+    if(NOT _san MATCHES "^(thread|address|undefined|leak)$")
+      message(FATAL_ERROR "KFLUSH_SANITIZE: unknown sanitizer '${_san}' "
+                          "(expected thread, address, undefined, or leak)")
+    endif()
+    list(APPEND KFLUSH_SANITIZER_KINDS "${_san}")
+  endforeach()
+  if("thread" IN_LIST KFLUSH_SANITIZER_KINDS AND
+     ("address" IN_LIST KFLUSH_SANITIZER_KINDS OR
+      "leak" IN_LIST KFLUSH_SANITIZER_KINDS))
+    message(FATAL_ERROR "KFLUSH_SANITIZE: thread cannot combine with "
+                        "address/leak — their runtimes are exclusive")
+  endif()
+
+  string(REPLACE ";" "," _kflush_san_arg "${KFLUSH_SANITIZER_KINDS}")
+  set(KFLUSH_SANITIZER_FLAGS
+      -fsanitize=${_kflush_san_arg} -fno-omit-frame-pointer -g)
+  if("undefined" IN_LIST KFLUSH_SANITIZER_KINDS)
+    # Make UB fail the test instead of logging and carrying on.
+    list(APPEND KFLUSH_SANITIZER_FLAGS -fno-sanitize-recover=undefined)
+  endif()
+
+  add_compile_options(${KFLUSH_SANITIZER_FLAGS})
+  add_link_options(${KFLUSH_SANITIZER_FLAGS})
+  message(STATUS "kflush: building with -fsanitize=${_kflush_san_arg}")
+endif()
+
+# Default runtime options (suppression file paths, halt-on-error) are baked
+# into every sanitized binary via the __*_default_options hooks in
+# src/util/sanitizer_options.cc, so plain `ctest`, direct binary runs, and
+# CI all pick them up; *SAN_OPTIONS env vars still override at run time.

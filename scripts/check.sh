@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Repo verification gate: tier-1 suite plus the sanitizer jobs that guard
+# the concurrency paths (docs/INTERNALS.md, "Threading model & sanitizers").
+#
+# Usage:  scripts/check.sh [tier1|tsan|asan|stress|all]   (default: all)
+#
+# Jobs (each one is what CI runs as a separate job):
+#   tier1  - plain RelWithDebInfo build, full ctest suite
+#   tsan   - ThreadSanitizer build, full suite + stress harness, time-boxed
+#   asan   - ASan+UBSan build, full suite + stress harness, time-boxed
+#   stress - just `ctest -L stress` under both sanitizers (quick race gate)
+#
+# The stress harness derives all RNG streams from one base seed; on failure
+# we print how to replay it. Override with KFLUSH_STRESS_SEED=<seed>.
+set -u
+cd "$(dirname "$0")/.."
+
+JOBS="${KFLUSH_BUILD_JOBS:-$(nproc)}"
+# Time-box per sanitizer ctest invocation (TSan runs ~5-15x slower).
+STRESS_TIMEOUT="${KFLUSH_STRESS_TIMEOUT:-3600}"
+FAILED=()
+
+note() { printf '\n== %s ==\n' "$*"; }
+
+replay_hint() {
+  echo "stress harness failed: look for '[stress] base seed' above;"
+  echo "replay with  KFLUSH_STRESS_SEED=<seed> ctest --test-dir $1 -L stress"
+}
+
+build() {  # build <preset>
+  cmake --preset "$1" && cmake --build --preset "$1" -j "${JOBS}"
+}
+
+run_ctest() {  # run_ctest <builddir> <label: all|stress>
+  local dir="$1" what="$2" rc
+  if [ "${what}" = stress ]; then
+    timeout "${STRESS_TIMEOUT}" ctest --test-dir "${dir}" -L stress \
+        --output-on-failure
+  else
+    timeout "${STRESS_TIMEOUT}" ctest --test-dir "${dir}" --output-on-failure
+  fi
+  rc=$?
+  if [ ${rc} -eq 124 ]; then
+    echo "ctest in ${dir} exceeded the ${STRESS_TIMEOUT}s time box"
+  fi
+  return ${rc}
+}
+
+job_tier1() {
+  note "tier1: plain build + full suite"
+  build default && run_ctest build all
+}
+
+job_tsan() {
+  note "tsan: ThreadSanitizer build + full suite (incl. stress harness)"
+  build tsan && run_ctest build-tsan all || { replay_hint build-tsan; return 1; }
+}
+
+job_asan() {
+  note "asan: ASan+UBSan build + full suite (incl. stress harness)"
+  build asan && run_ctest build-asan all || { replay_hint build-asan; return 1; }
+}
+
+job_stress() {
+  note "stress: race harness only, under TSan then ASan+UBSan"
+  { build tsan && run_ctest build-tsan stress; } \
+      || { replay_hint build-tsan; return 1; }
+  { build asan && run_ctest build-asan stress; } \
+      || { replay_hint build-asan; return 1; }
+}
+
+run_job() { "job_$1" || FAILED+=("$1"); }
+
+case "${1:-all}" in
+  tier1|tsan|asan|stress) run_job "$1" ;;
+  all) run_job tier1; run_job tsan; run_job asan ;;
+  *) echo "usage: $0 [tier1|tsan|asan|stress|all]" >&2; exit 2 ;;
+esac
+
+if [ ${#FAILED[@]} -gt 0 ]; then
+  note "FAILED jobs: ${FAILED[*]}"
+  exit 1
+fi
+note "all jobs passed"

@@ -11,6 +11,10 @@ namespace kflush {
 
 namespace {
 constexpr size_t kNoLimit = std::numeric_limits<size_t>::max();
+/// Cap on SearchArea's over-fetch factor: a box whose matching records are
+/// outnumbered this badly by same-tile outsiders stops re-querying and
+/// returns what it found.
+constexpr uint32_t kMaxAreaOverfetch = 32;
 }  // namespace
 
 QueryEngine::QueryEngine(MicroblogStore* store) : store_(store) {}
@@ -65,22 +69,22 @@ Status QueryEngine::Materialize(std::vector<Scored> candidates, uint32_t k,
 }
 
 Result<QueryResult> QueryEngine::ExecuteSingle(TermId term, uint32_t k) {
+  // Disk-read accounting lives in Execute(), as the delta of the disk
+  // store's own term_queries counter around the evaluation — the counter
+  // the disk tier actually increments, covering every path down here.
   QueryResult result;
   std::vector<Scored> candidates;
   MemoryPostings(term, k, &candidates);
   result.memory_hit = candidates.size() >= k;
-  uint64_t disk_reads = 0;
   if (!result.memory_hit) {
     std::vector<Posting> disk_postings;
     KFLUSH_RETURN_IF_ERROR(
         store_->disk()->QueryTerm(term, k, &disk_postings));
-    ++disk_reads;
     for (const Posting& p : disk_postings) {
       candidates.push_back({p.score, p.id});
     }
   }
   KFLUSH_RETURN_IF_ERROR(Materialize(std::move(candidates), k, &result));
-  (void)disk_reads;
   return result;
 }
 
@@ -257,18 +261,34 @@ Result<QueryResult> QueryEngine::SearchArea(double min_lat, double min_lon,
   TopKQuery query;
   query.terms = std::move(tiles);
   query.type = query.terms.size() == 1 ? QueryType::kSingle : QueryType::kOr;
-  query.k = k;
-  Result<QueryResult> result = Execute(query);
-  if (!result.ok()) return result;
-  // Drop results from tiles that only partially overlap the box.
-  auto& records = result->results;
-  records.erase(std::remove_if(records.begin(), records.end(),
-                               [&](const Microblog& blog) {
-                                 return !blog.has_location ||
-                                        !box.Contains(blog.location);
-                               }),
-                records.end());
-  return result;
+  const uint32_t want = k != 0 ? k : store_->k();
+  // Records in boundary tiles that fall outside the box are dropped after
+  // top-k materialization, which can under-fill the answer even when k
+  // matching records exist. Over-fetch and widen geometrically until the
+  // box's top-k is filled or the tiles are exhausted (the underlying query
+  // returning fewer than it was asked for means there is nothing left).
+  uint32_t fetch = want;
+  while (true) {
+    query.k = fetch;
+    Result<QueryResult> result = Execute(query);
+    if (!result.ok()) return result;
+    const size_t fetched = result->results.size();
+    auto& records = result->results;
+    records.erase(std::remove_if(records.begin(), records.end(),
+                                 [&](const Microblog& blog) {
+                                   return !blog.has_location ||
+                                          !box.Contains(blog.location);
+                                 }),
+                  records.end());
+    const bool exhausted = fetched < fetch;
+    if (records.size() >= want || exhausted ||
+        static_cast<uint64_t>(fetch) >=
+            static_cast<uint64_t>(want) * kMaxAreaOverfetch) {
+      if (records.size() > want) records.resize(want);
+      return result;
+    }
+    fetch *= 2;
+  }
 }
 
 Result<QueryResult> QueryEngine::SearchUser(UserId user, uint32_t k) {

@@ -25,7 +25,16 @@ void MicroblogSystem::Start() {
 }
 
 void MicroblogSystem::Stop() {
-  if (!running_.load()) return;
+  // exchange, not load+store: an explicit Stop() racing the destructor's
+  // Stop() must not both reach the joins (joining a thread twice is UB).
+  // Exactly one caller wins and tears down; the loser returns immediately.
+  if (!running_.exchange(false)) return;
+  // Close the queue and join digestion while the flusher is still alive:
+  // the drain then runs under normal backpressure, so the memory ceiling
+  // (budget x stall factor) holds through shutdown. A digestion thread
+  // stalled on unstall_cv_ cannot deadlock the join — the live flusher
+  // either frees space or reports it cannot (flush_stuck_), and both
+  // release the stall.
   queue_.Close();
   if (digestion_thread_.joinable()) digestion_thread_.join();
   {
@@ -35,7 +44,6 @@ void MicroblogSystem::Stop() {
   }
   flush_cv_.notify_all();
   if (flusher_thread_.joinable()) flusher_thread_.join();
-  running_.store(false);
 }
 
 bool MicroblogSystem::Submit(std::vector<Microblog> batch) {
@@ -71,7 +79,7 @@ void MicroblogSystem::DigestionLoop() {
       if (store_->tracker().DataUsed() > stall_threshold) {
         std::unique_lock<std::mutex> lock(flush_mu_);
         unstall_cv_.wait(lock, [&] {
-          return stop_requested_.load() ||
+          return stop_requested_.load() || flush_stuck_ ||
                  store_->tracker().DataUsed() <= stall_threshold;
         });
       }
@@ -91,10 +99,22 @@ void MicroblogSystem::FlusherLoop() {
     // Keep flushing until data contents are back under budget: a batchy
     // producer can overshoot by more than one flush budget, and digestion
     // stalls until the flusher catches up.
+    bool stuck = false;
     while (store_->tracker().DataFull()) {
       const size_t freed = store_->FlushOnce();
       unstall_cv_.notify_all();
-      if (freed == 0) break;  // nothing flushable (or a cycle in flight)
+      if (freed == 0) {
+        // Nothing flushable: a stalled digestion thread must not wait on
+        // progress that will never come. Overshooting beats deadlock; the
+        // flag resets on the next round, so flushing is retried once more
+        // data arrives.
+        stuck = true;
+        break;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(flush_mu_);
+      flush_stuck_ = stuck;
     }
     unstall_cv_.notify_all();
     if (stop_requested_.load()) return;

@@ -46,7 +46,10 @@ class MicroblogSystem {
   void Start();
 
   /// Closes the ingest queue, drains remaining batches, and joins all
-  /// threads. Idempotent.
+  /// threads. Idempotent and safe to call concurrently (e.g. an explicit
+  /// Stop racing the destructor); exactly one caller performs the teardown.
+  /// Safe to call mid-flush: a digestion thread stalled on backpressure is
+  /// released rather than waited on.
   void Stop();
 
   /// Submits a batch of microblogs for digestion. Blocks while the queue
@@ -81,6 +84,9 @@ class MicroblogSystem {
   std::condition_variable flush_cv_;    // digestion -> flusher: memory full
   std::condition_variable unstall_cv_;  // flusher -> digestion: space freed
   bool flush_wanted_ = false;
+  /// Set by the flusher when a cycle frees nothing while over budget, so a
+  /// stalled digestion thread proceeds (overshoots) instead of deadlocking.
+  bool flush_stuck_ = false;
 };
 
 }  // namespace kflush

@@ -40,8 +40,9 @@ void InvertedIndex::Release(size_t bytes) {
 }
 
 IndexInsertResult InvertedIndex::Insert(TermId term, MicroblogId id,
-                                        double score, Timestamp now,
-                                        size_t k) {
+                                        double score, Timestamp now, size_t k,
+                                        const TopKChargeFn& on_charge,
+                                        const TopKChargeFn& on_uncharge) {
   Shard& shard = ShardFor(term);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto [it, inserted] = shard.entries.try_emplace(term);
@@ -51,16 +52,14 @@ IndexInsertResult InvertedIndex::Insert(TermId term, MicroblogId id,
     Charge(kBytesPerEntry);
   }
   entry.last_arrival = now;
-  PostingInsertResult pres = entry.postings.Insert(id, score);
+  PostingInsertResult pres =
+      entry.postings.Insert(id, score, k, on_charge, on_uncharge);
   num_postings_.fetch_add(1, std::memory_order_relaxed);
   Charge(PostingList::kBytesPerPosting);
 
   IndexInsertResult result;
   result.size_after = pres.size_after;
   result.insert_pos = pres.insert_pos;
-  if (k > 0 && pres.insert_pos < k && pres.size_after > k) {
-    result.fell_out_of_top_k = entry.postings.at(k).id;
-  }
   return result;
 }
 
@@ -119,12 +118,14 @@ bool InvertedIndex::GetEntryMeta(TermId term, EntryMeta* meta) const {
 
 size_t InvertedIndex::TrimBeyondK(
     TermId term, size_t k, const std::function<bool(MicroblogId)>& should_trim,
-    std::vector<Posting>* out) {
+    std::vector<Posting>* out, const TopKChargeFn& on_charge,
+    const TopKChargeFn& on_uncharge) {
   Shard& shard = ShardFor(term);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.entries.find(term);
   if (it == shard.entries.end()) return 0;
-  const size_t trimmed = it->second.postings.TrimBeyondK(k, should_trim, out);
+  const size_t trimmed = it->second.postings.TrimBeyondK(
+      k, should_trim, out, on_charge, on_uncharge);
   if (trimmed > 0) {
     num_postings_.fetch_sub(trimmed, std::memory_order_relaxed);
     Release(trimmed * PostingList::kBytesPerPosting);
@@ -140,13 +141,14 @@ size_t InvertedIndex::TrimBeyondK(
 size_t InvertedIndex::RemoveMatching(
     TermId term, size_t k,
     const std::function<bool(MicroblogId)>& should_remove,
-    const std::function<void(const Posting&, bool)>& on_removed) {
+    const std::function<void(const Posting&, bool)>& on_removed,
+    const TopKChargeFn& on_charge, const TopKChargeFn& on_uncharge) {
   Shard& shard = ShardFor(term);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.entries.find(term);
   if (it == shard.entries.end()) return 0;
-  const size_t removed =
-      it->second.postings.RemoveIf(k, should_remove, on_removed);
+  const size_t removed = it->second.postings.RemoveIf(
+      k, should_remove, on_removed, on_charge, on_uncharge);
   if (removed > 0) {
     num_postings_.fetch_sub(removed, std::memory_order_relaxed);
     Release(removed * PostingList::kBytesPerPosting);
@@ -168,12 +170,17 @@ bool InvertedIndex::ContainsId(TermId term, MicroblogId id) const {
 }
 
 bool InvertedIndex::RemoveId(TermId term, MicroblogId id, size_t k,
-                             Posting* removed, bool* was_top_k) {
+                             Posting* removed, bool* was_charged,
+                             const TopKChargeFn& on_charge,
+                             const TopKChargeFn& on_uncharge) {
   Shard& shard = ShardFor(term);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.entries.find(term);
   if (it == shard.entries.end()) return false;
-  if (!it->second.postings.Remove(id, k, removed, was_top_k)) return false;
+  if (!it->second.postings.Remove(id, k, removed, was_charged, on_charge,
+                                  on_uncharge)) {
+    return false;
+  }
   num_postings_.fetch_sub(1, std::memory_order_relaxed);
   Release(PostingList::kBytesPerPosting);
   if (it->second.postings.empty()) {
@@ -182,6 +189,16 @@ bool InvertedIndex::RemoveId(TermId term, MicroblogId id, size_t k,
     Release(kBytesPerEntry);
   }
   return true;
+}
+
+void InvertedIndex::RebalanceAll(size_t k, const TopKChargeFn& on_charge,
+                                 const TopKChargeFn& on_uncharge) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [term, entry] : shard.entries) {
+      entry.postings.Rebalance(k, on_charge, on_uncharge);
+    }
+  }
 }
 
 void InvertedIndex::ForEachEntry(

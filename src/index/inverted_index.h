@@ -31,11 +31,6 @@ struct IndexInsertResult {
   size_t size_after = 0;
   /// Position the posting landed at (0 = best ranked).
   size_t insert_pos = 0;
-  /// If the insert pushed a previously top-k posting out of the top-k
-  /// region (insert_pos < k and size_after > k), the id that fell out;
-  /// kInvalidMicroblogId otherwise. Used by kFlushing-MK to maintain
-  /// per-record top-k reference counts.
-  MicroblogId fell_out_of_top_k = kInvalidMicroblogId;
 };
 
 /// Metadata snapshot of one entry, used by the Phase 2/3 selection scans.
@@ -64,10 +59,18 @@ class InvertedIndex {
   InvertedIndex& operator=(const InvertedIndex&) = delete;
 
   /// Inserts `id` with `score` under `term`, stamping the entry's
-  /// last-arrival time with `now`. `k` parameterizes the fell-out-of-top-k
-  /// report (pass 0 to disable it).
+  /// last-arrival time with `now`. `k` sizes the entry's charged top-k
+  /// prefix (pass 0 to disable charging); `on_charge` / `on_uncharge`
+  /// report every charge transition (see PostingList) while the entry's
+  /// shard lock is still held, so callers can update bookkeeping (e.g.
+  /// per-record top-k refcounts) atomically with the structural change — a
+  /// concurrent eviction of the same entry then observes either both or
+  /// neither. The callbacks must not reenter the index (they may take
+  /// raw-store locks: index -> raw is the documented lock order).
   IndexInsertResult Insert(TermId term, MicroblogId id, double score,
-                           Timestamp now, size_t k);
+                           Timestamp now, size_t k = 0,
+                           const TopKChargeFn& on_charge = {},
+                           const TopKChargeFn& on_uncharge = {});
 
   /// Appends up to `limit` best-ranked ids for `term` to `out` and stamps
   /// the entry's last-query time with `now`. Returns the count appended
@@ -92,26 +95,43 @@ class InvertedIndex {
 
   /// Trims postings of `term` beyond position k for which `should_trim`
   /// returns true (all of them if empty). Trimmed postings are appended to
-  /// `out`. Removes the entry entirely if it becomes empty. Returns count
-  /// trimmed.
+  /// `out`; charge transitions are reported via the callbacks (see
+  /// PostingList::TrimBeyondK). Removes the entry entirely if it becomes
+  /// empty. Returns count trimmed.
   size_t TrimBeyondK(TermId term, size_t k,
                      const std::function<bool(MicroblogId)>& should_trim,
-                     std::vector<Posting>* out);
+                     std::vector<Posting>* out,
+                     const TopKChargeFn& on_charge = {},
+                     const TopKChargeFn& on_uncharge = {});
 
   /// Removes from `term`'s entry every posting for which `should_remove`
   /// returns true (all if empty); each removal is reported via `on_removed`
-  /// with its top-k membership at call time (against `k`). The entry is
-  /// deleted when it becomes empty. Returns count removed.
+  /// with whether it held a top-k charge, and survivors' charge
+  /// transitions via `on_charge` / `on_uncharge` (see
+  /// PostingList::RemoveIf). All callbacks run under the shard lock and
+  /// must not reenter the index. The entry is deleted when it becomes
+  /// empty. Returns count removed.
   size_t RemoveMatching(
       TermId term, size_t k,
       const std::function<bool(MicroblogId)>& should_remove,
-      const std::function<void(const Posting&, bool /*was_top_k*/)>&
-          on_removed);
+      const std::function<void(const Posting&, bool /*was_charged*/)>&
+          on_removed,
+      const TopKChargeFn& on_charge = {},
+      const TopKChargeFn& on_uncharge = {});
 
   /// Removes a single id from `term`'s entry (the LRU eviction path).
-  /// Returns true if found; sets `*removed` and `*was_top_k` when non-null.
+  /// Returns true if found; sets `*removed` and `*was_charged` when
+  /// non-null (the caller owns the removed posting's uncharge).
   bool RemoveId(TermId term, MicroblogId id, size_t k, Posting* removed,
-                bool* was_top_k);
+                bool* was_charged, const TopKChargeFn& on_charge = {},
+                const TopKChargeFn& on_uncharge = {});
+
+  /// Re-aligns every entry's charged prefix to min(k, entry size),
+  /// reporting transitions through the callbacks — one shard at a time
+  /// under its lock. Used after k changes (paper §IV-C) so top-k refcounts
+  /// converge to the new k in one pass.
+  void RebalanceAll(size_t k, const TopKChargeFn& on_charge,
+                    const TopKChargeFn& on_uncharge);
 
   /// True if `term`'s entry currently references `id`.
   bool ContainsId(TermId term, MicroblogId id) const;

@@ -4,7 +4,22 @@
 
 namespace kflush {
 
-PostingInsertResult PostingList::Insert(MicroblogId id, double score) {
+void PostingList::Rebalance(size_t k, const TopKChargeFn& on_charge,
+                            const TopKChargeFn& on_uncharge) {
+  const size_t target = std::min(k, postings_.size());
+  while (charged_ < target) {
+    if (on_charge) on_charge(postings_[charged_].id);
+    ++charged_;
+  }
+  while (charged_ > target) {
+    --charged_;
+    if (on_uncharge) on_uncharge(postings_[charged_].id);
+  }
+}
+
+PostingInsertResult PostingList::Insert(MicroblogId id, double score, size_t k,
+                                        const TopKChargeFn& on_charge,
+                                        const TopKChargeFn& on_uncharge) {
   PostingInsertResult result;
   if (postings_.empty() || score >= postings_.front().score) {
     // Fast path: new best-ranked posting (ties rank newest first).
@@ -21,6 +36,15 @@ PostingInsertResult PostingList::Insert(MicroblogId id, double score) {
     postings_.insert(it, {id, score});
   }
   result.size_after = postings_.size();
+  if (result.insert_pos < charged_) {
+    // Landed inside the charged prefix: charge it so the prefix stays
+    // contiguous; Rebalance below sheds the excess from the prefix tail
+    // (in the steady state that is exactly the posting pushed out of the
+    // top-k region).
+    if (on_charge) on_charge(id);
+    ++charged_;
+  }
+  Rebalance(k, on_charge, on_uncharge);
   return result;
 }
 
@@ -32,54 +56,73 @@ size_t PostingList::TopIds(size_t limit, std::vector<MicroblogId>* out) const {
 
 size_t PostingList::TrimBeyondK(
     size_t k, const std::function<bool(MicroblogId)>& should_trim,
-    std::vector<Posting>* out) {
-  if (postings_.size() <= k) return 0;
+    std::vector<Posting>* out, const TopKChargeFn& on_charge,
+    const TopKChargeFn& on_uncharge) {
   size_t trimmed = 0;
-  // Rebuild the tail, keeping only postings the filter protects. Popping a
-  // kept posting shrinks the list, so "positions >= k remain unprocessed"
-  // is exactly size() > k.
-  std::deque<Posting> kept_tail;
-  while (postings_.size() > k) {
-    Posting p = postings_.back();
-    postings_.pop_back();
-    if (!should_trim || should_trim(p.id)) {
-      out->push_back(p);
-      ++trimmed;
-    } else {
-      kept_tail.push_front(p);
+  if (postings_.size() > k) {
+    // Rebuild the tail, keeping only postings the filter protects. Popping
+    // a kept posting shrinks the list, so "positions >= k remain
+    // unprocessed" is exactly size() > k.
+    std::deque<Posting> kept_tail;
+    while (postings_.size() > k) {
+      Posting p = postings_.back();
+      postings_.pop_back();
+      if (postings_.size() < charged_) {
+        // A stale charge from a larger k: popping from the back shrinks
+        // the prefix one at a time, so it stays contiguous.
+        --charged_;
+        if (on_uncharge) on_uncharge(p.id);
+      }
+      if (!should_trim || should_trim(p.id)) {
+        out->push_back(p);
+        ++trimmed;
+      } else {
+        kept_tail.push_front(p);
+      }
     }
+    for (auto& p : kept_tail) postings_.push_back(p);
   }
-  for (auto& p : kept_tail) postings_.push_back(p);
+  Rebalance(k, on_charge, on_uncharge);
   return trimmed;
 }
 
 size_t PostingList::RemoveIf(
     size_t k, const std::function<bool(MicroblogId)>& should_remove,
-    const std::function<void(const Posting&, bool)>& on_removed) {
+    const std::function<void(const Posting&, bool)>& on_removed,
+    const TopKChargeFn& on_charge, const TopKChargeFn& on_uncharge) {
   size_t removed = 0;
   std::deque<Posting> kept;
+  size_t kept_charged = 0;
   size_t pos = 0;
   for (const Posting& p : postings_) {
-    const bool remove = !should_remove || should_remove(p.id);
-    if (remove) {
-      if (on_removed) on_removed(p, pos < k);
+    const bool was_charged = pos < charged_;
+    if (!should_remove || should_remove(p.id)) {
+      if (on_removed) on_removed(p, was_charged);
       ++removed;
     } else {
       kept.push_back(p);
+      if (was_charged) ++kept_charged;
     }
     ++pos;
   }
   postings_.swap(kept);
+  // Surviving charged postings compact into a prefix (charges came from a
+  // prefix, removals only close gaps).
+  charged_ = kept_charged;
+  Rebalance(k, on_charge, on_uncharge);
   return removed;
 }
 
 bool PostingList::Remove(MicroblogId id, size_t k, Posting* removed,
-                         bool* was_top_k) {
+                         bool* was_charged, const TopKChargeFn& on_charge,
+                         const TopKChargeFn& on_uncharge) {
   for (size_t i = 0; i < postings_.size(); ++i) {
     if (postings_[i].id == id) {
       if (removed != nullptr) *removed = postings_[i];
-      if (was_top_k != nullptr) *was_top_k = i < k;
+      if (was_charged != nullptr) *was_charged = i < charged_;
+      if (i < charged_) --charged_;  // caller owns the removed charge
       postings_.erase(postings_.begin() + static_cast<ptrdiff_t>(i));
+      Rebalance(k, on_charge, on_uncharge);
       return true;
     }
   }

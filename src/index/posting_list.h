@@ -5,6 +5,18 @@
 // posting and trims happen at the tail. This head-insert / tail-trim
 // separation is what lets the flushing thread work without contending with
 // digestion (paper §III-A).
+//
+// Top-k charges: policies that maintain per-record top-k reference counts
+// (the kFlushing-MK extension, §IV-D) need the set of postings "counted as
+// top-k" to change only through explicit, observed transitions — judging
+// membership by position against the *current* k is not enough, because k
+// itself changes (SetK) and counts granted under one k would be revoked
+// under another, drifting without bound. The list therefore owns a charged
+// prefix: its first charged() postings hold a charge, every mutation
+// reports charge/uncharge transitions through callbacks, and the prefix is
+// re-aligned to min(k, size()) lazily as the list is touched. The charged
+// set is always a subset of the list, so a record's total charge count
+// never exceeds its reference count, under any k schedule.
 
 #ifndef KFLUSH_INDEX_POSTING_LIST_H_
 #define KFLUSH_INDEX_POSTING_LIST_H_
@@ -24,14 +36,18 @@ struct Posting {
   double score = 0.0;
 };
 
-/// Outcome of a PostingList insert, consumed by policies that track top-k
-/// membership (the kFlushing-MK extension).
+/// Outcome of a PostingList insert, consumed by policies that track over-k
+/// entries (kFlushing's list L).
 struct PostingInsertResult {
   /// List length after the insert.
   size_t size_after = 0;
   /// 0-based position the new posting landed at.
   size_t insert_pos = 0;
 };
+
+/// Charge-transition callback: the id gaining or losing a top-k charge.
+/// Both callbacks of a pair run while the owning shard lock is held.
+using TopKChargeFn = std::function<void(MicroblogId)>;
 
 /// Descending-score list of postings. Not thread-safe; the owning index
 /// entry is locked by its shard.
@@ -42,8 +58,11 @@ class PostingList {
   /// Inserts keeping descending score order; equal scores order newest
   /// first. O(1) when the new posting is the best-ranked (the overwhelmingly
   /// common case under temporal ranking), O(log n) search + O(n) shift
-  /// otherwise.
-  PostingInsertResult Insert(MicroblogId id, double score);
+  /// otherwise. The charged prefix is re-aligned to min(k, size()); with
+  /// k == 0 and empty callbacks this is free.
+  PostingInsertResult Insert(MicroblogId id, double score, size_t k = 0,
+                             const TopKChargeFn& on_charge = {},
+                             const TopKChargeFn& on_uncharge = {});
 
   /// Appends the ids of up to `limit` best-ranked postings to `out`.
   /// Returns the number appended.
@@ -51,23 +70,44 @@ class PostingList {
 
   /// Removes postings at positions >= k for which `should_trim` returns
   /// true (always true if `should_trim` is empty). Trimmed postings are
-  /// appended to `out`. Positions < k are never touched, so top-k
-  /// membership of surviving postings is unchanged. Returns count trimmed.
-  size_t TrimBeyondK(size_t k, const std::function<bool(MicroblogId)>& should_trim,
-                     std::vector<Posting>* out);
+  /// appended to `out`; a trimmed (or tail-kept) posting that held a charge
+  /// is uncharged, and the prefix is re-aligned to min(k, size()) before
+  /// returning. Positions < k are never removed. Returns count trimmed.
+  size_t TrimBeyondK(size_t k,
+                     const std::function<bool(MicroblogId)>& should_trim,
+                     std::vector<Posting>* out,
+                     const TopKChargeFn& on_charge = {},
+                     const TopKChargeFn& on_uncharge = {});
 
   /// Removes every posting for which `should_remove` returns true (all if
   /// empty). Each removed posting is reported through `on_removed` along
-  /// with whether it occupied a top-k position (position < k) at call time.
-  /// Returns count removed.
-  size_t RemoveIf(size_t k, const std::function<bool(MicroblogId)>& should_remove,
-                  const std::function<void(const Posting&, bool /*was_top_k*/)>&
-                      on_removed);
+  /// with whether it held a charge (callers maintaining per-record top-k
+  /// refcounts decrement exactly for those). Survivors keep their charges,
+  /// then the prefix re-aligns to min(k, size()): postings promoted into it
+  /// are reported via `on_charge`, demoted ones via `on_uncharge`. Returns
+  /// count removed.
+  size_t RemoveIf(size_t k,
+                  const std::function<bool(MicroblogId)>& should_remove,
+                  const std::function<void(const Posting&, bool /*was_charged*/)>&
+                      on_removed,
+                  const TopKChargeFn& on_charge = {},
+                  const TopKChargeFn& on_uncharge = {});
 
   /// Removes the posting with `id` if present. Returns true if removed;
-  /// sets `*removed` to the removed posting and `*was_top_k` (position < k)
-  /// when non-null.
-  bool Remove(MicroblogId id, size_t k, Posting* removed, bool* was_top_k);
+  /// sets `*removed` to the removed posting and `*was_charged` when
+  /// non-null (the caller owns the removed posting's uncharge). The prefix
+  /// then re-aligns to min(k, size()).
+  bool Remove(MicroblogId id, size_t k, Posting* removed, bool* was_charged,
+              const TopKChargeFn& on_charge = {},
+              const TopKChargeFn& on_uncharge = {});
+
+  /// Re-aligns the charged prefix to min(k, size()), reporting each
+  /// transition. Used when k changes without a structural mutation.
+  void Rebalance(size_t k, const TopKChargeFn& on_charge,
+                 const TopKChargeFn& on_uncharge);
+
+  /// Number of leading postings currently holding a top-k charge.
+  size_t charged() const { return charged_; }
 
   /// True if `id` occupies a position < k.
   bool IsInTopK(MicroblogId id, size_t k) const;
@@ -88,6 +128,8 @@ class PostingList {
 
  private:
   std::deque<Posting> postings_;
+  /// Length of the charged prefix; postings_[0..charged_) hold charges.
+  size_t charged_ = 0;
 };
 
 }  // namespace kflush

@@ -21,21 +21,29 @@ void KFlushingPolicy::Insert(const Microblog& blog,
                              const std::vector<TermId>& terms, double score) {
   const Timestamp now = Now();
   const uint32_t k = this->k();
+  // MK: per-record top-k refcounts follow the entry's charged prefix, and
+  // every transition is applied *under the entry's shard lock* (the
+  // index -> raw-store lock order), so a flush running RemoveMatching on
+  // the same entry observes either {posting present, refcount counted} or
+  // neither. Updating after Insert returned would open a window where the
+  // flusher decrements a count this thread has not yet incremented (the
+  // decrement clamps at 0), leaving the record with a phantom top-k
+  // reference that Phase 1 then honors forever.
+  TopKChargeFn on_charge, on_uncharge;
+  if (options_.mk_extension) {
+    RawDataStore* raw = ctx_.raw_store;
+    on_charge = [raw](MicroblogId id) { raw->IncrementTopK(id); };
+    on_uncharge = [raw](MicroblogId id) { raw->DecrementTopK(id); };
+  }
   for (TermId term : terms) {
-    IndexInsertResult res = index_.Insert(term, blog.id, score, now, k);
+    IndexInsertResult res =
+        index_.Insert(term, blog.id, score, now, k, on_charge, on_uncharge);
     if (res.size_after > k) {
       // Track the over-k entry in L so Phase 1 never scans the index.
       std::lock_guard<SpinLock> lock(over_k_mu_);
       if (over_k_terms_.insert(term).second && ctx_.tracker != nullptr) {
         ctx_.tracker->Charge(MemoryComponent::kPolicyOverhead,
                              kBytesPerTrackedTerm);
-      }
-    }
-    if (options_.mk_extension) {
-      // Maintain the per-record count of entries in which it ranks top-k.
-      if (res.insert_pos < k) ctx_.raw_store->IncrementTopK(blog.id);
-      if (res.fell_out_of_top_k != kInvalidMicroblogId) {
-        ctx_.raw_store->DecrementTopK(res.fell_out_of_top_k);
       }
     }
   }
@@ -91,6 +99,16 @@ size_t KFlushingPolicy::RunPhase1() {
     index_.ForEachEntry([&](const EntryMeta& meta) {
       if (meta.count > k) terms.insert(meta.term);
     });
+    if (options_.mk_extension) {
+      // Charged prefixes (and with them the per-record top-k refcounts)
+      // were built against the old k; converge every entry to the new k in
+      // one pass so Phase 1's keep-while-top-k-elsewhere test judges
+      // against current membership, not history.
+      RawDataStore* raw = ctx_.raw_store;
+      index_.RebalanceAll(
+          k, [raw](MicroblogId id) { raw->IncrementTopK(id); },
+          [raw](MicroblogId id) { raw->DecrementTopK(id); });
+    }
   } else {
     std::lock_guard<SpinLock> lock(over_k_mu_);
     terms.swap(over_k_terms_);
@@ -109,16 +127,21 @@ size_t KFlushingPolicy::RunPhase1() {
 
 size_t KFlushingPolicy::TrimEntry(TermId term, uint32_t k) {
   std::function<bool(MicroblogId)> should_trim;  // default: trim everything
+  TopKChargeFn on_charge, on_uncharge;
   if (options_.mk_extension) {
     // MK Phase 1 rule: keep a beyond-top-k posting while its microblog is
-    // still within top-k of some other entry (§IV-D condition 2). Being
-    // beyond-k here, its top-k refcount counts only *other* entries.
+    // still within top-k of some other entry (§IV-D condition 2). A
+    // beyond-k posting holds no charge here, so its refcount counts only
+    // *other* entries — except for stale charges left by a shrunken k,
+    // which TrimBeyondK revokes (on_uncharge) before the filter runs.
     RawDataStore* raw = ctx_.raw_store;
     should_trim = [raw](MicroblogId id) { return raw->TopKCount(id) == 0; };
+    on_charge = [raw](MicroblogId id) { raw->IncrementTopK(id); };
+    on_uncharge = [raw](MicroblogId id) { raw->DecrementTopK(id); };
   }
 
   std::vector<Posting> trimmed;
-  index_.TrimBeyondK(term, k, should_trim, &trimmed);
+  index_.TrimBeyondK(term, k, should_trim, &trimmed, on_charge, on_uncharge);
   size_t freed = 0;
   for (const Posting& p : trimmed) {
     freed += OnPostingDropped(term, p);
@@ -202,19 +225,22 @@ size_t KFlushingPolicy::EvictEntry(TermId term, int phase) {
     auto keep = std::make_shared<std::unordered_set<MicroblogId>>();
     std::vector<TermId> other_terms;
     for (MicroblogId id : ids) {
-      bool keep_this = false;
+      // Copy the record's terms out under the raw-store shard lock, then
+      // consult the index with no lock held. Probing the index from inside
+      // With() would take index shard locks under a raw-store lock — the
+      // reverse of the index -> raw order TrimEntry's predicate uses, a
+      // lock-order inversion TSan flags and a real deadlock under load.
+      other_terms.clear();
       ctx_.raw_store->With(id, [&](const Microblog& blog) {
-        other_terms.clear();
         ctx_.extractor->ExtractTerms(blog, &other_terms);
-        for (TermId t : other_terms) {
-          if (t == term) continue;
-          if (index_.EntrySize(t) >= k && index_.ContainsId(t, id)) {
-            keep_this = true;
-            break;
-          }
-        }
       });
-      if (keep_this) keep->insert(id);
+      for (TermId t : other_terms) {
+        if (t == term) continue;
+        if (index_.EntrySize(t) >= k && index_.ContainsId(t, id)) {
+          keep->insert(id);
+          break;
+        }
+      }
     }
     if (!keep->empty()) {
       should_remove = [keep](MicroblogId id) { return keep->count(id) == 0; };
@@ -225,11 +251,23 @@ size_t KFlushingPolicy::EvictEntry(TermId term, int phase) {
   size_t removed_count = 0;
   const bool mk = options_.mk_extension;
   RawDataStore* raw = ctx_.raw_store;
+  // All callbacks run under the entry's shard lock, keeping the refcounts
+  // transactional with the structural change: a removed charged posting
+  // gives its count back, and kept postings sliding into the vacated top-k
+  // region gain one (without that, a later eviction's uncharge would steal
+  // a count belonging to another entry).
+  TopKChargeFn on_charge, on_uncharge;
+  if (mk) {
+    on_charge = [raw](MicroblogId id) { raw->IncrementTopK(id); };
+    on_uncharge = [raw](MicroblogId id) { raw->DecrementTopK(id); };
+  }
   removed_count = index_.RemoveMatching(
-      term, k, should_remove, [&](const Posting& p, bool was_top_k) {
-        if (mk && was_top_k) raw->DecrementTopK(p.id);
+      term, k, should_remove,
+      [&](const Posting& p, bool was_charged) {
+        if (mk && was_charged) raw->DecrementTopK(p.id);
         freed += OnPostingDropped(term, p);
-      });
+      },
+      on_charge, on_uncharge);
   const bool entry_gone = index_.EntrySize(term) == 0;
   if (entry_gone) freed += InvertedIndex::kBytesPerEntry;
 

@@ -1,0 +1,39 @@
+// Baked-in sanitizer runtime defaults. Compiled into kflush_util only when
+// the build is sanitized (cmake/Sanitizers.cmake); the runtimes call these
+// weak hooks before parsing the *SAN_OPTIONS environment variables, so the
+// environment still overrides. KFLUSH_SANITIZER_SUPP_DIR points at the
+// checked-in suppression files under sanitizers/.
+
+#ifndef KFLUSH_SANITIZER_SUPP_DIR
+#define KFLUSH_SANITIZER_SUPP_DIR ""
+#endif
+
+extern "C" {
+
+const char* __tsan_default_options() {
+  return "suppressions=" KFLUSH_SANITIZER_SUPP_DIR "/tsan.supp"
+         ":halt_on_error=1:second_deadlock_stack=1:detect_deadlocks=1";
+}
+
+const char* __asan_default_options() {
+  return "detect_stack_use_after_return=1:strict_string_checks=1";
+}
+
+const char* __asan_default_suppressions() {
+  // ASan takes suppressions through this hook (or env), not a file path
+  // option; keep the file under sanitizers/asan.supp authoritative for
+  // humans and CI, and keep first-party code clean instead of listing
+  // anything here.
+  return "";
+}
+
+const char* __lsan_default_options() {
+  return "suppressions=" KFLUSH_SANITIZER_SUPP_DIR "/lsan.supp";
+}
+
+const char* __ubsan_default_options() {
+  return "suppressions=" KFLUSH_SANITIZER_SUPP_DIR "/ubsan.supp"
+         ":print_stacktrace=1";
+}
+
+}  // extern "C"

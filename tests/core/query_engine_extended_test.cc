@@ -9,6 +9,7 @@
 
 #include "../testing/test_util.h"
 #include "core/query_engine.h"
+#include "model/attribute.h"
 #include "storage/file_disk_store.h"
 
 namespace kflush {
@@ -45,6 +46,42 @@ TEST(SearchAreaTest, FindsRecordsInsideBox) {
   }
   // Most recent first.
   EXPECT_EQ(result->results[0].id, 20u);
+}
+
+TEST(SearchAreaTest, FillsToKWhenBoundaryTileIsDominatedByOutsiders) {
+  // Regression: the partial-tile post-filter drops records after top-k
+  // materialization. If the newest records in a boundary tile sit outside
+  // the box, a naive fetch of k returns only outsiders and under-fills the
+  // answer even though k matching records are in memory. The over-fetch
+  // loop must widen until the box's top-k is filled.
+  StoreOptions opts = SmallStoreOptions(PolicyKind::kKFlushing, 1 << 20, kK);
+  opts.attribute = AttributeKind::kSpatial;
+  MicroblogStore store(opts);
+  QueryEngine engine(&store);
+
+  const double in_lat = 40.010, in_lon = -90.005;    // inside the box
+  const double out_lat = 40.030, out_lon = -89.990;  // same tile, outside
+  SpatialGridMapper mapper;
+  ASSERT_EQ(mapper.TileFor(in_lat, in_lon), mapper.TileFor(out_lat, out_lon))
+      << "test geometry broke: both points must share one grid tile";
+
+  // 10 older in-box records, then 20 newer same-tile outsiders that
+  // dominate every recency-ranked prefix of the tile's posting list.
+  for (MicroblogId id = 1; id <= 10; ++id) {
+    ASSERT_TRUE(store.Insert(MakeGeoBlog(id, id * 10, in_lat, in_lon)).ok());
+  }
+  for (MicroblogId id = 101; id <= 120; ++id) {
+    ASSERT_TRUE(
+        store.Insert(MakeGeoBlog(id, 1000 + id, out_lat, out_lon)).ok());
+  }
+
+  auto result = engine.SearchArea(40.008, -90.010, 40.013, -90.000, kK);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->results.size(), kK);
+  for (const Microblog& blog : result->results) {
+    EXPECT_LE(blog.id, 10u);
+  }
+  EXPECT_EQ(result->results[0].id, 10u);  // most recent in-box first
 }
 
 TEST(SearchAreaTest, RejectsNonSpatialStore) {

@@ -177,6 +177,38 @@ TEST_F(QueryEngineTest, MetricsTrackHitsAndTypes) {
   EXPECT_EQ(engine_.metrics().queries, 0u);
 }
 
+TEST_F(QueryEngineTest, DiskReadMetricIsExactlyTheDiskStatsDelta) {
+  // Disk-read accounting has a single source of truth: the delta of the
+  // disk store's own term_queries counter around each Execute call (the
+  // per-call shadow counters were dead code and are gone). Cross-check the
+  // metric against the disk tier's counter over a hit, a single-term miss,
+  // and an OR with one short term.
+  const uint64_t disk_before = store_.disk()->stats().term_queries;
+
+  // Pure memory hit, no flush yet: the disk tier is never consulted.
+  for (MicroblogId id = 1; id <= 8; ++id) Ingest(id, id * 10, {1});
+  ASSERT_TRUE(engine_.Execute(Single(1)).ok());
+  EXPECT_EQ(store_.disk()->stats().term_queries, disk_before);
+  EXPECT_EQ(engine_.metrics().disk_term_reads, 0u);
+
+  // Push the tail of keyword 1 to disk, then miss on purpose: exactly one
+  // disk term query per short term.
+  for (MicroblogId id = 9; id <= 12; ++id) Ingest(id, id * 10, {1});
+  store_.FlushOnce();
+  TopKQuery deep = Single(1);
+  deep.k = 10;  // more than memory holds after the flush
+  ASSERT_TRUE(engine_.Execute(deep).ok());
+  EXPECT_EQ(store_.disk()->stats().term_queries, disk_before + 1);
+
+  // OR with an unknown term: the short term goes to disk (term 1 may or
+  // may not, depending on how much the flush evicted).
+  ASSERT_TRUE(engine_.Execute(Multi(QueryType::kOr, 1, 99)).ok());
+  EXPECT_GE(store_.disk()->stats().term_queries, disk_before + 2);
+  EXPECT_LE(store_.disk()->stats().term_queries, disk_before + 3);
+  EXPECT_EQ(engine_.metrics().disk_term_reads,
+            store_.disk()->stats().term_queries - disk_before);
+}
+
 TEST_F(QueryEngineTest, SearchKeywordsConvenience) {
   ASSERT_TRUE(store_.InsertText("#breaking news", 1, 0).ok());
   for (int i = 0; i < 5; ++i) {

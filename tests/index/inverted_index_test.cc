@@ -14,7 +14,6 @@ TEST(InvertedIndexTest, InsertCreatesEntryAndCharges) {
   auto res = index.Insert(7, 1, 100.0, 50, /*k=*/3);
   EXPECT_EQ(res.size_after, 1u);
   EXPECT_EQ(res.insert_pos, 0u);
-  EXPECT_EQ(res.fell_out_of_top_k, kInvalidMicroblogId);
   EXPECT_EQ(index.NumEntries(), 1u);
   EXPECT_EQ(index.TotalPostings(), 1u);
   EXPECT_EQ(tracker.ComponentUsed(MemoryComponent::kIndex),
@@ -52,22 +51,31 @@ TEST(InvertedIndexTest, QueryOnMissingTermIsEmpty) {
   EXPECT_TRUE(out.empty());
 }
 
-TEST(InvertedIndexTest, FellOutOfTopKReporting) {
+TEST(InvertedIndexTest, ChargeTransitionsOnInsert) {
   InvertedIndex index;
   const size_t k = 3;
-  // Fill to exactly k: no displacement.
+  std::vector<MicroblogId> charges, uncharges;
+  auto on_charge = [&](MicroblogId id) { charges.push_back(id); };
+  auto on_uncharge = [&](MicroblogId id) { uncharges.push_back(id); };
+  // Fill to exactly k: every insert charged, no displacement.
   for (MicroblogId id = 1; id <= 3; ++id) {
-    auto res = index.Insert(1, id, static_cast<double>(id), 1, k);
-    EXPECT_EQ(res.fell_out_of_top_k, kInvalidMicroblogId);
+    index.Insert(1, id, static_cast<double>(id), 1, k, on_charge, on_uncharge);
   }
+  EXPECT_EQ(charges, (std::vector<MicroblogId>{1, 2, 3}));
+  EXPECT_TRUE(uncharges.empty());
   // The 4th (best-ranked) insert displaces the now-(k+1)-th: id 1.
-  auto res = index.Insert(1, 4, 4.0, 2, k);
+  charges.clear();
+  auto res = index.Insert(1, 4, 4.0, 2, k, on_charge, on_uncharge);
   EXPECT_EQ(res.size_after, 4u);
-  EXPECT_EQ(res.fell_out_of_top_k, 1u);
-  // Insert beyond top-k: no displacement.
-  auto res2 = index.Insert(1, 5, 0.5, 3, k);
+  EXPECT_EQ(charges, (std::vector<MicroblogId>{4}));
+  EXPECT_EQ(uncharges, (std::vector<MicroblogId>{1}));
+  // Insert beyond top-k: no transitions.
+  charges.clear();
+  uncharges.clear();
+  auto res2 = index.Insert(1, 5, 0.5, 3, k, on_charge, on_uncharge);
   EXPECT_EQ(res2.insert_pos, 4u);
-  EXPECT_EQ(res2.fell_out_of_top_k, kInvalidMicroblogId);
+  EXPECT_TRUE(charges.empty());
+  EXPECT_TRUE(uncharges.empty());
 }
 
 TEST(InvertedIndexTest, TrimBeyondKReleasesBytes) {
@@ -110,13 +118,13 @@ TEST(InvertedIndexTest, RemoveMatchingPartialKeepsEntry) {
 
 TEST(InvertedIndexTest, RemoveIdReturnsPostingAndErasesEmptyEntry) {
   InvertedIndex index;
-  index.Insert(3, 9, 42.0, 1, 0);
+  index.Insert(3, 9, 42.0, 1, /*k=*/5);
   Posting removed;
-  bool was_top = false;
-  EXPECT_TRUE(index.RemoveId(3, 9, 5, &removed, &was_top));
+  bool was_charged = false;
+  EXPECT_TRUE(index.RemoveId(3, 9, 5, &removed, &was_charged));
   EXPECT_EQ(removed.id, 9u);
   EXPECT_DOUBLE_EQ(removed.score, 42.0);
-  EXPECT_TRUE(was_top);
+  EXPECT_TRUE(was_charged);
   EXPECT_EQ(index.NumEntries(), 0u);
   EXPECT_FALSE(index.RemoveId(3, 9, 5, nullptr, nullptr));
 }

@@ -124,22 +124,84 @@ TEST(PostingListTest, TrimFilterKeepingEverythingLeavesListIntact) {
   EXPECT_EQ(Ids(list), (std::vector<MicroblogId>{6, 5, 4, 3, 2, 1}));
 }
 
-TEST(PostingListTest, RemoveIfReportsTopKMembership) {
+TEST(PostingListTest, RemoveIfReportsChargedMembership) {
   PostingList list;
   for (MicroblogId id = 1; id <= 6; ++id) {
-    list.Insert(id, static_cast<double>(id));
+    list.Insert(id, static_cast<double>(id), /*k=*/3);
   }
+  EXPECT_EQ(list.charged(), 3u);
   std::vector<std::pair<MicroblogId, bool>> removed;
   const size_t n = list.RemoveIf(
-      3, nullptr, [&](const Posting& p, bool top) {
-        removed.push_back({p.id, top});
+      3, nullptr, [&](const Posting& p, bool charged) {
+        removed.push_back({p.id, charged});
       });
   EXPECT_EQ(n, 6u);
   EXPECT_TRUE(list.empty());
-  // ids 6,5,4 were at positions 0-2 (top-3); 3,2,1 beyond.
-  for (const auto& [id, top] : removed) {
-    EXPECT_EQ(top, id >= 4) << "id=" << id;
+  EXPECT_EQ(list.charged(), 0u);
+  // ids 6,5,4 held the charged top-3 positions; 3,2,1 beyond.
+  for (const auto& [id, charged] : removed) {
+    EXPECT_EQ(charged, id >= 4) << "id=" << id;
   }
+}
+
+TEST(PostingListTest, ChargedPrefixFollowsInsertsAndKChanges) {
+  PostingList list;
+  std::vector<MicroblogId> charges, uncharges;
+  auto on_charge = [&](MicroblogId id) { charges.push_back(id); };
+  auto on_uncharge = [&](MicroblogId id) { uncharges.push_back(id); };
+
+  // Growing to k: every insert is charged, none uncharged.
+  for (MicroblogId id = 1; id <= 3; ++id) {
+    list.Insert(id, static_cast<double>(id), /*k=*/3, on_charge, on_uncharge);
+  }
+  EXPECT_EQ(charges, (std::vector<MicroblogId>{1, 2, 3}));
+  EXPECT_TRUE(uncharges.empty());
+  EXPECT_EQ(list.charged(), 3u);
+
+  // A best-ranked insert past k charges itself and evicts the posting that
+  // fell to position k.
+  charges.clear();
+  list.Insert(4, 4.0, /*k=*/3, on_charge, on_uncharge);
+  EXPECT_EQ(charges, (std::vector<MicroblogId>{4}));
+  EXPECT_EQ(uncharges, (std::vector<MicroblogId>{1}));
+
+  // A beyond-k insert changes nothing.
+  charges.clear();
+  uncharges.clear();
+  list.Insert(5, 0.5, /*k=*/3, on_charge, on_uncharge);
+  EXPECT_TRUE(charges.empty());
+  EXPECT_TRUE(uncharges.empty());
+
+  // k shrinks: Rebalance revokes the demoted postings' charges...
+  list.Rebalance(1, on_charge, on_uncharge);
+  EXPECT_EQ(list.charged(), 1u);
+  EXPECT_EQ(uncharges, (std::vector<MicroblogId>{2, 3}));
+  // ...and k growing back re-charges them.
+  uncharges.clear();
+  list.Rebalance(4, on_charge, on_uncharge);
+  EXPECT_EQ(list.charged(), 4u);
+  // List is [4, 3, 2, 1, 5] by score; 4 kept its charge, 3/2/1 regain one.
+  EXPECT_EQ(charges, (std::vector<MicroblogId>{3, 2, 1}));
+  EXPECT_TRUE(uncharges.empty());
+}
+
+TEST(PostingListTest, TrimRevokesStaleChargesBeforeFilter) {
+  PostingList list;
+  for (MicroblogId id = 1; id <= 6; ++id) {
+    list.Insert(id, static_cast<double>(id), /*k=*/5);
+  }
+  EXPECT_EQ(list.charged(), 5u);
+  // k shrank to 2 since the charges were granted: trimming must revoke
+  // the stale charges on trimmed AND kept tail postings, then re-align.
+  std::vector<MicroblogId> uncharges;
+  std::vector<Posting> trimmed;
+  const size_t n = list.TrimBeyondK(
+      2, [](MicroblogId id) { return id % 2 == 1; }, &trimmed, {},
+      [&](MicroblogId id) { uncharges.push_back(id); });
+  EXPECT_EQ(n, 2u);  // 3 and 1 trimmed; 4 and 2 kept beyond k
+  EXPECT_EQ(list.charged(), 2u);
+  // Stale charges on 2 (kept), 3 (trimmed), 4 (kept) revoked, back first.
+  EXPECT_EQ(uncharges, (std::vector<MicroblogId>{2, 3, 4}));
 }
 
 TEST(PostingListTest, RemoveIfPartial) {
@@ -156,16 +218,16 @@ TEST(PostingListTest, RemoveIfPartial) {
 TEST(PostingListTest, RemoveSingleId) {
   PostingList list;
   for (MicroblogId id = 1; id <= 5; ++id) {
-    list.Insert(id, static_cast<double>(id));
+    list.Insert(id, static_cast<double>(id), /*k=*/2);
   }
   Posting removed;
-  bool was_top = false;
-  EXPECT_TRUE(list.Remove(5, 2, &removed, &was_top));
+  bool was_charged = false;
+  EXPECT_TRUE(list.Remove(5, 2, &removed, &was_charged));
   EXPECT_EQ(removed.id, 5u);
   EXPECT_DOUBLE_EQ(removed.score, 5.0);
-  EXPECT_TRUE(was_top);
-  EXPECT_TRUE(list.Remove(1, 2, &removed, &was_top));
-  EXPECT_FALSE(was_top);
+  EXPECT_TRUE(was_charged);
+  EXPECT_TRUE(list.Remove(1, 2, &removed, &was_charged));
+  EXPECT_FALSE(was_charged);
   EXPECT_FALSE(list.Remove(42, 2, nullptr, nullptr));
   EXPECT_EQ(list.size(), 3u);
 }

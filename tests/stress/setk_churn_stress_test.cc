@@ -1,0 +1,138 @@
+// SetK churn stress at the store level: concurrent inserters, a dedicated
+// flusher thread, and a thread cycling k through adversarial values. Every
+// SetK arms k_changed_, so each flush cycle rebuilds the kFlushing over-k
+// list L from scratch while inserts keep charging it — the exact window
+// where the over-k accounting (tracker charge vs. tracked-term count) can
+// drift if insert-side tracking and the rebuild race. A deterministic
+// single-threaded rebuild test rides along as the ground-truth baseline.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/store.h"
+#include "gen/tweet_generator.h"
+#include "policy/kflushing_policy.h"
+#include "stress/stress_util.h"
+
+namespace kflush {
+namespace {
+
+class SetKChurnStressTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(SetKChurnStressTest, ConcurrentInsertFlushSetK) {
+  const uint64_t seed = stress::AnnounceSeed();
+
+  SimClock clock(1'000'000);
+  StoreOptions options;
+  options.memory_budget_bytes = 768 << 10;
+  options.k = 10;
+  options.policy = GetParam();
+  options.auto_flush = false;  // the flusher thread owns flushing
+  options.clock = &clock;
+  MicroblogStore store(options);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> insert_errors{0};
+
+  std::vector<std::thread> inserters;
+  for (int p = 0; p < 2; ++p) {
+    inserters.emplace_back([&, p] {
+      TweetGeneratorOptions stream;
+      stream.seed = stress::DeriveSeed(seed, static_cast<uint64_t>(p));
+      stream.vocabulary_size = 2'000;
+      TweetGenerator gen(stream);
+      for (int i = 0; i < 5'000; ++i) {
+        if (!store.Insert(gen.Next()).ok()) insert_errors.fetch_add(1);
+        if (i % 64 == 0) clock.Advance(1'000);
+      }
+    });
+  }
+
+  std::thread flusher([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      if (store.MemoryFull()) {
+        store.FlushOnce();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  std::thread churn([&] {
+    const uint32_t ks[] = {3, 10, 25, 40};
+    size_t i = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      store.SetK(ks[i++ % 4]);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  for (auto& t : inserters) t.join();
+  done.store(true);
+  flusher.join();
+  churn.join();
+
+  EXPECT_EQ(insert_errors.load(), 0u);
+
+  // Settle at a final k and run the armed rebuild once more: the over-k
+  // list must come out balanced against the tracker with no threads left.
+  store.SetK(10);
+  store.FlushOnce();
+  stress::CheckStoreInvariants(&store);
+}
+
+INSTANTIATE_TEST_SUITE_P(KFlushingVariants, SetKChurnStressTest,
+                         ::testing::Values(PolicyKind::kKFlushing,
+                                           PolicyKind::kKFlushingMK),
+                         [](const auto& info) {
+                           return info.param == PolicyKind::kKFlushing
+                                      ? "KFlushing"
+                                      : "KFlushingMK";
+                         });
+
+// Deterministic baseline: no concurrency, k stepped through down/up swings
+// with a flush after each step. The over-k accounting must balance after
+// every rebuild, and the tracked set must be consistent with what a fresh
+// scan of the index reports.
+TEST(SetKRebuildTest, RebuildBalancesAfterEveryStep) {
+  const uint64_t seed = stress::AnnounceSeed();
+
+  SimClock clock(1'000'000);
+  StoreOptions options;
+  options.memory_budget_bytes = 1 << 20;
+  options.k = 20;
+  options.policy = PolicyKind::kKFlushing;
+  options.auto_flush = false;
+  options.clock = &clock;
+  MicroblogStore store(options);
+
+  TweetGeneratorOptions stream;
+  stream.seed = stress::DeriveSeed(seed, 7);
+  stream.vocabulary_size = 1'000;  // dense entries: many exceed any k
+  TweetGenerator gen(stream);
+  for (int i = 0; i < 4'000; ++i) {
+    ASSERT_TRUE(store.Insert(gen.Next()).ok());
+    if (i % 64 == 0) clock.Advance(1'000);
+  }
+
+  auto* policy = dynamic_cast<KFlushingPolicy*>(store.policy());
+  ASSERT_NE(policy, nullptr);
+
+  for (uint32_t k : {5u, 40u, 3u, 25u, 10u}) {
+    store.SetK(k);
+    store.FlushOnce();  // runs the Phase-1 rebuild armed by SetK
+    EXPECT_EQ(store.k(), k);
+    EXPECT_EQ(
+        store.tracker().ComponentUsed(MemoryComponent::kPolicyOverhead),
+        policy->TrackedOverKTerms() * KFlushingPolicy::kBytesPerTrackedTerm)
+        << "unbalanced after rebuild at k=" << k;
+    stress::CheckStoreInvariants(&store);
+  }
+}
+
+}  // namespace
+}  // namespace kflush

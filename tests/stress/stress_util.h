@@ -1,0 +1,107 @@
+// Shared helpers for the deterministic race-stress harness: seed plumbing
+// (every stress test derives its RNG streams from one base seed, printed on
+// stderr and recorded as a test property so any failure replays exactly)
+// and the structural invariants a quiesced store must satisfy under every
+// policy. These tests are sanitizer fodder first — run them under
+// -DKFLUSH_SANITIZE=thread / address to shake out races — but the
+// invariants also catch accounting bugs in plain builds.
+
+#ifndef KFLUSH_TESTS_STRESS_STRESS_UTIL_H_
+#define KFLUSH_TESTS_STRESS_STRESS_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/store.h"
+#include "policy/kflushing_policy.h"
+#include "policy/lru_policy.h"
+
+namespace kflush {
+namespace stress {
+
+/// The run's base seed: KFLUSH_STRESS_SEED in the environment overrides the
+/// fixed default, so a sanitizer failure in CI replays locally with the
+/// seed the job printed.
+inline uint64_t BaseSeed() {
+  static const uint64_t seed = [] {
+    if (const char* env = std::getenv("KFLUSH_STRESS_SEED")) {
+      return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+    }
+    return static_cast<uint64_t>(20160516);
+  }();
+  return seed;
+}
+
+/// Returns BaseSeed() after printing it and attaching it to the test's
+/// XML properties. Call once at the top of every stress test body.
+inline uint64_t AnnounceSeed() {
+  const uint64_t seed = BaseSeed();
+  std::fprintf(stderr,
+               "[stress] base seed = %" PRIu64
+               " (replay with KFLUSH_STRESS_SEED=%" PRIu64 ")\n",
+               seed, seed);
+  ::testing::Test::RecordProperty("kflush_stress_seed",
+                                  std::to_string(seed));
+  return seed;
+}
+
+/// A distinct derived seed per (base, thread role) pair.
+inline uint64_t DeriveSeed(uint64_t base, uint64_t role) {
+  return base ^ (0x9E3779B97F4A7C15ULL * (role + 1));
+}
+
+/// Structural invariants that must hold once all threads have quiesced,
+/// regardless of policy, attribute, or how many flushes ran:
+///   1. every memory-resident record is referenced (pcount > 0) and its
+///      MK top-k refcount never exceeds its reference count;
+///   2. the tracker's raw-store component balances the raw store's own
+///      accounting (Charge/Release pairs matched across eviction races);
+///   3. the policy-overhead component balances the policy's bookkeeping
+///      structure (kFlushing's over-k list L, LRU's chain);
+///   4. the index holds at least one posting per live record (no record
+///      survives with all its postings evicted).
+inline void CheckStoreInvariants(MicroblogStore* store) {
+  size_t orphans = 0;
+  size_t topk_overflow = 0;
+  store->raw_store()->ForEach(
+      [&](const Microblog&, uint32_t pcount, uint32_t topk_count) {
+        if (pcount == 0) ++orphans;
+        if (topk_count > pcount) ++topk_overflow;
+      });
+  EXPECT_EQ(orphans, 0u) << "records with pcount == 0 left in memory";
+  EXPECT_EQ(topk_overflow, 0u) << "MK top-k refcount exceeds pcount";
+
+  EXPECT_EQ(store->tracker().ComponentUsed(MemoryComponent::kRawStore),
+            store->raw_store()->MemoryBytes())
+      << "raw-store bytes diverged from the tracker";
+
+  const size_t overhead =
+      store->tracker().ComponentUsed(MemoryComponent::kPolicyOverhead);
+  if (const auto* kf =
+          dynamic_cast<const KFlushingPolicy*>(store->policy())) {
+    EXPECT_EQ(overhead,
+              kf->TrackedOverKTerms() * KFlushingPolicy::kBytesPerTrackedTerm)
+        << "over-k list accounting out of balance";
+  } else if (const auto* lru =
+                 dynamic_cast<const LruPolicy*>(store->policy())) {
+    EXPECT_EQ(overhead, lru->LruListSize() * LruPolicy::kBytesPerNode)
+        << "LRU chain accounting out of balance";
+  }
+
+  std::vector<size_t> sizes;
+  store->policy()->CollectEntrySizes(&sizes);
+  size_t postings = 0;
+  for (size_t s : sizes) postings += s;
+  EXPECT_GE(postings, store->raw_store()->size())
+      << "live records outnumber index postings";
+}
+
+}  // namespace stress
+}  // namespace kflush
+
+#endif  // KFLUSH_TESTS_STRESS_STRESS_UTIL_H_

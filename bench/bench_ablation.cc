@@ -40,11 +40,11 @@ int main() {
              100.0 * static_cast<double>(result.data_bytes_used) /
                  static_cast<double>(config.store.memory_budget_bytes));
     PrintRow("ablation-phases", setup.name, "p1_postings",
-             static_cast<double>(result.policy_stats.phase1_postings));
+             static_cast<double>(result.policy_stats.phases[0].postings));
     PrintRow("ablation-phases", setup.name, "p2_postings",
-             static_cast<double>(result.policy_stats.phase2_postings));
+             static_cast<double>(result.policy_stats.phases[1].postings));
     PrintRow("ablation-phases", setup.name, "p3_postings",
-             static_cast<double>(result.policy_stats.phase3_postings));
+             static_cast<double>(result.policy_stats.phases[2].postings));
   }
 
   PrintHeader("ablation-ranking", "temporal vs popularity ranking");
@@ -125,7 +125,7 @@ int main() {
                  static_cast<double>(hot));
     PrintRow("ablation-phase3-order",
              by_query_time ? "last_queried" : "last_arrived", "p3_postings",
-             static_cast<double>(stats.phase3_postings));
+             static_cast<double>(stats.phases[2].postings));
   }
 
   PrintHeader("ablation-B", "flush-cycle count vs flushing budget B");

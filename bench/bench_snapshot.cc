@@ -14,6 +14,7 @@ int main() {
   PrintHeader("fig1", "in-memory snapshot: useless postings and k-filled keywords");
   std::printf("%-14s %10s %12s %12s %10s %12s\n", "policy", "entries",
               "postings", "useless", "useless%", "k_filled");
+  std::vector<std::pair<std::string, MetricsSnapshot>> per_policy;
   for (PolicyKind policy : AllPolicies()) {
     ExperimentConfig config = DefaultConfig(policy);
     config.num_queries = config.num_queries / 4;  // snapshot needs few queries
@@ -27,7 +28,11 @@ int main() {
              "k=20", f.useless_fraction * 100.0);
     PrintRow("fig1", std::string(PolicyKindName(policy)) + ":k_filled",
              "k=20", static_cast<double>(f.k_filled_entries));
+    per_policy.emplace_back(PolicyKindName(policy), result.metrics);
   }
+  // Machine-readable companion: the full registry snapshot per policy
+  // (per-phase flush counters, per-query-type latency percentiles, ...).
+  WriteBenchJson("snapshot", per_policy);
   std::printf(
       "\npaper's claim: FIFO-style temporal flushing leaves most postings\n"
       "beyond top-k (75%% at k=20 on real tweets); kFlushing trims them.\n");

@@ -14,7 +14,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/experiment.h"
@@ -84,6 +87,41 @@ inline void PrintHeader(const std::string& figure,
                         const std::string& description) {
   std::printf("=== %s: %s ===\n", figure.c_str(), description.c_str());
   std::fflush(stdout);
+}
+
+/// Writes one machine-readable benchmark artifact, BENCH_<name>.json:
+///   {"bench": <name>, "scale": <s>, "policies": {<policy>: <registry
+///    snapshot JSON>, ...}}
+/// into the directory named by KFLUSH_BENCH_OUT (default: the working
+/// directory). CI's bench-smoke job validates the schema with
+/// scripts/validate_bench_json.py. Returns the path written, or "" on
+/// failure.
+inline std::string WriteBenchJson(
+    const std::string& name,
+    const std::vector<std::pair<std::string, MetricsSnapshot>>& per_policy) {
+  std::string dir = ".";
+  if (const char* env = std::getenv("KFLUSH_BENCH_OUT")) {
+    if (env[0] != '\0') dir = env;
+  }
+  const std::string path = dir + "/BENCH_" + name + ".json";
+  std::ostringstream os;
+  os << "{\"bench\":\"" << name << "\",\"scale\":" << Scale()
+     << ",\"policies\":{";
+  bool first = true;
+  for (const auto& [policy, snapshot] : per_policy) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << policy << "\":" << snapshot.ToJson();
+  }
+  os << "}}";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return "";
+  }
+  out << os.str() << "\n";
+  std::printf("wrote %s\n", path.c_str());
+  return path;
 }
 
 }  // namespace bench

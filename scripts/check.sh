@@ -2,13 +2,15 @@
 # Repo verification gate: tier-1 suite plus the sanitizer jobs that guard
 # the concurrency paths (docs/INTERNALS.md, "Threading model & sanitizers").
 #
-# Usage:  scripts/check.sh [tier1|tsan|asan|stress|all]   (default: all)
+# Usage:  scripts/check.sh [tier1|tsan|asan|stress|bench-smoke|all]   (default: all)
 #
 # Jobs (each one is what CI runs as a separate job):
-#   tier1  - plain RelWithDebInfo build, full ctest suite
-#   tsan   - ThreadSanitizer build, full suite + stress harness, time-boxed
-#   asan   - ASan+UBSan build, full suite + stress harness, time-boxed
-#   stress - just `ctest -L stress` under both sanitizers (quick race gate)
+#   tier1       - plain RelWithDebInfo build, full ctest suite
+#   tsan        - ThreadSanitizer build, full suite + stress harness, time-boxed
+#   asan        - ASan+UBSan build, full suite + stress harness, time-boxed
+#   stress      - just `ctest -L stress` under both sanitizers (quick race gate)
+#   bench-smoke - tiny-scale bench_snapshot run; validates the BENCH_*.json
+#                 metrics artifact schema with scripts/validate_bench_json.py
 #
 # The stress harness derives all RNG streams from one base seed; on failure
 # we print how to replay it. Override with KFLUSH_STRESS_SEED=<seed>.
@@ -69,12 +71,23 @@ job_stress() {
       || { replay_hint build-asan; return 1; }
 }
 
-run_job() { "job_$1" || FAILED+=("$1"); }
+job_bench_smoke() {
+  note "bench-smoke: tiny bench_snapshot run + BENCH_*.json schema check"
+  local out
+  build default && cmake --build build -j "${JOBS}" --target bench_snapshot \
+      || return 1
+  out="$(mktemp -d)"
+  KFLUSH_BENCH_SCALE="${KFLUSH_BENCH_SCALE:-0.05}" KFLUSH_BENCH_OUT="${out}" \
+      ./build/bench/bench_snapshot || return 1
+  python3 scripts/validate_bench_json.py "${out}"/BENCH_*.json
+}
+
+run_job() { "job_${1//-/_}" || FAILED+=("$1"); }
 
 case "${1:-all}" in
-  tier1|tsan|asan|stress) run_job "$1" ;;
-  all) run_job tier1; run_job tsan; run_job asan ;;
-  *) echo "usage: $0 [tier1|tsan|asan|stress|all]" >&2; exit 2 ;;
+  tier1|tsan|asan|stress|bench-smoke) run_job "$1" ;;
+  all) run_job tier1; run_job tsan; run_job asan; run_job bench-smoke ;;
+  *) echo "usage: $0 [tier1|tsan|asan|stress|bench-smoke|all]" >&2; exit 2 ;;
 esac
 
 if [ ${#FAILED[@]} -gt 0 ]; then

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Schema check for the BENCH_*.json artifacts bench binaries emit.
+
+Usage:  scripts/validate_bench_json.py BENCH_snapshot.json [more.json ...]
+
+Validates the contract CI's bench-smoke job gates on (and that
+scripts/plot_bench.py & downstream dashboards consume):
+
+  {"bench": <name>, "scale": <number>, "policies": {<policy>: <snapshot>}}
+
+where each <snapshot> is a MetricsSnapshot::ToJson() object holding
+"counters"/"gauges"/"histograms" maps, with the per-phase flush counters
+(flush.phaseN.*) and per-query-type latency histograms
+(query.latency_micros.<type>.<hit|miss>) present, and every histogram
+carrying count/min/max/mean/sum and p50/p90/p95/p99 fields.
+
+Exits 0 when every file validates; prints each problem and exits 1
+otherwise. Stdlib only (json) — safe for minimal CI images.
+"""
+
+import json
+import sys
+
+REQUIRED_TOP_KEYS = ("bench", "scale", "policies")
+REQUIRED_SNAPSHOT_KEYS = ("counters", "gauges", "histograms")
+HISTOGRAM_FIELDS = ("count", "min", "max", "mean", "sum",
+                    "p50", "p90", "p95", "p99")
+PHASE_COUNTER_FIELDS = ("runs", "candidates_scanned", "heap_selected",
+                        "postings", "entries", "records", "record_bytes",
+                        "bytes_freed", "micros")
+# Counters every policy run must report, whatever the workload.
+REQUIRED_COUNTERS = ("ingest.inserted", "flush.cycles",
+                     "flush.records_flushed", "flush.postings_dropped",
+                     "disk.postings_added", "query.executed")
+REQUIRED_GAUGES = ("memory.budget_bytes", "memory.data_used_bytes",
+                   "store.resident_records")
+QUERY_TYPES = ("single", "and", "or")
+OUTCOMES = ("hit", "miss")
+
+
+def check_histogram(errors, where, hist):
+    if not isinstance(hist, dict):
+        errors.append(f"{where}: histogram is not an object")
+        return
+    for field in HISTOGRAM_FIELDS:
+        if field not in hist:
+            errors.append(f"{where}: histogram missing '{field}'")
+
+
+def check_snapshot(errors, where, snap):
+    for key in REQUIRED_SNAPSHOT_KEYS:
+        if key not in snap or not isinstance(snap[key], dict):
+            errors.append(f"{where}: missing or non-object '{key}'")
+            return
+    counters, histograms = snap["counters"], snap["histograms"]
+
+    for name in REQUIRED_COUNTERS:
+        if name not in counters:
+            errors.append(f"{where}: missing counter '{name}'")
+    for name in REQUIRED_GAUGES:
+        if name not in snap["gauges"]:
+            errors.append(f"{where}: missing gauge '{name}'")
+
+    # Per-phase flush counters for all three phases (single-phase policies
+    # report under phase1 and still export zeroed phase2/phase3 series).
+    for phase in (1, 2, 3):
+        for field in PHASE_COUNTER_FIELDS:
+            name = f"flush.phase{phase}.{field}"
+            if name not in counters:
+                errors.append(f"{where}: missing counter '{name}'")
+
+    for hist_name, hist in histograms.items():
+        check_histogram(errors, f"{where}/{hist_name}", hist)
+
+    # Latency histograms per query type and outcome. Any given workload
+    # seed may not exercise every (type, outcome) cell, but each type must
+    # appear in at least one outcome once queries ran.
+    if counters.get("query.executed", 0) > 0:
+        for qtype in QUERY_TYPES:
+            present = any(
+                f"query.latency_micros.{qtype}.{outcome}" in histograms
+                for outcome in OUTCOMES)
+            if not present:
+                errors.append(
+                    f"{where}: no latency histogram for query type '{qtype}'")
+
+    if "flush.cycle_micros" not in histograms:
+        errors.append(f"{where}: missing histogram 'flush.cycle_micros'")
+
+
+def check_file(errors, path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        errors.append(f"{path}: unreadable or invalid JSON: {e}")
+        return
+    for key in REQUIRED_TOP_KEYS:
+        if key not in doc:
+            errors.append(f"{path}: missing top-level key '{key}'")
+            return
+    if not isinstance(doc["scale"], (int, float)):
+        errors.append(f"{path}: 'scale' is not a number")
+    policies = doc["policies"]
+    if not isinstance(policies, dict) or not policies:
+        errors.append(f"{path}: 'policies' is empty or not an object")
+        return
+    for policy, snap in policies.items():
+        check_snapshot(errors, f"{path}:{policy}", snap)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    for path in argv[1:]:
+        check_file(errors, path)
+    for err in errors:
+        print(f"FAIL {err}")
+    if errors:
+        print(f"{len(errors)} problem(s) in {len(argv) - 1} file(s)")
+        return 1
+    print(f"OK: {len(argv) - 1} file(s) validate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -18,28 +18,51 @@ const char* QueryTypeName(QueryType type) {
 
 void QueryMetrics::Record(QueryType type, bool memory_hit,
                           uint64_t disk_term_reads, uint64_t latency_micros) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++data_.queries;
   const int i = static_cast<int>(type);
-  ++data_.queries_by_type[i];
+  // Totals first, hit/miss last with release order — see the contract in
+  // the header. The release pairs with Snapshot's acquire loads so every
+  // observed hit/miss carries its query increment with it.
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  queries_by_type_[i].fetch_add(1, std::memory_order_relaxed);
+  disk_term_reads_.fetch_add(disk_term_reads, std::memory_order_relaxed);
+  latency_micros_.Record(latency_micros);
   if (memory_hit) {
-    ++data_.memory_hits;
-    ++data_.hits_by_type[i];
+    hits_by_type_[i].fetch_add(1, std::memory_order_release);
+    memory_hits_.fetch_add(1, std::memory_order_release);
   } else {
-    ++data_.memory_misses;
+    memory_misses_.fetch_add(1, std::memory_order_release);
   }
-  data_.disk_term_reads += disk_term_reads;
-  data_.latency_micros.Record(latency_micros);
 }
 
 void QueryMetrics::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  data_ = QueryMetricsSnapshot();
+  // Callers must have quiesced recorders and snapshotters (documented in
+  // the header): Reset makes no ordering promises of its own.
+  memory_hits_.store(0, std::memory_order_relaxed);
+  memory_misses_.store(0, std::memory_order_relaxed);
+  for (auto& h : hits_by_type_) h.store(0, std::memory_order_relaxed);
+  latency_micros_.Reset();
+  queries_.store(0, std::memory_order_relaxed);
+  disk_term_reads_.store(0, std::memory_order_relaxed);
+  for (auto& q : queries_by_type_) q.store(0, std::memory_order_relaxed);
 }
 
 QueryMetricsSnapshot QueryMetrics::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return data_;
+  QueryMetricsSnapshot snap;
+  // Hit/miss counters first (acquire), totals after — the reader half of
+  // the anti-tearing contract.
+  snap.memory_hits = memory_hits_.load(std::memory_order_acquire);
+  snap.memory_misses = memory_misses_.load(std::memory_order_acquire);
+  for (int i = 0; i < 3; ++i) {
+    snap.hits_by_type[i] = hits_by_type_[i].load(std::memory_order_acquire);
+  }
+  snap.latency_micros = latency_micros_.Snapshot();
+  snap.queries = queries_.load(std::memory_order_relaxed);
+  snap.disk_term_reads = disk_term_reads_.load(std::memory_order_relaxed);
+  for (int i = 0; i < 3; ++i) {
+    snap.queries_by_type[i] =
+        queries_by_type_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
 }
 
 std::string QueryMetricsSnapshot::ToString() const {

@@ -6,9 +6,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
+#include "core/metrics_registry.h"
 #include "util/histogram.h"
 
 namespace kflush {
@@ -46,17 +46,35 @@ struct QueryMetricsSnapshot {
   std::string ToString() const;
 };
 
-/// Thread-safe counters updated by the query engine.
+/// Thread-safe counters updated by the query engine. Lock-free on the
+/// record path: per-field atomics plus a lock-striped latency histogram
+/// (registry instruments), so concurrent queries never serialize on one
+/// metrics mutex.
 class QueryMetrics {
  public:
   void Record(QueryType type, bool memory_hit, uint64_t disk_term_reads,
               uint64_t latency_micros);
+  /// Not linearizable against concurrent Record() or Snapshot(); quiesce
+  /// both first.
   void Reset();
   QueryMetricsSnapshot Snapshot() const;
 
  private:
-  mutable std::mutex mu_;
-  QueryMetricsSnapshot data_;
+  // Anti-tearing contract between Record and Snapshot: Record bumps the
+  // query totals first (relaxed) and the hit/miss counters last (release);
+  // Snapshot loads hit/miss first (acquire) and the totals afterwards.
+  // Observing a hit increment therefore implies its query increment is
+  // visible, so a concurrent snapshot always satisfies
+  //   memory_hits + memory_misses <= queries   and
+  //   hits_by_type[i]            <= queries_by_type[i],
+  // never the torn opposite (a "hit ratio" above 100%).
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> disk_term_reads_{0};
+  std::atomic<uint64_t> queries_by_type_[3] = {};
+  std::atomic<uint64_t> memory_hits_{0};
+  std::atomic<uint64_t> memory_misses_{0};
+  std::atomic<uint64_t> hits_by_type_[3] = {};
+  ConcurrentHistogram latency_micros_;
 };
 
 }  // namespace kflush

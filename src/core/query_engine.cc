@@ -17,7 +17,28 @@ constexpr size_t kNoLimit = std::numeric_limits<size_t>::max();
 constexpr uint32_t kMaxAreaOverfetch = 32;
 }  // namespace
 
-QueryEngine::QueryEngine(MicroblogStore* store) : store_(store) {}
+QueryEngine::QueryEngine(MicroblogStore* store) : store_(store) {
+  MetricsRegistry* registry = store_->metrics_registry();
+  static constexpr const char* kTypeSlug[3] = {"single", "and", "or"};
+  static constexpr const char* kOutcome[2] = {"miss", "hit"};
+  for (int t = 0; t < 3; ++t) {
+    for (int o = 0; o < 2; ++o) {
+      latency_by_type_[t][o] = registry->histogram(
+          std::string("query.latency_micros.") + kTypeSlug[t] + "." +
+          kOutcome[o]);
+    }
+  }
+  for (int o = 0; o < 2; ++o) {
+    latency_spatial_[o] = registry->histogram(
+        std::string("query.latency_micros.spatial.") + kOutcome[o]);
+    latency_user_[o] = registry->histogram(
+        std::string("query.latency_micros.user.") + kOutcome[o]);
+  }
+  queries_counter_ = registry->counter("query.executed");
+  hits_counter_ = registry->counter("query.memory_hits");
+  misses_counter_ = registry->counter("query.memory_misses");
+  disk_term_reads_counter_ = registry->counter("query.disk_term_reads");
+}
 
 void QueryEngine::MemoryPostings(TermId term, size_t limit,
                                  std::vector<Scored>* out) {
@@ -214,8 +235,13 @@ Result<QueryResult> QueryEngine::Execute(const TopKQuery& query) {
   if (result.ok()) {
     const auto disk_reads =
         store_->disk()->stats().term_queries - disk_reads_before;
-    metrics_.Record(query.type, result->memory_hit, disk_reads,
-                    watch.ElapsedMicros());
+    const uint64_t micros = watch.ElapsedMicros();
+    metrics_.Record(query.type, result->memory_hit, disk_reads, micros);
+    const int t = static_cast<int>(query.type);
+    latency_by_type_[t][result->memory_hit ? 1 : 0]->Record(micros);
+    queries_counter_->Increment();
+    (result->memory_hit ? hits_counter_ : misses_counter_)->Increment();
+    disk_term_reads_counter_->Add(disk_reads);
   }
   return result;
 }
@@ -237,7 +263,13 @@ Result<QueryResult> QueryEngine::SearchLocation(double lat, double lon,
   query.type = QueryType::kSingle;
   query.k = k;
   query.terms.push_back(store_->TermForLocation(lat, lon));
-  return Execute(query);
+  Stopwatch watch;
+  Result<QueryResult> result = Execute(query);
+  if (result.ok()) {
+    latency_spatial_[result->memory_hit ? 1 : 0]->Record(
+        watch.ElapsedMicros());
+  }
+  return result;
 }
 
 Result<QueryResult> QueryEngine::SearchArea(double min_lat, double min_lon,
@@ -268,6 +300,7 @@ Result<QueryResult> QueryEngine::SearchArea(double min_lat, double min_lon,
   // box's top-k is filled or the tiles are exhausted (the underlying query
   // returning fewer than it was asked for means there is nothing left).
   uint32_t fetch = want;
+  Stopwatch watch;
   while (true) {
     query.k = fetch;
     Result<QueryResult> result = Execute(query);
@@ -285,6 +318,8 @@ Result<QueryResult> QueryEngine::SearchArea(double min_lat, double min_lon,
         static_cast<uint64_t>(fetch) >=
             static_cast<uint64_t>(want) * kMaxAreaOverfetch) {
       if (records.size() > want) records.resize(want);
+      latency_spatial_[result->memory_hit ? 1 : 0]->Record(
+          watch.ElapsedMicros());
       return result;
     }
     fetch *= 2;
@@ -296,7 +331,12 @@ Result<QueryResult> QueryEngine::SearchUser(UserId user, uint32_t k) {
   query.type = QueryType::kSingle;
   query.k = k;
   query.terms.push_back(store_->TermForUser(user));
-  return Execute(query);
+  Stopwatch watch;
+  Result<QueryResult> result = Execute(query);
+  if (result.ok()) {
+    latency_user_[result->memory_hit ? 1 : 0]->Record(watch.ElapsedMicros());
+  }
+  return result;
 }
 
 }  // namespace kflush

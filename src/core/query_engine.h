@@ -93,6 +93,20 @@ class QueryEngine {
 
   MicroblogStore* store_;
   QueryMetrics metrics_;
+
+  // Registry instruments, resolved once in the constructor (get-or-create;
+  // pointers stay valid for the store's lifetime). Latency histograms are
+  // split by query type and memory-hit outcome; the spatial/user surface
+  // histograms time the whole convenience call (SearchArea's over-fetch
+  // loop runs Execute several times, each contributing to the per-type
+  // histograms, while the surface histogram sees one end-to-end sample).
+  ConcurrentHistogram* latency_by_type_[3][2];
+  ConcurrentHistogram* latency_spatial_[2];
+  ConcurrentHistogram* latency_user_[2];
+  Counter* queries_counter_;
+  Counter* hits_counter_;
+  Counter* misses_counter_;
+  Counter* disk_term_reads_counter_;
 };
 
 }  // namespace kflush

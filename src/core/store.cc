@@ -34,6 +34,74 @@ MicroblogStore::MicroblogStore(StoreOptions options)
   popts.enable_phase3 = options_.enable_phase3;
   popts.phase3_by_query_time = options_.phase3_by_query_time;
   policy_ = MakePolicy(options_.policy, ctx, popts);
+
+  metrics_.AddProvider(
+      [this](MetricsSnapshot* snap) { ExportComponentMetrics(snap); });
+}
+
+void MicroblogStore::ExportComponentMetrics(MetricsSnapshot* snap) const {
+  // Memory accounting (gauges: instantaneous levels).
+  snap->gauges["memory.budget_bytes"] =
+      static_cast<int64_t>(tracker_.budget());
+  snap->gauges["memory.raw_store_bytes"] = static_cast<int64_t>(
+      tracker_.ComponentUsed(MemoryComponent::kRawStore));
+  snap->gauges["memory.index_bytes"] =
+      static_cast<int64_t>(tracker_.ComponentUsed(MemoryComponent::kIndex));
+  snap->gauges["memory.policy_overhead_bytes"] = static_cast<int64_t>(
+      tracker_.ComponentUsed(MemoryComponent::kPolicyOverhead));
+  snap->gauges["memory.flush_buffer_bytes"] = static_cast<int64_t>(
+      tracker_.ComponentUsed(MemoryComponent::kFlushBuffer));
+  snap->gauges["memory.data_used_bytes"] =
+      static_cast<int64_t>(tracker_.DataUsed());
+  snap->gauges["memory.total_used_bytes"] =
+      static_cast<int64_t>(tracker_.used());
+
+  // Ingest path.
+  const IngestStats ingest = ingest_stats();
+  snap->counters["ingest.inserted"] = ingest.inserted;
+  snap->counters["ingest.skipped_no_terms"] = ingest.skipped_no_terms;
+  snap->counters["ingest.flush_triggers"] = ingest.flush_triggers;
+
+  // Flushing policy, including the per-phase breakdown.
+  const PolicyStats ps = policy_->stats();
+  snap->counters["flush.cycles"] = ps.flush_cycles;
+  snap->counters["flush.records_flushed"] = ps.records_flushed;
+  snap->counters["flush.record_bytes_flushed"] = ps.record_bytes_flushed;
+  snap->counters["flush.postings_dropped"] = ps.postings_dropped;
+  snap->histograms["flush.cycle_micros"] = ps.cycle_micros;
+  for (int i = 0; i < 3; ++i) {
+    const PhaseStats& phase = ps.phases[i];
+    const std::string prefix = "flush.phase" + std::to_string(i + 1) + ".";
+    snap->counters[prefix + "runs"] = phase.runs;
+    snap->counters[prefix + "candidates_scanned"] = phase.candidates_scanned;
+    snap->counters[prefix + "heap_selected"] = phase.heap_selected;
+    snap->counters[prefix + "postings"] = phase.postings;
+    snap->counters[prefix + "entries"] = phase.entries;
+    snap->counters[prefix + "records"] = phase.records;
+    snap->counters[prefix + "record_bytes"] = phase.record_bytes;
+    snap->counters[prefix + "bytes_freed"] = phase.bytes_freed;
+    snap->counters[prefix + "micros"] = phase.micros;
+  }
+  snap->gauges["policy.aux_memory_bytes"] =
+      static_cast<int64_t>(policy_->AuxMemoryBytes());
+  snap->gauges["policy.num_entries"] =
+      static_cast<int64_t>(policy_->NumTerms());
+
+  // Disk tier.
+  const DiskStats ds = disk_->stats();
+  snap->counters["disk.postings_added"] = ds.postings_added;
+  snap->counters["disk.records_written"] = ds.records_written;
+  snap->counters["disk.record_bytes_written"] = ds.record_bytes_written;
+  snap->counters["disk.write_batches"] = ds.write_batches;
+  snap->counters["disk.term_queries"] = ds.term_queries;
+  snap->counters["disk.records_read"] = ds.records_read;
+  snap->counters["disk.record_bytes_read"] = ds.record_bytes_read;
+  snap->counters["disk.posting_bytes_read"] = ds.posting_bytes_read;
+
+  snap->gauges["flush_buffer.peak_bytes"] =
+      static_cast<int64_t>(flush_buffer_.peak_bytes());
+  snap->gauges["store.resident_records"] =
+      static_cast<int64_t>(raw_store_.size());
 }
 
 MicroblogStore::~MicroblogStore() = default;

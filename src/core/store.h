@@ -13,6 +13,7 @@
 #include <mutex>
 #include <string>
 
+#include "core/metrics_registry.h"
 #include "core/ranking.h"
 #include "model/attribute.h"
 #include "model/keyword_dictionary.h"
@@ -112,6 +113,14 @@ class MicroblogStore {
 
   IngestStats ingest_stats() const;
 
+  /// The store's metrics registry. QueryEngine and MicroblogSystem record
+  /// into it directly; component-owned stats (tracker, ingest, policy,
+  /// disk, flush buffer) are exported at Snapshot() time by a provider
+  /// registered in the constructor — see docs/INTERNALS.md for the metric
+  /// taxonomy.
+  MetricsRegistry* metrics_registry() { return &metrics_; }
+  const MetricsRegistry* metrics_registry() const { return &metrics_; }
+
   /// Bytes each flush cycle must free: flush_fraction * budget.
   size_t FlushBudgetBytes() const {
     return static_cast<size_t>(static_cast<double>(
@@ -119,6 +128,9 @@ class MicroblogStore {
   }
 
  private:
+  /// Contributes component-owned stats to a registry snapshot.
+  void ExportComponentMetrics(MetricsSnapshot* snap) const;
+
   StoreOptions options_;
   MemoryTracker tracker_;
   RawDataStore raw_store_;
@@ -138,6 +150,10 @@ class MicroblogStore {
 
   mutable std::mutex ingest_stats_mu_;
   IngestStats ingest_stats_;
+
+  /// Declared last so it is destroyed first: the provider registered in
+  /// the constructor captures `this` and reads the components above.
+  MetricsRegistry metrics_;
 };
 
 }  // namespace kflush

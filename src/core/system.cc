@@ -13,7 +13,18 @@ MicroblogSystem::MicroblogSystem(SystemOptions options)
         return std::make_unique<MicroblogStore>(so);
       }()),
       engine_(store_.get()),
-      queue_(options_.ingest_queue_capacity) {}
+      queue_(options_.ingest_queue_capacity) {
+  MetricsRegistry* registry = store_->metrics_registry();
+  queue_depth_gauge_ = registry->gauge("system.queue_depth");
+  batches_submitted_ = registry->counter("system.batches_submitted");
+  batches_digested_ = registry->counter("system.batches_digested");
+  records_digested_ = registry->counter("system.records_digested");
+  digestion_stalls_ = registry->counter("system.digestion_stalls");
+  flush_wakeups_ = registry->counter("system.flush_wakeups");
+  flush_stuck_events_ = registry->counter("system.flush_stuck_events");
+  batch_size_hist_ = registry->histogram("system.batch_size");
+  digest_micros_hist_ = registry->histogram("system.digest_micros_per_batch");
+}
 
 MicroblogSystem::~MicroblogSystem() { Stop(); }
 
@@ -47,7 +58,12 @@ void MicroblogSystem::Stop() {
 }
 
 bool MicroblogSystem::Submit(std::vector<Microblog> batch) {
-  return queue_.Push(std::move(batch));
+  const bool accepted = queue_.Push(std::move(batch));
+  if (accepted) {
+    batches_submitted_->Increment();
+    queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+  }
+  return accepted;
 }
 
 Result<QueryResult> MicroblogSystem::Query(const TopKQuery& query) {
@@ -61,6 +77,8 @@ void MicroblogSystem::DigestionLoop() {
   while (true) {
     auto batch = queue_.Pop();
     if (!batch.has_value()) break;  // queue closed and drained
+    queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+    Stopwatch watch;
     for (Microblog& blog : *batch) {
       Status s = store_->Insert(std::move(blog));
       if (!s.ok()) {
@@ -68,6 +86,10 @@ void MicroblogSystem::DigestionLoop() {
       }
       digested_.fetch_add(1, std::memory_order_relaxed);
     }
+    batches_digested_->Increment();
+    records_digested_->Add(batch->size());
+    batch_size_hist_->Record(batch->size());
+    digest_micros_hist_->Record(watch.ElapsedMicros());
     if (store_->tracker().DataFull()) {
       {
         std::lock_guard<std::mutex> lock(flush_mu_);
@@ -77,6 +99,7 @@ void MicroblogSystem::DigestionLoop() {
       // Backpressure: if the flusher can't keep up, stall digestion until
       // it frees space rather than overshooting the budget unboundedly.
       if (store_->tracker().DataUsed() > stall_threshold) {
+        digestion_stalls_->Increment();
         std::unique_lock<std::mutex> lock(flush_mu_);
         unstall_cv_.wait(lock, [&] {
           return stop_requested_.load() || flush_stuck_ ||
@@ -96,6 +119,7 @@ void MicroblogSystem::FlusherLoop() {
       if (stop_requested_.load() && !store_->tracker().DataFull()) return;
       flush_wanted_ = false;
     }
+    flush_wakeups_->Increment();
     // Keep flushing until data contents are back under budget: a batchy
     // producer can overshoot by more than one flush budget, and digestion
     // stalls until the flusher catches up.
@@ -109,6 +133,7 @@ void MicroblogSystem::FlusherLoop() {
         // flag resets on the next round, so flushing is retried once more
         // data arrives.
         stuck = true;
+        flush_stuck_events_->Increment();
         break;
       }
     }

@@ -87,6 +87,19 @@ class MicroblogSystem {
   /// Set by the flusher when a cycle frees nothing while over budget, so a
   /// stalled digestion thread proceeds (overshoots) instead of deadlocking.
   bool flush_stuck_ = false;
+
+  // Registry instruments (resolved once against the store's registry;
+  // `system.*` taxonomy — see docs/INTERNALS.md). Digestion rate =
+  // system.records_digested / system.digest_micros_per_batch's sum.
+  Gauge* queue_depth_gauge_;
+  Counter* batches_submitted_;
+  Counter* batches_digested_;
+  Counter* records_digested_;
+  Counter* digestion_stalls_;
+  Counter* flush_wakeups_;
+  Counter* flush_stuck_events_;
+  ConcurrentHistogram* batch_size_hist_;
+  ConcurrentHistogram* digest_micros_hist_;
 };
 
 }  // namespace kflush

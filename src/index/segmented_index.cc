@@ -63,6 +63,10 @@ size_t SegmentedIndex::FlushOldestSegment(
   std::vector<TermId> terms;
   oldest->ForEachEntry(
       [&](const EntryMeta& meta) { terms.push_back(meta.term); });
+  // Victim order must not depend on hash-map iteration: equal-score disk
+  // postings are served in registration order, so replayable runs need the
+  // segment's entries dropped in a stable (term id) order.
+  std::sort(terms.begin(), terms.end());
   for (TermId term : terms) {
     oldest->RemoveMatching(
         term, /*k=*/0, /*should_remove=*/nullptr,

@@ -41,18 +41,35 @@ size_t FifoPolicy::EntrySize(TermId term) const {
 }
 
 size_t FifoPolicy::FlushImpl(size_t bytes_needed) {
+  Stopwatch watch;
   size_t freed = 0;
+  size_t segments_flushed = 0;
   // Drop whole oldest segments until the budget is met. Flushing the only
   // (active) segment empties memory entirely; stop there regardless.
   while (freed < bytes_needed) {
     const size_t segments_before = index_.NumSegments();
     const size_t index_freed =
         index_.FlushOldestSegment([&](TermId term, const Posting& posting) {
-          freed += OnPostingDropped(term, posting);
+          // The segment's MemoryBytes() below already covers every posting
+          // and entry, so only the record-side bytes of the drop may be
+          // added here — adding OnPostingDropped's posting bytes too would
+          // overstate `freed` and let the cycle stop short of the B budget
+          // (memory-accounting drift vs. the tracker's actual delta).
+          freed += OnPostingDropped(term, posting) -
+                   PostingList::kBytesPerPosting;
         });
     freed += index_freed;
+    ++segments_flushed;
     if (segments_before <= 1) break;  // flushed the last segment
   }
+  // Single-phase policy: everything reports under phases[0]; a "candidate"
+  // here is a whole flushed segment.
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  PhaseStats& ps = stats_.phases[0];
+  ++ps.runs;
+  ps.candidates_scanned += segments_flushed;
+  ps.bytes_freed += freed;
+  ps.micros += watch.ElapsedMicros();
   return freed;
 }
 

@@ -25,11 +25,18 @@ std::string PolicyStats::ToString() const {
   os << "cycles=" << flush_cycles << " records_flushed=" << records_flushed
      << " bytes_flushed=" << record_bytes_flushed
      << " postings_dropped=" << postings_dropped;
-  if (phase1_postings + phase2_postings + phase3_postings > 0) {
-    os << " phases={p1=" << phase1_postings << " p2=" << phase2_postings
-       << " (" << phase2_entries << " entries)"
-       << " p3=" << phase3_postings << " (" << phase3_entries
-       << " entries)}";
+  if (postings_dropped > 0) {
+    os << " phases={";
+    for (int i = 0; i < 3; ++i) {
+      const PhaseStats& ps = phases[i];
+      if (ps.runs == 0) continue;
+      os << " p" << (i + 1) << "={runs=" << ps.runs
+         << " scanned=" << ps.candidates_scanned
+         << " selected=" << ps.heap_selected << " postings=" << ps.postings
+         << " entries=" << ps.entries << " records=" << ps.records
+         << " freed=" << ps.bytes_freed << " us=" << ps.micros << "}";
+    }
+    os << " }";
   }
   os << " cycle_us={" << cycle_micros.ToString() << "}";
   return os.str();
@@ -49,6 +56,7 @@ PolicyStats FlushPolicy::stats() const {
 
 size_t FlushPolicy::Flush(size_t bytes_needed) {
   Stopwatch watch;
+  current_phase_ = 1;
   const size_t freed = FlushImpl(bytes_needed);
   // One batched write per cycle (paper §III-A: victims are buffered to
   // reduce I/O operations).
@@ -69,9 +77,11 @@ size_t FlushPolicy::OnPostingDropped(TermId term, const Posting& posting) {
   }
   size_t freed = PostingList::kBytesPerPosting;
   const uint32_t remaining = ctx_.raw_store->DecrementPcount(posting.id);
+  PhaseStats& phase = stats_.phases[current_phase_ - 1];
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.postings_dropped;
+    ++phase.postings;
   }
   if (remaining == 0) {
     auto record = ctx_.raw_store->Remove(posting.id);
@@ -82,6 +92,8 @@ size_t FlushPolicy::OnPostingDropped(TermId term, const Posting& posting) {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.records_flushed;
       stats_.record_bytes_flushed += record_bytes;
+      ++phase.records;
+      phase.record_bytes += record_bytes;
     }
   }
   return freed;

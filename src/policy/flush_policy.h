@@ -55,18 +55,31 @@ struct PolicyContext {
   const AttributeExtractor* extractor = nullptr;
 };
 
+/// Per-phase breakdown of flushing work. Indices 0..2 are kFlushing's
+/// Phases 1..3; single-phase policies (FIFO, LRU) report everything under
+/// index 0. These counters back the metrics registry's `flush.phaseN.*`
+/// taxonomy (docs/INTERNALS.md) and the conservation invariant
+///   records_flushed == Σ phases[i].records.
+struct PhaseStats {
+  uint64_t runs = 0;                // times the phase body executed
+  uint64_t candidates_scanned = 0;  // entries examined by the phase's scan
+  uint64_t heap_selected = 0;       // victims chosen by the max-heap pass
+  uint64_t postings = 0;            // postings dropped by this phase
+  uint64_t entries = 0;             // whole entries evicted by this phase
+  uint64_t records = 0;             // records moved to disk via this phase
+  uint64_t record_bytes = 0;        // bytes of those records
+  uint64_t bytes_freed = 0;         // total data bytes freed by this phase
+  uint64_t micros = 0;              // wall time spent in the phase body
+};
+
 /// Cumulative policy statistics.
 struct PolicyStats {
   uint64_t flush_cycles = 0;
   uint64_t records_flushed = 0;
   uint64_t record_bytes_flushed = 0;
   uint64_t postings_dropped = 0;
-  /// kFlushing per-phase contributions (postings dropped by each phase).
-  uint64_t phase1_postings = 0;
-  uint64_t phase2_postings = 0;
-  uint64_t phase3_postings = 0;
-  uint64_t phase2_entries = 0;
-  uint64_t phase3_entries = 0;
+  /// Per-phase contributions (see PhaseStats; [0] = Phase 1 / only phase).
+  PhaseStats phases[3];
   /// Wall time per flush cycle, microseconds.
   Histogram cycle_micros;
 
@@ -147,6 +160,11 @@ class FlushPolicy {
   std::atomic<uint32_t> k_;
   mutable std::mutex stats_mu_;
   PolicyStats stats_;
+  /// Phase OnPostingDropped attributes its work to (1..3). Flush resets it
+  /// to 1 before FlushImpl, so single-phase policies need not touch it;
+  /// kFlushing sets it around each phase body. Only the single flushing
+  /// thread reads or writes it, so a plain int is race-free by contract.
+  int current_phase_ = 1;
 };
 
 }  // namespace kflush

@@ -72,13 +72,28 @@ void KFlushingPolicy::SetK(uint32_t k) {
 }
 
 size_t KFlushingPolicy::FlushImpl(size_t bytes_needed) {
-  size_t freed = RunPhase1();
+  size_t freed = TimedPhase(1, [&] { return RunPhase1(); });
   if (freed < bytes_needed && options_.enable_phase2) {
-    freed += RunPhase2(bytes_needed - freed);
+    freed += TimedPhase(2, [&] { return RunPhase2(bytes_needed - freed); });
   }
   if (freed < bytes_needed && options_.enable_phase3) {
-    freed += RunPhase3(bytes_needed - freed);
+    freed += TimedPhase(3, [&] { return RunPhase3(bytes_needed - freed); });
   }
+  return freed;
+}
+
+size_t KFlushingPolicy::TimedPhase(int phase,
+                                   const std::function<size_t()>& body) {
+  current_phase_ = phase;
+  Stopwatch watch;
+  const size_t freed = body();
+  const uint64_t micros = watch.ElapsedMicros();
+  current_phase_ = 1;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  PhaseStats& ps = stats_.phases[phase - 1];
+  ++ps.runs;
+  ps.bytes_freed += freed;
+  ps.micros += micros;
   return freed;
 }
 
@@ -118,8 +133,17 @@ size_t KFlushingPolicy::RunPhase1() {
     }
   }
 
+  // Hash-set iteration order varies run to run; trimming in term-id order
+  // keeps disk posting registration (and with it equal-score disk reads)
+  // replayable across runs.
+  std::vector<TermId> ordered(terms.begin(), terms.end());
+  std::sort(ordered.begin(), ordered.end());
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.phases[0].candidates_scanned += ordered.size();
+  }
   size_t freed = 0;
-  for (TermId term : terms) {
+  for (TermId term : ordered) {
     freed += TrimEntry(term, k);
   }
   return freed;
@@ -155,10 +179,6 @@ size_t KFlushingPolicy::TrimEntry(TermId term, uint32_t k) {
                            kBytesPerTrackedTerm);
     }
   }
-  if (!trimmed.empty()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.phase1_postings += trimmed.size();
-  }
   return freed;
 }
 
@@ -168,8 +188,13 @@ std::vector<KFlushingPolicy::Candidate> KFlushingPolicy::SelectVictims(
   // order key whose members' bytes sum to at least `target`, replacing the
   // most recent member whenever an older candidate can take its place
   // without dropping the sum below target.
+  // Heap order and the replacement test both compare the full
+  // (order_key, term) tuple: equal-timestamp candidates resolve by term
+  // id, so the selected set cannot flip between runs just because the
+  // hash-map scan handed them over in a different order.
   auto more_recent = [](const Candidate& a, const Candidate& b) {
-    return a.order_key < b.order_key;  // heap top = most recent
+    if (a.order_key != b.order_key) return a.order_key < b.order_key;
+    return a.term < b.term;  // heap top = most recent, then largest term
   };
   std::priority_queue<Candidate, std::vector<Candidate>,
                       decltype(more_recent)>
@@ -179,7 +204,7 @@ std::vector<KFlushingPolicy::Candidate> KFlushingPolicy::SelectVictims(
     if (sum < target) {
       heap.push(c);
       sum += c.bytes;
-    } else if (!heap.empty() && c.order_key < heap.top().order_key) {
+    } else if (!heap.empty() && more_recent(c, heap.top())) {
       const Candidate& top = heap.top();
       if (sum - top.bytes + c.bytes >= target) {
         sum -= top.bytes;
@@ -248,7 +273,6 @@ size_t KFlushingPolicy::EvictEntry(TermId term, int phase) {
   }
 
   size_t freed = 0;
-  size_t removed_count = 0;
   const bool mk = options_.mk_extension;
   RawDataStore* raw = ctx_.raw_store;
   // All callbacks run under the entry's shard lock, keeping the refcounts
@@ -261,7 +285,7 @@ size_t KFlushingPolicy::EvictEntry(TermId term, int phase) {
     on_charge = [raw](MicroblogId id) { raw->IncrementTopK(id); };
     on_uncharge = [raw](MicroblogId id) { raw->DecrementTopK(id); };
   }
-  removed_count = index_.RemoveMatching(
+  index_.RemoveMatching(
       term, k, should_remove,
       [&](const Posting& p, bool was_charged) {
         if (mk && was_charged) raw->DecrementTopK(p.id);
@@ -269,17 +293,10 @@ size_t KFlushingPolicy::EvictEntry(TermId term, int phase) {
       },
       on_charge, on_uncharge);
   const bool entry_gone = index_.EntrySize(term) == 0;
-  if (entry_gone) freed += InvertedIndex::kBytesPerEntry;
-
-  {
+  if (entry_gone) {
+    freed += InvertedIndex::kBytesPerEntry;
     std::lock_guard<std::mutex> lock(stats_mu_);
-    if (phase == 2) {
-      stats_.phase2_postings += removed_count;
-      if (entry_gone) ++stats_.phase2_entries;
-    } else {
-      stats_.phase3_postings += removed_count;
-      if (entry_gone) ++stats_.phase3_entries;
-    }
+    ++stats_.phases[phase - 1].entries;
   }
   return freed;
 }
@@ -298,8 +315,14 @@ size_t KFlushingPolicy::RunPhase2(size_t bytes_needed) {
       }
     });
     if (candidates.empty()) break;
+    const size_t scanned = candidates.size();
     std::vector<Candidate> victims =
         SelectVictims(std::move(candidates), bytes_needed - freed);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.phases[1].candidates_scanned += scanned;
+      stats_.phases[1].heap_selected += victims.size();
+    }
     if (victims.empty()) break;
     const size_t freed_before = freed;
     for (const Candidate& victim : victims) {
@@ -325,8 +348,14 @@ size_t KFlushingPolicy::RunPhase3(size_t bytes_needed) {
       candidates.push_back({meta.term, key, EstimateEntryCost(meta)});
     });
     if (candidates.empty()) break;
+    const size_t scanned = candidates.size();
     std::vector<Candidate> victims =
         SelectVictims(std::move(candidates), bytes_needed - freed);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.phases[2].candidates_scanned += scanned;
+      stats_.phases[2].heap_selected += victims.size();
+    }
     if (victims.empty()) break;
     const size_t freed_before = freed;
     for (const Candidate& victim : victims) {

@@ -88,6 +88,10 @@ class KFlushingPolicy : public FlushPolicy {
   size_t RunPhase2(size_t bytes_needed);
   size_t RunPhase3(size_t bytes_needed);
 
+  /// Runs one phase body with attribution: sets current_phase_ around the
+  /// call and records runs/bytes_freed/micros into stats_.phases[phase-1].
+  size_t TimedPhase(int phase, const std::function<size_t()>& body);
+
   /// Trims one over-k entry per the (possibly MK-extended) Phase 1 rule.
   size_t TrimEntry(TermId term, uint32_t k);
 

@@ -79,11 +79,15 @@ size_t LruPolicy::EntrySize(TermId term) const {
 }
 
 size_t LruPolicy::FlushImpl(size_t bytes_needed) {
+  Stopwatch watch;
   size_t freed = 0;
+  size_t victims_examined = 0;
+  size_t entries_erased = 0;
   std::vector<TermId> terms;
   while (freed < bytes_needed) {
     const MicroblogId victim = PopColdest();
     if (victim == kInvalidMicroblogId) break;  // memory is empty
+    ++victims_examined;
     // Recover the victim's terms and unlink it from every index entry.
     auto blog = ctx_.raw_store->Get(victim);
     if (!blog.has_value()) continue;  // already gone (defensive)
@@ -94,10 +98,21 @@ size_t LruPolicy::FlushImpl(size_t bytes_needed) {
       if (index_.RemoveId(term, victim, /*k=*/0, &removed, nullptr)) {
         freed += OnPostingDropped(term, removed);
         // Entry erased when it became empty.
-        if (index_.EntrySize(term) == 0) freed += InvertedIndex::kBytesPerEntry;
+        if (index_.EntrySize(term) == 0) {
+          freed += InvertedIndex::kBytesPerEntry;
+          ++entries_erased;
+        }
       }
     }
   }
+  // Single-phase policy: everything reports under phases[0].
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  PhaseStats& ps = stats_.phases[0];
+  ++ps.runs;
+  ps.candidates_scanned += victims_examined;
+  ps.entries += entries_erased;
+  ps.bytes_freed += freed;
+  ps.micros += watch.ElapsedMicros();
   return freed;
 }
 

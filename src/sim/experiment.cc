@@ -99,6 +99,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   result.frequency = ComputeFrequencySnapshot(sizes, run.store.k());
 
   result.peak_flush_buffer_bytes = run.store.flush_buffer().peak_bytes();
+  result.metrics = run.store.metrics_registry()->Snapshot();
   return result;
 }
 

@@ -59,6 +59,10 @@ struct ExperimentResult {
   uint64_t tweets_streamed = 0;
   /// True if steady state was reached within the stream cap.
   bool reached_steady_state = false;
+  /// Full registry snapshot at the end of the run: every instrument plus
+  /// the provider-exported component stats (the `flush.phaseN.*` and
+  /// `query.latency_micros.*` series the benchmarks serialize).
+  MetricsSnapshot metrics;
 
   std::string ToString() const;
 };

@@ -9,7 +9,8 @@ std::string DiskStats::ToString() const {
   os << "disk{postings=" << postings_added << " records=" << records_written
      << " bytes=" << record_bytes_written << " batches=" << write_batches
      << " term_queries=" << term_queries << " record_reads=" << records_read
-     << "}";
+     << " record_bytes_read=" << record_bytes_read
+     << " posting_bytes_read=" << posting_bytes_read << "}";
   return os.str();
 }
 

@@ -31,6 +31,10 @@ struct DiskStats {
   uint64_t write_batches = 0;
   uint64_t term_queries = 0;
   uint64_t records_read = 0;
+  /// Read-side byte traffic: record payload bytes returned by GetRecord
+  /// and posting bytes returned by QueryTerm (disk-fallback query cost).
+  uint64_t record_bytes_read = 0;
+  uint64_t posting_bytes_read = 0;
 
   std::string ToString() const;
 };

@@ -147,6 +147,7 @@ Status FileDiskStore::QueryTerm(TermId term, size_t limit,
   const size_t n = std::min(limit, list.size());
   out->insert(out->end(), list.begin(),
               list.begin() + static_cast<ptrdiff_t>(n));
+  stats_.posting_bytes_read += n * sizeof(Posting);
   return Status::OK();
 }
 
@@ -172,6 +173,7 @@ Status FileDiskStore::GetRecord(MicroblogId id, Microblog* out) {
   if (consumed != loc.length) {
     return Status::Corruption("record length mismatch");
   }
+  stats_.record_bytes_read += loc.length;
   return Status::OK();
 }
 

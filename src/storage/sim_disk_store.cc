@@ -44,6 +44,7 @@ Status SimDiskStore::QueryTerm(TermId term, size_t limit,
   const auto& list = it->second;
   const size_t n = std::min(limit, list.size());
   out->insert(out->end(), list.begin(), list.begin() + static_cast<ptrdiff_t>(n));
+  stats_.posting_bytes_read += n * sizeof(Posting);
   return Status::OK();
 }
 
@@ -55,6 +56,7 @@ Status SimDiskStore::GetRecord(MicroblogId id, Microblog* out) {
     return Status::NotFound("record not on disk");
   }
   *out = it->second;
+  stats_.record_bytes_read += out->FootprintBytes();
   return Status::OK();
 }
 

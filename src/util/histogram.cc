@@ -1,7 +1,6 @@
 #include "util/histogram.h"
 
 #include <algorithm>
-#include <cassert>
 #include <sstream>
 
 namespace kflush {
@@ -56,18 +55,29 @@ void Histogram::Reset() {
 
 uint64_t Histogram::Percentile(double p) const {
   if (count_ == 0) return 0;
-  assert(p >= 0.0 && p <= 100.0);
-  const uint64_t target =
-      static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_) + 0.5);
+  // Out-of-range p is clamped, and the extremes are answered exactly from
+  // the tracked min/max rather than a bucket midpoint.
+  if (p <= 0.0) return min();
+  if (p >= 100.0) return max_;
+  // Nearest-rank: the value at 1-based rank ceil(p/100 * count).
+  const double exact = p / 100.0 * static_cast<double>(count_);
+  uint64_t target = static_cast<uint64_t>(exact);
+  if (static_cast<double>(target) < exact) ++target;
+  if (target == 0) target = 1;
   uint64_t seen = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
     seen += buckets_[i];
     if (seen >= target) {
-      // Midpoint of the bucket, clamped to observed extremes.
-      uint64_t lo = LowerBound(i);
-      uint64_t hi = (i + 1 < kNumBuckets) ? LowerBound(i + 1) : max_;
-      uint64_t mid = lo + (hi - lo) / 2;
-      return std::clamp(mid, min(), max_);
+      // Midpoint of the bucket's *inclusive* value range, clamped to the
+      // observed extremes. Using LowerBound(i + 1) directly would bias
+      // every estimate upward by half a step (the bucket is half-open);
+      // clamping guarantees a single recorded value round-trips exactly
+      // and any estimate stays within one bucket of a real sample.
+      uint64_t lo = std::max(LowerBound(i), min());
+      uint64_t hi = (i + 1 < kNumBuckets) ? LowerBound(i + 1) - 1 : max_;
+      hi = std::min(hi, max_);
+      if (hi < lo) hi = lo;
+      return lo + (hi - lo) / 2;
     }
   }
   return max_;

@@ -1,0 +1,175 @@
+// Metrics-conservation suite: the registry's cross-layer counters must
+// balance exactly for every flushing policy. These are the accounting
+// identities the paper's evaluation quietly relies on — if "flushed +
+// resident" drifts from "ingested", every hit-ratio and memory figure
+// built on those counters is suspect.
+//
+//   ingest.inserted        == flush.records_flushed + store.resident_records
+//   flush.records_flushed  == sum over phases of flush.phaseN.records
+//   flush.postings_dropped == sum over phases of flush.phaseN.postings
+//                          == disk.postings_added
+//   disk.records_written   == flush.records_flushed   (buffer fully drained)
+//   query.executed         == query.memory_hits + query.memory_misses
+//                          == sum of per-type/per-outcome latency counts
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/query_engine.h"
+#include "gen/query_generator.h"
+#include "gen/tweet_generator.h"
+
+namespace kflush {
+namespace {
+
+// Store + engine + clock bundle (heap-held: SimClock's atomic makes the
+// bundle non-movable).
+struct Workload {
+  SimClock clock{1'000'000};
+  std::unique_ptr<MicroblogStore> store;
+  std::unique_ptr<QueryEngine> engine;
+};
+
+// Streams a small seeded workload (enough inserts to force several flush
+// cycles at a 2 MB budget) and a query mix through one store.
+std::unique_ptr<Workload> RunWorkload(PolicyKind policy) {
+  auto owned = std::make_unique<Workload>();
+  Workload& run = *owned;
+  StoreOptions options;
+  options.policy = policy;
+  options.k = 10;
+  options.memory_budget_bytes = 2 << 20;
+  options.clock = &run.clock;
+  run.store = std::make_unique<MicroblogStore>(options);
+  run.engine = std::make_unique<QueryEngine>(run.store.get());
+
+  TweetGeneratorOptions stream;
+  stream.seed = 20160516;
+  stream.vocabulary_size = 10'000;
+  stream.num_users = 2'000;
+  TweetGenerator tweets(stream);
+  for (int i = 0; i < 30'000; ++i) {
+    Microblog blog = tweets.Next();
+    run.clock.Set(blog.created_at);
+    EXPECT_TRUE(run.store->Insert(std::move(blog)).ok());
+  }
+  EXPECT_GT(run.store->ingest_stats().flush_triggers, 0u)
+      << PolicyKindName(policy) << ": workload never filled the budget";
+
+  QueryWorkloadOptions workload;
+  workload.seed = 99;
+  QueryGenerator queries(workload, stream);
+  for (int i = 0; i < 1'000; ++i) {
+    run.clock.Advance(1);
+    auto outcome = run.engine->Execute(queries.Next());
+    EXPECT_TRUE(outcome.ok());
+  }
+  return owned;
+}
+
+uint64_t SumPhases(const MetricsSnapshot& snap, const std::string& field) {
+  uint64_t sum = 0;
+  for (int i = 1; i <= 3; ++i) {
+    sum += snap.counter_or("flush.phase" + std::to_string(i) + "." + field);
+  }
+  return sum;
+}
+
+TEST(MetricsConservationTest, RecordsIngestedEqualFlushedPlusResident) {
+  for (PolicyKind policy :
+       {PolicyKind::kFifo, PolicyKind::kLru, PolicyKind::kKFlushing,
+        PolicyKind::kKFlushingMK}) {
+    auto run = RunWorkload(policy);
+    const MetricsSnapshot snap = run->store->metrics_registry()->Snapshot();
+    EXPECT_EQ(snap.counter_or("ingest.inserted"),
+              snap.counter_or("flush.records_flushed") +
+                  static_cast<uint64_t>(snap.gauges.at("store.resident_records")))
+        << PolicyKindName(policy);
+  }
+}
+
+TEST(MetricsConservationTest, PhaseBreakdownSumsToCycleTotals) {
+  for (PolicyKind policy :
+       {PolicyKind::kFifo, PolicyKind::kLru, PolicyKind::kKFlushing,
+        PolicyKind::kKFlushingMK}) {
+    auto run = RunWorkload(policy);
+    const MetricsSnapshot snap = run->store->metrics_registry()->Snapshot();
+    EXPECT_EQ(snap.counter_or("flush.records_flushed"),
+              SumPhases(snap, "records"))
+        << PolicyKindName(policy);
+    EXPECT_EQ(snap.counter_or("flush.record_bytes_flushed"),
+              SumPhases(snap, "record_bytes"))
+        << PolicyKindName(policy);
+    EXPECT_EQ(snap.counter_or("flush.postings_dropped"),
+              SumPhases(snap, "postings"))
+        << PolicyKindName(policy);
+    EXPECT_GT(snap.counter_or("flush.phase1.runs"), 0u)
+        << PolicyKindName(policy);
+  }
+}
+
+TEST(MetricsConservationTest, EveryDroppedPostingAndRecordReachesDisk) {
+  for (PolicyKind policy :
+       {PolicyKind::kFifo, PolicyKind::kLru, PolicyKind::kKFlushing,
+        PolicyKind::kKFlushingMK}) {
+    auto run = RunWorkload(policy);
+    const MetricsSnapshot snap = run->store->metrics_registry()->Snapshot();
+    EXPECT_EQ(snap.counter_or("disk.postings_added"),
+              snap.counter_or("flush.postings_dropped"))
+        << PolicyKindName(policy);
+    EXPECT_EQ(snap.counter_or("disk.records_written"),
+              snap.counter_or("flush.records_flushed"))
+        << PolicyKindName(policy)
+        << ": flush buffer not fully drained to disk";
+    // No byte-level identity here: flush.record_bytes_flushed counts the
+    // in-memory footprint, disk.record_bytes_written the serialized size.
+    EXPECT_GT(snap.counter_or("disk.record_bytes_written"), 0u)
+        << PolicyKindName(policy);
+  }
+}
+
+TEST(MetricsConservationTest, QueryHitsPlusMissesEqualQueries) {
+  for (PolicyKind policy :
+       {PolicyKind::kFifo, PolicyKind::kLru, PolicyKind::kKFlushing,
+        PolicyKind::kKFlushingMK}) {
+    auto run = RunWorkload(policy);
+    const MetricsSnapshot snap = run->store->metrics_registry()->Snapshot();
+    const uint64_t executed = snap.counter_or("query.executed");
+    EXPECT_EQ(executed, 1'000u) << PolicyKindName(policy);
+    EXPECT_EQ(executed, snap.counter_or("query.memory_hits") +
+                            snap.counter_or("query.memory_misses"))
+        << PolicyKindName(policy);
+
+    // The engine's own snapshot must agree with the registry.
+    const QueryMetricsSnapshot qm = run->engine->metrics();
+    EXPECT_EQ(qm.queries, executed) << PolicyKindName(policy);
+    EXPECT_EQ(qm.memory_hits, snap.counter_or("query.memory_hits"))
+        << PolicyKindName(policy);
+    uint64_t by_type = 0, hits_by_type = 0;
+    for (int i = 0; i < 3; ++i) {
+      by_type += qm.queries_by_type[i];
+      hits_by_type += qm.hits_by_type[i];
+    }
+    EXPECT_EQ(by_type, qm.queries) << PolicyKindName(policy);
+    EXPECT_EQ(hits_by_type, qm.memory_hits) << PolicyKindName(policy);
+
+    // Per-type/per-outcome latency histograms partition the queries.
+    uint64_t latency_samples = 0;
+    for (const char* type : {"single", "and", "or"}) {
+      for (const char* outcome : {"hit", "miss"}) {
+        const std::string name = std::string("query.latency_micros.") + type +
+                                 "." + outcome;
+        auto it = snap.histograms.find(name);
+        if (it != snap.histograms.end()) latency_samples += it->second.count();
+      }
+    }
+    EXPECT_EQ(latency_samples, executed) << PolicyKindName(policy);
+  }
+}
+
+}  // namespace
+}  // namespace kflush

@@ -1,0 +1,125 @@
+// Memory-accounting drift regression tests: the byte count a policy
+// *reports* freeing from a Flush() must equal the bytes that actually left
+// the tracked data components (raw store + index). Drift here silently
+// corrupts the flush trigger: the store thinks it freed B% of the budget
+// while the tracker disagrees, so cycles either thrash or under-flush.
+// (FIFO once double-counted posting bytes — the segment's MemoryBytes()
+// already covers them — which these tests now pin down for all policies.)
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../testing/policy_harness.h"
+#include "policy/flush_policy.h"
+
+namespace kflush {
+namespace {
+
+using testing_util::PolicyHarness;
+
+constexpr uint32_t kK = 5;
+
+std::vector<PolicyKind> AllKinds() {
+  return {PolicyKind::kFifo, PolicyKind::kLru, PolicyKind::kKFlushing,
+          PolicyKind::kKFlushingMK};
+}
+
+// Ingests a mixed workload: some over-k keywords (Phase 1 fodder), some
+// under-k (Phase 2 fodder), some multi-keyword records (shared pcounts).
+void IngestMixed(PolicyHarness* h, FlushPolicy* policy) {
+  MicroblogId id = 1;
+  for (int i = 0; i < 40; ++i) h->Ingest(policy, id++, {1});
+  for (int i = 0; i < 25; ++i) h->Ingest(policy, id++, {2});
+  for (KeywordId kw = 3; kw <= 12; ++kw) {
+    h->Ingest(policy, id++, {kw});
+    h->Ingest(policy, id++, {kw, static_cast<KeywordId>(kw + 100)});
+  }
+}
+
+TEST(FlushAccountingTest, ReportedFreedMatchesTrackerDeltaAllPolicies) {
+  for (PolicyKind kind : AllKinds()) {
+    PolicyHarness h;
+    auto policy = h.Make(kind, kK, /*fifo_segment_bytes=*/2048);
+    IngestMixed(&h, policy.get());
+
+    const size_t data_before = h.tracker().DataUsed();
+    const size_t freed = policy->Flush(4096);
+    const size_t data_after = h.tracker().DataUsed();
+
+    ASSERT_GT(freed, 0u) << PolicyKindName(kind);
+    EXPECT_EQ(data_before - data_after, freed)
+        << PolicyKindName(kind)
+        << ": reported freed bytes drifted from tracker delta";
+    // The transient flush buffer must be fully drained after the cycle.
+    EXPECT_EQ(h.tracker().ComponentUsed(MemoryComponent::kFlushBuffer), 0u)
+        << PolicyKindName(kind);
+  }
+}
+
+TEST(FlushAccountingTest, RepeatedCyclesNeverAccumulateDrift) {
+  // Drift compounds across cycles; three back-to-back flushes with fresh
+  // arrivals in between must each balance exactly.
+  for (PolicyKind kind : AllKinds()) {
+    PolicyHarness h;
+    auto policy = h.Make(kind, kK, /*fifo_segment_bytes=*/1024);
+    MicroblogId id = 1;
+    for (int cycle = 0; cycle < 3; ++cycle) {
+      for (int i = 0; i < 30; ++i) {
+        h.Ingest(policy.get(), id++,
+                 {static_cast<KeywordId>(1 + (i % 7)), 500});
+      }
+      const size_t before = h.tracker().DataUsed();
+      const size_t freed = policy->Flush(2048);
+      EXPECT_EQ(before - h.tracker().DataUsed(), freed)
+          << PolicyKindName(kind) << " cycle " << cycle;
+    }
+  }
+}
+
+TEST(FlushAccountingTest, FlushAtBudgetBoundaryMeetsRequest) {
+  // The store's trigger asks for exactly B% of the budget; with plenty of
+  // flushable content every policy must free at least that much, and the
+  // report must still balance at the boundary.
+  for (PolicyKind kind : AllKinds()) {
+    PolicyHarness h(/*budget_bytes=*/64 << 10);
+    auto policy = h.Make(kind, kK, /*fifo_segment_bytes=*/1024);
+    MicroblogId id = 1;
+    while (!h.tracker().DataFull()) {
+      h.Ingest(policy.get(), id++, {static_cast<KeywordId>(1 + (id % 50))});
+    }
+    const size_t request = h.tracker().budget() / 10;  // B = 10%
+    const size_t before = h.tracker().DataUsed();
+    const size_t freed = policy->Flush(request);
+    EXPECT_GE(freed, request) << PolicyKindName(kind);
+    EXPECT_EQ(before - h.tracker().DataUsed(), freed) << PolicyKindName(kind);
+    EXPECT_LE(h.tracker().DataUsed(), h.tracker().budget())
+        << PolicyKindName(kind) << ": still over budget after flush";
+  }
+}
+
+TEST(FlushAccountingTest, StatsConserveAcrossPhases) {
+  // Per-phase stats must decompose the cycle totals exactly:
+  //   records_flushed == sum(phases[i].records)   (same for bytes/postings)
+  for (PolicyKind kind : AllKinds()) {
+    PolicyHarness h;
+    auto policy = h.Make(kind, kK, /*fifo_segment_bytes=*/1024);
+    IngestMixed(&h, policy.get());
+    policy->Flush(1 << 14);
+
+    const PolicyStats stats = policy->stats();
+    uint64_t records = 0, record_bytes = 0, postings = 0;
+    for (int i = 0; i < 3; ++i) {
+      records += stats.phases[i].records;
+      record_bytes += stats.phases[i].record_bytes;
+      postings += stats.phases[i].postings;
+    }
+    EXPECT_EQ(stats.records_flushed, records) << PolicyKindName(kind);
+    EXPECT_EQ(stats.record_bytes_flushed, record_bytes)
+        << PolicyKindName(kind);
+    EXPECT_EQ(stats.postings_dropped, postings) << PolicyKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace kflush

@@ -139,8 +139,8 @@ TEST(KFlushingPhase3Test, EvictsLeastRecentlyQueriedWhenAllKFilled) {
   EXPECT_EQ(policy->EntrySize(2), kK);
   EXPECT_EQ(policy->EntrySize(3), kK);
   const PolicyStats stats = policy->stats();
-  EXPECT_GT(stats.phase3_postings, 0u);
-  EXPECT_EQ(stats.phase2_postings, 0u);
+  EXPECT_GT(stats.phases[2].postings, 0u);
+  EXPECT_EQ(stats.phases[1].postings, 0u);
 }
 
 TEST(KFlushingTest, PhasesRunInOrderAndStopAtBudget) {
@@ -153,9 +153,9 @@ TEST(KFlushingTest, PhasesRunInOrderAndStopAtBudget) {
   // Budget small enough that Phase 1 alone covers it: Phase 2 must not run.
   policy->Flush(100);
   const PolicyStats stats = policy->stats();
-  EXPECT_EQ(stats.phase1_postings, 25u);
-  EXPECT_EQ(stats.phase2_postings, 0u);
-  EXPECT_EQ(stats.phase3_postings, 0u);
+  EXPECT_EQ(stats.phases[0].postings, 25u);
+  EXPECT_EQ(stats.phases[1].postings, 0u);
+  EXPECT_EQ(stats.phases[2].postings, 0u);
   for (KeywordId kw = 2; kw <= 6; ++kw) {
     EXPECT_EQ(policy->EntrySize(kw), 1u);
   }
@@ -172,8 +172,8 @@ TEST(KFlushingTest, Phase2DisabledFallsThroughToPhase3) {
   }
   policy.Flush(2000);
   const PolicyStats stats = policy.stats();
-  EXPECT_EQ(stats.phase2_postings, 0u);
-  EXPECT_GT(stats.phase3_postings, 0u);
+  EXPECT_EQ(stats.phases[1].postings, 0u);
+  EXPECT_GT(stats.phases[2].postings, 0u);
 }
 
 TEST(KFlushingTest, Phase1OnlySaturates) {

@@ -90,6 +90,44 @@ TEST(SelectVictimsTest, ReplacementKeepsBudgetSatisfied) {
   // Candidates 2 and 3 can't cover 100 alone; all orderings keep >= 100.
 }
 
+TEST(SelectVictimsTest, EqualTimestampsBreakTiesByTermIdDeterministically) {
+  // All candidates share one order key (a burst of same-timestamp
+  // arrivals): the heap must converge to the smallest term ids no matter
+  // what order the hash-map scan handed them over — the replayability
+  // property the (order_key, term) tuple comparison exists for.
+  std::vector<Candidate> candidates;
+  for (TermId t = 0; t < 12; ++t) {
+    candidates.push_back({t, /*order_key=*/777, /*bytes=*/100});
+  }
+  const std::vector<TermId> expected{0, 1, 2, 3};  // 4 * 100 covers 400
+  Rng rng(99);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<Candidate> shuffled = candidates;
+    rng.Shuffle(&shuffled);
+    auto selected = KFlushingPolicyTestPeer::Select(shuffled, 400);
+    std::vector<TermId> terms;
+    for (const auto& c : selected) terms.push_back(c.term);
+    std::sort(terms.begin(), terms.end());
+    EXPECT_EQ(terms, expected) << "round " << round;
+  }
+}
+
+TEST(SelectVictimsTest, TermIdBreaksTiesOnlyWhenTimestampsEqual) {
+  // An older timestamp still beats a smaller term id: tie-breaking must
+  // not change the paper's least-recent-first ordering.
+  std::vector<Candidate> candidates = {
+      {1, /*order_key=*/50, /*bytes=*/100},
+      {9, /*order_key=*/10, /*bytes=*/100},  // oldest, despite largest term
+      {2, /*order_key=*/50, /*bytes=*/100},
+  };
+  auto selected = KFlushingPolicyTestPeer::Select(candidates, 200);
+  ASSERT_EQ(selected.size(), 2u);
+  std::vector<TermId> terms;
+  for (const auto& c : selected) terms.push_back(c.term);
+  std::sort(terms.begin(), terms.end());
+  EXPECT_EQ(terms, (std::vector<TermId>{1, 9}));  // 9 (oldest) + tie-break 1
+}
+
 TEST(SelectVictimsTest, PrefersOldOverNewUnderRandomInputs) {
   // Property sweep: selection quality — the selected set's mean order key
   // must not exceed the rejected set's mean order key (older preferred).

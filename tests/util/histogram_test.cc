@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 namespace kflush {
 namespace {
 
@@ -87,6 +90,80 @@ TEST(HistogramTest, HandlesLargeValues) {
   EXPECT_EQ(h.count(), 2u);
   EXPECT_EQ(h.max(), 1ULL << 51);
   EXPECT_GE(h.Percentile(100), h.min());
+}
+
+TEST(HistogramTest, PercentileEdgeCasesOnEmpty) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.Percentile(100), 0u);
+  EXPECT_EQ(h.Percentile(-5), 0u);
+  EXPECT_EQ(h.Percentile(250), 0u);
+}
+
+TEST(HistogramTest, PercentileExtremesAnswerExactMinMax) {
+  Histogram h;
+  h.Record(17);
+  h.Record(9000);
+  h.Record(123456);
+  // p<=0 and p>=100 must return the tracked extremes exactly, not a bucket
+  // midpoint — these feed dashboards as "min latency" / "max latency".
+  EXPECT_EQ(h.Percentile(0), 17u);
+  EXPECT_EQ(h.Percentile(-1), 17u);
+  EXPECT_EQ(h.Percentile(100), 123456u);
+  EXPECT_EQ(h.Percentile(1000), 123456u);
+}
+
+TEST(HistogramTest, SingleValueRoundTripsAtEveryPercentile) {
+  // With one sample, every percentile is that sample — even when the value
+  // lands mid-bucket in the exponential range, the min/max clamp must pull
+  // the midpoint estimate back to the recorded value.
+  for (uint64_t v : {0ULL, 1ULL, 15ULL, 16ULL, 17ULL, 1000ULL, 123456789ULL,
+                     1ULL << 50}) {
+    Histogram h;
+    h.Record(v);
+    for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+      EXPECT_EQ(h.Percentile(p), v) << "v=" << v << " p=" << p;
+    }
+  }
+}
+
+TEST(HistogramTest, PercentileNeverEscapesObservedRange) {
+  Histogram h;
+  h.Record(100);
+  h.Record(200);
+  h.Record(300);
+  for (double p = 0.0; p <= 100.0; p += 2.5) {
+    const uint64_t v = h.Percentile(p);
+    EXPECT_GE(v, h.min()) << "p=" << p;
+    EXPECT_LE(v, h.max()) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, PercentileWithinOneBucketOfExactSample) {
+  // The bucketed estimate must stay within the bucket that holds the true
+  // nearest-rank sample: check against an exact sorted copy.
+  Histogram h;
+  std::vector<uint64_t> values;
+  uint64_t v = 1;
+  for (int i = 0; i < 40; ++i) {
+    values.push_back(v);
+    h.Record(v);
+    v = v * 21 / 16 + 1;  // ~1.3x growth: spans many exponential buckets
+    // (staying under the histogram's ~131k bucket resolution ceiling).
+  }
+  std::sort(values.begin(), values.end());
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    const double exact = p / 100.0 * static_cast<double>(values.size());
+    size_t rank = static_cast<size_t>(exact);
+    if (static_cast<double>(rank) < exact) ++rank;
+    if (rank == 0) rank = 1;
+    const uint64_t truth = values[rank - 1];
+    const uint64_t est = h.Percentile(p);
+    // Exponential buckets are at most ~12.5% wide beyond 16.
+    EXPECT_GE(est, truth - truth / 8) << "p=" << p;
+    EXPECT_LE(est, truth + truth / 8 + 1) << "p=" << p;
+  }
 }
 
 TEST(HistogramTest, ToStringHasFields) {

@@ -1,0 +1,118 @@
+// metrics_dump — runs a small seeded workload through one store and dumps
+// the metrics registry snapshot, as JSON or as a human-readable listing.
+//
+//   metrics_dump [--policy P] [--k K] [--memory-mb M] [--inserts N]
+//                [--queries N] [--seed S] [--format json|text]
+//
+// This is the observability smoke tool: one command that exercises ingest,
+// flushing (all phases), and the query surface, then prints every metric
+// the registry knows about — the quickest way to eyeball the taxonomy
+// documented in docs/INTERNALS.md or to pipe a snapshot into jq.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/query_engine.h"
+#include "gen/query_generator.h"
+#include "gen/tweet_generator.h"
+
+using namespace kflush;
+
+namespace {
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : std::atol(it->second.c_str());
+  }
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) continue;
+    std::string key = arg + 2;
+    std::string value = "true";
+    const size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+    } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      value = argv[++i];
+    }
+    flags.values[key] = value;
+  }
+  return flags;
+}
+
+PolicyKind ParsePolicy(const std::string& name) {
+  if (name == "fifo") return PolicyKind::kFifo;
+  if (name == "lru") return PolicyKind::kLru;
+  if (name == "kflushing") return PolicyKind::kKFlushing;
+  if (name == "kflushing-mk" || name == "mk") return PolicyKind::kKFlushingMK;
+  std::fprintf(stderr,
+               "unknown policy '%s' (fifo|lru|kflushing|kflushing-mk)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+
+  SimClock clock(1'000'000);
+  StoreOptions options;
+  options.policy = ParsePolicy(flags.Get("policy", "kflushing"));
+  options.k = static_cast<uint32_t>(flags.GetInt("k", 20));
+  options.memory_budget_bytes =
+      static_cast<size_t>(flags.GetInt("memory-mb", 4)) << 20;
+  options.clock = &clock;
+  MicroblogStore store(options);
+  QueryEngine engine(&store);
+
+  TweetGeneratorOptions stream;
+  stream.seed = static_cast<uint64_t>(flags.GetInt("seed", 20160516));
+  TweetGenerator tweets(stream);
+  const long inserts = flags.GetInt("inserts", 50'000);
+  for (long i = 0; i < inserts; ++i) {
+    Microblog blog = tweets.Next();
+    clock.Set(blog.created_at);
+    Status s = store.Insert(std::move(blog));
+    if (!s.ok()) {
+      std::fprintf(stderr, "insert failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  QueryWorkloadOptions workload;
+  workload.seed = static_cast<uint64_t>(flags.GetInt("seed", 20160516)) + 1;
+  QueryGenerator queries(workload, stream);
+  const long num_queries = flags.GetInt("queries", 2'000);
+  for (long i = 0; i < num_queries; ++i) {
+    clock.Advance(1);
+    auto outcome = engine.Execute(queries.Next());
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   outcome.status().ToString().c_str());
+    }
+  }
+
+  const MetricsSnapshot snap = store.metrics_registry()->Snapshot();
+  const std::string format = flags.Get("format", "text");
+  if (format == "json") {
+    std::printf("%s\n", snap.ToJson().c_str());
+  } else {
+    std::printf("%s", snap.ToString().c_str());
+  }
+  return 0;
+}

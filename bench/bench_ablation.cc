@@ -14,7 +14,8 @@
 using namespace kflush;
 using namespace kflush::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  auto trace_session = kflush::bench::TraceSessionFromArgs(argc, argv);
   PrintHeader("ablation-phases", "hit ratio and flushed bytes by enabled phases");
   struct PhaseSetup {
     const char* name;

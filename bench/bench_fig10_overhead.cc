@@ -71,7 +71,8 @@ double MeasureDigestionRate(PolicyKind policy, uint32_t k, double seconds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto trace_session = kflush::bench::TraceSessionFromArgs(argc, argv);
   PrintHeader("fig10a", "policy bookkeeping memory (MB) vs k");
   for (uint32_t k : {5, 20, 80}) {
     for (PolicyKind policy : AllPolicies()) {

@@ -24,7 +24,8 @@ ExperimentConfig SpatialConfig(PolicyKind policy, WorkloadKind load,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto trace_session = kflush::bench::TraceSessionFromArgs(argc, argv);
   PrintHeader("fig11a", "k-filled spatial tiles vs memory budget");
   for (int mem_mb : {8, 16, 32, 48}) {
     for (PolicyKind policy : NoMkPolicies()) {

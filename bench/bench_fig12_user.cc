@@ -29,7 +29,8 @@ ExperimentConfig UserConfig(PolicyKind policy, WorkloadKind load,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto trace_session = kflush::bench::TraceSessionFromArgs(argc, argv);
   PrintHeader("fig12a", "k-filled user ids vs memory budget");
   for (int mem_mb : {8, 16, 32, 48}) {
     for (PolicyKind policy : NoMkPolicies()) {

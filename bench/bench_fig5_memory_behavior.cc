@@ -13,7 +13,8 @@
 using namespace kflush;
 using namespace kflush::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  auto trace_session = kflush::bench::TraceSessionFromArgs(argc, argv);
   PrintHeader("fig5", "memory consumption timeline: Phase 1 only vs full policy");
 
   ExperimentConfig phase1_only = DefaultConfig(PolicyKind::kKFlushing);

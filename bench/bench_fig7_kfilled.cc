@@ -16,7 +16,8 @@
 using namespace kflush;
 using namespace kflush::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  auto trace_session = kflush::bench::TraceSessionFromArgs(argc, argv);
   PrintHeader("fig7a", "k-filled keywords vs k");
   for (uint32_t k : {5, 10, 20, 40, 80}) {
     for (PolicyKind policy : AllPolicies()) {

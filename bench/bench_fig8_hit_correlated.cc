@@ -28,7 +28,8 @@ void PrintResult(const char* fig, PolicyKind policy, const std::string& x,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto trace_session = kflush::bench::TraceSessionFromArgs(argc, argv);
   PrintHeader("fig8a", "hit ratio (correlated load) vs k");
   for (uint32_t k : {5, 10, 20, 40, 80}) {
     for (PolicyKind policy : AllPolicies()) {

@@ -11,7 +11,8 @@
 using namespace kflush;
 using namespace kflush::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  auto trace_session = kflush::bench::TraceSessionFromArgs(argc, argv);
   const uint64_t uniform_queries =
       static_cast<uint64_t>(40'000 * Scale());  // low rates need resolution
 

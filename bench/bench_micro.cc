@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/store.h"
+#include "core/trace.h"
 #include "gen/tweet_generator.h"
 #include "index/inverted_index.h"
 #include "storage/serde.h"
@@ -136,6 +137,45 @@ void BM_ZipfSample(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ZipfSample);
+
+// --- Trace-recorder overhead: the disabled cases bound what compiled-in
+// instrumentation costs every un-traced run (should be one relaxed load
+// and a branch); the enabled case prices an actual ring emit.
+
+void BM_TraceInstantDisabled(benchmark::State& state) {
+  Tracer::Global()->Stop();
+  uint64_t x = 0;
+  for (auto _ : state) {
+    KFLUSH_TRACE_INSTANT("bench", "noop", TraceArg::Uint("x", ++x));
+  }
+  benchmark::DoNotOptimize(x);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceInstantDisabled);
+
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  Tracer::Global()->Stop();
+  for (auto _ : state) {
+    TraceSpan span("bench", "noop");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceInstantEnabled(benchmark::State& state) {
+  Tracer::Global()->Start();
+  uint64_t x = 0;
+  for (auto _ : state) {
+    KFLUSH_TRACE_INSTANT("bench", "emit", TraceArg::Uint("x", ++x),
+                         TraceArg::Str("kind", "bench"));
+  }
+  benchmark::DoNotOptimize(x);
+  Tracer::Global()->Stop();
+  Tracer::Global()->Clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceInstantEnabled);
 
 }  // namespace
 }  // namespace kflush

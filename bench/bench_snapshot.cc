@@ -10,7 +10,8 @@
 using namespace kflush;
 using namespace kflush::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  auto trace_session = kflush::bench::TraceSessionFromArgs(argc, argv);
   PrintHeader("fig1", "in-memory snapshot: useless postings and k-filled keywords");
   std::printf("%-14s %10s %12s %12s %10s %12s\n", "policy", "entries",
               "postings", "useless", "useless%", "k_filled");

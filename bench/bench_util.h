@@ -14,12 +14,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/trace.h"
 #include "sim/experiment.h"
 
 namespace kflush {
@@ -62,6 +64,22 @@ inline ExperimentConfig DefaultConfig(PolicyKind policy) {
   config.steady_state_flushes = 8;
   config.num_queries = static_cast<uint64_t>(20'000 * Scale());
   return config;
+}
+
+/// Parses --trace-out FILE (or --trace-out=FILE) from a bench binary's
+/// argv and returns a ScopedTraceFile: keep it alive for the duration of
+/// main so the whole run is recorded and dumped on exit. Without the flag
+/// (or with no args at all) the session is an inert no-op.
+inline ScopedTraceFile TraceSessionFromArgs(int argc, char** argv) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      path = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      path = argv[i] + 12;
+    }
+  }
+  return ScopedTraceFile(path);
 }
 
 /// All four policies in presentation order.

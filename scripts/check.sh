@@ -10,7 +10,10 @@
 #   asan        - ASan+UBSan build, full suite + stress harness, time-boxed
 #   stress      - just `ctest -L stress` under both sanitizers (quick race gate)
 #   bench-smoke - tiny-scale bench_snapshot run; validates the BENCH_*.json
-#                 metrics artifact schema with scripts/validate_bench_json.py
+#                 metrics artifact schema with scripts/validate_bench_json.py,
+#                 then a traced bench_fig5_memory_behavior run validated with
+#                 scripts/validate_trace_json.py. Artifacts land in
+#                 KFLUSH_BENCH_OUT (default: a temp dir) so CI can upload them.
 #
 # The stress harness derives all RNG streams from one base seed; on failure
 # we print how to replay it. Override with KFLUSH_STRESS_SEED=<seed>.
@@ -72,14 +75,20 @@ job_stress() {
 }
 
 job_bench_smoke() {
-  note "bench-smoke: tiny bench_snapshot run + BENCH_*.json schema check"
-  local out
-  build default && cmake --build build -j "${JOBS}" --target bench_snapshot \
-      || return 1
-  out="$(mktemp -d)"
-  KFLUSH_BENCH_SCALE="${KFLUSH_BENCH_SCALE:-0.05}" KFLUSH_BENCH_OUT="${out}" \
+  note "bench-smoke: tiny bench runs + BENCH_*.json and trace schema checks"
+  local out scale
+  build default && cmake --build build -j "${JOBS}" \
+      --target bench_snapshot bench_fig5_memory_behavior || return 1
+  out="${KFLUSH_BENCH_OUT:-$(mktemp -d)}"
+  mkdir -p "${out}"
+  scale="${KFLUSH_BENCH_SCALE:-0.05}"
+  KFLUSH_BENCH_SCALE="${scale}" KFLUSH_BENCH_OUT="${out}" \
       ./build/bench/bench_snapshot || return 1
-  python3 scripts/validate_bench_json.py "${out}"/BENCH_*.json
+  python3 scripts/validate_bench_json.py "${out}"/BENCH_*.json || return 1
+  KFLUSH_BENCH_SCALE="${scale}" KFLUSH_BENCH_OUT="${out}" \
+      ./build/bench/bench_fig5_memory_behavior \
+      --trace-out "${out}/trace_fig5.json" || return 1
+  python3 scripts/validate_trace_json.py "${out}/trace_fig5.json"
 }
 
 run_job() { "job_${1//-/_}" || FAILED+=("$1"); }

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Schema check for Chrome trace-event JSON written by TraceExporter.
+
+Usage:  scripts/validate_trace_json.py trace.json [more.json ...]
+
+Validates the contract CI's bench-smoke job gates on, which is also what
+Perfetto / chrome://tracing need to load the file:
+
+  {"traceEvents": [<event>...],
+   "displayTimeUnit": "ms",
+   "otherData": {"events_emitted": N, "events_dropped": N}}
+
+where every <event> carries name/cat/ph/ts/pid/tid, ph is one of B/E/i,
+instants ("i") carry a scope "s", timestamps are non-decreasing per thread,
+and every thread's B/E events nest — no span ends without a begin, none
+left dangling unless the ring dropped events (otherData.events_dropped > 0
+relaxes the balance check, since wraparound can eat either end of a span).
+
+Exits 0 when every file validates; prints each problem and exits 1
+otherwise. Stdlib only (json) — safe for minimal CI images.
+"""
+
+import json
+import sys
+
+EVENT_KEYS = ("name", "cat", "ph", "ts", "pid", "tid")
+PHASES = ("B", "E", "i")
+
+
+def check_events(errors, path, events, lossy):
+    last_ts = {}    # tid -> last timestamp seen
+    open_spans = {} # tid -> stack of open span names
+    for i, ev in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in EVENT_KEYS:
+            if key not in ev:
+                errors.append(f"{where}: missing '{key}'")
+        ph = ev.get("ph")
+        if ph not in PHASES:
+            errors.append(f"{where}: ph '{ph}' not one of {'/'.join(PHASES)}")
+            continue
+        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+            errors.append(f"{where}: instant without a valid scope 's'")
+        if not isinstance(ev.get("ts"), (int, float)):
+            errors.append(f"{where}: non-numeric ts")
+            continue
+        if "args" in ev and not isinstance(ev["args"], dict):
+            errors.append(f"{where}: 'args' is not an object")
+        tid = ev.get("tid")
+        if tid in last_ts and ev["ts"] < last_ts[tid]:
+            errors.append(f"{where}: ts went backwards on tid {tid}")
+        last_ts[tid] = ev["ts"]
+        if ph == "B":
+            open_spans.setdefault(tid, []).append(ev.get("name"))
+        elif ph == "E":
+            stack = open_spans.get(tid, [])
+            if stack:
+                stack.pop()
+            elif not lossy:
+                errors.append(f"{where}: span end without a begin on tid {tid}")
+    if not lossy:
+        for tid, stack in open_spans.items():
+            for name in stack:
+                errors.append(f"{path}: span '{name}' on tid {tid} never ends")
+
+
+def check_file(errors, path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        errors.append(f"{path}: unreadable or invalid JSON: {e}")
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        errors.append(f"{path}: missing or non-array 'traceEvents'")
+        return
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        errors.append(f"{path}: missing 'otherData'")
+        return
+    for key in ("events_emitted", "events_dropped"):
+        if not isinstance(other.get(key), int):
+            errors.append(f"{path}: otherData missing integer '{key}'")
+            return
+    if other["events_dropped"] > other["events_emitted"]:
+        errors.append(f"{path}: more events dropped than emitted")
+    lossy = other["events_dropped"] > 0
+    if not lossy and len(events) != other["events_emitted"]:
+        errors.append(
+            f"{path}: {len(events)} events but otherData claims "
+            f"{other['events_emitted']} emitted with none dropped")
+    check_events(errors, path, events, lossy)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    for path in argv[1:]:
+        check_file(errors, path)
+    for err in errors:
+        print(f"FAIL {err}")
+    if errors:
+        print(f"{len(errors)} problem(s) in {len(argv) - 1} file(s)")
+        return 1
+    print(f"OK: {len(argv) - 1} file(s) validate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,209 @@
+#include "core/metrics_registry.h"
+
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+namespace kflush {
+
+namespace {
+
+size_t StripeForThisThread() {
+  // Hash of the thread id, computed once per thread: recorders from
+  // different threads land on different stripes with high probability.
+  static thread_local const size_t stripe =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return stripe;
+}
+
+void AppendJsonString(std::ostringstream* os, const std::string& s) {
+  *os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *os << "\\\"";
+        break;
+      case '\\':
+        *os << "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *os << buf;
+        } else {
+          *os << c;
+        }
+    }
+  }
+  *os << '"';
+}
+
+void AppendHistogramJson(std::ostringstream* os, const Histogram& h) {
+  *os << "{\"count\":" << h.count() << ",\"min\":" << h.min()
+      << ",\"max\":" << h.max() << ",\"mean\":" << h.mean()
+      << ",\"sum\":" << h.sum() << ",\"p50\":" << h.Percentile(50)
+      << ",\"p90\":" << h.Percentile(90) << ",\"p95\":" << h.Percentile(95)
+      << ",\"p99\":" << h.Percentile(99) << "}";
+}
+
+}  // namespace
+
+void ConcurrentHistogram::Record(uint64_t value) {
+  Stripe& stripe = stripes_[StripeForThisThread() % kStripes];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.histogram.Record(value);
+}
+
+Histogram ConcurrentHistogram::Snapshot() const {
+  Histogram merged;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    merged.Merge(stripe.histogram);
+  }
+  return merged;
+}
+
+void ConcurrentHistogram::Reset() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.histogram.Reset();
+  }
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) os << ',';
+    first = false;
+    AppendJsonString(&os, name);
+    os << ':' << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) os << ',';
+    first = false;
+    AppendJsonString(&os, name);
+    os << ':' << value;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) os << ',';
+    first = false;
+    AppendJsonString(&os, name);
+    os << ':';
+    AppendHistogramJson(&os, h);
+  }
+  os << "}}";
+  return os.str();
+}
+
+namespace {
+
+/// "query.latency_micros.single.hit" -> "kflush_query_latency_micros_single_hit".
+std::string PrometheusName(const std::string& name) {
+  std::string out = "kflush_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters) {
+    const std::string pname = PrometheusName(name);
+    os << "# TYPE " << pname << " counter\n" << pname << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string pname = PrometheusName(name);
+    os << "# TYPE " << pname << " gauge\n" << pname << " " << value << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string pname = PrometheusName(name);
+    os << "# TYPE " << pname << " summary\n";
+    for (int q : {50, 90, 95, 99}) {
+      os << pname << "{quantile=\"0." << q << "\"} " << h.Percentile(q)
+         << "\n";
+    }
+    os << pname << "_sum " << h.sum() << "\n";
+    os << pname << "_count " << h.count() << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters) {
+    os << name << " = " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    os << name << " = " << value << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    os << name << " = {" << h.ToString() << "}\n";
+  }
+  return os.str();
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+ConcurrentHistogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<ConcurrentHistogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::AddProvider(
+    std::function<void(MetricsSnapshot*)> provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  providers_.push_back(std::move(provider));
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->Snapshot();
+  }
+  for (const auto& provider : providers_) {
+    provider(&snap);
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace kflush

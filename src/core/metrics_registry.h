@@ -1,0 +1,152 @@
+// Central metrics subsystem: named counters, gauges, and histogram-backed
+// timers registered once and sampled through a consistent Snapshot(). The
+// paper's whole evaluation is quantitative — hit ratio, flushed bytes per
+// phase, index-scan overhead (§IV, Figs. 5-12) — so every layer reports
+// into one registry instead of growing ad-hoc counter structs.
+//
+// Thread-safety contract:
+//   - counter()/gauge()/histogram() are get-or-create and may be called
+//     from any thread; returned pointers stay valid for the registry's
+//     lifetime (instruments are never deregistered).
+//   - Counter/Gauge updates are lock-free atomics; ConcurrentHistogram
+//     stripes recorders across several mutex-guarded histograms so query
+//     threads don't serialize on one lock.
+//   - Snapshot() is safe against concurrent recorders: each instrument is
+//     read atomically (counters) or under its stripe locks (histograms).
+//     The snapshot is per-instrument consistent, not globally atomic —
+//     cross-instrument invariants (e.g. hits + misses == queries) hold
+//     exactly only on a quiesced registry.
+//   - Components that already maintain internal stats structs (PolicyStats,
+//     DiskStats, IngestStats, MemoryTracker) are exported at snapshot time
+//     through registered providers, so Snapshot() is the one-stop view.
+
+#ifndef KFLUSH_CORE_METRICS_REGISTRY_H_
+#define KFLUSH_CORE_METRICS_REGISTRY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace kflush {
+
+/// Monotonic event count. Lock-free.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous level (queue depth, resident bytes). Lock-free.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Thread-safe histogram recorder. Histogram itself is documented
+/// not-thread-safe; this wrapper stripes recorders across several
+/// mutex-guarded instances (keyed by thread id) and merges on read, so
+/// many recording threads rarely contend and a snapshot reader never
+/// observes a torn bucket array.
+class ConcurrentHistogram {
+ public:
+  ConcurrentHistogram() = default;
+  ConcurrentHistogram(const ConcurrentHistogram&) = delete;
+  ConcurrentHistogram& operator=(const ConcurrentHistogram&) = delete;
+
+  void Record(uint64_t value);
+
+  /// Merged copy of all stripes. Safe against concurrent Record().
+  Histogram Snapshot() const;
+
+  /// Zeroes all stripes. Not linearizable against concurrent Record();
+  /// quiesce recorders first (as experiment drivers do between phases).
+  void Reset();
+
+ private:
+  static constexpr size_t kStripes = 8;
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    Histogram histogram;
+  };
+  std::array<Stripe, kStripes> stripes_;
+};
+
+/// Point-in-time view of every registered instrument plus provider output.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, Histogram> histograms;
+
+  uint64_t counter_or(const std::string& name, uint64_t fallback = 0) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? fallback : it->second;
+  }
+
+  /// JSON object: {"counters":{...},"gauges":{...},"histograms":{name:
+  /// {count,min,max,mean,sum,p50,p90,p95,p99}}}. Stable key order (maps).
+  std::string ToJson() const;
+
+  /// Prometheus text exposition format (one block per instrument, names
+  /// sanitized to [a-zA-Z0-9_] and prefixed "kflush_"): counters become
+  /// `counter`, gauges `gauge`, histograms `summary` with p50/p90/p95/p99
+  /// quantile samples plus _sum and _count.
+  std::string ToPrometheus() const;
+
+  /// Compact human-readable dump, one instrument per line.
+  std::string ToString() const;
+};
+
+/// The registry. One instance per MicroblogStore (benchmarks and multi-
+/// store deployments aggregate snapshots, not registries).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create; the pointer stays valid for the registry's lifetime.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  ConcurrentHistogram* histogram(const std::string& name);
+
+  /// Registers a callback that contributes component-owned stats (policy,
+  /// disk, ingest, memory) to every Snapshot(). Providers run under the
+  /// registry mutex and must not call back into the registry.
+  void AddProvider(std::function<void(MetricsSnapshot*)> provider);
+
+  /// Samples every instrument and runs every provider.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes counters and histograms (gauges and providers keep their
+  /// sources). Same caveat as ConcurrentHistogram::Reset: quiesce first.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<ConcurrentHistogram>> histograms_;
+  std::vector<std::function<void(MetricsSnapshot*)>> providers_;
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_CORE_METRICS_REGISTRY_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/trace.h"
 #include "index/spatial_grid.h"
 #include <limits>
 #include <unordered_map>
@@ -214,6 +215,10 @@ Result<QueryResult> QueryEngine::Execute(const TopKQuery& query) {
   const uint32_t k = query.k != 0 ? query.k : store_->k();
   if (k == 0) return Status::InvalidArgument("k must be positive");
 
+  static const char* const kTypeName[] = {"single", "and", "or"};
+  TraceSpan span("query", kTypeName[static_cast<int>(query.type)],
+                 {TraceArg::Uint("terms", query.terms.size()),
+                  TraceArg::Uint("k", k)});
   Stopwatch watch;
   const auto disk_reads_before = store_->disk()->stats().term_queries;
 
@@ -242,6 +247,12 @@ Result<QueryResult> QueryEngine::Execute(const TopKQuery& query) {
     queries_counter_->Increment();
     (result->memory_hit ? hits_counter_ : misses_counter_)->Increment();
     disk_term_reads_counter_->Add(disk_reads);
+    span.End({TraceArg::Str("outcome", result->memory_hit ? "hit" : "miss"),
+              TraceArg::Uint("from_memory", result->from_memory),
+              TraceArg::Uint("from_disk", result->from_disk),
+              TraceArg::Uint("disk_term_reads", disk_reads)});
+  } else {
+    span.End({TraceArg::Str("outcome", "error")});
   }
   return result;
 }

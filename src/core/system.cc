@@ -1,5 +1,6 @@
 #include "core/system.h"
 
+#include "core/trace.h"
 #include "util/logging.h"
 
 namespace kflush {
@@ -78,6 +79,12 @@ void MicroblogSystem::DigestionLoop() {
     auto batch = queue_.Pop();
     if (!batch.has_value()) break;  // queue closed and drained
     queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+    // One span per batch, not per record: the per-insert path stays
+    // untouched so disabled-tracing ingest overhead is one branch per
+    // batch (the 2% bench_micro criterion).
+    TraceSpan span("system", "digest_batch",
+                   {TraceArg::Uint("records", batch->size()),
+                    TraceArg::Uint("queue_depth", queue_.size())});
     Stopwatch watch;
     for (Microblog& blog : *batch) {
       Status s = store_->Insert(std::move(blog));
@@ -90,6 +97,7 @@ void MicroblogSystem::DigestionLoop() {
     records_digested_->Add(batch->size());
     batch_size_hist_->Record(batch->size());
     digest_micros_hist_->Record(watch.ElapsedMicros());
+    span.End({TraceArg::Uint("data_used", store_->tracker().DataUsed())});
     if (store_->tracker().DataFull()) {
       {
         std::lock_guard<std::mutex> lock(flush_mu_);
@@ -100,6 +108,10 @@ void MicroblogSystem::DigestionLoop() {
       // it frees space rather than overshooting the budget unboundedly.
       if (store_->tracker().DataUsed() > stall_threshold) {
         digestion_stalls_->Increment();
+        KFLUSH_TRACE_INSTANT(
+            "system", "digestion_stall",
+            TraceArg::Uint("data_used", store_->tracker().DataUsed()),
+            TraceArg::Uint("stall_threshold", stall_threshold));
         std::unique_lock<std::mutex> lock(flush_mu_);
         unstall_cv_.wait(lock, [&] {
           return stop_requested_.load() || flush_stuck_ ||
@@ -120,6 +132,9 @@ void MicroblogSystem::FlusherLoop() {
       flush_wanted_ = false;
     }
     flush_wakeups_->Increment();
+    KFLUSH_TRACE_INSTANT(
+        "system", "flush_wakeup",
+        TraceArg::Uint("data_used", store_->tracker().DataUsed()));
     // Keep flushing until data contents are back under budget: a batchy
     // producer can overshoot by more than one flush budget, and digestion
     // stalls until the flusher catches up.
@@ -134,6 +149,9 @@ void MicroblogSystem::FlusherLoop() {
         // data arrives.
         stuck = true;
         flush_stuck_events_->Increment();
+        KFLUSH_TRACE_INSTANT(
+            "system", "flush_stuck",
+            TraceArg::Uint("data_used", store_->tracker().DataUsed()));
         break;
       }
     }

@@ -1,0 +1,417 @@
+#include "core/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/thread_util.h"
+
+// Thread-sanitizer detection: GCC defines __SANITIZE_THREAD__, clang
+// exposes __has_feature(thread_sanitizer). The snapshot reader swaps its
+// fence for an acquire re-load under TSan (see Snapshot()).
+#if defined(__SANITIZE_THREAD__)
+#define KFLUSH_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define KFLUSH_TSAN 1
+#endif
+#endif
+#ifndef KFLUSH_TSAN
+#define KFLUSH_TSAN 0
+#endif
+
+namespace kflush {
+
+namespace internal {
+
+/// One ring slot. Every field is a relaxed atomic: a concurrent snapshot
+/// may read a slot mid-overwrite, and atomics keep that read well-defined
+/// (the seqlock check then discards the torn value). On x86/ARM a relaxed
+/// store compiles to a plain store, so the writer pays nothing for this.
+struct TraceSlot {
+  std::atomic<uint64_t> seq{0};  // 0 empty; 2p+1 writing pos p; 2p+2 done
+  std::atomic<uint64_t> ts{0};
+  std::atomic<const char*> category{nullptr};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<uint8_t> type{0};
+  std::atomic<uint8_t> num_args{0};
+  struct SlotArg {
+    std::atomic<const char*> key{nullptr};
+    std::atomic<uint8_t> kind{0};
+    std::atomic<uint64_t> bits{0};
+  } args[kMaxTraceArgs];
+};
+
+/// A thread's ring. Owned by the Tracer registry for the process lifetime
+/// (never deallocated outside ResetForTesting), so a writer's cached
+/// pointer can never dangle. Only the owning thread writes; `head` is the
+/// monotonic count of events ever emitted by that thread.
+struct TraceThreadBuffer {
+  TraceThreadBuffer(uint32_t tid_in, size_t capacity_in)
+      : tid(tid_in),
+        capacity(capacity_in == 0 ? 1 : capacity_in),
+        slots(new TraceSlot[capacity_in == 0 ? 1 : capacity_in]) {}
+
+  const uint32_t tid;
+  const size_t capacity;
+  std::atomic<uint64_t> head{0};
+  std::unique_ptr<TraceSlot[]> slots;
+};
+
+namespace {
+
+uint64_t ArgBits(const TraceArg& arg) {
+  switch (arg.kind) {
+    case TraceArg::Kind::kInt64:
+      return static_cast<uint64_t>(arg.value.i64);
+    case TraceArg::Kind::kUint64:
+      return arg.value.u64;
+    case TraceArg::Kind::kDouble: {
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(arg.value.f64));
+      std::memcpy(&bits, &arg.value.f64, sizeof(bits));
+      return bits;
+    }
+    case TraceArg::Kind::kString:
+      return reinterpret_cast<uintptr_t>(arg.value.str);
+    case TraceArg::Kind::kNone:
+      break;
+  }
+  return 0;
+}
+
+TraceArg ArgFromBits(const char* key, TraceArg::Kind kind, uint64_t bits) {
+  TraceArg arg;
+  arg.key = key;
+  arg.kind = kind;
+  switch (kind) {
+    case TraceArg::Kind::kInt64:
+      arg.value.i64 = static_cast<int64_t>(bits);
+      break;
+    case TraceArg::Kind::kUint64:
+      arg.value.u64 = bits;
+      break;
+    case TraceArg::Kind::kDouble:
+      std::memcpy(&arg.value.f64, &bits, sizeof(arg.value.f64));
+      break;
+    case TraceArg::Kind::kString:
+      arg.value.str = reinterpret_cast<const char*>(
+          static_cast<uintptr_t>(bits));
+      break;
+    case TraceArg::Kind::kNone:
+      break;
+  }
+  return arg;
+}
+
+bool ValidEventType(uint8_t type) {
+  return type >= static_cast<uint8_t>(TraceEventType::kSpanBegin) &&
+         type <= static_cast<uint8_t>(TraceEventType::kInstant);
+}
+
+}  // namespace
+
+}  // namespace internal
+
+Tracer* Tracer::Global() {
+  // Leaked intentionally: worker threads may emit during static teardown.
+  static Tracer* tracer = new Tracer();
+  return tracer;
+}
+
+Timestamp Tracer::NowMicros() const {
+  Clock* clock = clock_override_.load(std::memory_order_relaxed);
+  return clock != nullptr ? clock->NowMicros() : MonotonicMicros();
+}
+
+void Tracer::SetClockForTesting(Clock* clock) {
+  clock_override_.store(clock, std::memory_order_relaxed);
+}
+
+void Tracer::Start(size_t capacity_per_thread) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  capacity_per_thread_ = capacity_per_thread == 0
+                             ? kDefaultCapacityPerThread
+                             : capacity_per_thread;
+  for (auto& buffer : buffers_) {
+    buffer->head.store(0, std::memory_order_relaxed);
+    for (size_t i = 0; i < buffer->capacity; ++i) {
+      buffer->slots[i].seq.store(0, std::memory_order_relaxed);
+    }
+  }
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::Stop() { enabled_.store(false, std::memory_order_release); }
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (auto& buffer : buffers_) {
+    buffer->head.store(0, std::memory_order_relaxed);
+    for (size_t i = 0; i < buffer->capacity; ++i) {
+      buffer->slots[i].seq.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Tracer::ResetForTesting() {
+  Stop();
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  buffers_.clear();
+  capacity_per_thread_ = kDefaultCapacityPerThread;
+  clock_override_.store(nullptr, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+}
+
+internal::TraceThreadBuffer* Tracer::BufferForThisThread() {
+  struct TlsRef {
+    internal::TraceThreadBuffer* buffer = nullptr;
+    uint64_t epoch = 0;
+  };
+  static thread_local TlsRef tls;
+  const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  if (tls.buffer != nullptr && tls.epoch == epoch) return tls.buffer;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  buffers_.push_back(std::make_unique<internal::TraceThreadBuffer>(
+      ThisThreadId(), capacity_per_thread_));
+  tls.buffer = buffers_.back().get();
+  tls.epoch = epoch;
+  return tls.buffer;
+}
+
+void Tracer::Emit(TraceEventType type, const char* category, const char* name,
+                  std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  internal::TraceThreadBuffer* buffer = BufferForThisThread();
+  const Timestamp now = NowMicros();
+  // Single writer per buffer: head is only advanced by the owning thread.
+  const uint64_t pos = buffer->head.load(std::memory_order_relaxed);
+  internal::TraceSlot& slot = buffer->slots[pos % buffer->capacity];
+  slot.seq.store(2 * pos + 1, std::memory_order_release);
+  slot.ts.store(now, std::memory_order_relaxed);
+  slot.category.store(category, std::memory_order_relaxed);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.type.store(static_cast<uint8_t>(type), std::memory_order_relaxed);
+  uint8_t n = 0;
+  for (const TraceArg& arg : args) {
+    if (n == kMaxTraceArgs) break;
+    internal::TraceSlot::SlotArg& out = slot.args[n];
+    out.key.store(arg.key, std::memory_order_relaxed);
+    out.kind.store(static_cast<uint8_t>(arg.kind), std::memory_order_relaxed);
+    out.bits.store(internal::ArgBits(arg), std::memory_order_relaxed);
+    ++n;
+  }
+  slot.num_args.store(n, std::memory_order_relaxed);
+  slot.seq.store(2 * pos + 2, std::memory_order_release);
+  buffer->head.store(pos + 1, std::memory_order_release);
+}
+
+uint64_t Tracer::events_emitted() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  uint64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    total += buffer->head.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Tracer::events_dropped() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  uint64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    const uint64_t head = buffer->head.load(std::memory_order_relaxed);
+    if (head > buffer->capacity) total += head - buffer->capacity;
+  }
+  return total;
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  struct Keyed {
+    TraceEvent event;
+    uint64_t pos;
+  };
+  std::vector<Keyed> collected;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (const auto& buffer : buffers_) {
+      const uint64_t head = buffer->head.load(std::memory_order_acquire);
+      const uint64_t n =
+          std::min<uint64_t>(head, static_cast<uint64_t>(buffer->capacity));
+      for (uint64_t pos = head - n; pos < head; ++pos) {
+        const internal::TraceSlot& slot =
+            buffer->slots[pos % buffer->capacity];
+        const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+        if (seq != 2 * pos + 2) continue;  // empty, mid-write, or recycled
+        TraceEvent event;
+        event.ts_micros = slot.ts.load(std::memory_order_relaxed);
+        event.tid = buffer->tid;
+        const uint8_t type = slot.type.load(std::memory_order_relaxed);
+        event.category = slot.category.load(std::memory_order_relaxed);
+        event.name = slot.name.load(std::memory_order_relaxed);
+        event.num_args = std::min<uint8_t>(
+            slot.num_args.load(std::memory_order_relaxed), kMaxTraceArgs);
+        for (uint8_t i = 0; i < event.num_args; ++i) {
+          const internal::TraceSlot::SlotArg& arg = slot.args[i];
+          event.args[i] = internal::ArgFromBits(
+              arg.key.load(std::memory_order_relaxed),
+              static_cast<TraceArg::Kind>(
+                  arg.kind.load(std::memory_order_relaxed)),
+              arg.bits.load(std::memory_order_relaxed));
+        }
+        // Seqlock validation: if the writer lapped us mid-copy, the
+        // sequence moved and the copy is discarded.
+#if KFLUSH_TSAN
+        // TSan does not model thread fences (GCC even hard-errors via
+        // -Wtsan). Every payload field is a relaxed atomic, so there is no
+        // data race being hidden here; an acquire re-load stands in for
+        // the fence in sanitizer builds.
+        if (slot.seq.load(std::memory_order_acquire) != seq) continue;
+#else
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (slot.seq.load(std::memory_order_relaxed) != seq) continue;
+#endif
+        if (!internal::ValidEventType(type) || event.name == nullptr ||
+            event.category == nullptr) {
+          continue;
+        }
+        event.type = static_cast<TraceEventType>(type);
+        collected.push_back({event, pos});
+      }
+    }
+  }
+  std::sort(collected.begin(), collected.end(),
+            [](const Keyed& a, const Keyed& b) {
+              if (a.event.ts_micros != b.event.ts_micros) {
+                return a.event.ts_micros < b.event.ts_micros;
+              }
+              if (a.event.tid != b.event.tid) return a.event.tid < b.event.tid;
+              return a.pos < b.pos;
+            });
+  std::vector<TraceEvent> events;
+  events.reserve(collected.size());
+  for (const Keyed& k : collected) events.push_back(k.event);
+  return events;
+}
+
+// ---------------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void AppendArgValueJson(std::string* out, const TraceArg& arg) {
+  switch (arg.kind) {
+    case TraceArg::Kind::kInt64:
+      *out += std::to_string(arg.value.i64);
+      return;
+    case TraceArg::Kind::kUint64:
+      *out += std::to_string(arg.value.u64);
+      return;
+    case TraceArg::Kind::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", arg.value.f64);
+      *out += buf;
+      return;
+    }
+    case TraceArg::Kind::kString:
+      *out += '"';
+      AppendJsonEscaped(out, arg.value.str != nullptr ? arg.value.str : "");
+      *out += '"';
+      return;
+    case TraceArg::Kind::kNone:
+      break;
+  }
+  *out += "null";
+}
+
+}  // namespace
+
+std::string TraceExporter::EventToJson(const TraceEvent& event) {
+  std::string out;
+  out.reserve(128);
+  out += "{\"name\":\"";
+  AppendJsonEscaped(&out, event.name != nullptr ? event.name : "?");
+  out += "\",\"cat\":\"";
+  AppendJsonEscaped(&out, event.category != nullptr ? event.category : "?");
+  out += "\",\"ph\":\"";
+  switch (event.type) {
+    case TraceEventType::kSpanBegin:
+      out += 'B';
+      break;
+    case TraceEventType::kSpanEnd:
+      out += 'E';
+      break;
+    case TraceEventType::kInstant:
+      out += 'i';
+      break;
+  }
+  out += "\",\"ts\":";
+  out += std::to_string(event.ts_micros);
+  out += ",\"pid\":0,\"tid\":";
+  out += std::to_string(event.tid);
+  if (event.type == TraceEventType::kInstant) {
+    out += ",\"s\":\"t\"";  // thread-scoped instant
+  }
+  if (event.num_args > 0) {
+    out += ",\"args\":{";
+    for (uint8_t i = 0; i < event.num_args; ++i) {
+      if (i > 0) out += ',';
+      out += '"';
+      AppendJsonEscaped(&out,
+                        event.args[i].key != nullptr ? event.args[i].key : "?");
+      out += "\":";
+      AppendArgValueJson(&out, event.args[i]);
+    }
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
+void TraceExporter::WriteJson(const std::vector<TraceEvent>& events,
+                              uint64_t emitted, uint64_t dropped,
+                              std::ostream& os) {
+  os << "{\"traceEvents\":[\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) os << ",\n";
+    os << EventToJson(events[i]);
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"events_emitted\":"
+     << emitted << ",\"events_dropped\":" << dropped << "}}\n";
+}
+
+ScopedTraceFile::ScopedTraceFile(std::string path, size_t capacity_per_thread)
+    : path_(std::move(path)) {
+  if (!path_.empty()) {
+    Tracer::Global()->Start(capacity_per_thread);
+  }
+}
+
+ScopedTraceFile::~ScopedTraceFile() {
+  if (path_.empty()) return;
+  Tracer::Global()->Stop();
+  Status s = TraceExporter::WriteFile(path_);
+  if (!s.ok()) {
+    KFLUSH_ERROR("trace export failed: " << s.ToString());
+  }
+}
+
+Status TraceExporter::WriteFile(const std::string& path) {
+  Tracer* tracer = Tracer::Global();
+  const std::vector<TraceEvent> events = tracer->Snapshot();
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open trace output file: " + path);
+  }
+  WriteJson(events, tracer->events_emitted(), tracer->events_dropped(), out);
+  out.flush();
+  if (!out) {
+    return Status::IOError("failed writing trace output file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace kflush

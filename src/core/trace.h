@@ -1,0 +1,330 @@
+// Flush-cycle tracing: a bounded-memory, per-thread ring-buffer span
+// recorder plus the eviction audit trail — the "why" layer on top of the
+// metrics registry's "how much". Aggregate counters (PR 3) can say Phase 2
+// ran 14 times; only a trace can say *this* wakeup ran Phase 2 because
+// Phase 1 freed 3 KB of a 3 MB budget, and picked *that* entry because its
+// order key lost the heap comparison (kFlushing's three-phase decision
+// chain, DESIGN.md §1).
+//
+// Design (ring-buffer logger in the style of the related elog project):
+//   - Compiled in, runtime-toggled. Disabled cost is one relaxed atomic
+//     load and a branch per potential event — hot paths keep their macros.
+//   - Emit is wait-free for the writer: each thread owns a ring of slots;
+//     a slot is published with a seqlock (odd = being written) over
+//     relaxed-atomic payload fields, so a concurrent Snapshot() never
+//     blocks a writer and never reads a torn event (it skips slots whose
+//     sequence moved). Buffers wrap: new events overwrite the oldest, and
+//     the recorder counts what was lost (`events_dropped`).
+//   - Timestamps come from MonotonicMicros() — the same clock behind every
+//     Stopwatch-fed histogram — so spans and metric samples line up.
+//   - Thread ids are util/thread_util.h logical ids, shared with the log
+//     prefix.
+//
+// String contract: every `name`, `category`, and arg key/string value must
+// have static storage duration (string literals). Events store the
+// pointer, not a copy — that is what keeps Emit allocation-free.
+//
+// The exporter writes Chrome trace-event JSON (the `traceEvents` array
+// format), loadable in Perfetto / chrome://tracing. See docs/TRACING.md.
+
+#ifndef KFLUSH_CORE_TRACE_H_
+#define KFLUSH_CORE_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "model/microblog.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace kflush {
+
+/// Typed key/value attached to an event. Keys and string values must be
+/// string literals (static storage duration).
+struct TraceArg {
+  enum class Kind : uint8_t { kNone = 0, kInt64, kUint64, kDouble, kString };
+
+  const char* key = nullptr;
+  Kind kind = Kind::kNone;
+  union Value {
+    int64_t i64;
+    uint64_t u64;
+    double f64;
+    const char* str;
+  } value{};
+
+  static TraceArg Int(const char* key, int64_t v) {
+    TraceArg a;
+    a.key = key;
+    a.kind = Kind::kInt64;
+    a.value.i64 = v;
+    return a;
+  }
+  static TraceArg Uint(const char* key, uint64_t v) {
+    TraceArg a;
+    a.key = key;
+    a.kind = Kind::kUint64;
+    a.value.u64 = v;
+    return a;
+  }
+  static TraceArg Double(const char* key, double v) {
+    TraceArg a;
+    a.key = key;
+    a.kind = Kind::kDouble;
+    a.value.f64 = v;
+    return a;
+  }
+  static TraceArg Str(const char* key, const char* v) {
+    TraceArg a;
+    a.key = key;
+    a.kind = Kind::kString;
+    a.value.str = v;
+    return a;
+  }
+  static TraceArg Bool(const char* key, bool v) {
+    return Str(key, v ? "true" : "false");
+  }
+};
+
+enum class TraceEventType : uint8_t { kSpanBegin = 1, kSpanEnd, kInstant };
+
+/// Maximum typed args per event (an eviction audit instant uses 8).
+constexpr size_t kMaxTraceArgs = 8;
+
+/// One decoded event, as returned by Tracer::Snapshot().
+struct TraceEvent {
+  Timestamp ts_micros = 0;
+  uint32_t tid = 0;
+  TraceEventType type = TraceEventType::kInstant;
+  const char* category = nullptr;
+  const char* name = nullptr;
+  uint8_t num_args = 0;
+  TraceArg args[kMaxTraceArgs];
+};
+
+namespace internal {
+struct TraceThreadBuffer;
+}  // namespace internal
+
+/// The process-wide trace recorder. Start()/Stop() toggle recording at
+/// runtime; per-thread ring buffers are created lazily on a thread's first
+/// emit and live for the process lifetime (bounded: threads x capacity),
+/// so a writer never races a deallocation.
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacityPerThread = 4096;
+
+  /// The singleton every instrumentation macro records into.
+  static Tracer* Global();
+
+  /// Enables recording. `capacity_per_thread` (events) applies to ring
+  /// buffers created from now on; existing buffers keep their size but are
+  /// cleared. Idempotent.
+  void Start(size_t capacity_per_thread = kDefaultCapacityPerThread);
+
+  /// Disables recording. Events already in the rings stay readable via
+  /// Snapshot() until Clear() or the next Start().
+  void Stop();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops all recorded events and zeroes the emit/drop counters. Not
+  /// linearizable against concurrent Emit (a racing writer may land one
+  /// event after the wipe); quiesce writers for an exact clear.
+  void Clear();
+
+  /// Total events ever emitted / overwritten by ring wraparound since the
+  /// last Start()/Clear().
+  uint64_t events_emitted() const;
+  uint64_t events_dropped() const;
+
+  /// Copies every readable event out of every thread ring, sorted by
+  /// (timestamp, tid). Safe against concurrent emit: slots being written
+  /// while the snapshot reads them are skipped, never torn.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Emits one event (usually via TraceSpan / KFLUSH_TRACE_INSTANT).
+  /// No-op while disabled. At most kMaxTraceArgs args are kept.
+  void Emit(TraceEventType type, const char* category, const char* name,
+            std::initializer_list<TraceArg> args);
+
+  /// Timestamp source override for deterministic tests (golden traces).
+  /// Pass nullptr to restore MonotonicMicros(). Not thread-safe against
+  /// concurrent emit; test-only.
+  void SetClockForTesting(Clock* clock);
+
+  /// Test-only: Clear() plus forget every per-thread buffer, so a fresh
+  /// test sees deterministic buffer registration. Unsafe while any other
+  /// thread may emit.
+  void ResetForTesting();
+
+ private:
+  Tracer() = default;
+
+  internal::TraceThreadBuffer* BufferForThisThread();
+  Timestamp NowMicros() const;
+
+  friend struct internal::TraceThreadBuffer;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<Clock*> clock_override_{nullptr};
+
+  mutable std::mutex registry_mu_;
+  std::vector<std::unique_ptr<internal::TraceThreadBuffer>> buffers_;
+  size_t capacity_per_thread_ = kDefaultCapacityPerThread;
+  /// Bumped by Start()/Clear()/ResetForTesting(); threads re-resolve their
+  /// cached buffer pointer when stale.
+  std::atomic<uint64_t> epoch_{1};
+};
+
+/// RAII span: emits kSpanBegin on construction and kSpanEnd on End() or
+/// destruction. Cheap no-op while tracing is disabled (the enabled check
+/// happens before any ring traffic; arg expressions are still evaluated,
+/// so keep them to scalars already at hand).
+class TraceSpan {
+ public:
+  TraceSpan(const char* category, const char* name,
+            std::initializer_list<TraceArg> begin_args = {})
+      : category_(category), name_(name) {
+    Tracer* tracer = Tracer::Global();
+    active_ = tracer->enabled();
+    if (active_) {
+      tracer->Emit(TraceEventType::kSpanBegin, category_, name_, begin_args);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() { End(); }
+
+  /// Ends the span early, attaching outcome args to the end event.
+  void End(std::initializer_list<TraceArg> end_args = {}) {
+    if (!active_) return;
+    active_ = false;
+    Tracer::Global()->Emit(TraceEventType::kSpanEnd, category_, name_,
+                           end_args);
+  }
+
+ private:
+  const char* category_;
+  const char* name_;
+  bool active_ = false;
+};
+
+/// Instant-event helper; the enabled check guards arg evaluation.
+#define KFLUSH_TRACE_INSTANT(category, name, ...)                       \
+  do {                                                                  \
+    ::kflush::Tracer* _kflush_tracer = ::kflush::Tracer::Global();      \
+    if (_kflush_tracer->enabled()) {                                    \
+      _kflush_tracer->Emit(::kflush::TraceEventType::kInstant,          \
+                           (category), (name), {__VA_ARGS__});          \
+    }                                                                   \
+  } while (0)
+
+// ---------------------------------------------------------------------------
+// Eviction audit trail
+// ---------------------------------------------------------------------------
+
+/// One victim of one flush phase: everything needed to replay the
+/// decision. Phase 1 victims are over-k entries being trimmed back to k
+/// (no heap involved: rank -1, order key 0); Phase 2/3 victims come out of
+/// SelectVictims with their heap rank and the order key the heap compared
+/// (last arrival for Phase 2, last query — or last arrival under the
+/// ablation — for Phase 3). FIFO reports one victim per flushed segment
+/// and LRU one per evicted record, both under phase 1.
+struct EvictionAuditRecord {
+  int phase = 1;                    // 1..3 (PhaseStats index + 1)
+  TermId term = kInvalidTermId;     // victim entry (FIFO/LRU: invalid)
+  MicroblogId record_id = kInvalidMicroblogId;  // LRU's per-record victim
+  int64_t heap_rank = -1;           // position in SelectVictims output
+  Timestamp order_key = 0;          // eviction key the heap compared
+  uint64_t postings_dropped = 0;    // postings this victim shed
+  uint64_t entries_evicted = 0;     // whole entries removed (0 or 1; LRU >=0)
+  uint64_t records_flushed = 0;     // records whose pcount reached zero
+  uint64_t record_bytes = 0;        // bytes of those records
+  uint64_t bytes_freed = 0;         // total data bytes this victim freed
+};
+
+/// Unbounded (unlike the trace rings) collector of audit records, so the
+/// per-phase sums can be reconciled exactly against PhaseStats — install
+/// one via FlushPolicy::set_audit_trail. Appends come from the single
+/// flushing thread; reads may come from anywhere.
+class EvictionAuditTrail {
+ public:
+  void Append(const EvictionAuditRecord& record) {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back(record);
+  }
+
+  std::vector<EvictionAuditRecord> Records() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<EvictionAuditRecord> records_;
+};
+
+// ---------------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------------
+
+/// Writes traces in the Chrome trace-event JSON format ("traceEvents"
+/// array of B/E/i phase objects, timestamps in microseconds), which
+/// Perfetto and chrome://tracing load directly.
+class TraceExporter {
+ public:
+  /// Serializes `events` (as produced by Tracer::Snapshot()) to `os`.
+  /// `emitted`/`dropped` are recorded under "otherData" so a wrapped ring
+  /// is visible in the artifact.
+  static void WriteJson(const std::vector<TraceEvent>& events,
+                        uint64_t emitted, uint64_t dropped, std::ostream& os);
+
+  /// Snapshot of the global tracer written to `path`.
+  static Status WriteFile(const std::string& path);
+
+  /// One event as a JSON object (exposed for tests).
+  static std::string EventToJson(const TraceEvent& event);
+};
+
+/// The plumbing behind every binary's --trace-out flag: starts the global
+/// recorder on construction and, on destruction, stops it and writes the
+/// Chrome trace JSON to `path` (write failures are logged, not thrown).
+/// An empty path makes the whole object a no-op.
+class ScopedTraceFile {
+ public:
+  explicit ScopedTraceFile(
+      std::string path,
+      size_t capacity_per_thread = Tracer::kDefaultCapacityPerThread);
+  ~ScopedTraceFile();
+
+  ScopedTraceFile(const ScopedTraceFile&) = delete;
+  ScopedTraceFile& operator=(const ScopedTraceFile&) = delete;
+
+  bool active() const { return !path_.empty(); }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_CORE_TRACE_H_

@@ -48,6 +48,10 @@ size_t FifoPolicy::FlushImpl(size_t bytes_needed) {
   // (active) segment empties memory entirely; stop there regardless.
   while (freed < bytes_needed) {
     const size_t segments_before = index_.NumSegments();
+    // Audit granularity: one victim per flushed segment (FIFO has no
+    // per-entry decision to record; the whole oldest segment goes).
+    BeginVictim(/*phase=*/1, kInvalidTermId);
+    const size_t freed_before = freed;
     const size_t index_freed =
         index_.FlushOldestSegment([&](TermId term, const Posting& posting) {
           // The segment's MemoryBytes() below already covers every posting
@@ -59,6 +63,7 @@ size_t FifoPolicy::FlushImpl(size_t bytes_needed) {
                    PostingList::kBytesPerPosting;
         });
     freed += index_freed;
+    EndVictim(freed - freed_before);
     ++segments_flushed;
     if (segments_before <= 1) break;  // flushed the last segment
   }

@@ -55,6 +55,9 @@ PolicyStats FlushPolicy::stats() const {
 }
 
 size_t FlushPolicy::Flush(size_t bytes_needed) {
+  TraceSpan span("flush", "cycle",
+                 {TraceArg::Str("policy", name()),
+                  TraceArg::Uint("bytes_needed", bytes_needed)});
   Stopwatch watch;
   current_phase_ = 1;
   const size_t freed = FlushImpl(bytes_needed);
@@ -64,10 +67,42 @@ size_t FlushPolicy::Flush(size_t bytes_needed) {
   if (!s.ok()) {
     KFLUSH_ERROR("flush drain failed: " << s.ToString());
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.flush_cycles;
-  stats_.cycle_micros.Record(watch.ElapsedMicros());
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.flush_cycles;
+    stats_.cycle_micros.Record(watch.ElapsedMicros());
+  }
+  span.End({TraceArg::Uint("bytes_freed", freed)});
   return freed;
+}
+
+void FlushPolicy::BeginVictim(int phase, TermId term, int64_t heap_rank,
+                              Timestamp order_key, MicroblogId record_id) {
+  victim_ = EvictionAuditRecord{};
+  victim_.phase = phase;
+  victim_.term = term;
+  victim_.record_id = record_id;
+  victim_.heap_rank = heap_rank;
+  victim_.order_key = order_key;
+  victim_open_ = true;
+}
+
+void FlushPolicy::EndVictim(uint64_t bytes_freed, uint64_t entries_evicted) {
+  victim_open_ = false;
+  victim_.bytes_freed = bytes_freed;
+  victim_.entries_evicted = entries_evicted;
+  if (audit_trail_ != nullptr) {
+    audit_trail_->Append(victim_);
+  }
+  KFLUSH_TRACE_INSTANT(
+      "flush", "evict_victim", TraceArg::Int("phase", victim_.phase),
+      TraceArg::Uint("term", victim_.term),
+      TraceArg::Int("heap_rank", victim_.heap_rank),
+      TraceArg::Uint("order_key", static_cast<uint64_t>(victim_.order_key)),
+      TraceArg::Uint("postings", victim_.postings_dropped),
+      TraceArg::Uint("entries", victim_.entries_evicted),
+      TraceArg::Uint("records", victim_.records_flushed),
+      TraceArg::Uint("bytes_freed", victim_.bytes_freed));
 }
 
 size_t FlushPolicy::OnPostingDropped(TermId term, const Posting& posting) {
@@ -83,12 +118,17 @@ size_t FlushPolicy::OnPostingDropped(TermId term, const Posting& posting) {
     ++stats_.postings_dropped;
     ++phase.postings;
   }
+  if (victim_open_) ++victim_.postings_dropped;
   if (remaining == 0) {
     auto record = ctx_.raw_store->Remove(posting.id);
     if (record.has_value()) {
       const size_t record_bytes = RawDataStore::RecordBytes(*record);
       freed += record_bytes;
       ctx_.flush_buffer->Add(std::move(*record));
+      if (victim_open_) {
+        ++victim_.records_flushed;
+        victim_.record_bytes += record_bytes;
+      }
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.records_flushed;
       stats_.record_bytes_flushed += record_bytes;
@@ -97,6 +137,49 @@ size_t FlushPolicy::OnPostingDropped(TermId term, const Posting& posting) {
     }
   }
   return freed;
+}
+
+Status ReconcileAuditWithStats(const std::vector<EvictionAuditRecord>& records,
+                               const PolicyStats& stats) {
+  PhaseStats sums[3];
+  for (const EvictionAuditRecord& r : records) {
+    if (r.phase < 1 || r.phase > 3) {
+      return Status::Internal("audit record with out-of-range phase " +
+                              std::to_string(r.phase));
+    }
+    PhaseStats& s = sums[r.phase - 1];
+    s.postings += r.postings_dropped;
+    s.entries += r.entries_evicted;
+    s.records += r.records_flushed;
+    s.record_bytes += r.record_bytes;
+    s.bytes_freed += r.bytes_freed;
+  }
+  for (int i = 0; i < 3; ++i) {
+    const PhaseStats& got = sums[i];
+    const PhaseStats& want = stats.phases[i];
+    auto mismatch = [&](const char* field, uint64_t g, uint64_t w) {
+      return Status::Internal(
+          "audit/stats mismatch in phase " + std::to_string(i + 1) + " " +
+          field + ": audit sum " + std::to_string(g) + " != stats " +
+          std::to_string(w));
+    };
+    if (got.postings != want.postings) {
+      return mismatch("postings", got.postings, want.postings);
+    }
+    if (got.entries != want.entries) {
+      return mismatch("entries", got.entries, want.entries);
+    }
+    if (got.records != want.records) {
+      return mismatch("records", got.records, want.records);
+    }
+    if (got.record_bytes != want.record_bytes) {
+      return mismatch("record_bytes", got.record_bytes, want.record_bytes);
+    }
+    if (got.bytes_freed != want.bytes_freed) {
+      return mismatch("bytes_freed", got.bytes_freed, want.bytes_freed);
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace kflush

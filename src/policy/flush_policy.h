@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/trace.h"
 #include "index/posting_list.h"
 #include "model/attribute.h"
 #include "model/microblog.h"
@@ -30,6 +31,7 @@
 #include "util/clock.h"
 #include "util/histogram.h"
 #include "util/memory_tracker.h"
+#include "util/status.h"
 
 namespace kflush {
 
@@ -143,9 +145,32 @@ class FlushPolicy {
 
   PolicyStats stats() const;
 
+  /// Installs (or, with nullptr, removes) the sink for per-victim eviction
+  /// audit records. Call while no flush is running; the single flushing
+  /// thread reads the pointer without synchronization.
+  void set_audit_trail(EvictionAuditTrail* trail) { audit_trail_ = trail; }
+  EvictionAuditTrail* audit_trail() const { return audit_trail_; }
+
  protected:
   /// Subclass flush body; returns bytes freed.
   virtual size_t FlushImpl(size_t bytes_needed) = 0;
+
+  /// --- victim-scoped audit accumulation (flush thread only, same
+  /// single-thread contract as current_phase_) ---
+  ///
+  /// A policy brackets each victim — a trimmed entry (kFlushing Phase 1),
+  /// an evicted entry (Phases 2/3), a flushed segment (FIFO), an unlinked
+  /// record (LRU) — with BeginVictim/EndVictim. OnPostingDropped calls in
+  /// between accumulate postings/records/record bytes into the open scope;
+  /// EndVictim takes the victim's exact bytes-freed delta (the same number
+  /// the policy adds to its phase total, so per-phase audit sums reconcile
+  /// exactly with PhaseStats) and the whole entries it removed, then
+  /// appends to the audit trail (if installed) and emits a "flush"/
+  /// "evict_victim" trace instant (if tracing is on).
+  void BeginVictim(int phase, TermId term, int64_t heap_rank = -1,
+                   Timestamp order_key = 0,
+                   MicroblogId record_id = kInvalidMicroblogId);
+  void EndVictim(uint64_t bytes_freed, uint64_t entries_evicted = 0);
 
   /// Standard handling for a posting leaving the in-memory index: register
   /// the association on disk, decrement the record's reference count, and
@@ -165,7 +190,22 @@ class FlushPolicy {
   /// kFlushing sets it around each phase body. Only the single flushing
   /// thread reads or writes it, so a plain int is race-free by contract.
   int current_phase_ = 1;
+
+  /// Victim scope state (flush thread only; see BeginVictim/EndVictim).
+  EvictionAuditTrail* audit_trail_ = nullptr;
+  bool victim_open_ = false;
+  EvictionAuditRecord victim_;
 };
+
+/// Cross-checks an eviction audit trail against the aggregate PhaseStats
+/// counters: for each phase, the audit records' postings / entries /
+/// records / record-bytes / bytes-freed sums must equal the corresponding
+/// PhaseStats fields exactly (both are fed by the same per-victim deltas,
+/// so any drift means an instrumentation bug). Returns OK on an exact
+/// match, Internal describing the first mismatch otherwise. The trail must
+/// cover the policy's whole lifetime (installed before the first flush).
+Status ReconcileAuditWithStats(const std::vector<EvictionAuditRecord>& records,
+                               const PolicyStats& stats);
 
 }  // namespace kflush
 

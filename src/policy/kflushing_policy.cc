@@ -84,16 +84,21 @@ size_t KFlushingPolicy::FlushImpl(size_t bytes_needed) {
 
 size_t KFlushingPolicy::TimedPhase(int phase,
                                    const std::function<size_t()>& body) {
+  static const char* const kPhaseNames[] = {"phase1", "phase2", "phase3"};
+  TraceSpan span("flush", kPhaseNames[phase - 1]);
   current_phase_ = phase;
   Stopwatch watch;
   const size_t freed = body();
   const uint64_t micros = watch.ElapsedMicros();
   current_phase_ = 1;
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  PhaseStats& ps = stats_.phases[phase - 1];
-  ++ps.runs;
-  ps.bytes_freed += freed;
-  ps.micros += micros;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    PhaseStats& ps = stats_.phases[phase - 1];
+    ++ps.runs;
+    ps.bytes_freed += freed;
+    ps.micros += micros;
+  }
+  span.End({TraceArg::Uint("bytes_freed", freed)});
   return freed;
 }
 
@@ -150,6 +155,8 @@ size_t KFlushingPolicy::RunPhase1() {
 }
 
 size_t KFlushingPolicy::TrimEntry(TermId term, uint32_t k) {
+  // Phase 1 victims never involve the heap: rank -1, order key 0.
+  BeginVictim(/*phase=*/1, term);
   std::function<bool(MicroblogId)> should_trim;  // default: trim everything
   TopKChargeFn on_charge, on_uncharge;
   if (options_.mk_extension) {
@@ -179,6 +186,7 @@ size_t KFlushingPolicy::TrimEntry(TermId term, uint32_t k) {
                            kBytesPerTrackedTerm);
     }
   }
+  EndVictim(freed);
   return freed;
 }
 
@@ -236,7 +244,9 @@ size_t KFlushingPolicy::EstimateEntryCost(const EntryMeta& meta) const {
   return meta.bytes + meta.count * mean_record;
 }
 
-size_t KFlushingPolicy::EvictEntry(TermId term, int phase) {
+size_t KFlushingPolicy::EvictEntry(TermId term, int phase, int64_t heap_rank,
+                                   Timestamp order_key) {
+  BeginVictim(phase, term, heap_rank, order_key);
   const uint32_t k = this->k();
 
   // MK Phase 2 rule (§IV-D condition 3): keep a posting whose microblog
@@ -298,6 +308,7 @@ size_t KFlushingPolicy::EvictEntry(TermId term, int phase) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.phases[phase - 1].entries;
   }
+  EndVictim(freed, entry_gone ? 1 : 0);
   return freed;
 }
 
@@ -325,8 +336,10 @@ size_t KFlushingPolicy::RunPhase2(size_t bytes_needed) {
     }
     if (victims.empty()) break;
     const size_t freed_before = freed;
-    for (const Candidate& victim : victims) {
-      freed += EvictEntry(victim.term, /*phase=*/2);
+    for (size_t rank = 0; rank < victims.size(); ++rank) {
+      const Candidate& victim = victims[rank];
+      freed += EvictEntry(victim.term, /*phase=*/2,
+                          static_cast<int64_t>(rank), victim.order_key);
     }
     // MK can keep an entire selected entry (all its microblogs pinned by
     // frequent keywords); without progress, rescanning would spin.
@@ -358,8 +371,10 @@ size_t KFlushingPolicy::RunPhase3(size_t bytes_needed) {
     }
     if (victims.empty()) break;
     const size_t freed_before = freed;
-    for (const Candidate& victim : victims) {
-      freed += EvictEntry(victim.term, /*phase=*/3);
+    for (size_t rank = 0; rank < victims.size(); ++rank) {
+      const Candidate& victim = victims[rank];
+      freed += EvictEntry(victim.term, /*phase=*/3,
+                          static_cast<int64_t>(rank), victim.order_key);
     }
     if (freed == freed_before) break;
   }

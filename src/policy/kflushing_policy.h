@@ -112,8 +112,11 @@ class KFlushingPolicy : public FlushPolicy {
   size_t EstimateEntryCost(const EntryMeta& meta) const;
 
   /// Removes (possibly partially, under MK) one selected entry; phase = 2
-  /// or 3 for stats attribution. Returns bytes freed.
-  size_t EvictEntry(TermId term, int phase);
+  /// or 3 for stats attribution, heap_rank/order_key for the victim's
+  /// audit record (its position in SelectVictims' output and the timestamp
+  /// the heap compared). Returns bytes freed.
+  size_t EvictEntry(TermId term, int phase, int64_t heap_rank,
+                    Timestamp order_key);
 
   InvertedIndex index_;
   KFlushingOptions options_;

@@ -91,6 +91,12 @@ size_t LruPolicy::FlushImpl(size_t bytes_needed) {
     // Recover the victim's terms and unlink it from every index entry.
     auto blog = ctx_.raw_store->Get(victim);
     if (!blog.has_value()) continue;  // already gone (defensive)
+    // Audit granularity: one victim per evicted record (LRU's decision
+    // unit), identified by record id rather than term.
+    BeginVictim(/*phase=*/1, kInvalidTermId, /*heap_rank=*/-1,
+                /*order_key=*/0, victim);
+    const size_t freed_before = freed;
+    size_t record_entries_erased = 0;
     terms.clear();
     ctx_.extractor->ExtractTerms(*blog, &terms);
     for (TermId term : terms) {
@@ -100,10 +106,12 @@ size_t LruPolicy::FlushImpl(size_t bytes_needed) {
         // Entry erased when it became empty.
         if (index_.EntrySize(term) == 0) {
           freed += InvertedIndex::kBytesPerEntry;
-          ++entries_erased;
+          ++record_entries_erased;
         }
       }
     }
+    entries_erased += record_entries_erased;
+    EndVictim(freed - freed_before, record_entries_erased);
   }
   // Single-phase policy: everything reports under phases[0].
   std::lock_guard<std::mutex> lock(stats_mu_);

@@ -47,18 +47,29 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   Run run(config);
   ExperimentResult result;
 
+  EvictionAuditTrail audit;
+  if (config.audit_evictions) {
+    run.store.policy()->set_audit_trail(&audit);
+  }
+
   // --- Phase A: reach steady state ("after filling the main-memory
   // budget and have multiple data flushes", §V). ---
-  while (run.store.ingest_stats().flush_triggers <
-             config.steady_state_flushes &&
-         run.tweets.generated() < config.max_stream_tweets) {
-    run.StreamOne();
+  {
+    TraceSpan span("experiment", "stream_to_steady_state");
+    while (run.store.ingest_stats().flush_triggers <
+               config.steady_state_flushes &&
+           run.tweets.generated() < config.max_stream_tweets) {
+      run.StreamOne();
+    }
+    span.End({TraceArg::Uint("tweets", run.tweets.generated())});
   }
   result.reached_steady_state =
       run.store.ingest_stats().flush_triggers >= config.steady_state_flushes;
 
   // --- Phase B: measured queries interleaved with continued ingest at
   // the configured tweet/query rate ratio. ---
+  TraceSpan measured_span("experiment", "measured_queries",
+                          {TraceArg::Uint("queries", config.num_queries)});
   run.engine.ResetMetrics();
   const double tweets_per_query =
       config.queries_per_second <= 0.0
@@ -81,10 +92,17 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
       KFLUSH_WARN("experiment query failed: " << outcome.status().ToString());
     }
   }
+  measured_span.End();
 
   // --- Collect. ---
   result.query_metrics = run.engine.metrics();
   const FlushPolicy* policy = run.store.policy();
+  if (config.audit_evictions) {
+    run.store.policy()->set_audit_trail(nullptr);
+    result.eviction_audit = audit.Records();
+    result.audit_reconciliation =
+        ReconcileAuditWithStats(result.eviction_audit, policy->stats());
+  }
   result.k_filled_terms = policy->NumKFilledTerms();
   result.num_terms = policy->NumTerms();
   result.aux_memory_bytes = policy->AuxMemoryBytes();

@@ -16,9 +16,11 @@
 
 #include "core/query_engine.h"
 #include "core/store.h"
+#include "core/trace.h"
 #include "gen/query_generator.h"
 #include "gen/tweet_generator.h"
 #include "index/index_stats.h"
+#include "policy/flush_policy.h"
 
 namespace kflush {
 
@@ -38,6 +40,12 @@ struct ExperimentConfig {
   /// with the stream's arrival interval this fixes how many tweets are
   /// ingested between consecutive queries.
   double queries_per_second = 25'000.0;
+
+  /// Record a per-victim eviction audit trail over the whole run and
+  /// cross-check it against the policy's PhaseStats (result fields
+  /// eviction_audit / audit_reconciliation). Unbounded memory in the
+  /// number of victims; meant for debugging and integration tests.
+  bool audit_evictions = false;
 };
 
 /// Everything the figures read off one run.
@@ -63,6 +71,11 @@ struct ExperimentResult {
   /// the provider-exported component stats (the `flush.phaseN.*` and
   /// `query.latency_micros.*` series the benchmarks serialize).
   MetricsSnapshot metrics;
+  /// With config.audit_evictions: every eviction victim of the run, and
+  /// the outcome of ReconcileAuditWithStats against policy_stats (OK when
+  /// the audit sums match the per-phase counters exactly).
+  std::vector<EvictionAuditRecord> eviction_audit;
+  Status audit_reconciliation = Status::OK();
 
   std::string ToString() const;
 };

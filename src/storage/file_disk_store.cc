@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "core/trace.h"
 #include "storage/serde.h"
 
 namespace kflush {
@@ -99,6 +100,8 @@ Status FileDiskStore::AddPosting(TermId term, MicroblogId id, double score) {
 
 Status FileDiskStore::WriteBatch(std::vector<Microblog> batch) {
   if (batch.empty()) return Status::OK();
+  TraceSpan span("disk", "write_batch",
+                 {TraceArg::Uint("records", batch.size())});
   std::string encoded;
   std::vector<std::pair<MicroblogId, RecordLocation>> locations;
   locations.reserve(batch.size());
@@ -139,6 +142,7 @@ Status FileDiskStore::WriteBatch(std::vector<Microblog> batch) {
 
 Status FileDiskStore::QueryTerm(TermId term, size_t limit,
                                 std::vector<Posting>* out) {
+  TraceSpan span("disk", "query_term", {TraceArg::Uint("term", term)});
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.term_queries;
   auto it = postings_.find(term);
@@ -152,6 +156,7 @@ Status FileDiskStore::QueryTerm(TermId term, size_t limit,
 }
 
 Status FileDiskStore::GetRecord(MicroblogId id, Microblog* out) {
+  TraceSpan span("disk", "get_record", {TraceArg::Uint("id", id)});
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.records_read;
   auto it = locations_.find(id);

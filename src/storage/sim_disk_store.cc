@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/trace.h"
+
 namespace kflush {
 
 Status SimDiskStore::AddPosting(TermId term, MicroblogId id, double score) {
@@ -25,6 +27,8 @@ Status SimDiskStore::AddPosting(TermId term, MicroblogId id, double score) {
 }
 
 Status SimDiskStore::WriteBatch(std::vector<Microblog> batch) {
+  TraceSpan span("disk", "write_batch",
+                 {TraceArg::Uint("records", batch.size())});
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.write_batches;
   for (Microblog& blog : batch) {
@@ -37,6 +41,7 @@ Status SimDiskStore::WriteBatch(std::vector<Microblog> batch) {
 
 Status SimDiskStore::QueryTerm(TermId term, size_t limit,
                                std::vector<Posting>* out) {
+  TraceSpan span("disk", "query_term", {TraceArg::Uint("term", term)});
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.term_queries;
   auto it = postings_.find(term);
@@ -49,6 +54,7 @@ Status SimDiskStore::QueryTerm(TermId term, size_t limit,
 }
 
 Status SimDiskStore::GetRecord(MicroblogId id, Microblog* out) {
+  TraceSpan span("disk", "get_record", {TraceArg::Uint("id", id)});
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.records_read;
   auto it = records_.find(id);

@@ -4,12 +4,14 @@
 
 namespace kflush {
 
-Timestamp WallClock::NowMicros() const {
+Timestamp MonotonicMicros() {
   return static_cast<Timestamp>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+
+Timestamp WallClock::NowMicros() const { return MonotonicMicros(); }
 
 WallClock* WallClock::Default() {
   static WallClock clock;

@@ -16,6 +16,13 @@ using Timestamp = uint64_t;
 constexpr Timestamp kMicrosPerSecond = 1'000'000;
 constexpr Timestamp kMicrosPerMilli = 1'000;
 
+/// THE process-wide monotonic time source (steady_clock). Every wall-time
+/// consumer — Stopwatch-fed metrics histograms, trace-event timestamps,
+/// log-line prefixes — reads this one function, so a latency sample in a
+/// histogram and a span in a trace are directly comparable. Do not call
+/// std::chrono clocks directly elsewhere.
+Timestamp MonotonicMicros();
+
 /// Source of timestamps.
 class Clock {
  public:
@@ -25,7 +32,7 @@ class Clock {
   virtual Timestamp NowMicros() const = 0;
 };
 
-/// Monotonic wall clock (steady_clock based).
+/// Monotonic wall clock; a Clock view over MonotonicMicros().
 class WallClock : public Clock {
  public:
   Timestamp NowMicros() const override;
@@ -60,12 +67,10 @@ class Stopwatch {
  public:
   Stopwatch() { Restart(); }
 
-  void Restart() { start_ = WallClock::Default()->NowMicros(); }
+  void Restart() { start_ = MonotonicMicros(); }
 
   /// Elapsed microseconds since construction or last Restart().
-  Timestamp ElapsedMicros() const {
-    return WallClock::Default()->NowMicros() - start_;
-  }
+  Timestamp ElapsedMicros() const { return MonotonicMicros() - start_; }
 
   double ElapsedSeconds() const {
     return static_cast<double>(ElapsedMicros()) / kMicrosPerSecond;

@@ -1,0 +1,49 @@
+// Minimal JSON string escaping, shared by the structured-log writer and
+// the trace exporter (each emits JSON by hand; the repo deliberately has
+// no JSON library dependency).
+
+#ifndef KFLUSH_UTIL_JSON_H_
+#define KFLUSH_UTIL_JSON_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace kflush {
+
+/// Appends `s` to `*out` with JSON string escaping (quotes, backslashes,
+/// control characters). Does not add the surrounding quotes.
+inline void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace kflush
+
+#endif  // KFLUSH_UTIL_JSON_H_

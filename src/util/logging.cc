@@ -6,11 +6,16 @@
 #include <cstring>
 #include <mutex>
 
+#include "util/clock.h"
+#include "util/json.h"
+#include "util/thread_util.h"
+
 namespace kflush {
 
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::atomic<int> g_format{static_cast<int>(LogFormat::kText)};
 std::mutex g_log_mutex;
 
 LogLevel LevelFromEnv() {
@@ -22,6 +27,14 @@ LogLevel LevelFromEnv() {
   if (std::strcmp(env, "error") == 0) return LogLevel::kError;
   if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
   return LogLevel::kWarn;
+}
+
+LogFormat FormatFromEnv() {
+  const char* env = std::getenv("KFLUSH_LOG_JSON");
+  if (env != nullptr && env[0] == '1' && env[1] == '\0') {
+    return LogFormat::kJson;
+  }
+  return LogFormat::kText;
 }
 
 const char* LevelName(LogLevel level) {
@@ -41,7 +54,10 @@ const char* LevelName(LogLevel level) {
 }
 
 struct EnvInit {
-  EnvInit() { g_level.store(static_cast<int>(LevelFromEnv())); }
+  EnvInit() {
+    g_level.store(static_cast<int>(LevelFromEnv()));
+    g_format.store(static_cast<int>(FormatFromEnv()));
+  }
 };
 EnvInit g_env_init;
 
@@ -51,15 +67,45 @@ void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
+void SetLogFormat(LogFormat format) {
+  g_format.store(static_cast<int>(format));
+}
+
+LogFormat GetLogFormat() { return static_cast<LogFormat>(g_format.load()); }
+
 namespace internal {
 
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& msg) {
   const char* basename = std::strrchr(file, '/');
   basename = basename != nullptr ? basename + 1 : file;
+  const Timestamp ts = MonotonicMicros();
+  const uint32_t tid = ThisThreadId();
+  if (GetLogFormat() == LogFormat::kJson) {
+    std::string out;
+    out.reserve(msg.size() + 96);
+    out += "{\"ts_us\":";
+    out += std::to_string(ts);
+    out += ",\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"level\":\"";
+    out += LevelName(level);
+    out += "\",\"file\":\"";
+    AppendJsonEscaped(&out, basename);
+    out += "\",\"line\":";
+    out += std::to_string(line);
+    out += ",\"msg\":\"";
+    AppendJsonEscaped(&out, msg);
+    out += "\"}";
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::fprintf(stderr, "%s\n", out.c_str());
+    return;
+  }
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), basename, line,
-               msg.c_str());
+  std::fprintf(stderr, "[%llu.%06llu t%u %s %s:%d] %s\n",
+               static_cast<unsigned long long>(ts / kMicrosPerSecond),
+               static_cast<unsigned long long>(ts % kMicrosPerSecond), tid,
+               LevelName(level), basename, line, msg.c_str());
 }
 
 }  // namespace internal

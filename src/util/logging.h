@@ -1,5 +1,13 @@
 // Minimal leveled logger. Experiments run at kWarn by default so benchmark
 // output stays clean; set KFLUSH_LOG_LEVEL or call SetLogLevel for debugging.
+//
+// Every line is prefixed with the process-monotonic timestamp (seconds,
+// from util/clock.h's MonotonicMicros — the same clock behind trace spans
+// and metrics stopwatches) and the logical thread id (util/thread_util.h's
+// ThisThreadId — the same id trace events carry), so a log line can be
+// placed on a trace timeline directly. KFLUSH_LOG_JSON=1 (or
+// SetLogFormat(LogFormat::kJson)) switches to one JSON object per line for
+// machine consumption.
 
 #ifndef KFLUSH_UTIL_LOGGING_H_
 #define KFLUSH_UTIL_LOGGING_H_
@@ -11,8 +19,15 @@ namespace kflush {
 
 enum class LogLevel : int { kDebug = 0, kInfo, kWarn, kError, kOff };
 
+/// Output shape: classic bracketed text, or one JSON object per line
+/// ({"ts_us":..,"tid":..,"level":..,"file":..,"line":..,"msg":..}).
+enum class LogFormat : int { kText = 0, kJson };
+
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+void SetLogFormat(LogFormat format);
+LogFormat GetLogFormat();
 
 namespace internal {
 void LogMessage(LogLevel level, const char* file, int line,

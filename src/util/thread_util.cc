@@ -1,3 +1,12 @@
 #include "util/thread_util.h"
 
-// Header-only helpers; this translation unit anchors the library target.
+namespace kflush {
+
+uint32_t ThisThreadId() {
+  static std::atomic<uint32_t> next{0};
+  static thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace kflush

@@ -8,12 +8,20 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <thread>
 
 namespace kflush {
+
+/// Small, stable, process-local id for the calling thread, assigned in
+/// order of first use (main thread is almost always 0). Shared by the log
+/// prefix and the trace recorder so a log line and a trace span from the
+/// same thread carry the same id — unlike OS tids, these are dense and
+/// reproducible within a run.
+uint32_t ThisThreadId();
 
 /// Test-and-test-and-set spinlock. Used where the paper relies on
 /// "entries locked one at a time so atomicity overhead is negligible":

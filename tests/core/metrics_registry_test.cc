@@ -1,0 +1,172 @@
+// Unit tests for the central metrics registry: get-or-create instrument
+// identity, snapshot contents, provider contributions, Reset semantics,
+// and the JSON emission the bench artifacts depend on.
+
+#include "core/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace kflush {
+namespace {
+
+TEST(MetricsRegistryTest, CounterGetOrCreateReturnsStablePointer) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("ingest.inserted");
+  Counter* b = registry.counter("ingest.inserted");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  a->Add(4);
+  EXPECT_EQ(b->value(), 5u);
+  EXPECT_NE(registry.counter("other"), a);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* g = registry.gauge("system.queue_depth");
+  g->Set(10);
+  g->Add(-3);
+  EXPECT_EQ(g->value(), 7);
+  EXPECT_EQ(registry.gauge("system.queue_depth"), g);
+}
+
+TEST(MetricsRegistryTest, HistogramGetOrCreateAndRecord) {
+  MetricsRegistry registry;
+  ConcurrentHistogram* h = registry.histogram("query.latency_micros");
+  EXPECT_EQ(registry.histogram("query.latency_micros"), h);
+  h->Record(10);
+  h->Record(30);
+  const Histogram snap = h->Snapshot();
+  EXPECT_EQ(snap.count(), 2u);
+  EXPECT_EQ(snap.min(), 10u);
+  EXPECT_EQ(snap.max(), 30u);
+  EXPECT_EQ(snap.sum(), 40u);
+}
+
+TEST(MetricsRegistryTest, SnapshotCapturesAllInstrumentKinds) {
+  MetricsRegistry registry;
+  registry.counter("c.one")->Add(3);
+  registry.gauge("g.level")->Set(-12);
+  registry.histogram("h.lat")->Record(100);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter_or("c.one"), 3u);
+  EXPECT_EQ(snap.counter_or("missing", 99), 99u);
+  ASSERT_EQ(snap.gauges.count("g.level"), 1u);
+  EXPECT_EQ(snap.gauges.at("g.level"), -12);
+  ASSERT_EQ(snap.histograms.count("h.lat"), 1u);
+  EXPECT_EQ(snap.histograms.at("h.lat").count(), 1u);
+}
+
+TEST(MetricsRegistryTest, ProvidersContributeToEverySnapshot) {
+  MetricsRegistry registry;
+  int calls = 0;
+  registry.AddProvider([&calls](MetricsSnapshot* snap) {
+    ++calls;
+    snap->counters["component.exported"] = 42;
+    snap->gauges["component.level"] = 7;
+  });
+  const MetricsSnapshot first = registry.Snapshot();
+  const MetricsSnapshot second = registry.Snapshot();
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(first.counter_or("component.exported"), 42u);
+  EXPECT_EQ(second.gauges.at("component.level"), 7);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesCountersAndHistogramsOnly) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("c");
+  Gauge* g = registry.gauge("g");
+  ConcurrentHistogram* h = registry.histogram("h");
+  c->Add(5);
+  g->Set(9);
+  h->Record(123);
+
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 9) << "gauges track live levels; Reset keeps them";
+  EXPECT_EQ(h->Snapshot().count(), 0u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentHistogramMergesAcrossThreads) {
+  ConcurrentHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 1; i <= kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const Histogram snap = h.Snapshot();
+  EXPECT_EQ(snap.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.min(), 1u);
+  EXPECT_EQ(snap.max(), static_cast<uint64_t>(kPerThread));
+}
+
+TEST(MetricsRegistryTest, ToJsonEmitsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.counter("flush.cycles")->Add(2);
+  registry.gauge("memory.budget_bytes")->Set(1024);
+  registry.histogram("flush.cycle_micros")->Record(500);
+
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"flush.cycles\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"memory.budget_bytes\":1024"), std::string::npos);
+  EXPECT_NE(json.find("\"flush.cycle_micros\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  // Balanced braces: a cheap structural sanity check (CI validates the
+  // full schema with a real JSON parser in scripts/validate_bench_json.py).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(MetricsRegistryTest, ToPrometheusExposition) {
+  MetricsRegistry registry;
+  registry.counter("flush.cycles")->Add(2);
+  registry.gauge("memory.budget_bytes")->Set(1024);
+  ConcurrentHistogram* h = registry.histogram("query.latency_micros.and.hit");
+  for (int i = 1; i <= 100; ++i) h->Record(static_cast<uint64_t>(i));
+
+  const std::string text = registry.Snapshot().ToPrometheus();
+  // Dotted registry names sanitize to [a-zA-Z0-9_] with a kflush_ prefix.
+  EXPECT_NE(text.find("# TYPE kflush_flush_cycles counter\n"
+                      "kflush_flush_cycles 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE kflush_memory_budget_bytes gauge\n"
+                      "kflush_memory_budget_bytes 1024\n"),
+            std::string::npos);
+  // Histograms export as summaries: quantiles plus _sum/_count.
+  const std::string hist = "kflush_query_latency_micros_and_hit";
+  EXPECT_NE(text.find("# TYPE " + hist + " summary\n"), std::string::npos);
+  for (const char* q : {"0.50", "0.90", "0.95", "0.99"}) {
+    EXPECT_NE(text.find(hist + "{quantile=\"" + q + "\"} "),
+              std::string::npos)
+        << q;
+  }
+  EXPECT_NE(text.find(hist + "_sum 5050\n"), std::string::npos);
+  EXPECT_NE(text.find(hist + "_count 100\n"), std::string::npos);
+  // No raw dotted name may leak into the exposition.
+  EXPECT_EQ(text.find("flush.cycles"), std::string::npos);
+  EXPECT_EQ(text.find("memory.budget_bytes"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ToStringListsInstruments) {
+  MetricsRegistry registry;
+  registry.counter("a.count")->Increment();
+  registry.gauge("b.level")->Set(3);
+  const std::string s = registry.Snapshot().ToString();
+  EXPECT_NE(s.find("a.count"), std::string::npos);
+  EXPECT_NE(s.find("b.level"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kflush

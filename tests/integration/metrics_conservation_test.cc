@@ -22,6 +22,8 @@
 #include "core/query_engine.h"
 #include "gen/query_generator.h"
 #include "gen/tweet_generator.h"
+#include "policy/flush_policy.h"
+#include "sim/experiment.h"
 
 namespace kflush {
 namespace {
@@ -35,8 +37,11 @@ struct Workload {
 };
 
 // Streams a small seeded workload (enough inserts to force several flush
-// cycles at a 2 MB budget) and a query mix through one store.
-std::unique_ptr<Workload> RunWorkload(PolicyKind policy) {
+// cycles at a 2 MB budget) and a query mix through one store. When `audit`
+// is given it is installed before the first insert, so the trail covers
+// every flush cycle of the store's lifetime.
+std::unique_ptr<Workload> RunWorkload(PolicyKind policy,
+                                      EvictionAuditTrail* audit = nullptr) {
   auto owned = std::make_unique<Workload>();
   Workload& run = *owned;
   StoreOptions options;
@@ -46,6 +51,7 @@ std::unique_ptr<Workload> RunWorkload(PolicyKind policy) {
   options.clock = &run.clock;
   run.store = std::make_unique<MicroblogStore>(options);
   run.engine = std::make_unique<QueryEngine>(run.store.get());
+  if (audit != nullptr) run.store->policy()->set_audit_trail(audit);
 
   TweetGeneratorOptions stream;
   stream.seed = 20160516;
@@ -169,6 +175,51 @@ TEST(MetricsConservationTest, QueryHitsPlusMissesEqualQueries) {
     }
     EXPECT_EQ(latency_samples, executed) << PolicyKindName(policy);
   }
+}
+
+TEST(MetricsConservationTest, EvictionAuditReconcilesAcrossFullWorkload) {
+  // The audit trail is one more accounting view over the same flush work;
+  // after thousands of inserts and many real flush cycles its per-phase
+  // sums must still match PhaseStats to the byte, for every policy.
+  for (PolicyKind policy :
+       {PolicyKind::kFifo, PolicyKind::kLru, PolicyKind::kKFlushing,
+        PolicyKind::kKFlushingMK}) {
+    EvictionAuditTrail audit;
+    auto run = RunWorkload(policy, &audit);
+    ASSERT_GT(audit.size(), 0u) << PolicyKindName(policy);
+    const Status s = ReconcileAuditWithStats(audit.Records(),
+                                             run->store->policy()->stats());
+    EXPECT_TRUE(s.ok()) << PolicyKindName(policy) << ": " << s.ToString();
+
+    // The audit's byte total is the flush layer's contribution to the
+    // registry's freed-bytes counter.
+    uint64_t audited_bytes = 0;
+    for (const EvictionAuditRecord& r : audit.Records()) {
+      audited_bytes += r.bytes_freed;
+    }
+    const MetricsSnapshot snap = run->store->metrics_registry()->Snapshot();
+    EXPECT_EQ(audited_bytes, SumPhases(snap, "bytes_freed"))
+        << PolicyKindName(policy);
+  }
+}
+
+TEST(MetricsConservationTest, ExperimentAuditModeReconciles) {
+  // The sim/experiment plumbing behind `kflushctl trace`: audit_evictions
+  // wires a trail through the whole experiment and reports reconciliation
+  // in the result.
+  ExperimentConfig config;
+  config.store.policy = PolicyKind::kKFlushing;
+  config.store.memory_budget_bytes = 2 << 20;
+  config.store.k = 10;
+  config.stream.vocabulary_size = 5'000;
+  config.stream.num_users = 1'000;
+  config.steady_state_flushes = 2;
+  config.num_queries = 500;
+  config.audit_evictions = true;
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_GT(result.eviction_audit.size(), 0u);
+  EXPECT_TRUE(result.audit_reconciliation.ok())
+      << result.audit_reconciliation.ToString();
 }
 
 }  // namespace

@@ -1,0 +1,193 @@
+// Eviction audit trail tests: every policy's per-victim audit records must
+// reconcile *exactly* with the aggregate PhaseStats counters (both sides
+// are fed by the same deltas, so any drift is an instrumentation bug), and
+// each policy must stamp its victims with the metadata that makes a trace
+// replayable — phase, term, heap rank, order key, record id.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../testing/policy_harness.h"
+#include "policy/flush_policy.h"
+
+namespace kflush {
+namespace {
+
+using testing_util::PolicyHarness;
+
+constexpr uint32_t kK = 5;
+
+std::vector<PolicyKind> AllKinds() {
+  return {PolicyKind::kFifo, PolicyKind::kLru, PolicyKind::kKFlushing,
+          PolicyKind::kKFlushingMK};
+}
+
+// Mixed workload (same shape as flush_accounting_test.cc): over-k keywords
+// for Phase 1, under-k keywords for Phase 2, multi-keyword records for
+// shared pcounts.
+void IngestMixed(PolicyHarness* h, FlushPolicy* policy) {
+  MicroblogId id = 1;
+  for (int i = 0; i < 40; ++i) h->Ingest(policy, id++, {1});
+  for (int i = 0; i < 25; ++i) h->Ingest(policy, id++, {2});
+  for (KeywordId kw = 3; kw <= 12; ++kw) {
+    h->Ingest(policy, id++, {kw});
+    h->Ingest(policy, id++, {kw, static_cast<KeywordId>(kw + 100)});
+  }
+}
+
+TEST(EvictionAuditTest, AuditSumsReconcileWithPhaseStatsAllPolicies) {
+  for (PolicyKind kind : AllKinds()) {
+    PolicyHarness h;
+    auto policy = h.Make(kind, kK, /*fifo_segment_bytes=*/1024);
+    EvictionAuditTrail trail;
+    policy->set_audit_trail(&trail);
+    IngestMixed(&h, policy.get());
+    ASSERT_GT(policy->Flush(1 << 14), 0u) << PolicyKindName(kind);
+
+    EXPECT_GT(trail.size(), 0u) << PolicyKindName(kind);
+    const Status s = ReconcileAuditWithStats(trail.Records(), policy->stats());
+    EXPECT_TRUE(s.ok()) << PolicyKindName(kind) << ": " << s.ToString();
+  }
+}
+
+TEST(EvictionAuditTest, ReconciliationHoldsAcrossRepeatedCycles) {
+  // The trail covers the policy's lifetime; per-phase sums must stay exact
+  // as cycles accumulate with fresh arrivals in between.
+  for (PolicyKind kind : AllKinds()) {
+    PolicyHarness h;
+    auto policy = h.Make(kind, kK, /*fifo_segment_bytes=*/1024);
+    EvictionAuditTrail trail;
+    policy->set_audit_trail(&trail);
+    MicroblogId id = 1;
+    for (int cycle = 0; cycle < 3; ++cycle) {
+      for (int i = 0; i < 30; ++i) {
+        h.Ingest(policy.get(), id++,
+                 {static_cast<KeywordId>(1 + (i % 7)), 500});
+      }
+      policy->Flush(2048);
+      const Status s =
+          ReconcileAuditWithStats(trail.Records(), policy->stats());
+      EXPECT_TRUE(s.ok()) << PolicyKindName(kind) << " cycle " << cycle
+                          << ": " << s.ToString();
+    }
+  }
+}
+
+TEST(EvictionAuditTest, BytesFreedSumMatchesFlushReturn) {
+  // Every byte a flush cycle reports freeing must sit inside some victim
+  // scope — the audit trail partitions the freed total.
+  for (PolicyKind kind : AllKinds()) {
+    PolicyHarness h;
+    auto policy = h.Make(kind, kK, /*fifo_segment_bytes=*/1024);
+    EvictionAuditTrail trail;
+    policy->set_audit_trail(&trail);
+    IngestMixed(&h, policy.get());
+    const size_t freed = policy->Flush(1 << 14);
+
+    uint64_t audited = 0;
+    for (const EvictionAuditRecord& r : trail.Records()) {
+      audited += r.bytes_freed;
+    }
+    EXPECT_EQ(audited, freed) << PolicyKindName(kind);
+  }
+}
+
+TEST(EvictionAuditTest, KFlushingVictimsCarryPhaseMetadata) {
+  PolicyHarness h;
+  auto policy = h.Make(PolicyKind::kKFlushing, kK);
+  EvictionAuditTrail trail;
+  policy->set_audit_trail(&trail);
+  IngestMixed(&h, policy.get());
+  // Large enough request to push the cycle through Phases 2/3 after
+  // Phase 1's trims.
+  policy->Flush(1 << 14);
+
+  bool saw_phase1 = false, saw_heap_phase = false;
+  for (const EvictionAuditRecord& r : trail.Records()) {
+    ASSERT_GE(r.phase, 1);
+    ASSERT_LE(r.phase, 3);
+    EXPECT_NE(r.term, kInvalidTermId) << "kFlushing victims are index entries";
+    EXPECT_EQ(r.record_id, kInvalidMicroblogId);
+    if (r.phase == 1) {
+      saw_phase1 = true;
+      // Phase 1 trims over-k entries without a heap: no rank, no order key.
+      EXPECT_EQ(r.heap_rank, -1);
+      EXPECT_EQ(r.order_key, 0u);
+      EXPECT_EQ(r.entries_evicted, 0u) << "trimming never removes the entry";
+    } else {
+      saw_heap_phase = true;
+      // Phase 2/3 victims come out of SelectVictims: heap rank is their
+      // position in the selection order, order key what the heap compared.
+      EXPECT_GE(r.heap_rank, 0);
+      EXPECT_GT(r.order_key, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_phase1);
+  EXPECT_TRUE(saw_heap_phase);
+}
+
+TEST(EvictionAuditTest, LruVictimsArePerRecord) {
+  PolicyHarness h;
+  auto policy = h.Make(PolicyKind::kLru, kK);
+  EvictionAuditTrail trail;
+  policy->set_audit_trail(&trail);
+  IngestMixed(&h, policy.get());
+  policy->Flush(4096);
+
+  ASSERT_GT(trail.size(), 0u);
+  for (const EvictionAuditRecord& r : trail.Records()) {
+    EXPECT_EQ(r.phase, 1) << "LRU is single-phase";
+    EXPECT_EQ(r.term, kInvalidTermId) << "LRU evicts records, not entries";
+    EXPECT_NE(r.record_id, kInvalidMicroblogId);
+    EXPECT_EQ(r.records_flushed, 1u) << "one victim per unlinked record";
+    EXPECT_GT(r.bytes_freed, 0u);
+  }
+}
+
+TEST(EvictionAuditTest, FifoVictimsArePerSegment) {
+  PolicyHarness h;
+  auto policy = h.Make(PolicyKind::kFifo, kK, /*fifo_segment_bytes=*/1024);
+  EvictionAuditTrail trail;
+  policy->set_audit_trail(&trail);
+  IngestMixed(&h, policy.get());
+  policy->Flush(4096);
+
+  ASSERT_GT(trail.size(), 0u);
+  for (const EvictionAuditRecord& r : trail.Records()) {
+    EXPECT_EQ(r.phase, 1) << "FIFO is single-phase";
+    EXPECT_EQ(r.term, kInvalidTermId) << "a segment is not one entry";
+    EXPECT_EQ(r.record_id, kInvalidMicroblogId);
+    EXPECT_GT(r.records_flushed, 0u) << "a segment holds many records";
+    EXPECT_GT(r.bytes_freed, 0u);
+  }
+}
+
+TEST(EvictionAuditTest, ReconciliationDetectsDrift) {
+  PolicyHarness h;
+  auto policy = h.Make(PolicyKind::kKFlushing, kK);
+  EvictionAuditTrail trail;
+  policy->set_audit_trail(&trail);
+  IngestMixed(&h, policy.get());
+  policy->Flush(4096);
+  ASSERT_TRUE(ReconcileAuditWithStats(trail.Records(), policy->stats()).ok());
+
+  // A fabricated extra victim must break the per-phase identity.
+  std::vector<EvictionAuditRecord> tampered = trail.Records();
+  EvictionAuditRecord extra;
+  extra.phase = 1;
+  extra.postings_dropped = 1;
+  extra.bytes_freed = 64;
+  tampered.push_back(extra);
+  EXPECT_FALSE(ReconcileAuditWithStats(tampered, policy->stats()).ok());
+
+  // A record claiming a phase outside 1..3 is rejected outright.
+  std::vector<EvictionAuditRecord> bad_phase = trail.Records();
+  EvictionAuditRecord rogue;
+  rogue.phase = 4;
+  bad_phase.push_back(rogue);
+  EXPECT_FALSE(ReconcileAuditWithStats(bad_phase, policy->stats()).ok());
+}
+
+}  // namespace
+}  // namespace kflush

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "util/thread_util.h"
+
 namespace kflush {
 namespace {
 
@@ -12,6 +16,15 @@ class LogLevelGuard {
 
  private:
   LogLevel saved_;
+};
+
+class LogFormatGuard {
+ public:
+  LogFormatGuard() : saved_(GetLogFormat()) {}
+  ~LogFormatGuard() { SetLogFormat(saved_); }
+
+ private:
+  LogFormat saved_;
 };
 
 TEST(LoggingTest, SetAndGetLevel) {
@@ -55,6 +68,50 @@ TEST(LoggingTest, LevelsAreOrdered) {
   EXPECT_EQ(out.find("hidden info"), std::string::npos);
   EXPECT_NE(out.find("visible warning"), std::string::npos);
   EXPECT_NE(out.find("visible error"), std::string::npos);
+}
+
+TEST(LoggingTest, TextPrefixCarriesClockAndThreadId) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  KFLUSH_WARN("prefixed");
+  const std::string out = testing::internal::GetCapturedStderr();
+  // "[<sec>.<micros> t<tid> WARN logging_test.cc:<line>] prefixed" — the
+  // timestamp is MonotonicMicros-based and the tid the logical ThisThreadId,
+  // so a log line lands directly on a trace timeline.
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0], '[');
+  const std::string tid_token = " t" + std::to_string(ThisThreadId()) + " ";
+  EXPECT_NE(out.find(tid_token), std::string::npos) << out;
+  EXPECT_NE(out.find(" WARN logging_test.cc:"), std::string::npos) << out;
+  EXPECT_NE(out.find("] prefixed"), std::string::npos) << out;
+  // Fractional-second field is fixed-width: '.' sits six digits before ' t'.
+  const size_t dot = out.find('.');
+  ASSERT_NE(dot, std::string::npos);
+  EXPECT_EQ(out.find(tid_token), dot + 7) << out;
+}
+
+TEST(LoggingTest, JsonFormatEmitsOneObjectPerLine) {
+  LogLevelGuard level_guard;
+  LogFormatGuard format_guard;
+  SetLogLevel(LogLevel::kInfo);
+  SetLogFormat(LogFormat::kJson);
+  testing::internal::CaptureStderr();
+  KFLUSH_INFO("say \"hi\"");
+  const std::string out = testing::internal::GetCapturedStderr();
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_EQ(out.back(), '\n');
+  EXPECT_EQ(out[out.size() - 2], '}');
+  EXPECT_NE(out.find("\"ts_us\":"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"tid\":" + std::to_string(ThisThreadId())),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"level\":\"INFO\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"file\":\"logging_test.cc\""), std::string::npos)
+      << out;
+  // Message content is JSON-escaped.
+  EXPECT_NE(out.find("\"msg\":\"say \\\"hi\\\"\""), std::string::npos) << out;
 }
 
 }  // namespace

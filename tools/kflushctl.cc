@@ -6,17 +6,27 @@
 //                         [--k K] [--memory-mb M] [--flush-pct B]
 //                         [--queries N] [--seed S]
 //   kflushctl compare     [same flags as experiment; runs all policies]
+//   kflushctl trace       --out FILE [experiment flags]
 //
 // `experiment` runs the same deterministic steady-state harness as the
 // figure benchmarks and prints the full result; `compare` tabulates all
 // four policies side by side; `replay` streams a saved trace through a
 // store and reports ingest + memory statistics.
+//
+// `trace` runs one experiment with the flush-cycle trace recorder on
+// (start -> run -> stop -> dump) and writes Perfetto-loadable Chrome trace
+// JSON plus an eviction-audit summary. Every run command (`replay`,
+// `experiment`, `compare`) also accepts --trace-out FILE to capture a
+// trace of a normal run. (Note: `gen-trace`/`replay` deal in *tweet*
+// traces — recorded input streams — an older naming that predates the
+// execution tracer.)
 
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
 
+#include "core/trace.h"
 #include "gen/trace.h"
 #include "sim/experiment.h"
 
@@ -207,6 +217,32 @@ int CmdExperiment(const Flags& flags) {
   return 0;
 }
 
+int CmdTrace(const Flags& flags) {
+  const std::string out = flags.Get("out", flags.Get("trace-out", ""));
+  if (out.empty()) {
+    std::fprintf(stderr, "trace requires --out FILE\n");
+    return 2;
+  }
+  ExperimentConfig config = ConfigFromFlags(flags);
+  config.audit_evictions = true;
+  ExperimentResult result;
+  {
+    ScopedTraceFile trace(out);
+    result = RunExperiment(config);
+  }
+  PrintExperiment(config, result);
+  Tracer* tracer = Tracer::Global();
+  std::printf(
+      "trace: %s (%llu events, %llu dropped by ring wraparound)\n",
+      out.c_str(),
+      static_cast<unsigned long long>(tracer->events_emitted()),
+      static_cast<unsigned long long>(tracer->events_dropped()));
+  std::printf("eviction audit: %zu victims, reconciliation vs PhaseStats: %s\n",
+              result.eviction_audit.size(),
+              result.audit_reconciliation.ToString().c_str());
+  return result.audit_reconciliation.ok() ? 0 : 1;
+}
+
 int CmdCompare(const Flags& flags) {
   ExperimentConfig base = ConfigFromFlags(flags);
   std::printf("%-14s %10s %10s %8s %8s %8s %8s %12s\n", "policy", "k_filled",
@@ -239,7 +275,11 @@ void Usage() {
       "  experiment [--policy P] [--workload correlated|uniform]\n"
       "             [--attribute keyword|spatial|user] [--k K]\n"
       "             [--memory-mb M] [--flush-pct B] [--queries N] [--seed S]\n"
-      "  compare    [same flags as experiment]\n");
+      "  compare    [same flags as experiment]\n"
+      "  trace      --out FILE [same flags as experiment]\n"
+      "flags:\n"
+      "  --trace-out FILE  capture a Chrome/Perfetto trace of any run\n"
+      "                    command (replay, experiment, compare)\n");
 }
 
 }  // namespace
@@ -251,10 +291,14 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Flags flags = ParseFlags(argc, argv, 2);
+  // --trace-out: record the whole command and dump on exit.
+  ScopedTraceFile trace_out(command == "trace" ? ""
+                                               : flags.Get("trace-out", ""));
   if (command == "gen-trace") return CmdGenTrace(flags);
   if (command == "replay") return CmdReplay(flags);
   if (command == "experiment") return CmdExperiment(flags);
   if (command == "compare") return CmdCompare(flags);
+  if (command == "trace") return CmdTrace(flags);
   Usage();
   return 2;
 }

@@ -2,7 +2,7 @@
 // the metrics registry snapshot, as JSON or as a human-readable listing.
 //
 //   metrics_dump [--policy P] [--k K] [--memory-mb M] [--inserts N]
-//                [--queries N] [--seed S] [--format json|text]
+//                [--queries N] [--seed S] [--format json|text|prometheus]
 //
 // This is the observability smoke tool: one command that exercises ingest,
 // flushing (all phases), and the query surface, then prints every metric
@@ -111,8 +111,14 @@ int main(int argc, char** argv) {
   const std::string format = flags.Get("format", "text");
   if (format == "json") {
     std::printf("%s\n", snap.ToJson().c_str());
-  } else {
+  } else if (format == "prometheus") {
+    std::printf("%s", snap.ToPrometheus().c_str());
+  } else if (format == "text") {
     std::printf("%s", snap.ToString().c_str());
+  } else {
+    std::fprintf(stderr, "unknown format '%s' (json|text|prometheus)\n",
+                 format.c_str());
+    return 2;
   }
   return 0;
 }

@@ -1,0 +1,241 @@
+// Shard-scaling benchmark: ingest throughput and fan-out query throughput
+// of ShardedMicroblogSystem at 1 / 2 / 4 / 8 shards over the identical
+// pre-generated stream. Each configuration gets the same total memory
+// budget (split across shards), so adding shards buys parallel digestion
+// and parallel flush cycles, not more memory.
+//
+// Two throughput views per shard count:
+//
+//   * ingest_tweets_per_sec — wall-clock, bounded by the cores actually
+//     available. On a single-core host every digestion thread timeshares
+//     one CPU, so this curve is flat regardless of how well the work
+//     partitions (check the bench.hw_concurrency gauge in the artifact).
+//   * cp_tweets_per_sec — work-span critical path: tweets divided by the
+//     busiest shard's busy time (its digestion micros + flush-cycle
+//     micros). This is the throughput a host with >= N cores realizes,
+//     and ingest_scalability (its ratio vs 1 shard) is the
+//     hardware-independent scaling curve; >= 2x at 4 shards means the
+//     partitioning is sound.
+//
+// Rows:
+//   [shard_scaling] ingest_tweets_per_sec  <shards>  <wall-clock value>
+//   [shard_scaling] ingest_speedup         <shards>  <wall vs 1 shard>
+//   [shard_scaling] cp_tweets_per_sec      <shards>  <critical-path value>
+//   [shard_scaling] ingest_scalability     <shards>  <cp vs 1 shard>
+//   [shard_scaling] query_per_sec          <shards>  <fan-out queries/sec>
+//   [shard_scaling] routed_copies          <shards>  <per-shard copies>
+//
+// The BENCH_shard_scaling.json artifact carries one aggregated registry
+// snapshot per shard count (keys "shards1", "shards2", ...), each with
+// bench.ingest_tweets_per_sec / bench.cp_tweets_per_sec /
+// bench.num_shards / bench.hw_concurrency gauges for the validator and
+// for cross-run comparison.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/metrics_registry.h"
+#include "core/sharded_system.h"
+#include "gen/query_generator.h"
+#include "gen/tweet_generator.h"
+
+namespace kflush {
+namespace {
+
+struct ScalingResult {
+  size_t shards = 0;
+  double ingest_tweets_per_sec = 0.0;
+  double cp_tweets_per_sec = 0.0;
+  double query_per_sec = 0.0;
+  uint64_t routed_copies = 0;
+  MetricsSnapshot snapshot;
+};
+
+// A shard's busy time is what its dedicated core would spend: digesting
+// routed batches plus running its flush cycles. The critical path of the
+// parallel ingest is the busiest shard. Uses the CPU-time histograms
+// (ThreadCpuMicros), not the wall-time ones: when N digestion threads
+// timeshare fewer than N cores, wall time per batch inflates with the
+// scheduler's preemption, while CPU time stays a property of the work.
+uint64_t ShardBusyMicros(const MetricsSnapshot& snap) {
+  uint64_t busy = 0;
+  auto it = snap.histograms.find("system.digest_cpu_micros_per_batch");
+  if (it != snap.histograms.end()) busy += it->second.sum();
+  it = snap.histograms.find("flush.cycle_cpu_micros");
+  if (it != snap.histograms.end()) busy += it->second.sum();
+  return busy;
+}
+
+ScalingResult RunOne(size_t shards,
+                     const std::vector<std::vector<Microblog>>& batches,
+                     const TweetGeneratorOptions& stream,
+                     uint64_t num_queries) {
+  ShardedSystemOptions options;
+  // Flush-active regime: the stream is ~2x the budget, so every shard
+  // runs flush cycles concurrently with digestion (the deployment the
+  // paper targets), not a fits-in-memory toy.
+  options.system.store.memory_budget_bytes =
+      static_cast<size_t>(32.0 * bench::Scale() * (1 << 20));
+  options.system.store.k = 20;
+  options.system.store.policy = PolicyKind::kKFlushing;
+  options.num_shards = shards;
+  ShardedMicroblogSystem system(options);
+  system.Start();
+
+  // --- Ingest phase: four producers push pre-generated batches through
+  // the routing layer (the batches are copied per run so every shard
+  // count digests the identical stream). ---
+  const auto ingest_start = std::chrono::steady_clock::now();
+  constexpr int kProducers = 4;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (size_t b = static_cast<size_t>(p); b < batches.size();
+           b += kProducers) {
+        std::vector<Microblog> copy = batches[b];
+        if (!system.Submit(std::move(copy))) return;
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  // Wait until every routed copy is digested (Stop drains, but we want
+  // the timing to cover digestion, not just enqueueing).
+  while (system.digested() < system.routed_copies()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto ingest_end = std::chrono::steady_clock::now();
+
+  uint64_t tweets = 0;
+  for (const auto& batch : batches) tweets += batch.size();
+  const double ingest_secs =
+      std::chrono::duration<double>(ingest_end - ingest_start).count();
+
+  // --- Query phase: correlated keyword fan-out against the live system.---
+  QueryWorkloadOptions workload;
+  workload.seed = 4242;
+  workload.kind = WorkloadKind::kCorrelated;
+  QueryGenerator queries(workload, stream);
+  const auto query_start = std::chrono::steady_clock::now();
+  for (uint64_t q = 0; q < num_queries; ++q) {
+    auto result = system.Query(queries.Next());
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+    }
+  }
+  const auto query_end = std::chrono::steady_clock::now();
+  const double query_secs =
+      std::chrono::duration<double>(query_end - query_start).count();
+
+  system.Stop();
+
+  std::vector<MetricsSnapshot> parts;
+  parts.reserve(shards);
+  uint64_t critical_path_micros = 0;
+  for (size_t i = 0; i < shards; ++i) {
+    parts.push_back(system.shard_store(i)->metrics_registry()->Snapshot());
+    critical_path_micros =
+        std::max(critical_path_micros, ShardBusyMicros(parts.back()));
+  }
+
+  ScalingResult r;
+  r.shards = shards;
+  r.ingest_tweets_per_sec =
+      ingest_secs > 0.0 ? static_cast<double>(tweets) / ingest_secs : 0.0;
+  r.cp_tweets_per_sec =
+      critical_path_micros > 0
+          ? static_cast<double>(tweets) * 1e6 /
+                static_cast<double>(critical_path_micros)
+          : 0.0;
+  r.query_per_sec =
+      query_secs > 0.0 ? static_cast<double>(num_queries) / query_secs : 0.0;
+  r.routed_copies = system.routed_copies();
+
+  r.snapshot = AggregateSnapshots(parts);
+  r.snapshot.gauges["bench.num_shards"] = static_cast<int64_t>(shards);
+  r.snapshot.gauges["bench.hw_concurrency"] =
+      static_cast<int64_t>(std::thread::hardware_concurrency());
+  r.snapshot.gauges["bench.ingest_tweets_per_sec"] =
+      static_cast<int64_t>(r.ingest_tweets_per_sec);
+  r.snapshot.gauges["bench.cp_tweets_per_sec"] =
+      static_cast<int64_t>(r.cp_tweets_per_sec);
+  r.snapshot.gauges["bench.query_per_sec"] =
+      static_cast<int64_t>(r.query_per_sec);
+  r.snapshot.gauges["bench.routed_copies"] =
+      static_cast<int64_t>(r.routed_copies);
+  return r;
+}
+
+}  // namespace
+}  // namespace kflush
+
+int main(int argc, char** argv) {
+  using namespace kflush;
+  auto trace = bench::TraceSessionFromArgs(argc, argv);
+  bench::PrintHeader("shard_scaling",
+                     "ingest/query throughput vs shard count (same total "
+                     "budget, identical stream)");
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores > 0 && cores < 4) {
+    std::fprintf(stderr,
+                 "note: %u core(s) available; wall-clock speedup is "
+                 "core-bound, read ingest_scalability (work-span critical "
+                 "path) for the partitioning curve\n",
+                 cores);
+  }
+
+  // Pre-generate the stream once; every shard count replays it.
+  TweetGeneratorOptions stream;
+  stream.seed = 20160516;
+  stream.vocabulary_size =
+      static_cast<uint64_t>(200'000 * bench::Scale());
+  stream.num_users = static_cast<uint64_t>(100'000 * bench::Scale());
+  stream.keyword_zipf_s = 1.2;
+  const uint64_t total_tweets =
+      static_cast<uint64_t>(240'000 * bench::Scale());
+  const uint64_t num_queries =
+      static_cast<uint64_t>(4'000 * bench::Scale());
+  constexpr size_t kBatchSize = 500;
+
+  TweetGenerator gen(stream);
+  std::vector<std::vector<Microblog>> batches;
+  for (uint64_t done = 0; done < total_tweets; done += kBatchSize) {
+    batches.emplace_back();
+    gen.FillBatch(kBatchSize, &batches.back());
+  }
+
+  std::vector<std::pair<std::string, MetricsSnapshot>> artifacts;
+  double wall_baseline = 0.0;
+  double cp_baseline = 0.0;
+  for (size_t shards : {1, 2, 4, 8}) {
+    ScalingResult r = RunOne(shards, batches, stream, num_queries);
+    if (shards == 1) {
+      wall_baseline = r.ingest_tweets_per_sec;
+      cp_baseline = r.cp_tweets_per_sec;
+    }
+    const std::string x = std::to_string(shards);
+    bench::PrintRow("shard_scaling", "ingest_tweets_per_sec", x,
+                    r.ingest_tweets_per_sec);
+    bench::PrintRow("shard_scaling", "ingest_speedup", x,
+                    wall_baseline > 0.0
+                        ? r.ingest_tweets_per_sec / wall_baseline
+                        : 0.0);
+    bench::PrintRow("shard_scaling", "cp_tweets_per_sec", x,
+                    r.cp_tweets_per_sec);
+    bench::PrintRow("shard_scaling", "ingest_scalability", x,
+                    cp_baseline > 0.0 ? r.cp_tweets_per_sec / cp_baseline
+                                      : 0.0);
+    bench::PrintRow("shard_scaling", "query_per_sec", x, r.query_per_sec);
+    bench::PrintRow("shard_scaling", "routed_copies", x,
+                    static_cast<double>(r.routed_copies));
+    artifacts.emplace_back("shards" + x, std::move(r.snapshot));
+  }
+  bench::WriteBenchJson("shard_scaling", artifacts);
+  return 0;
+}

@@ -53,7 +53,14 @@ run_ctest() {  # run_ctest <builddir> <label: all|stress>
 
 job_tier1() {
   note "tier1: plain build + full suite"
-  build default && run_ctest build all
+  build default && run_ctest build all || return 1
+  # Shard matrix: the full suite above ran the `shards` label (routing
+  # goldens, merge property tests, differential oracle) at the default
+  # KFLUSH_TEST_SHARDS=4; re-run it at 1 shard so the degenerate
+  # single-shard deployment stays oracle-identical too.
+  note "tier1: shard matrix (KFLUSH_TEST_SHARDS=1)"
+  KFLUSH_TEST_SHARDS=1 timeout "${STRESS_TIMEOUT}" \
+      ctest --test-dir build -L shards --output-on-failure
 }
 
 job_tsan() {
@@ -78,12 +85,15 @@ job_bench_smoke() {
   note "bench-smoke: tiny bench runs + BENCH_*.json and trace schema checks"
   local out scale
   build default && cmake --build build -j "${JOBS}" \
-      --target bench_snapshot bench_fig5_memory_behavior || return 1
+      --target bench_snapshot bench_fig5_memory_behavior \
+               bench_shard_scaling || return 1
   out="${KFLUSH_BENCH_OUT:-$(mktemp -d)}"
   mkdir -p "${out}"
   scale="${KFLUSH_BENCH_SCALE:-0.05}"
   KFLUSH_BENCH_SCALE="${scale}" KFLUSH_BENCH_OUT="${out}" \
       ./build/bench/bench_snapshot || return 1
+  KFLUSH_BENCH_SCALE="${scale}" KFLUSH_BENCH_OUT="${out}" \
+      ./build/bench/bench_shard_scaling || return 1
   python3 scripts/validate_bench_json.py "${out}"/BENCH_*.json || return 1
   KFLUSH_BENCH_SCALE="${scale}" KFLUSH_BENCH_OUT="${out}" \
       ./build/bench/bench_fig5_memory_behavior \

@@ -88,6 +88,40 @@ def check_snapshot(errors, where, snap):
         errors.append(f"{where}: missing histogram 'flush.cycle_micros'")
 
 
+def check_shard_scaling(errors, path, doc):
+    """Extra rules for BENCH_shard_scaling.json: one snapshot per shard
+    count ("shards1", "shards2", ...), each carrying the bench.* gauges
+    the scaling curve is plotted from and the CPU-time histograms the
+    work-span (critical-path) series is computed from."""
+    policies = doc["policies"]
+    shard_keys = [k for k in policies if k.startswith("shards")]
+    if len(shard_keys) < 2:
+        errors.append(
+            f"{path}: shard_scaling needs >=2 'shardsN' snapshots, "
+            f"got {sorted(policies)}")
+        return
+    for key in shard_keys:
+        where = f"{path}:{key}"
+        snap = policies[key]
+        gauges = snap.get("gauges", {})
+        for name in ("bench.num_shards", "bench.hw_concurrency",
+                     "bench.ingest_tweets_per_sec", "bench.cp_tweets_per_sec",
+                     "bench.query_per_sec", "bench.routed_copies"):
+            if name not in gauges:
+                errors.append(f"{where}: missing gauge '{name}'")
+        if gauges.get("bench.num_shards") != int(key[len("shards"):]):
+            errors.append(f"{where}: bench.num_shards gauge disagrees "
+                          f"with snapshot key")
+        for name in ("bench.ingest_tweets_per_sec", "bench.cp_tweets_per_sec"):
+            if name in gauges and gauges[name] <= 0:
+                errors.append(f"{where}: gauge '{name}' must be > 0")
+        histograms = snap.get("histograms", {})
+        for name in ("system.digest_cpu_micros_per_batch",
+                     "flush.cycle_cpu_micros"):
+            if name not in histograms:
+                errors.append(f"{where}: missing histogram '{name}'")
+
+
 def check_file(errors, path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -107,6 +141,8 @@ def check_file(errors, path):
         return
     for policy, snap in policies.items():
         check_snapshot(errors, f"{path}:{policy}", snap)
+    if doc["bench"] == "shard_scaling":
+        check_shard_scaling(errors, path, doc)
 
 
 def main(argv):

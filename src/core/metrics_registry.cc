@@ -182,6 +182,36 @@ void MetricsRegistry::AddProvider(
   providers_.push_back(std::move(provider));
 }
 
+MetricsSnapshot AggregateSnapshots(const std::vector<MetricsSnapshot>& parts,
+                                   bool include_per_shard) {
+  MetricsSnapshot total;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const MetricsSnapshot& part = parts[i];
+    for (const auto& [name, value] : part.counters) {
+      total.counters[name] += value;
+    }
+    for (const auto& [name, value] : part.gauges) {
+      total.gauges[name] += value;
+    }
+    for (const auto& [name, histogram] : part.histograms) {
+      total.histograms[name].Merge(histogram);
+    }
+    if (include_per_shard) {
+      const std::string prefix = "shard" + std::to_string(i) + ".";
+      for (const auto& [name, value] : part.counters) {
+        total.counters[prefix + name] = value;
+      }
+      for (const auto& [name, value] : part.gauges) {
+        total.gauges[prefix + name] = value;
+      }
+      for (const auto& [name, histogram] : part.histograms) {
+        total.histograms[prefix + name] = histogram;
+      }
+    }
+  }
+  return total;
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
   std::lock_guard<std::mutex> lock(mu_);

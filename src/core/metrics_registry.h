@@ -114,6 +114,18 @@ struct MetricsSnapshot {
   std::string ToString() const;
 };
 
+/// Folds per-shard registry snapshots into one aggregate view: counters
+/// and gauges sum, histograms merge. With `include_per_shard`, every
+/// source series is additionally kept under a "shard<i>." prefix (i = the
+/// snapshot's index in `parts`) so per-shard breakdowns survive in the
+/// same artifact the benchmarks serialize. This is the documented way to
+/// combine multi-store deployments — snapshots aggregate, registries
+/// don't. Note the summed gauges: levels like memory.data_used_bytes are
+/// meaningful totals across shards, but a handful (e.g.
+/// memory.budget_bytes) sum to the deployment total by construction.
+MetricsSnapshot AggregateSnapshots(const std::vector<MetricsSnapshot>& parts,
+                                   bool include_per_shard = false);
+
 /// The registry. One instance per MicroblogStore (benchmarks and multi-
 /// store deployments aggregate snapshots, not registries).
 class MetricsRegistry {

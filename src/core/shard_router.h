@@ -1,0 +1,56 @@
+// Term-to-shard routing for the sharded deployment. Index entries —
+// keyword ids, user ids, spatial tile ids, all already folded into the
+// one TermId space by the attribute extractor — are hash-partitioned
+// across N shards, so a term's entire posting list (memory and disk) has
+// exactly one owner and single-term queries touch one shard.
+//
+// STABLE API: the mix function and the modulo placement below are part of
+// the on-disk / cross-run contract. Benchmarks, the differential oracle,
+// and any persisted per-shard artifact assume a term routes to the same
+// shard in every build; changing ShardMix64 or ShardForTerm silently
+// reshuffles every sharded experiment. tests/core/shard_router_test.cc
+// pins golden values so a change fails loudly instead.
+
+#ifndef KFLUSH_CORE_SHARD_ROUTER_H_
+#define KFLUSH_CORE_SHARD_ROUTER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "model/microblog.h"
+
+namespace kflush {
+
+/// The 64-bit finalizer of Steele et al.'s SplitMix64. TermIds are nearly
+/// sequential (keyword ranks, user ids, row-major tile numbers), so the
+/// raw modulo would stripe hot neighboring terms onto the same shard; the
+/// finalizer is a full-avalanche bijection that decorrelates them.
+inline uint64_t ShardMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Maps terms to shard ids in [0, num_shards). Stateless beyond the shard
+/// count; copies are cheap and routing is thread-safe.
+class ShardRouter {
+ public:
+  explicit ShardRouter(size_t num_shards)
+      : num_shards_(num_shards == 0 ? 1 : num_shards) {}
+
+  size_t num_shards() const { return num_shards_; }
+
+  /// The owning shard of `term`. Total: every TermId (including values
+  /// that never occur) routes somewhere, so callers need no fallback.
+  size_t ShardForTerm(TermId term) const {
+    return static_cast<size_t>(ShardMix64(term) % num_shards_);
+  }
+
+ private:
+  size_t num_shards_;
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_CORE_SHARD_ROUTER_H_

@@ -1,0 +1,86 @@
+// Query fan-out over a term-partitioned deployment. Every term's postings
+// — in memory and on disk — live wholly on the shard ShardRouter assigns
+// it, so:
+//
+//   single : the query goes to the one owning shard, unchanged.
+//   OR     : terms group by owning shard; each shard answers the OR of
+//            its group; the per-shard top-k lists k-way-merge under the
+//            exact (score desc, id desc) order Materialize() uses.
+//   AND    : evaluated here, over each term's full memory ∪ disk list
+//            pulled from its owner — never delegated. The per-shard
+//            engine's AND hit path ("a record trimmed from one entry but
+//            resident through another still qualifies") inspects records
+//            resident on *its* shard, which depends on how terms are
+//            colocated; routing through it would make answers a function
+//            of the shard count. The full-list intersection is exact for
+//            every N, including N=1, so sharding stays invisible.
+//
+// The differential oracle (tests/integration/shard_oracle_test.cc) holds
+// this layer to byte-identical answers against shards=1.
+
+#ifndef KFLUSH_CORE_SHARDED_QUERY_ENGINE_H_
+#define KFLUSH_CORE_SHARDED_QUERY_ENGINE_H_
+
+#include <vector>
+
+#include "core/query_engine.h"
+#include "core/shard_router.h"
+
+namespace kflush {
+
+/// One shard as seen by the fan-out layer: its store (raw records, disk
+/// tier, policy index) and a per-shard engine for delegated sub-queries.
+struct ShardQueryTarget {
+  MicroblogStore* store = nullptr;
+  QueryEngine* engine = nullptr;
+};
+
+/// Fans queries out to owning shards and merges per-shard top-k answers.
+/// Thread-safe, like the per-shard engines it delegates to. Keeps its own
+/// QueryMetrics over top-level queries (sub-queries additionally land in
+/// each shard's registry, so aggregated snapshots still carry the
+/// query.* taxonomy).
+class ShardedQueryEngine {
+ public:
+  explicit ShardedQueryEngine(std::vector<ShardQueryTarget> shards);
+
+  Result<QueryResult> Execute(const TopKQuery& query);
+
+  /// Spatial / user surfaces, mirroring QueryEngine's semantics (the
+  /// SearchArea over-fetch loop runs here, above the fan-out).
+  Result<QueryResult> SearchLocation(double lat, double lon, uint32_t k = 0);
+  Result<QueryResult> SearchArea(double min_lat, double min_lon,
+                                 double max_lat, double max_lon,
+                                 uint32_t k = 0, size_t max_tiles = 256);
+  Result<QueryResult> SearchUser(UserId user, uint32_t k = 0);
+
+  size_t num_shards() const { return shards_.size(); }
+  const ShardRouter& router() const { return router_; }
+
+  QueryMetricsSnapshot metrics() const { return metrics_.Snapshot(); }
+  void ResetMetrics() { metrics_.Reset(); }
+
+ private:
+  struct Scored {
+    double score;
+    MicroblogId id;
+  };
+
+  Result<QueryResult> ExecuteOrFanout(const std::vector<TermId>& terms,
+                                      uint32_t k);
+  Result<QueryResult> ExecuteAndExact(const std::vector<TermId>& terms,
+                                      uint32_t k);
+
+  /// Sum of the involved shards' disk term-query counters (the delta
+  /// around a query is the fan-out's disk-read cost; exact when queries
+  /// don't race, advisory under concurrency).
+  uint64_t DiskTermQueries() const;
+
+  std::vector<ShardQueryTarget> shards_;
+  ShardRouter router_;
+  QueryMetrics metrics_;
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_CORE_SHARDED_QUERY_ENGINE_H_

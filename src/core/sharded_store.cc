@@ -1,0 +1,171 @@
+#include "core/sharded_store.h"
+
+#include "core/trace.h"
+#include "util/logging.h"
+
+namespace kflush {
+
+ShardedMicroblogStore::ShardedMicroblogStore(ShardedStoreOptions options)
+    : options_(options),
+      router_(options.num_shards == 0 ? 1 : options.num_shards) {
+  clock_ = options_.store.clock != nullptr ? options_.store.clock
+                                           : WallClock::Default();
+  extractor_ = MakeAttribute(options_.store.attribute);
+  const size_t n = router_.num_shards();
+  shards_.reserve(n);
+  engines_.reserve(n);
+  std::vector<ShardQueryTarget> targets;
+  targets.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    StoreOptions so = options_.store;
+    so.memory_budget_bytes = options_.store.memory_budget_bytes / n;
+    so.shard_id = static_cast<int>(i);
+    shards_.push_back(std::make_unique<MicroblogStore>(so));
+    engines_.push_back(std::make_unique<QueryEngine>(shards_.back().get()));
+    targets.push_back({shards_.back().get(), engines_.back().get()});
+  }
+  engine_ = std::make_unique<ShardedQueryEngine>(std::move(targets));
+}
+
+ShardedMicroblogStore::~ShardedMicroblogStore() = default;
+
+Status ShardedMicroblogStore::Insert(Microblog blog) {
+  // Central stamping, before routing: the copies a multi-term record
+  // leaves on several shards must be byte-identical.
+  if (blog.id == kInvalidMicroblogId) {
+    blog.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (blog.created_at == 0) {
+    blog.created_at = clock_->NowMicros();
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<TermId> terms;
+  extractor_->ExtractTerms(blog, &terms);
+  if (terms.empty()) {
+    skipped_no_terms_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  std::vector<std::vector<TermId>> owned(shards_.size());
+  std::vector<size_t> owners;
+  for (TermId term : terms) {
+    const size_t owner = router_.ShardForTerm(term);
+    if (owned[owner].empty()) owners.push_back(owner);
+    owned[owner].push_back(term);
+  }
+  routed_copies_.fetch_add(owners.size(), std::memory_order_relaxed);
+  for (size_t i = 0; i + 1 < owners.size(); ++i) {
+    KFLUSH_RETURN_IF_ERROR(
+        shards_[owners[i]]->InsertRouted(blog, owned[owners[i]]));
+  }
+  const size_t last = owners.back();
+  return shards_[last]->InsertRouted(std::move(blog), owned[last]);
+}
+
+size_t ShardedMicroblogStore::FlushAllOnce() {
+  size_t freed = 0;
+  for (auto& shard : shards_) {
+    if (shard->MemoryFull()) freed += shard->FlushOnce();
+  }
+  return freed;
+}
+
+void ShardedMicroblogStore::SetK(uint32_t k) {
+  for (auto& shard : shards_) shard->SetK(k);
+}
+
+ShardedIngestStats ShardedMicroblogStore::sharded_ingest_stats() const {
+  ShardedIngestStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.routed_copies = routed_copies_.load(std::memory_order_relaxed);
+  stats.skipped_no_terms = skipped_no_terms_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+IngestStats ShardedMicroblogStore::AggregatedIngestStats() const {
+  IngestStats total;
+  for (const auto& shard : shards_) {
+    const IngestStats s = shard->ingest_stats();
+    total.inserted += s.inserted;
+    total.skipped_no_terms += s.skipped_no_terms;
+    total.flush_triggers += s.flush_triggers;
+  }
+  // Term-less arrivals are dropped by the router, not the shards.
+  total.skipped_no_terms += skipped_no_terms_.load(std::memory_order_relaxed);
+  return total;
+}
+
+PolicyStats ShardedMicroblogStore::AggregatedPolicyStats() const {
+  PolicyStats total;
+  for (const auto& shard : shards_) {
+    MergePolicyStats(shard->policy()->stats(), &total);
+  }
+  return total;
+}
+
+DiskStats ShardedMicroblogStore::AggregatedDiskStats() const {
+  DiskStats total;
+  for (const auto& shard : shards_) {
+    const DiskStats s = shard->disk()->stats();
+    total.postings_added += s.postings_added;
+    total.records_written += s.records_written;
+    total.record_bytes_written += s.record_bytes_written;
+    total.write_batches += s.write_batches;
+    total.term_queries += s.term_queries;
+    total.records_read += s.records_read;
+    total.record_bytes_read += s.record_bytes_read;
+    total.posting_bytes_read += s.posting_bytes_read;
+  }
+  return total;
+}
+
+MetricsSnapshot ShardedMicroblogStore::AggregatedMetrics(
+    bool include_per_shard) const {
+  std::vector<MetricsSnapshot> parts;
+  parts.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    parts.push_back(shard->metrics_registry()->Snapshot());
+  }
+  return AggregateSnapshots(parts, include_per_shard);
+}
+
+size_t ShardedMicroblogStore::DataUsed() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->tracker().DataUsed();
+  return total;
+}
+
+size_t ShardedMicroblogStore::NumTerms() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->policy()->NumTerms();
+  return total;
+}
+
+size_t ShardedMicroblogStore::NumKFilledTerms() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->policy()->NumKFilledTerms();
+  }
+  return total;
+}
+
+size_t ShardedMicroblogStore::AuxMemoryBytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->policy()->AuxMemoryBytes();
+  return total;
+}
+
+size_t ShardedMicroblogStore::PeakFlushBufferBytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->flush_buffer().peak_bytes();
+  }
+  return total;
+}
+
+void ShardedMicroblogStore::CollectEntrySizes(std::vector<size_t>* out) const {
+  for (const auto& shard : shards_) shard->policy()->CollectEntrySizes(out);
+}
+
+}  // namespace kflush

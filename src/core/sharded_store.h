@@ -1,0 +1,112 @@
+// ShardedMicroblogStore: N MicroblogStore shards behind one ingest/query
+// facade, partitioned by term (ShardRouter). Each shard owns a slice of
+// the memory budget, its own policy-owned index, raw-store segment view,
+// flush buffer, and disk tier, so flush cycles on different shards share
+// no locks and run independently. The facade stamps ids and timestamps
+// centrally BEFORE routing — a record carrying terms owned by several
+// shards is copied to each, and the copies must be byte-identical for the
+// differential oracle's "same answers at any shard count" contract to be
+// checkable bytewise. Synchronous (per-shard inline auto-flush) and, like
+// MicroblogStore, deterministic under a SimClock: this is the deployment
+// the oracle and the sharded experiment path drive. The threaded
+// deployment with per-shard digestion/flusher threads is
+// ShardedMicroblogSystem.
+
+#ifndef KFLUSH_CORE_SHARDED_STORE_H_
+#define KFLUSH_CORE_SHARDED_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/shard_router.h"
+#include "core/sharded_query_engine.h"
+#include "core/store.h"
+
+namespace kflush {
+
+/// Sharded deployment configuration.
+struct ShardedStoreOptions {
+  /// Per-shard template. memory_budget_bytes is the TOTAL deployment
+  /// budget; each shard receives budget / num_shards (remainder bytes are
+  /// dropped — the oracle pins budgets divisible by the shard counts it
+  /// compares). clock is shared across shards; shard_id is assigned here.
+  /// Leave disk null: each shard owns its disk tier, keeping a term's
+  /// disk postings wholly on its owner.
+  StoreOptions store;
+  size_t num_shards = 1;
+};
+
+/// Aggregated ingest counters maintained by the routing layer.
+struct ShardedIngestStats {
+  /// Records submitted to the facade (before routing).
+  uint64_t submitted = 0;
+  /// Per-shard record copies written (>= submitted - skipped; a record
+  /// with terms on s shards contributes s copies).
+  uint64_t routed_copies = 0;
+  /// Records carrying no term under the attribute (counted centrally; the
+  /// shards never see them).
+  uint64_t skipped_no_terms = 0;
+};
+
+class ShardedMicroblogStore {
+ public:
+  explicit ShardedMicroblogStore(ShardedStoreOptions options);
+  ~ShardedMicroblogStore();
+
+  ShardedMicroblogStore(const ShardedMicroblogStore&) = delete;
+  ShardedMicroblogStore& operator=(const ShardedMicroblogStore&) = delete;
+
+  /// Ingests one microblog: stamps id/created_at if unset, extracts terms,
+  /// and routes one copy (with its owned term subset) to each owning
+  /// shard. Thread-safe.
+  Status Insert(Microblog blog);
+
+  /// One flush cycle on every over-budget shard; returns bytes freed.
+  size_t FlushAllOnce();
+
+  void SetK(uint32_t k);
+  uint32_t k() const { return shards_[0]->k(); }
+
+  size_t num_shards() const { return shards_.size(); }
+  MicroblogStore* shard(size_t i) { return shards_[i].get(); }
+  const MicroblogStore* shard(size_t i) const { return shards_[i].get(); }
+  QueryEngine* shard_engine(size_t i) { return engines_[i].get(); }
+  const ShardRouter& router() const { return router_; }
+  ShardedQueryEngine* engine() { return engine_.get(); }
+  const ShardedStoreOptions& options() const { return options_; }
+
+  ShardedIngestStats sharded_ingest_stats() const;
+
+  // --- cross-shard aggregation (experiment/bench collection) ---
+  IngestStats AggregatedIngestStats() const;
+  PolicyStats AggregatedPolicyStats() const;
+  DiskStats AggregatedDiskStats() const;
+  /// Aggregate of every shard's registry snapshot; with per-shard series
+  /// under "shard<i>." prefixes when `include_per_shard`.
+  MetricsSnapshot AggregatedMetrics(bool include_per_shard = false) const;
+  size_t DataUsed() const;
+  size_t NumTerms() const;
+  size_t NumKFilledTerms() const;
+  size_t AuxMemoryBytes() const;
+  size_t PeakFlushBufferBytes() const;
+  void CollectEntrySizes(std::vector<size_t>* out) const;
+
+ private:
+  ShardedStoreOptions options_;
+  Clock* clock_;
+  std::unique_ptr<AttributeExtractor> extractor_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<MicroblogStore>> shards_;
+  std::vector<std::unique_ptr<QueryEngine>> engines_;
+  std::unique_ptr<ShardedQueryEngine> engine_;
+
+  std::atomic<MicroblogId> next_id_{1};
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> routed_copies_{0};
+  std::atomic<uint64_t> skipped_no_terms_{0};
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_CORE_SHARDED_STORE_H_

@@ -1,0 +1,107 @@
+#include "core/sharded_system.h"
+
+#include "core/trace.h"
+
+namespace kflush {
+
+ShardedMicroblogSystem::ShardedMicroblogSystem(ShardedSystemOptions options)
+    : options_(options),
+      router_(options.num_shards == 0 ? 1 : options.num_shards) {
+  clock_ = options_.system.store.clock != nullptr
+               ? options_.system.store.clock
+               : WallClock::Default();
+  extractor_ = MakeAttribute(options_.system.store.attribute);
+  const size_t n = router_.num_shards();
+  systems_.reserve(n);
+  std::vector<ShardQueryTarget> targets;
+  targets.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    SystemOptions so = options_.system;
+    so.store.memory_budget_bytes =
+        options_.system.store.memory_budget_bytes / n;
+    so.store.shard_id = static_cast<int>(i);
+    systems_.push_back(std::make_unique<MicroblogSystem>(so));
+    targets.push_back({systems_.back()->store(), systems_.back()->engine()});
+  }
+  engine_ = std::make_unique<ShardedQueryEngine>(std::move(targets));
+}
+
+ShardedMicroblogSystem::~ShardedMicroblogSystem() { Stop(); }
+
+void ShardedMicroblogSystem::Start() {
+  for (auto& system : systems_) system->Start();
+}
+
+void ShardedMicroblogSystem::Stop() {
+  for (auto& system : systems_) system->Stop();
+}
+
+bool ShardedMicroblogSystem::Submit(std::vector<Microblog> batch) {
+  TraceSpan span("shard", "route_batch",
+                 {TraceArg::Uint("records", batch.size()),
+                  TraceArg::Uint("shards", systems_.size())});
+  std::vector<IngestBatch> per_shard(systems_.size());
+  // Per-record scratch, hoisted out of the loop: the routing hot path
+  // must not allocate O(num_shards) vectors per record.
+  std::vector<TermId> terms;
+  std::vector<std::vector<TermId>> owned(systems_.size());
+  std::vector<size_t> owners;
+  uint64_t copies = 0;
+  for (Microblog& blog : batch) {
+    if (blog.id == kInvalidMicroblogId) {
+      blog.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (blog.created_at == 0) {
+      blog.created_at = clock_->NowMicros();
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    terms.clear();
+    extractor_->ExtractTerms(blog, &terms);
+    if (terms.empty()) {
+      skipped_no_terms_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Owned term subsets per shard, for this record.
+    owners.clear();
+    for (TermId term : terms) {
+      const size_t owner = router_.ShardForTerm(term);
+      if (owned[owner].empty()) owners.push_back(owner);
+      owned[owner].push_back(term);
+    }
+    copies += owners.size();
+    for (size_t i = 0; i + 1 < owners.size(); ++i) {
+      IngestBatch& dest = per_shard[owners[i]];
+      dest.blogs.push_back(blog);
+      dest.routed_terms.push_back(std::move(owned[owners[i]]));
+      owned[owners[i]].clear();  // moved-from; reset for the next record
+    }
+    const size_t last = owners.back();
+    per_shard[last].blogs.push_back(std::move(blog));
+    per_shard[last].routed_terms.push_back(std::move(owned[last]));
+    owned[last].clear();
+  }
+  routed_copies_.fetch_add(copies, std::memory_order_relaxed);
+  bool accepted = true;
+  for (size_t i = 0; i < systems_.size(); ++i) {
+    if (per_shard[i].blogs.empty()) continue;
+    accepted = systems_[i]->SubmitRouted(std::move(per_shard[i])) && accepted;
+  }
+  span.End({TraceArg::Uint("copies", copies)});
+  return accepted;
+}
+
+Result<QueryResult> ShardedMicroblogSystem::Query(const TopKQuery& query) {
+  return engine_->Execute(query);
+}
+
+void ShardedMicroblogSystem::SetK(uint32_t k) {
+  for (auto& system : systems_) system->store()->SetK(k);
+}
+
+uint64_t ShardedMicroblogSystem::digested() const {
+  uint64_t total = 0;
+  for (const auto& system : systems_) total += system->digested();
+  return total;
+}
+
+}  // namespace kflush

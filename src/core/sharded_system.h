@@ -1,0 +1,94 @@
+// ShardedMicroblogSystem: the threaded sharded deployment — N full
+// MicroblogSystem instances (each with its own bounded ingest queue,
+// digestion thread, and background flusher), fed by a routing Submit()
+// that stamps records centrally and splits each producer batch into
+// per-shard routed sub-batches. Flush cycles run concurrently on
+// independent shard locks (each shard's flusher drives only its own
+// store); queries fan out through a ShardedQueryEngine over the shard
+// stores. This is the assembly bench_shard_scaling measures and the TSan
+// shard stress test hammers.
+
+#ifndef KFLUSH_CORE_SHARDED_SYSTEM_H_
+#define KFLUSH_CORE_SHARDED_SYSTEM_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/shard_router.h"
+#include "core/sharded_query_engine.h"
+#include "core/system.h"
+
+namespace kflush {
+
+/// Sharded system configuration.
+struct ShardedSystemOptions {
+  /// Per-shard template; store.memory_budget_bytes is the TOTAL budget
+  /// (split evenly), queue capacity and stall factor apply per shard.
+  SystemOptions system;
+  size_t num_shards = 1;
+};
+
+class ShardedMicroblogSystem {
+ public:
+  explicit ShardedMicroblogSystem(ShardedSystemOptions options);
+  ~ShardedMicroblogSystem();
+
+  ShardedMicroblogSystem(const ShardedMicroblogSystem&) = delete;
+  ShardedMicroblogSystem& operator=(const ShardedMicroblogSystem&) = delete;
+
+  void Start();
+  /// Stops every shard system (drains queues, joins threads). Idempotent.
+  void Stop();
+
+  /// Stamps ids/timestamps centrally, routes each record's terms, and
+  /// submits one routed sub-batch per owning shard (blocking on any full
+  /// shard queue — per-shard backpressure throttles the producer).
+  /// Returns false once stopped. Term-less records are counted and
+  /// dropped here.
+  bool Submit(std::vector<Microblog> batch);
+
+  /// Fan-out query against current contents (thread-safe, any time).
+  Result<QueryResult> Query(const TopKQuery& query);
+
+  /// Changes k on every shard.
+  void SetK(uint32_t k);
+
+  size_t num_shards() const { return systems_.size(); }
+  MicroblogSystem* shard_system(size_t i) { return systems_[i].get(); }
+  MicroblogStore* shard_store(size_t i) { return systems_[i]->store(); }
+  ShardedQueryEngine* engine() { return engine_.get(); }
+  const ShardRouter& router() const { return router_; }
+
+  /// Records accepted by Submit (central count, before routing).
+  uint64_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  /// Per-shard record copies routed (a record on s shards counts s).
+  uint64_t routed_copies() const {
+    return routed_copies_.load(std::memory_order_relaxed);
+  }
+  /// Term-less records dropped by the router.
+  uint64_t skipped_no_terms() const {
+    return skipped_no_terms_.load(std::memory_order_relaxed);
+  }
+  /// Sum of copies digested across shards.
+  uint64_t digested() const;
+
+ private:
+  ShardedSystemOptions options_;
+  Clock* clock_;
+  std::unique_ptr<AttributeExtractor> extractor_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<MicroblogSystem>> systems_;
+  std::unique_ptr<ShardedQueryEngine> engine_;
+
+  std::atomic<MicroblogId> next_id_{1};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> routed_copies_{0};
+  std::atomic<uint64_t> skipped_no_terms_{0};
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_CORE_SHARDED_SYSTEM_H_

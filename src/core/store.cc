@@ -26,6 +26,7 @@ MicroblogStore::MicroblogStore(StoreOptions options)
   ctx.tracker = &tracker_;
   ctx.clock = clock_;
   ctx.extractor = extractor_.get();
+  ctx.shard_id = options_.shard_id;
 
   PolicyOptions popts;
   popts.k = options_.k;
@@ -69,6 +70,7 @@ void MicroblogStore::ExportComponentMetrics(MetricsSnapshot* snap) const {
   snap->counters["flush.record_bytes_flushed"] = ps.record_bytes_flushed;
   snap->counters["flush.postings_dropped"] = ps.postings_dropped;
   snap->histograms["flush.cycle_micros"] = ps.cycle_micros;
+  snap->histograms["flush.cycle_cpu_micros"] = ps.cycle_cpu_micros;
   for (int i = 0; i < 3; ++i) {
     const PhaseStats& phase = ps.phases[i];
     const std::string prefix = "flush.phase" + std::to_string(i + 1) + ".";
@@ -121,7 +123,23 @@ Status MicroblogStore::Insert(Microblog blog) {
     ++ingest_stats_.skipped_no_terms;
     return Status::OK();
   }
+  return InsertIndexed(std::move(blog), terms);
+}
 
+Status MicroblogStore::InsertRouted(Microblog blog,
+                                    const std::vector<TermId>& terms) {
+  if (blog.id == kInvalidMicroblogId || blog.created_at == 0) {
+    return Status::InvalidArgument(
+        "InsertRouted requires a pre-stamped id and created_at");
+  }
+  if (terms.empty()) {
+    return Status::InvalidArgument("InsertRouted requires owned terms");
+  }
+  return InsertIndexed(std::move(blog), terms);
+}
+
+Status MicroblogStore::InsertIndexed(Microblog blog,
+                                     const std::vector<TermId>& terms) {
   const double score = ranking_->Score(blog);
   // The record enters the raw store first (pcount = its index references),
   // then the index — queries racing the insert simply don't see it yet.

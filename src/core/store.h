@@ -49,6 +49,9 @@ struct StoreOptions {
   Clock* clock = nullptr;
   /// Disk tier; null = an internally owned SimDiskStore.
   DiskStore* disk = nullptr;
+  /// Shard this store serves in a sharded deployment (labels flush trace
+  /// spans and eviction audit records); -1 = standalone, unlabeled.
+  int shard_id = -1;
 };
 
 /// Counters maintained by the store's ingest path.
@@ -75,6 +78,14 @@ class MicroblogStore {
   /// for arrivals that carry no indexable term (they are counted and
   /// dropped, not stored).
   Status Insert(Microblog blog);
+
+  /// Sharded ingest: indexes `blog` under exactly `terms` — the subset of
+  /// its terms this shard owns, as computed by the routing layer — instead
+  /// of re-extracting. The caller must have assigned id and created_at
+  /// (ShardedMicroblogStore stamps centrally so the copies a multi-term
+  /// record leaves on several shards are byte-identical) and `terms` must
+  /// be non-empty.
+  Status InsertRouted(Microblog blog, const std::vector<TermId>& terms);
 
   /// Convenience ingest from raw text: tokenizes, interns keywords, and
   /// inserts. Only meaningful under the keyword attribute.
@@ -128,6 +139,10 @@ class MicroblogStore {
   }
 
  private:
+  /// Shared tail of Insert/InsertRouted: raw-store put, index insert,
+  /// ingest accounting, inline auto-flush.
+  Status InsertIndexed(Microblog blog, const std::vector<TermId>& terms);
+
   /// Contributes component-owned stats to a registry snapshot.
   void ExportComponentMetrics(MetricsSnapshot* snap) const;
 

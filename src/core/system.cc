@@ -25,6 +25,8 @@ MicroblogSystem::MicroblogSystem(SystemOptions options)
   flush_stuck_events_ = registry->counter("system.flush_stuck_events");
   batch_size_hist_ = registry->histogram("system.batch_size");
   digest_micros_hist_ = registry->histogram("system.digest_micros_per_batch");
+  digest_cpu_micros_hist_ =
+      registry->histogram("system.digest_cpu_micros_per_batch");
 }
 
 MicroblogSystem::~MicroblogSystem() { Stop(); }
@@ -59,6 +61,10 @@ void MicroblogSystem::Stop() {
 }
 
 bool MicroblogSystem::Submit(std::vector<Microblog> batch) {
+  return SubmitRouted(IngestBatch{std::move(batch), {}});
+}
+
+bool MicroblogSystem::SubmitRouted(IngestBatch batch) {
   const bool accepted = queue_.Push(std::move(batch));
   if (accepted) {
     batches_submitted_->Increment();
@@ -83,20 +89,27 @@ void MicroblogSystem::DigestionLoop() {
     // untouched so disabled-tracing ingest overhead is one branch per
     // batch (the 2% bench_micro criterion).
     TraceSpan span("system", "digest_batch",
-                   {TraceArg::Uint("records", batch->size()),
-                    TraceArg::Uint("queue_depth", queue_.size())});
+                   {TraceArg::Uint("records", batch->blogs.size()),
+                    TraceArg::Uint("queue_depth", queue_.size()),
+                    TraceArg::Int("shard", options_.store.shard_id)});
     Stopwatch watch;
-    for (Microblog& blog : *batch) {
-      Status s = store_->Insert(std::move(blog));
+    CpuStopwatch cpu_watch;
+    const bool routed = !batch->routed_terms.empty();
+    for (size_t i = 0; i < batch->blogs.size(); ++i) {
+      Microblog& blog = batch->blogs[i];
+      Status s = routed ? store_->InsertRouted(std::move(blog),
+                                               batch->routed_terms[i])
+                        : store_->Insert(std::move(blog));
       if (!s.ok()) {
         KFLUSH_WARN("insert failed: " << s.ToString());
       }
       digested_.fetch_add(1, std::memory_order_relaxed);
     }
     batches_digested_->Increment();
-    records_digested_->Add(batch->size());
-    batch_size_hist_->Record(batch->size());
+    records_digested_->Add(batch->blogs.size());
+    batch_size_hist_->Record(batch->blogs.size());
     digest_micros_hist_->Record(watch.ElapsedMicros());
+    digest_cpu_micros_hist_->Record(cpu_watch.ElapsedMicros());
     span.End({TraceArg::Uint("data_used", store_->tracker().DataUsed())});
     if (store_->tracker().DataFull()) {
       {

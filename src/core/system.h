@@ -31,6 +31,15 @@ struct SystemOptions {
   double ingest_stall_factor = 1.2;
 };
 
+/// A queued unit of ingest work. `routed_terms`, when non-empty, carries
+/// each record's pre-routed term subset (parallel to `blogs`) and
+/// digestion uses InsertRouted instead of re-extracting — this is how a
+/// shard of ShardedMicroblogSystem indexes only the terms it owns.
+struct IngestBatch {
+  std::vector<Microblog> blogs;
+  std::vector<std::vector<TermId>> routed_terms;
+};
+
 /// Threaded system facade. Start() launches the digestion and flusher
 /// threads; Stop() drains and joins them. A system runs once: after
 /// Stop() the ingest queue is closed for good (construct a new system to
@@ -56,6 +65,11 @@ class MicroblogSystem {
   /// is full; returns false once the system is stopped.
   bool Submit(std::vector<Microblog> batch);
 
+  /// Sharded ingest: like Submit, but each record is digested under its
+  /// pre-routed term subset (batch.routed_terms parallel to batch.blogs,
+  /// records pre-stamped — see MicroblogStore::InsertRouted).
+  bool SubmitRouted(IngestBatch batch);
+
   /// Evaluates a query against current contents (thread-safe, any time).
   Result<QueryResult> Query(const TopKQuery& query);
 
@@ -72,7 +86,7 @@ class MicroblogSystem {
   SystemOptions options_;
   std::unique_ptr<MicroblogStore> store_;
   QueryEngine engine_;
-  BoundedQueue<std::vector<Microblog>> queue_;
+  BoundedQueue<IngestBatch> queue_;
 
   std::thread digestion_thread_;
   std::thread flusher_thread_;
@@ -100,6 +114,7 @@ class MicroblogSystem {
   Counter* flush_stuck_events_;
   ConcurrentHistogram* batch_size_hist_;
   ConcurrentHistogram* digest_micros_hist_;
+  ConcurrentHistogram* digest_cpu_micros_hist_;
 };
 
 }  // namespace kflush

@@ -1,0 +1,69 @@
+// Bounded k-way merge of per-shard top-k lists. Each shard answers a
+// fan-out query with its local top-k, already sorted best-first under the
+// global ranking order; the merge walks the lists heap-wise and stops
+// after k unique results, so the work is O(k log S) regardless of how
+// much each shard over-returned. Correctness requirement (proved by the
+// differential oracle): the merged list is exactly what a single-shard
+// store would return, which holds because the comparator below is the
+// same strict order Materialize() sorts by and duplicates — the same
+// record surfacing from several shards — carry identical sort keys, so
+// they pop adjacently and the dedup pass removes them without lookback.
+
+#ifndef KFLUSH_CORE_TOPK_MERGE_H_
+#define KFLUSH_CORE_TOPK_MERGE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace kflush {
+
+/// Merges `lists` — each sorted so that better elements come first under
+/// `better` (a strict weak ordering) — into the best `k` unique elements.
+/// `same(a, b)` identifies duplicates across lists; it must imply
+/// equivalence under `better` (neither orders before the other), which
+/// makes duplicates adjacent in the merged stream and a single-pass dedup
+/// (first occurrence wins) exact. Empty lists are fine; fewer than k
+/// unique elements yields a short result.
+template <typename T, typename Better, typename Same>
+std::vector<T> BoundedTopKMerge(const std::vector<std::vector<T>>& lists,
+                                size_t k, Better better, Same same) {
+  std::vector<T> merged;
+  if (k == 0) return merged;
+
+  // Heap of (list index, position); top = best current head.
+  struct Cursor {
+    size_t list;
+    size_t pos;
+  };
+  std::vector<Cursor> heap;
+  heap.reserve(lists.size());
+  // std::push_heap keeps the *greatest* element first, so the comparator
+  // must order "worse" before "better".
+  auto worse = [&](const Cursor& a, const Cursor& b) {
+    return better(lists[b.list][b.pos], lists[a.list][a.pos]);
+  };
+  for (size_t i = 0; i < lists.size(); ++i) {
+    if (!lists[i].empty()) heap.push_back({i, 0});
+  }
+  std::make_heap(heap.begin(), heap.end(), worse);
+
+  while (!heap.empty() && merged.size() < k) {
+    std::pop_heap(heap.begin(), heap.end(), worse);
+    Cursor top = heap.back();
+    heap.pop_back();
+    const T& candidate = lists[top.list][top.pos];
+    if (merged.empty() || !same(merged.back(), candidate)) {
+      merged.push_back(candidate);
+    }
+    if (top.pos + 1 < lists[top.list].size()) {
+      heap.push_back({top.list, top.pos + 1});
+      std::push_heap(heap.begin(), heap.end(), worse);
+    }
+  }
+  return merged;
+}
+
+}  // namespace kflush
+
+#endif  // KFLUSH_CORE_TOPK_MERGE_H_

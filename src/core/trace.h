@@ -240,6 +240,7 @@ class TraceSpan {
 /// ablation — for Phase 3). FIFO reports one victim per flushed segment
 /// and LRU one per evicted record, both under phase 1.
 struct EvictionAuditRecord {
+  int shard = -1;                   // owning shard; -1 = unsharded store
   int phase = 1;                    // 1..3 (PhaseStats index + 1)
   TermId term = kInvalidTermId;     // victim entry (FIFO/LRU: invalid)
   MicroblogId record_id = kInvalidMicroblogId;  // LRU's per-record victim

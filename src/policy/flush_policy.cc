@@ -42,6 +42,28 @@ std::string PolicyStats::ToString() const {
   return os.str();
 }
 
+void MergePolicyStats(const PolicyStats& in, PolicyStats* out) {
+  out->flush_cycles += in.flush_cycles;
+  out->records_flushed += in.records_flushed;
+  out->record_bytes_flushed += in.record_bytes_flushed;
+  out->postings_dropped += in.postings_dropped;
+  for (int i = 0; i < 3; ++i) {
+    PhaseStats& o = out->phases[i];
+    const PhaseStats& p = in.phases[i];
+    o.runs += p.runs;
+    o.candidates_scanned += p.candidates_scanned;
+    o.heap_selected += p.heap_selected;
+    o.postings += p.postings;
+    o.entries += p.entries;
+    o.records += p.records;
+    o.record_bytes += p.record_bytes;
+    o.bytes_freed += p.bytes_freed;
+    o.micros += p.micros;
+  }
+  out->cycle_micros.Merge(in.cycle_micros);
+  out->cycle_cpu_micros.Merge(in.cycle_cpu_micros);
+}
+
 FlushPolicy::FlushPolicy(const PolicyContext& ctx, uint32_t k)
     : ctx_(ctx), k_(k) {}
 
@@ -57,8 +79,10 @@ PolicyStats FlushPolicy::stats() const {
 size_t FlushPolicy::Flush(size_t bytes_needed) {
   TraceSpan span("flush", "cycle",
                  {TraceArg::Str("policy", name()),
-                  TraceArg::Uint("bytes_needed", bytes_needed)});
+                  TraceArg::Uint("bytes_needed", bytes_needed),
+                  TraceArg::Int("shard", ctx_.shard_id)});
   Stopwatch watch;
+  CpuStopwatch cpu_watch;
   current_phase_ = 1;
   const size_t freed = FlushImpl(bytes_needed);
   // One batched write per cycle (paper §III-A: victims are buffered to
@@ -71,6 +95,7 @@ size_t FlushPolicy::Flush(size_t bytes_needed) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.flush_cycles;
     stats_.cycle_micros.Record(watch.ElapsedMicros());
+    stats_.cycle_cpu_micros.Record(cpu_watch.ElapsedMicros());
   }
   span.End({TraceArg::Uint("bytes_freed", freed)});
   return freed;
@@ -79,6 +104,7 @@ size_t FlushPolicy::Flush(size_t bytes_needed) {
 void FlushPolicy::BeginVictim(int phase, TermId term, int64_t heap_rank,
                               Timestamp order_key, MicroblogId record_id) {
   victim_ = EvictionAuditRecord{};
+  victim_.shard = ctx_.shard_id;
   victim_.phase = phase;
   victim_.term = term;
   victim_.record_id = record_id;

@@ -55,6 +55,10 @@ struct PolicyContext {
   /// Used by policies that must recover a record's terms at flush time
   /// (LRU eviction, kFlushing-MK rules).
   const AttributeExtractor* extractor = nullptr;
+  /// Shard this policy serves in a sharded deployment; -1 = standalone.
+  /// Labels flush-cycle trace spans and eviction audit records so the
+  /// concurrent per-shard cycles remain distinguishable after the fact.
+  int shard_id = -1;
 };
 
 /// Per-phase breakdown of flushing work. Indices 0..2 are kFlushing's
@@ -84,9 +88,21 @@ struct PolicyStats {
   PhaseStats phases[3];
   /// Wall time per flush cycle, microseconds.
   Histogram cycle_micros;
+  /// CPU time the flushing thread burned per cycle, microseconds. Differs
+  /// from cycle_micros when cores are oversubscribed (the wall clock keeps
+  /// ticking while the flusher is descheduled); the shard-scaling bench's
+  /// work-span series reads this one.
+  Histogram cycle_cpu_micros;
 
   std::string ToString() const;
 };
+
+/// Accumulates `in` into `out`: counters and per-phase fields add, cycle
+/// histograms merge. The sharded deployment reports one PolicyStats per
+/// shard; experiment/bench aggregation folds them with this so the
+/// conservation invariants (records_flushed == Σ phases[i].records, audit
+/// reconciliation) keep holding on the aggregate.
+void MergePolicyStats(const PolicyStats& in, PolicyStats* out);
 
 /// Abstract flushing policy. Insert/QueryTerm may be called concurrently
 /// from many threads; Flush is called from one flushing thread at a time.

@@ -30,6 +30,13 @@ struct ExperimentConfig {
   TweetGeneratorOptions stream;
   QueryWorkloadOptions workload;
 
+  /// Number of index shards. 1 = the single-store path (bit-for-bit the
+  /// pre-sharding driver); >1 routes ingest through ShardedMicroblogStore
+  /// and queries through the fan-out engine, and every result field
+  /// reports cross-shard aggregates (store.memory_budget_bytes is the
+  /// total, split across shards).
+  size_t shards = 1;
+
   /// Steady state is declared after this many flush cycles have run.
   uint64_t steady_state_flushes = 3;
   /// Safety cap on streamed tweets while reaching steady state.
@@ -73,7 +80,10 @@ struct ExperimentResult {
   MetricsSnapshot metrics;
   /// With config.audit_evictions: every eviction victim of the run, and
   /// the outcome of ReconcileAuditWithStats against policy_stats (OK when
-  /// the audit sums match the per-phase counters exactly).
+  /// the audit sums match the per-phase counters exactly). Sharded runs
+  /// concatenate the per-shard trails (records carry their shard id) and
+  /// reconcile each shard against its own policy before reporting the
+  /// first failure, if any.
   std::vector<EvictionAuditRecord> eviction_audit;
   Status audit_reconciliation = Status::OK();
 

@@ -2,6 +2,10 @@
 
 #include <chrono>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <time.h>
+#endif
+
 namespace kflush {
 
 Timestamp MonotonicMicros() {
@@ -9,6 +13,17 @@ Timestamp MonotonicMicros() {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+Timestamp ThreadCpuMicros() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<Timestamp>(ts.tv_sec) * kMicrosPerSecond +
+           static_cast<Timestamp>(ts.tv_nsec) / 1000;
+  }
+#endif
+  return MonotonicMicros();
 }
 
 Timestamp WallClock::NowMicros() const { return MonotonicMicros(); }

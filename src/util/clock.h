@@ -23,6 +23,14 @@ constexpr Timestamp kMicrosPerMilli = 1'000;
 /// std::chrono clocks directly elsewhere.
 Timestamp MonotonicMicros();
 
+/// CPU time consumed by the calling thread, in microseconds. Unlike
+/// MonotonicMicros() this does not advance while the thread is descheduled,
+/// so per-thread work measured with it is independent of how many other
+/// threads timeshare the same cores (the shard-scaling bench's work-span
+/// series depends on that). Falls back to MonotonicMicros() on platforms
+/// without a per-thread CPU clock.
+Timestamp ThreadCpuMicros();
+
 /// Source of timestamps.
 class Clock {
  public:
@@ -75,6 +83,20 @@ class Stopwatch {
   double ElapsedSeconds() const {
     return static_cast<double>(ElapsedMicros()) / kMicrosPerSecond;
   }
+
+ private:
+  Timestamp start_;
+};
+
+/// Stopwatch over ThreadCpuMicros(): measures CPU time the calling thread
+/// actually burned, not wall time. Start and read on the SAME thread.
+class CpuStopwatch {
+ public:
+  CpuStopwatch() { Restart(); }
+
+  void Restart() { start_ = ThreadCpuMicros(); }
+
+  Timestamp ElapsedMicros() const { return ThreadCpuMicros() - start_; }
 
  private:
   Timestamp start_;

@@ -1,0 +1,352 @@
+// The differential shard oracle: a sharded deployment must be invisible
+// in query answers. For every flush policy and every attribute we stream
+// the identical deterministic tweet sequence into
+//
+//   A. a ShardedMicroblogStore with shards = 1,
+//   B. a ShardedMicroblogStore with shards = TestShardCount()
+//      (KFLUSH_TEST_SHARDS; the CI matrix runs 1 and 4), and
+//   C. a plain MicroblogStore + QueryEngine baseline,
+//
+// then probe all three with the identical query sequence at regular
+// points of the stream — including mid-run SetK churn — and require
+// field-wise identical top-k answers (ids, timestamps, users, text,
+// keywords) between A and B at every probe. The baseline C must agree on
+// single-term and OR answers; AND is excluded there by design: the
+// fan-out layer always evaluates AND over each term's full memory ∪ disk
+// lists (exact), while the baseline engine's AND hit path serves from
+// records resident in memory, which is a function of flush timing.
+// memory_hit / from_memory flags are NOT compared between A and B — the
+// shards flush on their own budget slices, so hit-rates legitimately
+// differ; only answers must not.
+//
+// The run ends with bookkeeping reconciliation: per-shard eviction audit
+// trails must reconcile against each shard's PolicyStats, and the
+// aggregated MetricsRegistry snapshot must agree with the aggregated
+// PolicyStats/IngestStats structs.
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/query_engine.h"
+#include "core/sharded_store.h"
+#include "core/store.h"
+#include "core/trace.h"
+#include "gen/query_generator.h"
+#include "gen/tweet_generator.h"
+#include "gtest/gtest.h"
+#include "policy/flush_policy.h"
+#include "testing/test_util.h"
+#include "util/clock.h"
+
+namespace kflush {
+namespace {
+
+using testing_util::RecordsEqual;
+using testing_util::TestShardCount;
+
+std::string Describe(const Microblog& blog) {
+  std::ostringstream os;
+  os << "id=" << blog.id << " ts=" << blog.created_at
+     << " user=" << blog.user_id;
+  return os.str();
+}
+
+std::string DescribeQuery(const TopKQuery& query) {
+  std::ostringstream os;
+  os << QueryTypeName(query.type) << " k=" << query.k << " terms=[";
+  for (size_t i = 0; i < query.terms.size(); ++i) {
+    os << (i ? "," : "") << query.terms[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+/// Asserts two answers are field-wise identical.
+void ExpectSameAnswers(const QueryResult& a, const QueryResult& b,
+                       const std::string& label) {
+  ASSERT_EQ(a.results.size(), b.results.size()) << label;
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    ASSERT_TRUE(RecordsEqual(a.results[i], b.results[i]))
+        << label << " position " << i << ": "
+        << Describe(a.results[i]) << " vs " << Describe(b.results[i]);
+  }
+}
+
+/// One deployment under test: a sharded store fed by its own generator
+/// instance (same options => identical stream) with per-shard audit
+/// trails attached for the end-of-run reconciliation.
+struct Deployment {
+  Deployment(PolicyKind policy, AttributeKind attribute, size_t shards,
+             const TweetGeneratorOptions& stream, size_t total_budget)
+      : clock(stream.start_time),
+        store([&] {
+          ShardedStoreOptions so;
+          so.store.memory_budget_bytes = total_budget;
+          so.store.flush_fraction = 0.2;
+          so.store.k = 10;
+          so.store.policy = policy;
+          so.store.attribute = attribute;
+          so.store.auto_flush = true;
+          so.store.clock = &clock;
+          so.num_shards = shards;
+          return so;
+        }()),
+        tweets(stream) {
+    audits.resize(store.num_shards());
+    for (size_t i = 0; i < store.num_shards(); ++i) {
+      store.shard(i)->policy()->set_audit_trail(&audits[i]);
+    }
+  }
+
+  ~Deployment() {
+    for (size_t i = 0; i < store.num_shards(); ++i) {
+      store.shard(i)->policy()->set_audit_trail(nullptr);
+    }
+  }
+
+  void StreamOne() {
+    Microblog blog = tweets.Next();
+    clock.Set(blog.created_at);
+    ASSERT_TRUE(store.Insert(std::move(blog)).ok());
+  }
+
+  SimClock clock;
+  ShardedMicroblogStore store;
+  TweetGenerator tweets;
+  std::deque<EvictionAuditTrail> audits;
+};
+
+/// The unsharded baseline, streamed identically.
+struct Baseline {
+  Baseline(PolicyKind policy, AttributeKind attribute,
+           const TweetGeneratorOptions& stream, size_t total_budget)
+      : clock(stream.start_time),
+        store([&] {
+          StoreOptions so;
+          so.memory_budget_bytes = total_budget;
+          so.flush_fraction = 0.2;
+          so.k = 10;
+          so.policy = policy;
+          so.attribute = attribute;
+          so.auto_flush = true;
+          so.clock = &clock;
+          return so;
+        }()),
+        engine(&store),
+        tweets(stream) {}
+
+  void StreamOne() {
+    Microblog blog = tweets.Next();
+    clock.Set(blog.created_at);
+    ASSERT_TRUE(store.Insert(std::move(blog)).ok());
+  }
+
+  SimClock clock;
+  MicroblogStore store;
+  QueryEngine engine;
+  TweetGenerator tweets;
+};
+
+/// End-of-run bookkeeping reconciliation for one deployment.
+void ReconcileDeployment(Deployment* d, const std::string& label) {
+  // Per-shard audit trail vs per-shard PolicyStats.
+  for (size_t i = 0; i < d->store.num_shards(); ++i) {
+    const FlushPolicy* policy = d->store.shard(i)->policy();
+    const Status s =
+        ReconcileAuditWithStats(d->audits[i].Records(), policy->stats());
+    EXPECT_TRUE(s.ok()) << label << " shard " << i << ": " << s.ToString();
+    // Audit records carry their shard's label.
+    for (const EvictionAuditRecord& rec : d->audits[i].Records()) {
+      ASSERT_EQ(rec.shard, static_cast<int>(i)) << label;
+    }
+  }
+
+  // Aggregated registry snapshot vs the aggregated stats structs.
+  const MetricsSnapshot snap = d->store.AggregatedMetrics();
+  const PolicyStats ps = d->store.AggregatedPolicyStats();
+  const IngestStats is = d->store.AggregatedIngestStats();
+  EXPECT_EQ(snap.counter_or("flush.cycles"), ps.flush_cycles) << label;
+  EXPECT_EQ(snap.counter_or("flush.records_flushed"), ps.records_flushed)
+      << label;
+  EXPECT_EQ(snap.counter_or("flush.postings_dropped"), ps.postings_dropped)
+      << label;
+  EXPECT_EQ(snap.counter_or("ingest.inserted"), is.inserted) << label;
+  EXPECT_EQ(snap.counter_or("ingest.flush_triggers"), is.flush_triggers)
+      << label;
+
+  // Routing-layer invariant: every routed copy was inserted by some
+  // shard, and every accepted record with terms produced at least one.
+  const ShardedIngestStats ss = d->store.sharded_ingest_stats();
+  EXPECT_EQ(is.inserted, ss.routed_copies) << label;
+  EXPECT_GE(ss.routed_copies, ss.submitted - ss.skipped_no_terms) << label;
+}
+
+struct OracleCase {
+  PolicyKind policy;
+  AttributeKind attribute;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<OracleCase>& info) {
+  std::string name = std::string(PolicyKindName(info.param.policy)) + "_" +
+                     AttributeKindName(info.param.attribute);
+  // gtest parameter names must be alphanumeric ("kFlushing-MK" is not).
+  std::string clean;
+  for (char c : name) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9') || c == '_') {
+      clean.push_back(c);
+    }
+  }
+  return clean;
+}
+
+class ShardOracleTest : public ::testing::TestWithParam<OracleCase> {};
+
+TEST_P(ShardOracleTest, ShardCountIsInvisibleInAnswers) {
+  const PolicyKind policy = GetParam().policy;
+  const AttributeKind attribute = GetParam().attribute;
+  const size_t shards = TestShardCount();
+
+  // A compact but flush-heavy configuration: ~300-byte records against a
+  // 256 KiB total budget mean dozens of flush cycles over the run, with a
+  // vocabulary small enough that posting lists get real depth.
+  TweetGeneratorOptions stream;
+  stream.seed = 20160516;  // deterministic; pass-once == pass-always
+  stream.vocabulary_size = 3000;
+  stream.num_users = 1500;
+  stream.num_hotspots = 16;
+  const size_t kBudget = 256 * 1024;
+  const uint64_t kTweets = attribute == AttributeKind::kKeyword ? 20'000
+                                                                : 12'000;
+  const uint64_t kProbeEvery = 2'000;
+  const size_t kQueriesPerProbe = 25;
+
+  Deployment one(policy, attribute, 1, stream, kBudget);
+  Deployment many(policy, attribute, shards, stream, kBudget);
+  Baseline base(policy, attribute, stream, kBudget);
+  ASSERT_EQ(many.store.num_shards(), shards);
+
+  QueryWorkloadOptions workload;
+  workload.seed = 777;
+  workload.kind = WorkloadKind::kCorrelated;
+  workload.attribute = attribute;
+  QueryGenerator queries(workload, stream);
+
+  const std::vector<GeoPoint> hotspots = MakeHotspots(stream);
+
+  uint64_t streamed = 0;
+  uint32_t next_k_churn = 14;  // mid-run SetK churn (paper §IV-C)
+  while (streamed < kTweets) {
+    for (uint64_t i = 0; i < kProbeEvery && streamed < kTweets; ++i) {
+      one.StreamOne();
+      many.StreamOne();
+      base.StreamOne();
+      ++streamed;
+    }
+
+    // The same query objects probe every deployment.
+    for (size_t q = 0; q < kQueriesPerProbe; ++q) {
+      const TopKQuery query = queries.Next();
+      auto ra = one.store.engine()->Execute(query);
+      auto rb = many.store.engine()->Execute(query);
+      ASSERT_TRUE(ra.ok()) << DescribeQuery(query);
+      ASSERT_TRUE(rb.ok()) << DescribeQuery(query);
+      ExpectSameAnswers(ra.value(), rb.value(),
+                        "probe@" + std::to_string(streamed) + " " +
+                            DescribeQuery(query));
+      if (query.type != QueryType::kAnd) {
+        // Baseline agreement (AND excluded: the fan-out layer evaluates
+        // AND exactly; the baseline hit path serves memory-resident
+        // containment, a function of flush timing).
+        auto rc = base.engine.Execute(query);
+        ASSERT_TRUE(rc.ok()) << DescribeQuery(query);
+        ExpectSameAnswers(ra.value(), rc.value(),
+                          "baseline@" + std::to_string(streamed) + " " +
+                              DescribeQuery(query));
+      }
+    }
+
+    if (attribute == AttributeKind::kSpatial) {
+      // Area fan-out: a box around each of three hotspots — multi-tile
+      // OR queries that hit several tile owners at shards > 1.
+      for (size_t h = 0; h < 3 && h < hotspots.size(); ++h) {
+        const GeoPoint c = hotspots[h];
+        auto ra = one.store.engine()->SearchArea(c.lat - 0.08, c.lon - 0.08,
+                                                 c.lat + 0.08, c.lon + 0.08);
+        auto rb = many.store.engine()->SearchArea(c.lat - 0.08, c.lon - 0.08,
+                                                  c.lat + 0.08, c.lon + 0.08);
+        auto rc = base.engine.SearchArea(c.lat - 0.08, c.lon - 0.08,
+                                         c.lat + 0.08, c.lon + 0.08);
+        ASSERT_TRUE(ra.ok());
+        ASSERT_TRUE(rb.ok());
+        ASSERT_TRUE(rc.ok());
+        const std::string label =
+            "area hotspot " + std::to_string(h) + "@" +
+            std::to_string(streamed);
+        ExpectSameAnswers(ra.value(), rb.value(), label);
+        ExpectSameAnswers(ra.value(), rc.value(), label + " (baseline)");
+      }
+    }
+    if (attribute == AttributeKind::kUser) {
+      // The user surface proper (kSingle over TermForUser).
+      for (UserId user = 1; user <= 5; ++user) {
+        auto ra = one.store.engine()->SearchUser(user);
+        auto rb = many.store.engine()->SearchUser(user);
+        auto rc = base.engine.SearchUser(user);
+        ASSERT_TRUE(ra.ok());
+        ASSERT_TRUE(rb.ok());
+        ASSERT_TRUE(rc.ok());
+        const std::string label =
+            "user " + std::to_string(user) + "@" + std::to_string(streamed);
+        ExpectSameAnswers(ra.value(), rb.value(), label);
+        ExpectSameAnswers(ra.value(), rc.value(), label + " (baseline)");
+      }
+    }
+
+    // SetK churn at the halfway probe, applied identically everywhere;
+    // policies pick the new k up at their next flush cycle.
+    if (streamed >= kTweets / 2 && next_k_churn != 0) {
+      one.store.SetK(next_k_churn);
+      many.store.SetK(next_k_churn);
+      base.store.SetK(next_k_churn);
+      next_k_churn = 0;
+    }
+  }
+
+  // Both deployments consumed the identical stream.
+  ASSERT_EQ(one.tweets.generated(), many.tweets.generated());
+  ASSERT_EQ(one.store.sharded_ingest_stats().submitted,
+            many.store.sharded_ingest_stats().submitted);
+  ASSERT_EQ(one.store.sharded_ingest_stats().skipped_no_terms,
+            many.store.sharded_ingest_stats().skipped_no_terms);
+
+  // The single-shard deployment must have flushed (otherwise the oracle
+  // only ever compared in-memory stores and proves nothing about flush
+  // correctness).
+  ASSERT_GT(one.store.AggregatedPolicyStats().flush_cycles, 0u);
+
+  ReconcileDeployment(&one, "shards=1");
+  ReconcileDeployment(&many, "shards=N");
+}
+
+std::vector<OracleCase> AllCases() {
+  std::vector<OracleCase> cases;
+  for (PolicyKind policy : testing_util::AllPolicies()) {
+    for (AttributeKind attribute :
+         {AttributeKind::kKeyword, AttributeKind::kSpatial,
+          AttributeKind::kUser}) {
+      cases.push_back({policy, attribute});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPoliciesAllAttributes, ShardOracleTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+}  // namespace
+}  // namespace kflush

@@ -3,6 +3,7 @@
 #ifndef KFLUSH_TESTS_TESTING_TEST_UTIL_H_
 #define KFLUSH_TESTS_TESTING_TEST_UTIL_H_
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -67,6 +68,29 @@ inline void FillRoundRobin(MicroblogStore* store, size_t n, size_t distinct,
 inline std::vector<PolicyKind> AllPolicies() {
   return {PolicyKind::kFifo, PolicyKind::kLru, PolicyKind::kKFlushing,
           PolicyKind::kKFlushingMK};
+}
+
+/// Field-wise record equality (Microblog has no operator==): the
+/// differential oracle's definition of "byte-identical answers".
+inline bool RecordsEqual(const Microblog& a, const Microblog& b) {
+  return a.id == b.id && a.created_at == b.created_at &&
+         a.user_id == b.user_id && a.follower_count == b.follower_count &&
+         a.has_location == b.has_location &&
+         (!a.has_location || (a.location.lat == b.location.lat &&
+                              a.location.lon == b.location.lon)) &&
+         a.text == b.text && a.keywords == b.keywords;
+}
+
+/// Shard count for the sharded differential tests: the KFLUSH_TEST_SHARDS
+/// environment variable when set (the CI matrix runs the tier-1 shard leg
+/// at 1 and 4), else 4. Values below 1 fall back to the default.
+inline size_t TestShardCount() {
+  const char* env = std::getenv("KFLUSH_TEST_SHARDS");
+  if (env != nullptr && *env != '\0') {
+    const long v = std::atol(env);
+    if (v >= 1) return static_cast<size_t>(v);
+  }
+  return 4;
 }
 
 }  // namespace testing_util

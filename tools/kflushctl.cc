@@ -118,6 +118,12 @@ ExperimentConfig ConfigFromFlags(const Flags& flags) {
       static_cast<uint64_t>(flags.GetInt("hot-size", 0));
   config.store.phase3_by_query_time =
       flags.Get("phase3-order", "queried") != "arrived";
+  const long shards = flags.GetInt("shards", 1);
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    std::exit(2);
+  }
+  config.shards = static_cast<size_t>(shards);
   return config;
 }
 
@@ -201,12 +207,14 @@ int CmdReplay(const Flags& flags) {
 
 void PrintExperiment(const ExperimentConfig& config,
                      const ExperimentResult& result) {
-  std::printf("policy=%s attribute=%s workload=%s k=%u memory=%zuMB B=%.0f%%\n",
-              PolicyKindName(config.store.policy),
-              AttributeKindName(config.store.attribute),
-              WorkloadKindName(config.workload.kind), config.store.k,
-              config.store.memory_budget_bytes >> 20,
-              config.store.flush_fraction * 100.0);
+  std::printf(
+      "policy=%s attribute=%s workload=%s k=%u memory=%zuMB B=%.0f%% "
+      "shards=%zu\n",
+      PolicyKindName(config.store.policy),
+      AttributeKindName(config.store.attribute),
+      WorkloadKindName(config.workload.kind), config.store.k,
+      config.store.memory_budget_bytes >> 20,
+      config.store.flush_fraction * 100.0, config.shards);
   std::printf("  %s\n", result.ToString().c_str());
 }
 
@@ -275,6 +283,7 @@ void Usage() {
       "  experiment [--policy P] [--workload correlated|uniform]\n"
       "             [--attribute keyword|spatial|user] [--k K]\n"
       "             [--memory-mb M] [--flush-pct B] [--queries N] [--seed S]\n"
+      "             [--shards N]\n"
       "  compare    [same flags as experiment]\n"
       "  trace      --out FILE [same flags as experiment]\n"
       "flags:\n"

@@ -5,11 +5,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
+#include "bench_util.h"
 #include "core/store.h"
 #include "core/trace.h"
 #include "gen/tweet_generator.h"
 #include "index/inverted_index.h"
 #include "storage/serde.h"
+#include "util/clock.h"
 #include "util/zipf.h"
 
 namespace kflush {
@@ -177,7 +181,195 @@ void BM_TraceInstantEnabled(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceInstantEnabled);
 
+// ---------------------------------------------------------------------------
+// --breakdown mode: per-insert digestion cost, phase by phase.
+//
+// Runs outside google-benchmark: a real-path gate loop (store.Insert over
+// pre-generated tweets, min CPU/insert across repetitions — the number the
+// perf gate in scripts/validate_bench_json.py ratchets against) plus an
+// instrumented loop that drives the same pipeline component by component to
+// attribute the cost to tokenize / route / store / index / account phases.
+// Emits BENCH_insert_breakdown.json (WriteBenchJson schema; validated by
+// CI's bench-smoke job).
+// ---------------------------------------------------------------------------
+
+struct InsertBreakdown {
+  uint64_t tokenize_ns = 0;  // attribute term extraction
+  uint64_t route_ns = 0;     // id/timestamp stamping + ranking score
+  uint64_t store_ns = 0;     // raw-store put (arena-backed blob encode)
+  uint64_t index_ns = 0;     // policy insert into the inverted index
+  uint64_t account_ns = 0;   // budget check + any inline flush it triggers
+};
+
+std::vector<Microblog> GenerateTweets(size_t n) {
+  TweetGeneratorOptions gopts;
+  gopts.vocabulary_size = 100000;
+  TweetGenerator gen(gopts);
+  std::vector<Microblog> tweets;
+  tweets.reserve(n);
+  for (size_t i = 0; i < n; ++i) tweets.push_back(gen.Next());
+  return tweets;
+}
+
+StoreOptions BreakdownStoreOptions(PolicyKind policy) {
+  StoreOptions opts;
+  opts.policy = policy;
+  opts.memory_budget_bytes = 64 << 20;
+  opts.k = 20;
+  return opts;
+}
+
+/// Real-path cost: CPU ns per store.Insert, minimum over `reps` runs (the
+/// min is the stable estimator for thread CPU time under host noise).
+uint64_t GateCpuNsPerInsert(PolicyKind policy,
+                            const std::vector<Microblog>& tweets, int reps) {
+  uint64_t best = ~uint64_t{0};
+  for (int rep = 0; rep < reps; ++rep) {
+    MicroblogStore store(BreakdownStoreOptions(policy));
+    std::vector<Microblog> batch = tweets;  // consumed by move below
+    const uint64_t begin = ThreadCpuNanos();
+    for (Microblog& tweet : batch) {
+      Status s = store.Insert(std::move(tweet));
+      benchmark::DoNotOptimize(s.ok());
+    }
+    const uint64_t per_insert = (ThreadCpuNanos() - begin) / tweets.size();
+    best = std::min(best, per_insert);
+  }
+  return best;
+}
+
+/// Phase attribution: drives the store's own components through the same
+/// sequence MicroblogStore::Insert runs, a thread-CPU clock read between
+/// phases. The clock reads add overhead the real path does not pay, so the
+/// phase sum runs above the gate number; shares are what matter here.
+InsertBreakdown BreakdownPhases(PolicyKind policy,
+                                const std::vector<Microblog>& tweets,
+                                MetricsSnapshot* store_metrics) {
+  MicroblogStore store(BreakdownStoreOptions(policy));
+  InsertBreakdown total;
+  std::vector<TermId> terms;
+  MicroblogId next_id = 1;
+  for (const Microblog& tweet : tweets) {
+    Microblog blog = tweet;
+    const uint64_t t0 = ThreadCpuNanos();
+    terms.clear();
+    store.extractor()->ExtractTerms(blog, &terms);
+    const uint64_t t1 = ThreadCpuNanos();
+    blog.id = next_id++;
+    blog.created_at = store.clock()->NowMicros();
+    const double score = store.ranking()->Score(blog);
+    const uint64_t t2 = ThreadCpuNanos();
+    if (terms.empty()) continue;
+    Status s = store.raw_store()->Put(blog, static_cast<uint32_t>(terms.size()));
+    benchmark::DoNotOptimize(s.ok());
+    const uint64_t t3 = ThreadCpuNanos();
+    store.policy()->Insert(blog, terms, score);
+    const uint64_t t4 = ThreadCpuNanos();
+    if (store.MemoryFull()) store.FlushOnce();
+    const uint64_t t5 = ThreadCpuNanos();
+    total.tokenize_ns += t1 - t0;
+    total.route_ns += t2 - t1;
+    total.store_ns += t3 - t2;
+    total.index_ns += t4 - t3;
+    total.account_ns += t5 - t4;
+  }
+  const uint64_t n = tweets.size();
+  *store_metrics = store.metrics_registry()->Snapshot();
+  return InsertBreakdown{total.tokenize_ns / n, total.route_ns / n,
+                         total.store_ns / n, total.index_ns / n,
+                         total.account_ns / n};
+}
+
+int RunInsertBreakdown(size_t num_inserts) {
+  // Floor of 20K inserts: the perf gate compares bench.insert_cpu_ns across
+  // runs, and tiny samples are dominated by cold caches and scheduler noise.
+  const size_t n = std::max<size_t>(
+      20000, static_cast<size_t>(static_cast<double>(num_inserts) *
+                                 kflush::bench::Scale()));
+  std::printf("=== insert breakdown: %zu inserts/policy, SIMD=%s ===\n", n,
+              simd::kAvx2Enabled ? "avx2" : "scalar");
+  const std::vector<Microblog> tweets = GenerateTweets(n);
+  std::vector<std::pair<std::string, MetricsSnapshot>> per_policy;
+  for (PolicyKind policy :
+       {PolicyKind::kFifo, PolicyKind::kLru, PolicyKind::kKFlushing,
+        PolicyKind::kKFlushingMK}) {
+    const uint64_t gate_ns = GateCpuNsPerInsert(policy, tweets, /*reps=*/5);
+    MetricsSnapshot store_metrics;
+    const InsertBreakdown phases =
+        BreakdownPhases(policy, tweets, &store_metrics);
+    const uint64_t phase_sum = phases.tokenize_ns + phases.route_ns +
+                               phases.store_ns + phases.index_ns +
+                               phases.account_ns;
+    MetricsSnapshot snap;
+    snap.counters["ingest.inserted"] = n;
+    snap.gauges["bench.inserts"] = static_cast<int64_t>(n);
+    snap.gauges["bench.insert_cpu_ns"] = static_cast<int64_t>(gate_ns);
+    snap.gauges["bench.tweets_per_sec"] =
+        static_cast<int64_t>(gate_ns == 0 ? 0 : 1'000'000'000ull / gate_ns);
+    snap.gauges["bench.phase_ns.tokenize"] =
+        static_cast<int64_t>(phases.tokenize_ns);
+    snap.gauges["bench.phase_ns.route"] = static_cast<int64_t>(phases.route_ns);
+    snap.gauges["bench.phase_ns.store"] = static_cast<int64_t>(phases.store_ns);
+    snap.gauges["bench.phase_ns.index"] = static_cast<int64_t>(phases.index_ns);
+    snap.gauges["bench.phase_ns.account"] =
+        static_cast<int64_t>(phases.account_ns);
+    snap.gauges["bench.phase_ns.sum"] = static_cast<int64_t>(phase_sum);
+    std::printf(
+        "%-14s %6lu ns/insert (%lu tweets/s) | tokenize %lu route %lu "
+        "store %lu index %lu account %lu (sum %lu, incl. timer overhead)\n",
+        PolicyKindName(policy), static_cast<unsigned long>(gate_ns),
+        static_cast<unsigned long>(gate_ns == 0 ? 0
+                                                : 1'000'000'000ull / gate_ns),
+        static_cast<unsigned long>(phases.tokenize_ns),
+        static_cast<unsigned long>(phases.route_ns),
+        static_cast<unsigned long>(phases.store_ns),
+        static_cast<unsigned long>(phases.index_ns),
+        static_cast<unsigned long>(phases.account_ns),
+        static_cast<unsigned long>(phase_sum));
+    // Flush attribution from the instrumented run (the `account` phase in
+    // bulk is flush amortization; this splits it by policy phase).
+    const auto& counters = store_metrics.counters;
+    auto counter = [&](const char* name) -> uint64_t {
+      auto it = counters.find(name);
+      return it == counters.end() ? 0 : it->second;
+    };
+    std::printf(
+        "  flush: %lu cycles, %lu records | phase micros p1 %lu p2 %lu "
+        "p3 %lu\n",
+        static_cast<unsigned long>(counter("flush.cycles")),
+        static_cast<unsigned long>(counter("flush.records_flushed")),
+        static_cast<unsigned long>(counter("flush.phase1.micros")),
+        static_cast<unsigned long>(counter("flush.phase2.micros")),
+        static_cast<unsigned long>(counter("flush.phase3.micros")));
+    for (const char* name :
+         {"flush.cycles", "flush.records_flushed", "flush.phase1.micros",
+          "flush.phase2.micros", "flush.phase3.micros"}) {
+      snap.counters[name] = counter(name);
+    }
+    per_policy.emplace_back(PolicyKindName(policy), std::move(snap));
+  }
+  return kflush::bench::WriteBenchJson("insert_breakdown", per_policy).empty()
+             ? 1
+             : 0;
+}
+
 }  // namespace
 }  // namespace kflush
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --breakdown[=N] short-circuits into the phase-attribution mode; every
+  // other invocation runs the google-benchmark suite unchanged.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--breakdown") == 0) {
+      return kflush::RunInsertBreakdown(100000);
+    }
+    if (std::strncmp(argv[i], "--breakdown=", 12) == 0) {
+      return kflush::RunInsertBreakdown(
+          static_cast<size_t>(std::strtoull(argv[i] + 12, nullptr, 10)));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

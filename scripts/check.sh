@@ -86,7 +86,7 @@ job_bench_smoke() {
   local out scale
   build default && cmake --build build -j "${JOBS}" \
       --target bench_snapshot bench_fig5_memory_behavior \
-               bench_shard_scaling || return 1
+               bench_shard_scaling bench_micro || return 1
   out="${KFLUSH_BENCH_OUT:-$(mktemp -d)}"
   mkdir -p "${out}"
   scale="${KFLUSH_BENCH_SCALE:-0.05}"
@@ -94,7 +94,13 @@ job_bench_smoke() {
       ./build/bench/bench_snapshot || return 1
   KFLUSH_BENCH_SCALE="${scale}" KFLUSH_BENCH_OUT="${out}" \
       ./build/bench/bench_shard_scaling || return 1
-  python3 scripts/validate_bench_json.py "${out}"/BENCH_*.json || return 1
+  # Digestion perf gate: per-insert CPU cost vs the committed ratchet
+  # baseline (bench/baselines/). Fails on >10% regression per policy.
+  KFLUSH_BENCH_SCALE="${scale}" KFLUSH_BENCH_OUT="${out}" \
+      ./build/bench/bench_micro --breakdown || return 1
+  python3 scripts/validate_bench_json.py \
+      --baseline bench/baselines/BENCH_baseline.json \
+      "${out}"/BENCH_*.json || return 1
   KFLUSH_BENCH_SCALE="${scale}" KFLUSH_BENCH_OUT="${out}" \
       ./build/bench/bench_fig5_memory_behavior \
       --trace-out "${out}/trace_fig5.json" || return 1

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Schema check for the BENCH_*.json artifacts bench binaries emit.
 
-Usage:  scripts/validate_bench_json.py BENCH_snapshot.json [more.json ...]
+Usage:  scripts/validate_bench_json.py [--baseline FILE] [--tolerance R]
+            BENCH_snapshot.json [more.json ...]
 
 Validates the contract CI's bench-smoke job gates on (and that
 scripts/plot_bench.py & downstream dashboards consume):
@@ -13,6 +14,19 @@ where each <snapshot> is a MetricsSnapshot::ToJson() object holding
 (flush.phaseN.*) and per-query-type latency histograms
 (query.latency_micros.<type>.<hit|miss>) present, and every histogram
 carrying count/min/max/mean/sum and p50/p90/p95/p99 fields.
+
+BENCH_insert_breakdown.json (bench_micro --breakdown) carries a reduced
+snapshot per policy — the digestion-cost gauges (bench.insert_cpu_ns,
+bench.phase_ns.*) plus the flush counters the phase table is printed from —
+and is validated against its own schema.
+
+With --baseline FILE, the insert_breakdown artifact among the inputs is
+additionally gated against the committed baseline: per policy, the
+bench.insert_cpu_ns gauge may not exceed the baseline by more than
+--tolerance (default 0.10, i.e. a 10% regression budget). A win larger
+than the tolerance prints the ratchet command to re-pin the baseline.
+Scale-mismatched baselines are skipped with a warning, not failed — the
+gate only compares like with like.
 
 Exits 0 when every file validates; prints each problem and exits 1
 otherwise. Stdlib only (json) — safe for minimal CI images.
@@ -36,6 +50,19 @@ REQUIRED_GAUGES = ("memory.budget_bytes", "memory.data_used_bytes",
                    "store.resident_records")
 QUERY_TYPES = ("single", "and", "or")
 OUTCOMES = ("hit", "miss")
+
+# Reduced schema for BENCH_insert_breakdown.json: the digestion perf gate
+# reads bench.insert_cpu_ns; the phase table reads bench.phase_ns.*.
+BREAKDOWN_GAUGES = (
+    "bench.inserts", "bench.insert_cpu_ns", "bench.tweets_per_sec",
+    "bench.phase_ns.tokenize", "bench.phase_ns.route", "bench.phase_ns.store",
+    "bench.phase_ns.index", "bench.phase_ns.account", "bench.phase_ns.sum")
+BREAKDOWN_COUNTERS = (
+    "ingest.inserted", "flush.cycles", "flush.records_flushed",
+    "flush.phase1.micros", "flush.phase2.micros", "flush.phase3.micros")
+# The gate metric and its regression budget.
+GATE_GAUGE = "bench.insert_cpu_ns"
+DEFAULT_TOLERANCE = 0.10
 
 
 def check_histogram(errors, where, hist):
@@ -122,7 +149,73 @@ def check_shard_scaling(errors, path, doc):
                 errors.append(f"{where}: missing histogram '{name}'")
 
 
-def check_file(errors, path):
+def check_insert_breakdown(errors, path, doc):
+    """Reduced schema for bench_micro --breakdown output."""
+    for policy, snap in doc["policies"].items():
+        where = f"{path}:{policy}"
+        for key in REQUIRED_SNAPSHOT_KEYS:
+            if key not in snap or not isinstance(snap[key], dict):
+                errors.append(f"{where}: missing or non-object '{key}'")
+                return
+        for name in BREAKDOWN_GAUGES:
+            if name not in snap["gauges"]:
+                errors.append(f"{where}: missing gauge '{name}'")
+        for name in BREAKDOWN_COUNTERS:
+            if name not in snap["counters"]:
+                errors.append(f"{where}: missing counter '{name}'")
+        if snap["gauges"].get(GATE_GAUGE, 0) <= 0:
+            errors.append(f"{where}: gauge '{GATE_GAUGE}' must be > 0")
+
+
+def gate_against_baseline(errors, path, doc, baseline_path, tolerance):
+    """Ratcheting perf gate: per-policy digestion CPU cost vs the committed
+    baseline. Regressions beyond `tolerance` fail; wins beyond it print the
+    command that re-pins the ratchet."""
+    try:
+        with open(baseline_path, encoding="utf-8") as f:
+            base = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        errors.append(f"{baseline_path}: unreadable baseline: {e}")
+        return
+    if base.get("bench") != doc.get("bench"):
+        errors.append(f"{baseline_path}: baseline bench "
+                      f"'{base.get('bench')}' != '{doc.get('bench')}'")
+        return
+    if base.get("scale") != doc.get("scale"):
+        print(f"NOTE perf gate skipped: baseline scale {base.get('scale')} "
+              f"!= current scale {doc.get('scale')} (re-record the baseline "
+              f"at the CI scale to arm the gate)")
+        return
+    wins = []
+    for policy, snap in base.get("policies", {}).items():
+        base_ns = snap.get("gauges", {}).get(GATE_GAUGE)
+        cur_snap = doc["policies"].get(policy)
+        if base_ns is None or base_ns <= 0:
+            continue
+        if cur_snap is None:
+            errors.append(f"{path}: policy '{policy}' present in baseline "
+                          f"but missing from current run")
+            continue
+        cur_ns = cur_snap.get("gauges", {}).get(GATE_GAUGE, 0)
+        ratio = cur_ns / base_ns
+        verdict = "ok"
+        if ratio > 1 + tolerance:
+            errors.append(
+                f"{path}: perf regression: {policy} {GATE_GAUGE} "
+                f"{cur_ns:.0f}ns vs baseline {base_ns:.0f}ns "
+                f"({(ratio - 1) * 100:+.1f}%, budget {tolerance * 100:.0f}%)")
+            verdict = "REGRESSION"
+        elif ratio < 1 - tolerance:
+            wins.append(policy)
+            verdict = "win"
+        print(f"gate {policy}: {cur_ns:.0f}ns vs baseline {base_ns:.0f}ns "
+              f"({(ratio - 1) * 100:+.1f}%) {verdict}")
+    if wins:
+        print(f"perf win on {', '.join(wins)} — ratchet the baseline with:\n"
+              f"  cp {path} {baseline_path}")
+
+
+def check_file(errors, path, baseline=None, tolerance=DEFAULT_TOLERANCE):
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -139,6 +232,11 @@ def check_file(errors, path):
     if not isinstance(policies, dict) or not policies:
         errors.append(f"{path}: 'policies' is empty or not an object")
         return
+    if doc["bench"] == "insert_breakdown":
+        check_insert_breakdown(errors, path, doc)
+        if baseline is not None and not errors:
+            gate_against_baseline(errors, path, doc, baseline, tolerance)
+        return
     for policy, snap in policies.items():
         check_snapshot(errors, f"{path}:{policy}", snap)
     if doc["bench"] == "shard_scaling":
@@ -146,18 +244,39 @@ def check_file(errors, path):
 
 
 def main(argv):
-    if len(argv) < 2:
+    baseline = None
+    tolerance = DEFAULT_TOLERANCE
+    files = []
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--baseline":
+            i += 1
+            if i >= len(argv):
+                print("--baseline needs a file argument", file=sys.stderr)
+                return 2
+            baseline = argv[i]
+        elif arg == "--tolerance":
+            i += 1
+            if i >= len(argv):
+                print("--tolerance needs a number argument", file=sys.stderr)
+                return 2
+            tolerance = float(argv[i])
+        else:
+            files.append(arg)
+        i += 1
+    if not files:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     errors = []
-    for path in argv[1:]:
-        check_file(errors, path)
+    for path in files:
+        check_file(errors, path, baseline=baseline, tolerance=tolerance)
     for err in errors:
         print(f"FAIL {err}")
     if errors:
-        print(f"{len(errors)} problem(s) in {len(argv) - 1} file(s)")
+        print(f"{len(errors)} problem(s) in {len(files)} file(s)")
         return 1
-    print(f"OK: {len(argv) - 1} file(s) validate")
+    print(f"OK: {len(files)} file(s) validate")
     return 0
 
 

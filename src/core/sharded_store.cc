@@ -40,15 +40,21 @@ Status ShardedMicroblogStore::Insert(Microblog blog) {
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
 
-  std::vector<TermId> terms;
+  // Per-thread scratch: the routing buffers never escape this frame, and
+  // resizing `owned` only on shard-count growth keeps the per-insert cost
+  // at clearing the few sublists actually touched last time.
+  static thread_local std::vector<TermId> terms;
+  static thread_local std::vector<std::vector<TermId>> owned;
+  static thread_local std::vector<size_t> owners;
   extractor_->ExtractTerms(blog, &terms);
   if (terms.empty()) {
     skipped_no_terms_.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
   }
 
-  std::vector<std::vector<TermId>> owned(shards_.size());
-  std::vector<size_t> owners;
+  if (owned.size() < shards_.size()) owned.resize(shards_.size());
+  for (size_t owner : owners) owned[owner].clear();
+  owners.clear();
   for (TermId term : terms) {
     const size_t owner = router_.ShardForTerm(term);
     if (owned[owner].empty()) owners.push_back(owner);

@@ -116,11 +116,13 @@ Status MicroblogStore::Insert(Microblog blog) {
     blog.created_at = clock_->NowMicros();
   }
 
-  std::vector<TermId> terms;
+  // Scratch vector: term extraction runs on every insert, and the terms
+  // never escape this frame, so reuse one buffer per ingest thread
+  // (ExtractTerms clears it).
+  static thread_local std::vector<TermId> terms;
   extractor_->ExtractTerms(blog, &terms);
   if (terms.empty()) {
-    std::lock_guard<std::mutex> lock(ingest_stats_mu_);
-    ++ingest_stats_.skipped_no_terms;
+    skipped_no_terms_.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
   }
   return InsertIndexed(std::move(blog), terms);
@@ -146,11 +148,7 @@ Status MicroblogStore::InsertIndexed(Microblog blog,
   KFLUSH_RETURN_IF_ERROR(
       raw_store_.Put(blog, static_cast<uint32_t>(terms.size())));
   policy_->Insert(blog, terms, score);
-
-  {
-    std::lock_guard<std::mutex> lock(ingest_stats_mu_);
-    ++ingest_stats_.inserted;
-  }
+  inserted_.fetch_add(1, std::memory_order_relaxed);
 
   if (options_.auto_flush && tracker_.DataFull()) {
     FlushOnce();
@@ -174,10 +172,7 @@ size_t MicroblogStore::FlushOnce() {
   // At most one flush cycle at a time; concurrent triggers coalesce.
   if (flush_in_flight_.exchange(true)) return 0;
   std::lock_guard<std::mutex> lock(flush_mu_);
-  {
-    std::lock_guard<std::mutex> slock(ingest_stats_mu_);
-    ++ingest_stats_.flush_triggers;
-  }
+  flush_triggers_.fetch_add(1, std::memory_order_relaxed);
   const size_t freed = policy_->Flush(FlushBudgetBytes());
   flush_in_flight_.store(false);
   KFLUSH_DEBUG("flush freed " << freed << " bytes; " << tracker_.ToString());
@@ -198,8 +193,11 @@ TermId MicroblogStore::TermForLocation(double lat, double lon) const {
 }
 
 IngestStats MicroblogStore::ingest_stats() const {
-  std::lock_guard<std::mutex> lock(ingest_stats_mu_);
-  return ingest_stats_;
+  IngestStats stats;
+  stats.inserted = inserted_.load(std::memory_order_relaxed);
+  stats.skipped_no_terms = skipped_no_terms_.load(std::memory_order_relaxed);
+  stats.flush_triggers = flush_triggers_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace kflush

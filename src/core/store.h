@@ -163,8 +163,11 @@ class MicroblogStore {
   std::mutex flush_mu_;
   std::atomic<bool> flush_in_flight_{false};
 
-  mutable std::mutex ingest_stats_mu_;
-  IngestStats ingest_stats_;
+  // Relaxed counters: every insert bumps one of these, so the hot path
+  // must not funnel through a mutex; ingest_stats() assembles a snapshot.
+  std::atomic<uint64_t> inserted_{0};
+  std::atomic<uint64_t> skipped_no_terms_{0};
+  std::atomic<uint64_t> flush_triggers_{0};
 
   /// Declared last so it is destroyed first: the provider registered in
   /// the constructor captures `this` and reads the components above.

@@ -29,38 +29,12 @@ const InvertedIndex::Shard& InvertedIndex::ShardFor(TermId term) const {
   return shards_[MixHash(term) % kNumShards];
 }
 
-void InvertedIndex::Charge(size_t bytes) {
-  bytes_.fetch_add(bytes, std::memory_order_relaxed);
-  if (tracker_ != nullptr) tracker_->Charge(MemoryComponent::kIndex, bytes);
-}
-
-void InvertedIndex::Release(size_t bytes) {
-  bytes_.fetch_sub(bytes, std::memory_order_relaxed);
-  if (tracker_ != nullptr) tracker_->Release(MemoryComponent::kIndex, bytes);
-}
-
 IndexInsertResult InvertedIndex::Insert(TermId term, MicroblogId id,
                                         double score, Timestamp now, size_t k,
                                         const TopKChargeFn& on_charge,
                                         const TopKChargeFn& on_uncharge) {
-  Shard& shard = ShardFor(term);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto [it, inserted] = shard.entries.try_emplace(term);
-  Entry& entry = it->second;
-  if (inserted) {
-    num_entries_.fetch_add(1, std::memory_order_relaxed);
-    Charge(kBytesPerEntry);
-  }
-  entry.last_arrival = now;
-  PostingInsertResult pres =
-      entry.postings.Insert(id, score, k, on_charge, on_uncharge);
-  num_postings_.fetch_add(1, std::memory_order_relaxed);
-  Charge(PostingList::kBytesPerPosting);
-
-  IndexInsertResult result;
-  result.size_after = pres.size_after;
-  result.insert_pos = pres.insert_pos;
-  return result;
+  return InsertWith(term, id, score, now, k, MaybeChargeFn{on_charge},
+                    MaybeChargeFn{on_uncharge});
 }
 
 size_t InvertedIndex::Query(TermId term, size_t limit, Timestamp now,
@@ -127,13 +101,20 @@ size_t InvertedIndex::TrimBeyondK(
   const size_t trimmed = it->second.postings.TrimBeyondK(
       k, should_trim, out, on_charge, on_uncharge);
   if (trimmed > 0) {
-    num_postings_.fetch_sub(trimmed, std::memory_order_relaxed);
-    Release(trimmed * PostingList::kBytesPerPosting);
+    shard.num_postings.Sub(trimmed);
+    shard.bytes.Sub(trimmed * PostingList::kBytesPerPosting);
+    if (tracker_ != nullptr) {
+      tracker_->Release(MemoryComponent::kIndex,
+                        trimmed * PostingList::kBytesPerPosting);
+    }
   }
   if (it->second.postings.empty()) {
     shard.entries.erase(it);
-    num_entries_.fetch_sub(1, std::memory_order_relaxed);
-    Release(kBytesPerEntry);
+    shard.num_entries.Sub(1);
+    shard.bytes.Sub(kBytesPerEntry);
+    if (tracker_ != nullptr) {
+      tracker_->Release(MemoryComponent::kIndex, kBytesPerEntry);
+    }
   }
   return trimmed;
 }
@@ -150,13 +131,20 @@ size_t InvertedIndex::RemoveMatching(
   const size_t removed = it->second.postings.RemoveIf(
       k, should_remove, on_removed, on_charge, on_uncharge);
   if (removed > 0) {
-    num_postings_.fetch_sub(removed, std::memory_order_relaxed);
-    Release(removed * PostingList::kBytesPerPosting);
+    shard.num_postings.Sub(removed);
+    shard.bytes.Sub(removed * PostingList::kBytesPerPosting);
+    if (tracker_ != nullptr) {
+      tracker_->Release(MemoryComponent::kIndex,
+                        removed * PostingList::kBytesPerPosting);
+    }
   }
   if (it->second.postings.empty()) {
     shard.entries.erase(it);
-    num_entries_.fetch_sub(1, std::memory_order_relaxed);
-    Release(kBytesPerEntry);
+    shard.num_entries.Sub(1);
+    shard.bytes.Sub(kBytesPerEntry);
+    if (tracker_ != nullptr) {
+      tracker_->Release(MemoryComponent::kIndex, kBytesPerEntry);
+    }
   }
   return removed;
 }
@@ -181,12 +169,18 @@ bool InvertedIndex::RemoveId(TermId term, MicroblogId id, size_t k,
                                   on_uncharge)) {
     return false;
   }
-  num_postings_.fetch_sub(1, std::memory_order_relaxed);
-  Release(PostingList::kBytesPerPosting);
+  shard.num_postings.Sub(1);
+  shard.bytes.Sub(PostingList::kBytesPerPosting);
+  if (tracker_ != nullptr) {
+    tracker_->Release(MemoryComponent::kIndex, PostingList::kBytesPerPosting);
+  }
   if (it->second.postings.empty()) {
     shard.entries.erase(it);
-    num_entries_.fetch_sub(1, std::memory_order_relaxed);
-    Release(kBytesPerEntry);
+    shard.num_entries.Sub(1);
+    shard.bytes.Sub(kBytesPerEntry);
+    if (tracker_ != nullptr) {
+      tracker_->Release(MemoryComponent::kIndex, kBytesPerEntry);
+    }
   }
   return true;
 }
@@ -218,8 +212,23 @@ void InvertedIndex::ForEachEntry(
   }
 }
 
+void InvertedIndex::Snapshot(IndexSnapshot* snap) const {
+  snap->Clear();
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [term, entry] : shard.entries) {
+      snap->terms.push_back(term);
+      snap->counts.push_back(static_cast<uint32_t>(entry.postings.size()));
+      snap->last_arrival.push_back(entry.last_arrival);
+      snap->last_query.push_back(entry.last_query);
+    }
+  }
+}
+
 size_t InvertedIndex::NumEntries() const {
-  return num_entries_.load(std::memory_order_relaxed);
+  size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.num_entries.Get();
+  return total;
 }
 
 size_t InvertedIndex::NumEntriesWithAtLeast(size_t k) const {
@@ -234,22 +243,39 @@ size_t InvertedIndex::NumEntriesWithAtLeast(size_t k) const {
 }
 
 size_t InvertedIndex::TotalPostings() const {
-  return num_postings_.load(std::memory_order_relaxed);
+  size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.num_postings.Get();
+  return total;
 }
 
 size_t InvertedIndex::MemoryBytes() const {
-  return bytes_.load(std::memory_order_relaxed);
+  size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.bytes.Get();
+  return total;
+}
+
+size_t InvertedIndex::PoolFootprintBytes() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.pool.FootprintBytes();
+  }
+  return total;
 }
 
 void InvertedIndex::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (auto& [term, entry] : shard.entries) {
-      Release(entry.postings.size() * PostingList::kBytesPerPosting +
-              kBytesPerEntry);
-      num_postings_.fetch_sub(entry.postings.size(),
-                              std::memory_order_relaxed);
-      num_entries_.fetch_sub(1, std::memory_order_relaxed);
+      const size_t bytes =
+          entry.postings.size() * PostingList::kBytesPerPosting +
+          kBytesPerEntry;
+      shard.bytes.Sub(bytes);
+      shard.num_postings.Sub(entry.postings.size());
+      shard.num_entries.Sub(1);
+      if (tracker_ != nullptr) {
+        tracker_->Release(MemoryComponent::kIndex, bytes);
+      }
     }
     shard.entries.clear();
   }

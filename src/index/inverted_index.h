@@ -7,12 +7,15 @@
 // The table is sharded; each shard holds its own hash map behind a mutex so
 // the digestion thread, query threads, and the flushing thread contend only
 // on colliding shards. This realizes the paper's "entries are locked one at
-// a time so that atomicity overhead is negligible".
+// a time so that atomicity overhead is negligible". Each shard also owns a
+// SlabPool from which its posting lists draw block storage (see
+// posting_block.h), and its statistics counters are shard-local relaxed
+// counters aggregated on read — the digestion hot path touches no shared
+// atomic.
 
 #ifndef KFLUSH_INDEX_INVERTED_INDEX_H_
 #define KFLUSH_INDEX_INVERTED_INDEX_H_
 
-#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -22,6 +25,7 @@
 #include "index/posting_list.h"
 #include "util/clock.h"
 #include "util/memory_tracker.h"
+#include "util/relaxed_counter.h"
 
 namespace kflush {
 
@@ -41,6 +45,25 @@ struct EntryMeta {
   size_t bytes = 0;
   Timestamp last_arrival = 0;
   Timestamp last_query = 0;
+};
+
+/// Column-oriented snapshot of every entry's scan metadata, one row per
+/// entry. The kFlushing phase scans consume this instead of a per-entry
+/// callback: the flat count/timestamp arrays are SIMD-scannable
+/// (util/simd.h) and the vectors' capacity survives across cycles.
+struct IndexSnapshot {
+  std::vector<TermId> terms;
+  std::vector<uint32_t> counts;
+  std::vector<Timestamp> last_arrival;
+  std::vector<Timestamp> last_query;
+
+  size_t size() const { return terms.size(); }
+  void Clear() {
+    terms.clear();
+    counts.clear();
+    last_arrival.clear();
+    last_query.clear();
+  }
 };
 
 /// Sharded hash inverted index. Thread-safe.
@@ -67,8 +90,46 @@ class InvertedIndex {
   /// concurrent eviction of the same entry then observes either both or
   /// neither. The callbacks must not reenter the index (they may take
   /// raw-store locks: index -> raw is the documented lock order).
+  ///
+  /// This template takes the callbacks by reference so charge-free callers
+  /// (k == 0 with NoChargeFn) compile the bookkeeping away; the
+  /// std::function overload below serves policy code.
+  template <typename ChargeFn, typename UnchargeFn>
+  IndexInsertResult InsertWith(TermId term, MicroblogId id, double score,
+                               Timestamp now, size_t k,
+                               const ChargeFn& on_charge,
+                               const UnchargeFn& on_uncharge) {
+    Shard& shard = ShardFor(term);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.entries.try_emplace(term, &shard.pool);
+    Entry& entry = it->second;
+    size_t charged = PostingList::kBytesPerPosting;
+    if (inserted) {
+      shard.num_entries.Add(1);
+      charged += kBytesPerEntry;
+    }
+    entry.last_arrival = now;
+    const PostingInsertResult pres =
+        entry.postings.InsertWith(id, score, k, on_charge, on_uncharge);
+    shard.num_postings.Add(1);
+    shard.bytes.Add(charged);
+    if (tracker_ != nullptr) {
+      tracker_->Charge(MemoryComponent::kIndex, charged);
+    }
+    return IndexInsertResult{pres.size_after, pres.insert_pos};
+  }
+
+  /// Charge-free insert (FIFO segments, non-MK policies): the whole top-k
+  /// charge machinery compiles to nothing.
   IndexInsertResult Insert(TermId term, MicroblogId id, double score,
-                           Timestamp now, size_t k = 0,
+                           Timestamp now) {
+    return InsertWith(term, id, score, now, /*k=*/0, NoChargeFn{},
+                      NoChargeFn{});
+  }
+
+  /// std::function overload; empty callbacks are allowed and skipped.
+  IndexInsertResult Insert(TermId term, MicroblogId id, double score,
+                           Timestamp now, size_t k,
                            const TopKChargeFn& on_charge = {},
                            const TopKChargeFn& on_uncharge = {});
 
@@ -140,6 +201,11 @@ class InvertedIndex {
   /// time under their lock; the callback must not reenter the index.
   void ForEachEntry(const std::function<void(const EntryMeta&)>& fn) const;
 
+  /// Fills `snap` with one row per entry (Clear()ed first; capacity is
+  /// reused). Shards are visited one at a time under their lock, so the
+  /// snapshot is per-shard-consistent, like ForEachEntry.
+  void Snapshot(IndexSnapshot* snap) const;
+
   size_t NumEntries() const;
 
   /// Number of entries holding at least `k` postings (the paper's
@@ -151,11 +217,16 @@ class InvertedIndex {
   /// Index-side bytes currently charged (entries + postings).
   size_t MemoryBytes() const;
 
+  /// Bytes the per-shard posting pools hold from the OS (physical slab
+  /// footprint backing MemoryBytes' logical accounting).
+  size_t PoolFootprintBytes() const;
+
   /// Removes everything (releases all charged bytes).
   void Clear();
 
  private:
   struct Entry {
+    explicit Entry(SlabPool* pool) : postings(pool) {}
     PostingList postings;
     Timestamp last_arrival = 0;
     Timestamp last_query = 0;
@@ -163,7 +234,14 @@ class InvertedIndex {
 
   struct Shard {
     mutable std::mutex mu;
+    // Declared before `entries` so it outlives them on destruction:
+    // posting blocks never outlive their pool.
+    SlabPool pool;
     std::unordered_map<TermId, Entry> entries;
+    // Written only under `mu`, read lock-free by the aggregating getters.
+    ShardCounter bytes;
+    ShardCounter num_entries;
+    ShardCounter num_postings;
   };
 
   static constexpr size_t kNumShards = 64;
@@ -171,14 +249,8 @@ class InvertedIndex {
   Shard& ShardFor(TermId term);
   const Shard& ShardFor(TermId term) const;
 
-  void Charge(size_t bytes);
-  void Release(size_t bytes);
-
   MemoryTracker* tracker_;
   std::vector<Shard> shards_;
-  std::atomic<size_t> bytes_{0};
-  std::atomic<size_t> num_entries_{0};
-  std::atomic<size_t> num_postings_{0};
 };
 
 }  // namespace kflush

@@ -1,0 +1,233 @@
+#include "index/posting_block.h"
+
+#include <cassert>
+#include <cstring>
+#include <new>
+
+namespace kflush {
+
+namespace {
+
+void CopyRegion(double* dst_scores, uint64_t* dst_ids, const double* src_scores,
+                const uint64_t* src_ids, size_t n) {
+  std::memcpy(dst_scores, src_scores, n * sizeof(double));
+  std::memcpy(dst_ids, src_ids, n * sizeof(uint64_t));
+}
+
+}  // namespace
+
+uint8_t* PostingBlock::AllocBlock(size_t cap) {
+  const size_t bytes = cap * 16;  // scores array then ids array
+  return pool_ != nullptr ? static_cast<uint8_t*>(pool_->Alloc(bytes))
+                          : static_cast<uint8_t*>(::operator new(bytes));
+}
+
+void PostingBlock::FreeBlock() {
+  if (block_ == nullptr) return;
+  if (pool_ != nullptr) {
+    pool_->Free(block_, cap_ * 16);
+  } else {
+    ::operator delete(block_);
+  }
+  block_ = nullptr;
+}
+
+PostingBlock::PostingBlock(const PostingBlock& other) : pool_(other.pool_) {
+  if (!other.inlined()) {
+    block_ = AllocBlock(other.cap_);
+    cap_ = other.cap_;
+  }
+  size_ = other.size_;
+  head_ = other.head_;
+  CopyRegion(ScoresBase() + head_, IdsBase() + head_, other.scores(),
+             other.ids(), size_);
+}
+
+PostingBlock& PostingBlock::operator=(const PostingBlock& other) {
+  if (this == &other) return *this;
+  FreeBlock();
+  pool_ = other.pool_;
+  cap_ = kInlineCapacity;
+  if (!other.inlined()) {
+    block_ = AllocBlock(other.cap_);
+    cap_ = other.cap_;
+  }
+  size_ = other.size_;
+  head_ = other.head_;
+  CopyRegion(ScoresBase() + head_, IdsBase() + head_, other.scores(),
+             other.ids(), size_);
+  return *this;
+}
+
+PostingBlock::PostingBlock(PostingBlock&& other) noexcept
+    : pool_(other.pool_),
+      block_(other.block_),
+      size_(other.size_),
+      cap_(other.cap_),
+      head_(other.head_) {
+  if (block_ == nullptr) {
+    CopyRegion(inline_scores_, inline_ids_, other.inline_scores_,
+               other.inline_ids_, kInlineCapacity);
+  }
+  other.block_ = nullptr;
+  other.size_ = 0;
+  other.cap_ = kInlineCapacity;
+  other.head_ = 0;
+}
+
+PostingBlock& PostingBlock::operator=(PostingBlock&& other) noexcept {
+  if (this == &other) return *this;
+  FreeBlock();
+  pool_ = other.pool_;
+  block_ = other.block_;
+  size_ = other.size_;
+  cap_ = other.cap_;
+  head_ = other.head_;
+  if (block_ == nullptr) {
+    CopyRegion(inline_scores_, inline_ids_, other.inline_scores_,
+               other.inline_ids_, kInlineCapacity);
+  }
+  other.block_ = nullptr;
+  other.size_ = 0;
+  other.cap_ = kInlineCapacity;
+  other.head_ = 0;
+  return *this;
+}
+
+void PostingBlock::Reallocate(size_t new_cap) {
+  assert(new_cap == 0 || new_cap >= size_);
+  uint8_t* old_block = block_;
+  const size_t old_cap = cap_;
+  const double* old_scores = scores();
+  const uint64_t* old_ids = ids();
+  uint8_t* fresh = nullptr;
+  size_t fresh_cap = kInlineCapacity;
+  size_t fresh_head = 0;
+  if (new_cap != 0) {
+    fresh = AllocBlock(new_cap);
+    fresh_cap = new_cap;
+    fresh_head = (new_cap - size_) / 2;
+  }
+  double* dst_scores =
+      fresh != nullptr ? reinterpret_cast<double*>(fresh) : inline_scores_;
+  uint64_t* dst_ids =
+      fresh != nullptr
+          ? reinterpret_cast<uint64_t*>(fresh + fresh_cap * sizeof(double))
+          : inline_ids_;
+  CopyRegion(dst_scores + fresh_head, dst_ids + fresh_head, old_scores,
+             old_ids, size_);
+  block_ = fresh;
+  cap_ = static_cast<uint32_t>(fresh_cap);
+  head_ = static_cast<uint32_t>(fresh_head);
+  if (old_block != nullptr) {
+    if (pool_ != nullptr) {
+      pool_->Free(old_block, old_cap * 16);
+    } else {
+      ::operator delete(old_block);
+    }
+  }
+}
+
+void PostingBlock::Recenter(size_t new_head) {
+  std::memmove(ScoresBase() + new_head, scores(), size_ * sizeof(double));
+  std::memmove(IdsBase() + new_head, ids(), size_ * sizeof(uint64_t));
+  head_ = static_cast<uint32_t>(new_head);
+}
+
+void PostingBlock::PushFront(uint64_t id, double score) {
+  if (head_ == 0) {
+    // Slide right while at most half full (inline always slides — it must
+    // fill before leaving the object); beyond that the move cost outruns
+    // the pushes it buys, so double instead. Either way head_ ends > 0.
+    if (size_ < cap_ && (block_ == nullptr || size_ * 2 <= cap_)) {
+      Recenter((cap_ - size_ + 1) / 2);
+    } else {
+      Reallocate(block_ == nullptr ? kFirstBlockCapacity : cap_ * 2);
+    }
+  }
+  --head_;
+  ScoresBase()[head_] = score;
+  IdsBase()[head_] = id;
+  ++size_;
+}
+
+void PostingBlock::PushBack(uint64_t id, double score) {
+  if (head_ + size_ == cap_) {
+    // Mirror of PushFront: slide left for tail room (needs >= 2 slack so
+    // the floor-half target actually frees a slot), else double.
+    if (size_ + 2 <= cap_ && (block_ == nullptr || size_ * 2 <= cap_)) {
+      Recenter((cap_ - size_) / 2);
+    } else {
+      Reallocate(block_ == nullptr ? kFirstBlockCapacity : cap_ * 2);
+    }
+  }
+  ScoresBase()[head_ + size_] = score;
+  IdsBase()[head_ + size_] = id;
+  ++size_;
+}
+
+void PostingBlock::InsertAt(size_t pos, uint64_t id, double score) {
+  assert(pos <= size_);
+  if (pos == 0) {
+    PushFront(id, score);
+    return;
+  }
+  if (pos == size_) {
+    PushBack(id, score);
+    return;
+  }
+  if (size_ == cap_) Reallocate(block_ == nullptr ? kFirstBlockCapacity
+                                                  : cap_ * 2);
+  double* s = ScoresBase();
+  uint64_t* d = IdsBase();
+  const bool front_shorter = pos <= size_ - pos;
+  const bool has_front_room = head_ > 0;
+  const bool has_back_room = head_ + size_ < cap_;
+  if (has_front_room && (front_shorter || !has_back_room)) {
+    std::memmove(s + head_ - 1, s + head_, pos * sizeof(double));
+    std::memmove(d + head_ - 1, d + head_, pos * sizeof(uint64_t));
+    --head_;
+  } else {
+    std::memmove(s + head_ + pos + 1, s + head_ + pos,
+                 (size_ - pos) * sizeof(double));
+    std::memmove(d + head_ + pos + 1, d + head_ + pos,
+                 (size_ - pos) * sizeof(uint64_t));
+  }
+  s[head_ + pos] = score;
+  d[head_ + pos] = id;
+  ++size_;
+}
+
+void PostingBlock::EraseAt(size_t pos) {
+  assert(pos < size_);
+  double* s = ScoresBase();
+  uint64_t* d = IdsBase();
+  if (pos < size_ - 1 - pos) {
+    std::memmove(s + head_ + 1, s + head_, pos * sizeof(double));
+    std::memmove(d + head_ + 1, d + head_, pos * sizeof(uint64_t));
+    ++head_;
+  } else {
+    std::memmove(s + head_ + pos, s + head_ + pos + 1,
+                 (size_ - pos - 1) * sizeof(double));
+    std::memmove(d + head_ + pos, d + head_ + pos + 1,
+                 (size_ - pos - 1) * sizeof(uint64_t));
+  }
+  --size_;
+}
+
+void PostingBlock::MaybeShrink() {
+  if (block_ == nullptr) return;
+  if (size_ <= kInlineCapacity) {
+    Reallocate(0);
+    return;
+  }
+  if (size_ * 4 <= cap_ && cap_ > kFirstBlockCapacity) {
+    size_t new_cap = cap_;
+    while (new_cap > kFirstBlockCapacity && size_ * 4 <= new_cap) {
+      new_cap /= 2;
+    }
+    Reallocate(new_cap);
+  }
+}
+
+}  // namespace kflush

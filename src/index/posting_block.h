@@ -1,0 +1,123 @@
+// Storage engine for PostingList: a structure-of-arrays posting buffer
+// sized by power-of-two slab classes (util/arena.h). The motivating
+// distribution is the one the real-time-search allocation literature
+// reports (see PAPERS.md): the overwhelming majority of terms hold 1-4
+// postings, while a short head of hot terms grows into the thousands. So:
+//
+//   * lists of up to kInlineCapacity postings live entirely inside the
+//     object — zero heap traffic for the long tail;
+//   * larger lists move to one slab block holding both parallel arrays
+//     (scores, then ids), doubling through the owning shard's SlabPool as
+//     the term gets hot and shrinking back (with hysteresis) as flushes
+//     trim it.
+//
+// Within a block the live region [0, size) is contiguous but floats at a
+// head offset, so the dominant digestion mutation — PushFront of the
+// newest, best-ranked posting (temporal scores) — is a pointer decrement.
+// When the headroom runs out the region recenters or the block doubles,
+// both O(size) against Ω(capacity/2) cheap pushes, keeping PushFront
+// amortized O(1). Contiguity is what the SIMD kernels (util/simd.h) scan.
+//
+// Not thread-safe; owned by an index entry under its shard lock.
+
+#ifndef KFLUSH_INDEX_POSTING_BLOCK_H_
+#define KFLUSH_INDEX_POSTING_BLOCK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/arena.h"
+
+namespace kflush {
+
+class PostingBlock {
+ public:
+  static constexpr size_t kInlineCapacity = 4;
+  /// First slab-backed capacity after leaving inline storage.
+  static constexpr size_t kFirstBlockCapacity = 8;
+
+  /// `pool` may be null (standalone lists in tests): blocks then come from
+  /// operator new. The pool, when given, must outlive this object.
+  explicit PostingBlock(SlabPool* pool = nullptr) : pool_(pool) {}
+  ~PostingBlock() { FreeBlock(); }
+
+  PostingBlock(const PostingBlock& other);
+  PostingBlock& operator=(const PostingBlock& other);
+  PostingBlock(PostingBlock&& other) noexcept;
+  PostingBlock& operator=(PostingBlock&& other) noexcept;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return cap_; }
+  bool inlined() const { return block_ == nullptr; }
+
+  /// Contiguous views of the live region, best-ranked first.
+  const double* scores() const { return ScoresBase() + head_; }
+  const uint64_t* ids() const { return IdsBase() + head_; }
+  double* mutable_scores() { return ScoresBase() + head_; }
+  uint64_t* mutable_ids() { return IdsBase() + head_; }
+
+  double score(size_t i) const { return scores()[i]; }
+  uint64_t id(size_t i) const { return ids()[i]; }
+
+  /// Prepend (the digestion fast path). Amortized O(1).
+  void PushFront(uint64_t id, double score);
+
+  /// Append (tail reassembly in trims). Amortized O(1).
+  void PushBack(uint64_t id, double score);
+
+  /// Make room at logical position `pos` (0 <= pos <= size) and write the
+  /// posting there. Shifts whichever side of the gap is shorter.
+  void InsertAt(size_t pos, uint64_t id, double score);
+
+  /// Remove the posting at `pos`, closing the gap from the shorter side.
+  void EraseAt(size_t pos);
+
+  void PopBack() { --size_; }
+
+  /// Drop every posting past the first `n` (n <= size). O(1); pair with
+  /// MaybeShrink() to return slab space.
+  void TruncateTo(size_t n) { size_ = static_cast<uint32_t>(n); }
+
+  /// Give back slab space after bulk removals: halves the block when the
+  /// live region fits in a quarter of it (hysteresis against the doubling
+  /// growth), returning to inline storage for tiny lists.
+  void MaybeShrink();
+
+  /// Bytes of block storage currently held (0 while inline).
+  size_t BlockBytes() const { return block_ == nullptr ? 0 : cap_ * 16; }
+
+ private:
+  double* ScoresBase() const {
+    return block_ == nullptr
+               ? const_cast<double*>(inline_scores_)
+               : reinterpret_cast<double*>(block_);
+  }
+  uint64_t* IdsBase() const {
+    return block_ == nullptr
+               ? const_cast<uint64_t*>(inline_ids_)
+               : reinterpret_cast<uint64_t*>(block_ + cap_ * sizeof(double));
+  }
+
+  /// Reallocate to `new_cap` (a power of two >= size_), recentering the
+  /// live region, or back into inline storage when new_cap == 0.
+  void Reallocate(size_t new_cap);
+
+  /// Slide the live region so it starts at `new_head`.
+  void Recenter(size_t new_head);
+
+  void FreeBlock();
+  uint8_t* AllocBlock(size_t cap);
+
+  SlabPool* pool_ = nullptr;
+  uint8_t* block_ = nullptr;  // null -> inline arrays below
+  uint32_t size_ = 0;
+  uint32_t cap_ = kInlineCapacity;
+  uint32_t head_ = 0;
+  double inline_scores_[kInlineCapacity];
+  uint64_t inline_ids_[kInlineCapacity];
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_INDEX_POSTING_BLOCK_H_

@@ -1,56 +1,23 @@
 #include "index/posting_list.h"
 
-#include <algorithm>
-
 namespace kflush {
-
-void PostingList::Rebalance(size_t k, const TopKChargeFn& on_charge,
-                            const TopKChargeFn& on_uncharge) {
-  const size_t target = std::min(k, postings_.size());
-  while (charged_ < target) {
-    if (on_charge) on_charge(postings_[charged_].id);
-    ++charged_;
-  }
-  while (charged_ > target) {
-    --charged_;
-    if (on_uncharge) on_uncharge(postings_[charged_].id);
-  }
-}
 
 PostingInsertResult PostingList::Insert(MicroblogId id, double score, size_t k,
                                         const TopKChargeFn& on_charge,
                                         const TopKChargeFn& on_uncharge) {
-  PostingInsertResult result;
-  if (postings_.empty() || score >= postings_.front().score) {
-    // Fast path: new best-ranked posting (ties rank newest first).
-    postings_.push_front({id, score});
-    result.insert_pos = 0;
-  } else {
-    // Find the first position with a strictly smaller score; equal scores
-    // keep the earlier arrival after the later one already there — i.e. a
-    // tie inserts *before* existing equal scores only via the fast path.
-    auto it = std::upper_bound(
-        postings_.begin(), postings_.end(), score,
-        [](double s, const Posting& p) { return s >= p.score; });
-    result.insert_pos = static_cast<size_t>(it - postings_.begin());
-    postings_.insert(it, {id, score});
-  }
-  result.size_after = postings_.size();
-  if (result.insert_pos < charged_) {
-    // Landed inside the charged prefix: charge it so the prefix stays
-    // contiguous; Rebalance below sheds the excess from the prefix tail
-    // (in the steady state that is exactly the posting pushed out of the
-    // top-k region).
-    if (on_charge) on_charge(id);
-    ++charged_;
-  }
-  Rebalance(k, on_charge, on_uncharge);
-  return result;
+  return InsertWith(id, score, k, MaybeChargeFn{on_charge},
+                    MaybeChargeFn{on_uncharge});
+}
+
+void PostingList::Rebalance(size_t k, const TopKChargeFn& on_charge,
+                            const TopKChargeFn& on_uncharge) {
+  RebalanceWith(k, MaybeChargeFn{on_charge}, MaybeChargeFn{on_uncharge});
 }
 
 size_t PostingList::TopIds(size_t limit, std::vector<MicroblogId>* out) const {
-  const size_t n = std::min(limit, postings_.size());
-  for (size_t i = 0; i < n; ++i) out->push_back(postings_[i].id);
+  const size_t n = std::min(limit, store_.size());
+  const uint64_t* ids = store_.ids();
+  out->insert(out->end(), ids, ids + n);
   return n;
 }
 
@@ -59,15 +26,16 @@ size_t PostingList::TrimBeyondK(
     std::vector<Posting>* out, const TopKChargeFn& on_charge,
     const TopKChargeFn& on_uncharge) {
   size_t trimmed = 0;
-  if (postings_.size() > k) {
-    // Rebuild the tail, keeping only postings the filter protects. Popping
-    // a kept posting shrinks the list, so "positions >= k remain
-    // unprocessed" is exactly size() > k.
-    std::deque<Posting> kept_tail;
-    while (postings_.size() > k) {
-      Posting p = postings_.back();
-      postings_.pop_back();
-      if (postings_.size() < charged_) {
+  if (store_.size() > k) {
+    // Walk the tail back to front, keeping only postings the filter
+    // protects. Popping a kept posting shrinks the list, so "positions
+    // >= k remain unprocessed" is exactly size() > k.
+    std::vector<Posting> kept_tail;
+    while (store_.size() > k) {
+      const size_t last = store_.size() - 1;
+      const Posting p{store_.id(last), store_.score(last)};
+      store_.PopBack();
+      if (store_.size() < charged_) {
         // A stale charge from a larger k: popping from the back shrinks
         // the prefix one at a time, so it stays contiguous.
         --charged_;
@@ -77,10 +45,13 @@ size_t PostingList::TrimBeyondK(
         out->push_back(p);
         ++trimmed;
       } else {
-        kept_tail.push_front(p);
+        kept_tail.push_back(p);
       }
     }
-    for (auto& p : kept_tail) postings_.push_back(p);
+    for (auto it = kept_tail.rbegin(); it != kept_tail.rend(); ++it) {
+      store_.PushBack(it->id, it->score);
+    }
+    store_.MaybeShrink();
   }
   Rebalance(k, on_charge, on_uncharge);
   return trimmed;
@@ -91,21 +62,25 @@ size_t PostingList::RemoveIf(
     const std::function<void(const Posting&, bool)>& on_removed,
     const TopKChargeFn& on_charge, const TopKChargeFn& on_uncharge) {
   size_t removed = 0;
-  std::deque<Posting> kept;
   size_t kept_charged = 0;
-  size_t pos = 0;
-  for (const Posting& p : postings_) {
+  size_t write = 0;
+  double* scores = store_.mutable_scores();
+  uint64_t* ids = store_.mutable_ids();
+  const size_t n = store_.size();
+  for (size_t pos = 0; pos < n; ++pos) {
     const bool was_charged = pos < charged_;
-    if (!should_remove || should_remove(p.id)) {
-      if (on_removed) on_removed(p, was_charged);
+    if (!should_remove || should_remove(ids[pos])) {
+      if (on_removed) on_removed(Posting{ids[pos], scores[pos]}, was_charged);
       ++removed;
     } else {
-      kept.push_back(p);
+      scores[write] = scores[pos];
+      ids[write] = ids[pos];
+      ++write;
       if (was_charged) ++kept_charged;
     }
-    ++pos;
   }
-  postings_.swap(kept);
+  store_.TruncateTo(write);
+  store_.MaybeShrink();
   // Surviving charged postings compact into a prefix (charges came from a
   // prefix, removals only close gaps).
   charged_ = kept_charged;
@@ -116,32 +91,24 @@ size_t PostingList::RemoveIf(
 bool PostingList::Remove(MicroblogId id, size_t k, Posting* removed,
                          bool* was_charged, const TopKChargeFn& on_charge,
                          const TopKChargeFn& on_uncharge) {
-  for (size_t i = 0; i < postings_.size(); ++i) {
-    if (postings_[i].id == id) {
-      if (removed != nullptr) *removed = postings_[i];
-      if (was_charged != nullptr) *was_charged = i < charged_;
-      if (i < charged_) --charged_;  // caller owns the removed charge
-      postings_.erase(postings_.begin() + static_cast<ptrdiff_t>(i));
-      Rebalance(k, on_charge, on_uncharge);
-      return true;
-    }
-  }
-  return false;
+  const size_t i = simd::FindU64(store_.ids(), store_.size(), id);
+  if (i == store_.size()) return false;
+  if (removed != nullptr) *removed = Posting{store_.id(i), store_.score(i)};
+  if (was_charged != nullptr) *was_charged = i < charged_;
+  if (i < charged_) --charged_;  // caller owns the removed charge
+  store_.EraseAt(i);
+  store_.MaybeShrink();
+  Rebalance(k, on_charge, on_uncharge);
+  return true;
 }
 
 bool PostingList::IsInTopK(MicroblogId id, size_t k) const {
-  const size_t n = std::min(k, postings_.size());
-  for (size_t i = 0; i < n; ++i) {
-    if (postings_[i].id == id) return true;
-  }
-  return false;
+  const size_t n = std::min(k, store_.size());
+  return simd::FindU64(store_.ids(), n, id) < n;
 }
 
 bool PostingList::Contains(MicroblogId id) const {
-  for (const Posting& p : postings_) {
-    if (p.id == id) return true;
-  }
-  return false;
+  return simd::FindU64(store_.ids(), store_.size(), id) < store_.size();
 }
 
 }  // namespace kflush

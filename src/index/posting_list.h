@@ -6,6 +6,11 @@
 // separation is what lets the flushing thread work without contending with
 // digestion (paper §III-A).
 //
+// Storage is a slab-backed structure-of-arrays block (posting_block.h):
+// tiny lists live inline in the object, hot terms grow geometrically
+// through the owning shard's SlabPool, and the contiguous score/id arrays
+// feed the SIMD scan kernels (util/simd.h).
+//
 // Top-k charges: policies that maintain per-record top-k reference counts
 // (the kFlushing-MK extension, §IV-D) need the set of postings "counted as
 // top-k" to change only through explicit, observed transitions — judging
@@ -17,16 +22,24 @@
 // re-aligned to min(k, size()) lazily as the list is touched. The charged
 // set is always a subset of the list, so a record's total charge count
 // never exceeds its reference count, under any k schedule.
+//
+// Charge callbacks come in two flavors: the std::function API below (used
+// by policy code, where a per-call indirection is noise against the flush
+// work it wraps) and the `*With` templates taking the functors by
+// reference, so the digestion fast path — k == 0, no charge observers —
+// inlines to a PushFront and nothing else.
 
 #ifndef KFLUSH_INDEX_POSTING_LIST_H_
 #define KFLUSH_INDEX_POSTING_LIST_H_
 
+#include <algorithm>
 #include <cstddef>
-#include <deque>
 #include <functional>
 #include <vector>
 
+#include "index/posting_block.h"
 #include "model/microblog.h"
+#include "util/simd.h"
 
 namespace kflush {
 
@@ -49,17 +62,67 @@ struct PostingInsertResult {
 /// Both callbacks of a pair run while the owning shard lock is held.
 using TopKChargeFn = std::function<void(MicroblogId)>;
 
+/// No-op charge observer for paths with no top-k bookkeeping; lets the
+/// templated mutators compile the charge machinery away entirely.
+struct NoChargeFn {
+  void operator()(MicroblogId) const {}
+};
+
+/// Adapts a possibly-empty std::function to the templated mutators (the
+/// bridge the std::function convenience overloads go through).
+struct MaybeChargeFn {
+  const TopKChargeFn& fn;
+  void operator()(MicroblogId id) const {
+    if (fn) fn(id);
+  }
+};
+
 /// Descending-score list of postings. Not thread-safe; the owning index
 /// entry is locked by its shard.
 class PostingList {
  public:
-  PostingList() = default;
+  /// `pool`, when given, supplies block storage and must outlive the list
+  /// (in the index it is the owning shard's pool).
+  explicit PostingList(SlabPool* pool = nullptr) : store_(pool) {}
 
   /// Inserts keeping descending score order; equal scores order newest
   /// first. O(1) when the new posting is the best-ranked (the overwhelmingly
-  /// common case under temporal ranking), O(log n) search + O(n) shift
-  /// otherwise. The charged prefix is re-aligned to min(k, size()); with
-  /// k == 0 and empty callbacks this is free.
+  /// common case under temporal ranking), O(log n) search + shift of the
+  /// shorter side otherwise. The charged prefix is re-aligned to
+  /// min(k, size()); with k == 0 and NoChargeFn this compiles to the bare
+  /// structural insert.
+  template <typename ChargeFn, typename UnchargeFn>
+  PostingInsertResult InsertWith(MicroblogId id, double score, size_t k,
+                                 const ChargeFn& on_charge,
+                                 const UnchargeFn& on_uncharge) {
+    PostingInsertResult result;
+    if (store_.empty() || score >= store_.score(0)) {
+      // Fast path: new best-ranked posting (ties rank newest first).
+      store_.PushFront(id, score);
+      result.insert_pos = 0;
+    } else {
+      // First position with a strictly smaller score; equal scores keep
+      // the earlier arrival after the later one already there — i.e. a
+      // tie inserts *before* existing equal scores only via the fast path.
+      result.insert_pos =
+          simd::InsertPosDesc(store_.scores(), store_.size(), score);
+      store_.InsertAt(result.insert_pos, id, score);
+    }
+    result.size_after = store_.size();
+    if (result.insert_pos < charged_) {
+      // Landed inside the charged prefix: charge it so the prefix stays
+      // contiguous; Rebalance below sheds the excess from the prefix tail
+      // (in the steady state that is exactly the posting pushed out of the
+      // top-k region).
+      on_charge(id);
+      ++charged_;
+    }
+    RebalanceWith(k, on_charge, on_uncharge);
+    return result;
+  }
+
+  /// std::function convenience overload (policy code); empty callbacks are
+  /// allowed and skipped.
   PostingInsertResult Insert(MicroblogId id, double score, size_t k = 0,
                              const TopKChargeFn& on_charge = {},
                              const TopKChargeFn& on_uncharge = {});
@@ -103,6 +166,20 @@ class PostingList {
 
   /// Re-aligns the charged prefix to min(k, size()), reporting each
   /// transition. Used when k changes without a structural mutation.
+  template <typename ChargeFn, typename UnchargeFn>
+  void RebalanceWith(size_t k, const ChargeFn& on_charge,
+                     const UnchargeFn& on_uncharge) {
+    const size_t target = std::min(k, store_.size());
+    while (charged_ < target) {
+      on_charge(store_.id(charged_));
+      ++charged_;
+    }
+    while (charged_ > target) {
+      --charged_;
+      on_uncharge(store_.id(charged_));
+    }
+  }
+
   void Rebalance(size_t k, const TopKChargeFn& on_charge,
                  const TopKChargeFn& on_uncharge);
 
@@ -114,23 +191,32 @@ class PostingList {
 
   bool Contains(MicroblogId id) const;
 
-  size_t size() const { return postings_.size(); }
-  bool empty() const { return postings_.empty(); }
+  size_t size() const { return store_.size(); }
+  bool empty() const { return store_.empty(); }
 
-  const Posting& at(size_t pos) const { return postings_[pos]; }
+  Posting at(size_t pos) const {
+    return Posting{store_.id(pos), store_.score(pos)};
+  }
 
-  /// Iteration, best-ranked first.
-  auto begin() const { return postings_.begin(); }
-  auto end() const { return postings_.end(); }
+  /// Contiguous SoA views, best-ranked first (SIMD scans, tests).
+  const double* scores() const { return store_.scores(); }
+  const MicroblogId* ids() const { return store_.ids(); }
+
+  /// Block bytes currently held from the pool (0 while inline).
+  size_t BlockBytes() const { return store_.BlockBytes(); }
 
   /// Bytes charged to the index tracker per posting.
   static constexpr size_t kBytesPerPosting = sizeof(Posting);
 
  private:
-  std::deque<Posting> postings_;
-  /// Length of the charged prefix; postings_[0..charged_) hold charges.
+  PostingBlock store_;
+  /// Length of the charged prefix; the first charged_ postings hold
+  /// charges.
   size_t charged_ = 0;
 };
+
+static_assert(sizeof(MicroblogId) == sizeof(uint64_t),
+              "posting blocks store ids as raw u64 arrays");
 
 }  // namespace kflush
 

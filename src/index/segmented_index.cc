@@ -12,8 +12,8 @@ SegmentedIndex::SegmentedIndex(MemoryTracker* tracker) : tracker_(tracker) {
 void SegmentedIndex::Insert(TermId term, MicroblogId id, double score,
                             Timestamp now) {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  // k = 0: FIFO never consumes top-k displacement reports.
-  segments_.front()->Insert(term, id, score, now, /*k=*/0);
+  // Charge-free overload: FIFO never consumes top-k displacement reports.
+  segments_.front()->Insert(term, id, score, now);
 }
 
 size_t SegmentedIndex::Query(TermId term, size_t limit,

@@ -5,6 +5,21 @@
 
 namespace kflush {
 
+namespace {
+
+// Charge-transition functors for the MK digestion fast path: plain structs
+// (not std::function) so InsertWith inlines the refcount bump.
+struct TopKInc {
+  RawDataStore* raw;
+  void operator()(MicroblogId id) const { raw->IncrementTopK(id); }
+};
+struct TopKDec {
+  RawDataStore* raw;
+  void operator()(MicroblogId id) const { raw->DecrementTopK(id); }
+};
+
+}  // namespace
+
 KFlushingPolicy::KFlushingPolicy(const PolicyContext& ctx, uint32_t k,
                                  KFlushingOptions options)
     : FlushPolicy(ctx, k), index_(ctx.tracker), options_(options) {}
@@ -29,15 +44,17 @@ void KFlushingPolicy::Insert(const Microblog& blog,
   // flusher decrements a count this thread has not yet incremented (the
   // decrement clamps at 0), leaving the record with a phantom top-k
   // reference that Phase 1 then honors forever.
-  TopKChargeFn on_charge, on_uncharge;
-  if (options_.mk_extension) {
-    RawDataStore* raw = ctx_.raw_store;
-    on_charge = [raw](MicroblogId id) { raw->IncrementTopK(id); };
-    on_uncharge = [raw](MicroblogId id) { raw->DecrementTopK(id); };
-  }
+  const bool mk = options_.mk_extension;
+  RawDataStore* raw = ctx_.raw_store;
   for (TermId term : terms) {
-    IndexInsertResult res =
-        index_.Insert(term, blog.id, score, now, k, on_charge, on_uncharge);
+    // Non-MK digestion observes no charge transitions, so it takes the
+    // charge-free overload (k = 0): the whole charged-prefix machinery
+    // compiles away. MK goes through the functor-ref template — no
+    // std::function construction or indirect call per insert.
+    const IndexInsertResult res =
+        mk ? index_.InsertWith(term, blog.id, score, now, k, TopKInc{raw},
+                               TopKDec{raw})
+           : index_.Insert(term, blog.id, score, now);
     if (res.size_after > k) {
       // Track the over-k entry in L so Phase 1 never scans the index.
       std::lock_guard<SpinLock> lock(over_k_mu_);
@@ -116,9 +133,11 @@ size_t KFlushingPolicy::RunPhase1() {
       }
       over_k_terms_.clear();
     }
-    index_.ForEachEntry([&](const EntryMeta& meta) {
-      if (meta.count > k) terms.insert(meta.term);
-    });
+    index_.Snapshot(&scan_snapshot_);
+    scan_indices_.clear();
+    simd::AppendIndicesGreater(scan_snapshot_.counts.data(),
+                               scan_snapshot_.size(), k, &scan_indices_);
+    for (uint32_t i : scan_indices_) terms.insert(scan_snapshot_.terms[i]);
     if (options_.mk_extension) {
       // Charged prefixes (and with them the per-record top-k refcounts)
       // were built against the old k; converge every entry to the new k in
@@ -237,11 +256,15 @@ std::vector<KFlushingPolicy::Candidate> KFlushingPolicy::SelectVictims(
   return selected;
 }
 
-size_t KFlushingPolicy::EstimateEntryCost(const EntryMeta& meta) const {
+size_t KFlushingPolicy::MeanRecordBytes() const {
   const size_t records = ctx_.raw_store->size();
-  const size_t mean_record =
-      records == 0 ? 0 : ctx_.raw_store->MemoryBytes() / records;
-  return meta.bytes + meta.count * mean_record;
+  return records == 0 ? 0 : ctx_.raw_store->MemoryBytes() / records;
+}
+
+size_t KFlushingPolicy::EstimateEntryCost(size_t count,
+                                          size_t mean_record_bytes) {
+  return InvertedIndex::kBytesPerEntry +
+         count * (PostingList::kBytesPerPosting + mean_record_bytes);
 }
 
 size_t KFlushingPolicy::EvictEntry(TermId term, int phase, int64_t heap_rank,
@@ -318,14 +341,22 @@ size_t KFlushingPolicy::RunPhase2(size_t bytes_needed) {
   // The cost estimate can overshoot for records shared across entries, so
   // re-scan until the budget is met or no under-k entries remain.
   while (freed < bytes_needed) {
+    index_.Snapshot(&scan_snapshot_);
+    scan_indices_.clear();
+    simd::AppendIndicesLess(scan_snapshot_.counts.data(),
+                            scan_snapshot_.size(), k, &scan_indices_);
+    if (scan_indices_.empty()) break;
+    // The per-record cost estimate is uniform across this pass: hoist the
+    // mean out of the candidate loop (size()/MemoryBytes() aggregate the
+    // shard counters — cheap, but not per-candidate cheap).
+    const size_t mean_record = MeanRecordBytes();
     std::vector<Candidate> candidates;
-    index_.ForEachEntry([&](const EntryMeta& meta) {
-      if (meta.count < k) {
-        candidates.push_back(
-            {meta.term, meta.last_arrival, EstimateEntryCost(meta)});
-      }
-    });
-    if (candidates.empty()) break;
+    candidates.reserve(scan_indices_.size());
+    for (uint32_t i : scan_indices_) {
+      candidates.push_back(
+          {scan_snapshot_.terms[i], scan_snapshot_.last_arrival[i],
+           EstimateEntryCost(scan_snapshot_.counts[i], mean_record)});
+    }
     const size_t scanned = candidates.size();
     std::vector<Candidate> victims =
         SelectVictims(std::move(candidates), bytes_needed - freed);
@@ -351,16 +382,23 @@ size_t KFlushingPolicy::RunPhase2(size_t bytes_needed) {
 size_t KFlushingPolicy::RunPhase3(size_t bytes_needed) {
   size_t freed = 0;
   while (freed < bytes_needed) {
+    // Phase 3 considers every remaining entry, keyed by last query time so
+    // recently popular keywords stay in memory (or by last arrival under
+    // the ablation configuration).
+    index_.Snapshot(&scan_snapshot_);
+    const size_t n = scan_snapshot_.size();
+    if (n == 0) break;
+    const std::vector<Timestamp>& keys = options_.phase3_by_query_time
+                                             ? scan_snapshot_.last_query
+                                             : scan_snapshot_.last_arrival;
+    const size_t mean_record = MeanRecordBytes();
     std::vector<Candidate> candidates;
-    index_.ForEachEntry([&](const EntryMeta& meta) {
-      // Phase 3 considers every remaining entry, keyed by last query time
-      // so recently popular keywords stay in memory (or by last arrival
-      // under the ablation configuration).
-      const Timestamp key = options_.phase3_by_query_time ? meta.last_query
-                                                          : meta.last_arrival;
-      candidates.push_back({meta.term, key, EstimateEntryCost(meta)});
-    });
-    if (candidates.empty()) break;
+    candidates.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      candidates.push_back(
+          {scan_snapshot_.terms[i], keys[i],
+           EstimateEntryCost(scan_snapshot_.counts[i], mean_record)});
+    }
     const size_t scanned = candidates.size();
     std::vector<Candidate> victims =
         SelectVictims(std::move(candidates), bytes_needed - freed);

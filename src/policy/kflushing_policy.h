@@ -107,9 +107,14 @@ class KFlushingPolicy : public FlushPolicy {
   static std::vector<Candidate> SelectVictims(std::vector<Candidate> candidates,
                                               size_t target);
 
-  /// Estimated full memory cost of an entry: index bytes plus the records
-  /// its postings pin, approximated with the current mean record size.
-  size_t EstimateEntryCost(const EntryMeta& meta) const;
+  /// Current mean raw-record size, hoisted out of the candidate loops (one
+  /// aggregation per selection pass, not per candidate).
+  size_t MeanRecordBytes() const;
+
+  /// Estimated full memory cost of an entry holding `count` postings:
+  /// index bytes plus the records those postings pin, approximated with
+  /// the pass's mean record size.
+  static size_t EstimateEntryCost(size_t count, size_t mean_record_bytes);
 
   /// Removes (possibly partially, under MK) one selected entry; phase = 2
   /// or 3 for stats attribution, heap_rank/order_key for the victim's
@@ -129,6 +134,12 @@ class KFlushingPolicy : public FlushPolicy {
   /// Set by SetK; the next flush rebuilds L by scanning (paper §IV-C: the
   /// new k takes effect at the next flushing cycle).
   std::atomic<bool> k_changed_{false};
+
+  /// Scratch for the phase scans (SIMD-swept column snapshot + selected
+  /// row indices); capacity survives across cycles. Touched only by the
+  /// single flushing thread, like the phase bodies.
+  IndexSnapshot scan_snapshot_;
+  std::vector<uint32_t> scan_indices_;
 
   /// friend for white-box tests of SelectVictims.
   friend class KFlushingPolicyTestPeer;

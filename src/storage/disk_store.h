@@ -13,6 +13,7 @@
 #ifndef KFLUSH_STORAGE_DISK_STORE_H_
 #define KFLUSH_STORAGE_DISK_STORE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -22,6 +23,37 @@
 #include "util/status.h"
 
 namespace kflush {
+
+/// Shared maintenance of a disk-side posting list, kept score-ASCENDING in
+/// storage and read back-to-front at query time. Flushing registers
+/// postings in roughly score order (temporal ranking scores grow with
+/// arrival time), so the common case is an O(1) push_back — the
+/// descending layout this replaced memmoved the whole list per insert.
+/// Among equal scores the earliest registration sits at the highest index,
+/// so a backward read serves equal scores in registration order (the
+/// contract replayable-run tests pin). Returns false on a duplicate
+/// (term, id) registration, which is skipped.
+inline bool DiskPostingInsertAscending(std::vector<Posting>* list,
+                                       MicroblogId id, double score) {
+  auto lo = std::lower_bound(
+      list->begin(), list->end(), score,
+      [](const Posting& p, double s) { return p.score < s; });
+  for (auto dup = lo; dup != list->end() && dup->score == score; ++dup) {
+    if (dup->id == id) return false;
+  }
+  list->insert(lo, Posting{id, score});
+  return true;
+}
+
+/// Appends the `limit` best-ranked postings of an ascending list to `out`
+/// (descending, equal scores in registration order). Returns the count.
+inline size_t DiskPostingsTopN(const std::vector<Posting>& list, size_t limit,
+                               std::vector<Posting>* out) {
+  const size_t n = std::min(limit, list.size());
+  out->reserve(out->size() + n);
+  for (size_t i = 0; i < n; ++i) out->push_back(list[list.size() - 1 - i]);
+  return n;
+}
 
 /// Access counters; the experiments read hit/miss economics off these.
 struct DiskStats {

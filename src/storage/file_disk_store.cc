@@ -84,15 +84,9 @@ FileDiskStore::~FileDiskStore() {
 
 Status FileDiskStore::AddPosting(TermId term, MicroblogId id, double score) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto& list = postings_[term];
-  auto it = std::upper_bound(
-      list.begin(), list.end(), score,
-      [](double s, const Posting& p) { return s > p.score; });
-  for (auto dup = it; dup != list.begin() && (dup - 1)->score == score;
-       --dup) {
-    if ((dup - 1)->id == id) return Status::OK();
+  if (!DiskPostingInsertAscending(&postings_[term], id, score)) {
+    return Status::OK();
   }
-  list.insert(it, Posting{id, score});
   ++num_postings_;
   ++stats_.postings_added;
   return Status::OK();
@@ -147,10 +141,7 @@ Status FileDiskStore::QueryTerm(TermId term, size_t limit,
   ++stats_.term_queries;
   auto it = postings_.find(term);
   if (it == postings_.end()) return Status::OK();
-  const auto& list = it->second;
-  const size_t n = std::min(limit, list.size());
-  out->insert(out->end(), list.begin(),
-              list.begin() + static_cast<ptrdiff_t>(n));
+  const size_t n = DiskPostingsTopN(it->second, limit, out);
   stats_.posting_bytes_read += n * sizeof(Posting);
   return Status::OK();
 }

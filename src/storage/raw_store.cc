@@ -1,8 +1,11 @@
 #include "storage/raw_store.h"
 
+#include <cstring>
+
 namespace kflush {
 
 namespace {
+
 inline uint64_t MixHash(uint64_t x) {
   x ^= x >> 33;
   x *= 0xFF51AFD7ED558CCDULL;
@@ -11,15 +14,102 @@ inline uint64_t MixHash(uint64_t x) {
   x ^= x >> 33;
   return x;
 }
+
+// Blob layout: fixed header, then the keyword array (4-byte aligned by
+// construction), then the raw text bytes. One allocation per record.
+struct BlobHeader {
+  MicroblogId id;
+  Timestamp created_at;
+  UserId user_id;
+  double lat;
+  double lon;
+  uint32_t follower_count;
+  uint32_t text_len;
+  uint32_t kw_count;
+  uint8_t has_location;
+};
+static_assert(sizeof(BlobHeader) % alignof(KeywordId) == 0,
+              "keyword array must start aligned");
+
+size_t EncodedBytes(const Microblog& blog) {
+  return sizeof(BlobHeader) + blog.keywords.size() * sizeof(KeywordId) +
+         blog.text.size();
+}
+
+void Encode(const Microblog& blog, uint8_t* dst) {
+  BlobHeader h;
+  h.id = blog.id;
+  h.created_at = blog.created_at;
+  h.user_id = blog.user_id;
+  h.lat = blog.location.lat;
+  h.lon = blog.location.lon;
+  h.follower_count = blog.follower_count;
+  h.text_len = static_cast<uint32_t>(blog.text.size());
+  h.kw_count = static_cast<uint32_t>(blog.keywords.size());
+  h.has_location = blog.has_location ? 1 : 0;
+  std::memcpy(dst, &h, sizeof(h));
+  uint8_t* p = dst + sizeof(h);
+  if (!blog.keywords.empty()) {
+    std::memcpy(p, blog.keywords.data(),
+                blog.keywords.size() * sizeof(KeywordId));
+    p += blog.keywords.size() * sizeof(KeywordId);
+  }
+  if (!blog.text.empty()) {
+    std::memcpy(p, blog.text.data(), blog.text.size());
+  }
+}
+
+void Decode(const uint8_t* blob, Microblog* out) {
+  BlobHeader h;
+  std::memcpy(&h, blob, sizeof(h));
+  out->id = h.id;
+  out->created_at = h.created_at;
+  out->user_id = h.user_id;
+  out->follower_count = h.follower_count;
+  out->has_location = h.has_location != 0;
+  out->location.lat = h.lat;
+  out->location.lon = h.lon;
+  const uint8_t* p = blob + sizeof(h);
+  out->keywords.resize(h.kw_count);
+  if (h.kw_count > 0) {
+    std::memcpy(out->keywords.data(), p, h.kw_count * sizeof(KeywordId));
+  }
+  p += h.kw_count * sizeof(KeywordId);
+  out->text.assign(reinterpret_cast<const char*>(p), h.text_len);
+}
+
+/// Scratch record for With/ForEach: its string/vector keep their capacity
+/// across calls, so steady-state reads allocate nothing. Valid because the
+/// callbacks must not reenter the store.
+Microblog& ScratchBlog() {
+  static thread_local Microblog scratch;
+  return scratch;
+}
+
 }  // namespace
+
+size_t RawDataStore::RecordBytesOf(const Record& rec) {
+  // Mirrors RecordBytes()/Microblog::FootprintBytes() for an encoded
+  // record: sizeof(Microblog) + text + keywords + fixed overhead.
+  BlobHeader h;
+  std::memcpy(&h, rec.blob, sizeof(h));
+  return sizeof(Microblog) + h.text_len + h.kw_count * sizeof(KeywordId) +
+         kBytesPerRecordOverhead;
+}
 
 RawDataStore::RawDataStore(MemoryTracker* tracker)
     : tracker_(tracker), shards_(kNumShards) {}
 
 RawDataStore::~RawDataStore() {
+  for (Shard& shard : shards_) {
+    // No lock needed during destruction; free blobs so oversize ones (heap
+    // fallback) do not leak. Pool chunks release with the pool.
+    for (auto& [id, rec] : shard.records) {
+      shard.pool.Free(rec.blob, rec.blob_bytes);
+    }
+  }
   if (tracker_ != nullptr) {
-    tracker_->Release(MemoryComponent::kRawStore,
-                      bytes_.load(std::memory_order_relaxed));
+    tracker_->Release(MemoryComponent::kRawStore, MemoryBytes());
   }
 }
 
@@ -31,20 +121,24 @@ const RawDataStore::Shard& RawDataStore::ShardFor(MicroblogId id) const {
   return shards_[MixHash(id) % kNumShards];
 }
 
-Status RawDataStore::Put(Microblog blog, uint32_t pcount) {
+Status RawDataStore::Put(const Microblog& blog, uint32_t pcount) {
   const MicroblogId id = blog.id;
   const size_t bytes = RecordBytes(blog);
+  const size_t blob_bytes = EncodedBytes(blog);
   Shard& shard = ShardFor(id);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto [it, inserted] = shard.records.try_emplace(id);
   if (!inserted) {
     return Status::AlreadyExists("microblog id already stored");
   }
-  it->second.blog = std::move(blog);
-  it->second.pcount = pcount;
-  it->second.topk_count = 0;
-  size_.fetch_add(1, std::memory_order_relaxed);
-  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  Record& rec = it->second;
+  rec.blob = static_cast<uint8_t*>(shard.pool.Alloc(blob_bytes));
+  rec.blob_bytes = static_cast<uint32_t>(blob_bytes);
+  Encode(blog, rec.blob);
+  rec.pcount = pcount;
+  rec.topk_count = 0;
+  shard.count.Add(1);
+  shard.bytes.Add(bytes);
   if (tracker_ != nullptr) tracker_->Charge(MemoryComponent::kRawStore, bytes);
   return Status::OK();
 }
@@ -60,7 +154,9 @@ std::optional<Microblog> RawDataStore::Get(MicroblogId id) const {
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.records.find(id);
   if (it == shard.records.end()) return std::nullopt;
-  return it->second.blog;
+  Microblog blog;
+  Decode(it->second.blob, &blog);
+  return blog;
 }
 
 bool RawDataStore::With(
@@ -69,7 +165,9 @@ bool RawDataStore::With(
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.records.find(id);
   if (it == shard.records.end()) return false;
-  fn(it->second.blog);
+  Microblog& scratch = ScratchBlog();
+  Decode(it->second.blob, &scratch);
+  fn(scratch);
   return true;
 }
 
@@ -117,11 +215,14 @@ std::optional<Microblog> RawDataStore::Remove(MicroblogId id) {
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.records.find(id);
   if (it == shard.records.end()) return std::nullopt;
-  Microblog blog = std::move(it->second.blog);
+  Record& rec = it->second;
+  Microblog blog;
+  Decode(rec.blob, &blog);
+  const size_t bytes = RecordBytesOf(rec);
+  shard.pool.Free(rec.blob, rec.blob_bytes);
   shard.records.erase(it);
-  const size_t bytes = RecordBytes(blog);
-  size_.fetch_sub(1, std::memory_order_relaxed);
-  bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  shard.count.Sub(1);
+  shard.bytes.Sub(bytes);
   if (tracker_ != nullptr) {
     tracker_->Release(MemoryComponent::kRawStore, bytes);
   }
@@ -131,20 +232,35 @@ std::optional<Microblog> RawDataStore::Remove(MicroblogId id) {
 void RawDataStore::ForEach(
     const std::function<void(const Microblog&, uint32_t, uint32_t)>& fn)
     const {
+  Microblog& scratch = ScratchBlog();
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (const auto& [id, record] : shard.records) {
-      fn(record.blog, record.pcount, record.topk_count);
+      Decode(record.blob, &scratch);
+      fn(scratch, record.pcount, record.topk_count);
     }
   }
 }
 
 size_t RawDataStore::size() const {
-  return size_.load(std::memory_order_relaxed);
+  size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.count.Get();
+  return total;
 }
 
 size_t RawDataStore::MemoryBytes() const {
-  return bytes_.load(std::memory_order_relaxed);
+  size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.bytes.Get();
+  return total;
+}
+
+size_t RawDataStore::PoolFootprintBytes() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.pool.FootprintBytes();
+  }
+  return total;
 }
 
 }  // namespace kflush

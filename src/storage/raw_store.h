@@ -4,6 +4,19 @@
 // entries still referencing it (paper §III-A) — and, for the kFlushing-MK
 // extension, the number of entries in which it currently ranks within
 // top-k. A record leaves memory exactly when pcount reaches zero.
+//
+// Records live as flat blobs: the fixed fields, keyword array, and text of
+// a Microblog are encoded into one contiguous allocation from the owning
+// shard's SlabPool (util/arena.h), so storing a record costs a single pool
+// Alloc + memcpy instead of the std::string/std::vector heap round-trips a
+// Microblog copy pays, and eviction returns the blob to the pool for the
+// next arrival. Readers materialize a Microblog view on demand (With/
+// ForEach reuse a scratch record, so steady-state reads allocate nothing).
+//
+// Byte accounting is logical (RecordBytes of the content, as before) and
+// per-shard: counters are plain relaxed atomics written only under the
+// shard lock — single-writer, so no RMW contention — and aggregated on
+// read.
 
 #ifndef KFLUSH_STORAGE_RAW_STORE_H_
 #define KFLUSH_STORAGE_RAW_STORE_H_
@@ -16,7 +29,9 @@
 #include <vector>
 
 #include "model/microblog.h"
+#include "util/arena.h"
 #include "util/memory_tracker.h"
+#include "util/relaxed_counter.h"
 #include "util/status.h"
 
 namespace kflush {
@@ -38,15 +53,16 @@ class RawDataStore {
 
   /// Stores `blog` with an initial reference count. Fails with
   /// AlreadyExists if the id is present.
-  Status Put(Microblog blog, uint32_t pcount);
+  Status Put(const Microblog& blog, uint32_t pcount);
 
   bool Contains(MicroblogId id) const;
 
   /// Copies the record out (safe to use without holding locks).
   std::optional<Microblog> Get(MicroblogId id) const;
 
-  /// Runs `fn` on the record under the shard lock, avoiding a copy.
-  /// Returns false if absent. `fn` must not reenter the store.
+  /// Runs `fn` on the record under the shard lock, avoiding heap work. The
+  /// reference is to a thread-local scratch record valid only during the
+  /// call. Returns false if absent. `fn` must not reenter the store.
   bool With(MicroblogId id, const std::function<void(const Microblog&)>& fn) const;
 
   /// Decrements the reference count; returns the remaining count.
@@ -65,12 +81,17 @@ class RawDataStore {
   std::optional<Microblog> Remove(MicroblogId id);
 
   /// Visits every record under its shard lock (shards visited one at a
-  /// time). `fn` must not reenter the store.
+  /// time). The reference is to a scratch record valid only during the
+  /// callback. `fn` must not reenter the store.
   void ForEach(const std::function<void(const Microblog&, uint32_t /*pcount*/,
                                         uint32_t /*topk_count*/)>& fn) const;
 
   size_t size() const;
   size_t MemoryBytes() const;
+
+  /// Bytes held from the OS by the record pools (slab footprint; the
+  /// physical-overhead view next to the logical MemoryBytes accounting).
+  size_t PoolFootprintBytes() const;
 
   /// Bytes a record of this shape accounts for.
   static size_t RecordBytes(const Microblog& blog) {
@@ -79,14 +100,22 @@ class RawDataStore {
 
  private:
   struct Record {
-    Microblog blog;
+    uint8_t* blob = nullptr;
+    uint32_t blob_bytes = 0;
     uint32_t pcount = 0;
     uint32_t topk_count = 0;
   };
 
   struct Shard {
     mutable std::mutex mu;
+    // Declared before `records` so it is destroyed after them: blobs never
+    // outlive their pool.
+    SlabPool pool;
     std::unordered_map<MicroblogId, Record> records;
+    // Written only under `mu` (single writer at a time), read lock-free by
+    // the aggregating getters.
+    ShardCounter count;
+    ShardCounter bytes;
   };
 
   static constexpr size_t kNumShards = 64;
@@ -94,10 +123,11 @@ class RawDataStore {
   Shard& ShardFor(MicroblogId id);
   const Shard& ShardFor(MicroblogId id) const;
 
+  /// Logical accounting bytes of the record encoded in `rec`.
+  static size_t RecordBytesOf(const Record& rec);
+
   MemoryTracker* tracker_;
   std::vector<Shard> shards_;
-  std::atomic<size_t> size_{0};
-  std::atomic<size_t> bytes_{0};
 };
 
 }  // namespace kflush

@@ -8,19 +8,11 @@ namespace kflush {
 
 Status SimDiskStore::AddPosting(TermId term, MicroblogId id, double score) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto& list = postings_[term];
-  // Insert keeping descending score order; drop exact duplicates (a record
-  // may be re-registered if it was trimmed from an entry and later the
-  // whole record is flushed).
-  auto it = std::upper_bound(
-      list.begin(), list.end(), score,
-      [](double s, const Posting& p) { return s > p.score; });
-  // Scan the equal-score run for a duplicate id.
-  for (auto dup = it;
-       dup != list.begin() && (dup - 1)->score == score; --dup) {
-    if ((dup - 1)->id == id) return Status::OK();
+  // Duplicates are dropped (a record may be re-registered if it was
+  // trimmed from an entry and later the whole record is flushed).
+  if (!DiskPostingInsertAscending(&postings_[term], id, score)) {
+    return Status::OK();
   }
-  list.insert(it, Posting{id, score});
   ++num_postings_;
   ++stats_.postings_added;
   return Status::OK();
@@ -46,9 +38,7 @@ Status SimDiskStore::QueryTerm(TermId term, size_t limit,
   ++stats_.term_queries;
   auto it = postings_.find(term);
   if (it == postings_.end()) return Status::OK();
-  const auto& list = it->second;
-  const size_t n = std::min(limit, list.size());
-  out->insert(out->end(), list.begin(), list.begin() + static_cast<ptrdiff_t>(n));
+  const size_t n = DiskPostingsTopN(it->second, limit, out);
   stats_.posting_bytes_read += n * sizeof(Posting);
   return Status::OK();
 }

@@ -32,7 +32,8 @@ class SimDiskStore : public DiskStore {
 
  private:
   mutable std::mutex mu_;
-  /// term -> postings kept score-descending.
+  /// term -> postings kept score-ascending (appended in arrival order,
+  /// read back-to-front; see DiskPostingInsertAscending).
   std::unordered_map<TermId, std::vector<Posting>> postings_;
   std::unordered_map<MicroblogId, Microblog> records_;
   size_t num_postings_ = 0;

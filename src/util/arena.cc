@@ -1,0 +1,139 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cassert>
+#include <new>
+
+namespace kflush {
+
+namespace {
+
+constexpr size_t AlignUp(size_t v, size_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Arena(size_t min_chunk_bytes)
+    : next_chunk_bytes_(std::max<size_t>(min_chunk_bytes, 64)) {}
+
+Arena::~Arena() {
+  for (Chunk* list : {chunks_, recycled_}) {
+    while (list != nullptr) {
+      Chunk* next = list->next;
+      ::operator delete(static_cast<void*>(list));
+      list = next;
+    }
+  }
+}
+
+void Arena::AddChunk(size_t bytes) {
+  // Prefer a parked chunk big enough for the request (Reset() reuse).
+  Chunk** prev = &recycled_;
+  for (Chunk* c = recycled_; c != nullptr; prev = &c->next, c = c->next) {
+    if (c->size >= bytes) {
+      *prev = c->next;
+      c->next = chunks_;
+      chunks_ = c;
+      ptr_ = reinterpret_cast<uint8_t*>(c) + sizeof(Chunk);
+      end_ = ptr_ + c->size;
+      return;
+    }
+  }
+  size_t payload = std::max(bytes, next_chunk_bytes_);
+  if (next_chunk_bytes_ < kMaxChunkBytes) {
+    next_chunk_bytes_ = std::min(next_chunk_bytes_ * 2, kMaxChunkBytes);
+  }
+  void* mem = ::operator new(sizeof(Chunk) + payload);
+  Chunk* c = static_cast<Chunk*>(mem);
+  c->next = chunks_;
+  c->size = payload;
+  chunks_ = c;
+  ptr_ = static_cast<uint8_t*>(mem) + sizeof(Chunk);
+  end_ = ptr_ + payload;
+  footprint_ += sizeof(Chunk) + payload;
+  ++num_chunks_;
+}
+
+void* Arena::Alloc(size_t bytes, size_t align) {
+  assert((align & (align - 1)) == 0);
+  if (bytes == 0) bytes = 1;
+  uint8_t* aligned =
+      reinterpret_cast<uint8_t*>(AlignUp(reinterpret_cast<uintptr_t>(ptr_),
+                                         align));
+  if (aligned + bytes > end_ || ptr_ == nullptr) {
+    // Chunk payloads start sizeof(Chunk)-aligned (16 on LP64); request
+    // enough slack to re-align inside the fresh chunk if needed.
+    AddChunk(bytes + align);
+    aligned = reinterpret_cast<uint8_t*>(
+        AlignUp(reinterpret_cast<uintptr_t>(ptr_), align));
+  }
+  allocated_ += static_cast<size_t>(aligned + bytes - ptr_);
+  ptr_ = aligned + bytes;
+  return aligned;
+}
+
+void Arena::Reset() {
+  while (chunks_ != nullptr) {
+    Chunk* next = chunks_->next;
+    chunks_->next = recycled_;
+    recycled_ = chunks_;
+    chunks_ = next;
+  }
+  ptr_ = nullptr;
+  end_ = nullptr;
+  allocated_ = 0;
+}
+
+SlabPool::SlabPool(size_t min_chunk_bytes) : arena_(min_chunk_bytes) {}
+
+SlabPool::~SlabPool() = default;
+
+int SlabPool::ClassIndex(size_t bytes) {
+  if (bytes <= kMinClassBytes) return 0;
+  // Index of the smallest class >= bytes: ceil(log2(bytes)) - log2(16).
+  const int bits = 64 - __builtin_clzll(bytes - 1);
+  const int idx = bits - 4;
+  return idx < static_cast<int>(kNumClasses) ? idx : -1;
+}
+
+size_t SlabPool::ClassBytes(size_t bytes) {
+  const int idx = ClassIndex(bytes);
+  if (idx < 0) return bytes;
+  return kMinClassBytes << idx;
+}
+
+void* SlabPool::Alloc(size_t bytes) {
+  const int idx = ClassIndex(bytes);
+  if (idx < 0) {
+    oversize_bytes_ += bytes;
+    return ::operator new(bytes);
+  }
+  if (free_[idx] != nullptr) {
+    FreeNode* node = free_[idx];
+    free_[idx] = node->next;
+    --free_blocks_;
+    return node;
+  }
+  return arena_.Alloc(kMinClassBytes << idx, kMinClassBytes);
+}
+
+void SlabPool::Free(void* p, size_t bytes) {
+  if (p == nullptr) return;
+  const int idx = ClassIndex(bytes);
+  if (idx < 0) {
+    oversize_bytes_ -= bytes;
+    ::operator delete(p);
+    return;
+  }
+  FreeNode* node = static_cast<FreeNode*>(p);
+  node->next = free_[idx];
+  free_[idx] = node;
+  ++free_blocks_;
+}
+
+size_t SlabPool::FootprintBytes() const {
+  return arena_.FootprintBytes() + oversize_bytes_;
+}
+
+}  // namespace kflush

@@ -1,0 +1,135 @@
+// The memory layer under the digestion hot path (docs/INTERNALS.md,
+// "Memory layout"). Two building blocks:
+//
+//   * Arena     — a bump allocator over geometrically growing chunks. One
+//                 pointer increment per allocation, no per-allocation
+//                 header, freed only wholesale (Reset / destruction). Its
+//                 footprint is a deterministic function of the allocation
+//                 sequence, which the byte-accounting tests rely on.
+//   * SlabPool  — size-class recycling on top of an Arena. Allocations
+//                 round up to a power-of-two class; Free() pushes the
+//                 block onto the class's intrusive free list and the next
+//                 Alloc of that class pops it. Memory retires to the OS
+//                 only when the pool dies, so steady-state flush churn
+//                 (posting blocks and record blobs cycling every eviction)
+//                 never touches malloc.
+//
+// Neither type is thread-safe: every pool in the system is owned by one
+// RawDataStore / InvertedIndex shard and mutated only under that shard's
+// mutex (the same discipline the data it allocates for lives under).
+// Logical byte accounting (MemoryTracker charges) stays defined by record
+// and posting *content* exactly as before; the pool's slack is observable
+// separately via FootprintBytes() for the Figure 10(a)-style overhead
+// reporting.
+
+#ifndef KFLUSH_UTIL_ARENA_H_
+#define KFLUSH_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kflush {
+
+/// Chunked bump allocator. Alloc() never fails (aborts on OOM like new);
+/// individual allocations cannot be freed — Reset() recycles every chunk
+/// for reuse without returning memory to the OS.
+class Arena {
+ public:
+  /// `min_chunk_bytes` sizes the first chunk; later chunks double up to
+  /// kMaxChunkBytes. Allocations larger than a chunk get a dedicated
+  /// exact-size chunk.
+  explicit Arena(size_t min_chunk_bytes = 4096);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).
+  void* Alloc(size_t bytes, size_t align = alignof(max_align_t));
+
+  /// Makes every chunk reusable again. Previously returned pointers are
+  /// invalidated; the footprint is unchanged (chunks are kept).
+  void Reset();
+
+  /// Total bytes obtained from the OS (chunk payloads + headers).
+  /// Deterministic in the sequence of Alloc sizes since construction.
+  size_t FootprintBytes() const { return footprint_; }
+
+  /// Bytes handed out since construction or the last Reset(), including
+  /// alignment padding.
+  size_t AllocatedBytes() const { return allocated_; }
+
+  size_t NumChunks() const { return num_chunks_; }
+
+  static constexpr size_t kMaxChunkBytes = 256 * 1024;
+
+ private:
+  struct Chunk {
+    Chunk* next;
+    size_t size;  // payload bytes following this header
+  };
+
+  /// Makes `bytes` available in a fresh or recycled chunk.
+  void AddChunk(size_t bytes);
+
+  Chunk* chunks_ = nullptr;    // chunks in use, newest first
+  Chunk* recycled_ = nullptr;  // chunks parked by Reset()
+  uint8_t* ptr_ = nullptr;     // bump cursor in chunks_
+  uint8_t* end_ = nullptr;
+  size_t next_chunk_bytes_;
+  size_t footprint_ = 0;
+  size_t allocated_ = 0;
+  size_t num_chunks_ = 0;
+};
+
+/// Power-of-two size-class allocator with per-class free lists, backed by
+/// an Arena. Classes span [kMinClassBytes, kMaxClassBytes]; larger
+/// requests fall through to operator new (tracked separately so the
+/// footprint stays exact).
+class SlabPool {
+ public:
+  static constexpr size_t kMinClassBytes = 16;
+  static constexpr size_t kMaxClassBytes = 64 * 1024;
+
+  explicit SlabPool(size_t min_chunk_bytes = 4096);
+  ~SlabPool();
+
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  /// Storage for at least `bytes` (16-byte aligned). O(1): pops the class
+  /// free list, else bumps the arena.
+  void* Alloc(size_t bytes);
+
+  /// Returns the block obtained from Alloc(bytes) for reuse. `bytes` must
+  /// be the same value passed to Alloc (the class is recomputed from it).
+  void Free(void* p, size_t bytes);
+
+  /// Bytes the pool holds from the OS: arena footprint + oversize blocks.
+  size_t FootprintBytes() const;
+
+  /// The class a request of `bytes` rounds up to (what Alloc actually
+  /// consumes); oversize requests return `bytes` unchanged.
+  static size_t ClassBytes(size_t bytes);
+
+  /// Blocks currently parked on free lists (tests / leak triage).
+  size_t FreeBlocks() const { return free_blocks_; }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  static constexpr size_t kNumClasses = 13;  // 16 << 0 .. 16 << 12
+
+  static int ClassIndex(size_t bytes);
+
+  Arena arena_;
+  FreeNode* free_[kNumClasses] = {};
+  size_t free_blocks_ = 0;
+  size_t oversize_bytes_ = 0;
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_UTIL_ARENA_H_

@@ -26,6 +26,17 @@ Timestamp ThreadCpuMicros() {
   return MonotonicMicros();
 }
 
+uint64_t ThreadCpuNanos() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+           static_cast<uint64_t>(ts.tv_nsec);
+  }
+#endif
+  return MonotonicMicros() * 1000;
+}
+
 Timestamp WallClock::NowMicros() const { return MonotonicMicros(); }
 
 WallClock* WallClock::Default() {

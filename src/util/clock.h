@@ -31,6 +31,10 @@ Timestamp MonotonicMicros();
 /// without a per-thread CPU clock.
 Timestamp ThreadCpuMicros();
 
+/// ThreadCpuMicros() at nanosecond resolution, for costs far below a
+/// microsecond (the per-phase insert breakdown). Same fallback behavior.
+uint64_t ThreadCpuNanos();
+
 /// Source of timestamps.
 class Clock {
  public:

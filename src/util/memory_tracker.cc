@@ -6,6 +6,7 @@
 namespace kflush {
 
 namespace {
+
 const char* ComponentName(MemoryComponent c) {
   switch (c) {
     case MemoryComponent::kRawStore:
@@ -21,43 +22,66 @@ const char* ComponentName(MemoryComponent c) {
   }
   return "unknown";
 }
+
+/// Threads draw their stripe index from a process-wide sequence (not a
+/// per-tracker one: a member thread_local is impossible, and the index is
+/// only a spreading heuristic, so sharing the sequence across trackers is
+/// fine).
+uint32_t NextThreadOrdinal() {
+  static std::atomic<uint32_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint32_t ThreadOrdinal() {
+  static thread_local uint32_t ordinal = NextThreadOrdinal();
+  return ordinal;
+}
+
 }  // namespace
 
-MemoryTracker::MemoryTracker(size_t budget_bytes)
-    : budget_(budget_bytes), used_(0) {
+MemoryTracker::MemoryTracker(size_t budget_bytes) : budget_(budget_bytes) {
   assert(budget_bytes > 0);
-  for (auto& c : per_component_) c.store(0, std::memory_order_relaxed);
 }
 
-void MemoryTracker::Charge(MemoryComponent component, size_t bytes) {
-  used_.fetch_add(bytes, std::memory_order_relaxed);
-  per_component_[static_cast<int>(component)].fetch_add(
-      bytes, std::memory_order_relaxed);
+MemoryTracker::Stripe& MemoryTracker::MyStripe() {
+  return stripes_[ThreadOrdinal() % kNumStripes];
 }
 
-void MemoryTracker::Release(MemoryComponent component, size_t bytes) {
-  size_t prev = used_.fetch_sub(bytes, std::memory_order_relaxed);
-  (void)prev;
-  assert(prev >= bytes && "releasing more than charged");
-  size_t prev_c = per_component_[static_cast<int>(component)].fetch_sub(
-      bytes, std::memory_order_relaxed);
-  (void)prev_c;
-  assert(prev_c >= bytes && "releasing more than charged to component");
+int64_t MemoryTracker::Sum(int component) const {
+  int64_t total = 0;
+  for (const Stripe& s : stripes_) {
+    total += s.component[component].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+size_t MemoryTracker::used() const {
+  int64_t total = 0;
+  for (const Stripe& s : stripes_) {
+    total += s.used.load(std::memory_order_relaxed);
+  }
+  // Concurrent charge/release pairs split across stripes can make a racy
+  // aggregate transiently negative; it is exact when quiescent.
+  return total > 0 ? static_cast<size_t>(total) : 0;
 }
 
 size_t MemoryTracker::ComponentUsed(MemoryComponent component) const {
-  return per_component_[static_cast<int>(component)].load(
-      std::memory_order_relaxed);
+  const int64_t total = Sum(static_cast<int>(component));
+  return total > 0 ? static_cast<size_t>(total) : 0;
+}
+
+size_t MemoryTracker::DataUsed() const {
+  const int64_t total = Sum(static_cast<int>(MemoryComponent::kRawStore)) +
+                        Sum(static_cast<int>(MemoryComponent::kIndex));
+  return total > 0 ? static_cast<size_t>(total) : 0;
 }
 
 std::string MemoryTracker::ToString() const {
   std::ostringstream os;
   os << "memory " << used() << "/" << budget_ << " bytes (";
-  for (int i = 0; i < static_cast<int>(MemoryComponent::kNumComponents);
-       ++i) {
+  for (int i = 0; i < kNumComponents; ++i) {
     if (i > 0) os << ", ";
-    os << ComponentName(static_cast<MemoryComponent>(i)) << "="
-       << per_component_[i].load(std::memory_order_relaxed);
+    os << ComponentName(static_cast<MemoryComponent>(i)) << "=" << Sum(i);
   }
   os << ")";
   return os.str();

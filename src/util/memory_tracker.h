@@ -2,6 +2,14 @@
 // ("flush at least B% of the memory budget"), so every component that holds
 // in-memory state charges/releases bytes against a MemoryTracker. Per-
 // component counters also back the Figure 10(a) overhead experiment.
+//
+// Counters are striped: each thread charges a cache-line-private stripe
+// with relaxed adds, and readers aggregate on demand. Digestion threads
+// therefore never bounce a shared counter line between cores — the old
+// single-atomic design put two fetch_adds on every insert's critical path.
+// A single stripe's value is meaningless on its own (a thread may release
+// bytes another thread charged, driving its stripe negative); only the
+// aggregate is, and it is exact whenever no charge is mid-flight.
 
 #ifndef KFLUSH_UTIL_MEMORY_TRACKER_H_
 #define KFLUSH_UTIL_MEMORY_TRACKER_H_
@@ -10,7 +18,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
-#include <vector>
 
 namespace kflush {
 
@@ -34,12 +41,23 @@ class MemoryTracker {
   /// Charges `bytes` to `component`. Never fails: the store checks
   /// IsFull() to decide when to trigger flushing, mirroring the paper's
   /// "flush when memory becomes full" trigger rather than rejecting writes.
-  void Charge(MemoryComponent component, size_t bytes);
+  void Charge(MemoryComponent component, size_t bytes) {
+    Stripe& s = MyStripe();
+    s.used.fetch_add(static_cast<int64_t>(bytes), std::memory_order_relaxed);
+    s.component[static_cast<int>(component)].fetch_add(
+        static_cast<int64_t>(bytes), std::memory_order_relaxed);
+  }
 
-  /// Releases `bytes` previously charged to `component`.
-  void Release(MemoryComponent component, size_t bytes);
+  /// Releases `bytes` previously charged to `component` (possibly by a
+  /// different thread — stripes may individually go negative).
+  void Release(MemoryComponent component, size_t bytes) {
+    Stripe& s = MyStripe();
+    s.used.fetch_sub(static_cast<int64_t>(bytes), std::memory_order_relaxed);
+    s.component[static_cast<int>(component)].fetch_sub(
+        static_cast<int64_t>(bytes), std::memory_order_relaxed);
+  }
 
-  size_t used() const { return used_.load(std::memory_order_relaxed); }
+  size_t used() const;
   size_t budget() const { return budget_; }
 
   /// Bytes charged to one component.
@@ -51,10 +69,7 @@ class MemoryTracker {
   /// Data bytes: raw store + index (the contents the flushing problem is
   /// defined over; policy bookkeeping and the transient flush buffer are
   /// reported separately as overhead, mirroring the paper's Figure 10(a)).
-  size_t DataUsed() const {
-    return ComponentUsed(MemoryComponent::kRawStore) +
-           ComponentUsed(MemoryComponent::kIndex);
-  }
+  size_t DataUsed() const;
 
   /// True once the data contents fill the budget.
   bool DataFull() const { return DataUsed() >= budget_; }
@@ -68,10 +83,26 @@ class MemoryTracker {
   std::string ToString() const;
 
  private:
+  static constexpr size_t kNumStripes = 8;
+  static constexpr int kNumComponents =
+      static_cast<int>(MemoryComponent::kNumComponents);
+
+  struct alignas(64) Stripe {
+    std::atomic<int64_t> used{0};
+    std::atomic<int64_t> component[kNumComponents] = {};
+  };
+
+  /// Round-robin stripe assignment, decided once per thread: with up to
+  /// kNumStripes live writer threads each stripe's line stays core-local;
+  /// beyond that threads share stripes (still correct — the adds are
+  /// atomic, just relaxed).
+  Stripe& MyStripe();
+
+  int64_t Sum(int component) const;
+
   const size_t budget_;
-  std::atomic<size_t> used_;
-  std::atomic<size_t> per_component_[static_cast<int>(
-      MemoryComponent::kNumComponents)];
+  std::atomic<uint32_t> next_stripe_{0};
+  Stripe stripes_[kNumStripes];
 };
 
 }  // namespace kflush

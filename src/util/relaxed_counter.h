@@ -1,0 +1,36 @@
+// A statistics counter owned by a lock-guarded shard: every writer already
+// holds the shard's mutex, so updates need no atomic RMW — a relaxed
+// load + store pair compiles to plain arithmetic — while aggregating
+// readers (size(), MemoryBytes(), ...) may sum shards lock-free. Using the
+// shared global std::atomic fetch_add here instead is what made every
+// digestion insert bounce counter cache lines across cores.
+
+#ifndef KFLUSH_UTIL_RELAXED_COUNTER_H_
+#define KFLUSH_UTIL_RELAXED_COUNTER_H_
+
+#include <atomic>
+#include <cstddef>
+
+namespace kflush {
+
+/// Single-writer-at-a-time counter (writer serialization supplied by the
+/// caller, e.g. a shard mutex) with lock-free readers.
+class ShardCounter {
+ public:
+  void Add(size_t delta) {
+    v_.store(v_.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+  }
+  void Sub(size_t delta) {
+    v_.store(v_.load(std::memory_order_relaxed) - delta,
+             std::memory_order_relaxed);
+  }
+  size_t Get() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<size_t> v_{0};
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_UTIL_RELAXED_COUNTER_H_

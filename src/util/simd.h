@@ -1,0 +1,263 @@
+// Vectorized scan kernels for the digestion and flush hot paths. The
+// dispatch is compile-time: when the build enables AVX2 (KFLUSH_ENABLE_SIMD
+// + a -mavx2-capable compiler, see cmake), the AVX2 bodies compile in;
+// otherwise the portable scalar fallbacks do. Every kernel has exactly one
+// observable contract shared by both bodies — tests/util/simd_test.cc pins
+// AVX2-vs-scalar equivalence over randomized inputs, and the scalar bodies
+// stay compiled (under *_Scalar names) even in AVX2 builds so the
+// equivalence suite runs on one binary.
+//
+// The kernels operate on the SoA layouts introduced with posting blocks
+// (index/posting_block.h): descending score arrays, posting id arrays, and
+// the packed per-entry count/timestamp snapshots the kFlushing victim
+// scans iterate (index/inverted_index.h, Snapshot()).
+
+#ifndef KFLUSH_UTIL_SIMD_H_
+#define KFLUSH_UTIL_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#if defined(__AVX2__) && !defined(KFLUSH_SIMD_FORCE_SCALAR)
+#define KFLUSH_SIMD_AVX2 1
+#include <immintrin.h>
+#else
+#define KFLUSH_SIMD_AVX2 0
+#endif
+
+namespace kflush {
+namespace simd {
+
+/// True when the AVX2 bodies are compiled in (diagnostics / bench labels).
+constexpr bool kAvx2Enabled = KFLUSH_SIMD_AVX2 != 0;
+
+// ---------------------------------------------------------------------------
+// Scalar reference bodies. These ARE the semantics; the AVX2 bodies below
+// must match them bit-for-bit (simd_test.cc enforces it).
+// ---------------------------------------------------------------------------
+
+/// First index i in [0, n) with value >= scores[i], i.e. the insert
+/// position of `value` in a descending score array under the posting-list
+/// rule "a new posting goes before the first not-greater score" — among
+/// equal scores the newest arrival ranks first. Returns n when every
+/// element is > value.
+inline size_t InsertPosDescScalar(const double* scores, size_t n,
+                                  double value) {
+  for (size_t i = 0; i < n; ++i) {
+    if (value >= scores[i]) return i;
+  }
+  return n;
+}
+
+/// Index of the first element equal to `id`, or n if absent.
+inline size_t FindU64Scalar(const uint64_t* ids, size_t n, uint64_t id) {
+  for (size_t i = 0; i < n; ++i) {
+    if (ids[i] == id) return i;
+  }
+  return n;
+}
+
+/// Appends to `out` every index i with counts[i] > threshold (the Phase-1
+/// over-k rebuild scan).
+inline void AppendIndicesGreaterScalar(const uint32_t* counts, size_t n,
+                                       uint32_t threshold,
+                                       std::vector<uint32_t>* out) {
+  for (size_t i = 0; i < n; ++i) {
+    if (counts[i] > threshold) out->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+/// Appends to `out` every index i with counts[i] < threshold (the Phase-2
+/// under-k candidate scan).
+inline void AppendIndicesLessScalar(const uint32_t* counts, size_t n,
+                                    uint32_t threshold,
+                                    std::vector<uint32_t>* out) {
+  for (size_t i = 0; i < n; ++i) {
+    if (counts[i] < threshold) out->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+/// Number of elements with counts[i] >= threshold (the k-filled metric).
+inline size_t CountAtLeastScalar(const uint32_t* counts, size_t n,
+                                 uint32_t threshold) {
+  size_t c = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (counts[i] >= threshold) ++c;
+  }
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 bodies.
+// ---------------------------------------------------------------------------
+
+#if KFLUSH_SIMD_AVX2
+
+inline size_t InsertPosDesc(const double* scores, size_t n, double value) {
+  // Long descending runs first narrow by binary search (hot terms hold
+  // thousands of postings; a linear scan there would dwarf the insert),
+  // then the last window scans vectorized.
+  size_t lo = 0;
+  size_t len = n;
+  while (len > 64) {
+    const size_t half = len / 2;
+    // Predicate "value >= scores[i]" is monotone (false...false
+    // true...true) on a descending array.
+    if (value >= scores[lo + half]) {
+      len = half;
+    } else {
+      lo += half + 1;
+      len -= half + 1;
+    }
+  }
+  const __m256d v = _mm256_set1_pd(value);
+  size_t i = lo;
+  const size_t end = lo + len;
+  for (; i + 4 <= end; i += 4) {
+    const __m256d s = _mm256_loadu_pd(scores + i);
+    const __m256d ge = _mm256_cmp_pd(v, s, _CMP_GE_OQ);
+    const int mask = _mm256_movemask_pd(ge);
+    if (mask != 0) {
+      return i + static_cast<size_t>(__builtin_ctz(static_cast<unsigned>(mask)));
+    }
+  }
+  for (; i < end; ++i) {
+    if (value >= scores[i]) return i;
+  }
+  return end;
+}
+
+inline size_t FindU64(const uint64_t* ids, size_t n, uint64_t id) {
+  const __m256i v = _mm256_set1_epi64x(static_cast<long long>(id));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids + i));
+    const __m256i eq = _mm256_cmpeq_epi64(a, v);
+    const int mask = _mm256_movemask_pd(_mm256_castsi256_pd(eq));
+    if (mask != 0) {
+      return i + static_cast<size_t>(__builtin_ctz(static_cast<unsigned>(mask)));
+    }
+  }
+  for (; i < n; ++i) {
+    if (ids[i] == id) return i;
+  }
+  return n;
+}
+
+namespace internal {
+
+// Shared body for the two filtered-index scans: `kLess` selects
+// counts[i] < threshold, otherwise counts[i] > threshold. Comparisons use
+// the signed-compare trick (bias by 2^31) since AVX2 lacks unsigned
+// 32-bit compares.
+template <bool kLess>
+inline void AppendIndicesCmp(const uint32_t* counts, size_t n,
+                             uint32_t threshold, std::vector<uint32_t>* out) {
+  const __m256i bias = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  const __m256i t =
+      _mm256_xor_si256(_mm256_set1_epi32(static_cast<int>(threshold)), bias);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i c = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(counts + i)),
+        bias);
+    const __m256i cmp =
+        kLess ? _mm256_cmpgt_epi32(t, c) : _mm256_cmpgt_epi32(c, t);
+    unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(cmp)));
+    while (mask != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctz(mask));
+      out->push_back(static_cast<uint32_t>(i + bit));
+      mask &= mask - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    const bool take = kLess ? counts[i] < threshold : counts[i] > threshold;
+    if (take) out->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+}  // namespace internal
+
+inline void AppendIndicesGreater(const uint32_t* counts, size_t n,
+                                 uint32_t threshold,
+                                 std::vector<uint32_t>* out) {
+  internal::AppendIndicesCmp<false>(counts, n, threshold, out);
+}
+
+inline void AppendIndicesLess(const uint32_t* counts, size_t n,
+                              uint32_t threshold, std::vector<uint32_t>* out) {
+  internal::AppendIndicesCmp<true>(counts, n, threshold, out);
+}
+
+inline size_t CountAtLeast(const uint32_t* counts, size_t n,
+                           uint32_t threshold) {
+  if (threshold == 0) return n;
+  const __m256i bias = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  // x >= t  <=>  x > t - 1  (t >= 1 here, so no wraparound).
+  const __m256i t = _mm256_xor_si256(
+      _mm256_set1_epi32(static_cast<int>(threshold - 1)), bias);
+  size_t c = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(counts + i)),
+        bias);
+    const __m256i cmp = _mm256_cmpgt_epi32(x, t);
+    c += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(cmp)))));
+  }
+  for (; i < n; ++i) {
+    if (counts[i] >= threshold) ++c;
+  }
+  return c;
+}
+
+#else  // !KFLUSH_SIMD_AVX2
+
+inline size_t InsertPosDesc(const double* scores, size_t n, double value) {
+  // Same binary-search narrowing as the AVX2 body so the two bodies visit
+  // identical windows; only the final window scan is scalar.
+  size_t lo = 0;
+  size_t len = n;
+  while (len > 64) {
+    const size_t half = len / 2;
+    if (value >= scores[lo + half]) {
+      len = half;
+    } else {
+      lo += half + 1;
+      len -= half + 1;
+    }
+  }
+  const size_t r = InsertPosDescScalar(scores + lo, len, value);
+  return lo + r;
+}
+
+inline size_t FindU64(const uint64_t* ids, size_t n, uint64_t id) {
+  return FindU64Scalar(ids, n, id);
+}
+
+inline void AppendIndicesGreater(const uint32_t* counts, size_t n,
+                                 uint32_t threshold,
+                                 std::vector<uint32_t>* out) {
+  AppendIndicesGreaterScalar(counts, n, threshold, out);
+}
+
+inline void AppendIndicesLess(const uint32_t* counts, size_t n,
+                              uint32_t threshold, std::vector<uint32_t>* out) {
+  AppendIndicesLessScalar(counts, n, threshold, out);
+}
+
+inline size_t CountAtLeast(const uint32_t* counts, size_t n,
+                           uint32_t threshold) {
+  return CountAtLeastScalar(counts, n, threshold);
+}
+
+#endif  // KFLUSH_SIMD_AVX2
+
+}  // namespace simd
+}  // namespace kflush
+
+#endif  // KFLUSH_UTIL_SIMD_H_

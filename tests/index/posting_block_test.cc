@@ -1,0 +1,172 @@
+// PostingBlock storage-engine tests: the inline<->slab transitions,
+// head-offset push/recenter mechanics, shorter-side shifts, shrink
+// hysteresis, and copy/move against a plain vector-of-pairs model.
+
+#include "index/posting_block.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+
+namespace kflush {
+namespace {
+
+using Item = std::pair<uint64_t, double>;
+
+void ExpectMatches(const PostingBlock& block, const std::deque<Item>& model) {
+  ASSERT_EQ(block.size(), model.size());
+  for (size_t i = 0; i < model.size(); ++i) {
+    ASSERT_EQ(block.id(i), model[i].first) << "pos " << i;
+    ASSERT_EQ(block.score(i), model[i].second) << "pos " << i;
+  }
+  // The views must be contiguous and consistent with element accessors.
+  const double* s = block.scores();
+  const uint64_t* d = block.ids();
+  for (size_t i = 0; i < model.size(); ++i) {
+    ASSERT_EQ(d[i], model[i].first);
+    ASSERT_EQ(s[i], model[i].second);
+  }
+}
+
+TEST(PostingBlockTest, StaysInlineUpToInlineCapacity) {
+  PostingBlock block;
+  for (size_t i = 0; i < PostingBlock::kInlineCapacity; ++i) {
+    block.PushFront(i, static_cast<double>(i));
+    EXPECT_TRUE(block.inlined());
+    EXPECT_EQ(block.BlockBytes(), 0u);
+  }
+  block.PushFront(99, 99.0);
+  EXPECT_FALSE(block.inlined());
+  EXPECT_EQ(block.capacity(), PostingBlock::kFirstBlockCapacity);
+  EXPECT_EQ(block.BlockBytes(), PostingBlock::kFirstBlockCapacity * 16);
+  EXPECT_EQ(block.id(0), 99u);
+  EXPECT_EQ(block.id(4), 0u);
+}
+
+TEST(PostingBlockTest, GrowthDoubles) {
+  PostingBlock block;
+  for (uint64_t i = 0; i < 100; ++i) block.PushBack(i, 0.0);
+  // Geometric growth with centered reallocation: capacity stays within a
+  // constant factor of the live size (no linear-in-pushes creep).
+  EXPECT_GE(block.capacity(), 100u);
+  EXPECT_LE(block.capacity(), 256u);
+  EXPECT_EQ(block.size(), 100u);
+  for (uint64_t i = 0; i < 100; ++i) EXPECT_EQ(block.id(i), i);
+}
+
+TEST(PostingBlockTest, ShrinkHysteresis) {
+  PostingBlock block;
+  for (uint64_t i = 0; i < 100; ++i) block.PushBack(i, static_cast<double>(i));
+  const size_t grown = block.capacity();
+  ASSERT_GE(grown, 100u);
+
+  // Above quarter occupancy nothing shrinks (hysteresis).
+  block.TruncateTo(grown / 4 + 1);
+  block.MaybeShrink();
+  EXPECT_EQ(block.capacity(), grown);
+
+  // At 20/grown the block halves (possibly repeatedly).
+  block.TruncateTo(20);
+  block.MaybeShrink();
+  EXPECT_LT(block.capacity(), grown);
+  EXPECT_GE(block.capacity(), 20u);
+  for (uint64_t i = 0; i < 20; ++i) EXPECT_EQ(block.id(i), i);
+
+  // Down to a tiny list the storage returns inline.
+  block.TruncateTo(2);
+  block.MaybeShrink();
+  EXPECT_TRUE(block.inlined());
+  EXPECT_EQ(block.id(0), 0u);
+  EXPECT_EQ(block.id(1), 1u);
+}
+
+TEST(PostingBlockTest, PooledBlocksRecycleThroughSlabPool) {
+  SlabPool pool;
+  {
+    PostingBlock block(&pool);
+    for (uint64_t i = 0; i < 1000; ++i) block.PushFront(i, 0.0);
+  }  // destructor returns the block
+  const size_t footprint = pool.FootprintBytes();
+  EXPECT_GT(pool.FreeBlocks(), 0u);
+  for (int round = 0; round < 50; ++round) {
+    PostingBlock block(&pool);
+    for (uint64_t i = 0; i < 1000; ++i) block.PushFront(i, 0.0);
+  }
+  // Same growth ladder each round -> fully served from the free lists.
+  EXPECT_EQ(pool.FootprintBytes(), footprint);
+}
+
+TEST(PostingBlockTest, CopyAndMovePreserveContentAcrossPools) {
+  SlabPool pool;
+  PostingBlock a(&pool);
+  for (uint64_t i = 0; i < 50; ++i) a.PushFront(i, static_cast<double>(i));
+
+  PostingBlock b(a);  // copy
+  ASSERT_EQ(b.size(), 50u);
+  for (size_t i = 0; i < 50; ++i) EXPECT_EQ(b.id(i), a.id(i));
+
+  PostingBlock c(std::move(a));  // move steals the block
+  ASSERT_EQ(c.size(), 50u);
+  EXPECT_EQ(c.id(0), 49u);
+
+  PostingBlock d;
+  d = c;  // copy-assign into an unpooled block
+  ASSERT_EQ(d.size(), 50u);
+  EXPECT_EQ(d.id(49), 0u);
+}
+
+TEST(PostingBlockTest, RandomOpsMatchDequeModel) {
+  // Differential fuzz of the raw storage operations against std::deque.
+  // Front-biased (the digestion distribution), with erases and inserts at
+  // random positions exercising the shorter-side shift logic and the
+  // recenter paths at both ends.
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    SCOPED_TRACE(seed);
+    Rng rng(seed + 1);
+    SlabPool pool;
+    PostingBlock block(&pool);
+    std::deque<Item> model;
+    uint64_t next = 0;
+    for (int op = 0; op < 1500; ++op) {
+      const uint64_t action = rng.Uniform(100);
+      const double score = static_cast<double>(rng.Uniform(1000));
+      if (action < 55) {
+        block.PushFront(next, score);
+        model.emplace_front(next, score);
+        ++next;
+      } else if (action < 65) {
+        block.PushBack(next, score);
+        model.emplace_back(next, score);
+        ++next;
+      } else if (action < 75) {
+        const size_t pos = rng.Uniform(model.size() + 1);
+        block.InsertAt(pos, next, score);
+        model.emplace(model.begin() + static_cast<ptrdiff_t>(pos), next,
+                      score);
+        ++next;
+      } else if (action < 90 && !model.empty()) {
+        const size_t pos = rng.Uniform(model.size());
+        block.EraseAt(pos);
+        model.erase(model.begin() + static_cast<ptrdiff_t>(pos));
+      } else if (action < 95 && !model.empty()) {
+        const size_t n = rng.Uniform(model.size() + 1);
+        block.TruncateTo(n);
+        model.resize(n);
+        block.MaybeShrink();
+      } else if (!model.empty()) {
+        block.PopBack();
+        model.pop_back();
+      }
+      if (op % 50 == 0) ExpectMatches(block, model);
+    }
+    ExpectMatches(block, model);
+  }
+}
+
+}  // namespace
+}  // namespace kflush

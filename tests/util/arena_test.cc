@@ -1,0 +1,176 @@
+// Unit tests for the slab layer under the digestion hot path: Arena bump
+// allocation (alignment, chunk growth, Reset recycling, deterministic
+// footprint) and SlabPool size-class recycling (class rounding, free-list
+// reuse, oversize fall-through).
+
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "util/random.h"
+
+namespace kflush {
+namespace {
+
+TEST(ArenaTest, AllocationsAlignedAndWritable) {
+  Arena arena;
+  std::vector<std::pair<uint8_t*, size_t>> blocks;
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const size_t bytes = 1 + rng.Uniform(300);
+    auto* p = static_cast<uint8_t*>(arena.Alloc(bytes));
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % alignof(max_align_t), 0u);
+    // Fill with a block-unique byte; verified below to prove no overlap.
+    std::memset(p, static_cast<int>(i % 251), bytes);
+    blocks.emplace_back(p, bytes);
+  }
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    for (size_t b = 0; b < blocks[i].second; ++b) {
+      ASSERT_EQ(blocks[i].first[b], static_cast<uint8_t>(i % 251))
+          << "block " << i << " byte " << b << " was clobbered";
+    }
+  }
+}
+
+TEST(ArenaTest, CustomAlignmentHonored) {
+  Arena arena;
+  for (size_t align : {size_t{1}, size_t{2}, size_t{8}, size_t{64},
+                       size_t{256}}) {
+    void* p = arena.Alloc(10, align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u) << align;
+  }
+}
+
+TEST(ArenaTest, OversizeAllocationGetsDedicatedChunk) {
+  Arena arena(4096);
+  const size_t before = arena.NumChunks();
+  void* p = arena.Alloc(Arena::kMaxChunkBytes + 1000);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xAB, Arena::kMaxChunkBytes + 1000);
+  EXPECT_GT(arena.NumChunks(), before);
+}
+
+TEST(ArenaTest, ResetKeepsFootprintAndReusesChunks) {
+  Arena arena(4096);
+  for (int i = 0; i < 1000; ++i) arena.Alloc(128);
+  const size_t footprint = arena.FootprintBytes();
+  const size_t chunks = arena.NumChunks();
+  EXPECT_GT(footprint, 0u);
+
+  arena.Reset();
+  EXPECT_EQ(arena.AllocatedBytes(), 0u);
+  EXPECT_EQ(arena.FootprintBytes(), footprint);
+
+  // The same allocation sequence must fit in the recycled chunks: no new
+  // OS memory.
+  for (int i = 0; i < 1000; ++i) arena.Alloc(128);
+  EXPECT_EQ(arena.FootprintBytes(), footprint);
+  EXPECT_EQ(arena.NumChunks(), chunks);
+}
+
+TEST(ArenaTest, FootprintIsDeterministicInAllocSequence) {
+  // Two arenas fed the identical pseudo-random sequence must end with the
+  // identical footprint — the property the byte-accounting tests lean on.
+  Arena a(4096);
+  Arena b(4096);
+  Rng rng_a(7);
+  Rng rng_b(7);
+  for (int i = 0; i < 2000; ++i) {
+    a.Alloc(1 + rng_a.Uniform(2048));
+    b.Alloc(1 + rng_b.Uniform(2048));
+  }
+  EXPECT_EQ(a.FootprintBytes(), b.FootprintBytes());
+  EXPECT_EQ(a.AllocatedBytes(), b.AllocatedBytes());
+  EXPECT_EQ(a.NumChunks(), b.NumChunks());
+}
+
+TEST(SlabPoolTest, ClassRounding) {
+  EXPECT_EQ(SlabPool::ClassBytes(1), SlabPool::kMinClassBytes);
+  EXPECT_EQ(SlabPool::ClassBytes(16), 16u);
+  EXPECT_EQ(SlabPool::ClassBytes(17), 32u);
+  EXPECT_EQ(SlabPool::ClassBytes(100), 128u);
+  EXPECT_EQ(SlabPool::ClassBytes(4096), 4096u);
+  EXPECT_EQ(SlabPool::ClassBytes(SlabPool::kMaxClassBytes),
+            SlabPool::kMaxClassBytes);
+  // Oversize requests are not rounded (they go to operator new).
+  EXPECT_EQ(SlabPool::ClassBytes(SlabPool::kMaxClassBytes + 1),
+            SlabPool::kMaxClassBytes + 1);
+}
+
+TEST(SlabPoolTest, FreeThenAllocSameClassReusesBlock) {
+  SlabPool pool;
+  void* p = pool.Alloc(100);  // class 128
+  pool.Free(p, 100);
+  EXPECT_EQ(pool.FreeBlocks(), 1u);
+  // A different size in the same class pops the same block.
+  void* q = pool.Alloc(128);
+  EXPECT_EQ(q, p);
+  EXPECT_EQ(pool.FreeBlocks(), 0u);
+}
+
+TEST(SlabPoolTest, SteadyStateChurnDoesNotGrowFootprint) {
+  SlabPool pool;
+  // Warm up one block per class used below.
+  std::vector<void*> held;
+  for (size_t bytes : {24u, 100u, 1000u, 5000u}) {
+    held.push_back(pool.Alloc(bytes));
+  }
+  size_t i = 0;
+  for (size_t bytes : {24u, 100u, 1000u, 5000u}) pool.Free(held[i++], bytes);
+  const size_t footprint = pool.FootprintBytes();
+
+  // Flush-churn simulation: alloc/free cycles must recycle, never grow.
+  Rng rng(3);
+  const size_t sizes[] = {24, 100, 1000, 5000};
+  for (int round = 0; round < 10000; ++round) {
+    const size_t bytes = sizes[rng.Uniform(4)];
+    void* p = pool.Alloc(bytes);
+    std::memset(p, 0x5A, bytes);
+    pool.Free(p, bytes);
+  }
+  EXPECT_EQ(pool.FootprintBytes(), footprint);
+}
+
+TEST(SlabPoolTest, OversizeAllocationsTrackedAndReleased) {
+  SlabPool pool;
+  const size_t big = SlabPool::kMaxClassBytes + 4096;
+  const size_t before = pool.FootprintBytes();
+  void* p = pool.Alloc(big);
+  std::memset(p, 1, big);
+  EXPECT_GE(pool.FootprintBytes(), before + big);
+  pool.Free(p, big);
+  // Oversize blocks return to the OS immediately (not free-listed).
+  EXPECT_EQ(pool.FootprintBytes(), before);
+  EXPECT_EQ(pool.FreeBlocks(), 0u);
+}
+
+TEST(SlabPoolTest, ManyLiveBlocksStayDisjoint) {
+  SlabPool pool;
+  Rng rng(11);
+  std::vector<std::pair<uint8_t*, size_t>> live;
+  for (int i = 0; i < 400; ++i) {
+    const size_t bytes = 1 + rng.Uniform(600);
+    auto* p = static_cast<uint8_t*>(pool.Alloc(bytes));
+    std::memset(p, i % 251, bytes);
+    live.emplace_back(p, bytes);
+    if (live.size() > 200) {
+      // Free a random one to interleave free-list traffic.
+      const size_t victim = rng.Uniform(live.size());
+      pool.Free(live[victim].first, live[victim].second);
+      live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+    }
+  }
+  std::set<uint8_t*> seen;
+  for (auto& [p, bytes] : live) {
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate live pointer";
+  }
+}
+
+}  // namespace
+}  // namespace kflush

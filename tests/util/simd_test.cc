@@ -1,0 +1,190 @@
+// AVX2-vs-scalar equivalence for the scan kernels (util/simd.h). The
+// scalar *_Scalar bodies are the semantics; the dispatched kernels must
+// agree with them on every input — randomized arrays of awkward lengths
+// (crossing the 4/8-lane boundaries), adversarial values (ties, ±inf,
+// extremes of the unsigned range), and the long-array binary-search
+// narrowing path of InsertPosDesc.
+
+#include "util/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/random.h"
+
+namespace kflush {
+namespace {
+
+using simd::AppendIndicesGreater;
+using simd::AppendIndicesGreaterScalar;
+using simd::AppendIndicesLess;
+using simd::AppendIndicesLessScalar;
+using simd::CountAtLeast;
+using simd::CountAtLeastScalar;
+using simd::FindU64;
+using simd::FindU64Scalar;
+using simd::InsertPosDesc;
+using simd::InsertPosDescScalar;
+
+TEST(SimdTest, ReportsDispatchKind) {
+  // Informational: makes CI logs show which body this run exercised.
+  RecordProperty("avx2", simd::kAvx2Enabled ? 1 : 0);
+  SUCCEED();
+}
+
+std::vector<double> RandomDescending(Rng* rng, size_t n, bool with_ties) {
+  std::vector<double> scores(n);
+  double cur = 1e9;
+  for (size_t i = 0; i < n; ++i) {
+    if (!with_ties || !rng->Bernoulli(0.3)) {
+      cur -= static_cast<double>(1 + rng->Uniform(1000));
+    }
+    // else: repeat `cur` — an equal-score run.
+    scores[i] = cur;
+  }
+  return scores;
+}
+
+TEST(SimdTest, InsertPosDescMatchesScalarRandomized) {
+  Rng rng(1);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const size_t n = rng.Uniform(40);  // covers 0 and sub-lane lengths
+    const auto scores = RandomDescending(&rng, n, /*with_ties=*/true);
+    // Probe existing values (tie positions), midpoints, and extremes.
+    std::vector<double> probes = {1e18, -1e18};
+    for (int p = 0; p < 6; ++p) {
+      if (n > 0 && rng.Bernoulli(0.5)) {
+        probes.push_back(scores[rng.Uniform(n)]);
+      } else {
+        probes.push_back(1e9 - static_cast<double>(rng.Uniform(50000)));
+      }
+    }
+    for (double v : probes) {
+      ASSERT_EQ(InsertPosDesc(scores.data(), n, v),
+                InsertPosDescScalar(scores.data(), n, v))
+          << "n=" << n << " v=" << v;
+    }
+  }
+}
+
+TEST(SimdTest, InsertPosDescLongArraysHitNarrowingPath) {
+  Rng rng(2);
+  for (size_t n : {65u, 100u, 1000u, 4097u}) {
+    const auto scores = RandomDescending(&rng, n, /*with_ties=*/true);
+    for (int p = 0; p < 200; ++p) {
+      const double v = scores[rng.Uniform(n)] +
+                       static_cast<double>(rng.Uniform(3)) - 1.0;
+      ASSERT_EQ(InsertPosDesc(scores.data(), n, v),
+                InsertPosDescScalar(scores.data(), n, v))
+          << "n=" << n << " v=" << v;
+    }
+    // Boundary probes: before the head, after the tail.
+    ASSERT_EQ(InsertPosDesc(scores.data(), n, scores.front() + 1),
+              InsertPosDescScalar(scores.data(), n, scores.front() + 1));
+    ASSERT_EQ(InsertPosDesc(scores.data(), n, scores.back() - 1),
+              InsertPosDescScalar(scores.data(), n, scores.back() - 1));
+  }
+}
+
+TEST(SimdTest, InsertPosDescInfinities) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> scores = {inf, 100.0, 0.0, -inf};
+  for (double v : {inf, 101.0, 100.0, -1.0, -inf}) {
+    EXPECT_EQ(InsertPosDesc(scores.data(), scores.size(), v),
+              InsertPosDescScalar(scores.data(), scores.size(), v))
+        << v;
+  }
+}
+
+TEST(SimdTest, FindU64MatchesScalarRandomized) {
+  Rng rng(3);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const size_t n = rng.Uniform(70);
+    std::vector<uint64_t> ids(n);
+    for (auto& id : ids) id = rng.Uniform(50);  // dense → duplicates
+    // Present and absent probes, plus extreme bit patterns.
+    std::vector<uint64_t> probes = {0, ~uint64_t{0},
+                                    uint64_t{1} << 63};
+    for (int p = 0; p < 5; ++p) probes.push_back(rng.Uniform(60));
+    if (n > 0) probes.push_back(ids[rng.Uniform(n)]);
+    for (uint64_t id : probes) {
+      ASSERT_EQ(FindU64(ids.data(), n, id), FindU64Scalar(ids.data(), n, id))
+          << "n=" << n << " id=" << id;
+    }
+  }
+}
+
+TEST(SimdTest, FindU64HighBitPatterns) {
+  // _mm256_cmpeq_epi64 compares full 64-bit lanes; values with the sign
+  // bit set must not confuse the movemask extraction.
+  std::vector<uint64_t> ids = {~uint64_t{0}, uint64_t{1} << 63,
+                               0x8000000000000001ull, 1, 0,
+                               0x7fffffffffffffffull, 42};
+  for (uint64_t id : ids) {
+    EXPECT_EQ(FindU64(ids.data(), ids.size(), id),
+              FindU64Scalar(ids.data(), ids.size(), id));
+  }
+  EXPECT_EQ(FindU64(ids.data(), ids.size(), 0xdeadbeefull), ids.size());
+}
+
+TEST(SimdTest, AppendIndicesMatchScalarRandomized) {
+  Rng rng(4);
+  for (int iter = 0; iter < 1000; ++iter) {
+    const size_t n = rng.Uniform(100);
+    std::vector<uint32_t> counts(n);
+    for (auto& c : counts) {
+      // Mix small counts with values straddling the signed-compare bias.
+      c = rng.Bernoulli(0.1)
+              ? 0x7fffffffu + static_cast<uint32_t>(rng.Uniform(10))
+              : static_cast<uint32_t>(rng.Uniform(40));
+    }
+    for (uint32_t threshold :
+         {uint32_t{0}, uint32_t{1}, static_cast<uint32_t>(rng.Uniform(50)),
+          uint32_t{0x7fffffffu}, uint32_t{0x80000000u}, ~uint32_t{0}}) {
+      std::vector<uint32_t> got, want;
+      AppendIndicesGreater(counts.data(), n, threshold, &got);
+      AppendIndicesGreaterScalar(counts.data(), n, threshold, &want);
+      ASSERT_EQ(got, want) << "greater n=" << n << " t=" << threshold;
+      got.clear();
+      want.clear();
+      AppendIndicesLess(counts.data(), n, threshold, &got);
+      AppendIndicesLessScalar(counts.data(), n, threshold, &want);
+      ASSERT_EQ(got, want) << "less n=" << n << " t=" << threshold;
+    }
+  }
+}
+
+TEST(SimdTest, AppendIndicesAppendsWithoutClobbering) {
+  // Kernels append — pre-existing contents of `out` must survive.
+  std::vector<uint32_t> counts = {5, 1, 9, 9, 0};
+  std::vector<uint32_t> out = {777};
+  AppendIndicesGreater(counts.data(), counts.size(), 4, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{777, 0, 2, 3}));
+}
+
+TEST(SimdTest, CountAtLeastMatchesScalarRandomized) {
+  Rng rng(5);
+  for (int iter = 0; iter < 1000; ++iter) {
+    const size_t n = rng.Uniform(100);
+    std::vector<uint32_t> counts(n);
+    for (auto& c : counts) {
+      c = rng.Bernoulli(0.1) ? ~uint32_t{0} - static_cast<uint32_t>(
+                                   rng.Uniform(5))
+                             : static_cast<uint32_t>(rng.Uniform(30));
+    }
+    for (uint32_t threshold :
+         {uint32_t{0}, uint32_t{1}, static_cast<uint32_t>(rng.Uniform(40)),
+          uint32_t{0x80000000u}, ~uint32_t{0}}) {
+      ASSERT_EQ(CountAtLeast(counts.data(), n, threshold),
+                CountAtLeastScalar(counts.data(), n, threshold))
+          << "n=" << n << " t=" << threshold;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kflush

@@ -2,13 +2,18 @@
 # Repo verification gate: tier-1 suite plus the sanitizer jobs that guard
 # the concurrency paths (docs/INTERNALS.md, "Threading model & sanitizers").
 #
-# Usage:  scripts/check.sh [tier1|tsan|asan|stress|bench-smoke|all]   (default: all)
+# Usage:  scripts/check.sh [tier1|tsan|asan|stress|crash|bench-smoke|all]   (default: all)
 #
 # Jobs (each one is what CI runs as a separate job):
 #   tier1       - plain RelWithDebInfo build, full ctest suite
 #   tsan        - ThreadSanitizer build, full suite + stress harness, time-boxed
 #   asan        - ASan+UBSan build, full suite + stress harness, time-boxed
 #   stress      - just `ctest -L stress` under both sanitizers (quick race gate)
+#   crash       - `ctest -L crash`: the crash-recovery differential oracle
+#                 (docs/INTERNALS.md, "Durability"). Forks the durable store,
+#                 kills it at every WAL/segment crash point plus a fixed seed
+#                 matrix of random points, and proves recovery loses no acked
+#                 record and answers queries identically.
 #   bench-smoke - tiny-scale bench_snapshot run; validates the BENCH_*.json
 #                 metrics artifact schema with scripts/validate_bench_json.py,
 #                 then a traced bench_fig5_memory_behavior run validated with
@@ -81,6 +86,16 @@ job_stress() {
       || { replay_hint build-asan; return 1; }
 }
 
+job_crash() {
+  note "crash: crash-recovery differential oracle (ctest -L crash)"
+  # The oracle's kill-point matrix is seeded from a fixed base inside the
+  # test (kSeedBase), so failures replay exactly with
+  #   ctest --test-dir build -L crash -R <failing param>
+  build default || return 1
+  timeout "${STRESS_TIMEOUT}" ctest --test-dir build -L crash \
+      --output-on-failure
+}
+
 job_bench_smoke() {
   note "bench-smoke: tiny bench runs + BENCH_*.json and trace schema checks"
   local out scale
@@ -110,9 +125,11 @@ job_bench_smoke() {
 run_job() { "job_${1//-/_}" || FAILED+=("$1"); }
 
 case "${1:-all}" in
-  tier1|tsan|asan|stress|bench-smoke) run_job "$1" ;;
-  all) run_job tier1; run_job tsan; run_job asan; run_job bench-smoke ;;
-  *) echo "usage: $0 [tier1|tsan|asan|stress|bench-smoke|all]" >&2; exit 2 ;;
+  tier1|tsan|asan|stress|crash|bench-smoke) run_job "$1" ;;
+  all) run_job tier1; run_job tsan; run_job asan; run_job crash
+       run_job bench-smoke ;;
+  *) echo "usage: $0 [tier1|tsan|asan|stress|crash|bench-smoke|all]" >&2
+     exit 2 ;;
 esac
 
 if [ ${#FAILED[@]} -gt 0 ]; then

@@ -13,7 +13,11 @@ where each <snapshot> is a MetricsSnapshot::ToJson() object holding
 "counters"/"gauges"/"histograms" maps, with the per-phase flush counters
 (flush.phaseN.*) and per-query-type latency histograms
 (query.latency_micros.<type>.<hit|miss>) present, and every histogram
-carrying count/min/max/mean/sum and p50/p90/p95/p99 fields.
+carrying count/min/max/mean/sum and p50/p90/p95/p99 fields. The durable
+tier's disk.* recovery counters and flush_buffer.requeues are required
+unconditionally (zero on non-durable runs); the wal.* series are
+validated as an all-or-nothing family when any of them appears, with
+wal.fsync_micros's count cross-checked against the wal.fsyncs counter.
 
 BENCH_insert_breakdown.json (bench_micro --breakdown) carries a reduced
 snapshot per policy — the digestion-cost gauges (bench.insert_cpu_ns,
@@ -42,14 +46,26 @@ HISTOGRAM_FIELDS = ("count", "min", "max", "mean", "sum",
 PHASE_COUNTER_FIELDS = ("runs", "candidates_scanned", "heap_selected",
                         "postings", "entries", "records", "record_bytes",
                         "bytes_freed", "micros")
-# Counters every policy run must report, whatever the workload.
+# Counters every policy run must report, whatever the workload. The
+# disk.* recovery counters and flush_buffer.requeues are exported
+# unconditionally (zero on non-durable runs), so they are schema too.
 REQUIRED_COUNTERS = ("ingest.inserted", "flush.cycles",
                      "flush.records_flushed", "flush.postings_dropped",
-                     "disk.postings_added", "query.executed")
+                     "disk.postings_added", "disk.records_recovered",
+                     "disk.torn_bytes_truncated", "disk.fsyncs",
+                     "flush_buffer.requeues", "query.executed")
 REQUIRED_GAUGES = ("memory.budget_bytes", "memory.data_used_bytes",
                    "store.resident_records")
 QUERY_TYPES = ("single", "and", "or")
 OUTCOMES = ("hit", "miss")
+
+# Durable-tier series (docs/INTERNALS.md, "Durability"). Exported only
+# when the run enables a WAL, so they are validated as an all-or-nothing
+# family: any wal.* key present => the whole family must be.
+WAL_COUNTERS = ("wal.records_appended", "wal.bytes_appended", "wal.commits",
+                "wal.fsyncs", "wal.records_recovered",
+                "wal.torn_bytes_truncated")
+WAL_HISTOGRAMS = ("wal.fsync_micros",)
 
 # Reduced schema for BENCH_insert_breakdown.json: the digestion perf gate
 # reads bench.insert_cpu_ns; the phase table reads bench.phase_ns.*.
@@ -113,6 +129,32 @@ def check_snapshot(errors, where, snap):
 
     if "flush.cycle_micros" not in histograms:
         errors.append(f"{where}: missing histogram 'flush.cycle_micros'")
+
+    check_wal_family(errors, where, counters, histograms)
+
+
+def check_wal_family(errors, where, counters, histograms):
+    """Durability-enabled runs export the wal.* family; a partial family
+    means the exporter and this schema have drifted apart."""
+    present = (any(name in counters for name in WAL_COUNTERS)
+               or any(name in histograms for name in WAL_HISTOGRAMS))
+    if not present:
+        return
+    for name in WAL_COUNTERS:
+        if name not in counters:
+            errors.append(f"{where}: missing counter '{name}' "
+                          f"(wal.* family is all-or-nothing)")
+    for name in WAL_HISTOGRAMS:
+        if name not in histograms:
+            errors.append(f"{where}: missing histogram '{name}' "
+                          f"(wal.* family is all-or-nothing)")
+    # Every fsync is timed, so the histogram count must equal the counter.
+    fsyncs = counters.get("wal.fsyncs")
+    hist = histograms.get("wal.fsync_micros")
+    if (isinstance(fsyncs, (int, float)) and isinstance(hist, dict)
+            and hist.get("count") is not None and hist["count"] != fsyncs):
+        errors.append(f"{where}: wal.fsync_micros count {hist['count']} "
+                      f"!= wal.fsyncs counter {fsyncs}")
 
 
 def check_shard_scaling(errors, path, doc):

@@ -1,5 +1,7 @@
 #include "core/sharded_store.h"
 
+#include <algorithm>
+
 #include "core/trace.h"
 #include "util/logging.h"
 
@@ -20,11 +22,39 @@ ShardedMicroblogStore::ShardedMicroblogStore(ShardedStoreOptions options)
     StoreOptions so = options_.store;
     so.memory_budget_bytes = options_.store.memory_budget_bytes / n;
     so.shard_id = static_cast<int>(i);
+    if (so.durability.enabled) {
+      // One WAL + segment directory per shard.
+      so.durability.dir =
+          options_.store.durability.dir + "/shard-" + std::to_string(i);
+    }
     shards_.push_back(std::make_unique<MicroblogStore>(so));
     engines_.push_back(std::make_unique<QueryEngine>(shards_.back().get()));
     targets.push_back({shards_.back().get(), engines_.back().get()});
   }
   engine_ = std::make_unique<ShardedQueryEngine>(std::move(targets));
+  // Central id stamping resumes past every recovered id on any shard.
+  MicroblogId max_recovered = 0;
+  for (auto& shard : shards_) {
+    max_recovered = std::max(max_recovered, shard->recovered_max_id());
+  }
+  if (max_recovered > 0) {
+    next_id_.store(max_recovered + 1, std::memory_order_relaxed);
+  }
+}
+
+Status ShardedMicroblogStore::DurabilityStatus() const {
+  for (const auto& shard : shards_) {
+    const Status& s = shard->durability_status();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status ShardedMicroblogStore::CommitDurableAll() {
+  for (auto& shard : shards_) {
+    KFLUSH_RETURN_IF_ERROR(shard->CommitDurable());
+  }
+  return Status::OK();
 }
 
 ShardedMicroblogStore::~ShardedMicroblogStore() = default;
@@ -122,6 +152,9 @@ DiskStats ShardedMicroblogStore::AggregatedDiskStats() const {
     total.records_read += s.records_read;
     total.record_bytes_read += s.record_bytes_read;
     total.posting_bytes_read += s.posting_bytes_read;
+    total.records_recovered += s.records_recovered;
+    total.torn_bytes_truncated += s.torn_bytes_truncated;
+    total.fsyncs += s.fsyncs;
   }
   return total;
 }

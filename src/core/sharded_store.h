@@ -65,6 +65,12 @@ class ShardedMicroblogStore {
   /// One flush cycle on every over-budget shard; returns bytes freed.
   size_t FlushAllOnce();
 
+  /// First non-OK shard durability status (OK with durability disabled).
+  Status DurabilityStatus() const;
+
+  /// Group-commit barrier on every shard WAL.
+  Status CommitDurableAll();
+
   void SetK(uint32_t k);
   uint32_t k() const { return shards_[0]->k(); }
 

@@ -1,5 +1,7 @@
 #include "core/sharded_system.h"
 
+#include <algorithm>
+
 #include "core/trace.h"
 
 namespace kflush {
@@ -20,10 +22,34 @@ ShardedMicroblogSystem::ShardedMicroblogSystem(ShardedSystemOptions options)
     so.store.memory_budget_bytes =
         options_.system.store.memory_budget_bytes / n;
     so.store.shard_id = static_cast<int>(i);
+    if (so.store.durability.enabled) {
+      // One WAL + segment directory per shard: flushes and group commits
+      // on different shards share no files (or fsync queues).
+      so.store.durability.dir = options_.system.store.durability.dir +
+                                "/shard-" + std::to_string(i);
+    }
     systems_.push_back(std::make_unique<MicroblogSystem>(so));
     targets.push_back({systems_.back()->store(), systems_.back()->engine()});
   }
   engine_ = std::make_unique<ShardedQueryEngine>(std::move(targets));
+  // Central id stamping must resume past every id recovery brought back
+  // on any shard, or restarted ingest would reuse live ids.
+  MicroblogId max_recovered = 0;
+  for (auto& system : systems_) {
+    max_recovered =
+        std::max(max_recovered, system->store()->recovered_max_id());
+  }
+  if (max_recovered > 0) {
+    next_id_.store(max_recovered + 1, std::memory_order_relaxed);
+  }
+}
+
+Status ShardedMicroblogSystem::DurabilityStatus() const {
+  for (const auto& system : systems_) {
+    const Status& s = system->store()->durability_status();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
 }
 
 ShardedMicroblogSystem::~ShardedMicroblogSystem() { Stop(); }

@@ -54,6 +54,9 @@ class ShardedMicroblogSystem {
   /// Changes k on every shard.
   void SetK(uint32_t k);
 
+  /// First non-OK shard durability status (OK with durability disabled).
+  Status DurabilityStatus() const;
+
   size_t num_shards() const { return systems_.size(); }
   MicroblogSystem* shard_system(size_t i) { return systems_[i].get(); }
   MicroblogStore* shard_store(size_t i) { return systems_[i]->store(); }

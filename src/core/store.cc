@@ -1,5 +1,10 @@
 #include "core/store.h"
 
+#include <algorithm>
+
+#include "core/trace.h"
+#include "storage/segment.h"
+#include "storage/wal.h"
 #include "util/logging.h"
 
 namespace kflush {
@@ -10,14 +15,33 @@ MicroblogStore::MicroblogStore(StoreOptions options)
       raw_store_(&tracker_),
       flush_buffer_(&tracker_) {
   clock_ = options_.clock != nullptr ? options_.clock : WallClock::Default();
-  if (options_.disk != nullptr) {
-    disk_ = options_.disk;
-  } else {
-    owned_disk_ = std::make_unique<SimDiskStore>();
-    disk_ = owned_disk_.get();
-  }
   extractor_ = MakeAttribute(options_.attribute);
   ranking_ = MakeRanking(options_.ranking);
+  if (options_.durability.enabled && options_.disk == nullptr) {
+    // Durable tier: checksummed segments under <dir>/segments. Opening
+    // recovers existing segments (catalog + postings rebuilt; a torn
+    // final segment is salvaged and resealed).
+    auto opened = SegmentDiskStore::OpenOrRecover(
+        options_.durability.dir + "/segments", options_.durability.level,
+        extractor_.get(),
+        [this](const Microblog& blog) { return ranking_->Score(blog); });
+    if (opened.ok()) {
+      owned_segment_disk_ = std::move(opened).value();
+      disk_ = owned_segment_disk_.get();
+    } else {
+      durability_status_ = opened.status();
+      KFLUSH_WARN("durable tier unavailable, running non-durable: "
+                  << durability_status_.ToString());
+    }
+  }
+  if (disk_ == nullptr) {
+    if (options_.disk != nullptr) {
+      disk_ = options_.disk;
+    } else {
+      owned_disk_ = std::make_unique<SimDiskStore>();
+      disk_ = owned_disk_.get();
+    }
+  }
 
   PolicyContext ctx;
   ctx.raw_store = &raw_store_;
@@ -36,8 +60,118 @@ MicroblogStore::MicroblogStore(StoreOptions options)
   popts.phase3_by_query_time = options_.phase3_by_query_time;
   policy_ = MakePolicy(options_.policy, ctx, popts);
 
+  if (options_.durability.enabled && durability_status_.ok()) {
+    durability_status_ = RecoverDurable();
+    if (!durability_status_.ok()) {
+      KFLUSH_WARN("recovery failed, running non-durable: "
+                  << durability_status_.ToString());
+      wal_.reset();
+    }
+  }
+
   metrics_.AddProvider(
       [this](MetricsSnapshot* snap) { ExportComponentMetrics(snap); });
+}
+
+Status MicroblogStore::RecoverDurable() {
+  const std::string wal_path = options_.durability.dir + "/wal.log";
+  TraceSpan span("store", "recover",
+                 {TraceArg::Int("shard", options_.shard_id)});
+  KFLUSH_RETURN_IF_ERROR(EnsureDir(options_.durability.dir));
+
+  MicroblogId max_id = owned_segment_disk_ != nullptr
+                           ? owned_segment_disk_->MaxRecordId()
+                           : 0;
+  // Entries whose only durable copy is (still) the WAL: kept by the
+  // post-replay compaction.
+  std::vector<std::pair<Microblog, std::vector<TermId>>> retained;
+  // Replayed records every term of which is score-dominated by existing
+  // disk postings. Re-inserting those into memory would break the
+  // invariant the memory-hit path depends on — each term's memory
+  // postings must outrank all its disk postings — so they go to disk
+  // wholesale: they are exactly the flush batch the crash destroyed
+  // between the posting drops and the segment seal.
+  std::vector<Microblog> to_disk;
+  std::vector<TermId> extracted;
+  std::vector<TermId> memory_terms;
+  std::vector<TermId> disk_terms;
+  WriteAheadLog::ReplayResult replay;
+  Status status = WriteAheadLog::Replay(
+      wal_path,
+      [&](Microblog&& blog, std::vector<TermId>&& routed) -> Status {
+        max_id = std::max(max_id, blog.id);
+        if (disk_->Contains(blog.id)) {
+          // Payload already durable in a sealed segment; the segment scan
+          // rebuilt its postings. Nothing left to restore.
+          return Status::OK();
+        }
+        const double score = ranking_->Score(blog);
+        const std::vector<TermId>* terms = &routed;
+        if (routed.empty()) {
+          // Entry from an unsharded store: it owns the full term set.
+          extractor_->ExtractTerms(blog, &extracted);
+          terms = &extracted;
+        }
+        if (terms->empty()) return Status::OK();
+        memory_terms.clear();
+        disk_terms.clear();
+        for (TermId term : *terms) {
+          double disk_max = 0.0;
+          if (disk_->MaxTermScore(term, &disk_max) && score <= disk_max) {
+            disk_terms.push_back(term);
+          } else {
+            memory_terms.push_back(term);
+          }
+        }
+        for (TermId term : disk_terms) {
+          KFLUSH_RETURN_IF_ERROR(disk_->AddPosting(term, blog.id, score));
+        }
+        if (memory_terms.empty()) {
+          ++recovery_stats_.records_recovered_to_disk;
+          to_disk.push_back(std::move(blog));
+          return Status::OK();
+        }
+        KFLUSH_RETURN_IF_ERROR(raw_store_.Put(
+            blog, static_cast<uint32_t>(memory_terms.size())));
+        policy_->Insert(blog, memory_terms, score);
+        ++recovery_stats_.records_reinserted_memory;
+        retained.emplace_back(std::move(blog), std::move(routed));
+        return Status::OK();
+      },
+      &replay);
+  KFLUSH_RETURN_IF_ERROR(status);
+  recovery_stats_.wal_records_recovered = replay.records_recovered;
+  recovery_stats_.wal_torn_bytes_truncated = replay.torn_bytes_truncated;
+  if (!to_disk.empty()) {
+    KFLUSH_RETURN_IF_ERROR(disk_->WriteBatch(std::move(to_disk)));
+  }
+  if (replay.records_recovered > 0 || replay.torn_bytes_truncated > 0) {
+    // Compaction drops entries made redundant by sealed segments (and the
+    // recovery segment just written); what remains is exactly the
+    // memory-resident set.
+    KFLUSH_RETURN_IF_ERROR(WriteAheadLog::Rewrite(
+        wal_path, options_.durability.level, retained));
+  }
+  recovery_stats_.wal_entries_retained = retained.size();
+  KFLUSH_RETURN_IF_ERROR(WriteAheadLog::Open(
+      wal_path, options_.durability.level,
+      options_.durability.wal_auto_commit_bytes, &wal_));
+
+  recovered_max_id_ = max_id;
+  MicroblogId next = max_id + 1;
+  MicroblogId cur = next_id_.load(std::memory_order_relaxed);
+  if (next > cur) next_id_.store(next, std::memory_order_relaxed);
+  span.End({TraceArg::Uint("wal_records", replay.records_recovered),
+            TraceArg::Uint("reinserted_memory",
+                           recovery_stats_.records_reinserted_memory),
+            TraceArg::Uint("recovered_to_disk",
+                           recovery_stats_.records_recovered_to_disk)});
+  return Status::OK();
+}
+
+Status MicroblogStore::CommitDurable() {
+  if (wal_ == nullptr) return Status::OK();
+  return wal_->Commit();
 }
 
 void MicroblogStore::ExportComponentMetrics(MetricsSnapshot* snap) const {
@@ -99,14 +233,41 @@ void MicroblogStore::ExportComponentMetrics(MetricsSnapshot* snap) const {
   snap->counters["disk.records_read"] = ds.records_read;
   snap->counters["disk.record_bytes_read"] = ds.record_bytes_read;
   snap->counters["disk.posting_bytes_read"] = ds.posting_bytes_read;
+  snap->counters["disk.records_recovered"] = ds.records_recovered;
+  snap->counters["disk.torn_bytes_truncated"] = ds.torn_bytes_truncated;
+  snap->counters["disk.fsyncs"] = ds.fsyncs;
+
+  // Durable tier (present only when a WAL is attached).
+  if (wal_ != nullptr) {
+    const WriteAheadLog::Stats ws = wal_->stats();
+    snap->counters["wal.records_appended"] = ws.records_appended;
+    snap->counters["wal.bytes_appended"] = ws.bytes_appended;
+    snap->counters["wal.commits"] = ws.commits;
+    snap->counters["wal.fsyncs"] = ws.fsyncs;
+    snap->histograms["wal.fsync_micros"] = ws.fsync_micros;
+    snap->counters["wal.records_recovered"] =
+        recovery_stats_.wal_records_recovered;
+    snap->counters["wal.torn_bytes_truncated"] =
+        recovery_stats_.wal_torn_bytes_truncated;
+  }
 
   snap->gauges["flush_buffer.peak_bytes"] =
       static_cast<int64_t>(flush_buffer_.peak_bytes());
+  snap->counters["flush_buffer.requeues"] = flush_buffer_.requeues();
   snap->gauges["store.resident_records"] =
       static_cast<int64_t>(raw_store_.size());
 }
 
-MicroblogStore::~MicroblogStore() = default;
+MicroblogStore::~MicroblogStore() {
+  // Final group commit: a clean shutdown leaves every accepted record
+  // durable, not just page-cache-resident.
+  if (wal_ != nullptr) {
+    Status s = wal_->Commit();
+    if (!s.ok()) {
+      KFLUSH_WARN("final wal commit failed: " << s.ToString());
+    }
+  }
+}
 
 Status MicroblogStore::Insert(Microblog blog) {
   if (blog.id == kInvalidMicroblogId) {
@@ -125,7 +286,7 @@ Status MicroblogStore::Insert(Microblog blog) {
     skipped_no_terms_.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
   }
-  return InsertIndexed(std::move(blog), terms);
+  return InsertIndexed(std::move(blog), terms, /*routed=*/false);
 }
 
 Status MicroblogStore::InsertRouted(Microblog blog,
@@ -137,11 +298,20 @@ Status MicroblogStore::InsertRouted(Microblog blog,
   if (terms.empty()) {
     return Status::InvalidArgument("InsertRouted requires owned terms");
   }
-  return InsertIndexed(std::move(blog), terms);
+  return InsertIndexed(std::move(blog), terms, /*routed=*/true);
 }
 
 Status MicroblogStore::InsertIndexed(Microblog blog,
-                                     const std::vector<TermId>& terms) {
+                                     const std::vector<TermId>& terms,
+                                     bool routed) {
+  if (wal_ != nullptr) {
+    // Log before any memory-tier mutation: an insert the WAL refused is
+    // rejected outright instead of becoming an acknowledged record that a
+    // crash would silently lose. Unsharded entries log an empty term set
+    // ("re-extract on replay"); routed entries must carry their subset.
+    static const std::vector<TermId> kFullTermSet;
+    KFLUSH_RETURN_IF_ERROR(wal_->Append(blog, routed ? terms : kFullTermSet));
+  }
   const double score = ranking_->Score(blog);
   // The record enters the raw store first (pcount = its index references),
   // then the index — queries racing the insert simply don't see it yet.

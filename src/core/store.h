@@ -19,10 +19,14 @@
 #include "model/keyword_dictionary.h"
 #include "model/tokenizer.h"
 #include "policy/policy_factory.h"
+#include "storage/durability.h"
 #include "storage/sim_disk_store.h"
 #include "util/status.h"
 
 namespace kflush {
+
+class SegmentDiskStore;
+class WriteAheadLog;
 
 /// Store configuration. Defaults mirror the paper's defaults scaled to
 /// laptop experiments (see DESIGN.md): k=20, B=10% of the budget.
@@ -47,11 +51,32 @@ struct StoreOptions {
   /// Timestamp source; null = the process wall clock. Experiments inject a
   /// SimClock for reproducibility.
   Clock* clock = nullptr;
-  /// Disk tier; null = an internally owned SimDiskStore.
+  /// Disk tier; null = an internally owned SimDiskStore, or — when
+  /// `durability.enabled` — an internally owned SegmentDiskStore under
+  /// `durability.dir`.
   DiskStore* disk = nullptr;
+  /// Durable tier configuration (WAL + checksummed segments + restart
+  /// recovery). Disabled by default; see docs/INTERNALS.md "Durability".
+  DurabilityOptions durability;
   /// Shard this store serves in a sharded deployment (labels flush trace
   /// spans and eviction audit records); -1 = standalone, unlabeled.
   int shard_id = -1;
+};
+
+/// What restart recovery did (all zero for a fresh directory).
+struct StoreRecoveryStats {
+  /// Valid WAL entries replayed.
+  uint64_t wal_records_recovered = 0;
+  uint64_t wal_torn_bytes_truncated = 0;
+  /// WAL entries kept by the post-replay compaction (records still
+  /// memory-resident, whose only durable copy is the WAL).
+  uint64_t wal_entries_retained = 0;
+  /// Replayed records re-inserted into the memory tier.
+  uint64_t records_reinserted_memory = 0;
+  /// Replayed records written to a recovery segment instead (every term
+  /// score-dominated by existing disk postings, so re-entering memory
+  /// would break the memory-prefix invariant the hit path relies on).
+  uint64_t records_recovered_to_disk = 0;
 };
 
 /// Counters maintained by the store's ingest path.
@@ -99,6 +124,25 @@ class MicroblogStore {
   /// cycle is in flight; returns 0 then). Returns bytes freed.
   size_t FlushOnce();
 
+  /// Group-commit barrier: every previously accepted insert is WAL-durable
+  /// when this returns OK. No-op without durability. MicroblogSystem calls
+  /// it once per digested batch — that batch boundary IS the group commit.
+  Status CommitDurable();
+
+  /// OK when the durable tier opened and recovered cleanly (always OK with
+  /// durability disabled). A failed recovery leaves the store running
+  /// non-durably; callers that require durability must check this.
+  const Status& durability_status() const { return durability_status_; }
+
+  StoreRecoveryStats recovery_stats() const { return recovery_stats_; }
+
+  /// Highest record id found by restart recovery (0 on a fresh start).
+  /// The sharded facade resumes central id stamping past the max across
+  /// shards; the standalone store already resumes its own next_id_.
+  MicroblogId recovered_max_id() const { return recovered_max_id_; }
+
+  WriteAheadLog* wal() { return wal_.get(); }
+
   /// Changes k; policies apply it at the next flush cycle (paper §IV-C).
   void SetK(uint32_t k);
   uint32_t k() const { return policy_->k(); }
@@ -139,9 +183,17 @@ class MicroblogStore {
   }
 
  private:
-  /// Shared tail of Insert/InsertRouted: raw-store put, index insert,
-  /// ingest accounting, inline auto-flush.
-  Status InsertIndexed(Microblog blog, const std::vector<TermId>& terms);
+  /// Shared tail of Insert/InsertRouted: WAL append, raw-store put, index
+  /// insert, ingest accounting, inline auto-flush. `routed` marks a
+  /// sharded insert whose WAL entry must carry the owned term subset.
+  Status InsertIndexed(Microblog blog, const std::vector<TermId>& terms,
+                       bool routed);
+
+  /// Restart recovery: replays the WAL over the recovered segments,
+  /// re-partitioning each record between the memory and disk tiers so the
+  /// memory postings of every term stay a score-prefix of memory ∪ disk,
+  /// then compacts the WAL and opens it for appending.
+  Status RecoverDurable();
 
   /// Contributes component-owned stats to a registry snapshot.
   void ExportComponentMetrics(MetricsSnapshot* snap) const;
@@ -151,7 +203,12 @@ class MicroblogStore {
   RawDataStore raw_store_;
   FlushBuffer flush_buffer_;
   std::unique_ptr<SimDiskStore> owned_disk_;
-  DiskStore* disk_;
+  std::unique_ptr<SegmentDiskStore> owned_segment_disk_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  Status durability_status_ = Status::OK();
+  StoreRecoveryStats recovery_stats_;
+  MicroblogId recovered_max_id_ = 0;
+  DiskStore* disk_ = nullptr;
   Clock* clock_;
   std::unique_ptr<AttributeExtractor> extractor_;
   std::unique_ptr<RankingFunction> ranking_;

@@ -10,7 +10,10 @@ std::string DiskStats::ToString() const {
      << " bytes=" << record_bytes_written << " batches=" << write_batches
      << " term_queries=" << term_queries << " record_reads=" << records_read
      << " record_bytes_read=" << record_bytes_read
-     << " posting_bytes_read=" << posting_bytes_read << "}";
+     << " posting_bytes_read=" << posting_bytes_read
+     << " recovered=" << records_recovered
+     << " torn_bytes=" << torn_bytes_truncated << " fsyncs=" << fsyncs
+     << "}";
   return os.str();
 }
 

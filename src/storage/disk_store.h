@@ -67,6 +67,15 @@ struct DiskStats {
   /// and posting bytes returned by QueryTerm (disk-fallback query cost).
   uint64_t record_bytes_read = 0;
   uint64_t posting_bytes_read = 0;
+  /// Records rebuilt into the catalog by restart recovery. Deliberately
+  /// separate from records_written: recovery must not inflate the
+  /// write-path counters the experiments measure.
+  uint64_t records_recovered = 0;
+  /// Bytes of torn tail (partial frame / failed checksum) dropped by
+  /// recovery instead of surfacing Corruption.
+  uint64_t torn_bytes_truncated = 0;
+  /// fdatasync calls issued by the write path (0 at durability "none").
+  uint64_t fsyncs = 0;
 
   std::string ToString() const;
 };
@@ -90,6 +99,25 @@ class DiskStore {
   /// Fetches a record payload written earlier. NotFound if the payload has
   /// not reached disk (e.g. the record is still memory-resident).
   virtual Status GetRecord(MicroblogId id, Microblog* out) = 0;
+
+  /// True when `id`'s payload is disk-resident (GetRecord would succeed).
+  /// Default implementation probes GetRecord; implementations override
+  /// with a catalog lookup.
+  virtual bool Contains(MicroblogId id) {
+    Microblog scratch;
+    return GetRecord(id, &scratch).ok();
+  }
+
+  /// Highest disk-posting score registered under `term`, or false when the
+  /// term has no disk postings. Recovery uses this to re-partition replayed
+  /// records so memory postings stay a score-prefix of memory ∪ disk.
+  /// Default implementation asks QueryTerm for the top posting.
+  virtual bool MaxTermScore(TermId term, double* score) {
+    std::vector<Posting> top;
+    if (!QueryTerm(term, 1, &top).ok() || top.empty()) return false;
+    *score = top.front().score;
+    return true;
+  }
 
   virtual DiskStats stats() const = 0;
 

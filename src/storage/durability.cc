@@ -1,0 +1,124 @@
+#include "storage/durability.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/crc32c.h"
+
+namespace kflush {
+
+const char* DurabilityLevelName(DurabilityLevel level) {
+  switch (level) {
+    case DurabilityLevel::kNone:
+      return "none";
+    case DurabilityLevel::kBatch:
+      return "batch";
+    case DurabilityLevel::kEveryCommit:
+      return "every-commit";
+  }
+  return "unknown";
+}
+
+bool ParseDurabilityLevel(const std::string& name, DurabilityLevel* out) {
+  if (name == "none") {
+    *out = DurabilityLevel::kNone;
+  } else if (name == "batch") {
+    *out = DurabilityLevel::kBatch;
+  } else if (name == "commit" || name == "every-commit") {
+    *out = DurabilityLevel::kEveryCommit;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void AppendFrame(const char* payload, size_t len, std::string* out) {
+  const uint32_t masked = crc32c::Mask(crc32c::Value(payload, len));
+  const uint32_t payload_len = static_cast<uint32_t>(len);
+  out->append(reinterpret_cast<const char*>(&masked), sizeof(masked));
+  out->append(reinterpret_cast<const char*>(&payload_len),
+              sizeof(payload_len));
+  out->append(payload, len);
+}
+
+FrameRead ReadFrame(const char* data, size_t len, const char** payload,
+                    uint32_t* payload_len, size_t* consumed) {
+  if (len < kFrameHeaderBytes) return FrameRead::kTorn;
+  uint32_t masked = 0;
+  uint32_t plen = 0;
+  std::memcpy(&masked, data, sizeof(masked));
+  std::memcpy(&plen, data + sizeof(masked), sizeof(plen));
+  if (plen > kMaxFramePayloadBytes) return FrameRead::kTorn;
+  if (len - kFrameHeaderBytes < plen) return FrameRead::kTorn;
+  const char* body = data + kFrameHeaderBytes;
+  if (crc32c::Unmask(masked) != crc32c::Value(body, plen)) {
+    return FrameRead::kTorn;
+  }
+  *payload = body;
+  *payload_len = plen;
+  *consumed = kFrameHeaderBytes + plen;
+  return FrameRead::kOk;
+}
+
+Status SyncFile(std::FILE* file, DurabilityLevel level,
+                const std::string& path) {
+  if (level == DurabilityLevel::kNone) return Status::OK();
+  const int fd = ::fileno(file);
+  if (fd < 0) {
+    return Status::IOError("fileno failed for " + path);
+  }
+  if (::fdatasync(fd) != 0) {
+    return Status::IOError("fdatasync " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir, DurabilityLevel level) {
+  if (level == DurabilityLevel::kNone) return Status::OK();
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError("open dir " + dir + ": " + std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync dir " + dir + ": " +
+                           std::strerror(saved_errno));
+  }
+  return Status::OK();
+}
+
+Status EnsureDir(const std::string& dir) {
+  // mkdir -p: create each path component in turn.
+  std::string partial;
+  partial.reserve(dir.size());
+  for (size_t i = 0; i <= dir.size(); ++i) {
+    if (i < dir.size() && dir[i] != '/') {
+      partial.push_back(dir[i]);
+      continue;
+    }
+    if (i < dir.size()) partial.push_back('/');
+    if (partial.empty() || partial == "/") continue;
+    if (::mkdir(partial.c_str(), 0777) != 0 && errno != EEXIST) {
+      return Status::IOError("mkdir " + partial + ": " +
+                             std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+namespace internal {
+std::atomic<CrashHookFn> g_crash_hook{nullptr};
+}  // namespace internal
+
+void SetCrashHook(CrashHookFn hook) {
+  internal::g_crash_hook.store(hook, std::memory_order_relaxed);
+}
+
+}  // namespace kflush

@@ -1,0 +1,120 @@
+// Durability contract shared by the write-ahead log and the segment store
+// (docs/INTERNALS.md, "Durability"). A level says when storage-layer
+// writes are forced to stable media with fdatasync:
+//
+//   kNone        - never; data reaches the OS page cache only. Survives a
+//                  process kill (the cache outlives the process) but not a
+//                  power failure. The fastest level; for experiments.
+//   kBatch       - once per group commit (WAL Commit(), one segment seal
+//                  per flush batch). Acknowledged = covered by the last
+//                  commit; the default.
+//   kEveryCommit - after every WAL append and every segment seal.
+//
+// Also hosts the frame format both logs share and the crash-point hook the
+// crash-recovery oracle uses to kill a child process at deterministic
+// points inside the write paths.
+
+#ifndef KFLUSH_STORAGE_DURABILITY_H_
+#define KFLUSH_STORAGE_DURABILITY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "util/status.h"
+
+namespace kflush {
+
+enum class DurabilityLevel : int {
+  kNone = 0,
+  kBatch,
+  kEveryCommit,
+};
+
+const char* DurabilityLevelName(DurabilityLevel level);
+
+/// Parses "none" | "batch" | "commit"/"every-commit". Returns false on an
+/// unknown name.
+bool ParseDurabilityLevel(const std::string& name, DurabilityLevel* out);
+
+/// Knobs for a durable store directory (one per store / per shard).
+struct DurabilityOptions {
+  /// Master switch: when false the store keeps its pre-durability
+  /// behavior (SimDiskStore or caller-provided disk, no WAL).
+  bool enabled = false;
+  /// Directory holding `wal.log` and `segments/`. Created on demand.
+  std::string dir;
+  DurabilityLevel level = DurabilityLevel::kBatch;
+  /// At kBatch, an append auto-commits once this many bytes are pending
+  /// since the last commit (a safety valve under ingest paths that never
+  /// call CommitDurable explicitly).
+  size_t wal_auto_commit_bytes = 256 << 10;
+};
+
+// --- shared frame format ----------------------------------------------
+//
+// Every WAL entry and segment record is one frame:
+//
+//   u32 masked_crc32c(payload) | u32 payload_len | payload bytes
+//
+// A frame that runs past the end of the buffer, carries an implausible
+// length, or fails its checksum marks the torn tail of a log.
+
+constexpr size_t kFrameHeaderBytes = 8;
+/// Sanity cap on a single frame payload (a microblog record is ~hundreds
+/// of bytes; anything near this is corruption, not data).
+constexpr uint32_t kMaxFramePayloadBytes = 64u << 20;
+
+/// Appends one frame wrapping `payload[0..len)` to `*out`.
+void AppendFrame(const char* payload, size_t len, std::string* out);
+
+/// Outcome of reading one frame at data[0..len).
+enum class FrameRead : int {
+  kOk = 0,    // frame valid; *payload/*payload_len/*consumed set
+  kTorn,      // buffer ends inside the frame, or the checksum fails —
+              // the well-formed log ends here
+};
+
+FrameRead ReadFrame(const char* data, size_t len, const char** payload,
+                    uint32_t* payload_len, size_t* consumed);
+
+// --- low-level file helpers (POSIX) -----------------------------------
+
+/// fdatasync the stdio stream's fd (after fflush). No-op success at
+/// DurabilityLevel::kNone.
+Status SyncFile(std::FILE* file, DurabilityLevel level,
+                const std::string& path);
+
+/// fsyncs the directory itself so a freshly created/renamed file's
+/// directory entry is durable. No-op at kNone.
+Status SyncDir(const std::string& dir, DurabilityLevel level);
+
+/// mkdir -p. OK if the directory already exists.
+Status EnsureDir(const std::string& dir);
+
+// --- crash-point hook (tests only) ------------------------------------
+//
+// The crash-recovery oracle forks a child, installs a countdown hook, and
+// the hook calls _exit() when the seeded countdown reaches zero —
+// deterministically killing the process mid-append, mid-segment-write, or
+// between fsyncs. Sites fire on the storage write paths only; the
+// disabled fast path is one relaxed atomic load.
+
+using CrashHookFn = void (*)(const char* site);
+
+void SetCrashHook(CrashHookFn hook);
+
+namespace internal {
+extern std::atomic<CrashHookFn> g_crash_hook;
+}  // namespace internal
+
+inline void CrashPoint(const char* site) {
+  CrashHookFn hook =
+      internal::g_crash_hook.load(std::memory_order_relaxed);
+  if (hook != nullptr) hook(site);
+}
+
+}  // namespace kflush
+
+#endif  // KFLUSH_STORAGE_DURABILITY_H_

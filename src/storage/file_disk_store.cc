@@ -1,5 +1,7 @@
 #include "storage/file_disk_store.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
@@ -10,25 +12,33 @@
 namespace kflush {
 
 Result<std::unique_ptr<FileDiskStore>> FileDiskStore::Open(
-    const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "w+b");
+    const std::string& path, DurabilityLevel level) {
+  // "x": exclusive create. The old "w+b" truncated an existing data file,
+  // silently destroying it; adopting existing data is OpenOrRecover's job.
+  std::FILE* file = std::fopen(path.c_str(), "w+bx");
   if (file == nullptr) {
+    if (errno == EEXIST) {
+      return Status::AlreadyExists(path +
+                                   " exists; use OpenOrRecover to adopt it");
+    }
     return Status::IOError("cannot open " + path + ": " +
                            std::strerror(errno));
   }
-  return std::unique_ptr<FileDiskStore>(new FileDiskStore(path, file));
+  return std::unique_ptr<FileDiskStore>(
+      new FileDiskStore(path, file, level));
 }
 
 Result<std::unique_ptr<FileDiskStore>> FileDiskStore::OpenOrRecover(
     const std::string& path, const AttributeExtractor* extractor,
-    const std::function<double(const Microblog&)>& score_fn) {
+    const std::function<double(const Microblog&)>& score_fn,
+    DurabilityLevel level) {
   std::FILE* file = std::fopen(path.c_str(), "r+b");
   if (file == nullptr) {
     // Nothing to recover: behave like Open().
-    return Open(path);
+    return Open(path, level);
   }
-  auto store =
-      std::unique_ptr<FileDiskStore>(new FileDiskStore(path, file));
+  auto store = std::unique_ptr<FileDiskStore>(
+      new FileDiskStore(path, file, level));
 
   // Sequentially scan the data file, rebuilding the record catalog (and,
   // when possible, the term index) from the self-describing records.
@@ -53,15 +63,19 @@ Result<std::unique_ptr<FileDiskStore>> FileDiskStore::OpenOrRecover(
     Status s = DecodeMicroblog(contents.data() + pos, contents.size() - pos,
                                &blog, &consumed);
     if (!s.ok()) {
-      return Status::Corruption(path + " is corrupt at offset " +
-                                std::to_string(pos) + ": " + s.ToString());
+      // Torn final record: the crash caught an append mid-write. The
+      // valid prefix is the data; drop the tail instead of refusing to
+      // start with Corruption.
+      break;
     }
     RecordLocation loc;
     loc.offset = pos;
     loc.length = static_cast<uint32_t>(consumed);
     store->locations_[blog.id] = loc;
-    ++store->stats_.records_written;
-    store->stats_.record_bytes_written += consumed;
+    // Recovery rebuilds the catalog; it is not a write. records_written
+    // must reflect this process's writes only, or repeated open/recover
+    // cycles double-count every record into the experiment counters.
+    ++store->stats_.records_recovered;
     if (extractor != nullptr && score_fn != nullptr) {
       const double score = score_fn(blog);
       extractor->ExtractTerms(blog, &terms);
@@ -71,12 +85,20 @@ Result<std::unique_ptr<FileDiskStore>> FileDiskStore::OpenOrRecover(
     }
     pos += consumed;
   }
-  store->file_size_ = contents.size();
+  if (pos < contents.size()) {
+    store->stats_.torn_bytes_truncated += contents.size() - pos;
+    if (::ftruncate(::fileno(file), static_cast<off_t>(pos)) != 0) {
+      return Status::IOError("truncate torn tail of " + path + ": " +
+                             std::strerror(errno));
+    }
+  }
+  store->file_size_ = pos;
   return store;
 }
 
-FileDiskStore::FileDiskStore(std::string path, std::FILE* file)
-    : path_(std::move(path)), file_(file) {}
+FileDiskStore::FileDiskStore(std::string path, std::FILE* file,
+                             DurabilityLevel level)
+    : path_(std::move(path)), file_(file), level_(level) {}
 
 FileDiskStore::~FileDiskStore() {
   if (file_ != nullptr) std::fclose(file_);
@@ -117,11 +139,28 @@ Status FileDiskStore::WriteBatch(std::vector<Microblog> batch) {
   const uint64_t base = file_size_;
   const size_t written =
       std::fwrite(encoded.data(), 1, encoded.size(), file_);
+  Status status = Status::OK();
   if (written != encoded.size()) {
-    return Status::IOError("short write to " + path_);
+    status = Status::IOError("short write to " + path_);
+  } else if (std::fflush(file_) != 0) {
+    status = Status::IOError("flush failed: " +
+                             std::string(std::strerror(errno)));
+  } else if (level_ != DurabilityLevel::kNone) {
+    status = SyncFile(file_, level_, path_);
+    if (status.ok()) ++stats_.fsyncs;
   }
-  if (std::fflush(file_) != 0) {
-    return Status::IOError("flush failed: " + std::string(std::strerror(errno)));
+  if (!status.ok()) {
+    // A partial append left a torn record past `base`. Cut the file back
+    // to the last good state so the catalog, file_size_, and the bytes on
+    // disk agree and a retried batch appends cleanly; if even the
+    // truncate fails, resync file_size_ to whatever actually landed.
+    std::clearerr(file_);
+    if (::ftruncate(::fileno(file_), static_cast<off_t>(base)) != 0 &&
+        std::fseek(file_, 0, SEEK_END) == 0) {
+      const long actual = std::ftell(file_);
+      if (actual >= 0) file_size_ = static_cast<uint64_t>(actual);
+    }
+    return status;
   }
   file_size_ += encoded.size();
   for (auto& [id, loc] : locations) {
@@ -171,6 +210,19 @@ Status FileDiskStore::GetRecord(MicroblogId id, Microblog* out) {
   }
   stats_.record_bytes_read += loc.length;
   return Status::OK();
+}
+
+bool FileDiskStore::Contains(MicroblogId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return locations_.count(id) != 0;
+}
+
+bool FileDiskStore::MaxTermScore(TermId term, double* score) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = postings_.find(term);
+  if (it == postings_.end() || it->second.empty()) return false;
+  *score = it->second.back().score;  // ascending storage: back is max
+  return true;
 }
 
 DiskStats FileDiskStore::stats() const {

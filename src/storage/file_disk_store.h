@@ -17,23 +17,34 @@
 
 #include "model/attribute.h"
 #include "storage/disk_store.h"
+#include "storage/durability.h"
 
 namespace kflush {
 
-/// Append-only segment-file disk store. Thread-safe.
+/// Append-only single-file disk store. Thread-safe. Records carry no
+/// per-record checksums — SegmentDiskStore (storage/segment.h) is the
+/// durable tier; this store remains for single-file experiments and
+/// keeps crash-safe open/recover semantics.
 class FileDiskStore : public DiskStore {
  public:
-  /// Creates (truncating) the data file at `path`.
-  static Result<std::unique_ptr<FileDiskStore>> Open(const std::string& path);
+  /// Creates the data file at `path`. Refuses (AlreadyExists) when a file
+  /// is already there — opening a populated path must never truncate it;
+  /// use OpenOrRecover to adopt existing data.
+  static Result<std::unique_ptr<FileDiskStore>> Open(
+      const std::string& path,
+      DurabilityLevel level = DurabilityLevel::kNone);
 
   /// Opens an existing data file, rebuilding the record catalog by
   /// scanning it (crash recovery / restart). When `extractor` and
   /// `score_fn` are supplied, the term index is rebuilt too, so queries
   /// against recovered disk contents work immediately. A missing file is
-  /// created empty.
+  /// created empty. A torn final record (partial append at crash) is
+  /// truncated away, not reported as Corruption; recovered records count
+  /// into DiskStats::records_recovered, never records_written.
   static Result<std::unique_ptr<FileDiskStore>> OpenOrRecover(
       const std::string& path, const AttributeExtractor* extractor = nullptr,
-      const std::function<double(const Microblog&)>& score_fn = nullptr);
+      const std::function<double(const Microblog&)>& score_fn = nullptr,
+      DurabilityLevel level = DurabilityLevel::kNone);
 
   ~FileDiskStore() override;
 
@@ -46,6 +57,9 @@ class FileDiskStore : public DiskStore {
                    std::vector<Posting>* out) override;
   Status GetRecord(MicroblogId id, Microblog* out) override;
 
+  bool Contains(MicroblogId id) override;
+  bool MaxTermScore(TermId term, double* score) override;
+
   DiskStats stats() const override;
   size_t NumRecords() const override;
   size_t NumPostings() const override;
@@ -53,7 +67,7 @@ class FileDiskStore : public DiskStore {
   const std::string& path() const { return path_; }
 
  private:
-  explicit FileDiskStore(std::string path, std::FILE* file);
+  FileDiskStore(std::string path, std::FILE* file, DurabilityLevel level);
 
   struct RecordLocation {
     uint64_t offset = 0;
@@ -63,6 +77,7 @@ class FileDiskStore : public DiskStore {
   std::string path_;
   mutable std::mutex mu_;
   std::FILE* file_;  // owned
+  DurabilityLevel level_ = DurabilityLevel::kNone;
   uint64_t file_size_ = 0;
   std::unordered_map<MicroblogId, RecordLocation> locations_;
   std::unordered_map<TermId, std::vector<Posting>> postings_;

@@ -33,10 +33,27 @@ Status FlushBuffer::DrainTo(DiskStore* disk) {
     drained_bytes = bytes_;
     bytes_ = 0;
   }
+  // The batch is copied, not moved: until WriteBatch acknowledges, these
+  // records exist nowhere else (their memory-index postings are already
+  // dropped), so a failed write must put them back rather than lose them.
+  Status status = disk->WriteBatch(batch);
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Re-queue ahead of anything added while the write was in flight so
+    // the retry preserves the original flush order.
+    records_.insert(records_.begin(),
+                    std::make_move_iterator(batch.begin()),
+                    std::make_move_iterator(batch.end()));
+    bytes_ += drained_bytes;
+    peak_bytes_ = std::max(peak_bytes_, bytes_);
+    ++requeues_;
+    return status;
+  }
+  // Only a durable batch releases its memory accounting.
   if (tracker_ != nullptr) {
     tracker_->Release(MemoryComponent::kFlushBuffer, drained_bytes);
   }
-  return disk->WriteBatch(std::move(batch));
+  return status;
 }
 
 size_t FlushBuffer::count() const {
@@ -52,6 +69,11 @@ size_t FlushBuffer::bytes() const {
 size_t FlushBuffer::peak_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return peak_bytes_;
+}
+
+size_t FlushBuffer::requeues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return requeues_;
 }
 
 }  // namespace kflush

@@ -31,7 +31,10 @@ class FlushBuffer {
   void Add(Microblog blog);
 
   /// Writes all buffered records to `disk` as one batch and empties the
-  /// buffer. No-op (OK) when empty.
+  /// buffer. No-op (OK) when empty. On a failed write the batch is
+  /// re-queued (ahead of records added meanwhile) and its memory charge
+  /// retained — a flush failure must never silently drop records, since
+  /// their memory-index postings are already gone.
   Status DrainTo(DiskStore* disk);
 
   size_t count() const;
@@ -40,12 +43,16 @@ class FlushBuffer {
   /// Peak bytes ever held (reported as flushing overhead).
   size_t peak_bytes() const;
 
+  /// Failed drains whose batch was put back for retry.
+  size_t requeues() const;
+
  private:
   MemoryTracker* tracker_;
   mutable std::mutex mu_;
   std::vector<Microblog> records_;
   size_t bytes_ = 0;
   size_t peak_bytes_ = 0;
+  size_t requeues_ = 0;
 };
 
 }  // namespace kflush

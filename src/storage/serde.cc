@@ -103,4 +103,38 @@ Status DecodeMicroblog(const char* data, size_t len, Microblog* out,
   return Status::OK();
 }
 
+void EncodeWalEntry(const Microblog& blog, const std::vector<TermId>& routed,
+                    std::string* out) {
+  PutRaw<uint16_t>(out, static_cast<uint16_t>(routed.size()));
+  for (TermId term : routed) PutRaw<uint64_t>(out, term);
+  EncodeMicroblog(blog, out);
+}
+
+Status DecodeWalEntry(const char* data, size_t len, Microblog* out,
+                      std::vector<TermId>* routed) {
+  const char* p = data;
+  const char* end = data + len;
+
+  uint16_t num_routed = 0;
+  if (!GetRaw(p, end, &num_routed)) {
+    return Status::Corruption("truncated wal entry term count");
+  }
+  routed->resize(num_routed);
+  for (uint16_t i = 0; i < num_routed; ++i) {
+    uint64_t term = 0;
+    if (!GetRaw(p, end, &term)) {
+      return Status::Corruption("truncated wal entry terms");
+    }
+    (*routed)[i] = static_cast<TermId>(term);
+  }
+
+  size_t consumed = 0;
+  KFLUSH_RETURN_IF_ERROR(
+      DecodeMicroblog(p, static_cast<size_t>(end - p), out, &consumed));
+  if (p + consumed != end) {
+    return Status::Corruption("wal entry has trailing bytes");
+  }
+  return Status::OK();
+}
+
 }  // namespace kflush

@@ -13,6 +13,7 @@
 #define KFLUSH_STORAGE_SERDE_H_
 
 #include <string>
+#include <vector>
 
 #include "model/microblog.h"
 #include "util/status.h"
@@ -26,6 +27,22 @@ void EncodeMicroblog(const Microblog& blog, std::string* out);
 /// the total encoded length. Returns Corruption on malformed input.
 Status DecodeMicroblog(const char* data, size_t len, Microblog* out,
                        size_t* consumed);
+
+// WAL entry payload: the record plus the term subset it was indexed
+// under. An empty subset means "this store owns the full term set —
+// re-extract on replay"; a non-empty subset is a sharded routed insert
+// (the shard must not re-index terms other shards own).
+//
+//   u16 num_routed | u64 term ×n | <EncodeMicroblog record>
+
+/// Appends the encoded WAL entry to `*out`.
+void EncodeWalEntry(const Microblog& blog, const std::vector<TermId>& routed,
+                    std::string* out);
+
+/// Decodes one WAL entry occupying exactly `data[0..len)` (the WAL frame
+/// layer delimits entries). Returns Corruption on malformed input.
+Status DecodeWalEntry(const char* data, size_t len, Microblog* out,
+                      std::vector<TermId>* routed);
 
 }  // namespace kflush
 

@@ -56,6 +56,19 @@ Status SimDiskStore::GetRecord(MicroblogId id, Microblog* out) {
   return Status::OK();
 }
 
+bool SimDiskStore::Contains(MicroblogId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.count(id) != 0;
+}
+
+bool SimDiskStore::MaxTermScore(TermId term, double* score) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = postings_.find(term);
+  if (it == postings_.end() || it->second.empty()) return false;
+  *score = it->second.back().score;  // ascending storage: back is max
+  return true;
+}
+
 DiskStats SimDiskStore::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;

@@ -26,6 +26,9 @@ class SimDiskStore : public DiskStore {
                    std::vector<Posting>* out) override;
   Status GetRecord(MicroblogId id, Microblog* out) override;
 
+  bool Contains(MicroblogId id) override;
+  bool MaxTermScore(TermId term, double* score) override;
+
   DiskStats stats() const override;
   size_t NumRecords() const override;
   size_t NumPostings() const override;

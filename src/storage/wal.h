@@ -1,0 +1,113 @@
+// Group-commit write-ahead log for the ingest path (docs/INTERNALS.md,
+// "Durability"). Every accepted record is appended as one checksummed
+// frame (storage/durability.h) wrapping a WAL entry (storage/serde.h)
+// before it becomes visible in memory; Commit() is the group-commit
+// barrier that makes everything appended so far durable in one
+// fflush + fdatasync. Recovery replays the valid frame prefix and
+// truncates a torn tail in place instead of failing.
+//
+// One WAL per store (per shard in the sharded deployment). Appends are
+// serialized by the digestion thread that owns the store, but stats are
+// read from other threads, so the log is internally locked.
+
+#ifndef KFLUSH_STORAGE_WAL_H_
+#define KFLUSH_STORAGE_WAL_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/microblog.h"
+#include "storage/durability.h"
+#include "util/histogram.h"
+#include "util/status.h"
+
+namespace kflush {
+
+class WriteAheadLog {
+ public:
+  struct Stats {
+    uint64_t records_appended = 0;
+    uint64_t bytes_appended = 0;
+    /// Group commits (explicit Commit() calls plus auto-commits when the
+    /// pending-byte valve trips).
+    uint64_t commits = 0;
+    /// Actual fdatasync calls (0 at DurabilityLevel::kNone).
+    uint64_t fsyncs = 0;
+    Histogram fsync_micros;
+  };
+
+  /// Totals for one Replay() pass.
+  struct ReplayResult {
+    uint64_t records_recovered = 0;
+    uint64_t torn_bytes_truncated = 0;
+  };
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+  ~WriteAheadLog();
+
+  /// Opens `path` for appending, creating it (and syncing its directory
+  /// entry) if absent. Existing contents are preserved — run Replay()
+  /// first to consume and repair them.
+  static Status Open(const std::string& path, DurabilityLevel level,
+                     size_t auto_commit_bytes,
+                     std::unique_ptr<WriteAheadLog>* out);
+
+  /// Appends one entry. At kEveryCommit the entry is synced before the
+  /// call returns; at kBatch it is buffered until Commit() or until
+  /// `auto_commit_bytes` of entries are pending (the valve keeps the
+  /// unsynced window bounded on ingest paths that never commit).
+  Status Append(const Microblog& blog, const std::vector<TermId>& routed);
+
+  /// Group-commit barrier: all previously appended entries are durable
+  /// (per the level) when this returns OK. Cheap no-op when nothing is
+  /// pending.
+  Status Commit();
+
+  const std::string& path() const { return path_; }
+  Stats stats() const;
+
+  /// Replays every valid entry of the log at `path` in append order. A
+  /// missing file is an empty log. A torn tail (partial frame, bad
+  /// checksum, undecodable entry) ends the replay and is truncated in
+  /// place so a later Open() appends after the last valid entry. The
+  /// callback aborting with an error aborts the replay with that error.
+  static Status Replay(
+      const std::string& path,
+      const std::function<Status(Microblog&&, std::vector<TermId>&&)>& fn,
+      ReplayResult* result);
+
+  /// Atomically replaces the log with just `entries` via temp file +
+  /// rename + directory fsync (recovery compaction: entries whose
+  /// payloads became segment-durable are dropped). Must not race an open
+  /// log on the same path.
+  static Status Rewrite(
+      const std::string& path, DurabilityLevel level,
+      const std::vector<std::pair<Microblog, std::vector<TermId>>>& entries);
+
+ private:
+  WriteAheadLog(std::string path, DurabilityLevel level,
+                size_t auto_commit_bytes, std::FILE* file);
+
+  /// Flush+sync pending bytes. Caller holds mu_.
+  Status CommitLocked();
+
+  const std::string path_;
+  const DurabilityLevel level_;
+  const size_t auto_commit_bytes_;
+
+  mutable std::mutex mu_;
+  std::FILE* file_;           // owned; append-positioned
+  size_t pending_bytes_ = 0;  // appended since the last commit
+  Stats stats_;
+  std::string scratch_;  // encode buffer, reused across appends
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_STORAGE_WAL_H_

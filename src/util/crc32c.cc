@@ -1,0 +1,35 @@
+#include "util/crc32c.h"
+
+namespace kflush {
+namespace crc32c {
+
+namespace {
+
+/// Reflected-polynomial table, built once at first use.
+struct Table {
+  uint32_t entries[256];
+  Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Extend(uint32_t init, const void* data, size_t len) {
+  static const Table table;
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = init ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table.entries[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace crc32c
+}  // namespace kflush

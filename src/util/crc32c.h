@@ -1,0 +1,40 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+// checksum guarding every WAL entry and segment record frame. Software
+// slice-by-one table implementation — deterministic across platforms and
+// fast enough for flush-batch-sized payloads (the disk tier writes are
+// fsync-bound, not checksum-bound). Checksums are *masked* before storage
+// (the LevelDB/RocksDB trick: rotate and add a constant) so that a frame
+// whose payload embeds another frame's CRC does not self-validate.
+
+#ifndef KFLUSH_UTIL_CRC32C_H_
+#define KFLUSH_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kflush {
+namespace crc32c {
+
+/// CRC32C of `data[0..len)` extending `init` (pass 0 for a fresh crc).
+uint32_t Extend(uint32_t init, const void* data, size_t len);
+
+inline uint32_t Value(const void* data, size_t len) {
+  return Extend(0, data, len);
+}
+
+constexpr uint32_t kMaskDelta = 0xa282ead8u;
+
+/// Masked representation stored on disk.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+inline uint32_t Unmask(uint32_t masked) {
+  const uint32_t rot = masked - kMaskDelta;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace crc32c
+}  // namespace kflush
+
+#endif  // KFLUSH_UTIL_CRC32C_H_

@@ -79,6 +79,9 @@ class Status {
   }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsAlreadyExists() const {
+    return code_ == StatusCode::kAlreadyExists;
+  }
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }

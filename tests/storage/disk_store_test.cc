@@ -26,6 +26,7 @@ class DiskStoreTest : public ::testing::TestWithParam<StoreType> {
       store_ = std::make_unique<SimDiskStore>();
     } else {
       path_ = ::testing::TempDir() + "/kflush_disk_test.dat";
+      std::remove(path_.c_str());  // Open is exclusive-create
       auto opened = FileDiskStore::Open(path_);
       ASSERT_TRUE(opened.ok()) << opened.status().ToString();
       store_ = std::move(opened).value();
@@ -141,6 +142,7 @@ TEST(FileDiskStoreTest, OpenFailsOnBadPath) {
 
 TEST(FileDiskStoreTest, LargeRecordsRoundTrip) {
   const std::string path = ::testing::TempDir() + "/kflush_large.dat";
+  std::remove(path.c_str());
   auto opened = FileDiskStore::Open(path);
   ASSERT_TRUE(opened.ok());
   auto store = std::move(opened).value();

@@ -93,20 +93,103 @@ TEST_F(FileDiskStoreRecoveryTest, RecoveredStoreAcceptsNewWrites) {
   EXPECT_TRUE((*reopened)->GetRecord(2, &blog).ok());
 }
 
-TEST_F(FileDiskStoreRecoveryTest, CorruptTailIsReported) {
+TEST_F(FileDiskStoreRecoveryTest, TornTailIsTruncatedNotFatal) {
+  long valid_size = 0;
+  {
+    auto store = FileDiskStore::Open(path_);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->WriteBatch({MakeBlog(1, 10, {1}),
+                                      MakeBlog(2, 20, {1})}).ok());
+  }
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    valid_size = std::ftell(f);
+    std::fclose(f);
+  }
+  // A torn final record: the length prefix promises more bytes than the
+  // crash left behind. Recovery must keep the valid prefix and truncate.
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputs("\x40\x00\x00\x00 trailing garbage", f);
+  std::fclose(f);
+
+  auto reopened = FileDiskStore::OpenOrRecover(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->NumRecords(), 2u);
+  EXPECT_GT((*reopened)->stats().torn_bytes_truncated, 0u);
+  Microblog blog;
+  EXPECT_TRUE((*reopened)->GetRecord(1, &blog).ok());
+  EXPECT_TRUE((*reopened)->GetRecord(2, &blog).ok());
+  // New writes land cleanly after the truncated tail.
+  ASSERT_TRUE((*reopened)->WriteBatch({MakeBlog(3, 30, {1})}).ok());
+  EXPECT_EQ((*reopened)->NumRecords(), 3u);
+  (*reopened).reset();
+
+  std::FILE* check = std::fopen(path_.c_str(), "rb");
+  ASSERT_NE(check, nullptr);
+  std::fseek(check, 0, SEEK_END);
+  EXPECT_GT(std::ftell(check), valid_size);  // garbage gone, record 3 appended
+  std::fclose(check);
+  auto again = FileDiskStore::OpenOrRecover(path_);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->NumRecords(), 3u);
+  EXPECT_EQ((*again)->stats().torn_bytes_truncated, 0u);
+}
+
+TEST_F(FileDiskStoreRecoveryTest, EmptyFileRecoversEmpty) {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  auto store = FileDiskStore::OpenOrRecover(path_);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ((*store)->NumRecords(), 0u);
+  EXPECT_EQ((*store)->stats().records_recovered, 0u);
+  ASSERT_TRUE((*store)->WriteBatch({MakeBlog(1, 10, {1})}).ok());
+  EXPECT_EQ((*store)->NumRecords(), 1u);
+}
+
+TEST_F(FileDiskStoreRecoveryTest, OpenRefusesToTruncateExistingData) {
   {
     auto store = FileDiskStore::Open(path_);
     ASSERT_TRUE(store.ok());
     ASSERT_TRUE((*store)->WriteBatch({MakeBlog(1, 10, {1})}).ok());
   }
-  // Append garbage.
-  std::FILE* f = std::fopen(path_.c_str(), "ab");
-  ASSERT_NE(f, nullptr);
-  std::fputs("\x40\x00\x00\x00 trailing garbage", f);
-  std::fclose(f);
+  // The silent-data-loss path: Open used to fopen "w+b" and wipe the file.
+  auto clobber = FileDiskStore::Open(path_);
+  ASSERT_FALSE(clobber.ok());
+  EXPECT_TRUE(clobber.status().IsAlreadyExists())
+      << clobber.status().ToString();
+  // The data survived the refused Open.
   auto reopened = FileDiskStore::OpenOrRecover(path_);
-  EXPECT_FALSE(reopened.ok());
-  EXPECT_TRUE(reopened.status().IsCorruption());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->NumRecords(), 1u);
+}
+
+TEST_F(FileDiskStoreRecoveryTest, RecoveryDoesNotInflateWriteCounters) {
+  {
+    auto store = FileDiskStore::Open(path_);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->WriteBatch({MakeBlog(1, 10, {1}),
+                                      MakeBlog(2, 20, {1})}).ok());
+    EXPECT_EQ((*store)->stats().records_written, 2u);
+  }
+  // Repeated open/recover cycles: recovered records are counted as
+  // recovered, never re-counted as written.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    auto reopened = FileDiskStore::OpenOrRecover(path_);
+    ASSERT_TRUE(reopened.ok());
+    const DiskStats stats = (*reopened)->stats();
+    EXPECT_EQ(stats.records_recovered, 2u + cycle);
+    EXPECT_EQ(stats.records_written, 0u);
+    EXPECT_EQ(stats.record_bytes_written, 0u);
+    ASSERT_TRUE((*reopened)
+                    ->WriteBatch({MakeBlog(static_cast<MicroblogId>(3 + cycle),
+                                           30, {1})})
+                    .ok());
+    EXPECT_EQ((*reopened)->stats().records_written, 1u);
+  }
 }
 
 }  // namespace

@@ -61,6 +61,65 @@ TEST(FlushBufferTest, PeakBytesTracksHighWater) {
   EXPECT_GT(buffer.peak_bytes(), peak1);
 }
 
+/// Fails every WriteBatch until told otherwise; delegates the rest.
+class FailingDiskStore : public SimDiskStore {
+ public:
+  bool fail = true;
+  Status WriteBatch(std::vector<Microblog> batch) override {
+    if (fail) return Status::IOError("injected write failure");
+    return SimDiskStore::WriteBatch(std::move(batch));
+  }
+};
+
+TEST(FlushBufferTest, FailedDrainRequeuesAndKeepsCharge) {
+  MemoryTracker tracker(1 << 20);
+  FlushBuffer buffer(&tracker);
+  FailingDiskStore disk;
+  for (MicroblogId id = 1; id <= 4; ++id) {
+    buffer.Add(MakeBlog(id, id * 10, {1}, 1, "record " + std::to_string(id)));
+  }
+  const size_t charged = tracker.ComponentUsed(MemoryComponent::kFlushBuffer);
+  ASSERT_GT(charged, 0u);
+
+  // The old DrainTo released the tracker charge up front and destroyed the
+  // batch on failure — silent data loss. Now the records come back, the
+  // memory accounting stays, and the failure is visible in requeues().
+  Status status = buffer.DrainTo(&disk);
+  EXPECT_TRUE(status.IsIOError());
+  EXPECT_EQ(buffer.count(), 4u);
+  EXPECT_EQ(buffer.bytes(), charged);
+  EXPECT_EQ(tracker.ComponentUsed(MemoryComponent::kFlushBuffer), charged);
+  EXPECT_EQ(buffer.requeues(), 1u);
+  EXPECT_EQ(disk.NumRecords(), 0u);
+
+  // Once the disk heals, the retry drains everything in original order.
+  disk.fail = false;
+  ASSERT_TRUE(buffer.DrainTo(&disk).ok());
+  EXPECT_EQ(buffer.count(), 0u);
+  EXPECT_EQ(tracker.ComponentUsed(MemoryComponent::kFlushBuffer), 0u);
+  EXPECT_EQ(disk.NumRecords(), 4u);
+  Microblog blog;
+  for (MicroblogId id = 1; id <= 4; ++id) {
+    ASSERT_TRUE(disk.GetRecord(id, &blog).ok());
+    EXPECT_EQ(blog.text, "record " + std::to_string(id));
+  }
+}
+
+TEST(FlushBufferTest, RequeuePreservesOrderAheadOfNewArrivals) {
+  FlushBuffer buffer;
+  FailingDiskStore disk;
+  buffer.Add(MakeBlog(1, 10, {1}));
+  buffer.Add(MakeBlog(2, 20, {1}));
+  EXPECT_TRUE(buffer.DrainTo(&disk).IsIOError());
+  buffer.Add(MakeBlog(3, 30, {1}));  // arrives after the failed drain
+  disk.fail = false;
+  ASSERT_TRUE(buffer.DrainTo(&disk).ok());
+  // SimDiskStore records arrival order via its batch log: the requeued
+  // originals must precede the post-failure arrival.
+  EXPECT_EQ(disk.NumRecords(), 3u);
+  EXPECT_EQ(disk.stats().write_batches, 1u);
+}
+
 TEST(FlushBufferTest, DestructorReleasesCharges) {
   MemoryTracker tracker(1 << 20);
   {

@@ -3,6 +3,10 @@
 #ifndef KFLUSH_TESTS_TESTING_TEST_UTIL_H_
 #define KFLUSH_TESTS_TESTING_TEST_UTIL_H_
 
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -79,6 +83,26 @@ inline bool RecordsEqual(const Microblog& a, const Microblog& b) {
          (!a.has_location || (a.location.lat == b.location.lat &&
                               a.location.lon == b.location.lon)) &&
          a.text == b.text && a.keywords == b.keywords;
+}
+
+/// Recursively deletes `path` (file or directory tree). Durability tests
+/// use per-test directories (WAL + segment files) under TempDir().
+inline void RemoveTree(const std::string& path) {
+  struct stat st;
+  if (::lstat(path.c_str(), &st) != 0) return;
+  if (S_ISDIR(st.st_mode)) {
+    if (DIR* d = ::opendir(path.c_str())) {
+      while (struct dirent* ent = ::readdir(d)) {
+        const std::string name = ent->d_name;
+        if (name == "." || name == "..") continue;
+        RemoveTree(path + "/" + name);
+      }
+      ::closedir(d);
+    }
+    ::rmdir(path.c_str());
+  } else {
+    std::remove(path.c_str());
+  }
 }
 
 /// Shard count for the sharded differential tests: the KFLUSH_TEST_SHARDS

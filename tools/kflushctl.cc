@@ -2,6 +2,7 @@
 //
 //   kflushctl gen-trace   --out FILE --count N [stream flags]
 //   kflushctl replay      --trace FILE [--policy P] [--k K] [--memory-mb M]
+//   kflushctl recover     --durable-dir DIR [--policy P] [--k K]
 //   kflushctl experiment  [--policy P] [--workload W] [--attribute A]
 //                         [--k K] [--memory-mb M] [--flush-pct B]
 //                         [--queries N] [--seed S]
@@ -12,6 +13,13 @@
 // figure benchmarks and prints the full result; `compare` tabulates all
 // four policies side by side; `replay` streams a saved trace through a
 // store and reports ingest + memory statistics.
+//
+// `recover` opens a durable store directory (WAL + segments), runs
+// restart recovery, and reports what it found — the smoke test for "will
+// this directory come back after a crash". Every run command accepts
+// --durable-dir DIR [--durability none|batch|commit] to run with the
+// durable tier on (the ingest-throughput-vs-durability table in
+// docs/EXPERIMENTS.md is measured with `replay` this way).
 //
 // `trace` runs one experiment with the flush-cycle trace recorder on
 // (start -> run -> stop -> dump) and writes Perfetto-loadable Chrome trace
@@ -29,6 +37,7 @@
 #include "core/trace.h"
 #include "gen/trace.h"
 #include "sim/experiment.h"
+#include "storage/wal.h"
 
 using namespace kflush;
 
@@ -124,7 +133,59 @@ ExperimentConfig ConfigFromFlags(const Flags& flags) {
     std::exit(2);
   }
   config.shards = static_cast<size_t>(shards);
+  const std::string durable_dir = flags.Get("durable-dir", "");
+  if (!durable_dir.empty()) {
+    config.store.durability.enabled = true;
+    config.store.durability.dir = durable_dir;
+    const std::string level = flags.Get("durability", "batch");
+    if (!ParseDurabilityLevel(level, &config.store.durability.level)) {
+      std::fprintf(stderr, "unknown durability '%s' (none|batch|commit)\n",
+                   level.c_str());
+      std::exit(2);
+    }
+  }
   return config;
+}
+
+int CmdRecover(const Flags& flags) {
+  const std::string dir = flags.Get("durable-dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "recover requires --durable-dir DIR\n");
+    return 2;
+  }
+  ExperimentConfig config = ConfigFromFlags(flags);
+  Stopwatch watch;
+  MicroblogStore store(config.store);
+  const double secs = watch.ElapsedSeconds();
+  const Status& status = store.durability_status();
+  if (!status.ok()) {
+    std::fprintf(stderr, "recovery FAILED: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const StoreRecoveryStats rec = store.recovery_stats();
+  const DiskStats disk = store.disk()->stats();
+  std::printf("recovered %s in %.3fs (level=%s)\n", dir.c_str(), secs,
+              DurabilityLevelName(config.store.durability.level));
+  std::printf(
+      "  segments: %llu records, %llu torn bytes truncated\n",
+      static_cast<unsigned long long>(disk.records_recovered),
+      static_cast<unsigned long long>(disk.torn_bytes_truncated));
+  std::printf(
+      "  wal: %llu entries replayed, %llu torn bytes truncated, "
+      "%llu retained after compaction\n",
+      static_cast<unsigned long long>(rec.wal_records_recovered),
+      static_cast<unsigned long long>(rec.wal_torn_bytes_truncated),
+      static_cast<unsigned long long>(rec.wal_entries_retained));
+  std::printf(
+      "  placement: %llu re-inserted in memory, %llu to a recovery "
+      "segment\n",
+      static_cast<unsigned long long>(rec.records_reinserted_memory),
+      static_cast<unsigned long long>(rec.records_recovered_to_disk));
+  std::printf("  max record id: %llu | disk records now: %zu\n",
+              static_cast<unsigned long long>(store.recovered_max_id()),
+              store.disk()->NumRecords());
+  std::printf("%s\n", store.tracker().ToString().c_str());
+  return 0;
 }
 
 int CmdGenTrace(const Flags& flags) {
@@ -202,6 +263,18 @@ int CmdReplay(const Flags& flags) {
               store.policy()->stats().ToString().c_str());
   std::printf("terms=%zu k_filled=%zu\n", store.policy()->NumTerms(),
               store.policy()->NumKFilledTerms());
+  if (store.wal() != nullptr) {
+    const WriteAheadLog::Stats wal = store.wal()->stats();
+    std::printf(
+        "wal: %llu appends, %llu bytes, %llu commits, %llu fsyncs "
+        "(p50 %lluus p99 %lluus)\n",
+        static_cast<unsigned long long>(wal.records_appended),
+        static_cast<unsigned long long>(wal.bytes_appended),
+        static_cast<unsigned long long>(wal.commits),
+        static_cast<unsigned long long>(wal.fsyncs),
+        static_cast<unsigned long long>(wal.fsync_micros.Percentile(50.0)),
+        static_cast<unsigned long long>(wal.fsync_micros.Percentile(99.0)));
+  }
   return 0;
 }
 
@@ -280,6 +353,7 @@ void Usage() {
       "commands:\n"
       "  gen-trace  --out FILE --count N [--seed S] [--vocab V] [--zipf Z]\n"
       "  replay     --trace FILE [--policy P] [--k K] [--memory-mb M]\n"
+      "  recover    --durable-dir DIR [--policy P] [--k K]\n"
       "  experiment [--policy P] [--workload correlated|uniform]\n"
       "             [--attribute keyword|spatial|user] [--k K]\n"
       "             [--memory-mb M] [--flush-pct B] [--queries N] [--seed S]\n"
@@ -288,7 +362,9 @@ void Usage() {
       "  trace      --out FILE [same flags as experiment]\n"
       "flags:\n"
       "  --trace-out FILE  capture a Chrome/Perfetto trace of any run\n"
-      "                    command (replay, experiment, compare)\n");
+      "                    command (replay, experiment, compare)\n"
+      "  --durable-dir DIR [--durability none|batch|commit]\n"
+      "                    run with the durable tier (WAL + segments)\n");
 }
 
 }  // namespace
@@ -305,6 +381,7 @@ int main(int argc, char** argv) {
                                                : flags.Get("trace-out", ""));
   if (command == "gen-trace") return CmdGenTrace(flags);
   if (command == "replay") return CmdReplay(flags);
+  if (command == "recover") return CmdRecover(flags);
   if (command == "experiment") return CmdExperiment(flags);
   if (command == "compare") return CmdCompare(flags);
   if (command == "trace") return CmdTrace(flags);

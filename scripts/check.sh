@@ -2,7 +2,8 @@
 # Repo verification gate: tier-1 suite plus the sanitizer jobs that guard
 # the concurrency paths (docs/INTERNALS.md, "Threading model & sanitizers").
 #
-# Usage:  scripts/check.sh [tier1|tsan|asan|stress|crash|bench-smoke|all]   (default: all)
+# Usage:  scripts/check.sh [tier1|tsan|asan|stress|crash|bench-smoke|net-smoke|all]
+#         (default: all)
 #
 # Jobs (each one is what CI runs as a separate job):
 #   tier1       - plain RelWithDebInfo build, full ctest suite
@@ -19,6 +20,14 @@
 #                 then a traced bench_fig5_memory_behavior run validated with
 #                 scripts/validate_trace_json.py. Artifacts land in
 #                 KFLUSH_BENCH_OUT (default: a temp dir) so CI can upload them.
+#   net-smoke   - the network front-end over real loopback TCP
+#                 (docs/INTERNALS.md, "Networking"): a tiny in-process
+#                 bench_net_load run (validates BENCH_net_load.json — zero
+#                 silent drops, offered == acked + skipped + nacked), then
+#                 the external loop: `kflushctl serve` in the background,
+#                 driven by bench_net_load --connect with a protocol
+#                 Shutdown at the end; the serve process must exit 0 after
+#                 verifying its own accounting.
 #
 # The stress harness derives all RNG streams from one base seed; on failure
 # we print how to replay it. Override with KFLUSH_STRESS_SEED=<seed>.
@@ -122,13 +131,61 @@ job_bench_smoke() {
   python3 scripts/validate_trace_json.py "${out}/trace_fig5.json"
 }
 
+job_net_smoke() {
+  note "net-smoke: loopback load harness + kflushctl serve round trip"
+  local out scale port rc serve_pid
+  build default && cmake --build build -j "${JOBS}" \
+      --target bench_net_load kflushctl || return 1
+  out="${KFLUSH_BENCH_OUT:-$(mktemp -d)}"
+  mkdir -p "${out}"
+  scale="${KFLUSH_BENCH_SCALE:-0.05}"
+  # In-process: server + sharded system in the bench binary; the run
+  # itself fails on any accounting hole (silent drop, offered !=
+  # acked + skipped + nacked), then the artifact schema is checked.
+  KFLUSH_BENCH_SCALE="${scale}" KFLUSH_BENCH_OUT="${out}" \
+      ./build/bench/bench_net_load --users 4 --seconds 1 \
+      --rates 4000,12000 || return 1
+  python3 scripts/validate_bench_json.py \
+      "${out}/BENCH_net_load.json" || return 1
+  # External: a real serve process, driven over loopback, shut down via
+  # the protocol. serve exits non-zero if its accounting has a hole.
+  port=$(( 20000 + RANDOM % 20000 ))
+  ./build/tools/kflushctl serve --port "${port}" --shards 2 \
+      --memory-mb 32 &
+  serve_pid=$!
+  for _ in $(seq 1 50); do
+    if ! kill -0 "${serve_pid}" 2>/dev/null; then
+      echo "net-smoke: kflushctl serve died before accepting connections"
+      wait "${serve_pid}"
+      return 1
+    fi
+    (exec 3<>"/dev/tcp/127.0.0.1/${port}") 2>/dev/null && break
+    sleep 0.1
+  done
+  KFLUSH_BENCH_SCALE="${scale}" \
+      ./build/bench/bench_net_load --connect "127.0.0.1:${port}" \
+      --users 2 --seconds 1 --rates 4000 --shutdown
+  rc=$?
+  if [ ${rc} -ne 0 ]; then
+    kill "${serve_pid}" 2>/dev/null
+    wait "${serve_pid}" 2>/dev/null
+    return 1
+  fi
+  wait "${serve_pid}"
+  rc=$?
+  if [ ${rc} -ne 0 ]; then
+    echo "net-smoke: kflushctl serve exited ${rc} (accounting hole?)"
+    return 1
+  fi
+}
+
 run_job() { "job_${1//-/_}" || FAILED+=("$1"); }
 
 case "${1:-all}" in
-  tier1|tsan|asan|stress|crash|bench-smoke) run_job "$1" ;;
+  tier1|tsan|asan|stress|crash|bench-smoke|net-smoke) run_job "$1" ;;
   all) run_job tier1; run_job tsan; run_job asan; run_job crash
-       run_job bench-smoke ;;
-  *) echo "usage: $0 [tier1|tsan|asan|stress|crash|bench-smoke|all]" >&2
+       run_job bench-smoke; run_job net-smoke ;;
+  *) echo "usage: $0 [tier1|tsan|asan|stress|crash|bench-smoke|net-smoke|all]" >&2
      exit 2 ;;
 esac
 

@@ -13,11 +13,16 @@ where each <snapshot> is a MetricsSnapshot::ToJson() object holding
 "counters"/"gauges"/"histograms" maps, with the per-phase flush counters
 (flush.phaseN.*) and per-query-type latency histograms
 (query.latency_micros.<type>.<hit|miss>) present, and every histogram
-carrying count/min/max/mean/sum and p50/p90/p95/p99 fields. The durable
+carrying count/min/max/mean/sum and p50/p90/p95/p99/p999 fields. The durable
 tier's disk.* recovery counters and flush_buffer.requeues are required
 unconditionally (zero on non-durable runs); the wal.* series are
 validated as an all-or-nothing family when any of them appears, with
 wal.fsync_micros's count cross-checked against the wal.fsyncs counter.
+
+BENCH_net_load.json (bench_net_load) carries one snapshot per
+arrival-rate point and is additionally audited for zero silent drops:
+bench.offered must equal acked+skipped+nacked and bench.queried_back
+must equal bench.acked.
 
 BENCH_insert_breakdown.json (bench_micro --breakdown) carries a reduced
 snapshot per policy — the digestion-cost gauges (bench.insert_cpu_ns,
@@ -42,7 +47,7 @@ import sys
 REQUIRED_TOP_KEYS = ("bench", "scale", "policies")
 REQUIRED_SNAPSHOT_KEYS = ("counters", "gauges", "histograms")
 HISTOGRAM_FIELDS = ("count", "min", "max", "mean", "sum",
-                    "p50", "p90", "p95", "p99")
+                    "p50", "p90", "p95", "p99", "p999")
 PHASE_COUNTER_FIELDS = ("runs", "candidates_scanned", "heap_selected",
                         "postings", "entries", "records", "record_bytes",
                         "bytes_freed", "micros")
@@ -191,6 +196,56 @@ def check_shard_scaling(errors, path, doc):
                 errors.append(f"{where}: missing histogram '{name}'")
 
 
+def check_net_load(errors, path, doc):
+    """Extra rules for BENCH_net_load.json: one snapshot per arrival-rate
+    point ("rate<R>"), each carrying the client-side latency histograms
+    and the zero-silent-drop accounting gauges — offered must partition
+    exactly into acked/skipped/nacked, and every acked record must have
+    been queried back (bench.silent_drops == 0)."""
+    policies = doc["policies"]
+    rate_keys = [k for k in policies if k.startswith("rate")]
+    if not rate_keys:
+        errors.append(f"{path}: net_load needs >=1 'rate<R>' snapshot, "
+                      f"got {sorted(policies)}")
+        return
+    for key in rate_keys:
+        where = f"{path}:{key}"
+        snap = policies[key]
+        gauges = snap.get("gauges", {})
+        for name in ("bench.rate_target", "bench.users", "bench.batch",
+                     "bench.offered", "bench.acked", "bench.skipped",
+                     "bench.nacked", "bench.nacks_overloaded",
+                     "bench.queries_sent", "bench.queries_ok",
+                     "bench.queried_back", "bench.silent_drops",
+                     "bench.offered_per_sec", "bench.acked_per_sec"):
+            if name not in gauges:
+                errors.append(f"{where}: missing gauge '{name}'")
+        offered = gauges.get("bench.offered", 0)
+        accounted = (gauges.get("bench.acked", 0)
+                     + gauges.get("bench.skipped", 0)
+                     + gauges.get("bench.nacked", 0))
+        if offered <= 0:
+            errors.append(f"{where}: bench.offered must be > 0")
+        elif offered != accounted:
+            errors.append(
+                f"{where}: offered {offered} != acked+skipped+nacked "
+                f"{accounted} (records unaccounted for)")
+        if gauges.get("bench.silent_drops", 1) != 0:
+            errors.append(f"{where}: bench.silent_drops must be 0, got "
+                          f"{gauges.get('bench.silent_drops')}")
+        if gauges.get("bench.queried_back") != gauges.get("bench.acked"):
+            errors.append(f"{where}: bench.queried_back "
+                          f"{gauges.get('bench.queried_back')} != "
+                          f"bench.acked {gauges.get('bench.acked')}")
+        histograms = snap.get("histograms", {})
+        for name in ("net.ingest_latency_micros", "net.query_latency_micros"):
+            if name not in histograms:
+                errors.append(f"{where}: missing histogram '{name}'")
+        ingest = histograms.get("net.ingest_latency_micros", {})
+        if isinstance(ingest, dict) and ingest.get("count", 0) <= 0:
+            errors.append(f"{where}: net.ingest_latency_micros is empty")
+
+
 def check_insert_breakdown(errors, path, doc):
     """Reduced schema for bench_micro --breakdown output."""
     for policy, snap in doc["policies"].items():
@@ -283,6 +338,8 @@ def check_file(errors, path, baseline=None, tolerance=DEFAULT_TOLERANCE):
         check_snapshot(errors, f"{path}:{policy}", snap)
     if doc["bench"] == "shard_scaling":
         check_shard_scaling(errors, path, doc)
+    if doc["bench"] == "net_load":
+        check_net_load(errors, path, doc)
 
 
 def main(argv):

@@ -44,7 +44,8 @@ void AppendHistogramJson(std::ostringstream* os, const Histogram& h) {
       << ",\"max\":" << h.max() << ",\"mean\":" << h.mean()
       << ",\"sum\":" << h.sum() << ",\"p50\":" << h.Percentile(50)
       << ",\"p90\":" << h.Percentile(90) << ",\"p95\":" << h.Percentile(95)
-      << ",\"p99\":" << h.Percentile(99) << "}";
+      << ",\"p99\":" << h.Percentile(99)
+      << ",\"p999\":" << h.Percentile(99.9) << "}";
 }
 
 }  // namespace

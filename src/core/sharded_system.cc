@@ -59,20 +59,44 @@ void ShardedMicroblogSystem::Start() {
 }
 
 void ShardedMicroblogSystem::Stop() {
+  {
+    std::unique_lock<std::mutex> lock(submit_mu_);
+    stopping_ = true;
+    // Release producers blocked mid-reservation (their Submit unwinds
+    // with false and nothing enqueued), then wait for every in-flight
+    // submit to finish before any shard queue closes: a submit that
+    // already holds all its reservations is guaranteed to commit on
+    // every owner shard, never on a subset.
+    for (auto& system : systems_) system->AbortIngestReservations();
+    submit_cv_.wait(lock, [this] { return in_flight_submits_ == 0; });
+  }
   for (auto& system : systems_) system->Stop();
 }
 
-bool ShardedMicroblogSystem::Submit(std::vector<Microblog> batch) {
-  TraceSpan span("shard", "route_batch",
-                 {TraceArg::Uint("records", batch.size()),
-                  TraceArg::Uint("shards", systems_.size())});
-  std::vector<IngestBatch> per_shard(systems_.size());
+bool ShardedMicroblogSystem::BeginSubmit() {
+  std::lock_guard<std::mutex> lock(submit_mu_);
+  if (stopping_) return false;
+  ++in_flight_submits_;
+  return true;
+}
+
+void ShardedMicroblogSystem::EndSubmit() {
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    --in_flight_submits_;
+  }
+  submit_cv_.notify_all();
+}
+
+ShardedMicroblogSystem::RoutedBatch ShardedMicroblogSystem::RouteBatch(
+    std::vector<Microblog> batch) {
+  RoutedBatch routed;
+  routed.per_shard.resize(systems_.size());
   // Per-record scratch, hoisted out of the loop: the routing hot path
   // must not allocate O(num_shards) vectors per record.
   std::vector<TermId> terms;
   std::vector<std::vector<TermId>> owned(systems_.size());
   std::vector<size_t> owners;
-  uint64_t copies = 0;
   for (Microblog& blog : batch) {
     if (blog.id == kInvalidMicroblogId) {
       blog.id = next_id_.fetch_add(1, std::memory_order_relaxed);
@@ -80,13 +104,13 @@ bool ShardedMicroblogSystem::Submit(std::vector<Microblog> batch) {
     if (blog.created_at == 0) {
       blog.created_at = clock_->NowMicros();
     }
-    accepted_.fetch_add(1, std::memory_order_relaxed);
     terms.clear();
     extractor_->ExtractTerms(blog, &terms);
     if (terms.empty()) {
-      skipped_no_terms_.fetch_add(1, std::memory_order_relaxed);
+      ++routed.skipped;
       continue;
     }
+    ++routed.records;
     // Owned term subsets per shard, for this record.
     owners.clear();
     for (TermId term : terms) {
@@ -94,26 +118,130 @@ bool ShardedMicroblogSystem::Submit(std::vector<Microblog> batch) {
       if (owned[owner].empty()) owners.push_back(owner);
       owned[owner].push_back(term);
     }
-    copies += owners.size();
+    routed.copies += owners.size();
     for (size_t i = 0; i + 1 < owners.size(); ++i) {
-      IngestBatch& dest = per_shard[owners[i]];
+      IngestBatch& dest = routed.per_shard[owners[i]];
       dest.blogs.push_back(blog);
       dest.routed_terms.push_back(std::move(owned[owners[i]]));
       owned[owners[i]].clear();  // moved-from; reset for the next record
     }
     const size_t last = owners.back();
-    per_shard[last].blogs.push_back(std::move(blog));
-    per_shard[last].routed_terms.push_back(std::move(owned[last]));
+    routed.per_shard[last].blogs.push_back(std::move(blog));
+    routed.per_shard[last].routed_terms.push_back(std::move(owned[last]));
     owned[last].clear();
   }
-  routed_copies_.fetch_add(copies, std::memory_order_relaxed);
-  bool accepted = true;
-  for (size_t i = 0; i < systems_.size(); ++i) {
-    if (per_shard[i].blogs.empty()) continue;
-    accepted = systems_[i]->SubmitRouted(std::move(per_shard[i])) && accepted;
+  for (size_t i = 0; i < routed.per_shard.size(); ++i) {
+    if (!routed.per_shard[i].blogs.empty()) routed.owners.push_back(i);
   }
-  span.End({TraceArg::Uint("copies", copies)});
+  return routed;
+}
+
+bool ShardedMicroblogSystem::CommitReserved(RoutedBatch* routed) {
+  bool accepted = true;
+  for (size_t owner : routed->owners) {
+    // Every owner holds a reservation, so this never blocks; it can fail
+    // only if a shard was stopped out-of-band, which Stop()'s in-flight
+    // handshake excludes in the supported lifecycle.
+    accepted = systems_[owner]->SubmitReservedRouted(
+                   std::move(routed->per_shard[owner])) &&
+               accepted;
+  }
+  if (accepted) {
+    accepted_.fetch_add(routed->records + routed->skipped,
+                        std::memory_order_relaxed);
+    skipped_no_terms_.fetch_add(routed->skipped, std::memory_order_relaxed);
+    routed_copies_.fetch_add(routed->copies, std::memory_order_relaxed);
+  }
   return accepted;
+}
+
+bool ShardedMicroblogSystem::Submit(std::vector<Microblog> batch) {
+  TraceSpan span("shard", "route_batch",
+                 {TraceArg::Uint("records", batch.size()),
+                  TraceArg::Uint("shards", systems_.size())});
+  if (!BeginSubmit()) {
+    span.End({TraceArg::Uint("copies", 0)});
+    return false;
+  }
+  RoutedBatch routed = RouteBatch(std::move(batch));
+  // Phase 1 — reserve a queue slot on every owner shard (blocking under
+  // per-shard backpressure) before enqueueing anything. If any
+  // reservation fails the already-held ones are returned and no shard
+  // saw any part of the batch: all-or-nothing, so false can never mean
+  // "partially inserted" and a caller retry cannot double-insert.
+  size_t held = 0;
+  bool ok = true;
+  for (; held < routed.owners.size(); ++held) {
+    if (!systems_[routed.owners[held]]->ReserveIngestSlot()) {
+      ok = false;
+      break;
+    }
+  }
+  if (!ok) {
+    for (size_t i = 0; i < held; ++i) {
+      systems_[routed.owners[i]]->CancelIngestReservation();
+    }
+    EndSubmit();
+    span.End({TraceArg::Uint("copies", 0)});
+    return false;
+  }
+  // Phase 2 — commit into the reserved slots (never blocks).
+  const bool accepted = CommitReserved(&routed);
+  EndSubmit();
+  span.End({TraceArg::Uint("copies", accepted ? routed.copies : 0)});
+  return accepted;
+}
+
+ShardedMicroblogSystem::SubmitOutcome ShardedMicroblogSystem::TrySubmit(
+    std::vector<Microblog> batch, uint64_t* admitted_records,
+    uint64_t* skipped_records) {
+  TraceSpan span("shard", "try_route_batch",
+                 {TraceArg::Uint("records", batch.size()),
+                  TraceArg::Uint("shards", systems_.size())});
+  if (admitted_records != nullptr) *admitted_records = 0;
+  if (skipped_records != nullptr) *skipped_records = 0;
+  if (!BeginSubmit()) {
+    span.End({TraceArg::Uint("copies", 0)});
+    return SubmitOutcome::kStopped;
+  }
+  RoutedBatch routed = RouteBatch(std::move(batch));
+  size_t held = 0;
+  bool ok = true;
+  for (; held < routed.owners.size(); ++held) {
+    if (!systems_[routed.owners[held]]->TryReserveIngestSlot()) {
+      ok = false;
+      break;
+    }
+  }
+  if (!ok) {
+    for (size_t i = 0; i < held; ++i) {
+      systems_[routed.owners[i]]->CancelIngestReservation();
+    }
+    EndSubmit();
+    span.End({TraceArg::Uint("copies", 0)});
+    return SubmitOutcome::kOverloaded;
+  }
+  const bool accepted = CommitReserved(&routed);
+  EndSubmit();
+  span.End({TraceArg::Uint("copies", accepted ? routed.copies : 0)});
+  if (!accepted) return SubmitOutcome::kStopped;
+  if (admitted_records != nullptr) *admitted_records = routed.records;
+  if (skipped_records != nullptr) *skipped_records = routed.skipped;
+  return SubmitOutcome::kAccepted;
+}
+
+size_t ShardedMicroblogSystem::max_queue_depth() const {
+  size_t depth = 0;
+  for (const auto& system : systems_) {
+    depth = std::max(depth, system->queue_depth());
+  }
+  return depth;
+}
+
+size_t ShardedMicroblogSystem::total_queue_depth() const {
+  size_t depth = 0;
+  for (const auto& system : systems_) depth += system->queue_depth();
+  return depth;
 }
 
 Result<QueryResult> ShardedMicroblogSystem::Query(const TopKQuery& query) {

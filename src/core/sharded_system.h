@@ -12,7 +12,9 @@
 #define KFLUSH_CORE_SHARDED_SYSTEM_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/shard_router.h"
@@ -42,11 +44,38 @@ class ShardedMicroblogSystem {
   void Stop();
 
   /// Stamps ids/timestamps centrally, routes each record's terms, and
-  /// submits one routed sub-batch per owning shard (blocking on any full
-  /// shard queue — per-shard backpressure throttles the producer).
+  /// submits one routed sub-batch per owning shard. Admission is
+  /// all-or-nothing: a queue slot is reserved on every owner shard
+  /// (blocking under backpressure) before any sub-batch is enqueued, so a
+  /// batch is either fully admitted on all owners or not at all — false
+  /// means no shard holds any part of it and a retry cannot double-insert.
   /// Returns false once stopped. Term-less records are counted and
   /// dropped here.
   bool Submit(std::vector<Microblog> batch);
+
+  /// Non-blocking admission outcome for TrySubmit.
+  enum class SubmitOutcome {
+    kAccepted,    // every owner shard admitted its sub-batch
+    kOverloaded,  // some owner shard's ingest queue was full; nothing
+                  // was admitted anywhere (explicit-NACK material)
+    kStopped,     // the system is stopping; nothing was admitted
+  };
+
+  /// Like Submit, but never blocks: if any owner shard's queue is full
+  /// the whole batch is rejected with kOverloaded and no shard receives
+  /// any part of it. The network front-end turns kOverloaded into a
+  /// protocol-level NACK instead of stalling the event loop.
+  /// `admitted_records`/`skipped_records` (optional) report how many
+  /// records were admitted with terms / dropped as term-less on success.
+  SubmitOutcome TrySubmit(std::vector<Microblog> batch,
+                          uint64_t* admitted_records = nullptr,
+                          uint64_t* skipped_records = nullptr);
+
+  /// Deepest per-shard ingest queue, in batches (lock-free estimate);
+  /// the admission signal the network front-end gates on.
+  size_t max_queue_depth() const;
+  /// Sum of per-shard ingest-queue depths (lock-free estimate).
+  size_t total_queue_depth() const;
 
   /// Fan-out query against current contents (thread-safe, any time).
   Result<QueryResult> Query(const TopKQuery& query);
@@ -63,7 +92,8 @@ class ShardedMicroblogSystem {
   ShardedQueryEngine* engine() { return engine_.get(); }
   const ShardRouter& router() const { return router_; }
 
-  /// Records accepted by Submit (central count, before routing).
+  /// Records in admitted batches (including term-less records that were
+  /// dropped by the router); rejected batches contribute nothing.
   uint64_t accepted() const {
     return accepted_.load(std::memory_order_relaxed);
   }
@@ -79,12 +109,40 @@ class ShardedMicroblogSystem {
   uint64_t digested() const;
 
  private:
+  /// A producer batch routed into per-shard sub-batches plus its tallies;
+  /// tallies are applied to the counters only if admission succeeds, so a
+  /// rejected batch leaves no accounting trace (a retry re-counts).
+  struct RoutedBatch {
+    std::vector<IngestBatch> per_shard;
+    std::vector<size_t> owners;  // shards with a non-empty sub-batch
+    uint64_t records = 0;        // records admitted with >=1 term
+    uint64_t skipped = 0;        // term-less records dropped
+    uint64_t copies = 0;         // per-shard record copies
+  };
+
+  RoutedBatch RouteBatch(std::vector<Microblog> batch);
+  /// Registers an in-flight submit; false once stopping (nothing to undo).
+  bool BeginSubmit();
+  void EndSubmit();
+  /// Pushes every owner sub-batch into its reserved slot and applies the
+  /// tallies. Requires a reservation held on every owner shard.
+  bool CommitReserved(RoutedBatch* routed);
+
   ShardedSystemOptions options_;
   Clock* clock_;
   std::unique_ptr<AttributeExtractor> extractor_;
   ShardRouter router_;
   std::vector<std::unique_ptr<MicroblogSystem>> systems_;
   std::unique_ptr<ShardedQueryEngine> engine_;
+
+  // Stop() handshake: new submits are refused once stopping_ is set, and
+  // shard teardown waits for in-flight submits to unwind (their blocked
+  // reservations are aborted) so a half-reserved batch can never race a
+  // closing queue into a partial admit.
+  std::mutex submit_mu_;
+  std::condition_variable submit_cv_;
+  bool stopping_ = false;
+  size_t in_flight_submits_ = 0;
 
   std::atomic<MicroblogId> next_id_{1};
   std::atomic<uint64_t> accepted_{0};

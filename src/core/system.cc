@@ -68,7 +68,21 @@ bool MicroblogSystem::SubmitRouted(IngestBatch batch) {
   const bool accepted = queue_.Push(std::move(batch));
   if (accepted) {
     batches_submitted_->Increment();
-    queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+    // Delta, not Set(size()): producer and consumer publish concurrently,
+    // and last-writer-wins Set() from outside the queue lock pins the
+    // gauge to whichever stale depth was read last. Increments/decrements
+    // commute, so the gauge converges to the true depth under any
+    // interleaving.
+    queue_depth_gauge_->Add(1);
+  }
+  return accepted;
+}
+
+bool MicroblogSystem::SubmitReservedRouted(IngestBatch batch) {
+  const bool accepted = queue_.PushReserved(std::move(batch));
+  if (accepted) {
+    batches_submitted_->Increment();
+    queue_depth_gauge_->Add(1);
   }
   return accepted;
 }
@@ -84,13 +98,14 @@ void MicroblogSystem::DigestionLoop() {
   while (true) {
     auto batch = queue_.Pop();
     if (!batch.has_value()) break;  // queue closed and drained
-    queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+    queue_depth_gauge_->Add(-1);
     // One span per batch, not per record: the per-insert path stays
     // untouched so disabled-tracing ingest overhead is one branch per
-    // batch (the 2% bench_micro criterion).
+    // batch (the 2% bench_micro criterion). approx_size() is the queue's
+    // own lock-free depth — no second lock acquisition for the span arg.
     TraceSpan span("system", "digest_batch",
                    {TraceArg::Uint("records", batch->blogs.size()),
-                    TraceArg::Uint("queue_depth", queue_.size()),
+                    TraceArg::Uint("queue_depth", queue_.approx_size()),
                     TraceArg::Int("shard", options_.store.shard_id)});
     Stopwatch watch;
     CpuStopwatch cpu_watch;

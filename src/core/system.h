@@ -70,6 +70,26 @@ class MicroblogSystem {
   /// records pre-stamped — see MicroblogStore::InsertRouted).
   bool SubmitRouted(IngestBatch batch);
 
+  // Two-phase admission, used by ShardedMicroblogSystem for all-or-nothing
+  // routed submits across shards: reserve one ingest-queue slot on every
+  // owner shard first, then push every sub-batch into its reserved slot
+  // (which never blocks), or cancel every reservation and admit nothing.
+
+  /// Claims one ingest-queue slot, blocking under backpressure. False once
+  /// the system stopped or reservations were aborted.
+  bool ReserveIngestSlot() { return queue_.Reserve(); }
+  /// Non-blocking ReserveIngestSlot: false when the queue is full.
+  bool TryReserveIngestSlot() { return queue_.TryReserve(); }
+  /// Returns an unused reservation.
+  void CancelIngestReservation() { queue_.CancelReservation(); }
+  /// Releases producers blocked in ReserveIngestSlot (permanently).
+  void AbortIngestReservations() { queue_.AbortReservations(); }
+  /// Enqueues into a reserved slot; false (nothing enqueued) iff stopped.
+  bool SubmitReservedRouted(IngestBatch batch);
+
+  /// Current ingest-queue depth in batches (lock-free estimate).
+  size_t queue_depth() const { return queue_.approx_size(); }
+
   /// Evaluates a query against current contents (thread-safe, any time).
   Result<QueryResult> Query(const TopKQuery& query);
 

@@ -1,0 +1,172 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "storage/durability.h"
+
+namespace kflush {
+namespace net {
+
+NetClient::~NetClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<NetClient>> NetClient::Connect(const std::string& host,
+                                                      uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::IOError("connect " + host + ":" +
+                               std::to_string(port) + ": " +
+                               std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<NetClient>(new NetClient(fd));
+}
+
+Status NetClient::SendRaw(const std::string& wire) {
+  size_t off = 0;
+  while (off < wire.size()) {
+    ssize_t n = ::write(fd_, wire.data() + off, wire.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("write: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Message> NetClient::RecvMessage() {
+  char chunk[64 * 1024];
+  for (;;) {
+    size_t frame_len = 0;
+    FrameStatus fs = PeekFrame(inbuf_.data(), inbuf_.size(),
+                               kMaxFramePayloadBytes, &frame_len);
+    if (fs == FrameStatus::kCorrupt) {
+      return Status::Corruption("implausible frame length from server");
+    }
+    if (fs == FrameStatus::kFrame) {
+      Message message;
+      Status s = DecodeMessage(inbuf_.data(), frame_len, &message);
+      inbuf_.erase(0, frame_len);
+      if (!s.ok()) return s;
+      return message;
+    }
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("read: ") + std::strerror(errno));
+    }
+    if (n == 0) return Status::IOError("connection closed");
+    inbuf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+namespace {
+
+Status UnexpectedReply(MsgType want, const Message& got) {
+  if (got.type == MsgType::kNack) {
+    return Status::Aborted(std::string("server nack: ") +
+                           NackReasonName(got.reason));
+  }
+  return Status::Internal(std::string("expected ") + MsgTypeName(want) +
+                          ", got " + MsgTypeName(got.type));
+}
+
+}  // namespace
+
+Status NetClient::Ping() {
+  std::string wire;
+  uint64_t id = NextRequestId();
+  EncodeEmpty(MsgType::kPing, id, &wire);
+  Status s = SendRaw(wire);
+  if (!s.ok()) return s;
+  Result<Message> reply = RecvMessage();
+  if (!reply.ok()) return reply.status();
+  if (reply->type != MsgType::kPong) return UnexpectedReply(MsgType::kPong, *reply);
+  return Status::OK();
+}
+
+Result<Message> NetClient::Ingest(const std::vector<Microblog>& blogs) {
+  std::string wire;
+  uint64_t id = NextRequestId();
+  EncodeIngest(id, blogs, &wire);
+  Status s = SendRaw(wire);
+  if (!s.ok()) return s;
+  Result<Message> reply = RecvMessage();
+  if (!reply.ok()) return reply.status();
+  if (reply->type != MsgType::kIngestAck && reply->type != MsgType::kNack) {
+    return UnexpectedReply(MsgType::kIngestAck, *reply);
+  }
+  return reply;
+}
+
+Result<QueryResult> NetClient::Query(const TopKQuery& query) {
+  std::string wire;
+  uint64_t id = NextRequestId();
+  EncodeQuery(id, query, &wire);
+  Status s = SendRaw(wire);
+  if (!s.ok()) return s;
+  Result<Message> reply = RecvMessage();
+  if (!reply.ok()) return reply.status();
+  if (reply->type != MsgType::kQueryResult) {
+    return UnexpectedReply(MsgType::kQueryResult, *reply);
+  }
+  QueryResult result;
+  result.results = std::move(reply->blogs);
+  result.memory_hit = reply->memory_hit;
+  result.from_memory = reply->from_memory;
+  result.from_disk = reply->from_disk;
+  return result;
+}
+
+Result<std::string> NetClient::Stats() {
+  std::string wire;
+  uint64_t id = NextRequestId();
+  EncodeEmpty(MsgType::kStats, id, &wire);
+  Status s = SendRaw(wire);
+  if (!s.ok()) return s;
+  Result<Message> reply = RecvMessage();
+  if (!reply.ok()) return reply.status();
+  if (reply->type != MsgType::kStatsResult) {
+    return UnexpectedReply(MsgType::kStatsResult, *reply);
+  }
+  return std::move(reply->text);
+}
+
+Status NetClient::Shutdown() {
+  std::string wire;
+  uint64_t id = NextRequestId();
+  EncodeEmpty(MsgType::kShutdown, id, &wire);
+  Status s = SendRaw(wire);
+  if (!s.ok()) return s;
+  Result<Message> reply = RecvMessage();
+  if (!reply.ok()) return reply.status();
+  if (reply->type != MsgType::kShutdownAck) {
+    return UnexpectedReply(MsgType::kShutdownAck, *reply);
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace kflush

@@ -1,0 +1,79 @@
+// NetClient: a small blocking TCP client for the kflush wire protocol.
+// Two usage modes:
+//
+//   * Synchronous request/response (Ping, Ingest, Query, Stats,
+//     Shutdown): one outstanding request at a time, single-threaded.
+//   * Pipelined: a sender thread streams pre-encoded frames with
+//     SendRaw() while a reader thread drains responses with
+//     RecvMessage(). The server answers a connection's requests in
+//     order, so responses arrive FIFO per connection; request_ids keep
+//     the correlation honest. This is the open-loop mode the load
+//     harness drives.
+
+#ifndef KFLUSH_NET_CLIENT_H_
+#define KFLUSH_NET_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "util/status.h"
+
+namespace kflush {
+namespace net {
+
+class NetClient {
+ public:
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  static Result<std::unique_ptr<NetClient>> Connect(const std::string& host,
+                                                    uint16_t port);
+
+  /// Fresh request id (unique per client instance).
+  uint64_t NextRequestId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Writes the whole byte string (one or more pre-encoded frames) to
+  /// the socket. Safe concurrently with RecvMessage(), not with itself.
+  Status SendRaw(const std::string& wire);
+
+  /// Blocks until one complete message arrives (or the peer closes:
+  /// IOError "connection closed").
+  Result<Message> RecvMessage();
+
+  // --- synchronous conveniences ----------------------------------------
+
+  Status Ping();
+
+  /// Sends one ingest batch and returns the server's answer — an
+  /// kIngestAck or kNack Message (transport errors are the error arm).
+  Result<Message> Ingest(const std::vector<Microblog>& blogs);
+
+  /// Runs one top-k query; a server NACK becomes a non-OK Status.
+  Result<QueryResult> Query(const TopKQuery& query);
+
+  /// Fetches the server's stats JSON.
+  Result<std::string> Stats();
+
+  /// Requests server shutdown and waits for the ack.
+  Status Shutdown();
+
+ private:
+  explicit NetClient(int fd) : fd_(fd) {}
+
+  int fd_;
+  std::string inbuf_;
+  std::atomic<uint64_t> next_id_{1};
+};
+
+}  // namespace net
+}  // namespace kflush
+
+#endif  // KFLUSH_NET_CLIENT_H_

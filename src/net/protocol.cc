@@ -1,0 +1,269 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "storage/durability.h"
+#include "storage/serde.h"
+
+namespace kflush {
+namespace net {
+namespace {
+
+// Little-endian scalar append/read, matching storage/serde.cc's record
+// encoding (this tree targets little-endian hosts; the memcpy form is
+// alignment-safe either way).
+
+template <typename T>
+void Put(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+/// Bounds-checked scalar read; false when fewer than sizeof(T) bytes
+/// remain.
+template <typename T>
+bool Get(const char** p, const char* end, T* out) {
+  if (static_cast<size_t>(end - *p) < sizeof(T)) return false;
+  std::memcpy(out, *p, sizeof(T));
+  *p += sizeof(T);
+  return true;
+}
+
+Status Malformed(const char* what) {
+  return Status::Corruption(std::string("malformed message: ") + what);
+}
+
+void FramePayload(const std::string& payload, std::string* wire) {
+  AppendFrame(payload.data(), payload.size(), wire);
+}
+
+void PutHeader(MsgType type, uint64_t request_id, std::string* payload) {
+  Put<uint8_t>(payload, static_cast<uint8_t>(type));
+  Put<uint64_t>(payload, request_id);
+}
+
+}  // namespace
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kPing: return "ping";
+    case MsgType::kPong: return "pong";
+    case MsgType::kIngest: return "ingest";
+    case MsgType::kIngestAck: return "ingest-ack";
+    case MsgType::kNack: return "nack";
+    case MsgType::kQuery: return "query";
+    case MsgType::kQueryResult: return "query-result";
+    case MsgType::kStats: return "stats";
+    case MsgType::kStatsResult: return "stats-result";
+    case MsgType::kShutdown: return "shutdown";
+    case MsgType::kShutdownAck: return "shutdown-ack";
+  }
+  return "unknown";
+}
+
+const char* NackReasonName(NackReason reason) {
+  switch (reason) {
+    case NackReason::kOverloaded: return "overloaded";
+    case NackReason::kStopped: return "stopped";
+    case NackReason::kMalformed: return "malformed";
+    case NackReason::kTooLarge: return "too-large";
+    case NackReason::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+void EncodeEmpty(MsgType type, uint64_t request_id, std::string* wire) {
+  std::string payload;
+  PutHeader(type, request_id, &payload);
+  FramePayload(payload, wire);
+}
+
+void EncodeIngest(uint64_t request_id, const std::vector<Microblog>& blogs,
+                  std::string* wire) {
+  std::string payload;
+  PutHeader(MsgType::kIngest, request_id, &payload);
+  Put<uint32_t>(&payload, static_cast<uint32_t>(blogs.size()));
+  for (const Microblog& blog : blogs) {
+    EncodeMicroblog(blog, &payload);
+  }
+  FramePayload(payload, wire);
+}
+
+void EncodeIngestAck(uint64_t request_id, uint32_t admitted, uint32_t skipped,
+                     std::string* wire) {
+  std::string payload;
+  PutHeader(MsgType::kIngestAck, request_id, &payload);
+  Put<uint32_t>(&payload, admitted);
+  Put<uint32_t>(&payload, skipped);
+  FramePayload(payload, wire);
+}
+
+void EncodeNack(uint64_t request_id, NackReason reason, uint32_t queue_depth,
+                std::string* wire) {
+  std::string payload;
+  PutHeader(MsgType::kNack, request_id, &payload);
+  Put<uint8_t>(&payload, static_cast<uint8_t>(reason));
+  Put<uint32_t>(&payload, queue_depth);
+  FramePayload(payload, wire);
+}
+
+void EncodeQuery(uint64_t request_id, const TopKQuery& query,
+                 std::string* wire) {
+  std::string payload;
+  PutHeader(MsgType::kQuery, request_id, &payload);
+  Put<uint8_t>(&payload, static_cast<uint8_t>(query.type));
+  Put<uint32_t>(&payload, query.k);
+  Put<uint16_t>(&payload, static_cast<uint16_t>(query.terms.size()));
+  for (TermId term : query.terms) {
+    Put<uint64_t>(&payload, term);
+  }
+  FramePayload(payload, wire);
+}
+
+void EncodeQueryResult(uint64_t request_id, const QueryResult& result,
+                       std::string* wire) {
+  std::string payload;
+  PutHeader(MsgType::kQueryResult, request_id, &payload);
+  Put<uint8_t>(&payload, result.memory_hit ? 1 : 0);
+  Put<uint32_t>(&payload, static_cast<uint32_t>(result.from_memory));
+  Put<uint32_t>(&payload, static_cast<uint32_t>(result.from_disk));
+  Put<uint32_t>(&payload, static_cast<uint32_t>(result.results.size()));
+  for (const Microblog& blog : result.results) {
+    EncodeMicroblog(blog, &payload);
+  }
+  FramePayload(payload, wire);
+}
+
+void EncodeStatsResult(uint64_t request_id, const std::string& json,
+                       std::string* wire) {
+  std::string payload;
+  PutHeader(MsgType::kStatsResult, request_id, &payload);
+  payload.append(json);
+  FramePayload(payload, wire);
+}
+
+FrameStatus PeekFrame(const char* data, size_t len, size_t max_payload,
+                      size_t* frame_len) {
+  if (len < kFrameHeaderBytes) return FrameStatus::kNeedMore;
+  uint32_t payload_len = 0;
+  std::memcpy(&payload_len, data + sizeof(uint32_t), sizeof(payload_len));
+  if (payload_len > kMaxFramePayloadBytes || payload_len > max_payload) {
+    return FrameStatus::kCorrupt;
+  }
+  if (len < kFrameHeaderBytes + payload_len) return FrameStatus::kNeedMore;
+  *frame_len = kFrameHeaderBytes + payload_len;
+  return FrameStatus::kFrame;
+}
+
+Status DecodeMessage(const char* data, size_t frame_len, Message* out) {
+  const char* payload = nullptr;
+  uint32_t payload_len = 0;
+  size_t consumed = 0;
+  // On a stream, PeekFrame already guaranteed the whole frame is
+  // buffered, so kTorn here can only mean a checksum failure.
+  if (ReadFrame(data, frame_len, &payload, &payload_len, &consumed) !=
+      FrameRead::kOk) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  const char* p = payload;
+  const char* end = payload + payload_len;
+  uint8_t raw_type = 0;
+  if (!Get(&p, end, &raw_type) || !Get(&p, end, &out->request_id)) {
+    return Malformed("truncated header");
+  }
+  if (raw_type < static_cast<uint8_t>(MsgType::kPing) ||
+      raw_type > static_cast<uint8_t>(MsgType::kShutdownAck)) {
+    return Malformed("unknown message type");
+  }
+  out->type = static_cast<MsgType>(raw_type);
+  switch (out->type) {
+    case MsgType::kPing:
+    case MsgType::kPong:
+    case MsgType::kStats:
+    case MsgType::kShutdown:
+    case MsgType::kShutdownAck:
+      break;
+    case MsgType::kIngest: {
+      uint32_t count = 0;
+      if (!Get(&p, end, &count)) return Malformed("ingest count");
+      out->blogs.clear();
+      out->blogs.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        Microblog blog;
+        size_t used = 0;
+        Status s = DecodeMicroblog(p, static_cast<size_t>(end - p), &blog,
+                                   &used);
+        if (!s.ok()) return s;
+        p += used;
+        out->blogs.push_back(std::move(blog));
+      }
+      break;
+    }
+    case MsgType::kIngestAck:
+      if (!Get(&p, end, &out->admitted) || !Get(&p, end, &out->skipped)) {
+        return Malformed("ingest ack");
+      }
+      break;
+    case MsgType::kNack: {
+      uint8_t raw_reason = 0;
+      if (!Get(&p, end, &raw_reason) || !Get(&p, end, &out->queue_depth)) {
+        return Malformed("nack");
+      }
+      if (raw_reason < static_cast<uint8_t>(NackReason::kOverloaded) ||
+          raw_reason > static_cast<uint8_t>(NackReason::kInternal)) {
+        return Malformed("nack reason");
+      }
+      out->reason = static_cast<NackReason>(raw_reason);
+      break;
+    }
+    case MsgType::kQuery: {
+      uint8_t raw_qtype = 0;
+      uint16_t num_terms = 0;
+      if (!Get(&p, end, &raw_qtype) || !Get(&p, end, &out->query.k) ||
+          !Get(&p, end, &num_terms)) {
+        return Malformed("query header");
+      }
+      if (raw_qtype > static_cast<uint8_t>(QueryType::kOr)) {
+        return Malformed("query type");
+      }
+      out->query.type = static_cast<QueryType>(raw_qtype);
+      out->query.terms.clear();
+      out->query.terms.reserve(num_terms);
+      for (uint16_t i = 0; i < num_terms; ++i) {
+        TermId term = 0;
+        if (!Get(&p, end, &term)) return Malformed("query terms");
+        out->query.terms.push_back(term);
+      }
+      break;
+    }
+    case MsgType::kQueryResult: {
+      uint8_t hit = 0;
+      uint32_t count = 0;
+      if (!Get(&p, end, &hit) || !Get(&p, end, &out->from_memory) ||
+          !Get(&p, end, &out->from_disk) || !Get(&p, end, &count)) {
+        return Malformed("query result header");
+      }
+      out->memory_hit = hit != 0;
+      out->blogs.clear();
+      out->blogs.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        Microblog blog;
+        size_t used = 0;
+        Status s = DecodeMicroblog(p, static_cast<size_t>(end - p), &blog,
+                                   &used);
+        if (!s.ok()) return s;
+        p += used;
+        out->blogs.push_back(std::move(blog));
+      }
+      break;
+    }
+    case MsgType::kStatsResult:
+      out->text.assign(p, static_cast<size_t>(end - p));
+      p = end;
+      break;
+  }
+  if (p != end) return Malformed("trailing bytes");
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace kflush

@@ -1,0 +1,138 @@
+// Wire protocol of the kflush network front-end: a batched,
+// length-prefixed binary protocol for ingest and top-k queries over a
+// ShardedMicroblogSystem (docs/INTERNALS.md, "Networking").
+//
+// Every message travels as one checksummed frame — the exact format the
+// WAL and segment store share (storage/durability.h):
+//
+//   u32 masked_crc32c(payload) | u32 payload_len | payload
+//
+// and every payload starts with a fixed message header:
+//
+//   u8 MsgType | u64 request_id | body
+//
+// request_id is caller-chosen and echoed verbatim in the response, so a
+// pipelining client can correlate acks to in-flight requests. Bodies
+// (little-endian, record encoding = storage/serde.h EncodeMicroblog):
+//
+//   kIngest       u32 count | record × count
+//   kIngestAck    u32 admitted | u32 skipped
+//   kNack         u8 NackReason | u32 queue_depth
+//   kQuery        u8 QueryType | u32 k | u16 num_terms | u64 term × n
+//   kQueryResult  u8 memory_hit | u32 from_memory | u32 from_disk |
+//                 u32 count | record × count
+//   kStatsResult  raw UTF-8 JSON text
+//   kPing, kPong, kStats, kShutdown, kShutdownAck   (empty)
+//
+// Admission is explicit: an ingest batch is either fully admitted on
+// every owner shard (kIngestAck) or fully rejected (kNack) — the server
+// never silently drops records, and a kNack guarantees no shard holds
+// any part of the batch, so retrying the identical payload cannot
+// double-insert.
+
+#ifndef KFLUSH_NET_PROTOCOL_H_
+#define KFLUSH_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/query_engine.h"
+#include "model/microblog.h"
+#include "util/status.h"
+
+namespace kflush {
+namespace net {
+
+enum class MsgType : uint8_t {
+  kPing = 1,
+  kPong = 2,
+  kIngest = 3,
+  kIngestAck = 4,
+  kNack = 5,
+  kQuery = 6,
+  kQueryResult = 7,
+  kStats = 8,
+  kStatsResult = 9,
+  kShutdown = 10,
+  kShutdownAck = 11,
+};
+
+const char* MsgTypeName(MsgType type);
+
+/// Why an ingest or query request was refused. Every reason is an
+/// explicit protocol-level answer; "silently dropped" is not a state.
+enum class NackReason : uint8_t {
+  kOverloaded = 1,  // an owner shard's ingest queue is full; retry later
+  kStopped = 2,     // the system is shutting down
+  kMalformed = 3,   // the request failed to parse or was semantically bad
+  kTooLarge = 4,    // batch exceeds the server's max_batch_records
+  kInternal = 5,    // server-side execution error (e.g. query failure)
+};
+
+const char* NackReasonName(NackReason reason);
+
+/// One decoded message. A plain product type: only the fields implied by
+/// `type` are meaningful (see the body table above).
+struct Message {
+  MsgType type = MsgType::kPing;
+  uint64_t request_id = 0;
+
+  std::vector<Microblog> blogs;  // kIngest, kQueryResult
+
+  uint32_t admitted = 0;  // kIngestAck
+  uint32_t skipped = 0;   // kIngestAck
+
+  NackReason reason = NackReason::kMalformed;  // kNack
+  uint32_t queue_depth = 0;                    // kNack
+
+  TopKQuery query;  // kQuery
+
+  bool memory_hit = false;   // kQueryResult
+  uint32_t from_memory = 0;  // kQueryResult
+  uint32_t from_disk = 0;    // kQueryResult
+
+  std::string text;  // kStatsResult
+};
+
+// --- encoders: append one complete framed message to *wire -------------
+
+void EncodeEmpty(MsgType type, uint64_t request_id, std::string* wire);
+void EncodeIngest(uint64_t request_id, const std::vector<Microblog>& blogs,
+                  std::string* wire);
+void EncodeIngestAck(uint64_t request_id, uint32_t admitted, uint32_t skipped,
+                     std::string* wire);
+void EncodeNack(uint64_t request_id, NackReason reason, uint32_t queue_depth,
+                std::string* wire);
+void EncodeQuery(uint64_t request_id, const TopKQuery& query,
+                 std::string* wire);
+void EncodeQueryResult(uint64_t request_id, const QueryResult& result,
+                       std::string* wire);
+void EncodeStatsResult(uint64_t request_id, const std::string& json,
+                       std::string* wire);
+
+// --- stream decoding ---------------------------------------------------
+
+/// What the head of a receive buffer holds.
+enum class FrameStatus : int {
+  kNeedMore = 0,  // a complete frame has not arrived yet; keep reading
+  kFrame,         // data[0..*frame_len) is one complete frame
+  kCorrupt,       // the header declares an implausible payload length —
+                  // the stream is broken, close the connection
+};
+
+/// Inspects the frame header at data[0..len) without touching payload
+/// bytes or the checksum. `max_payload` bounds acceptable frames (the
+/// server uses its configured limit; pass kMaxFramePayloadBytes for the
+/// format's own cap).
+FrameStatus PeekFrame(const char* data, size_t len, size_t max_payload,
+                      size_t* frame_len);
+
+/// Verifies and decodes one complete frame (as delimited by PeekFrame).
+/// Corruption on checksum mismatch or a malformed payload.
+Status DecodeMessage(const char* data, size_t frame_len, Message* out);
+
+}  // namespace net
+}  // namespace kflush
+
+#endif  // KFLUSH_NET_PROTOCOL_H_

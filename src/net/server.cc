@@ -1,0 +1,498 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace kflush {
+namespace net {
+namespace {
+
+constexpr int kListenBacklog = 128;
+constexpr size_t kReadChunk = 64 * 1024;
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+NetServer::NetServer(ShardedMicroblogSystem* system, ServerOptions options)
+    : system_(system), options_(std::move(options)) {}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already running");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen host: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status s = Errno("bind");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    Status s = Errno("getsockname");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, kListenBacklog) != 0) {
+    Status s = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    Status s = Errno("epoll_create1");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    Status s = Errno("eventfd");
+    ::close(epoll_fd_);
+    ::close(listen_fd_);
+    epoll_fd_ = listen_fd_ = -1;
+    return s;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void NetServer::RequestStop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void NetServer::Stop() {
+  RequestStop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // The loop thread closed the connections; release the listening state.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+}
+
+void NetServer::AwaitStop() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  stop_cv_.wait(lock,
+                [this] { return !running_.load(std::memory_order_acquire); });
+}
+
+void NetServer::Loop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      KFLUSH_WARN("epoll_wait failed: " << std::strerror(errno));
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const uint32_t mask = events[i].events;
+      if (fd == wake_fd_) {
+        uint64_t drained = 0;
+        [[maybe_unused]] ssize_t r = ::read(wake_fd_, &drained,
+                                            sizeof(drained));
+        continue;
+      }
+      if (fd == listen_fd_) {
+        AcceptConnections();
+        continue;
+      }
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      Connection* conn = it->second.get();
+      if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConnection(fd);
+        continue;
+      }
+      if ((mask & EPOLLIN) != 0) HandleReadable(conn);
+      // HandleReadable may have closed the connection (protocol error /
+      // EOF); re-look it up before the write half.
+      it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      if ((mask & EPOLLOUT) != 0) HandleWritable(it->second.get());
+      if (shutdown_via_protocol_) break;
+    }
+    if (shutdown_via_protocol_) break;
+  }
+  // Teardown on the loop thread: close every connection, then flip
+  // running_ so AwaitStop wakes.
+  std::vector<int> fds;
+  fds.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+  for (int fd : fds) CloseConnection(fd);
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    running_.store(false, std::memory_order_release);
+  }
+  stop_cv_.notify_all();
+}
+
+void NetServer::AcceptConnections() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      KFLUSH_WARN("accept failed: " << std::strerror(errno));
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    connections_[fd] = std::move(conn);
+    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void NetServer::HandleReadable(Connection* conn) {
+  char chunk[kReadChunk];
+  while (true) {
+    const ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      conn->in.append(chunk, static_cast<size_t>(n));
+      counters_.bytes_received.fetch_add(static_cast<uint64_t>(n),
+                                         std::memory_order_relaxed);
+      // Oversized pipelining guard: cap the unparsed buffer at one max
+      // frame plus a read chunk; ProcessInput below will drain it.
+      if (conn->in.size() >
+          options_.max_frame_bytes + kFrameHeaderBytes + kReadChunk) {
+        break;
+      }
+      continue;
+    }
+    if (n == 0) {  // peer closed
+      // Serve whatever complete frames arrived, then close.
+      ProcessInput(conn);
+      const int fd = conn->fd;
+      if (connections_.count(fd) != 0) {
+        FlushWrites(connections_[fd].get());
+        CloseConnection(fd);
+      }
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(conn->fd);
+    return;
+  }
+  ProcessInput(conn);
+}
+
+void NetServer::ProcessInput(Connection* conn) {
+  size_t consumed = 0;
+  const int fd = conn->fd;
+  while (true) {
+    size_t frame_len = 0;
+    const FrameStatus fs =
+        PeekFrame(conn->in.data() + consumed, conn->in.size() - consumed,
+                  options_.max_frame_bytes, &frame_len);
+    if (fs == FrameStatus::kNeedMore) break;
+    if (fs == FrameStatus::kCorrupt) {
+      counters_.nacks_malformed.fetch_add(1, std::memory_order_relaxed);
+      EncodeNack(0, NackReason::kMalformed, 0, &conn->out);
+      conn->close_after_flush = true;
+      conn->in.clear();
+      consumed = 0;
+      break;
+    }
+    Message message;
+    Status s = DecodeMessage(conn->in.data() + consumed, frame_len, &message);
+    consumed += frame_len;
+    counters_.frames_received.fetch_add(1, std::memory_order_relaxed);
+    if (!s.ok()) {
+      // The frame was checksum-intact but semantically malformed (or the
+      // checksum failed): explicit NACK, then drop the stream — framing
+      // can no longer be trusted.
+      counters_.nacks_malformed.fetch_add(1, std::memory_order_relaxed);
+      EncodeNack(message.request_id, NackReason::kMalformed, 0, &conn->out);
+      conn->close_after_flush = true;
+      break;
+    }
+    HandleMessage(conn, std::move(message));
+    if (connections_.count(fd) == 0) return;  // handler closed it
+    if (conn->close_after_flush || shutdown_via_protocol_) break;
+  }
+  if (consumed > 0) conn->in.erase(0, consumed);
+  FlushWrites(conn);
+}
+
+void NetServer::HandleMessage(Connection* conn, Message message) {
+  switch (message.type) {
+    case MsgType::kPing:
+      EncodeEmpty(MsgType::kPong, message.request_id, &conn->out);
+      break;
+    case MsgType::kIngest:
+      HandleIngest(conn, std::move(message));
+      break;
+    case MsgType::kQuery:
+      HandleQuery(conn, message);
+      break;
+    case MsgType::kStats:
+      EncodeStatsResult(message.request_id, StatsJson(), &conn->out);
+      break;
+    case MsgType::kShutdown:
+      EncodeEmpty(MsgType::kShutdownAck, message.request_id, &conn->out);
+      conn->close_after_flush = true;
+      shutdown_via_protocol_ = true;
+      break;
+    default:
+      // Server-to-client message types arriving at the server are a
+      // client bug, not a stream corruption: NACK and keep the stream.
+      counters_.nacks_malformed.fetch_add(1, std::memory_order_relaxed);
+      EncodeNack(message.request_id, NackReason::kMalformed, 0, &conn->out);
+      break;
+  }
+}
+
+void NetServer::HandleIngest(Connection* conn, Message message) {
+  counters_.ingest_requests.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t offered = message.blogs.size();
+  counters_.records_offered.fetch_add(offered, std::memory_order_relaxed);
+  if (offered > options_.max_batch_records) {
+    counters_.nacks_too_large.fetch_add(1, std::memory_order_relaxed);
+    counters_.records_nacked.fetch_add(offered, std::memory_order_relaxed);
+    EncodeNack(message.request_id, NackReason::kTooLarge, 0, &conn->out);
+    return;
+  }
+  const size_t depth = system_->max_queue_depth();
+  if (options_.admission_queue_soft_limit > 0 &&
+      depth >= options_.admission_queue_soft_limit) {
+    counters_.nacks_overloaded.fetch_add(1, std::memory_order_relaxed);
+    counters_.records_nacked.fetch_add(offered, std::memory_order_relaxed);
+    EncodeNack(message.request_id, NackReason::kOverloaded,
+               static_cast<uint32_t>(depth), &conn->out);
+    return;
+  }
+  uint64_t admitted = 0;
+  uint64_t skipped = 0;
+  const ShardedMicroblogSystem::SubmitOutcome outcome =
+      system_->TrySubmit(std::move(message.blogs), &admitted, &skipped);
+  switch (outcome) {
+    case ShardedMicroblogSystem::SubmitOutcome::kAccepted:
+      counters_.records_acked.fetch_add(admitted, std::memory_order_relaxed);
+      counters_.records_skipped.fetch_add(skipped, std::memory_order_relaxed);
+      EncodeIngestAck(message.request_id, static_cast<uint32_t>(admitted),
+                      static_cast<uint32_t>(skipped), &conn->out);
+      break;
+    case ShardedMicroblogSystem::SubmitOutcome::kOverloaded:
+      counters_.nacks_overloaded.fetch_add(1, std::memory_order_relaxed);
+      counters_.records_nacked.fetch_add(offered, std::memory_order_relaxed);
+      EncodeNack(message.request_id, NackReason::kOverloaded,
+                 static_cast<uint32_t>(system_->max_queue_depth()),
+                 &conn->out);
+      break;
+    case ShardedMicroblogSystem::SubmitOutcome::kStopped:
+      counters_.nacks_stopped.fetch_add(1, std::memory_order_relaxed);
+      counters_.records_nacked.fetch_add(offered, std::memory_order_relaxed);
+      EncodeNack(message.request_id, NackReason::kStopped, 0, &conn->out);
+      break;
+  }
+}
+
+void NetServer::HandleQuery(Connection* conn, const Message& message) {
+  counters_.queries.fetch_add(1, std::memory_order_relaxed);
+  if (message.query.terms.empty()) {
+    counters_.nacks_malformed.fetch_add(1, std::memory_order_relaxed);
+    EncodeNack(message.request_id, NackReason::kMalformed, 0, &conn->out);
+    return;
+  }
+  Result<QueryResult> result = system_->Query(message.query);
+  if (!result.ok()) {
+    counters_.nacks_internal.fetch_add(1, std::memory_order_relaxed);
+    EncodeNack(message.request_id, NackReason::kInternal, 0, &conn->out);
+    return;
+  }
+  EncodeQueryResult(message.request_id, *result, &conn->out);
+}
+
+void NetServer::FlushWrites(Connection* conn) {
+  while (conn->out_offset < conn->out.size()) {
+    const ssize_t n =
+        ::write(conn->fd, conn->out.data() + conn->out_offset,
+                conn->out.size() - conn->out_offset);
+    if (n > 0) {
+      conn->out_offset += static_cast<size_t>(n);
+      counters_.bytes_sent.fetch_add(static_cast<uint64_t>(n),
+                                     std::memory_order_relaxed);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(conn->fd);
+    return;
+  }
+  if (conn->out_offset >= conn->out.size()) {
+    conn->out.clear();
+    conn->out_offset = 0;
+    if (conn->close_after_flush) {
+      CloseConnection(conn->fd);
+      return;
+    }
+  }
+  UpdateInterest(conn);
+}
+
+void NetServer::HandleWritable(Connection* conn) { FlushWrites(conn); }
+
+void NetServer::UpdateInterest(Connection* conn) {
+  const size_t pending = conn->out.size() - conn->out_offset;
+  const bool want_write = pending > 0;
+  // Connection-level backpressure: past the limit, stop reading until
+  // the peer drains half of it.
+  bool read_paused = conn->read_paused;
+  if (!read_paused && pending > options_.conn_write_buffer_limit) {
+    read_paused = true;
+    counters_.read_pauses.fetch_add(1, std::memory_order_relaxed);
+  } else if (read_paused && pending <= options_.conn_write_buffer_limit / 2) {
+    read_paused = false;
+  }
+  if (want_write == conn->want_write && read_paused == conn->read_paused) {
+    return;
+  }
+  conn->want_write = want_write;
+  conn->read_paused = read_paused;
+  epoll_event ev{};
+  ev.events = (read_paused ? 0u : EPOLLIN) | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void NetServer::CloseConnection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  connections_.erase(it);
+  counters_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+NetServer::Stats NetServer::stats() const {
+  Stats s;
+  s.connections_accepted =
+      counters_.connections_accepted.load(std::memory_order_relaxed);
+  s.connections_closed =
+      counters_.connections_closed.load(std::memory_order_relaxed);
+  s.frames_received =
+      counters_.frames_received.load(std::memory_order_relaxed);
+  s.bytes_received = counters_.bytes_received.load(std::memory_order_relaxed);
+  s.bytes_sent = counters_.bytes_sent.load(std::memory_order_relaxed);
+  s.ingest_requests =
+      counters_.ingest_requests.load(std::memory_order_relaxed);
+  s.records_offered =
+      counters_.records_offered.load(std::memory_order_relaxed);
+  s.records_acked = counters_.records_acked.load(std::memory_order_relaxed);
+  s.records_skipped =
+      counters_.records_skipped.load(std::memory_order_relaxed);
+  s.records_nacked = counters_.records_nacked.load(std::memory_order_relaxed);
+  s.nacks_overloaded =
+      counters_.nacks_overloaded.load(std::memory_order_relaxed);
+  s.nacks_stopped = counters_.nacks_stopped.load(std::memory_order_relaxed);
+  s.nacks_malformed =
+      counters_.nacks_malformed.load(std::memory_order_relaxed);
+  s.nacks_too_large =
+      counters_.nacks_too_large.load(std::memory_order_relaxed);
+  s.nacks_internal = counters_.nacks_internal.load(std::memory_order_relaxed);
+  s.queries = counters_.queries.load(std::memory_order_relaxed);
+  s.read_pauses = counters_.read_pauses.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string NetServer::StatsJson() const {
+  const Stats s = stats();
+  std::ostringstream os;
+  os << "{\"system\":{"
+     << "\"accepted\":" << system_->accepted()
+     << ",\"digested_copies\":" << system_->digested()
+     << ",\"routed_copies\":" << system_->routed_copies()
+     << ",\"skipped_no_terms\":" << system_->skipped_no_terms()
+     << ",\"num_shards\":" << system_->num_shards()
+     << ",\"queue_depth_total\":" << system_->total_queue_depth()
+     << ",\"queue_depth_max\":" << system_->max_queue_depth()
+     << "},\"server\":{"
+     << "\"connections_accepted\":" << s.connections_accepted
+     << ",\"connections_closed\":" << s.connections_closed
+     << ",\"frames_received\":" << s.frames_received
+     << ",\"bytes_received\":" << s.bytes_received
+     << ",\"bytes_sent\":" << s.bytes_sent
+     << ",\"ingest_requests\":" << s.ingest_requests
+     << ",\"records_offered\":" << s.records_offered
+     << ",\"records_acked\":" << s.records_acked
+     << ",\"records_skipped\":" << s.records_skipped
+     << ",\"records_nacked\":" << s.records_nacked
+     << ",\"nacks_overloaded\":" << s.nacks_overloaded
+     << ",\"nacks_stopped\":" << s.nacks_stopped
+     << ",\"nacks_malformed\":" << s.nacks_malformed
+     << ",\"nacks_too_large\":" << s.nacks_too_large
+     << ",\"nacks_internal\":" << s.nacks_internal
+     << ",\"queries\":" << s.queries
+     << ",\"read_pauses\":" << s.read_pauses << "}}";
+  return os.str();
+}
+
+}  // namespace net
+}  // namespace kflush

@@ -1,0 +1,189 @@
+// NetServer: the epoll event-loop front-end that makes the sharded
+// system an actual service. One loop thread multiplexes every
+// connection; frames are decoded with net/protocol.h, ingest goes
+// through ShardedMicroblogSystem::TrySubmit (all-or-nothing, explicit
+// NACK on overload — the event loop never blocks on a full shard
+// queue), queries run inline through the fan-out engine, and two
+// backpressure mechanisms bound memory:
+//
+//   * admission control: an ingest batch is NACKed kOverloaded when any
+//     owner shard's queue is full (TrySubmit) or, earlier, when the
+//     deepest shard queue reaches admission_queue_soft_limit — the
+//     server-side view of the system.queue_depth gauge.
+//   * connection-level backpressure: a connection whose pending response
+//     bytes exceed conn_write_buffer_limit stops being read (EPOLLIN is
+//     dropped) until the client drains its side, so one slow reader
+//     cannot balloon server memory.
+//
+// See docs/INTERNALS.md, "Networking".
+
+#ifndef KFLUSH_NET_SERVER_H_
+#define KFLUSH_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/sharded_system.h"
+#include "net/protocol.h"
+#include "util/status.h"
+
+namespace kflush {
+namespace net {
+
+struct ServerOptions {
+  /// Listen address. Loopback by default; the harness and tests never
+  /// need more.
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the actual one back via port().
+  uint16_t port = 0;
+  /// Ingest batches above this record count are NACKed kTooLarge.
+  size_t max_batch_records = 16 * 1024;
+  /// Frames above this payload size are a protocol error (connection
+  /// closed); bounds per-connection buffering.
+  size_t max_frame_bytes = 8u << 20;
+  /// NACK ingest (kOverloaded) once the deepest shard ingest queue
+  /// reaches this many batches, before even routing the batch. 0
+  /// disables the early check; TrySubmit's full-queue reservation check
+  /// still applies either way.
+  size_t admission_queue_soft_limit = 0;
+  /// Stop reading a connection while its pending response bytes exceed
+  /// this; resume once drained below half of it.
+  size_t conn_write_buffer_limit = 4u << 20;
+};
+
+class NetServer {
+ public:
+  /// Monotonic server-side tallies, readable while running. acked/nacked
+  /// record counts partition offered records exactly: nothing is ever
+  /// silently dropped.
+  struct Stats {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_closed = 0;
+    uint64_t frames_received = 0;
+    uint64_t bytes_received = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t ingest_requests = 0;
+    uint64_t records_offered = 0;
+    uint64_t records_acked = 0;     // admitted with terms
+    uint64_t records_skipped = 0;   // admitted, dropped as term-less
+    uint64_t records_nacked = 0;
+    uint64_t nacks_overloaded = 0;
+    uint64_t nacks_stopped = 0;
+    uint64_t nacks_malformed = 0;
+    uint64_t nacks_too_large = 0;
+    uint64_t nacks_internal = 0;
+    uint64_t queries = 0;
+    uint64_t read_pauses = 0;  // connection-level backpressure engaged
+  };
+
+  /// `system` must outlive the server and be Start()ed by the caller.
+  NetServer(ShardedMicroblogSystem* system, ServerOptions options);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens, and launches the event-loop thread.
+  Status Start();
+
+  /// Stops the loop, closes every connection, joins. Idempotent; safe to
+  /// call concurrently with a protocol-initiated shutdown.
+  void Stop();
+
+  /// Async-signal-safe stop request: flags the loop and pokes its
+  /// eventfd, nothing else (no join, no frees). A signal handler calls
+  /// this; the main thread then AwaitStop()s and Stop()s normally.
+  void RequestStop();
+
+  /// Blocks until the server stops (protocol kShutdown, Stop(), or a
+  /// fatal loop error).
+  void AwaitStop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (valid after a successful Start()).
+  uint16_t port() const { return port_; }
+
+  Stats stats() const;
+
+  /// The JSON document served for kStats requests (system counters,
+  /// queue depths, server tallies).
+  std::string StatsJson() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string in;      // unparsed request bytes
+    std::string out;     // unsent response bytes
+    size_t out_offset = 0;
+    bool want_write = false;    // EPOLLOUT armed
+    bool read_paused = false;   // EPOLLIN dropped (backpressure)
+    bool close_after_flush = false;
+  };
+
+  void Loop();
+  void AcceptConnections();
+  void HandleReadable(Connection* conn);
+  void HandleWritable(Connection* conn);
+  /// Parses and serves every complete frame in conn->in.
+  void ProcessInput(Connection* conn);
+  void HandleMessage(Connection* conn, Message message);
+  void HandleIngest(Connection* conn, Message message);
+  void HandleQuery(Connection* conn, const Message& message);
+  /// write()s as much of conn->out as the socket takes; arms EPOLLOUT on
+  /// a partial write and engages read-pause past the buffer limit.
+  void FlushWrites(Connection* conn);
+  void UpdateInterest(Connection* conn);
+  void CloseConnection(int fd);
+  void RequestStopFromLoop();
+
+  ShardedMicroblogSystem* system_;
+  ServerOptions options_;
+  uint16_t port_ = 0;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  bool shutdown_via_protocol_ = false;  // loop-thread only
+
+  std::map<int, std::unique_ptr<Connection>> connections_;  // loop-thread only
+
+  mutable std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+
+  // Stats counters: written by the loop thread, read from any thread.
+  struct AtomicStats {
+    std::atomic<uint64_t> connections_accepted{0};
+    std::atomic<uint64_t> connections_closed{0};
+    std::atomic<uint64_t> frames_received{0};
+    std::atomic<uint64_t> bytes_received{0};
+    std::atomic<uint64_t> bytes_sent{0};
+    std::atomic<uint64_t> ingest_requests{0};
+    std::atomic<uint64_t> records_offered{0};
+    std::atomic<uint64_t> records_acked{0};
+    std::atomic<uint64_t> records_skipped{0};
+    std::atomic<uint64_t> records_nacked{0};
+    std::atomic<uint64_t> nacks_overloaded{0};
+    std::atomic<uint64_t> nacks_stopped{0};
+    std::atomic<uint64_t> nacks_malformed{0};
+    std::atomic<uint64_t> nacks_too_large{0};
+    std::atomic<uint64_t> nacks_internal{0};
+    std::atomic<uint64_t> queries{0};
+    std::atomic<uint64_t> read_pauses{0};
+  };
+  AtomicStats counters_;
+};
+
+}  // namespace net
+}  // namespace kflush
+
+#endif  // KFLUSH_NET_SERVER_H_

@@ -53,6 +53,14 @@ class SpinLock {
 
 /// Bounded multi-producer single-consumer queue with blocking push/pop.
 /// Carries microblog batches from producers to the digestion thread.
+///
+/// Beyond plain Push/Pop, the queue supports two-phase admission for
+/// multi-queue all-or-nothing enqueues: Reserve()/TryReserve() claim one
+/// slot of capacity without enqueueing anything, PushReserved() consumes
+/// the claim, and CancelReservation() returns it. A reserved slot counts
+/// against capacity, so once every owner queue of a routed batch holds a
+/// reservation, every PushReserved is guaranteed to succeed without
+/// blocking — no sub-batch can be stranded behind a full sibling queue.
 template <typename T>
 class BoundedQueue {
  public:
@@ -61,13 +69,79 @@ class BoundedQueue {
   /// Blocks while full. Returns false if the queue was closed.
   bool Push(T item) {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+    not_full_.wait(lock, [this] {
+      return closed_ || items_.size() + reserved_ < capacity_;
+    });
     if (closed_) return false;
     items_.push_back(std::move(item));
+    depth_.store(items_.size(), std::memory_order_relaxed);
     lock.unlock();
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Claims one slot of capacity, blocking while full. Returns false once
+  /// the queue is closed or AbortReservations() was called.
+  bool Reserve() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] {
+      return closed_ || reserve_aborted_ ||
+             items_.size() + reserved_ < capacity_;
+    });
+    if (closed_ || reserve_aborted_) return false;
+    ++reserved_;
+    return true;
+  }
+
+  /// Non-blocking Reserve: false when full, closed, or aborted.
+  bool TryReserve() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || reserve_aborted_ ||
+        items_.size() + reserved_ >= capacity_) {
+      return false;
+    }
+    ++reserved_;
+    return true;
+  }
+
+  /// Returns an unused reservation to the pool.
+  void CancelReservation() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --reserved_;
+    }
+    not_full_.notify_one();
+  }
+
+  /// Enqueues into a previously reserved slot. Never blocks; returns
+  /// false (consuming the reservation) only if the queue closed since the
+  /// Reserve, in which case nothing was enqueued.
+  bool PushReserved(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    --reserved_;
+    if (closed_) {
+      lock.unlock();
+      not_full_.notify_one();
+      return false;
+    }
+    items_.push_back(std::move(item));
+    depth_.store(items_.size(), std::memory_order_relaxed);
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Permanently wakes and fails every current and future Reserve()
+  /// waiter (already-granted reservations stay valid). Shutdown uses this
+  /// to release producers blocked mid-reservation before the queue itself
+  /// closes, so a multi-queue submit unwinds with nothing enqueued
+  /// instead of committing a partial batch.
+  void AbortReservations() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      reserve_aborted_ = true;
+    }
+    not_full_.notify_all();
   }
 
   /// Blocks while empty. Returns nullopt once closed and drained.
@@ -77,6 +151,7 @@ class BoundedQueue {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
+    depth_.store(items_.size(), std::memory_order_relaxed);
     lock.unlock();
     not_full_.notify_one();
     return item;
@@ -97,13 +172,20 @@ class BoundedQueue {
     return items_.size();
   }
 
+  /// Lock-free depth estimate, maintained inside the queue ops so readers
+  /// (gauges, trace spans, admission checks) never take the queue lock.
+  size_t approx_size() const { return depth_.load(std::memory_order_relaxed); }
+
  private:
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<T> items_;
+  std::atomic<size_t> depth_{0};
+  size_t reserved_ = 0;
   bool closed_ = false;
+  bool reserve_aborted_ = false;
 };
 
 }  // namespace kflush

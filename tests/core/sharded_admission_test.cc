@@ -1,0 +1,174 @@
+// Regression tests for all-or-nothing routed admission
+// (core/sharded_system.cc). The original Submit enqueued per-shard
+// sub-batches sequentially and AND-ed the results: when a later owner
+// shard's queue was full, earlier owners already held their share of the
+// batch while the caller was told `false` — a retry double-inserted the
+// records that had slipped in. Admission now reserves a queue slot on
+// every owner shard before enqueueing anything, so a rejected batch
+// leaves no trace on any shard. These tests pin that invariant directly
+// by inspecting queue depths around a rejection (they fail on the old
+// sequential-enqueue code).
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/shard_router.h"
+#include "core/sharded_system.h"
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace kflush {
+namespace {
+
+using testing_util::MakeBlog;
+using testing_util::SmallStoreOptions;
+
+constexpr size_t kShards = 4;
+
+ShardedSystemOptions TinyQueueOptions(size_t queue_capacity = 1) {
+  ShardedSystemOptions options;
+  options.system.store = SmallStoreOptions(PolicyKind::kFifo, 1 << 20);
+  options.system.ingest_queue_capacity = queue_capacity;
+  options.num_shards = kShards;
+  return options;
+}
+
+/// First keyword owned by shard `owner` (router hashing is a pure
+/// function of (term, num_shards), so probing mirrors the system).
+KeywordId KeywordOwnedBy(size_t owner) {
+  ShardRouter router(kShards);
+  for (KeywordId kw = 1;; ++kw) {
+    if (router.ShardForTerm(kw) == owner) return kw;
+  }
+}
+
+// A multi-shard batch offered while one owner shard's queue is full must
+// be rejected without any other owner shard receiving its sub-batch. The
+// system is never Start()ed, so queue contents are frozen: capacity 1,
+// one filler batch parked on the full shard, depths observable.
+TEST(ShardedAdmission, TrySubmitRejectedBatchTouchesNoShard) {
+  ShardedMicroblogSystem system(TinyQueueOptions());
+  const KeywordId full_kw = KeywordOwnedBy(0);
+  const KeywordId other_kw = KeywordOwnedBy(1);
+
+  // Park a batch on shard 0; its 1-slot queue is now full.
+  ASSERT_TRUE(system.Submit({MakeBlog(kInvalidMicroblogId, 0, {full_kw})}));
+  ASSERT_EQ(system.total_queue_depth(), 1u);
+  ASSERT_EQ(system.max_queue_depth(), 1u);
+
+  // Records for shard 1 sort before the full shard's in the batch — the
+  // old code enqueued shard 1's sub-batch, then failed on shard 0.
+  uint64_t admitted = 0;
+  uint64_t skipped = 0;
+  std::vector<Microblog> batch;
+  batch.push_back(MakeBlog(kInvalidMicroblogId, 0, {other_kw}));
+  batch.push_back(MakeBlog(kInvalidMicroblogId, 0, {full_kw}));
+  const auto outcome =
+      system.TrySubmit(std::move(batch), &admitted, &skipped);
+
+  EXPECT_EQ(outcome, ShardedMicroblogSystem::SubmitOutcome::kOverloaded);
+  EXPECT_EQ(admitted, 0u);
+  EXPECT_EQ(skipped, 0u);
+  // The regression: sequential enqueue left shard 1's sub-batch behind,
+  // total depth 2. All-or-nothing admission leaves only the filler.
+  EXPECT_EQ(system.total_queue_depth(), 1u);
+  EXPECT_EQ(system.accepted(), 1u);
+  EXPECT_EQ(system.routed_copies(), 1u);
+}
+
+// The blocking Submit path unwinds its reservations when the system
+// stops: a submitter stuck behind a full shard returns false with no
+// partial admission, instead of deadlocking Stop or leaking records.
+TEST(ShardedAdmission, BlockedSubmitUnwindsCleanlyOnStop) {
+  ShardedMicroblogSystem system(TinyQueueOptions());
+  const KeywordId full_kw = KeywordOwnedBy(0);
+  const KeywordId other_kw = KeywordOwnedBy(1);
+  ASSERT_TRUE(system.Submit({MakeBlog(kInvalidMicroblogId, 0, {full_kw})}));
+
+  std::atomic<bool> submit_returned{false};
+  std::atomic<bool> submit_result{true};
+  std::thread submitter([&] {
+    std::vector<Microblog> batch;
+    batch.push_back(MakeBlog(kInvalidMicroblogId, 0, {other_kw}));
+    batch.push_back(MakeBlog(kInvalidMicroblogId, 0, {full_kw}));
+    submit_result.store(system.Submit(std::move(batch)));
+    submit_returned.store(true);
+  });
+
+  // Let the submitter reach the blocking reservation on the full shard.
+  for (int i = 0; i < 100 && !submit_returned.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(submit_returned.load());
+
+  system.Stop();
+  submitter.join();
+  EXPECT_FALSE(submit_result.load());
+  // Only the filler was ever admitted; the rejected batch left nothing.
+  EXPECT_EQ(system.accepted(), 1u);
+  EXPECT_EQ(system.routed_copies(), 1u);
+}
+
+TEST(ShardedAdmission, SubmitAfterStopIsRejected) {
+  ShardedMicroblogSystem system(TinyQueueOptions(8));
+  system.Start();
+  system.Stop();
+  EXPECT_FALSE(system.Submit({MakeBlog(kInvalidMicroblogId, 0, {1})}));
+  const auto outcome =
+      system.TrySubmit({MakeBlog(kInvalidMicroblogId, 0, {1})});
+  EXPECT_EQ(outcome, ShardedMicroblogSystem::SubmitOutcome::kStopped);
+  EXPECT_EQ(system.accepted(), 0u);
+}
+
+// Accepted batches report admitted/skipped splits and count exactly once
+// even when records fan out to several shards.
+TEST(ShardedAdmission, TrySubmitAcceptedReportsAdmittedAndSkipped) {
+  ShardedMicroblogSystem system(TinyQueueOptions(64));
+  system.Start();
+  std::vector<Microblog> batch;
+  batch.push_back(MakeBlog(kInvalidMicroblogId, 0,
+                           {KeywordOwnedBy(0), KeywordOwnedBy(1)}));
+  batch.push_back(MakeBlog(kInvalidMicroblogId, 0, {KeywordOwnedBy(2)}));
+  batch.push_back(MakeBlog(kInvalidMicroblogId, 0, {}));  // term-less
+  uint64_t admitted = 0;
+  uint64_t skipped = 0;
+  const auto outcome = system.TrySubmit(std::move(batch), &admitted, &skipped);
+  ASSERT_EQ(outcome, ShardedMicroblogSystem::SubmitOutcome::kAccepted);
+  EXPECT_EQ(admitted, 2u);
+  EXPECT_EQ(skipped, 1u);
+  EXPECT_EQ(system.accepted(), 3u);
+  EXPECT_EQ(system.skipped_no_terms(), 1u);
+  // Record 1 owns terms on two shards: three routed copies in flight.
+  EXPECT_EQ(system.routed_copies(), 3u);
+  system.Stop();
+  EXPECT_EQ(system.digested(), 3u);
+}
+
+// The system.queue_depth gauge is maintained with +/-1 deltas from both
+// producer and consumer; after a full drain every shard's gauge must read
+// exactly zero (the old Set(size())-outside-the-lock scheme could park a
+// stale depth forever).
+TEST(ShardedAdmission, QueueDepthGaugeConvergesToZeroAfterDrain) {
+  ShardedSystemOptions options = TinyQueueOptions(64);
+  ShardedMicroblogSystem system(options);
+  system.Start();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(system.Submit(
+        {MakeBlog(kInvalidMicroblogId, 0, {static_cast<KeywordId>(i)})}));
+  }
+  system.Stop();
+  EXPECT_EQ(system.digested(), system.routed_copies());
+  EXPECT_EQ(system.total_queue_depth(), 0u);
+  for (size_t i = 0; i < system.num_shards(); ++i) {
+    const MetricsSnapshot snap =
+        system.shard_store(i)->metrics_registry()->Snapshot();
+    auto it = snap.gauges.find("system.queue_depth");
+    ASSERT_NE(it, snap.gauges.end()) << "shard " << i;
+    EXPECT_EQ(it->second, 0) << "shard " << i;
+  }
+}
+
+}  // namespace
+}  // namespace kflush

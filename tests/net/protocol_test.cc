@@ -1,0 +1,180 @@
+// Wire-protocol unit tests (net/protocol.h): encode/decode round-trips
+// for every message type, stream reassembly via PeekFrame, and rejection
+// of corrupt, truncated, and trailing-garbage frames.
+
+#include "net/protocol.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "storage/durability.h"
+#include "testing/test_util.h"
+
+namespace kflush {
+namespace net {
+namespace {
+
+using testing_util::MakeBlog;
+using testing_util::RecordsEqual;
+
+Message DecodeOne(const std::string& wire) {
+  size_t frame_len = 0;
+  EXPECT_EQ(PeekFrame(wire.data(), wire.size(), kMaxFramePayloadBytes,
+                      &frame_len),
+            FrameStatus::kFrame);
+  EXPECT_EQ(frame_len, wire.size());
+  Message message;
+  EXPECT_TRUE(DecodeMessage(wire.data(), frame_len, &message).ok());
+  return message;
+}
+
+TEST(NetProtocol, EmptyMessagesRoundTrip) {
+  for (MsgType type : {MsgType::kPing, MsgType::kPong, MsgType::kStats,
+                       MsgType::kShutdown, MsgType::kShutdownAck}) {
+    std::string wire;
+    EncodeEmpty(type, 42, &wire);
+    const Message m = DecodeOne(wire);
+    EXPECT_EQ(m.type, type);
+    EXPECT_EQ(m.request_id, 42u);
+  }
+}
+
+TEST(NetProtocol, IngestRoundTripsRecords) {
+  std::vector<Microblog> blogs;
+  blogs.push_back(MakeBlog(7, 1000, {1, 2, 3}, 9, "hello"));
+  blogs.push_back(MakeBlog(8, 1001, {}, 10, ""));
+  Microblog geo = MakeBlog(9, 1002, {4}, 11, "geo");
+  geo.has_location = true;
+  geo.location = {12.5, -33.25};
+  geo.follower_count = 77;
+  blogs.push_back(geo);
+
+  std::string wire;
+  EncodeIngest(0xDEADBEEFull, blogs, &wire);
+  const Message m = DecodeOne(wire);
+  EXPECT_EQ(m.type, MsgType::kIngest);
+  EXPECT_EQ(m.request_id, 0xDEADBEEFull);
+  ASSERT_EQ(m.blogs.size(), blogs.size());
+  for (size_t i = 0; i < blogs.size(); ++i) {
+    EXPECT_TRUE(RecordsEqual(m.blogs[i], blogs[i])) << "record " << i;
+  }
+}
+
+TEST(NetProtocol, AckNackAndQueryRoundTrip) {
+  std::string wire;
+  EncodeIngestAck(5, 100, 3, &wire);
+  Message m = DecodeOne(wire);
+  EXPECT_EQ(m.type, MsgType::kIngestAck);
+  EXPECT_EQ(m.admitted, 100u);
+  EXPECT_EQ(m.skipped, 3u);
+
+  wire.clear();
+  EncodeNack(6, NackReason::kOverloaded, 128, &wire);
+  m = DecodeOne(wire);
+  EXPECT_EQ(m.type, MsgType::kNack);
+  EXPECT_EQ(m.reason, NackReason::kOverloaded);
+  EXPECT_EQ(m.queue_depth, 128u);
+
+  TopKQuery query;
+  query.terms = {11, 22, 33};
+  query.type = QueryType::kOr;
+  query.k = 50;
+  wire.clear();
+  EncodeQuery(7, query, &wire);
+  m = DecodeOne(wire);
+  EXPECT_EQ(m.type, MsgType::kQuery);
+  EXPECT_EQ(m.query.terms, query.terms);
+  EXPECT_EQ(m.query.type, QueryType::kOr);
+  EXPECT_EQ(m.query.k, 50u);
+}
+
+TEST(NetProtocol, QueryResultAndStatsRoundTrip) {
+  QueryResult result;
+  result.results.push_back(MakeBlog(1, 10, {5}));
+  result.results.push_back(MakeBlog(2, 11, {5}));
+  result.memory_hit = true;
+  result.from_memory = 2;
+  result.from_disk = 0;
+  std::string wire;
+  EncodeQueryResult(8, result, &wire);
+  Message m = DecodeOne(wire);
+  EXPECT_EQ(m.type, MsgType::kQueryResult);
+  EXPECT_TRUE(m.memory_hit);
+  EXPECT_EQ(m.from_memory, 2u);
+  ASSERT_EQ(m.blogs.size(), 2u);
+  EXPECT_TRUE(RecordsEqual(m.blogs[0], result.results[0]));
+
+  wire.clear();
+  EncodeStatsResult(9, "{\"a\":1}", &wire);
+  m = DecodeOne(wire);
+  EXPECT_EQ(m.type, MsgType::kStatsResult);
+  EXPECT_EQ(m.text, "{\"a\":1}");
+}
+
+// A receive buffer holding one and a half pipelined messages yields the
+// first frame and reports kNeedMore for the remainder — the server's
+// stream reassembly loop in ProcessInput.
+TEST(NetProtocol, PeekFrameReassemblesPipelinedStream) {
+  std::string wire;
+  EncodeEmpty(MsgType::kPing, 1, &wire);
+  const size_t first_len = wire.size();
+  EncodeEmpty(MsgType::kPong, 2, &wire);
+  const std::string partial = wire.substr(0, wire.size() - 3);
+
+  size_t frame_len = 0;
+  ASSERT_EQ(PeekFrame(partial.data(), partial.size(), kMaxFramePayloadBytes,
+                      &frame_len),
+            FrameStatus::kFrame);
+  EXPECT_EQ(frame_len, first_len);
+  EXPECT_EQ(PeekFrame(partial.data() + first_len, partial.size() - first_len,
+                      kMaxFramePayloadBytes, &frame_len),
+            FrameStatus::kNeedMore);
+  // Fewer bytes than a header is always kNeedMore.
+  EXPECT_EQ(PeekFrame(partial.data(), kFrameHeaderBytes - 1,
+                      kMaxFramePayloadBytes, &frame_len),
+            FrameStatus::kNeedMore);
+}
+
+TEST(NetProtocol, PeekFrameRejectsImplausibleLength) {
+  std::string wire;
+  EncodeEmpty(MsgType::kPing, 1, &wire);
+  // Declare a payload bigger than the caller's limit.
+  const uint32_t huge = 1u << 20;
+  wire.replace(sizeof(uint32_t), sizeof(uint32_t),
+               reinterpret_cast<const char*>(&huge), sizeof(huge));
+  size_t frame_len = 0;
+  EXPECT_EQ(PeekFrame(wire.data(), wire.size(), /*max_payload=*/64 * 1024,
+                      &frame_len),
+            FrameStatus::kCorrupt);
+}
+
+TEST(NetProtocol, DecodeRejectsCorruptAndMalformed) {
+  std::string wire;
+  EncodeIngestAck(5, 1, 0, &wire);
+  // Flip a payload byte: checksum mismatch.
+  std::string corrupt = wire;
+  corrupt[kFrameHeaderBytes + 2] ^= 0x40;
+  Message m;
+  EXPECT_FALSE(DecodeMessage(corrupt.data(), corrupt.size(), &m).ok());
+
+  // A checksum-valid frame with an unknown type byte is malformed.
+  std::string payload(1, '\x7F');  // type 127
+  payload.append(8, '\0');         // request id
+  std::string bad;
+  AppendFrame(payload.data(), payload.size(), &bad);
+  EXPECT_FALSE(DecodeMessage(bad.data(), bad.size(), &m).ok());
+
+  // Trailing bytes after a complete body are malformed, not ignored.
+  std::string trailing_payload;
+  trailing_payload.push_back(static_cast<char>(MsgType::kPing));
+  trailing_payload.append(8, '\0');
+  trailing_payload.push_back('x');
+  std::string trailing;
+  AppendFrame(trailing_payload.data(), trailing_payload.size(), &trailing);
+  EXPECT_FALSE(DecodeMessage(trailing.data(), trailing.size(), &m).ok());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace kflush

@@ -8,6 +8,7 @@
 //                         [--queries N] [--seed S]
 //   kflushctl compare     [same flags as experiment; runs all policies]
 //   kflushctl trace       --out FILE [experiment flags]
+//   kflushctl serve       [--host H] [--port P] [--shards N] [...]
 //
 // `experiment` runs the same deterministic steady-state harness as the
 // figure benchmarks and prints the full result; `compare` tabulates all
@@ -29,13 +30,16 @@
 // traces — recorded input streams — an older naming that predates the
 // execution tracer.)
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
 
+#include "core/sharded_system.h"
 #include "core/trace.h"
 #include "gen/trace.h"
+#include "net/server.h"
 #include "sim/experiment.h"
 #include "storage/wal.h"
 
@@ -346,6 +350,75 @@ int CmdCompare(const Flags& flags) {
   return 0;
 }
 
+// SIGINT/SIGTERM handler target for `serve`: RequestStop is
+// async-signal-safe (atomic store + eventfd write), the actual teardown
+// runs on the main thread after AwaitStop.
+net::NetServer* g_serve_server = nullptr;
+
+void ServeSignalHandler(int) {
+  if (g_serve_server != nullptr) g_serve_server->RequestStop();
+}
+
+int CmdServe(const Flags& flags) {
+  ExperimentConfig config = ConfigFromFlags(flags);
+  ShardedSystemOptions options;
+  options.system.store = config.store;
+  options.num_shards = config.shards;
+  const long queue_cap = flags.GetInt("queue-capacity", 1024);
+  if (queue_cap > 0) {
+    options.system.ingest_queue_capacity = static_cast<size_t>(queue_cap);
+  }
+  ShardedMicroblogSystem system(options);
+  const Status durability = system.DurabilityStatus();
+  if (!durability.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 durability.ToString().c_str());
+    return 1;
+  }
+  system.Start();
+
+  net::ServerOptions server_options;
+  server_options.host = flags.Get("host", "127.0.0.1");
+  server_options.port = static_cast<uint16_t>(flags.GetInt("port", 7411));
+  server_options.admission_queue_soft_limit = static_cast<size_t>(
+      flags.GetInt("soft-limit", 0));
+  net::NetServer server(&system, server_options);
+  Status s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "serve: %s\n", s.ToString().c_str());
+    system.Stop();
+    return 1;
+  }
+  g_serve_server = &server;
+  std::signal(SIGINT, ServeSignalHandler);
+  std::signal(SIGTERM, ServeSignalHandler);
+  std::printf("kflushctl serve: listening on %s:%u (%zu shards, %s, "
+              "queue capacity %zu/shard)\n",
+              server_options.host.c_str(), server.port(),
+              system.num_shards(), PolicyKindName(config.store.policy),
+              options.system.ingest_queue_capacity);
+  std::fflush(stdout);
+  server.AwaitStop();
+  server.Stop();
+  g_serve_server = nullptr;
+  system.Stop();
+  std::printf("%s\n", server.StatsJson().c_str());
+  const net::NetServer::Stats stats = server.stats();
+  const uint64_t accounted =
+      stats.records_acked + stats.records_skipped + stats.records_nacked;
+  if (accounted != stats.records_offered) {
+    std::fprintf(stderr,
+                 "serve: accounting hole: offered %llu != acked+skipped+"
+                 "nacked %llu\n",
+                 static_cast<unsigned long long>(stats.records_offered),
+                 static_cast<unsigned long long>(accounted));
+    return 1;
+  }
+  std::printf("serve: clean shutdown (every offered record acked, skipped, "
+              "or nacked)\n");
+  return 0;
+}
+
 void Usage() {
   std::fprintf(
       stderr,
@@ -360,6 +433,10 @@ void Usage() {
       "             [--shards N]\n"
       "  compare    [same flags as experiment]\n"
       "  trace      --out FILE [same flags as experiment]\n"
+      "  serve      [--host H] [--port P] [--shards N] [--policy P]\n"
+      "             [--memory-mb M] [--queue-capacity Q] [--soft-limit D]\n"
+      "             [--durable-dir DIR]   (TCP front-end; stop with a\n"
+      "             protocol shutdown request or SIGINT/SIGTERM)\n"
       "flags:\n"
       "  --trace-out FILE  capture a Chrome/Perfetto trace of any run\n"
       "                    command (replay, experiment, compare)\n"
@@ -385,6 +462,7 @@ int main(int argc, char** argv) {
   if (command == "experiment") return CmdExperiment(flags);
   if (command == "compare") return CmdCompare(flags);
   if (command == "trace") return CmdTrace(flags);
+  if (command == "serve") return CmdServe(flags);
   Usage();
   return 2;
 }

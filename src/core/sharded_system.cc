@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/trace.h"
+#include "util/logging.h"
 
 namespace kflush {
 
@@ -137,22 +138,31 @@ ShardedMicroblogSystem::RoutedBatch ShardedMicroblogSystem::RouteBatch(
 }
 
 bool ShardedMicroblogSystem::CommitReserved(RoutedBatch* routed) {
-  bool accepted = true;
-  for (size_t owner : routed->owners) {
+  for (size_t i = 0; i < routed->owners.size(); ++i) {
+    const size_t owner = routed->owners[i];
     // Every owner holds a reservation, so this never blocks; it can fail
     // only if a shard was stopped out-of-band, which Stop()'s in-flight
-    // handshake excludes in the supported lifecycle.
-    accepted = systems_[owner]->SubmitReservedRouted(
-                   std::move(routed->per_shard[owner])) &&
-               accepted;
+    // handshake excludes in the supported lifecycle. If that invariant
+    // is ever violated, fail loudly and stop committing: the remaining
+    // owners' reservations are returned un-enqueued rather than pushed
+    // into an untallied partial admit.
+    if (!systems_[owner]->SubmitReservedRouted(
+            std::move(routed->per_shard[owner]))) {
+      KFLUSH_WARN("CommitReserved: shard "
+                  << owner
+                  << " rejected a reserved sub-batch (stopped outside the "
+                     "Stop() handshake); aborting commit");
+      for (size_t j = i + 1; j < routed->owners.size(); ++j) {
+        systems_[routed->owners[j]]->CancelIngestReservation();
+      }
+      return false;
+    }
   }
-  if (accepted) {
-    accepted_.fetch_add(routed->records + routed->skipped,
-                        std::memory_order_relaxed);
-    skipped_no_terms_.fetch_add(routed->skipped, std::memory_order_relaxed);
-    routed_copies_.fetch_add(routed->copies, std::memory_order_relaxed);
-  }
-  return accepted;
+  accepted_.fetch_add(routed->records + routed->skipped,
+                      std::memory_order_relaxed);
+  skipped_no_terms_.fetch_add(routed->skipped, std::memory_order_relaxed);
+  routed_copies_.fetch_add(routed->copies, std::memory_order_relaxed);
+  return true;
 }
 
 bool ShardedMicroblogSystem::Submit(std::vector<Microblog> batch) {

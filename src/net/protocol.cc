@@ -32,6 +32,19 @@ Status Malformed(const char* what) {
   return Status::Corruption(std::string("malformed message: ") + what);
 }
 
+/// Smallest possible EncodeMicroblog output (no location, no keywords,
+/// empty text). Bounds attacker-declared record counts before reserve():
+/// a checksum-valid frame declaring count=0xFFFFFFFF must be rejected
+/// up front, not turned into a multi-GB allocation.
+size_t MinEncodedRecordBytes() {
+  static const size_t min_bytes = [] {
+    std::string s;
+    EncodeMicroblog(Microblog{}, &s);
+    return s.size();
+  }();
+  return min_bytes;
+}
+
 void FramePayload(const std::string& payload, std::string* wire) {
   AppendFrame(payload.data(), payload.size(), wire);
 }
@@ -185,6 +198,9 @@ Status DecodeMessage(const char* data, size_t frame_len, Message* out) {
     case MsgType::kIngest: {
       uint32_t count = 0;
       if (!Get(&p, end, &count)) return Malformed("ingest count");
+      if (count > static_cast<size_t>(end - p) / MinEncodedRecordBytes()) {
+        return Malformed("ingest count exceeds payload");
+      }
       out->blogs.clear();
       out->blogs.reserve(count);
       for (uint32_t i = 0; i < count; ++i) {
@@ -226,6 +242,9 @@ Status DecodeMessage(const char* data, size_t frame_len, Message* out) {
         return Malformed("query type");
       }
       out->query.type = static_cast<QueryType>(raw_qtype);
+      if (num_terms > static_cast<size_t>(end - p) / sizeof(uint64_t)) {
+        return Malformed("query term count exceeds payload");
+      }
       out->query.terms.clear();
       out->query.terms.reserve(num_terms);
       for (uint16_t i = 0; i < num_terms; ++i) {
@@ -243,6 +262,9 @@ Status DecodeMessage(const char* data, size_t frame_len, Message* out) {
         return Malformed("query result header");
       }
       out->memory_hit = hit != 0;
+      if (count > static_cast<size_t>(end - p) / MinEncodedRecordBytes()) {
+        return Malformed("query result count exceeds payload");
+      }
       out->blogs.clear();
       out->blogs.reserve(count);
       for (uint32_t i = 0; i < count; ++i) {

@@ -25,6 +25,17 @@ Status Errno(const char* what) {
   return Status::IOError(std::string(what) + ": " + std::strerror(errno));
 }
 
+// epoll event tag: fd in the low 32 bits, connection generation in the
+// high 32. A CloseConnection followed by an accept within one epoll_wait
+// batch can hand the same fd number to a new connection; stale events
+// still queued in that batch then carry the old generation and are
+// skipped instead of dispatching to (and possibly closing) the new
+// connection. The listening socket and eventfd use generation 0 — they
+// stay open for the server's lifetime, so their fds are never reused.
+uint64_t PackTag(int fd, uint32_t gen) {
+  return (static_cast<uint64_t>(gen) << 32) | static_cast<uint32_t>(fd);
+}
+
 }  // namespace
 
 NetServer::NetServer(ShardedMicroblogSystem* system, ServerOptions options)
@@ -88,9 +99,9 @@ Status NetServer::Start() {
   }
   epoll_event ev{};
   ev.events = EPOLLIN;
-  ev.data.fd = listen_fd_;
+  ev.data.u64 = PackTag(listen_fd_, 0);
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
-  ev.data.fd = wake_fd_;
+  ev.data.u64 = PackTag(wake_fd_, 0);
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
   stop_requested_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
@@ -141,7 +152,8 @@ void NetServer::Loop() {
       break;
     }
     for (int i = 0; i < n; ++i) {
-      const int fd = events[i].data.fd;
+      const int fd = static_cast<int>(events[i].data.u64 & 0xFFFFFFFFu);
+      const uint32_t gen = static_cast<uint32_t>(events[i].data.u64 >> 32);
       const uint32_t mask = events[i].events;
       if (fd == wake_fd_) {
         uint64_t drained = 0;
@@ -154,7 +166,9 @@ void NetServer::Loop() {
         continue;
       }
       auto it = connections_.find(fd);
-      if (it == connections_.end()) continue;
+      // Generation mismatch: the event is for an already-closed
+      // connection whose fd number was reused within this batch.
+      if (it == connections_.end() || it->second->gen != gen) continue;
       Connection* conn = it->second.get();
       if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
         CloseConnection(fd);
@@ -164,7 +178,7 @@ void NetServer::Loop() {
       // HandleReadable may have closed the connection (protocol error /
       // EOF); re-look it up before the write half.
       it = connections_.find(fd);
-      if (it == connections_.end()) continue;
+      if (it == connections_.end() || it->second->gen != gen) continue;
       if ((mask & EPOLLOUT) != 0) HandleWritable(it->second.get());
       if (shutdown_via_protocol_) break;
     }
@@ -197,9 +211,10 @@ void NetServer::AcceptConnections() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
+    conn->gen = ++next_conn_gen_;
     epoll_event ev{};
     ev.events = EPOLLIN;
-    ev.data.fd = fd;
+    ev.data.u64 = PackTag(fd, conn->gen);
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
       ::close(fd);
       continue;
@@ -226,11 +241,15 @@ void NetServer::HandleReadable(Connection* conn) {
       continue;
     }
     if (n == 0) {  // peer closed
-      // Serve whatever complete frames arrived, then close.
-      ProcessInput(conn);
+      // Serve whatever complete frames arrived, then close. ProcessInput
+      // can destroy *conn (malformed frame whose NACK flushes fully, or
+      // a write error), so capture the fd first and only touch the
+      // connection again through a fresh lookup.
       const int fd = conn->fd;
-      if (connections_.count(fd) != 0) {
-        FlushWrites(connections_[fd].get());
+      ProcessInput(conn);
+      auto it = connections_.find(fd);
+      if (it != connections_.end()) {
+        FlushWrites(it->second.get());
         CloseConnection(fd);
       }
       return;
@@ -418,7 +437,7 @@ void NetServer::UpdateInterest(Connection* conn) {
   conn->read_paused = read_paused;
   epoll_event ev{};
   ev.events = (read_paused ? 0u : EPOLLIN) | (want_write ? EPOLLOUT : 0u);
-  ev.data.fd = conn->fd;
+  ev.data.u64 = PackTag(conn->fd, conn->gen);
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
 }
 

@@ -119,6 +119,10 @@ class NetServer {
  private:
   struct Connection {
     int fd = -1;
+    /// Distinguishes this connection from an earlier one that had the
+    /// same fd number; epoll events are tagged with it so stale events
+    /// left in a batch after a close never dispatch to a successor.
+    uint32_t gen = 0;
     std::string in;      // unparsed request bytes
     std::string out;     // unsent response bytes
     size_t out_offset = 0;
@@ -156,6 +160,7 @@ class NetServer {
   bool shutdown_via_protocol_ = false;  // loop-thread only
 
   std::map<int, std::unique_ptr<Connection>> connections_;  // loop-thread only
+  uint32_t next_conn_gen_ = 0;  // loop-thread only; 0 reserved for non-conn fds
 
   mutable std::mutex stop_mu_;
   std::condition_variable stop_cv_;

@@ -175,6 +175,45 @@ TEST(NetProtocol, DecodeRejectsCorruptAndMalformed) {
   EXPECT_FALSE(DecodeMessage(trailing.data(), trailing.size(), &m).ok());
 }
 
+// A checksum-valid frame declaring far more records/terms than its
+// payload could possibly hold must be rejected before reserve(): a tiny
+// kIngest frame with count=0xFFFFFFFF would otherwise force a multi-GB
+// allocation (remote crash via uncaught bad_alloc).
+TEST(NetProtocol, DecodeRejectsCountExceedingPayload) {
+  Message m;
+
+  std::string ingest_payload;
+  ingest_payload.push_back(static_cast<char>(MsgType::kIngest));
+  ingest_payload.append(8, '\0');  // request id
+  const uint32_t huge = 0xFFFFFFFFu;
+  ingest_payload.append(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  std::string ingest;
+  AppendFrame(ingest_payload.data(), ingest_payload.size(), &ingest);
+  EXPECT_FALSE(DecodeMessage(ingest.data(), ingest.size(), &m).ok());
+
+  std::string result_payload;
+  result_payload.push_back(static_cast<char>(MsgType::kQueryResult));
+  result_payload.append(8, '\0');   // request id
+  result_payload.push_back('\0');   // memory_hit
+  result_payload.append(8, '\0');   // from_memory + from_disk
+  result_payload.append(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  std::string result;
+  AppendFrame(result_payload.data(), result_payload.size(), &result);
+  EXPECT_FALSE(DecodeMessage(result.data(), result.size(), &m).ok());
+
+  std::string query_payload;
+  query_payload.push_back(static_cast<char>(MsgType::kQuery));
+  query_payload.append(8, '\0');  // request id
+  query_payload.push_back('\0');  // query type
+  query_payload.append(4, '\0');  // k
+  const uint16_t many_terms = 0xFFFFu;
+  query_payload.append(reinterpret_cast<const char*>(&many_terms),
+                       sizeof(many_terms));
+  std::string query;
+  AppendFrame(query_payload.data(), query_payload.size(), &query);
+  EXPECT_FALSE(DecodeMessage(query.data(), query.size(), &m).ok());
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace kflush

@@ -22,9 +22,12 @@
 //   [net_load] silent_drops      <rate>  0.0000
 //
 // BENCH_net_load.json carries, per rate point ("rate<R>"), the aggregated
-// shard registry snapshot plus bench.* gauges (offered/acked/nacked/
-// silent_drops/acked_per_sec/...) and the client-side
-// net.ingest_latency_micros / net.query_latency_micros histograms.
+// shard registry snapshot merged with the server's net.* registry (ack
+// counters and the per-stage net.ingest_ack_micros.* histograms), plus
+// bench.* gauges (offered/acked/nacked/silent_drops/acked_per_sec/...)
+// and the client-side net.ingest_latency_micros /
+// net.query_latency_micros histograms. Each stage histogram's count must
+// equal net.ingest_acks exactly — the run FAILS otherwise.
 // scripts/validate_bench_json.py --bench net_load checks all of it.
 //
 // Default: in-process server on an ephemeral loopback port (real TCP,
@@ -327,6 +330,8 @@ PointResult RunPoint(const std::string& host, uint16_t port,
   return r;
 }
 
+const char* const kStages[] = {"decode", "admission", "commit", "respond"};
+
 void PrintPoint(const PointResult& r) {
   const std::string x = std::to_string(static_cast<long>(r.rate));
   const double secs = r.wall_secs > 0 ? r.wall_secs : 1.0;
@@ -348,6 +353,21 @@ void PrintPoint(const PointResult& r) {
                   static_cast<double>(r.query_latency.Percentile(99.9)));
   bench::PrintRow("net_load", "silent_drops", x,
                   static_cast<double>(r.silent_drops));
+  // Server-side ack-latency decomposition (in-process mode only): where
+  // the acked ingest time went, per stage.
+  if (r.have_snapshot) {
+    for (const char* stage : kStages) {
+      auto it = r.snapshot.histograms.find(
+          std::string("net.ingest_ack_micros.") + stage);
+      if (it == r.snapshot.histograms.end()) continue;
+      bench::PrintRow("net_load", std::string("stage_") + stage +
+                                      "_p50_micros",
+                      x, static_cast<double>(it->second.Percentile(50)));
+      bench::PrintRow("net_load", std::string("stage_") + stage +
+                                      "_p99_micros",
+                      x, static_cast<double>(it->second.Percentile(99)));
+    }
+  }
 }
 
 /// Audits one point; returns false (and explains) on any accounting hole.
@@ -376,6 +396,27 @@ bool CheckPoint(const PointResult& r) {
                  static_cast<long>(r.rate),
                  static_cast<long long>(r.silent_drops));
     ok = false;
+  }
+  // Stage-histogram reconciliation: every acked ingest request must have
+  // landed exactly one sample in each of the four stage histograms.
+  if (r.have_snapshot) {
+    const uint64_t acks = r.snapshot.counter_or("net.ingest_acks");
+    for (const char* stage : kStages) {
+      auto it = r.snapshot.histograms.find(
+          std::string("net.ingest_ack_micros.") + stage);
+      const uint64_t samples =
+          it == r.snapshot.histograms.end() ? 0 : it->second.count();
+      if (samples != acks) {
+        std::fprintf(stderr,
+                     "FAIL rate=%ld: stage %s has %llu samples but "
+                     "net.ingest_acks is %llu (stage histograms must "
+                     "reconcile exactly)\n",
+                     static_cast<long>(r.rate), stage,
+                     static_cast<unsigned long long>(samples),
+                     static_cast<unsigned long long>(acks));
+        ok = false;
+      }
+    }
   }
   return ok;
 }
@@ -485,6 +526,19 @@ int main(int argc, char** argv) {
         parts.push_back(system.shard_store(i)->metrics_registry()->Snapshot());
       }
       r.snapshot = AggregateSnapshots(parts);
+      // Merge the server's own net.* families (stage histograms included)
+      // after both Stop()s: the registry is quiesced, so the stage counts
+      // reconcile exactly against net.ingest_acks.
+      MetricsSnapshot net_snap = server.metrics_registry()->Snapshot();
+      for (auto& [name, value] : net_snap.counters) {
+        r.snapshot.counters[name] = value;
+      }
+      for (auto& [name, value] : net_snap.gauges) {
+        r.snapshot.gauges[name] = value;
+      }
+      for (auto& [name, hist] : net_snap.histograms) {
+        r.snapshot.histograms[name] = std::move(hist);
+      }
       r.have_snapshot = true;
     }
     PrintPoint(r);

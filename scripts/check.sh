@@ -2,8 +2,8 @@
 # Repo verification gate: tier-1 suite plus the sanitizer jobs that guard
 # the concurrency paths (docs/INTERNALS.md, "Threading model & sanitizers").
 #
-# Usage:  scripts/check.sh [tier1|tsan|asan|stress|crash|bench-smoke|net-smoke|all]
-#         (default: all)
+# Usage:  scripts/check.sh [tier1|tsan|asan|stress|crash|bench-smoke|
+#                           net-smoke|ops-smoke|all]   (default: all)
 #
 # Jobs (each one is what CI runs as a separate job):
 #   tier1       - plain RelWithDebInfo build, full ctest suite
@@ -28,6 +28,14 @@
 #                 driven by bench_net_load --connect with a protocol
 #                 Shutdown at the end; the serve process must exit 0 after
 #                 verifying its own accounting.
+#   ops-smoke   - the live ops surface (docs/OBSERVABILITY.md): serve in
+#                 the background, readiness via `kflushctl health`, real
+#                 load, then a kStatsProm scrape linted with
+#                 scripts/validate_prometheus.py, `kflushctl top --once`
+#                 with the stage counts cross-checked against
+#                 net.ingest_acks, and a protocol shutdown that must
+#                 drain and exit 0. Artifacts (scrape, top output, serve
+#                 log) land in KFLUSH_BENCH_OUT.
 #
 # The stress harness derives all RNG streams from one base seed; on failure
 # we print how to replay it. Override with KFLUSH_STRESS_SEED=<seed>.
@@ -179,13 +187,97 @@ job_net_smoke() {
   fi
 }
 
+job_ops_smoke() {
+  note "ops-smoke: serve + kStatsProm scrape lint + kflushctl top/health"
+  local out scale port rc serve_pid
+  build default && cmake --build build -j "${JOBS}" \
+      --target bench_net_load kflushctl || return 1
+  out="${KFLUSH_BENCH_OUT:-$(mktemp -d)}"
+  mkdir -p "${out}"
+  scale="${KFLUSH_BENCH_SCALE:-0.05}"
+  port=$(( 20000 + RANDOM % 20000 ))
+  ./build/tools/kflushctl serve --port "${port}" --shards 2 \
+      --memory-mb 32 --slow-request-micros 2000000 \
+      > "${out}/ops_serve.log" 2>&1 &
+  serve_pid=$!
+  # Readiness through the protocol itself: health answers kServing.
+  for _ in $(seq 1 50); do
+    if ! kill -0 "${serve_pid}" 2>/dev/null; then
+      echo "ops-smoke: kflushctl serve died before serving"
+      cat "${out}/ops_serve.log"
+      wait "${serve_pid}"
+      return 1
+    fi
+    ./build/tools/kflushctl health --port "${port}" >/dev/null 2>&1 && break
+    sleep 0.1
+  done
+  ./build/tools/kflushctl health --port "${port}" || {
+    kill "${serve_pid}" 2>/dev/null; wait "${serve_pid}" 2>/dev/null
+    return 1
+  }
+  # Some real traffic so the stage histograms have samples to lint.
+  KFLUSH_BENCH_SCALE="${scale}" \
+      ./build/bench/bench_net_load --connect "127.0.0.1:${port}" \
+      --users 2 --seconds 1 --rates 4000 || {
+    kill "${serve_pid}" 2>/dev/null; wait "${serve_pid}" 2>/dev/null
+    return 1
+  }
+  # Scrape the exposition, lint it, and check the stage histograms
+  # reconcile against the ack counter end to end.
+  ./build/tools/kflushctl scrape --port "${port}" \
+      > "${out}/ops_scrape.prom" || {
+    kill "${serve_pid}" 2>/dev/null; wait "${serve_pid}" 2>/dev/null
+    return 1
+  }
+  python3 scripts/validate_prometheus.py "${out}/ops_scrape.prom" || {
+    kill "${serve_pid}" 2>/dev/null; wait "${serve_pid}" 2>/dev/null
+    return 1
+  }
+  ./build/tools/kflushctl top --port "${port}" --once \
+      > "${out}/ops_top.txt" || {
+    kill "${serve_pid}" 2>/dev/null; wait "${serve_pid}" 2>/dev/null
+    return 1
+  }
+  grep -q '^ingest_acks ' "${out}/ops_top.txt" || {
+    echo "ops-smoke: top --once missing ingest_acks"
+    kill "${serve_pid}" 2>/dev/null; wait "${serve_pid}" 2>/dev/null
+    return 1
+  }
+  acks=$(awk '/^ingest_acks /{print $2}' "${out}/ops_top.txt")
+  for stage in decode admission commit respond; do
+    count=$(awk -v k="stage_${stage}_count" '$1==k{print $2}' \
+        "${out}/ops_top.txt")
+    if [ "${count}" != "${acks}" ]; then
+      echo "ops-smoke: stage_${stage}_count ${count} != ingest_acks ${acks}"
+      kill "${serve_pid}" 2>/dev/null; wait "${serve_pid}" 2>/dev/null
+      return 1
+    fi
+  done
+  # Protocol shutdown; serve must drain and exit 0.
+  ./build/tools/kflushctl shutdown --port "${port}" || {
+    kill "${serve_pid}" 2>/dev/null; wait "${serve_pid}" 2>/dev/null
+    return 1
+  }
+  wait "${serve_pid}"
+  rc=$?
+  if [ ${rc} -ne 0 ]; then
+    echo "ops-smoke: kflushctl serve exited ${rc}"
+    cat "${out}/ops_serve.log"
+    return 1
+  fi
+  grep -q 'draining' "${out}/ops_serve.log" || {
+    echo "ops-smoke: serve log missing the draining transition"
+    return 1
+  }
+}
+
 run_job() { "job_${1//-/_}" || FAILED+=("$1"); }
 
 case "${1:-all}" in
-  tier1|tsan|asan|stress|crash|bench-smoke|net-smoke) run_job "$1" ;;
+  tier1|tsan|asan|stress|crash|bench-smoke|net-smoke|ops-smoke) run_job "$1" ;;
   all) run_job tier1; run_job tsan; run_job asan; run_job crash
-       run_job bench-smoke; run_job net-smoke ;;
-  *) echo "usage: $0 [tier1|tsan|asan|stress|crash|bench-smoke|net-smoke|all]" >&2
+       run_job bench-smoke; run_job net-smoke; run_job ops-smoke ;;
+  *) echo "usage: $0 [tier1|tsan|asan|stress|crash|bench-smoke|net-smoke|ops-smoke|all]" >&2
      exit 2 ;;
 esac
 

@@ -22,7 +22,10 @@ wal.fsync_micros's count cross-checked against the wal.fsyncs counter.
 BENCH_net_load.json (bench_net_load) carries one snapshot per
 arrival-rate point and is additionally audited for zero silent drops:
 bench.offered must equal acked+skipped+nacked and bench.queried_back
-must equal bench.acked.
+must equal bench.acked. Each snapshot must also carry the server's net.*
+families, with every net.ingest_ack_micros.<stage> histogram count equal
+to net.ingest_acks (the per-request stage decomposition reconciles
+exactly).
 
 BENCH_insert_breakdown.json (bench_micro --breakdown) carries a reduced
 snapshot per policy — the digestion-cost gauges (bench.insert_cpu_ns,
@@ -244,6 +247,29 @@ def check_net_load(errors, path, doc):
         ingest = histograms.get("net.ingest_latency_micros", {})
         if isinstance(ingest, dict) and ingest.get("count", 0) <= 0:
             errors.append(f"{where}: net.ingest_latency_micros is empty")
+        # Server-side net.* families: ack counters plus the per-stage
+        # ack-latency decomposition. Each stage histogram must hold
+        # exactly one sample per acked ingest request.
+        counters = snap.get("counters", {})
+        for name in ("net.ingest_requests", "net.ingest_acks",
+                     "net.records_offered", "net.records_acked",
+                     "net.frames_received"):
+            if name not in counters:
+                errors.append(f"{where}: missing counter '{name}'")
+        acks = counters.get("net.ingest_acks", 0)
+        if acks <= 0:
+            errors.append(f"{where}: net.ingest_acks must be > 0")
+        for stage in ("decode", "admission", "commit", "respond"):
+            name = f"net.ingest_ack_micros.{stage}"
+            hist = histograms.get(name)
+            if not isinstance(hist, dict):
+                errors.append(f"{where}: missing histogram '{name}'")
+                continue
+            if hist.get("count", -1) != acks:
+                errors.append(
+                    f"{where}: {name} count {hist.get('count')} != "
+                    f"net.ingest_acks {acks} (stage histograms must "
+                    f"reconcile exactly)")
 
 
 def check_insert_breakdown(errors, path, doc):

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Lints kflush's Prometheus text exposition (the kStatsProm payload).
+
+Usage: validate_prometheus.py FILE [FILE...]   (or - for stdin)
+
+Checks, per input:
+  * every sample name matches [a-zA-Z_:][a-zA-Z0-9_:]* and carries the
+    kflush_ prefix;
+  * every sample is covered by a preceding # TYPE line, and every # TYPE
+    is one of counter|gauge|histogram;
+  * counter and gauge samples are plain `name value` lines with a finite
+    numeric value (counters non-negative);
+  * histogram families are complete: at least one _bucket series, a
+    mandatory le="+Inf" bucket, _sum and _count present, bucket counts
+    cumulative (non-decreasing in le order), and the +Inf bucket equal to
+    _count;
+  * no duplicate TYPE declarations and no duplicate scalar samples.
+
+Exit 0 when every input is clean, 1 with one line per violation
+otherwise.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LE_RE = re.compile(r'^\{le="([^"]*)"\}$')
+VALID_TYPES = ("counter", "gauge", "histogram")
+
+
+def parse_le(raw):
+    if raw == "+Inf":
+        return float("inf")
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def lint(path, text, errors):
+    types = {}       # family name -> declared type
+    seen_scalar = set()
+    # histogram family -> {"buckets": [(le, value)], "sum": x, "count": x}
+    hists = {}
+
+    def family_of(name):
+        """The family a sample belongs to: histogram samples hang off
+        their _bucket/_sum/_count suffix, everything else is its own
+        family."""
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and types.get(base) == "histogram":
+                return base, suffix
+        return name, None
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        where = f"{path}:{lineno}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = re.match(r"^# TYPE (\S+) (\S+)$", line)
+            if m:
+                name, kind = m.group(1), m.group(2)
+                if not NAME_RE.match(name):
+                    errors.append(f"{where}: bad metric name '{name}'")
+                if kind not in VALID_TYPES:
+                    errors.append(f"{where}: bad type '{kind}' for {name}")
+                if name in types:
+                    errors.append(f"{where}: duplicate TYPE for {name}")
+                types[name] = kind
+                if kind == "histogram":
+                    hists[name] = {"buckets": [], "sum": None, "count": None}
+            elif not line.startswith("# HELP"):
+                errors.append(f"{where}: unrecognized comment line")
+            continue
+        parts = line.rsplit(" ", 1)
+        if len(parts) != 2:
+            errors.append(f"{where}: not a 'name value' sample")
+            continue
+        name_labels, raw_value = parts
+        try:
+            value = float(raw_value)
+        except ValueError:
+            errors.append(f"{where}: non-numeric value '{raw_value}'")
+            continue
+        if value != value or value in (float("inf"), float("-inf")):
+            errors.append(f"{where}: non-finite value")
+            continue
+        brace = name_labels.find("{")
+        name = name_labels[:brace] if brace >= 0 else name_labels
+        labels = name_labels[brace:] if brace >= 0 else ""
+        if not NAME_RE.match(name):
+            errors.append(f"{where}: bad sample name '{name}'")
+            continue
+        if not name.startswith("kflush_"):
+            errors.append(f"{where}: sample '{name}' lacks kflush_ prefix")
+        base, suffix = family_of(name)
+        kind = types.get(base)
+        if kind is None:
+            errors.append(f"{where}: sample '{name}' has no # TYPE line")
+            continue
+        if kind == "histogram":
+            h = hists[base]
+            if suffix == "_bucket":
+                m = LE_RE.match(labels)
+                le = parse_le(m.group(1)) if m else None
+                if le is None:
+                    errors.append(f"{where}: _bucket without a valid "
+                                  f"le label")
+                    continue
+                h["buckets"].append((le, value))
+            elif suffix == "_sum":
+                h["sum"] = value
+            elif suffix == "_count":
+                h["count"] = value
+            else:
+                errors.append(f"{where}: bare sample '{name}' for "
+                              f"histogram family")
+            continue
+        # counter / gauge
+        if labels:
+            errors.append(f"{where}: unexpected labels on {kind} '{name}'")
+        if name in seen_scalar:
+            errors.append(f"{where}: duplicate sample for '{name}'")
+        seen_scalar.add(name)
+        if kind == "counter" and value < 0:
+            errors.append(f"{where}: counter '{name}' is negative")
+
+    for name, h in sorted(hists.items()):
+        where = f"{path}:{name}"
+        if not h["buckets"]:
+            errors.append(f"{where}: histogram has no _bucket series")
+            continue
+        if h["sum"] is None:
+            errors.append(f"{where}: histogram missing _sum")
+        if h["count"] is None:
+            errors.append(f"{where}: histogram missing _count")
+            continue
+        les = [le for le, _ in h["buckets"]]
+        if len(set(les)) != len(les):
+            errors.append(f"{where}: duplicate le bucket")
+        if les != sorted(les):
+            errors.append(f"{where}: buckets not in ascending le order")
+        if not les or les[-1] != float("inf"):
+            errors.append(f"{where}: missing mandatory le=\"+Inf\" bucket")
+            continue
+        counts = [v for _, v in h["buckets"]]
+        if any(counts[i] > counts[i + 1] for i in range(len(counts) - 1)):
+            errors.append(f"{where}: bucket counts not cumulative")
+        if counts[-1] != h["count"]:
+            errors.append(f"{where}: +Inf bucket {counts[-1]:.0f} != "
+                          f"_count {h['count']:.0f}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    families = 0
+    for path in argv[1:]:
+        if path == "-":
+            text = sys.stdin.read()
+        else:
+            with open(path, "r", encoding="utf-8") as f:
+                text = f.read()
+        before = len(errors)
+        lint(path, text, errors)
+        families += text.count("# TYPE ")
+        if len(errors) == before:
+            print(f"{path}: OK ({text.count('# TYPE ')} families)")
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"validate_prometheus: {len(errors)} violation(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -10,11 +10,13 @@ Perfetto / chrome://tracing need to load the file:
    "displayTimeUnit": "ms",
    "otherData": {"events_emitted": N, "events_dropped": N}}
 
-where every <event> carries name/cat/ph/ts/pid/tid, ph is one of B/E/i,
-instants ("i") carry a scope "s", timestamps are non-decreasing per thread,
-and every thread's B/E events nest — no span ends without a begin, none
-left dangling unless the ring dropped events (otherData.events_dropped > 0
-relaxes the balance check, since wraparound can eat either end of a span).
+where every <event> carries name/cat/ph/ts/pid/tid, ph is one of
+B/E/i/s/t/f, instants ("i") carry a scope "s", flow events ("s"/"t"/"f")
+carry a numeric "id" with flow ends ("f") binding via bp == "e",
+timestamps are non-decreasing per thread, and every thread's B/E events
+nest — no span ends without a begin, none left dangling unless the ring
+dropped events (otherData.events_dropped > 0 relaxes the balance check,
+since wraparound can eat either end of a span).
 
 Exits 0 when every file validates; prints each problem and exits 1
 otherwise. Stdlib only (json) — safe for minimal CI images.
@@ -24,7 +26,8 @@ import json
 import sys
 
 EVENT_KEYS = ("name", "cat", "ph", "ts", "pid", "tid")
-PHASES = ("B", "E", "i")
+PHASES = ("B", "E", "i", "s", "t", "f")
+FLOW_PHASES = ("s", "t", "f")
 
 
 def check_events(errors, path, events, lossy):
@@ -44,6 +47,11 @@ def check_events(errors, path, events, lossy):
             continue
         if ph == "i" and ev.get("s") not in ("t", "p", "g"):
             errors.append(f"{where}: instant without a valid scope 's'")
+        if ph in FLOW_PHASES:
+            if not isinstance(ev.get("id"), int):
+                errors.append(f"{where}: flow event without integer 'id'")
+            if ph == "f" and ev.get("bp") != "e":
+                errors.append(f"{where}: flow end without bp == 'e'")
         if not isinstance(ev.get("ts"), (int, float)):
             errors.append(f"{where}: non-numeric ts")
             continue

@@ -123,19 +123,34 @@ std::string MetricsSnapshot::ToPrometheus() const {
   std::ostringstream os;
   for (const auto& [name, value] : counters) {
     const std::string pname = PrometheusName(name);
+    os << "# HELP " << pname << " kflush counter " << name << "\n";
     os << "# TYPE " << pname << " counter\n" << pname << " " << value << "\n";
   }
   for (const auto& [name, value] : gauges) {
     const std::string pname = PrometheusName(name);
+    os << "# HELP " << pname << " kflush gauge " << name << "\n";
     os << "# TYPE " << pname << " gauge\n" << pname << " " << value << "\n";
   }
   for (const auto& [name, h] : histograms) {
     const std::string pname = PrometheusName(name);
-    os << "# TYPE " << pname << " summary\n";
-    for (int q : {50, 90, 95, 99}) {
-      os << pname << "{quantile=\"0." << q << "\"} " << h.Percentile(q)
+    os << "# HELP " << pname << " kflush histogram " << name << "\n";
+    os << "# TYPE " << pname << " histogram\n";
+    // Cumulative buckets up to the last non-empty one; le is the bucket's
+    // inclusive upper value (integer samples, so LowerBound(i+1) - 1).
+    // The final bucket's range is unbounded, covered by the mandatory
+    // +Inf series.
+    int last = -1;
+    for (int i = 0; i < Histogram::num_buckets(); ++i) {
+      if (h.bucket_count(i) > 0) last = i;
+    }
+    uint64_t cumulative = 0;
+    for (int i = 0; i <= last && i + 1 < Histogram::num_buckets(); ++i) {
+      cumulative += h.bucket_count(i);
+      os << pname << "_bucket{le=\""
+         << (Histogram::BucketLowerBound(i + 1) - 1) << "\"} " << cumulative
          << "\n";
     }
+    os << pname << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
     os << pname << "_sum " << h.sum() << "\n";
     os << pname << "_count " << h.count() << "\n";
   }

@@ -104,10 +104,11 @@ struct MetricsSnapshot {
   /// {count,min,max,mean,sum,p50,p90,p95,p99}}}. Stable key order (maps).
   std::string ToJson() const;
 
-  /// Prometheus text exposition format (one block per instrument, names
-  /// sanitized to [a-zA-Z0-9_] and prefixed "kflush_"): counters become
-  /// `counter`, gauges `gauge`, histograms `summary` with p50/p90/p95/p99
-  /// quantile samples plus _sum and _count.
+  /// Prometheus text exposition format (one block per instrument with
+  /// `# HELP` and `# TYPE` lines, names sanitized to [a-zA-Z0-9_] and
+  /// prefixed "kflush_"): counters become `counter`, gauges `gauge`, and
+  /// histograms `histogram` with cumulative `_bucket{le="..."}` series
+  /// (ending in le="+Inf") plus `_sum` and `_count`.
   std::string ToPrometheus() const;
 
   /// Compact human-readable dump, one instrument per line.

@@ -204,7 +204,7 @@ bool ShardedMicroblogSystem::Submit(std::vector<Microblog> batch) {
 
 ShardedMicroblogSystem::SubmitOutcome ShardedMicroblogSystem::TrySubmit(
     std::vector<Microblog> batch, uint64_t* admitted_records,
-    uint64_t* skipped_records) {
+    uint64_t* skipped_records, std::shared_ptr<IngestTicket> ticket) {
   TraceSpan span("shard", "try_route_batch",
                  {TraceArg::Uint("records", batch.size()),
                   TraceArg::Uint("shards", systems_.size())});
@@ -231,10 +231,25 @@ ShardedMicroblogSystem::SubmitOutcome ShardedMicroblogSystem::TrySubmit(
     span.End({TraceArg::Uint("copies", 0)});
     return SubmitOutcome::kOverloaded;
   }
+  if (ticket != nullptr && !routed.owners.empty()) {
+    // Attach before any sub-batch is enqueued: a digestion thread may
+    // start committing the moment CommitReserved pushes, and the final
+    // commit must observe the full remaining count.
+    ticket->remaining.store(static_cast<uint32_t>(routed.owners.size()),
+                            std::memory_order_relaxed);
+    for (size_t owner : routed.owners) {
+      routed.per_shard[owner].ticket = ticket;
+    }
+  }
   const bool accepted = CommitReserved(&routed);
   EndSubmit();
   span.End({TraceArg::Uint("copies", accepted ? routed.copies : 0)});
   if (!accepted) return SubmitOutcome::kStopped;
+  if (ticket != nullptr && routed.owners.empty()) {
+    // Accepted with nothing to digest (every record term-less): the
+    // commit stage completes at admission.
+    ticket->Complete();
+  }
   if (admitted_records != nullptr) *admitted_records = routed.records;
   if (skipped_records != nullptr) *skipped_records = routed.skipped;
   return SubmitOutcome::kAccepted;

@@ -67,9 +67,14 @@ class ShardedMicroblogSystem {
   /// protocol-level NACK instead of stalling the event loop.
   /// `admitted_records`/`skipped_records` (optional) report how many
   /// records were admitted with terms / dropped as term-less on success.
+  /// `ticket` (optional) is attached to every owner sub-batch so the
+  /// digestion thread committing the last one can close the request's
+  /// commit-stage clock; an accepted batch with no owner sub-batches
+  /// (every record term-less) Completes the ticket here.
   SubmitOutcome TrySubmit(std::vector<Microblog> batch,
                           uint64_t* admitted_records = nullptr,
-                          uint64_t* skipped_records = nullptr);
+                          uint64_t* skipped_records = nullptr,
+                          std::shared_ptr<IngestTicket> ticket = nullptr);
 
   /// Deepest per-shard ingest queue, in batches (lock-free estimate);
   /// the admission signal the network front-end gates on.

@@ -5,6 +5,20 @@
 
 namespace kflush {
 
+void IngestTicket::Complete() {
+  const uint64_t now = MonotonicMicros();
+  const uint64_t micros = now > admit_micros ? now - admit_micros : 0;
+  if (commit_hist != nullptr) commit_hist->Record(micros);
+  KFLUSH_TRACE_FLOW_END("net", "request", request_id,
+                        TraceArg::Uint("commit_micros", micros));
+  if (slow_micros > 0 && micros >= slow_micros) {
+    KFLUSH_WARN("slow-request request_id=" << request_id
+                                           << " commit_micros=" << micros
+                                           << " threshold_micros="
+                                           << slow_micros);
+  }
+}
+
 MicroblogSystem::MicroblogSystem(SystemOptions options)
     : options_(std::move(options)),
       store_([this] {
@@ -61,7 +75,9 @@ void MicroblogSystem::Stop() {
 }
 
 bool MicroblogSystem::Submit(std::vector<Microblog> batch) {
-  return SubmitRouted(IngestBatch{std::move(batch), {}});
+  IngestBatch routed;
+  routed.blogs = std::move(batch);
+  return SubmitRouted(std::move(routed));
 }
 
 bool MicroblogSystem::SubmitRouted(IngestBatch batch) {
@@ -107,6 +123,13 @@ void MicroblogSystem::DigestionLoop() {
                    {TraceArg::Uint("records", batch->blogs.size()),
                     TraceArg::Uint("queue_depth", queue_.approx_size()),
                     TraceArg::Int("shard", options_.store.shard_id)});
+    if (batch->ticket != nullptr) {
+      // Continue the request flow on this digestion thread, inside the
+      // digest span so the arc binds to a slice.
+      KFLUSH_TRACE_FLOW_STEP("net", "request", batch->ticket->request_id,
+                             TraceArg::Int("shard",
+                                           options_.store.shard_id));
+    }
     Stopwatch watch;
     CpuStopwatch cpu_watch;
     const bool routed = !batch->routed_terms.empty();
@@ -127,6 +150,9 @@ void MicroblogSystem::DigestionLoop() {
     if (!commit.ok()) {
       KFLUSH_WARN("group commit failed: " << commit.ToString());
     }
+    // This sub-batch (including its WAL group commit) is durable; the
+    // last owner sub-batch closes the request's commit-stage clock.
+    if (batch->ticket != nullptr) batch->ticket->SubBatchCommitted();
     batches_digested_->Increment();
     records_digested_->Add(batch->blogs.size());
     batch_size_hist_->Record(batch->blogs.size());

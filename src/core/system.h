@@ -10,11 +10,14 @@
 #ifndef KFLUSH_CORE_SYSTEM_H_
 #define KFLUSH_CORE_SYSTEM_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "core/metrics_registry.h"
 #include "core/query_engine.h"
 #include "core/store.h"
 #include "util/thread_util.h"
@@ -31,13 +34,47 @@ struct SystemOptions {
   double ingest_stall_factor = 1.2;
 };
 
+/// Per-request observability ticket, threaded from the network front-end
+/// through routed admission to the durable commit of the final owner
+/// sub-batch. A ticket is shared by every sub-batch of one wire request;
+/// the digestion thread that durably commits the last of them records the
+/// commit-stage latency into `commit_hist`, closes the request's trace
+/// flow, and emits the slow-request log when over threshold.
+/// `registry_keepalive` pins the registry that owns `commit_hist`, so a
+/// ticket still queued when its server is torn down cannot record into
+/// freed memory.
+struct IngestTicket {
+  uint64_t request_id = 0;
+  /// MonotonicMicros() at the moment admission succeeded.
+  uint64_t admit_micros = 0;
+  /// Owner sub-batches not yet durably committed.
+  std::atomic<uint32_t> remaining{0};
+  ConcurrentHistogram* commit_hist = nullptr;
+  /// Commit-stage latencies at or above this emit one structured
+  /// slow-request log line (0 disables).
+  uint64_t slow_micros = 0;
+  std::shared_ptr<MetricsRegistry> registry_keepalive;
+
+  /// Records the commit-stage sample and closes the request flow. Called
+  /// once per request: by the last SubBatchCommitted(), or directly by
+  /// the router for an accepted request with no owner sub-batches.
+  void Complete();
+  /// Marks one owner sub-batch durably committed.
+  void SubBatchCommitted() {
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) Complete();
+  }
+};
+
 /// A queued unit of ingest work. `routed_terms`, when non-empty, carries
 /// each record's pre-routed term subset (parallel to `blogs`) and
 /// digestion uses InsertRouted instead of re-extracting — this is how a
 /// shard of ShardedMicroblogSystem indexes only the terms it owns.
+/// `ticket`, when set, correlates this sub-batch back to the wire request
+/// that produced it.
 struct IngestBatch {
   std::vector<Microblog> blogs;
   std::vector<std::vector<TermId>> routed_terms;
+  std::shared_ptr<IngestTicket> ticket;
 };
 
 /// Threaded system facade. Start() launches the digestion and flusher

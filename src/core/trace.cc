@@ -36,6 +36,7 @@ struct TraceSlot {
   std::atomic<uint64_t> ts{0};
   std::atomic<const char*> category{nullptr};
   std::atomic<const char*> name{nullptr};
+  std::atomic<uint64_t> flow{0};
   std::atomic<uint8_t> type{0};
   std::atomic<uint8_t> num_args{0};
   struct SlotArg {
@@ -109,7 +110,7 @@ TraceArg ArgFromBits(const char* key, TraceArg::Kind kind, uint64_t bits) {
 
 bool ValidEventType(uint8_t type) {
   return type >= static_cast<uint8_t>(TraceEventType::kSpanBegin) &&
-         type <= static_cast<uint8_t>(TraceEventType::kInstant);
+         type <= static_cast<uint8_t>(TraceEventType::kFlowEnd);
 }
 
 }  // namespace
@@ -184,6 +185,12 @@ internal::TraceThreadBuffer* Tracer::BufferForThisThread() {
 
 void Tracer::Emit(TraceEventType type, const char* category, const char* name,
                   std::initializer_list<TraceArg> args) {
+  EmitFlow(type, category, name, /*flow_id=*/0, args);
+}
+
+void Tracer::EmitFlow(TraceEventType type, const char* category,
+                      const char* name, uint64_t flow_id,
+                      std::initializer_list<TraceArg> args) {
   if (!enabled()) return;
   internal::TraceThreadBuffer* buffer = BufferForThisThread();
   const Timestamp now = NowMicros();
@@ -194,6 +201,7 @@ void Tracer::Emit(TraceEventType type, const char* category, const char* name,
   slot.ts.store(now, std::memory_order_relaxed);
   slot.category.store(category, std::memory_order_relaxed);
   slot.name.store(name, std::memory_order_relaxed);
+  slot.flow.store(flow_id, std::memory_order_relaxed);
   slot.type.store(static_cast<uint8_t>(type), std::memory_order_relaxed);
   uint8_t n = 0;
   for (const TraceArg& arg : args) {
@@ -251,6 +259,7 @@ std::vector<TraceEvent> Tracer::Snapshot() const {
         const uint8_t type = slot.type.load(std::memory_order_relaxed);
         event.category = slot.category.load(std::memory_order_relaxed);
         event.name = slot.name.load(std::memory_order_relaxed);
+        event.flow_id = slot.flow.load(std::memory_order_relaxed);
         event.num_args = std::min<uint8_t>(
             slot.num_args.load(std::memory_order_relaxed), kMaxTraceArgs);
         for (uint8_t i = 0; i < event.num_args; ++i) {
@@ -347,6 +356,15 @@ std::string TraceExporter::EventToJson(const TraceEvent& event) {
     case TraceEventType::kInstant:
       out += 'i';
       break;
+    case TraceEventType::kFlowStart:
+      out += 's';
+      break;
+    case TraceEventType::kFlowStep:
+      out += 't';
+      break;
+    case TraceEventType::kFlowEnd:
+      out += 'f';
+      break;
   }
   out += "\",\"ts\":";
   out += std::to_string(event.ts_micros);
@@ -354,6 +372,17 @@ std::string TraceExporter::EventToJson(const TraceEvent& event) {
   out += std::to_string(event.tid);
   if (event.type == TraceEventType::kInstant) {
     out += ",\"s\":\"t\"";  // thread-scoped instant
+  }
+  if (event.type == TraceEventType::kFlowStart ||
+      event.type == TraceEventType::kFlowStep ||
+      event.type == TraceEventType::kFlowEnd) {
+    out += ",\"id\":";
+    out += std::to_string(event.flow_id);
+    if (event.type == TraceEventType::kFlowEnd) {
+      // Bind the arrow head to the enclosing slice, the Perfetto-preferred
+      // termination for legacy flow events.
+      out += ",\"bp\":\"e\"";
+    }
   }
   if (event.num_args > 0) {
     out += ",\"args\":{";

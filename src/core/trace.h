@@ -92,7 +92,19 @@ struct TraceArg {
   }
 };
 
-enum class TraceEventType : uint8_t { kSpanBegin = 1, kSpanEnd, kInstant };
+enum class TraceEventType : uint8_t {
+  kSpanBegin = 1,
+  kSpanEnd,
+  kInstant,
+  // Flow events (Chrome phases "s"/"t"/"f"): points sharing a flow id are
+  // rendered as one connected arc across threads — how a single ingest
+  // request is followed from the network reactor through shard digestion
+  // to its durable commit. Emit them from inside an enclosing span on the
+  // same thread so viewers can bind the arrow to a slice.
+  kFlowStart,
+  kFlowStep,
+  kFlowEnd,
+};
 
 /// Maximum typed args per event (an eviction audit instant uses 8).
 constexpr size_t kMaxTraceArgs = 8;
@@ -104,6 +116,7 @@ struct TraceEvent {
   TraceEventType type = TraceEventType::kInstant;
   const char* category = nullptr;
   const char* name = nullptr;
+  uint64_t flow_id = 0;  // flow events only; correlates points across threads
   uint8_t num_args = 0;
   TraceArg args[kMaxTraceArgs];
 };
@@ -153,6 +166,11 @@ class Tracer {
   /// No-op while disabled. At most kMaxTraceArgs args are kept.
   void Emit(TraceEventType type, const char* category, const char* name,
             std::initializer_list<TraceArg> args);
+
+  /// Emits one flow event (kFlowStart/kFlowStep/kFlowEnd) carrying
+  /// `flow_id`; usually via the KFLUSH_TRACE_FLOW_* macros.
+  void EmitFlow(TraceEventType type, const char* category, const char* name,
+                uint64_t flow_id, std::initializer_list<TraceArg> args = {});
 
   /// Timestamp source override for deterministic tests (golden traces).
   /// Pass nullptr to restore MonotonicMicros(). Not thread-safe against
@@ -227,6 +245,29 @@ class TraceSpan {
                            (category), (name), {__VA_ARGS__});          \
     }                                                                   \
   } while (0)
+
+/// Flow-event helpers: begin a flow on the thread that accepted the
+/// request, step it on every thread that touches it, end it where the
+/// request completes. The enabled check guards arg evaluation, so the
+/// disabled cost stays one relaxed load and a branch.
+#define KFLUSH_TRACE_FLOW(event_type, category, name, flow_id, ...)     \
+  do {                                                                  \
+    ::kflush::Tracer* _kflush_tracer = ::kflush::Tracer::Global();      \
+    if (_kflush_tracer->enabled()) {                                    \
+      _kflush_tracer->EmitFlow((event_type), (category), (name),        \
+                               (flow_id), {__VA_ARGS__});               \
+    }                                                                   \
+  } while (0)
+
+#define KFLUSH_TRACE_FLOW_BEGIN(category, name, flow_id, ...)           \
+  KFLUSH_TRACE_FLOW(::kflush::TraceEventType::kFlowStart, (category),   \
+                    (name), (flow_id), ##__VA_ARGS__)
+#define KFLUSH_TRACE_FLOW_STEP(category, name, flow_id, ...)            \
+  KFLUSH_TRACE_FLOW(::kflush::TraceEventType::kFlowStep, (category),    \
+                    (name), (flow_id), ##__VA_ARGS__)
+#define KFLUSH_TRACE_FLOW_END(category, name, flow_id, ...)             \
+  KFLUSH_TRACE_FLOW(::kflush::TraceEventType::kFlowEnd, (category),     \
+                    (name), (flow_id), ##__VA_ARGS__)
 
 // ---------------------------------------------------------------------------
 // Eviction audit trail

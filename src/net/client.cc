@@ -154,6 +154,37 @@ Result<std::string> NetClient::Stats() {
   return std::move(reply->text);
 }
 
+Result<std::string> NetClient::StatsProm() {
+  std::string wire;
+  uint64_t id = NextRequestId();
+  EncodeEmpty(MsgType::kStatsProm, id, &wire);
+  Status s = SendRaw(wire);
+  if (!s.ok()) return s;
+  Result<Message> reply = RecvMessage();
+  if (!reply.ok()) return reply.status();
+  if (reply->type != MsgType::kStatsResult) {
+    return UnexpectedReply(MsgType::kStatsResult, *reply);
+  }
+  return std::move(reply->text);
+}
+
+Result<NetClient::HealthInfo> NetClient::Health() {
+  std::string wire;
+  uint64_t id = NextRequestId();
+  EncodeEmpty(MsgType::kHealth, id, &wire);
+  Status s = SendRaw(wire);
+  if (!s.ok()) return s;
+  Result<Message> reply = RecvMessage();
+  if (!reply.ok()) return reply.status();
+  if (reply->type != MsgType::kHealthResult) {
+    return UnexpectedReply(MsgType::kHealthResult, *reply);
+  }
+  HealthInfo info;
+  info.state = reply->health;
+  info.uptime_micros = reply->uptime_micros;
+  return info;
+}
+
 Status NetClient::Shutdown() {
   std::string wire;
   uint64_t id = NextRequestId();

@@ -62,6 +62,20 @@ class NetClient {
   /// Fetches the server's stats JSON.
   Result<std::string> Stats();
 
+  /// Fetches the server's Prometheus text exposition (every registry
+  /// family: shard-system metrics plus the server's own net.* series).
+  Result<std::string> StatsProm();
+
+  /// Health probe reply: lifecycle state + server uptime.
+  struct HealthInfo {
+    ServingState state = ServingState::kStarting;
+    uint64_t uptime_micros = 0;
+  };
+
+  /// Asks the server for its lifecycle state (kStarting / kServing /
+  /// kDraining).
+  Result<HealthInfo> Health();
+
   /// Requests server shutdown and waits for the ack.
   Status Shutdown();
 

@@ -69,6 +69,18 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kStatsResult: return "stats-result";
     case MsgType::kShutdown: return "shutdown";
     case MsgType::kShutdownAck: return "shutdown-ack";
+    case MsgType::kStatsProm: return "stats-prom";
+    case MsgType::kHealth: return "health";
+    case MsgType::kHealthResult: return "health-result";
+  }
+  return "unknown";
+}
+
+const char* ServingStateName(ServingState state) {
+  switch (state) {
+    case ServingState::kStarting: return "starting";
+    case ServingState::kServing: return "serving";
+    case ServingState::kDraining: return "draining";
   }
   return "unknown";
 }
@@ -154,6 +166,15 @@ void EncodeStatsResult(uint64_t request_id, const std::string& json,
   FramePayload(payload, wire);
 }
 
+void EncodeHealthResult(uint64_t request_id, ServingState state,
+                        uint64_t uptime_micros, std::string* wire) {
+  std::string payload;
+  PutHeader(MsgType::kHealthResult, request_id, &payload);
+  Put<uint8_t>(&payload, static_cast<uint8_t>(state));
+  Put<uint64_t>(&payload, uptime_micros);
+  FramePayload(payload, wire);
+}
+
 FrameStatus PeekFrame(const char* data, size_t len, size_t max_payload,
                       size_t* frame_len) {
   if (len < kFrameHeaderBytes) return FrameStatus::kNeedMore;
@@ -184,7 +205,7 @@ Status DecodeMessage(const char* data, size_t frame_len, Message* out) {
     return Malformed("truncated header");
   }
   if (raw_type < static_cast<uint8_t>(MsgType::kPing) ||
-      raw_type > static_cast<uint8_t>(MsgType::kShutdownAck)) {
+      raw_type > static_cast<uint8_t>(MsgType::kHealthResult)) {
     return Malformed("unknown message type");
   }
   out->type = static_cast<MsgType>(raw_type);
@@ -192,6 +213,8 @@ Status DecodeMessage(const char* data, size_t frame_len, Message* out) {
     case MsgType::kPing:
     case MsgType::kPong:
     case MsgType::kStats:
+    case MsgType::kStatsProm:
+    case MsgType::kHealth:
     case MsgType::kShutdown:
     case MsgType::kShutdownAck:
       break;
@@ -282,6 +305,18 @@ Status DecodeMessage(const char* data, size_t frame_len, Message* out) {
       out->text.assign(p, static_cast<size_t>(end - p));
       p = end;
       break;
+    case MsgType::kHealthResult: {
+      uint8_t raw_state = 0;
+      if (!Get(&p, end, &raw_state) || !Get(&p, end, &out->uptime_micros)) {
+        return Malformed("health result");
+      }
+      if (raw_state < static_cast<uint8_t>(ServingState::kStarting) ||
+          raw_state > static_cast<uint8_t>(ServingState::kDraining)) {
+        return Malformed("serving state");
+      }
+      out->health = static_cast<ServingState>(raw_state);
+      break;
+    }
   }
   if (p != end) return Malformed("trailing bytes");
   return Status::OK();

@@ -21,8 +21,11 @@
 //   kQuery        u8 QueryType | u32 k | u16 num_terms | u64 term × n
 //   kQueryResult  u8 memory_hit | u32 from_memory | u32 from_disk |
 //                 u32 count | record × count
-//   kStatsResult  raw UTF-8 JSON text
-//   kPing, kPong, kStats, kShutdown, kShutdownAck   (empty)
+//   kStatsResult  raw UTF-8 text (JSON for kStats requests, Prometheus
+//                 exposition for kStatsProm requests)
+//   kHealthResult u8 ServingState | u64 uptime_micros
+//   kPing, kPong, kStats, kStatsProm, kHealth, kShutdown, kShutdownAck
+//                 (empty)
 //
 // Admission is explicit: an ingest batch is either fully admitted on
 // every owner shard (kIngestAck) or fully rejected (kNack) — the server
@@ -56,9 +59,22 @@ enum class MsgType : uint8_t {
   kStatsResult = 9,
   kShutdown = 10,
   kShutdownAck = 11,
+  kStatsProm = 12,  // request Prometheus exposition; answered by kStatsResult
+  kHealth = 13,     // request serving state; answered by kHealthResult
+  kHealthResult = 14,
 };
 
 const char* MsgTypeName(MsgType type);
+
+/// Server lifecycle as reported by kHealthResult: drain-aware load
+/// balancers and CI readiness checks gate on kServing.
+enum class ServingState : uint8_t {
+  kStarting = 1,  // bound but the event loop is not accepting work yet
+  kServing = 2,   // accepting ingest and queries
+  kDraining = 3,  // shutdown requested; in-flight work finishing
+};
+
+const char* ServingStateName(ServingState state);
 
 /// Why an ingest or query request was refused. Every reason is an
 /// explicit protocol-level answer; "silently dropped" is not a state.
@@ -93,6 +109,9 @@ struct Message {
   uint32_t from_disk = 0;    // kQueryResult
 
   std::string text;  // kStatsResult
+
+  ServingState health = ServingState::kStarting;  // kHealthResult
+  uint64_t uptime_micros = 0;                     // kHealthResult
 };
 
 // --- encoders: append one complete framed message to *wire -------------
@@ -110,6 +129,8 @@ void EncodeQueryResult(uint64_t request_id, const QueryResult& result,
                        std::string* wire);
 void EncodeStatsResult(uint64_t request_id, const std::string& json,
                        std::string* wire);
+void EncodeHealthResult(uint64_t request_id, ServingState state,
+                        uint64_t uptime_micros, std::string* wire);
 
 // --- stream decoding ---------------------------------------------------
 

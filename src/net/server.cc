@@ -12,6 +12,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "core/trace.h"
+#include "util/clock.h"
 #include "util/logging.h"
 
 namespace kflush {
@@ -39,7 +41,34 @@ uint64_t PackTag(int fd, uint32_t gen) {
 }  // namespace
 
 NetServer::NetServer(ShardedMicroblogSystem* system, ServerOptions options)
-    : system_(system), options_(std::move(options)) {}
+    : system_(system), options_(std::move(options)) {
+  MetricsRegistry* r = registry_.get();
+  c_connections_accepted_ = r->counter("net.connections_accepted");
+  c_connections_closed_ = r->counter("net.connections_closed");
+  c_frames_received_ = r->counter("net.frames_received");
+  c_bytes_received_ = r->counter("net.bytes_received");
+  c_bytes_sent_ = r->counter("net.bytes_sent");
+  c_ingest_requests_ = r->counter("net.ingest_requests");
+  c_ingest_acks_ = r->counter("net.ingest_acks");
+  c_records_offered_ = r->counter("net.records_offered");
+  c_records_acked_ = r->counter("net.records_acked");
+  c_records_skipped_ = r->counter("net.records_skipped");
+  c_records_nacked_ = r->counter("net.records_nacked");
+  c_nacks_overloaded_ = r->counter("net.nacks.overloaded");
+  c_nacks_stopped_ = r->counter("net.nacks.stopped");
+  c_nacks_malformed_ = r->counter("net.nacks.malformed");
+  c_nacks_too_large_ = r->counter("net.nacks.too_large");
+  c_nacks_internal_ = r->counter("net.nacks.internal");
+  c_queries_ = r->counter("net.queries");
+  c_read_pauses_ = r->counter("net.read_pauses");
+  g_connections_live_ = r->gauge("net.connections_live");
+  g_pending_write_bytes_ = r->gauge("net.pending_write_bytes");
+  h_stage_decode_ = r->histogram("net.ingest_ack_micros.decode");
+  h_stage_admission_ = r->histogram("net.ingest_ack_micros.admission");
+  h_stage_commit_ = r->histogram("net.ingest_ack_micros.commit");
+  h_stage_respond_ = r->histogram("net.ingest_ack_micros.respond");
+  h_query_micros_ = r->histogram("net.query_micros");
+}
 
 NetServer::~NetServer() { Stop(); }
 
@@ -105,11 +134,17 @@ Status NetServer::Start() {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
   stop_requested_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
+  start_micros_ = MonotonicMicros();
+  health_.store(static_cast<uint8_t>(ServingState::kServing),
+                std::memory_order_release);
   loop_thread_ = std::thread([this] { Loop(); });
   return Status::OK();
 }
 
 void NetServer::RequestStop() {
+  // Atomic stores only: this must stay async-signal-safe.
+  health_.store(static_cast<uint8_t>(ServingState::kDraining),
+                std::memory_order_release);
   stop_requested_.store(true, std::memory_order_release);
   if (wake_fd_ >= 0) {
     const uint64_t one = 1;
@@ -220,7 +255,8 @@ void NetServer::AcceptConnections() {
       continue;
     }
     connections_[fd] = std::move(conn);
-    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    c_connections_accepted_->Increment();
+    g_connections_live_->Add(1);
   }
 }
 
@@ -230,8 +266,7 @@ void NetServer::HandleReadable(Connection* conn) {
     const ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
     if (n > 0) {
       conn->in.append(chunk, static_cast<size_t>(n));
-      counters_.bytes_received.fetch_add(static_cast<uint64_t>(n),
-                                         std::memory_order_relaxed);
+      c_bytes_received_->Add(static_cast<uint64_t>(n));
       // Oversized pipelining guard: cap the unparsed buffer at one max
       // frame plus a read chunk; ProcessInput below will drain it.
       if (conn->in.size() >
@@ -272,7 +307,7 @@ void NetServer::ProcessInput(Connection* conn) {
                   options_.max_frame_bytes, &frame_len);
     if (fs == FrameStatus::kNeedMore) break;
     if (fs == FrameStatus::kCorrupt) {
-      counters_.nacks_malformed.fetch_add(1, std::memory_order_relaxed);
+      c_nacks_malformed_->Increment();
       EncodeNack(0, NackReason::kMalformed, 0, &conn->out);
       conn->close_after_flush = true;
       conn->in.clear();
@@ -280,33 +315,60 @@ void NetServer::ProcessInput(Connection* conn) {
       break;
     }
     Message message;
+    const uint64_t decode_start = MonotonicMicros();
     Status s = DecodeMessage(conn->in.data() + consumed, frame_len, &message);
+    const uint64_t decode_micros = MonotonicMicros() - decode_start;
     consumed += frame_len;
-    counters_.frames_received.fetch_add(1, std::memory_order_relaxed);
+    c_frames_received_->Increment();
     if (!s.ok()) {
       // The frame was checksum-intact but semantically malformed (or the
       // checksum failed): explicit NACK, then drop the stream — framing
       // can no longer be trusted.
-      counters_.nacks_malformed.fetch_add(1, std::memory_order_relaxed);
+      c_nacks_malformed_->Increment();
       EncodeNack(message.request_id, NackReason::kMalformed, 0, &conn->out);
       conn->close_after_flush = true;
       break;
     }
-    HandleMessage(conn, std::move(message));
-    if (connections_.count(fd) == 0) return;  // handler closed it
+    HandleMessage(conn, std::move(message), decode_micros);
+    if (connections_.count(fd) == 0) {  // handler closed it
+      RecordAckStamps();
+      return;
+    }
     if (conn->close_after_flush || shutdown_via_protocol_) break;
   }
   if (consumed > 0) conn->in.erase(0, consumed);
   FlushWrites(conn);
+  // After the write attempt so the respond stage covers the actual
+  // write()s, not just the encode.
+  RecordAckStamps();
 }
 
-void NetServer::HandleMessage(Connection* conn, Message message) {
+void NetServer::RecordAckStamps() {
+  if (pending_ack_stamps_.empty()) return;
+  const uint64_t now = MonotonicMicros();
+  for (const auto& [request_id, encoded_at] : pending_ack_stamps_) {
+    h_stage_respond_->Record(now > encoded_at ? now - encoded_at : 0);
+  }
+  Tracer* tracer = Tracer::Global();
+  if (tracer->enabled()) {
+    TraceSpan span("net", "ack_write",
+                   {TraceArg::Uint("acks", pending_ack_stamps_.size())});
+    for (const auto& [request_id, encoded_at] : pending_ack_stamps_) {
+      tracer->EmitFlow(TraceEventType::kFlowStep, "net", "request",
+                       request_id, {});
+    }
+  }
+  pending_ack_stamps_.clear();
+}
+
+void NetServer::HandleMessage(Connection* conn, Message message,
+                              uint64_t decode_micros) {
   switch (message.type) {
     case MsgType::kPing:
       EncodeEmpty(MsgType::kPong, message.request_id, &conn->out);
       break;
     case MsgType::kIngest:
-      HandleIngest(conn, std::move(message));
+      HandleIngest(conn, std::move(message), decode_micros);
       break;
     case MsgType::kQuery:
       HandleQuery(conn, message);
@@ -314,7 +376,18 @@ void NetServer::HandleMessage(Connection* conn, Message message) {
     case MsgType::kStats:
       EncodeStatsResult(message.request_id, StatsJson(), &conn->out);
       break;
+    case MsgType::kStatsProm:
+      EncodeStatsResult(message.request_id, PrometheusText(), &conn->out);
+      break;
+    case MsgType::kHealth:
+      EncodeHealthResult(message.request_id, health(),
+                         MonotonicMicros() - start_micros_, &conn->out);
+      break;
     case MsgType::kShutdown:
+      // Flip health before the ack goes out so a client probing kHealth
+      // right after its kShutdownAck observes kDraining.
+      health_.store(static_cast<uint8_t>(ServingState::kDraining),
+                    std::memory_order_release);
       EncodeEmpty(MsgType::kShutdownAck, message.request_id, &conn->out);
       conn->close_after_flush = true;
       shutdown_via_protocol_ = true;
@@ -322,71 +395,118 @@ void NetServer::HandleMessage(Connection* conn, Message message) {
     default:
       // Server-to-client message types arriving at the server are a
       // client bug, not a stream corruption: NACK and keep the stream.
-      counters_.nacks_malformed.fetch_add(1, std::memory_order_relaxed);
+      c_nacks_malformed_->Increment();
       EncodeNack(message.request_id, NackReason::kMalformed, 0, &conn->out);
       break;
   }
 }
 
-void NetServer::HandleIngest(Connection* conn, Message message) {
-  counters_.ingest_requests.fetch_add(1, std::memory_order_relaxed);
+void NetServer::HandleIngest(Connection* conn, Message message,
+                             uint64_t decode_micros) {
+  const uint64_t admit_start = MonotonicMicros();
+  TraceSpan span("net", "ingest",
+                 {TraceArg::Uint("request_id", message.request_id),
+                  TraceArg::Uint("records", message.blogs.size())});
+  c_ingest_requests_->Increment();
   const uint64_t offered = message.blogs.size();
-  counters_.records_offered.fetch_add(offered, std::memory_order_relaxed);
+  c_records_offered_->Add(offered);
   if (offered > options_.max_batch_records) {
-    counters_.nacks_too_large.fetch_add(1, std::memory_order_relaxed);
-    counters_.records_nacked.fetch_add(offered, std::memory_order_relaxed);
+    c_nacks_too_large_->Increment();
+    c_records_nacked_->Add(offered);
     EncodeNack(message.request_id, NackReason::kTooLarge, 0, &conn->out);
     return;
   }
   const size_t depth = system_->max_queue_depth();
   if (options_.admission_queue_soft_limit > 0 &&
       depth >= options_.admission_queue_soft_limit) {
-    counters_.nacks_overloaded.fetch_add(1, std::memory_order_relaxed);
-    counters_.records_nacked.fetch_add(offered, std::memory_order_relaxed);
+    c_nacks_overloaded_->Increment();
+    c_records_nacked_->Add(offered);
     EncodeNack(message.request_id, NackReason::kOverloaded,
                static_cast<uint32_t>(depth), &conn->out);
     return;
   }
+  // The ticket closes the request's commit-stage clock from whichever
+  // digestion thread durably commits the last owner sub-batch; it keeps
+  // the registry alive on its own, so a completion racing server
+  // teardown records into a still-valid histogram.
+  auto ticket = std::make_shared<IngestTicket>();
+  ticket->request_id = message.request_id;
+  ticket->commit_hist = h_stage_commit_;
+  ticket->slow_micros = options_.slow_request_micros;
+  ticket->registry_keepalive = registry_;
+  // Flow id = request_id: the arc the trace viewer draws from this
+  // reactor-side span through each shard's digest_batch to the ack write.
+  KFLUSH_TRACE_FLOW_BEGIN("net", "request", message.request_id,
+                          TraceArg::Uint("records", offered));
+  // Stamped immediately before TrySubmit: the commit stage measures
+  // submit -> durable commit, and must be set before any sub-batch can
+  // be enqueued (a digestion thread may Complete() the ticket before
+  // TrySubmit even returns).
+  ticket->admit_micros = MonotonicMicros();
   uint64_t admitted = 0;
   uint64_t skipped = 0;
   const ShardedMicroblogSystem::SubmitOutcome outcome =
-      system_->TrySubmit(std::move(message.blogs), &admitted, &skipped);
+      system_->TrySubmit(std::move(message.blogs), &admitted, &skipped,
+                         ticket);
   switch (outcome) {
-    case ShardedMicroblogSystem::SubmitOutcome::kAccepted:
-      counters_.records_acked.fetch_add(admitted, std::memory_order_relaxed);
-      counters_.records_skipped.fetch_add(skipped, std::memory_order_relaxed);
+    case ShardedMicroblogSystem::SubmitOutcome::kAccepted: {
+      c_records_acked_->Add(admitted);
+      c_records_skipped_->Add(skipped);
       EncodeIngestAck(message.request_id, static_cast<uint32_t>(admitted),
                       static_cast<uint32_t>(skipped), &conn->out);
+      // Stage samples are recorded only for acked requests, so each stage
+      // histogram's count stays exactly net.ingest_acks. The respond
+      // stamp is drained after the write attempt (RecordAckStamps).
+      const uint64_t acked_at = MonotonicMicros();
+      h_stage_decode_->Record(decode_micros);
+      h_stage_admission_->Record(
+          acked_at > admit_start ? acked_at - admit_start : 0);
+      c_ingest_acks_->Increment();
+      pending_ack_stamps_.emplace_back(message.request_id, acked_at);
       break;
+    }
     case ShardedMicroblogSystem::SubmitOutcome::kOverloaded:
-      counters_.nacks_overloaded.fetch_add(1, std::memory_order_relaxed);
-      counters_.records_nacked.fetch_add(offered, std::memory_order_relaxed);
+      c_nacks_overloaded_->Increment();
+      c_records_nacked_->Add(offered);
       EncodeNack(message.request_id, NackReason::kOverloaded,
                  static_cast<uint32_t>(system_->max_queue_depth()),
                  &conn->out);
       break;
     case ShardedMicroblogSystem::SubmitOutcome::kStopped:
-      counters_.nacks_stopped.fetch_add(1, std::memory_order_relaxed);
-      counters_.records_nacked.fetch_add(offered, std::memory_order_relaxed);
+      c_nacks_stopped_->Increment();
+      c_records_nacked_->Add(offered);
       EncodeNack(message.request_id, NackReason::kStopped, 0, &conn->out);
       break;
   }
 }
 
 void NetServer::HandleQuery(Connection* conn, const Message& message) {
-  counters_.queries.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t start = MonotonicMicros();
+  TraceSpan span("net", "query",
+                 {TraceArg::Uint("request_id", message.request_id)});
+  c_queries_->Increment();
   if (message.query.terms.empty()) {
-    counters_.nacks_malformed.fetch_add(1, std::memory_order_relaxed);
+    c_nacks_malformed_->Increment();
     EncodeNack(message.request_id, NackReason::kMalformed, 0, &conn->out);
-    return;
+  } else {
+    Result<QueryResult> result = system_->Query(message.query);
+    if (!result.ok()) {
+      c_nacks_internal_->Increment();
+      EncodeNack(message.request_id, NackReason::kInternal, 0, &conn->out);
+    } else {
+      EncodeQueryResult(message.request_id, *result, &conn->out);
+    }
   }
-  Result<QueryResult> result = system_->Query(message.query);
-  if (!result.ok()) {
-    counters_.nacks_internal.fetch_add(1, std::memory_order_relaxed);
-    EncodeNack(message.request_id, NackReason::kInternal, 0, &conn->out);
-    return;
+  // Single exit: every query outcome (including NACKs) lands one sample,
+  // so net.query_micros count == net.queries.
+  const uint64_t micros = MonotonicMicros() - start;
+  h_query_micros_->Record(micros);
+  if (options_.slow_request_micros > 0 &&
+      micros >= options_.slow_request_micros) {
+    KFLUSH_WARN("slow-request request_id="
+                << message.request_id << " query_micros=" << micros
+                << " threshold_micros=" << options_.slow_request_micros);
   }
-  EncodeQueryResult(message.request_id, *result, &conn->out);
 }
 
 void NetServer::FlushWrites(Connection* conn) {
@@ -396,8 +516,7 @@ void NetServer::FlushWrites(Connection* conn) {
                 conn->out.size() - conn->out_offset);
     if (n > 0) {
       conn->out_offset += static_cast<size_t>(n);
-      counters_.bytes_sent.fetch_add(static_cast<uint64_t>(n),
-                                     std::memory_order_relaxed);
+      c_bytes_sent_->Add(static_cast<uint64_t>(n));
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -420,13 +539,20 @@ void NetServer::HandleWritable(Connection* conn) { FlushWrites(conn); }
 
 void NetServer::UpdateInterest(Connection* conn) {
   const size_t pending = conn->out.size() - conn->out_offset;
+  // Delta-fold this connection's pending bytes into the gauge: the gauge
+  // converges to the cross-connection total without a rescan.
+  if (pending != conn->pending_reported) {
+    g_pending_write_bytes_->Add(static_cast<int64_t>(pending) -
+                                static_cast<int64_t>(conn->pending_reported));
+    conn->pending_reported = pending;
+  }
   const bool want_write = pending > 0;
   // Connection-level backpressure: past the limit, stop reading until
   // the peer drains half of it.
   bool read_paused = conn->read_paused;
   if (!read_paused && pending > options_.conn_write_buffer_limit) {
     read_paused = true;
-    counters_.read_pauses.fetch_add(1, std::memory_order_relaxed);
+    c_read_pauses_->Increment();
   } else if (read_paused && pending <= options_.conn_write_buffer_limit / 2) {
     read_paused = false;
   }
@@ -444,41 +570,61 @@ void NetServer::UpdateInterest(Connection* conn) {
 void NetServer::CloseConnection(int fd) {
   auto it = connections_.find(fd);
   if (it == connections_.end()) return;
+  if (it->second->pending_reported > 0) {
+    g_pending_write_bytes_->Add(
+        -static_cast<int64_t>(it->second->pending_reported));
+  }
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
   connections_.erase(it);
-  counters_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+  c_connections_closed_->Increment();
+  g_connections_live_->Add(-1);
 }
 
 NetServer::Stats NetServer::stats() const {
+  // Derived view over the registry — the counters ARE the stats; this
+  // struct just freezes one read of each.
   Stats s;
-  s.connections_accepted =
-      counters_.connections_accepted.load(std::memory_order_relaxed);
-  s.connections_closed =
-      counters_.connections_closed.load(std::memory_order_relaxed);
-  s.frames_received =
-      counters_.frames_received.load(std::memory_order_relaxed);
-  s.bytes_received = counters_.bytes_received.load(std::memory_order_relaxed);
-  s.bytes_sent = counters_.bytes_sent.load(std::memory_order_relaxed);
-  s.ingest_requests =
-      counters_.ingest_requests.load(std::memory_order_relaxed);
-  s.records_offered =
-      counters_.records_offered.load(std::memory_order_relaxed);
-  s.records_acked = counters_.records_acked.load(std::memory_order_relaxed);
-  s.records_skipped =
-      counters_.records_skipped.load(std::memory_order_relaxed);
-  s.records_nacked = counters_.records_nacked.load(std::memory_order_relaxed);
-  s.nacks_overloaded =
-      counters_.nacks_overloaded.load(std::memory_order_relaxed);
-  s.nacks_stopped = counters_.nacks_stopped.load(std::memory_order_relaxed);
-  s.nacks_malformed =
-      counters_.nacks_malformed.load(std::memory_order_relaxed);
-  s.nacks_too_large =
-      counters_.nacks_too_large.load(std::memory_order_relaxed);
-  s.nacks_internal = counters_.nacks_internal.load(std::memory_order_relaxed);
-  s.queries = counters_.queries.load(std::memory_order_relaxed);
-  s.read_pauses = counters_.read_pauses.load(std::memory_order_relaxed);
+  s.connections_accepted = c_connections_accepted_->value();
+  s.connections_closed = c_connections_closed_->value();
+  s.frames_received = c_frames_received_->value();
+  s.bytes_received = c_bytes_received_->value();
+  s.bytes_sent = c_bytes_sent_->value();
+  s.ingest_requests = c_ingest_requests_->value();
+  s.records_offered = c_records_offered_->value();
+  s.records_acked = c_records_acked_->value();
+  s.records_skipped = c_records_skipped_->value();
+  s.records_nacked = c_records_nacked_->value();
+  s.nacks_overloaded = c_nacks_overloaded_->value();
+  s.nacks_stopped = c_nacks_stopped_->value();
+  s.nacks_malformed = c_nacks_malformed_->value();
+  s.nacks_too_large = c_nacks_too_large_->value();
+  s.nacks_internal = c_nacks_internal_->value();
+  s.queries = c_queries_->value();
+  s.read_pauses = c_read_pauses_->value();
   return s;
+}
+
+std::string NetServer::PrometheusText() const {
+  // Shard-system registries aggregated (per-shard series kept only when
+  // there is more than one shard — duplicates otherwise), then the
+  // server's own net.* families merged on top. Name collisions cannot
+  // happen: shard registries never register net.* instruments.
+  std::vector<MetricsSnapshot> parts;
+  parts.reserve(system_->num_shards());
+  for (size_t i = 0; i < system_->num_shards(); ++i) {
+    parts.push_back(system_->shard_store(i)->metrics_registry()->Snapshot());
+  }
+  MetricsSnapshot merged =
+      AggregateSnapshots(parts, /*include_per_shard=*/system_->num_shards() >
+                                    1);
+  MetricsSnapshot net = registry_->Snapshot();
+  for (auto& [name, value] : net.counters) merged.counters[name] = value;
+  for (auto& [name, value] : net.gauges) merged.gauges[name] = value;
+  for (auto& [name, hist] : net.histograms) {
+    merged.histograms[name] = std::move(hist);
+  }
+  return merged.ToPrometheus();
 }
 
 std::string NetServer::StatsJson() const {

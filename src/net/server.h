@@ -28,7 +28,10 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
+#include "core/metrics_registry.h"
 #include "core/sharded_system.h"
 #include "net/protocol.h"
 #include "util/status.h"
@@ -55,6 +58,11 @@ struct ServerOptions {
   /// Stop reading a connection while its pending response bytes exceed
   /// this; resume once drained below half of it.
   size_t conn_write_buffer_limit = 4u << 20;
+  /// Emit one structured slow-request log line (keyed by request_id) when
+  /// an accepted ingest's commit stage — admission to durable commit of
+  /// the last owner sub-batch — or a query reaches this many
+  /// microseconds. 0 disables.
+  uint64_t slow_request_micros = 0;
 };
 
 class NetServer {
@@ -116,6 +124,26 @@ class NetServer {
   /// queue depths, server tallies).
   std::string StatsJson() const;
 
+  /// The Prometheus exposition served for kStatsProm requests: the
+  /// aggregated shard snapshots (plus per-shard series when sharded)
+  /// merged with the server's own net.* registry.
+  std::string PrometheusText() const;
+
+  /// Lifecycle as served for kHealth requests: kStarting until Start()
+  /// succeeds, kServing while the loop accepts work, kDraining once a
+  /// stop was requested (signal, Stop(), or protocol shutdown).
+  ServingState health() const {
+    return static_cast<ServingState>(
+        health_.load(std::memory_order_acquire));
+  }
+
+  /// The registry backing every net.* series (counters, gauges, and the
+  /// per-stage ingest latency histograms). Lives as long as the last
+  /// in-flight IngestTicket, not just the server (shared_ptr).
+  const std::shared_ptr<MetricsRegistry>& metrics_registry() const {
+    return registry_;
+  }
+
  private:
   struct Connection {
     int fd = -1;
@@ -126,6 +154,9 @@ class NetServer {
     std::string in;      // unparsed request bytes
     std::string out;     // unsent response bytes
     size_t out_offset = 0;
+    /// Pending response bytes last folded into net.pending_write_bytes;
+    /// the gauge moves by deltas so it converges across connections.
+    size_t pending_reported = 0;
     bool want_write = false;    // EPOLLOUT armed
     bool read_paused = false;   // EPOLLIN dropped (backpressure)
     bool close_after_flush = false;
@@ -137,9 +168,15 @@ class NetServer {
   void HandleWritable(Connection* conn);
   /// Parses and serves every complete frame in conn->in.
   void ProcessInput(Connection* conn);
-  void HandleMessage(Connection* conn, Message message);
-  void HandleIngest(Connection* conn, Message message);
+  void HandleMessage(Connection* conn, Message message,
+                     uint64_t decode_micros);
+  void HandleIngest(Connection* conn, Message message,
+                    uint64_t decode_micros);
   void HandleQuery(Connection* conn, const Message& message);
+  /// Drains pending_ack_stamps_ into the respond-stage histogram after a
+  /// write attempt. Must run before ProcessInput returns on every path —
+  /// stage-histogram counts reconcile exactly against acked requests.
+  void RecordAckStamps();
   /// write()s as much of conn->out as the socket takes; arms EPOLLOUT on
   /// a partial write and engages read-pause past the buffer limit.
   void FlushWrites(Connection* conn);
@@ -165,27 +202,55 @@ class NetServer {
   mutable std::mutex stop_mu_;
   std::condition_variable stop_cv_;
 
-  // Stats counters: written by the loop thread, read from any thread.
-  struct AtomicStats {
-    std::atomic<uint64_t> connections_accepted{0};
-    std::atomic<uint64_t> connections_closed{0};
-    std::atomic<uint64_t> frames_received{0};
-    std::atomic<uint64_t> bytes_received{0};
-    std::atomic<uint64_t> bytes_sent{0};
-    std::atomic<uint64_t> ingest_requests{0};
-    std::atomic<uint64_t> records_offered{0};
-    std::atomic<uint64_t> records_acked{0};
-    std::atomic<uint64_t> records_skipped{0};
-    std::atomic<uint64_t> records_nacked{0};
-    std::atomic<uint64_t> nacks_overloaded{0};
-    std::atomic<uint64_t> nacks_stopped{0};
-    std::atomic<uint64_t> nacks_malformed{0};
-    std::atomic<uint64_t> nacks_too_large{0};
-    std::atomic<uint64_t> nacks_internal{0};
-    std::atomic<uint64_t> queries{0};
-    std::atomic<uint64_t> read_pauses{0};
-  };
-  AtomicStats counters_;
+  // The single source of truth for every server tally: the registry's
+  // net.* families (Stats/StatsJson are derived views). Owned via
+  // shared_ptr because in-flight IngestTickets keep the commit-stage
+  // histogram alive past server teardown.
+  std::shared_ptr<MetricsRegistry> registry_ =
+      std::make_shared<MetricsRegistry>();
+
+  // Instruments resolved once in the constructor (pointers are stable for
+  // the registry's lifetime). Written by the loop thread (commit-stage
+  // histogram: digestion threads), read from any thread.
+  Counter* c_connections_accepted_;
+  Counter* c_connections_closed_;
+  Counter* c_frames_received_;
+  Counter* c_bytes_received_;
+  Counter* c_bytes_sent_;
+  Counter* c_ingest_requests_;
+  Counter* c_ingest_acks_;  // acked ingest requests (stage-count anchor)
+  Counter* c_records_offered_;
+  Counter* c_records_acked_;
+  Counter* c_records_skipped_;
+  Counter* c_records_nacked_;
+  Counter* c_nacks_overloaded_;
+  Counter* c_nacks_stopped_;
+  Counter* c_nacks_malformed_;
+  Counter* c_nacks_too_large_;
+  Counter* c_nacks_internal_;
+  Counter* c_queries_;
+  Counter* c_read_pauses_;
+  Gauge* g_connections_live_;
+  Gauge* g_pending_write_bytes_;
+  // Ack latency decomposition, recorded once per *acked* ingest request:
+  // decode (frame parse), admission (handler entry -> TrySubmit outcome),
+  // commit (submit -> durable commit of the last owner sub-batch, i.e.
+  // queue wait + digest + WAL fsync), respond (ack encoded -> write
+  // attempt). Each histogram's count equals net.ingest_acks exactly.
+  ConcurrentHistogram* h_stage_decode_;
+  ConcurrentHistogram* h_stage_admission_;
+  ConcurrentHistogram* h_stage_commit_;
+  ConcurrentHistogram* h_stage_respond_;
+  ConcurrentHistogram* h_query_micros_;
+
+  /// (request_id, ack-encode timestamp) for acks encoded during the
+  /// current ProcessInput pass; drained by RecordAckStamps. Loop-thread
+  /// only.
+  std::vector<std::pair<uint64_t, uint64_t>> pending_ack_stamps_;
+
+  std::atomic<uint8_t> health_{
+      static_cast<uint8_t>(ServingState::kStarting)};
+  uint64_t start_micros_ = 0;  // MonotonicMicros() at successful Start()
 };
 
 }  // namespace net

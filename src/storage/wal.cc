@@ -6,6 +6,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "core/trace.h"
 #include "storage/serde.h"
 #include "util/clock.h"
 
@@ -113,6 +114,10 @@ Status WriteAheadLog::Commit() {
 
 Status WriteAheadLog::CommitLocked() {
   if (pending_bytes_ == 0) return Status::OK();
+  // One span per group commit — the fsync wait an ingest request's
+  // commit stage is usually made of (disabled cost: one branch).
+  TraceSpan span("wal", "commit",
+                 {TraceArg::Uint("pending_bytes", pending_bytes_)});
   CrashPoint("wal.commit");
   if (std::fflush(file_) != 0) {
     return Status::IOError("wal flush " + path_ + ": " +

@@ -35,6 +35,15 @@ class Histogram {
   /// "count=... mean=... p50=... p99=... max=..."
   std::string ToString() const;
 
+  // Bucket introspection, for cumulative exports (Prometheus `_bucket`
+  // series). Bucket i covers the value range
+  // [BucketLowerBound(i), BucketLowerBound(i+1)); the last bucket is
+  // unbounded above.
+  static int num_buckets() { return kNumBuckets; }
+  static uint64_t BucketLowerBound(int bucket) { return LowerBound(bucket); }
+  /// Samples recorded into bucket `bucket` (0 <= bucket < num_buckets()).
+  uint64_t bucket_count(int bucket) const { return buckets_[bucket]; }
+
  private:
   static constexpr int kNumBuckets = 128;
   // Bucket i covers [LowerBound(i), LowerBound(i+1)).

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -137,26 +138,43 @@ TEST(MetricsRegistryTest, ToPrometheusExposition) {
   for (int i = 1; i <= 100; ++i) h->Record(static_cast<uint64_t>(i));
 
   const std::string text = registry.Snapshot().ToPrometheus();
-  // Dotted registry names sanitize to [a-zA-Z0-9_] with a kflush_ prefix.
+  // Dotted registry names sanitize to [a-zA-Z0-9_] with a kflush_ prefix,
+  // and every family gets # HELP and # TYPE lines.
+  EXPECT_NE(text.find("# HELP kflush_flush_cycles "), std::string::npos);
   EXPECT_NE(text.find("# TYPE kflush_flush_cycles counter\n"
                       "kflush_flush_cycles 2\n"),
             std::string::npos);
   EXPECT_NE(text.find("# TYPE kflush_memory_budget_bytes gauge\n"
                       "kflush_memory_budget_bytes 1024\n"),
             std::string::npos);
-  // Histograms export as summaries: quantiles plus _sum/_count.
+  // Histograms export as real Prometheus histograms: cumulative
+  // _bucket{le=...} series ending in the mandatory +Inf, plus
+  // _sum/_count.
   const std::string hist = "kflush_query_latency_micros_and_hit";
-  EXPECT_NE(text.find("# TYPE " + hist + " summary\n"), std::string::npos);
-  for (const char* q : {"0.50", "0.90", "0.95", "0.99"}) {
-    EXPECT_NE(text.find(hist + "{quantile=\"" + q + "\"} "),
-              std::string::npos)
-        << q;
-  }
+  EXPECT_NE(text.find("# TYPE " + hist + " histogram\n"), std::string::npos);
+  EXPECT_NE(text.find(hist + "_bucket{le=\""), std::string::npos);
+  EXPECT_NE(text.find(hist + "_bucket{le=\"+Inf\"} 100\n"),
+            std::string::npos);
   EXPECT_NE(text.find(hist + "_sum 5050\n"), std::string::npos);
   EXPECT_NE(text.find(hist + "_count 100\n"), std::string::npos);
-  // No raw dotted name may leak into the exposition.
-  EXPECT_EQ(text.find("flush.cycles"), std::string::npos);
-  EXPECT_EQ(text.find("memory.budget_bytes"), std::string::npos);
+  // Bucket counts are cumulative: the series of values in le order never
+  // decreases and ends at _count.
+  uint64_t prev = 0;
+  size_t pos = 0;
+  const std::string needle = hist + "_bucket{le=\"";
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    const size_t sp = text.find("} ", pos);
+    ASSERT_NE(sp, std::string::npos);
+    const uint64_t cum = std::strtoull(text.c_str() + sp + 2, nullptr, 10);
+    EXPECT_GE(cum, prev);
+    prev = cum;
+    pos = sp;
+  }
+  EXPECT_EQ(prev, 100u);
+  // No raw dotted name may leak into the exposition outside # HELP lines
+  // (HELP carries the dotted origin on purpose).
+  EXPECT_EQ(text.find("kflush_flush.cycles"), std::string::npos);
+  EXPECT_EQ(text.find("\nflush.cycles"), std::string::npos);
 }
 
 TEST(MetricsRegistryTest, ToStringListsInstruments) {

@@ -211,6 +211,75 @@ TEST_F(TraceTest, EventToJsonShapesAndEscaping) {
             std::string::npos);
 }
 
+TEST_F(TraceTest, EventToJsonFlowPhases) {
+  // Flow events export as Chrome phases s/t/f sharing an "id"; the end
+  // point carries bp:"e" so Perfetto binds it to the enclosing slice.
+  TraceEvent e;
+  e.ts_micros = 50;
+  e.tid = 3;
+  e.category = "net";
+  e.name = "request";
+  e.flow_id = 42;
+
+  e.type = TraceEventType::kFlowStart;
+  std::string json = TraceExporter::EventToJson(e);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find(",\"id\":42"), std::string::npos);
+  EXPECT_EQ(json.find("\"bp\""), std::string::npos);
+
+  e.type = TraceEventType::kFlowStep;
+  json = TraceExporter::EventToJson(e);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find(",\"id\":42"), std::string::npos);
+  EXPECT_EQ(json.find("\"bp\""), std::string::npos);
+
+  e.type = TraceEventType::kFlowEnd;
+  json = TraceExporter::EventToJson(e);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find(",\"id\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+}
+
+TEST_F(TraceTest, FlowArcLinksAcrossThreads) {
+  // The request-correlation arc the net path emits: flow begin on the
+  // reactor thread, step + end on a worker — all sharing the request id.
+  constexpr uint64_t kRequestId = 7'777;
+  Tracer* tracer = Tracer::Global();
+  tracer->Start();
+  {
+    TraceSpan ingest("net", "ingest");
+    KFLUSH_TRACE_FLOW_BEGIN("net", "request", kRequestId,
+                            TraceArg::Uint("records", 4));
+  }
+  std::thread worker([&] {
+    TraceSpan digest("shard", "digest_batch");
+    KFLUSH_TRACE_FLOW_STEP("net", "request", kRequestId);
+    KFLUSH_TRACE_FLOW_END("net", "request", kRequestId);
+  });
+  worker.join();
+  tracer->Stop();
+
+  std::vector<TraceEvent> flows;
+  for (const TraceEvent& e : tracer->Snapshot()) {
+    if (e.type == TraceEventType::kFlowStart ||
+        e.type == TraceEventType::kFlowStep ||
+        e.type == TraceEventType::kFlowEnd) {
+      flows.push_back(e);
+    }
+  }
+  ASSERT_EQ(flows.size(), 3u);
+  EXPECT_EQ(flows[0].type, TraceEventType::kFlowStart);
+  EXPECT_EQ(flows[1].type, TraceEventType::kFlowStep);
+  EXPECT_EQ(flows[2].type, TraceEventType::kFlowEnd);
+  for (const TraceEvent& e : flows) {
+    EXPECT_EQ(e.flow_id, kRequestId);
+    EXPECT_STREQ(e.name, "request");
+  }
+  // The arc genuinely crosses threads.
+  EXPECT_NE(flows[0].tid, flows[1].tid);
+  EXPECT_EQ(flows[1].tid, flows[2].tid);
+}
+
 TEST_F(TraceTest, WriteFileRoundTrip) {
   Tracer* tracer = Tracer::Global();
   tracer->Start();

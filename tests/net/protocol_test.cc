@@ -31,12 +31,43 @@ Message DecodeOne(const std::string& wire) {
 
 TEST(NetProtocol, EmptyMessagesRoundTrip) {
   for (MsgType type : {MsgType::kPing, MsgType::kPong, MsgType::kStats,
-                       MsgType::kShutdown, MsgType::kShutdownAck}) {
+                       MsgType::kShutdown, MsgType::kShutdownAck,
+                       MsgType::kStatsProm, MsgType::kHealth}) {
     std::string wire;
     EncodeEmpty(type, 42, &wire);
     const Message m = DecodeOne(wire);
     EXPECT_EQ(m.type, type);
     EXPECT_EQ(m.request_id, 42u);
+  }
+}
+
+TEST(NetProtocol, HealthResultRoundTrip) {
+  for (ServingState state : {ServingState::kStarting, ServingState::kServing,
+                             ServingState::kDraining}) {
+    std::string wire;
+    EncodeHealthResult(77, state, 123'456'789, &wire);
+    const Message m = DecodeOne(wire);
+    EXPECT_EQ(m.type, MsgType::kHealthResult);
+    EXPECT_EQ(m.request_id, 77u);
+    EXPECT_EQ(m.health, state);
+    EXPECT_EQ(m.uptime_micros, 123'456'789u);
+  }
+}
+
+TEST(NetProtocol, HealthResultRejectsBadState) {
+  // A checksum-valid kHealthResult with a state byte outside the enum is
+  // malformed, not silently coerced.
+  for (uint8_t raw_state : {uint8_t{0}, uint8_t{4}, uint8_t{255}}) {
+    std::string payload;
+    payload.push_back(static_cast<char>(MsgType::kHealthResult));
+    payload.append(8, '\0');  // request id
+    payload.push_back(static_cast<char>(raw_state));
+    payload.append(8, '\0');  // uptime
+    std::string wire;
+    AppendFrame(payload.data(), payload.size(), &wire);
+    Message m;
+    EXPECT_FALSE(DecodeMessage(wire.data(), wire.size(), &m).ok())
+        << "state " << static_cast<int>(raw_state);
   }
 }
 

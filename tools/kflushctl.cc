@@ -9,6 +9,10 @@
 //   kflushctl compare     [same flags as experiment; runs all policies]
 //   kflushctl trace       --out FILE [experiment flags]
 //   kflushctl serve       [--host H] [--port P] [--shards N] [...]
+//   kflushctl top         [--host H] [--port P] [--interval-ms I] [--once]
+//   kflushctl scrape      [--host H] [--port P]
+//   kflushctl health      [--host H] [--port P]
+//   kflushctl shutdown    [--host H] [--port P]
 //
 // `experiment` runs the same deterministic steady-state harness as the
 // figure benchmarks and prints the full result; `compare` tabulates all
@@ -30,15 +34,22 @@
 // traces — recorded input streams — an older naming that predates the
 // execution tracer.)
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/sharded_system.h"
 #include "core/trace.h"
 #include "gen/trace.h"
+#include "net/client.h"
 #include "net/server.h"
 #include "sim/experiment.h"
 #include "storage/wal.h"
@@ -382,6 +393,8 @@ int CmdServe(const Flags& flags) {
   server_options.port = static_cast<uint16_t>(flags.GetInt("port", 7411));
   server_options.admission_queue_soft_limit = static_cast<size_t>(
       flags.GetInt("soft-limit", 0));
+  server_options.slow_request_micros = static_cast<uint64_t>(
+      flags.GetInt("slow-request-micros", 0));
   net::NetServer server(&system, server_options);
   Status s = server.Start();
   if (!s.ok()) {
@@ -399,6 +412,8 @@ int CmdServe(const Flags& flags) {
               options.system.ingest_queue_capacity);
   std::fflush(stdout);
   server.AwaitStop();
+  std::printf("serve: draining (health=%s)\n",
+              net::ServingStateName(server.health()));
   server.Stop();
   g_serve_server = nullptr;
   system.Stop();
@@ -419,6 +434,319 @@ int CmdServe(const Flags& flags) {
   return 0;
 }
 
+// --- ops commands: the client side of kStatsProm / kHealth --------------
+
+Result<std::unique_ptr<net::NetClient>> ConnectFromFlags(const Flags& flags) {
+  return net::NetClient::Connect(
+      flags.Get("host", "127.0.0.1"),
+      static_cast<uint16_t>(flags.GetInt("port", 7411)));
+}
+
+/// One histogram family reassembled from exposition text: cumulative
+/// (le, count) pairs plus _sum/_count.
+struct PromHistogram {
+  std::vector<std::pair<double, double>> buckets;  // ascending le
+  double sum = 0;
+  double count = 0;
+
+  /// Percentile estimate from the cumulative buckets: the upper bound of
+  /// the first bucket covering the target rank (the same upper-bound
+  /// convention Histogram::Percentile uses server-side).
+  double Percentile(double pct) const {
+    if (count <= 0) return 0;
+    const double rank = pct / 100.0 * count;
+    double prev_le = 0;
+    for (const auto& [le, cum] : buckets) {
+      if (cum >= rank) {
+        if (std::isinf(le)) break;  // fall through to the tail estimate
+        return le;
+      }
+      if (!std::isinf(le)) prev_le = le;
+    }
+    // Rank lands in the +Inf bucket: the mean is the only bound we have.
+    return std::max(prev_le, count > 0 ? sum / count : 0);
+  }
+};
+
+/// A parsed kStatsProm scrape: scalar samples (counters and gauges) by
+/// sanitized name, histogram families reassembled via their # TYPE lines.
+struct PromScrape {
+  std::map<std::string, double> scalars;
+  std::map<std::string, PromHistogram> histograms;
+
+  double Get(const std::string& name, double fallback = 0) const {
+    auto it = scalars.find(name);
+    return it == scalars.end() ? fallback : it->second;
+  }
+  const PromHistogram* Hist(const std::string& name) const {
+    auto it = histograms.find(name);
+    return it == histograms.end() ? nullptr : &it->second;
+  }
+};
+
+PromScrape ParsePrometheus(const std::string& text) {
+  PromScrape scrape;
+  std::set<std::string> hist_names;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# TYPE <name> histogram" announces a family whose _bucket/_sum/
+      // _count samples below belong together.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string rest = line.substr(7);
+        const size_t sp = rest.find(' ');
+        if (sp != std::string::npos && rest.substr(sp + 1) == "histogram") {
+          hist_names.insert(rest.substr(0, sp));
+        }
+      }
+      continue;
+    }
+    const size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) continue;
+    const double value = std::atof(line.c_str() + sp + 1);
+    std::string name = line.substr(0, sp);
+    std::string le;
+    const size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      const size_t le_pos = name.find("le=\"", brace);
+      if (le_pos != std::string::npos) {
+        const size_t end = name.find('"', le_pos + 4);
+        if (end != std::string::npos) le = name.substr(le_pos + 4,
+                                                       end - le_pos - 4);
+      }
+      name = name.substr(0, brace);
+    }
+    auto family_of = [&hist_names](const std::string& sample,
+                                   const char* suffix) -> std::string {
+      const size_t len = std::strlen(suffix);
+      if (sample.size() <= len ||
+          sample.compare(sample.size() - len, len, suffix) != 0) {
+        return "";
+      }
+      std::string base = sample.substr(0, sample.size() - len);
+      return hist_names.count(base) > 0 ? base : "";
+    };
+    std::string base = family_of(name, "_bucket");
+    if (!base.empty() && !le.empty()) {
+      scrape.histograms[base].buckets.emplace_back(
+          le == "+Inf" ? INFINITY : std::atof(le.c_str()), value);
+      continue;
+    }
+    base = family_of(name, "_sum");
+    if (!base.empty()) {
+      scrape.histograms[base].sum = value;
+      continue;
+    }
+    base = family_of(name, "_count");
+    if (!base.empty()) {
+      scrape.histograms[base].count = value;
+      continue;
+    }
+    scrape.scalars[name] = value;
+  }
+  for (auto& [name, hist] : scrape.histograms) {
+    std::sort(hist.buckets.begin(), hist.buckets.end());
+  }
+  return scrape;
+}
+
+int CmdScrape(const Flags& flags) {
+  auto client = ConnectFromFlags(flags);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::string> text = (*client)->StatsProm();
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(text->c_str(), stdout);
+  return 0;
+}
+
+int CmdHealth(const Flags& flags) {
+  auto client = ConnectFromFlags(flags);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  Result<net::NetClient::HealthInfo> info = (*client)->Health();
+  if (!info.ok()) {
+    std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("health %s uptime_micros %llu\n",
+              net::ServingStateName(info->state),
+              static_cast<unsigned long long>(info->uptime_micros));
+  return info->state == net::ServingState::kServing ? 0 : 1;
+}
+
+int CmdShutdownRemote(const Flags& flags) {
+  auto client = ConnectFromFlags(flags);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  Status s = (*client)->Shutdown();
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("shutdown acked\n");
+  return 0;
+}
+
+/// Counter delta per second between two scrapes.
+double Rate(const PromScrape& cur, const PromScrape& prev,
+            const std::string& name, double dt) {
+  if (dt <= 0) return 0;
+  return (cur.Get(name) - prev.Get(name)) / dt;
+}
+
+void PrintStageRow(const PromScrape& s, const char* label,
+                   const std::string& family) {
+  const PromHistogram* h = s.Hist(family);
+  if (h == nullptr) {
+    std::printf("  %-10s (no samples)\n", label);
+    return;
+  }
+  std::printf("  %-10s count %10.0f   p50 %8.0fus   p99 %8.0fus\n", label,
+              h->count, h->Percentile(50.0), h->Percentile(99.0));
+}
+
+void RenderTop(const PromScrape& cur, const PromScrape& prev, double dt,
+               bool live) {
+  if (live) std::printf("\x1b[H\x1b[2J");
+  std::printf("kflush top — %.1fs window\n\n", dt);
+  std::printf("ingest    %8.0f req/s   %8.0f ack/s   %8.0f rec acked/s\n",
+              Rate(cur, prev, "kflush_net_ingest_requests", dt),
+              Rate(cur, prev, "kflush_net_ingest_acks", dt),
+              Rate(cur, prev, "kflush_net_records_acked", dt));
+  std::printf("queries   %8.0f /s      reads  %8.0f B/s  writes %8.0f B/s\n",
+              Rate(cur, prev, "kflush_net_queries", dt),
+              Rate(cur, prev, "kflush_net_bytes_received", dt),
+              Rate(cur, prev, "kflush_net_bytes_sent", dt));
+  std::printf("nacks/s   overloaded %.1f  stopped %.1f  malformed %.1f  "
+              "too_large %.1f  internal %.1f\n\n",
+              Rate(cur, prev, "kflush_net_nacks_overloaded", dt),
+              Rate(cur, prev, "kflush_net_nacks_stopped", dt),
+              Rate(cur, prev, "kflush_net_nacks_malformed", dt),
+              Rate(cur, prev, "kflush_net_nacks_too_large", dt),
+              Rate(cur, prev, "kflush_net_nacks_internal", dt));
+  std::printf("ack latency by stage (cumulative):\n");
+  PrintStageRow(cur, "decode", "kflush_net_ingest_ack_micros_decode");
+  PrintStageRow(cur, "admission", "kflush_net_ingest_ack_micros_admission");
+  PrintStageRow(cur, "commit", "kflush_net_ingest_ack_micros_commit");
+  PrintStageRow(cur, "respond", "kflush_net_ingest_ack_micros_respond");
+  PrintStageRow(cur, "query", "kflush_net_query_micros");
+  std::printf("\n");
+  // Queue depth: per-shard gauges when sharded, the bare system gauge
+  // otherwise.
+  std::printf("queues    ");
+  bool any_shard = false;
+  for (int i = 0; i < 256; ++i) {
+    const std::string name =
+        "kflush_shard" + std::to_string(i) + "_system_queue_depth";
+    auto it = cur.scalars.find(name);
+    if (it == cur.scalars.end()) break;
+    std::printf("s%d:%.0f ", i, it->second);
+    any_shard = true;
+  }
+  if (!any_shard) {
+    std::printf("depth %.0f", cur.Get("kflush_system_queue_depth"));
+  }
+  std::printf("\nwal       %8.0f fsync/s   %8.0f commit/s\n",
+              Rate(cur, prev, "kflush_wal_fsyncs", dt),
+              Rate(cur, prev, "kflush_wal_commits", dt));
+  const double used = cur.Get("kflush_memory_data_used_bytes");
+  const double budget = cur.Get("kflush_memory_budget_bytes");
+  std::printf("memory    %8.1f / %.1f MB (%.0f%%)\n", used / 1048576.0,
+              budget / 1048576.0, budget > 0 ? 100.0 * used / budget : 0.0);
+  std::printf("flush     %8.0f cycles   %8.0f rec/s flushed\n",
+              cur.Get("kflush_flush_cycles"),
+              Rate(cur, prev, "kflush_flush_records_flushed", dt));
+  std::printf("conns     live %.0f   pending write %.0f B   read pauses %.0f\n",
+              cur.Get("kflush_net_connections_live"),
+              cur.Get("kflush_net_pending_write_bytes"),
+              cur.Get("kflush_net_read_pauses"));
+  if (live) std::printf("\n(ctrl-c to exit)\n");
+  std::fflush(stdout);
+}
+
+/// Machine-readable one-shot: `key value` lines, consumed by ops-smoke.
+void PrintTopOnce(const PromScrape& s) {
+  auto put = [&s](const char* key, const char* name) {
+    std::printf("%s %.0f\n", key, s.Get(name));
+  };
+  put("ingest_requests", "kflush_net_ingest_requests");
+  put("ingest_acks", "kflush_net_ingest_acks");
+  put("records_offered", "kflush_net_records_offered");
+  put("records_acked", "kflush_net_records_acked");
+  put("records_skipped", "kflush_net_records_skipped");
+  put("records_nacked", "kflush_net_records_nacked");
+  put("queries", "kflush_net_queries");
+  put("connections_live", "kflush_net_connections_live");
+  put("pending_write_bytes", "kflush_net_pending_write_bytes");
+  put("wal_fsyncs", "kflush_wal_fsyncs");
+  put("memory_data_used_bytes", "kflush_memory_data_used_bytes");
+  put("memory_budget_bytes", "kflush_memory_budget_bytes");
+  put("flush_cycles", "kflush_flush_cycles");
+  const char* stages[] = {"decode", "admission", "commit", "respond"};
+  for (const char* stage : stages) {
+    const PromHistogram* h =
+        s.Hist(std::string("kflush_net_ingest_ack_micros_") + stage);
+    std::printf("stage_%s_count %.0f\n", stage, h != nullptr ? h->count : 0);
+    std::printf("stage_%s_p50_micros %.0f\n", stage,
+                h != nullptr ? h->Percentile(50.0) : 0);
+    std::printf("stage_%s_p99_micros %.0f\n", stage,
+                h != nullptr ? h->Percentile(99.0) : 0);
+  }
+  const PromHistogram* q = s.Hist("kflush_net_query_micros");
+  std::printf("query_count %.0f\n", q != nullptr ? q->count : 0);
+  std::printf("query_p99_micros %.0f\n",
+              q != nullptr ? q->Percentile(99.0) : 0);
+}
+
+int CmdTop(const Flags& flags) {
+  auto client = ConnectFromFlags(flags);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  const bool once = flags.Has("once");
+  const long interval_ms = flags.GetInt("interval-ms", 1000);
+  PromScrape prev;
+  auto prev_at = std::chrono::steady_clock::now();
+  bool have_prev = false;
+  for (;;) {
+    Result<std::string> text = (*client)->StatsProm();
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    const PromScrape cur = ParsePrometheus(*text);
+    const auto now = std::chrono::steady_clock::now();
+    const double dt =
+        std::chrono::duration<double>(now - prev_at).count();
+    if (once) {
+      PrintTopOnce(cur);
+      return 0;
+    }
+    RenderTop(cur, have_prev ? prev : cur, have_prev ? dt : 0.0,
+              /*live=*/true);
+    prev = cur;
+    prev_at = now;
+    have_prev = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
 void Usage() {
   std::fprintf(
       stderr,
@@ -435,8 +763,15 @@ void Usage() {
       "  trace      --out FILE [same flags as experiment]\n"
       "  serve      [--host H] [--port P] [--shards N] [--policy P]\n"
       "             [--memory-mb M] [--queue-capacity Q] [--soft-limit D]\n"
-      "             [--durable-dir DIR]   (TCP front-end; stop with a\n"
-      "             protocol shutdown request or SIGINT/SIGTERM)\n"
+      "             [--slow-request-micros T] [--durable-dir DIR]\n"
+      "             (TCP front-end; stop with a protocol shutdown request\n"
+      "             or SIGINT/SIGTERM)\n"
+      "  top        [--host H] [--port P] [--interval-ms I] [--once]\n"
+      "             (live terminal dashboard over kStatsProm; --once\n"
+      "             prints machine-readable `key value` lines and exits)\n"
+      "  scrape     [--host H] [--port P]  (dump Prometheus exposition)\n"
+      "  health     [--host H] [--port P]  (exit 0 iff serving)\n"
+      "  shutdown   [--host H] [--port P]  (protocol shutdown + ack)\n"
       "flags:\n"
       "  --trace-out FILE  capture a Chrome/Perfetto trace of any run\n"
       "                    command (replay, experiment, compare)\n"
@@ -463,6 +798,10 @@ int main(int argc, char** argv) {
   if (command == "compare") return CmdCompare(flags);
   if (command == "trace") return CmdTrace(flags);
   if (command == "serve") return CmdServe(flags);
+  if (command == "top") return CmdTop(flags);
+  if (command == "scrape") return CmdScrape(flags);
+  if (command == "health") return CmdHealth(flags);
+  if (command == "shutdown") return CmdShutdownRemote(flags);
   Usage();
   return 2;
 }

@@ -2,7 +2,7 @@
 # Repo verification gate: tier-1 suite plus the sanitizer jobs that guard
 # the concurrency paths (docs/INTERNALS.md, "Threading model & sanitizers").
 #
-# Usage:  scripts/check.sh [tier1|tsan|asan|stress|crash|bench-smoke|
+# Usage:  scripts/check.sh [tier1|tsan|asan|stress|crash|subs|bench-smoke|
 #                           net-smoke|ops-smoke|all]   (default: all)
 #
 # Jobs (each one is what CI runs as a separate job):
@@ -15,6 +15,18 @@
 #                 kills it at every WAL/segment crash point plus a fixed seed
 #                 matrix of random points, and proves recovery loses no acked
 #                 record and answers queries identically.
+#   subs        - `ctest -L subs`: the continuous-query suite
+#                 (docs/INTERNALS.md, "Continuous queries") — the
+#                 standing-query differential oracle (seeded stream vs a
+#                 brute-force reference, byte-identical folded delta
+#                 streams across every policy and shard count, including
+#                 audit-asserted member evictions with disk-backed
+#                 refill), the 500-seed delta-fold property test, and the
+#                 SubscriptionManager units. Runs at the default shard
+#                 count, then again at KFLUSH_TEST_SHARDS=1, then the
+#                 subscription-overhead bench whose artifact carries the
+#                 zero-subscription perf gate (<= 2% vs no-manager,
+#                 enforced by scripts/validate_bench_json.py).
 #   bench-smoke - tiny-scale bench_snapshot run; validates the BENCH_*.json
 #                 metrics artifact schema with scripts/validate_bench_json.py,
 #                 then a traced bench_fig5_memory_behavior run validated with
@@ -111,6 +123,30 @@ job_crash() {
   build default || return 1
   timeout "${STRESS_TIMEOUT}" ctest --test-dir build -L crash \
       --output-on-failure
+}
+
+job_subs() {
+  note "subs: continuous-query oracle + fold property tests (ctest -L subs)"
+  build default || return 1
+  timeout "${STRESS_TIMEOUT}" ctest --test-dir build -L subs \
+      --output-on-failure || return 1
+  # Shard matrix: the oracle's fan-out merge must stay reference-identical
+  # on a degenerate single-shard deployment too.
+  note "subs: shard matrix (KFLUSH_TEST_SHARDS=1)"
+  KFLUSH_TEST_SHARDS=1 timeout "${STRESS_TIMEOUT}" \
+      ctest --test-dir build -L subs --output-on-failure || return 1
+  # Subscription-overhead bench: the artifact carries the
+  # bench.zero_sub_overhead_bps perf gate the validator enforces.
+  note "subs: subscription-overhead bench + artifact gate"
+  local out scale
+  cmake --build build -j "${JOBS}" --target bench_subscriptions || return 1
+  out="${KFLUSH_BENCH_OUT:-$(mktemp -d)}"
+  mkdir -p "${out}"
+  scale="${KFLUSH_BENCH_SCALE:-0.05}"
+  KFLUSH_BENCH_SCALE="${scale}" KFLUSH_BENCH_OUT="${out}" \
+      ./build/bench/bench_subscriptions || return 1
+  python3 scripts/validate_bench_json.py \
+      "${out}/BENCH_subscriptions.json"
 }
 
 job_bench_smoke() {
@@ -274,10 +310,10 @@ job_ops_smoke() {
 run_job() { "job_${1//-/_}" || FAILED+=("$1"); }
 
 case "${1:-all}" in
-  tier1|tsan|asan|stress|crash|bench-smoke|net-smoke|ops-smoke) run_job "$1" ;;
+  tier1|tsan|asan|stress|crash|subs|bench-smoke|net-smoke|ops-smoke) run_job "$1" ;;
   all) run_job tier1; run_job tsan; run_job asan; run_job crash
-       run_job bench-smoke; run_job net-smoke; run_job ops-smoke ;;
-  *) echo "usage: $0 [tier1|tsan|asan|stress|crash|bench-smoke|net-smoke|ops-smoke|all]" >&2
+       run_job subs; run_job bench-smoke; run_job net-smoke; run_job ops-smoke ;;
+  *) echo "usage: $0 [tier1|tsan|asan|stress|crash|subs|bench-smoke|net-smoke|ops-smoke|all]" >&2
      exit 2 ;;
 esac
 

@@ -272,6 +272,70 @@ def check_net_load(errors, path, doc):
                     f"reconcile exactly)")
 
 
+SUB_COUNTERS = ("sub.registered", "sub.unsubscribed", "sub.deltas_published",
+                "sub.deltas_pushed", "sub.deltas_dropped_on_disconnect",
+                "sub.member_evictions", "sub.refills", "sub.snapshot_queries")
+# An idle subscription subsystem must be (nearly) free: zero-subscription
+# ingest may not trail the no-manager baseline by more than 2%.
+ZERO_SUB_BUDGET_BPS = 200
+
+
+def check_subscriptions(errors, path, doc):
+    """Extra rules for BENCH_subscriptions.json: one snapshot per
+    standing-query count ("nomanager", "subs0", "subs100", "subs10000").
+    Manager-attached points must carry the full sub.* family with the
+    accounting invariant intact (published partitions exactly into pushed
+    + dropped-on-disconnect); subs0 must publish nothing and stay within
+    the zero-subscription overhead budget vs the no-manager baseline."""
+    policies = doc["policies"]
+    for key in ("nomanager", "subs0", "subs100", "subs10000"):
+        if key not in policies:
+            errors.append(f"{path}: subscriptions needs a '{key}' snapshot, "
+                          f"got {sorted(policies)}")
+            return
+    for key, snap in policies.items():
+        where = f"{path}:{key}"
+        gauges = snap.get("gauges", {})
+        counters = snap.get("counters", {})
+        for name in ("bench.num_subscriptions", "bench.ingest_tweets_per_sec",
+                     "bench.baseline_tweets_per_sec", "bench.overhead_bps"):
+            if name not in gauges:
+                errors.append(f"{where}: missing gauge '{name}'")
+        if gauges.get("bench.ingest_tweets_per_sec", 0) <= 0:
+            errors.append(f"{where}: bench.ingest_tweets_per_sec must be > 0")
+        if key == "nomanager":
+            if any(name in counters for name in SUB_COUNTERS):
+                errors.append(f"{where}: no-manager baseline must not carry "
+                              f"sub.* counters")
+            continue
+        for name in SUB_COUNTERS:
+            if name not in counters:
+                errors.append(f"{where}: missing counter '{name}'")
+        published = counters.get("sub.deltas_published", -1)
+        accounted = (counters.get("sub.deltas_pushed", 0)
+                     + counters.get("sub.deltas_dropped_on_disconnect", 0))
+        if published != accounted:
+            errors.append(
+                f"{where}: sub.deltas_published {published} != pushed+dropped "
+                f"{accounted} (delta accounting does not partition)")
+        if key == "subs0":
+            if published != 0:
+                errors.append(f"{where}: zero subscriptions must publish "
+                              f"nothing, got {published}")
+            bps = gauges.get("bench.zero_sub_overhead_bps")
+            if bps is None:
+                errors.append(f"{where}: missing gauge "
+                              f"'bench.zero_sub_overhead_bps'")
+            elif bps > ZERO_SUB_BUDGET_BPS:
+                errors.append(
+                    f"{where}: zero-subscription ingest overhead {bps} bps "
+                    f"exceeds the {ZERO_SUB_BUDGET_BPS} bps budget (idle "
+                    f"subscription subsystem is not free)")
+        elif published <= 0:
+            errors.append(f"{where}: {key} should publish deltas, got "
+                          f"{published}")
+
+
 def check_insert_breakdown(errors, path, doc):
     """Reduced schema for bench_micro --breakdown output."""
     for policy, snap in doc["policies"].items():
@@ -366,6 +430,8 @@ def check_file(errors, path, baseline=None, tolerance=DEFAULT_TOLERANCE):
         check_shard_scaling(errors, path, doc)
     if doc["bench"] == "net_load":
         check_net_load(errors, path, doc)
+    if doc["bench"] == "subscriptions":
+        check_subscriptions(errors, path, doc)
 
 
 def main(argv):

@@ -90,14 +90,15 @@ Status QueryEngine::Materialize(std::vector<Scored> candidates, uint32_t k,
   return Status::OK();
 }
 
-Result<QueryResult> QueryEngine::ExecuteSingle(TermId term, uint32_t k) {
+Result<QueryResult> QueryEngine::ExecuteSingle(TermId term, uint32_t k,
+                                               bool force_disk) {
   // Disk-read accounting lives in Execute(), as the delta of the disk
   // store's own term_queries counter around the evaluation — the counter
   // the disk tier actually increments, covering every path down here.
   QueryResult result;
   std::vector<Scored> candidates;
   MemoryPostings(term, k, &candidates);
-  result.memory_hit = candidates.size() >= k;
+  result.memory_hit = candidates.size() >= k && !force_disk;
   if (!result.memory_hit) {
     std::vector<Posting> disk_postings;
     KFLUSH_RETURN_IF_ERROR(
@@ -111,7 +112,7 @@ Result<QueryResult> QueryEngine::ExecuteSingle(TermId term, uint32_t k) {
 }
 
 Result<QueryResult> QueryEngine::ExecuteOr(const std::vector<TermId>& terms,
-                                           uint32_t k) {
+                                           uint32_t k, bool force_disk) {
   QueryResult result;
   std::vector<Scored> candidates;
   std::vector<TermId> short_terms;  // terms with < k in-memory postings
@@ -123,9 +124,9 @@ Result<QueryResult> QueryEngine::ExecuteOr(const std::vector<TermId>& terms,
   }
   // OR hit rule (§IV-D): if every term holds k in memory, the union's
   // top-k is guaranteed in memory.
-  result.memory_hit = short_terms.empty();
+  result.memory_hit = short_terms.empty() && !force_disk;
   if (!result.memory_hit) {
-    for (TermId term : short_terms) {
+    for (TermId term : force_disk ? terms : short_terms) {
       std::vector<Posting> disk_postings;
       KFLUSH_RETURN_IF_ERROR(
           store_->disk()->QueryTerm(term, k, &disk_postings));
@@ -139,7 +140,7 @@ Result<QueryResult> QueryEngine::ExecuteOr(const std::vector<TermId>& terms,
 }
 
 Result<QueryResult> QueryEngine::ExecuteAnd(const std::vector<TermId>& terms,
-                                            uint32_t k) {
+                                            uint32_t k, bool force_disk) {
   QueryResult result;
   // Paper §IV-D: "we retrieve in-memory index entries of W1 and W2, scan
   // their microblog ids lists, and any microblog that is associated with
@@ -176,7 +177,7 @@ Result<QueryResult> QueryEngine::ExecuteAnd(const std::vector<TermId>& terms,
     }
   }
   // AND hit rule: the in-memory candidate list already yields k results.
-  result.memory_hit = intersection.size() >= k;
+  result.memory_hit = intersection.size() >= k && !force_disk;
   if (result.memory_hit) {
     KFLUSH_RETURN_IF_ERROR(
         Materialize(std::move(intersection), k, &result));
@@ -228,11 +229,11 @@ Result<QueryResult> QueryEngine::Execute(const TopKQuery& query) {
         if (query.terms.size() != 1) {
           return Status::InvalidArgument("single query needs exactly 1 term");
         }
-        return ExecuteSingle(query.terms[0], k);
+        return ExecuteSingle(query.terms[0], k, query.force_disk);
       case QueryType::kOr:
-        return ExecuteOr(query.terms, k);
+        return ExecuteOr(query.terms, k, query.force_disk);
       case QueryType::kAnd:
-        return ExecuteAnd(query.terms, k);
+        return ExecuteAnd(query.terms, k, query.force_disk);
     }
     return Status::InvalidArgument("unknown query type");
   }();
@@ -285,7 +286,8 @@ Result<QueryResult> QueryEngine::SearchLocation(double lat, double lon,
 
 Result<QueryResult> QueryEngine::SearchArea(double min_lat, double min_lon,
                                             double max_lat, double max_lon,
-                                            uint32_t k, size_t max_tiles) {
+                                            uint32_t k, size_t max_tiles,
+                                            bool force_disk) {
   const auto* spatial =
       dynamic_cast<const SpatialAttribute*>(store_->extractor());
   if (spatial == nullptr) {
@@ -304,6 +306,7 @@ Result<QueryResult> QueryEngine::SearchArea(double min_lat, double min_lon,
   TopKQuery query;
   query.terms = std::move(tiles);
   query.type = query.terms.size() == 1 ? QueryType::kSingle : QueryType::kOr;
+  query.force_disk = force_disk;
   const uint32_t want = k != 0 ? k : store_->k();
   // Records in boundary tiles that fall outside the box are dropped after
   // top-k materialization, which can under-fill the answer even when k
@@ -320,8 +323,7 @@ Result<QueryResult> QueryEngine::SearchArea(double min_lat, double min_lon,
     auto& records = result->results;
     records.erase(std::remove_if(records.begin(), records.end(),
                                  [&](const Microblog& blog) {
-                                   return !blog.has_location ||
-                                          !box.Contains(blog.location);
+                                   return !AreaContains(box, blog);
                                  }),
                   records.end());
     const bool exhausted = fetched < fetch;

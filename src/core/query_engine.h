@@ -28,6 +28,14 @@ struct TopKQuery {
   QueryType type = QueryType::kSingle;
   /// 0 = use the store's current k.
   uint32_t k = 0;
+  /// Treat every term as a MISS: consult the disk tier even when the
+  /// memory-hit predicate holds, making the answer the exact top-k over
+  /// the full posting set under every policy. The continuous-query layer
+  /// sets this on snapshot/refill queries — under LRU (whole-record
+  /// eviction by access recency) a term's memory postings need not be a
+  /// score-prefix of memory ∪ disk, so only the merged answer is
+  /// guaranteed exact. Counted as a miss in the hit-ratio metrics.
+  bool force_disk = false;
 };
 
 /// Query outcome.
@@ -64,7 +72,8 @@ class QueryEngine {
   /// (InvalidArgument if the box needs more).
   Result<QueryResult> SearchArea(double min_lat, double min_lon,
                                  double max_lat, double max_lon,
-                                 uint32_t k = 0, size_t max_tiles = 256);
+                                 uint32_t k = 0, size_t max_tiles = 256,
+                                 bool force_disk = false);
 
   /// Convenience: user-timeline search (user attribute).
   Result<QueryResult> SearchUser(UserId user, uint32_t k = 0);
@@ -78,9 +87,11 @@ class QueryEngine {
     MicroblogId id;
   };
 
-  Result<QueryResult> ExecuteSingle(TermId term, uint32_t k);
-  Result<QueryResult> ExecuteOr(const std::vector<TermId>& terms, uint32_t k);
-  Result<QueryResult> ExecuteAnd(const std::vector<TermId>& terms, uint32_t k);
+  Result<QueryResult> ExecuteSingle(TermId term, uint32_t k, bool force_disk);
+  Result<QueryResult> ExecuteOr(const std::vector<TermId>& terms, uint32_t k,
+                                bool force_disk);
+  Result<QueryResult> ExecuteAnd(const std::vector<TermId>& terms, uint32_t k,
+                                 bool force_disk);
 
   /// Fetches term postings from memory as (score, id); scores recomputed
   /// through the ranking function.

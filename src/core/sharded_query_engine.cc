@@ -59,8 +59,10 @@ Result<QueryResult> ShardedQueryEngine::Execute(const TopKQuery& query) {
         return shards_[owner].engine->Execute(sub);
       }
       case QueryType::kOr:
-        return ExecuteOrFanout(query.terms, k);
+        return ExecuteOrFanout(query.terms, k, query.force_disk);
       case QueryType::kAnd:
+        // Already exact over each term's full memory ∪ disk list;
+        // force_disk has nothing further to bypass.
         return ExecuteAndExact(query.terms, k);
     }
     return Status::InvalidArgument("unknown query type");
@@ -79,7 +81,7 @@ Result<QueryResult> ShardedQueryEngine::Execute(const TopKQuery& query) {
 }
 
 Result<QueryResult> ShardedQueryEngine::ExecuteOrFanout(
-    const std::vector<TermId>& terms, uint32_t k) {
+    const std::vector<TermId>& terms, uint32_t k, bool force_disk) {
   // Group terms by owning shard, preserving term order within a group and
   // first-touch order across groups.
   std::vector<std::vector<TermId>> groups(shards_.size());
@@ -95,6 +97,7 @@ Result<QueryResult> ShardedQueryEngine::ExecuteOrFanout(
     sub.terms = std::move(groups[order[0]]);
     sub.type = QueryType::kOr;
     sub.k = k;
+    sub.force_disk = force_disk;
     return shards_[order[0]].engine->Execute(sub);
   }
 
@@ -107,6 +110,7 @@ Result<QueryResult> ShardedQueryEngine::ExecuteOrFanout(
     sub.terms = std::move(groups[owner]);
     sub.type = QueryType::kOr;
     sub.k = k;
+    sub.force_disk = force_disk;
     Result<QueryResult> r = shards_[owner].engine->Execute(sub);
     if (!r.ok()) return r.status();
     // The OR hit rule (every term holds >= k in memory) distributes over
@@ -242,7 +246,8 @@ Result<QueryResult> ShardedQueryEngine::SearchArea(double min_lat,
                                                    double min_lon,
                                                    double max_lat,
                                                    double max_lon, uint32_t k,
-                                                   size_t max_tiles) {
+                                                   size_t max_tiles,
+                                                   bool force_disk) {
   const auto* spatial =
       dynamic_cast<const SpatialAttribute*>(shards_[0].store->extractor());
   if (spatial == nullptr) {
@@ -260,6 +265,7 @@ Result<QueryResult> ShardedQueryEngine::SearchArea(double min_lat,
   TopKQuery query;
   query.terms = std::move(tiles);
   query.type = query.terms.size() == 1 ? QueryType::kSingle : QueryType::kOr;
+  query.force_disk = force_disk;
   const uint32_t want = k != 0 ? k : shards_[0].store->k();
   // Same over-fetch loop as QueryEngine::SearchArea, but each inner
   // Execute fans out; boundary-tile outsiders are filtered after the
@@ -273,8 +279,7 @@ Result<QueryResult> ShardedQueryEngine::SearchArea(double min_lat,
     auto& records = result->results;
     records.erase(std::remove_if(records.begin(), records.end(),
                                  [&](const Microblog& blog) {
-                                   return !blog.has_location ||
-                                          !box.Contains(blog.location);
+                                   return !AreaContains(box, blog);
                                  }),
                   records.end());
     const bool exhausted = fetched < fetch;

@@ -51,7 +51,8 @@ class ShardedQueryEngine {
   Result<QueryResult> SearchLocation(double lat, double lon, uint32_t k = 0);
   Result<QueryResult> SearchArea(double min_lat, double min_lon,
                                  double max_lat, double max_lon,
-                                 uint32_t k = 0, size_t max_tiles = 256);
+                                 uint32_t k = 0, size_t max_tiles = 256,
+                                 bool force_disk = false);
   Result<QueryResult> SearchUser(UserId user, uint32_t k = 0);
 
   size_t num_shards() const { return shards_.size(); }
@@ -67,7 +68,7 @@ class ShardedQueryEngine {
   };
 
   Result<QueryResult> ExecuteOrFanout(const std::vector<TermId>& terms,
-                                      uint32_t k);
+                                      uint32_t k, bool force_disk);
   Result<QueryResult> ExecuteAndExact(const std::vector<TermId>& terms,
                                       uint32_t k);
 

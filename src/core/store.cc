@@ -4,6 +4,7 @@
 
 #include "core/trace.h"
 #include "storage/segment.h"
+#include "sub/subscription_sink.h"
 #include "storage/wal.h"
 #include "util/logging.h"
 
@@ -318,6 +319,11 @@ Status MicroblogStore::InsertIndexed(Microblog blog,
   KFLUSH_RETURN_IF_ERROR(
       raw_store_.Put(blog, static_cast<uint32_t>(terms.size())));
   policy_->Insert(blog, terms, score);
+  // Publish to the continuous-query layer before the auto-flush check, so
+  // a standing result sees the record while it is still memory-resident.
+  if (SubscriptionSink* sink = sub_sink_.load(std::memory_order_acquire)) {
+    sink->OnInsert(blog, terms, score);
+  }
   inserted_.fetch_add(1, std::memory_order_relaxed);
 
   if (options_.auto_flush && tracker_.DataFull()) {
@@ -350,6 +356,11 @@ size_t MicroblogStore::FlushOnce() {
 }
 
 void MicroblogStore::SetK(uint32_t k) { policy_->SetK(k); }
+
+void MicroblogStore::set_subscription_sink(SubscriptionSink* sink) {
+  sub_sink_.store(sink, std::memory_order_release);
+  policy_->set_subscription_sink(sink);
+}
 
 TermId MicroblogStore::TermForKeyword(std::string_view keyword) const {
   const KeywordId id = dictionary_.Lookup(keyword);

@@ -26,6 +26,7 @@
 namespace kflush {
 
 class SegmentDiskStore;
+class SubscriptionSink;
 class WriteAheadLog;
 
 /// Store configuration. Defaults mirror the paper's defaults scaled to
@@ -176,6 +177,13 @@ class MicroblogStore {
   MetricsRegistry* metrics_registry() { return &metrics_; }
   const MetricsRegistry* metrics_registry() const { return &metrics_; }
 
+  /// Installs (or, with nullptr, removes) the continuous-query publish
+  /// sink: OnInsert fires at the tail of every indexed insert, and the
+  /// eviction hook is forwarded to the policy. Atomic, so a front-end can
+  /// install it while ingest threads run; the no-sink cost on the ingest
+  /// hot path is one relaxed load and a branch.
+  void set_subscription_sink(SubscriptionSink* sink);
+
   /// Bytes each flush cycle must free: flush_fraction * budget.
   size_t FlushBudgetBytes() const {
     return static_cast<size_t>(static_cast<double>(
@@ -215,6 +223,8 @@ class MicroblogStore {
   std::unique_ptr<FlushPolicy> policy_;
   KeywordDictionary dictionary_;
   Tokenizer tokenizer_;
+
+  std::atomic<SubscriptionSink*> sub_sink_{nullptr};
 
   std::atomic<MicroblogId> next_id_{1};
   std::mutex flush_mu_;

@@ -85,28 +85,34 @@ class PostingList {
   /// (in the index it is the owning shard's pool).
   explicit PostingList(SlabPool* pool = nullptr) : store_(pool) {}
 
-  /// Inserts keeping descending score order; equal scores order newest
-  /// first. O(1) when the new posting is the best-ranked (the overwhelmingly
-  /// common case under temporal ranking), O(log n) search + shift of the
-  /// shorter side otherwise. The charged prefix is re-aligned to
-  /// min(k, size()); with k == 0 and NoChargeFn this compiles to the bare
-  /// structural insert.
+  /// Inserts keeping (score desc, id desc) order — the exact total order
+  /// the query engine's Materialize sorts candidates by, so truncating
+  /// this list at any prefix can never disagree with the engine's
+  /// tie-break. O(1) when the new posting is the best-ranked (the
+  /// overwhelmingly common case under temporal ranking), O(log n) search
+  /// + shift of the shorter side otherwise. The charged prefix is
+  /// re-aligned to min(k, size()); with k == 0 and NoChargeFn this
+  /// compiles to the bare structural insert.
   template <typename ChargeFn, typename UnchargeFn>
   PostingInsertResult InsertWith(MicroblogId id, double score, size_t k,
                                  const ChargeFn& on_charge,
                                  const UnchargeFn& on_uncharge) {
     PostingInsertResult result;
-    if (store_.empty() || score >= store_.score(0)) {
-      // Fast path: new best-ranked posting (ties rank newest first).
+    if (store_.empty() || score > store_.score(0) ||
+        (score == store_.score(0) && id > store_.id(0))) {
+      // Fast path: new best-ranked posting.
       store_.PushFront(id, score);
       result.insert_pos = 0;
     } else {
-      // First position with a strictly smaller score; equal scores keep
-      // the earlier arrival after the later one already there — i.e. a
-      // tie inserts *before* existing equal scores only via the fast path.
-      result.insert_pos =
-          simd::InsertPosDesc(store_.scores(), store_.size(), score);
-      store_.InsertAt(result.insert_pos, id, score);
+      // First position with a strictly smaller score, then back up over
+      // the equal-score run so ties stay ordered by descending id.
+      size_t pos = simd::InsertPosDesc(store_.scores(), store_.size(), score);
+      while (pos > 0 && store_.score(pos - 1) == score &&
+             store_.id(pos - 1) < id) {
+        --pos;
+      }
+      result.insert_pos = pos;
+      store_.InsertAt(pos, id, score);
     }
     result.size_after = store_.size();
     if (result.insert_pos < charged_) {

@@ -5,6 +5,10 @@
 
 namespace kflush {
 
+bool AreaContains(const BoundingBox& box, const Microblog& blog) {
+  return blog.has_location && box.Contains(blog.location);
+}
+
 std::vector<TermId> TilesOverlapping(const SpatialGridMapper& mapper,
                                      const BoundingBox& box,
                                      size_t max_tiles) {

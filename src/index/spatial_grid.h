@@ -26,6 +26,15 @@ struct BoundingBox {
   }
 };
 
+/// The boundary-tile membership predicate: true iff `blog` carries a
+/// location inside `box` (inclusive on all edges). A record routed into a
+/// tile that merely overlaps the box may still fall outside it — every
+/// area surface (the one-shot SearchArea filter and the area-subscription
+/// publish path) must decide membership through exactly this function, so
+/// a record can never be in the one-shot answer but missed by a standing
+/// one, or vice versa.
+bool AreaContains(const BoundingBox& box, const Microblog& blog);
+
 /// Returns the TermIds of every grid tile overlapping `box`, capped at
 /// `max_tiles` (0 = uncapped). Tiles are emitted row-major.
 std::vector<TermId> TilesOverlapping(const SpatialGridMapper& mapper,

@@ -185,6 +185,58 @@ Result<NetClient::HealthInfo> NetClient::Health() {
   return info;
 }
 
+Result<Message> NetClient::RecvReply() {
+  for (;;) {
+    Result<Message> m = RecvMessage();
+    if (!m.ok()) return m;
+    if (m->type == MsgType::kPush) {
+      pending_pushes_.push_back(std::move(*m));
+      continue;
+    }
+    return m;
+  }
+}
+
+Result<uint64_t> NetClient::Subscribe(const SubscriptionSpec& spec) {
+  std::string wire;
+  uint64_t id = NextRequestId();
+  EncodeSubscribe(id, spec, &wire);
+  Status s = SendRaw(wire);
+  if (!s.ok()) return s;
+  Result<Message> reply = RecvReply();
+  if (!reply.ok()) return reply.status();
+  if (reply->type != MsgType::kSubAck) {
+    return UnexpectedReply(MsgType::kSubAck, *reply);
+  }
+  return reply->sub_id;
+}
+
+Status NetClient::Unsubscribe(uint64_t sub_id) {
+  std::string wire;
+  uint64_t id = NextRequestId();
+  EncodeUnsubscribe(id, sub_id, &wire);
+  Status s = SendRaw(wire);
+  if (!s.ok()) return s;
+  Result<Message> reply = RecvReply();
+  if (!reply.ok()) return reply.status();
+  if (reply->type != MsgType::kSubAck) {
+    return UnexpectedReply(MsgType::kSubAck, *reply);
+  }
+  return Status::OK();
+}
+
+Result<Message> NetClient::RecvPush() {
+  if (!pending_pushes_.empty()) {
+    Message m = std::move(pending_pushes_.front());
+    pending_pushes_.pop_front();
+    return m;
+  }
+  Result<Message> m = RecvMessage();
+  if (!m.ok()) return m;
+  if (m->type != MsgType::kPush) return UnexpectedReply(MsgType::kPush, *m);
+  return m;
+}
+
 Status NetClient::Shutdown() {
   std::string wire;
   uint64_t id = NextRequestId();

@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -79,11 +80,32 @@ class NetClient {
   /// Requests server shutdown and waits for the ack.
   Status Shutdown();
 
+  // --- continuous queries ------------------------------------------------
+
+  /// Registers a standing top-k; returns the server-assigned sub_id.
+  /// Server-initiated kPush frames interleaved with the ack are buffered
+  /// for RecvPush, never lost.
+  Result<uint64_t> Subscribe(const SubscriptionSpec& spec);
+
+  /// Tears down a standing top-k (kSubAck echoes the id back). Pushes
+  /// already in flight when the request lands are buffered for RecvPush.
+  Status Unsubscribe(uint64_t sub_id);
+
+  /// Returns the next kPush frame: buffered ones first, then blocking on
+  /// the socket. Any other message type arriving here is an error (use
+  /// this only when no request is outstanding).
+  Result<Message> RecvPush();
+
  private:
   explicit NetClient(int fd) : fd_(fd) {}
 
+  /// RecvMessage, but parks server-initiated kPush frames in
+  /// pending_pushes_ so a synchronous request sees only its reply.
+  Result<Message> RecvReply();
+
   int fd_;
   std::string inbuf_;
+  std::deque<Message> pending_pushes_;
   std::atomic<uint64_t> next_id_{1};
 };
 

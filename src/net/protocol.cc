@@ -72,6 +72,10 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kStatsProm: return "stats-prom";
     case MsgType::kHealth: return "health";
     case MsgType::kHealthResult: return "health-result";
+    case MsgType::kSubscribe: return "subscribe";
+    case MsgType::kSubAck: return "sub-ack";
+    case MsgType::kUnsubscribe: return "unsubscribe";
+    case MsgType::kPush: return "push";
   }
   return "unknown";
 }
@@ -175,6 +179,55 @@ void EncodeHealthResult(uint64_t request_id, ServingState state,
   FramePayload(payload, wire);
 }
 
+void EncodeSubscribe(uint64_t request_id, const SubscriptionSpec& spec,
+                     std::string* wire) {
+  std::string payload;
+  PutHeader(MsgType::kSubscribe, request_id, &payload);
+  Put<uint8_t>(&payload, static_cast<uint8_t>(spec.kind));
+  Put<uint32_t>(&payload, spec.k);
+  Put<uint64_t>(&payload, spec.term);
+  Put<uint64_t>(&payload, spec.user);
+  Put<double>(&payload, spec.box.min_lat);
+  Put<double>(&payload, spec.box.min_lon);
+  Put<double>(&payload, spec.box.max_lat);
+  Put<double>(&payload, spec.box.max_lon);
+  FramePayload(payload, wire);
+}
+
+void EncodeSubAck(uint64_t request_id, uint64_t sub_id, std::string* wire) {
+  std::string payload;
+  PutHeader(MsgType::kSubAck, request_id, &payload);
+  Put<uint64_t>(&payload, sub_id);
+  FramePayload(payload, wire);
+}
+
+void EncodeUnsubscribe(uint64_t request_id, uint64_t sub_id,
+                       std::string* wire) {
+  std::string payload;
+  PutHeader(MsgType::kUnsubscribe, request_id, &payload);
+  Put<uint64_t>(&payload, sub_id);
+  FramePayload(payload, wire);
+}
+
+void EncodePush(uint64_t sub_id, bool terminal,
+                const std::vector<SubDelta>& deltas, std::string* wire) {
+  std::string payload;
+  PutHeader(MsgType::kPush, /*request_id=*/0, &payload);
+  Put<uint64_t>(&payload, sub_id);
+  Put<uint8_t>(&payload, terminal ? 1 : 0);
+  Put<uint32_t>(&payload, static_cast<uint32_t>(deltas.size()));
+  for (const SubDelta& delta : deltas) {
+    Put<uint64_t>(&payload, delta.seq);
+    Put<uint8_t>(&payload, static_cast<uint8_t>(delta.kind));
+    Put<double>(&payload, delta.score);
+    Put<uint64_t>(&payload, delta.id);
+    const bool has_record = delta.kind == SubDeltaKind::kEnter;
+    Put<uint8_t>(&payload, has_record ? 1 : 0);
+    if (has_record) EncodeMicroblog(delta.record, &payload);
+  }
+  FramePayload(payload, wire);
+}
+
 FrameStatus PeekFrame(const char* data, size_t len, size_t max_payload,
                       size_t* frame_len) {
   if (len < kFrameHeaderBytes) return FrameStatus::kNeedMore;
@@ -205,7 +258,7 @@ Status DecodeMessage(const char* data, size_t frame_len, Message* out) {
     return Malformed("truncated header");
   }
   if (raw_type < static_cast<uint8_t>(MsgType::kPing) ||
-      raw_type > static_cast<uint8_t>(MsgType::kHealthResult)) {
+      raw_type > static_cast<uint8_t>(MsgType::kPush)) {
     return Malformed("unknown message type");
   }
   out->type = static_cast<MsgType>(raw_type);
@@ -315,6 +368,69 @@ Status DecodeMessage(const char* data, size_t frame_len, Message* out) {
         return Malformed("serving state");
       }
       out->health = static_cast<ServingState>(raw_state);
+      break;
+    }
+    case MsgType::kSubscribe: {
+      uint8_t raw_kind = 0;
+      if (!Get(&p, end, &raw_kind) || !Get(&p, end, &out->spec.k) ||
+          !Get(&p, end, &out->spec.term) || !Get(&p, end, &out->spec.user) ||
+          !Get(&p, end, &out->spec.box.min_lat) ||
+          !Get(&p, end, &out->spec.box.min_lon) ||
+          !Get(&p, end, &out->spec.box.max_lat) ||
+          !Get(&p, end, &out->spec.box.max_lon)) {
+        return Malformed("subscribe");
+      }
+      if (raw_kind < static_cast<uint8_t>(SubKind::kKeyword) ||
+          raw_kind > static_cast<uint8_t>(SubKind::kUser)) {
+        return Malformed("subscription kind");
+      }
+      out->spec.kind = static_cast<SubKind>(raw_kind);
+      break;
+    }
+    case MsgType::kSubAck:
+    case MsgType::kUnsubscribe:
+      if (!Get(&p, end, &out->sub_id)) return Malformed("subscription id");
+      break;
+    case MsgType::kPush: {
+      uint8_t flags = 0;
+      uint32_t count = 0;
+      if (!Get(&p, end, &out->sub_id) || !Get(&p, end, &flags) ||
+          !Get(&p, end, &count)) {
+        return Malformed("push header");
+      }
+      out->push_terminal = (flags & 1) != 0;
+      // Fixed delta prefix: seq(8) + kind(1) + score(8) + id(8) +
+      // has_record(1). Bounds attacker-declared counts before reserve().
+      constexpr size_t kMinDeltaBytes = 26;
+      if (count > static_cast<size_t>(end - p) / kMinDeltaBytes) {
+        return Malformed("push count exceeds payload");
+      }
+      out->deltas.clear();
+      out->deltas.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        SubDelta delta;
+        uint8_t raw_kind = 0;
+        uint8_t has_record = 0;
+        if (!Get(&p, end, &delta.seq) || !Get(&p, end, &raw_kind) ||
+            !Get(&p, end, &delta.score) || !Get(&p, end, &delta.id) ||
+            !Get(&p, end, &has_record)) {
+          return Malformed("push delta");
+        }
+        if (raw_kind < static_cast<uint8_t>(SubDeltaKind::kEnter) ||
+            raw_kind > static_cast<uint8_t>(SubDeltaKind::kTerminal)) {
+          return Malformed("push delta kind");
+        }
+        if (has_record > 1) return Malformed("push delta record flag");
+        delta.kind = static_cast<SubDeltaKind>(raw_kind);
+        if (has_record != 0) {
+          size_t used = 0;
+          Status s = DecodeMicroblog(p, static_cast<size_t>(end - p),
+                                     &delta.record, &used);
+          if (!s.ok()) return s;
+          p += used;
+        }
+        out->deltas.push_back(std::move(delta));
+      }
       break;
     }
   }

@@ -24,6 +24,19 @@
 //   kStatsResult  raw UTF-8 text (JSON for kStats requests, Prometheus
 //                 exposition for kStatsProm requests)
 //   kHealthResult u8 ServingState | u64 uptime_micros
+//   kSubscribe    u8 SubKind | u32 k | u64 term | u64 user |
+//                 f64 min_lat | f64 min_lon | f64 max_lat | f64 max_lon
+//                 (only the fields the kind implies are read)
+//   kSubAck       u64 sub_id (answers kSubscribe and kUnsubscribe)
+//   kUnsubscribe  u64 sub_id
+//   kPush         u64 sub_id | u8 flags | u32 count | delta × count
+//                 delta = u64 seq | u8 SubDeltaKind | f64 score |
+//                         u64 id | u8 has_record | [record]
+//                 flags bit 0 = terminal: the server has dropped this
+//                 subscription (NACK-style — e.g. the slow-consumer
+//                 backpressure limit tripped) and no further deltas will
+//                 ever arrive for it. Pushes are server-initiated:
+//                 request_id is 0, never correlated to a request.
 //   kPing, kPong, kStats, kStatsProm, kHealth, kShutdown, kShutdownAck
 //                 (empty)
 //
@@ -42,6 +55,7 @@
 
 #include "core/query_engine.h"
 #include "model/microblog.h"
+#include "sub/subscription.h"
 #include "util/status.h"
 
 namespace kflush {
@@ -62,6 +76,10 @@ enum class MsgType : uint8_t {
   kStatsProm = 12,  // request Prometheus exposition; answered by kStatsResult
   kHealth = 13,     // request serving state; answered by kHealthResult
   kHealthResult = 14,
+  kSubscribe = 15,    // register a standing top-k; answered by kSubAck
+  kSubAck = 16,       // carries the subscription id
+  kUnsubscribe = 17,  // answered by kSubAck echoing the id
+  kPush = 18,         // server-initiated delta batch for one subscription
 };
 
 const char* MsgTypeName(MsgType type);
@@ -112,6 +130,11 @@ struct Message {
 
   ServingState health = ServingState::kStarting;  // kHealthResult
   uint64_t uptime_micros = 0;                     // kHealthResult
+
+  SubscriptionSpec spec;         // kSubscribe
+  uint64_t sub_id = 0;           // kSubAck, kUnsubscribe, kPush
+  bool push_terminal = false;    // kPush (flags bit 0)
+  std::vector<SubDelta> deltas;  // kPush
 };
 
 // --- encoders: append one complete framed message to *wire -------------
@@ -131,6 +154,14 @@ void EncodeStatsResult(uint64_t request_id, const std::string& json,
                        std::string* wire);
 void EncodeHealthResult(uint64_t request_id, ServingState state,
                         uint64_t uptime_micros, std::string* wire);
+void EncodeSubscribe(uint64_t request_id, const SubscriptionSpec& spec,
+                     std::string* wire);
+void EncodeSubAck(uint64_t request_id, uint64_t sub_id, std::string* wire);
+void EncodeUnsubscribe(uint64_t request_id, uint64_t sub_id,
+                       std::string* wire);
+/// Pushes are server-initiated: request_id is always encoded as 0.
+void EncodePush(uint64_t sub_id, bool terminal,
+                const std::vector<SubDelta>& deltas, std::string* wire);
 
 // --- stream decoding ---------------------------------------------------
 

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <sstream>
@@ -42,6 +43,8 @@ uint64_t PackTag(int fd, uint32_t gen) {
 
 NetServer::NetServer(ShardedMicroblogSystem* system, ServerOptions options)
     : system_(system), options_(std::move(options)) {
+  subs_ = MakeSubscriptions(system_);
+  c_sub_pushes_ = subs_->metrics_registry()->counter("sub.pushes");
   MetricsRegistry* r = registry_.get();
   c_connections_accepted_ = r->counter("net.connections_accepted");
   c_connections_closed_ = r->counter("net.connections_closed");
@@ -132,6 +135,17 @@ Status NetServer::Start() {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
   ev.data.u64 = PackTag(wake_fd_, 0);
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  // Outbox notifications (digestion and flushing threads) ride the same
+  // eventfd the stop path uses: queue the sub id, poke the loop. Stop()
+  // quiesces this callback before wake_fd_ closes.
+  subs_->set_notifier([this](uint64_t sub_id) {
+    {
+      std::lock_guard<std::mutex> lock(push_mu_);
+      pending_push_subs_.push_back(sub_id);
+    }
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  });
   stop_requested_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   start_micros_ = MonotonicMicros();
@@ -155,6 +169,9 @@ void NetServer::RequestStop() {
 void NetServer::Stop() {
   RequestStop();
   if (loop_thread_.joinable()) loop_thread_.join();
+  // Quiesce the outbox notifier BEFORE closing wake_fd_: a digestion
+  // thread mid-callback must not write into a closed (or recycled) fd.
+  if (subs_) subs_->set_notifier(nullptr);
   // The loop thread closed the connections; release the listening state.
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -217,6 +234,7 @@ void NetServer::Loop() {
       if ((mask & EPOLLOUT) != 0) HandleWritable(it->second.get());
       if (shutdown_via_protocol_) break;
     }
+    DrainSubscriptionPushes();
     if (shutdown_via_protocol_) break;
   }
   // Teardown on the loop thread: close every connection, then flip
@@ -383,6 +401,12 @@ void NetServer::HandleMessage(Connection* conn, Message message,
       EncodeHealthResult(message.request_id, health(),
                          MonotonicMicros() - start_micros_, &conn->out);
       break;
+    case MsgType::kSubscribe:
+      HandleSubscribe(conn, message);
+      break;
+    case MsgType::kUnsubscribe:
+      HandleUnsubscribe(conn, message);
+      break;
     case MsgType::kShutdown:
       // Flip health before the ack goes out so a client probing kHealth
       // right after its kShutdownAck observes kDraining.
@@ -509,6 +533,110 @@ void NetServer::HandleQuery(Connection* conn, const Message& message) {
   }
 }
 
+void NetServer::HandleSubscribe(Connection* conn, const Message& message) {
+  TraceSpan span("net", "subscribe",
+                 {TraceArg::Uint("request_id", message.request_id)});
+  Result<uint64_t> r = subs_->Subscribe(message.spec);
+  if (!r.ok()) {
+    if (r.status().IsInvalidArgument()) {
+      c_nacks_malformed_->Increment();
+      EncodeNack(message.request_id, NackReason::kMalformed, 0, &conn->out);
+    } else {
+      c_nacks_internal_->Increment();
+      EncodeNack(message.request_id, NackReason::kInternal, 0, &conn->out);
+    }
+    return;
+  }
+  const uint64_t sub_id = *r;
+  conn->sub_ids.push_back(sub_id);
+  sub_conns_[sub_id] = conn->fd;
+  // The seed snapshot already queued this sub's initial deltas via the
+  // notifier; the ack is encoded first, so the client always observes
+  // kSubAck before the first kPush.
+  EncodeSubAck(message.request_id, sub_id, &conn->out);
+}
+
+void NetServer::HandleUnsubscribe(Connection* conn, const Message& message) {
+  // A connection may only tear down its own standing queries.
+  auto it = sub_conns_.find(message.sub_id);
+  if (it == sub_conns_.end() || it->second != conn->fd) {
+    c_nacks_malformed_->Increment();
+    EncodeNack(message.request_id, NackReason::kMalformed, 0, &conn->out);
+    return;
+  }
+  Status s = subs_->Unsubscribe(message.sub_id);
+  if (!s.ok()) {
+    c_nacks_internal_->Increment();
+    EncodeNack(message.request_id, NackReason::kInternal, 0, &conn->out);
+    return;
+  }
+  sub_conns_.erase(it);
+  auto& ids = conn->sub_ids;
+  ids.erase(std::remove(ids.begin(), ids.end(), message.sub_id), ids.end());
+  EncodeSubAck(message.request_id, message.sub_id, &conn->out);
+}
+
+void NetServer::DrainSubscriptionPushes() {
+  if (subs_->num_active() == 0 && sub_conns_.empty()) {
+    // Still swap out stale notifications queued by just-terminated subs so
+    // the pending list cannot grow without bound.
+    std::lock_guard<std::mutex> lock(push_mu_);
+    pending_push_subs_.clear();
+    return;
+  }
+  // Eviction refills queue without a notification of their own; apply
+  // them here so a refill-emitted delta (which does notify) lands in this
+  // same wake-up instead of waiting for unrelated traffic.
+  subs_->ProcessPendingRefills();
+  std::vector<uint64_t> ids;
+  {
+    std::lock_guard<std::mutex> lock(push_mu_);
+    ids.swap(pending_push_subs_);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  std::vector<SubDelta> deltas;
+  for (uint64_t sub_id : ids) {
+    auto sit = sub_conns_.find(sub_id);
+    if (sit == sub_conns_.end()) continue;  // already torn down
+    auto cit = connections_.find(sit->second);
+    if (cit == connections_.end()) continue;
+    Connection* conn = cit->second.get();
+    const size_t pending = conn->out.size() - conn->out_offset;
+    if (pending > options_.conn_write_buffer_limit) {
+      // Slow consumer with deltas due: never silently drop deltas or let
+      // them balloon the buffer — terminal-push every standing query on
+      // the connection and drop the connection itself.
+      DropConnectionSubscriptions(conn, /*terminal_push=*/true);
+      conn->close_after_flush = true;
+      FlushWrites(conn);
+      continue;
+    }
+    deltas.clear();
+    if (!subs_->DrainDeltas(sub_id, &deltas) || deltas.empty()) continue;
+    EncodePush(sub_id, /*terminal=*/false, deltas, &conn->out);
+    c_sub_pushes_->Increment();
+    KFLUSH_TRACE_FLOW_STEP("sub", "subscription", sub_id,
+                           TraceArg::Uint("push_deltas", deltas.size()));
+    FlushWrites(conn);
+  }
+}
+
+void NetServer::DropConnectionSubscriptions(Connection* conn,
+                                            bool terminal_push) {
+  for (uint64_t sub_id : conn->sub_ids) {
+    if (terminal_push) {
+      EncodePush(sub_id, /*terminal=*/true, {}, &conn->out);
+      c_sub_pushes_->Increment();
+    }
+    // Undrained deltas are counted into sub.deltas_dropped_on_disconnect
+    // by the manager; sub.deltas_published stays reconciled.
+    subs_->Unsubscribe(sub_id);
+    sub_conns_.erase(sub_id);
+  }
+  conn->sub_ids.clear();
+}
+
 void NetServer::FlushWrites(Connection* conn) {
   while (conn->out_offset < conn->out.size()) {
     const ssize_t n =
@@ -570,6 +698,7 @@ void NetServer::UpdateInterest(Connection* conn) {
 void NetServer::CloseConnection(int fd) {
   auto it = connections_.find(fd);
   if (it == connections_.end()) return;
+  DropConnectionSubscriptions(it->second.get(), /*terminal_push=*/false);
   if (it->second->pending_reported > 0) {
     g_pending_write_bytes_->Add(
         -static_cast<int64_t>(it->second->pending_reported));
@@ -624,6 +753,14 @@ std::string NetServer::PrometheusText() const {
   for (auto& [name, hist] : net.histograms) {
     merged.histograms[name] = std::move(hist);
   }
+  // The sub.* families (including sub.pushes, which the loop thread
+  // counts into the manager's registry) ride the same exposition.
+  MetricsSnapshot sub = subs_->metrics_registry()->Snapshot();
+  for (auto& [name, value] : sub.counters) merged.counters[name] = value;
+  for (auto& [name, value] : sub.gauges) merged.gauges[name] = value;
+  for (auto& [name, hist] : sub.histograms) {
+    merged.histograms[name] = std::move(hist);
+  }
   return merged.ToPrometheus();
 }
 
@@ -655,7 +792,10 @@ std::string NetServer::StatsJson() const {
      << ",\"nacks_too_large\":" << s.nacks_too_large
      << ",\"nacks_internal\":" << s.nacks_internal
      << ",\"queries\":" << s.queries
-     << ",\"read_pauses\":" << s.read_pauses << "}}";
+     << ",\"read_pauses\":" << s.read_pauses
+     << "},\"subscriptions\":{"
+     << "\"active\":" << subs_->num_active()
+     << ",\"pushes\":" << c_sub_pushes_->value() << "}}";
   return os.str();
 }
 

@@ -15,7 +15,16 @@
 //     dropped) until the client drains its side, so one slow reader
 //     cannot balloon server memory.
 //
-// See docs/INTERNALS.md, "Networking".
+// The server also fronts the continuous-query subsystem: kSubscribe
+// registers a standing top-k with the SubscriptionManager, and the
+// digestion threads' outbox notifications wake the loop (via the same
+// eventfd the stop path uses) to drain deltas into server-initiated
+// kPush frames. A subscriber whose connection is already past the write
+// buffer limit when a push comes due is not silently throttled — the
+// server sends a terminal kPush (NACK-style), unsubscribes every
+// standing query on the connection, and drops the connection.
+//
+// See docs/INTERNALS.md, "Networking" and "Continuous queries".
 
 #ifndef KFLUSH_NET_SERVER_H_
 #define KFLUSH_NET_SERVER_H_
@@ -34,6 +43,7 @@
 #include "core/metrics_registry.h"
 #include "core/sharded_system.h"
 #include "net/protocol.h"
+#include "sub/subscription_manager.h"
 #include "util/status.h"
 
 namespace kflush {
@@ -144,6 +154,11 @@ class NetServer {
     return registry_;
   }
 
+  /// The continuous-query subsystem this server fronts (sub.* families
+  /// live in its registry; tests reconcile push counts through it).
+  SubscriptionManager* subscriptions() { return subs_.get(); }
+  const SubscriptionManager* subscriptions() const { return subs_.get(); }
+
  private:
   struct Connection {
     int fd = -1;
@@ -160,6 +175,9 @@ class NetServer {
     bool want_write = false;    // EPOLLOUT armed
     bool read_paused = false;   // EPOLLIN dropped (backpressure)
     bool close_after_flush = false;
+    /// Standing subscriptions registered over this connection; pushes
+    /// route back here and a close unsubscribes them all.
+    std::vector<uint64_t> sub_ids;
   };
 
   void Loop();
@@ -173,6 +191,18 @@ class NetServer {
   void HandleIngest(Connection* conn, Message message,
                     uint64_t decode_micros);
   void HandleQuery(Connection* conn, const Message& message);
+  void HandleSubscribe(Connection* conn, const Message& message);
+  void HandleUnsubscribe(Connection* conn, const Message& message);
+  /// Drains notified subscriptions into kPush frames on the loop thread.
+  /// A connection already past the write buffer limit gets the terminal
+  /// treatment (DropConnectionSubscriptions + close) instead of more
+  /// buffered deltas.
+  void DrainSubscriptionPushes();
+  /// Unsubscribes every standing query on `conn`. With `terminal_push`,
+  /// each gets a terminal kPush frame first (slow-consumer NACK); without
+  /// it the connection is already gone and undrained deltas count as
+  /// dropped inside the manager.
+  void DropConnectionSubscriptions(Connection* conn, bool terminal_push);
   /// Drains pending_ack_stamps_ into the respond-stage histogram after a
   /// write attempt. Must run before ProcessInput returns on every path —
   /// stage-histogram counts reconcile exactly against acked requests.
@@ -198,6 +228,15 @@ class NetServer {
 
   std::map<int, std::unique_ptr<Connection>> connections_;  // loop-thread only
   uint32_t next_conn_gen_ = 0;  // loop-thread only; 0 reserved for non-conn fds
+
+  // Continuous queries. The manager is constructed with the server (its
+  // sinks hook the system's shard stores) so the pointer is stable; the
+  // notifier is installed at Start and quiesced in Stop before wake_fd_
+  // closes, because digestion threads fire it.
+  std::unique_ptr<SubscriptionManager> subs_;
+  std::map<uint64_t, int> sub_conns_;  // sub_id -> fd; loop-thread only
+  std::mutex push_mu_;
+  std::vector<uint64_t> pending_push_subs_;  // guarded by push_mu_
 
   mutable std::mutex stop_mu_;
   std::condition_variable stop_cv_;
@@ -230,6 +269,10 @@ class NetServer {
   Counter* c_nacks_internal_;
   Counter* c_queries_;
   Counter* c_read_pauses_;
+  // Lives in the manager's registry (sub.* family), not registry_: one
+  // registry carries the whole subscription story, published through
+  // PrometheusText like the shard snapshots.
+  Counter* c_sub_pushes_;
   Gauge* g_connections_live_;
   Gauge* g_pending_write_bytes_;
   // Ack latency decomposition, recorded once per *acked* ingest request:

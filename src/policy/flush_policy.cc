@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "sub/subscription_sink.h"
 #include "util/logging.h"
 
 namespace kflush {
@@ -155,11 +156,20 @@ size_t FlushPolicy::OnPostingDropped(TermId term, const Posting& posting) {
         ++victim_.records_flushed;
         victim_.record_bytes += record_bytes;
       }
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.records_flushed;
-      stats_.record_bytes_flushed += record_bytes;
-      ++phase.records;
-      phase.record_bytes += record_bytes;
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.records_flushed;
+        stats_.record_bytes_flushed += record_bytes;
+        ++phase.records;
+        phase.record_bytes += record_bytes;
+      }
+      // The record just left the memory tier. Tell the continuous-query
+      // layer so standing results holding it schedule a disk-backed
+      // refill; the sink only queues work, it never re-enters the policy.
+      if (SubscriptionSink* sink =
+              sub_sink_.load(std::memory_order_acquire)) {
+        sink->OnRecordEvicted(posting.id);
+      }
     }
   }
   return freed;

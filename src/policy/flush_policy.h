@@ -35,6 +35,8 @@
 
 namespace kflush {
 
+class SubscriptionSink;
+
 /// The four evaluated policies (paper §V).
 enum class PolicyKind : int {
   kFifo = 0,     // temporal flushing over a segmented index (baseline)
@@ -167,6 +169,14 @@ class FlushPolicy {
   void set_audit_trail(EvictionAuditTrail* trail) { audit_trail_ = trail; }
   EvictionAuditTrail* audit_trail() const { return audit_trail_; }
 
+  /// Installs (or, with nullptr, removes) the continuous-query publish
+  /// sink, notified when a record's last in-memory posting is dropped and
+  /// the record leaves the memory tier. Atomic — unlike the audit trail,
+  /// a server may install it while the background flusher is mid-cycle.
+  void set_subscription_sink(SubscriptionSink* sink) {
+    sub_sink_.store(sink, std::memory_order_release);
+  }
+
  protected:
   /// Subclass flush body; returns bytes freed.
   virtual size_t FlushImpl(size_t bytes_needed) = 0;
@@ -211,6 +221,9 @@ class FlushPolicy {
   EvictionAuditTrail* audit_trail_ = nullptr;
   bool victim_open_ = false;
   EvictionAuditRecord victim_;
+
+  /// Continuous-query eviction hook (see set_subscription_sink).
+  std::atomic<SubscriptionSink*> sub_sink_{nullptr};
 };
 
 /// Cross-checks an eviction audit trail against the aggregate PhaseStats

@@ -38,15 +38,21 @@ inline bool DiskPostingInsertAscending(std::vector<Posting>* list,
   auto lo = std::lower_bound(
       list->begin(), list->end(), score,
       [](const Posting& p, double s) { return p.score < s; });
-  for (auto dup = lo; dup != list->end() && dup->score == score; ++dup) {
-    if (dup->id == id) return false;
+  // Keep equal scores ordered by ascending id, so the descending read in
+  // DiskPostingsTopN yields (score desc, id desc) — the same total order
+  // the query engine's Materialize and the in-memory posting lists use;
+  // a top-k truncation at either tier then picks identical winners.
+  while (lo != list->end() && lo->score == score) {
+    if (lo->id == id) return false;
+    if (lo->id > id) break;
+    ++lo;
   }
   list->insert(lo, Posting{id, score});
   return true;
 }
 
 /// Appends the `limit` best-ranked postings of an ascending list to `out`
-/// (descending, equal scores in registration order). Returns the count.
+/// (descending; equal scores by descending id, matching Materialize).
 inline size_t DiskPostingsTopN(const std::vector<Posting>& list, size_t limit,
                                std::vector<Posting>* out) {
   const size_t n = std::min(limit, list.size());

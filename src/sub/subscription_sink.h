@@ -1,0 +1,40 @@
+// The store-side publish hook for continuous queries. Deliberately a
+// dependency-free interface (model types only) so the core store and the
+// flush policies can call into the subscription layer without the core
+// library linking against it: MicroblogStore invokes OnInsert at the tail
+// of every indexed insert (the digestion path), and FlushPolicy invokes
+// OnRecordEvicted at the exact point a record's last in-memory posting is
+// dropped and the record moves to the flush buffer. Both hooks sit behind
+// one relaxed atomic pointer load, so a deployment with no subscription
+// manager installed pays a single branch per insert.
+
+#ifndef KFLUSH_SUB_SUBSCRIPTION_SINK_H_
+#define KFLUSH_SUB_SUBSCRIPTION_SINK_H_
+
+#include <vector>
+
+#include "model/microblog.h"
+
+namespace kflush {
+
+class SubscriptionSink {
+ public:
+  virtual ~SubscriptionSink() = default;
+
+  /// A record was inserted and indexed under `terms` with ranking score
+  /// `score`. In a sharded deployment each shard passes its owned term
+  /// subset, and term ownership is unique, so every (record, term) pair
+  /// is published exactly once deployment-wide. May be called from many
+  /// digestion threads concurrently.
+  virtual void OnInsert(const Microblog& blog, const std::vector<TermId>& terms,
+                        double score) = 0;
+
+  /// The record's last in-memory posting was dropped by a flush cycle and
+  /// the record left the memory tier. Called from the flushing thread,
+  /// possibly concurrently across shards.
+  virtual void OnRecordEvicted(MicroblogId id) = 0;
+};
+
+}  // namespace kflush
+
+#endif  // KFLUSH_SUB_SUBSCRIPTION_SINK_H_

@@ -1,0 +1,442 @@
+// Continuous queries over the wire: kSubscribe/kSubAck/kUnsubscribe/kPush
+// encode/decode round-trips (including terminal pushes and corrupt /
+// count-bounded frames), live loopback subscribe -> server-push -> fold,
+// push-count reconciliation against the manager's sub.* families, and the
+// slow-consumer backpressure contract — a subscriber that stops reading
+// loses its CONNECTION (explicit terminal push, then close), never
+// individual deltas silently.
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "storage/durability.h"
+#include "testing/sub_fold.h"
+#include "testing/test_util.h"
+
+namespace kflush {
+namespace net {
+namespace {
+
+using testing_util::DeltaFolder;
+using testing_util::MakeBlog;
+using testing_util::RecordsEqual;
+using testing_util::SmallStoreOptions;
+
+// --- protocol round-trips ----------------------------------------------
+
+Message DecodeOne(const std::string& wire) {
+  size_t frame_len = 0;
+  EXPECT_EQ(PeekFrame(wire.data(), wire.size(), kMaxFramePayloadBytes,
+                      &frame_len),
+            FrameStatus::kFrame);
+  EXPECT_EQ(frame_len, wire.size());
+  Message message;
+  EXPECT_TRUE(DecodeMessage(wire.data(), frame_len, &message).ok());
+  return message;
+}
+
+TEST(SubProtocol, SubscribeRoundTripsEveryKind) {
+  SubscriptionSpec keyword;
+  keyword.kind = SubKind::kKeyword;
+  keyword.k = 25;
+  keyword.term = 7777;
+
+  SubscriptionSpec area;
+  area.kind = SubKind::kArea;
+  area.k = 3;
+  area.box = BoundingBox{40.5, -74.25, 40.875, -73.5};
+
+  SubscriptionSpec user;
+  user.kind = SubKind::kUser;
+  user.k = 1;
+  user.user = 0xABCDEF0123456789ull;
+
+  for (const SubscriptionSpec& spec : {keyword, area, user}) {
+    std::string wire;
+    EncodeSubscribe(11, spec, &wire);
+    const Message m = DecodeOne(wire);
+    EXPECT_EQ(m.type, MsgType::kSubscribe);
+    EXPECT_EQ(m.request_id, 11u);
+    EXPECT_EQ(m.spec.kind, spec.kind);
+    EXPECT_EQ(m.spec.k, spec.k);
+    switch (spec.kind) {
+      case SubKind::kKeyword:
+        EXPECT_EQ(m.spec.term, spec.term);
+        break;
+      case SubKind::kUser:
+        EXPECT_EQ(m.spec.user, spec.user);
+        break;
+      case SubKind::kArea:
+        EXPECT_EQ(m.spec.box.min_lat, spec.box.min_lat);
+        EXPECT_EQ(m.spec.box.min_lon, spec.box.min_lon);
+        EXPECT_EQ(m.spec.box.max_lat, spec.box.max_lat);
+        EXPECT_EQ(m.spec.box.max_lon, spec.box.max_lon);
+        break;
+    }
+  }
+}
+
+TEST(SubProtocol, SubAckAndUnsubscribeRoundTrip) {
+  std::string wire;
+  EncodeSubAck(21, 0x1122334455667788ull, &wire);
+  Message m = DecodeOne(wire);
+  EXPECT_EQ(m.type, MsgType::kSubAck);
+  EXPECT_EQ(m.request_id, 21u);
+  EXPECT_EQ(m.sub_id, 0x1122334455667788ull);
+
+  wire.clear();
+  EncodeUnsubscribe(22, 99, &wire);
+  m = DecodeOne(wire);
+  EXPECT_EQ(m.type, MsgType::kUnsubscribe);
+  EXPECT_EQ(m.sub_id, 99u);
+}
+
+TEST(SubProtocol, PushRoundTripsDeltasAndTerminalFlag) {
+  std::vector<SubDelta> deltas;
+  SubDelta enter;
+  enter.seq = 1;
+  enter.kind = SubDeltaKind::kEnter;
+  enter.score = 12345.5;
+  enter.id = 42;
+  enter.record = MakeBlog(42, 12345, {5, 9}, 3, "pushed record");
+  deltas.push_back(enter);
+  SubDelta exit;
+  exit.seq = 2;
+  exit.kind = SubDeltaKind::kExit;
+  exit.score = 99.0;
+  exit.id = 17;
+  deltas.push_back(exit);
+
+  std::string wire;
+  EncodePush(777, /*terminal=*/false, deltas, &wire);
+  Message m = DecodeOne(wire);
+  EXPECT_EQ(m.type, MsgType::kPush);
+  EXPECT_EQ(m.request_id, 0u);  // server-initiated, never correlated
+  EXPECT_EQ(m.sub_id, 777u);
+  EXPECT_FALSE(m.push_terminal);
+  ASSERT_EQ(m.deltas.size(), 2u);
+  EXPECT_EQ(m.deltas[0].seq, 1u);
+  EXPECT_EQ(m.deltas[0].kind, SubDeltaKind::kEnter);
+  EXPECT_EQ(m.deltas[0].score, 12345.5);
+  EXPECT_EQ(m.deltas[0].id, 42u);
+  EXPECT_TRUE(RecordsEqual(m.deltas[0].record, enter.record));
+  EXPECT_EQ(m.deltas[1].seq, 2u);
+  EXPECT_EQ(m.deltas[1].kind, SubDeltaKind::kExit);
+  EXPECT_EQ(m.deltas[1].id, 17u);
+
+  // Terminal push: no deltas, flag set.
+  wire.clear();
+  EncodePush(777, /*terminal=*/true, {}, &wire);
+  m = DecodeOne(wire);
+  EXPECT_TRUE(m.push_terminal);
+  EXPECT_TRUE(m.deltas.empty());
+}
+
+TEST(SubProtocol, CorruptPushFrameIsRejected) {
+  SubDelta enter;
+  enter.seq = 1;
+  enter.kind = SubDeltaKind::kEnter;
+  enter.id = 42;
+  enter.record = MakeBlog(42, 1, {5});
+  std::string wire;
+  EncodePush(7, false, {enter}, &wire);
+  // Flip one payload byte: the frame checksum must catch it.
+  wire[wire.size() / 2] ^= 0x40;
+  Message m;
+  EXPECT_FALSE(DecodeMessage(wire.data(), wire.size(), &m).ok());
+}
+
+TEST(SubProtocol, PushCountFieldIsBoundedByPayloadSize) {
+  // A checksum-valid push whose declared delta count cannot fit in the
+  // remaining payload bytes must be rejected up front, not trusted as an
+  // allocation size.
+  std::string payload;
+  payload.push_back(static_cast<char>(MsgType::kPush));
+  payload.append(8, '\0');                  // request id
+  payload.append(8, '\0');                  // sub id
+  payload.push_back('\0');                  // flags
+  payload.append({'\xFF', '\xFF', '\xFF', '\x7F'});  // count = 2^31-1
+  std::string wire;
+  AppendFrame(payload.data(), payload.size(), &wire);
+  Message m;
+  EXPECT_FALSE(DecodeMessage(wire.data(), wire.size(), &m).ok());
+}
+
+TEST(SubProtocol, TruncatedPushDeltaIsRejected) {
+  SubDelta enter;
+  enter.seq = 1;
+  enter.kind = SubDeltaKind::kEnter;
+  enter.id = 42;
+  enter.record = MakeBlog(42, 1, {5});
+  std::string full;
+  EncodePush(7, false, {enter}, &full);
+  // Rebuild a frame whose payload is cut mid-delta but whose checksum and
+  // length prefix are internally consistent: decode must fail cleanly.
+  const size_t header = 8;  // crc + len
+  std::string payload = full.substr(header, full.size() - header - 10);
+  std::string wire;
+  AppendFrame(payload.data(), payload.size(), &wire);
+  Message m;
+  EXPECT_FALSE(DecodeMessage(wire.data(), wire.size(), &m).ok());
+}
+
+// --- loopback ----------------------------------------------------------
+
+ShardedSystemOptions SystemOptionsFor(size_t shards) {
+  ShardedSystemOptions options;
+  options.system.store = SmallStoreOptions(PolicyKind::kFifo, 1 << 20);
+  options.system.ingest_queue_capacity = 64;
+  options.num_shards = shards;
+  return options;
+}
+
+std::unique_ptr<NetClient> MustConnect(const NetServer& server) {
+  auto client = NetClient::Connect("127.0.0.1", server.port());
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(*client);
+}
+
+uint64_t SubCounter(NetServer& server, const char* name) {
+  return server.subscriptions()->metrics_registry()->counter(name)->value();
+}
+
+void AwaitDigestion(const ShardedMicroblogSystem& system) {
+  while (system.digested() < system.routed_copies()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// Subscribe over TCP, ingest from a second connection, and fold the
+// server-initiated pushes: the folded member set must converge on the
+// one-shot answer, and the pushed frame/delta counts must reconcile
+// exactly against sub.pushes and sub.deltas_pushed after teardown.
+TEST(SubNet, PushesFoldToOneShotAnswerAndCountsReconcile) {
+  ShardedMicroblogSystem system(SystemOptionsFor(2));
+  system.Start();
+  NetServer server(&system, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  auto subscriber = MustConnect(server);
+  SubscriptionSpec spec;
+  spec.kind = SubKind::kKeyword;
+  spec.k = 5;
+  spec.term = 300;
+  auto sub_id = subscriber->Subscribe(spec);
+  ASSERT_TRUE(sub_id.ok()) << sub_id.status().ToString();
+
+  auto producer = MustConnect(server);
+  std::vector<Microblog> blogs;
+  for (int i = 0; i < 30; ++i) {
+    // Alternate the watched term with a decoy so enters interleave with
+    // non-matching traffic; later timestamps displace earlier members.
+    blogs.push_back(MakeBlog(kInvalidMicroblogId, 1000 + i,
+                             {static_cast<KeywordId>(i % 2 == 0 ? 300 : 301)}));
+  }
+  auto ack = producer->Ingest(blogs);
+  ASSERT_TRUE(ack.ok());
+  ASSERT_EQ(ack->type, MsgType::kIngestAck);
+  AwaitDigestion(system);
+
+  // Fold pushes until the standing result converges on the one-shot
+  // answer (5 enters for the first full window, then exit+enter pairs).
+  TopKQuery query;
+  query.terms = {300};
+  query.k = 5;
+  auto expect = producer->Query(query);
+  ASSERT_TRUE(expect.ok()) << expect.status().ToString();
+  ASSERT_EQ(expect->results.size(), 5u);
+
+  DeltaFolder fold;
+  uint64_t frames_seen = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto push = subscriber->RecvPush();
+    ASSERT_TRUE(push.ok()) << push.status().ToString();
+    ASSERT_EQ(push->type, MsgType::kPush);
+    ASSERT_EQ(push->sub_id, *sub_id);
+    ASSERT_FALSE(push->push_terminal);
+    ++frames_seen;
+    ASSERT_TRUE(fold.ApplyAll(push->deltas));
+    if (fold.members().size() == 5 &&
+        fold.members().front().id == expect->results.front().id &&
+        fold.members().back().id == expect->results[4].id) {
+      break;
+    }
+  }
+  // Exact (score, id) order match against the one-shot engine answer,
+  // and every enter carried the full record (ids are server-stamped
+  // sequentially per shard route; compare via the query result copies).
+  ASSERT_EQ(fold.members().size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(fold.members()[i].id, expect->results[i].id) << "rank " << i;
+    auto it = fold.records().find(expect->results[i].id);
+    ASSERT_NE(it, fold.records().end());
+    EXPECT_TRUE(RecordsEqual(it->second, expect->results[i]));
+  }
+
+  // Quiesce the push path, then reconcile: after the manager reports all
+  // published deltas pushed, the server has already written every kPush
+  // frame into this connection ahead of the unsubscribe ack (responses
+  // are FIFO per connection), so the client can drain them all without
+  // blocking and the counts must match the sub.* families exactly.
+  while (SubCounter(server, "sub.deltas_pushed") <
+         SubCounter(server, "sub.deltas_published")) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(subscriber->Unsubscribe(*sub_id).ok());
+  const uint64_t frames_pushed = SubCounter(server, "sub.pushes");
+  const uint64_t deltas_pushed = SubCounter(server, "sub.deltas_pushed");
+  ASSERT_GT(frames_pushed, 0u);
+
+  // This is the only subscription and the only subscriber connection, so
+  // every counted push frame/delta belongs to this client. Drain the
+  // buffered remainder and reconcile both counts exactly.
+  while (fold.deltas_applied() < deltas_pushed) {
+    auto push = subscriber->RecvPush();
+    ASSERT_TRUE(push.ok()) << push.status().ToString();
+    ASSERT_FALSE(push->push_terminal);
+    ++frames_seen;
+    ASSERT_TRUE(fold.ApplyAll(push->deltas));
+  }
+  EXPECT_EQ(fold.deltas_applied(), deltas_pushed)
+      << "client saw a different delta count than sub.deltas_pushed";
+  EXPECT_EQ(frames_seen, frames_pushed)
+      << "client saw a different push-frame count than sub.pushes";
+  // Nothing was dropped server-side: the clean-unsubscribe path drained
+  // everything before the ack.
+  EXPECT_EQ(SubCounter(server, "sub.deltas_dropped_on_disconnect"), 0u);
+
+  server.Stop();
+  system.Stop();
+  EXPECT_EQ(SubCounter(server, "sub.deltas_published"),
+            SubCounter(server, "sub.deltas_pushed") +
+                SubCounter(server, "sub.deltas_dropped_on_disconnect"));
+}
+
+// A subscriber that stops reading while deltas stream must lose the
+// connection, not deltas: the server terminal-pushes every standing query
+// on the connection, flushes, and closes. The client observes ordinary
+// pushes, then the terminal push, then EOF — and the manager's ledger
+// still balances, with the undrained remainder accounted as dropped.
+TEST(SubNet, SlowConsumerGetsTerminalPushThenDisconnect) {
+  ShardedMicroblogSystem system(SystemOptionsFor(2));
+  system.Start();
+  ServerOptions options;
+  options.conn_write_buffer_limit = 32 * 1024;
+  NetServer server(&system, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto subscriber = MustConnect(server);
+  SubscriptionSpec spec;
+  spec.kind = SubKind::kKeyword;
+  spec.k = 100000;  // every record is a member: every insert is an enter
+  spec.term = 444;
+  auto sub_id = subscriber->Subscribe(spec);
+  ASSERT_TRUE(sub_id.ok()) << sub_id.status().ToString();
+
+  // Saturate: 4 KiB of text per record makes each enter delta heavy, so
+  // the socket buffers and then the server-side pending write buffer
+  // fill while the subscriber reads nothing.
+  auto producer = MustConnect(server);
+  const std::string heavy(4096, 'x');
+  bool tripped = false;
+  for (int batch = 0; batch < 400 && !tripped; ++batch) {
+    std::vector<Microblog> blogs;
+    for (int i = 0; i < 25; ++i) {
+      blogs.push_back(
+          MakeBlog(kInvalidMicroblogId, 0, {444}, /*user=*/1, heavy));
+    }
+    auto ack = producer->Ingest(blogs);
+    ASSERT_TRUE(ack.ok());
+    if (ack->type == MsgType::kNack) {
+      // All 25 records route to term 444's one owner shard, so when the
+      // host is busy (parallel ctest) digestion can lag enough to fill
+      // that shard's queue — kOverloaded is the admission contract, not
+      // a failure. Back off and keep producing.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      AwaitDigestion(system);
+      continue;
+    }
+    ASSERT_EQ(ack->type, MsgType::kIngestAck);
+    AwaitDigestion(system);
+    tripped = server.subscriptions()->num_active() == 0;
+  }
+  ASSERT_TRUE(tripped)
+      << "backpressure limit never tripped a slow-consumer disconnect";
+
+  // Drain the subscriber's socket: normal pushes (strictly ordered, seq
+  // contiguous), then exactly one terminal push, then EOF.
+  DeltaFolder fold;
+  bool saw_terminal = false;
+  while (!saw_terminal) {
+    auto push = subscriber->RecvPush();
+    ASSERT_TRUE(push.ok())
+        << "stream ended before the terminal push: " << push.status().ToString();
+    ASSERT_EQ(push->type, MsgType::kPush);
+    ASSERT_EQ(push->sub_id, *sub_id);
+    ASSERT_TRUE(fold.ApplyAll(push->deltas));
+    saw_terminal = push->push_terminal;
+  }
+  auto eof = subscriber->RecvPush();
+  EXPECT_FALSE(eof.ok()) << "connection must be closed after terminal push";
+
+  // No silent delta drops: everything the client folded was counted
+  // pushed; everything it never got was counted dropped; they partition
+  // what was published. The client-side fold saw a contiguous seq prefix
+  // (DeltaFolder enforces it), so nothing vanished mid-stream.
+  const uint64_t published = SubCounter(server, "sub.deltas_published");
+  const uint64_t pushed = SubCounter(server, "sub.deltas_pushed");
+  const uint64_t dropped =
+      SubCounter(server, "sub.deltas_dropped_on_disconnect");
+  EXPECT_EQ(published, pushed + dropped);
+  EXPECT_GT(dropped, 0u) << "a tripped consumer should have had undrained "
+                            "deltas at disconnect time";
+  EXPECT_EQ(fold.deltas_applied(), pushed)
+      << "client folded a different count than the server pushed";
+
+  server.Stop();
+  system.Stop();
+}
+
+// Unsubscribing over the wire for an unknown id is a NACK, and a second
+// connection cannot tear down another connection's subscription state
+// beyond what the manager allows (the id is global; the ack echoes it).
+TEST(SubNet, SubscribeValidationErrorsNackOverTheWire) {
+  ShardedMicroblogSystem system(SystemOptionsFor(1));
+  system.Start();
+  NetServer server(&system, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = MustConnect(server);
+
+  SubscriptionSpec bad;
+  bad.kind = SubKind::kKeyword;
+  bad.k = 0;  // invalid
+  bad.term = 1;
+  auto r = client->Subscribe(bad);
+  EXPECT_FALSE(r.ok());
+
+  EXPECT_FALSE(client->Unsubscribe(123456).ok());
+
+  // The connection survives NACKs: a valid subscribe still works.
+  SubscriptionSpec good;
+  good.kind = SubKind::kKeyword;
+  good.k = 3;
+  good.term = 1;
+  auto id = client->Subscribe(good);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_TRUE(client->Unsubscribe(*id).ok());
+
+  server.Stop();
+  system.Stop();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace kflush

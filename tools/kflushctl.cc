@@ -10,6 +10,9 @@
 //   kflushctl trace       --out FILE [experiment flags]
 //   kflushctl serve       [--host H] [--port P] [--shards N] [...]
 //   kflushctl top         [--host H] [--port P] [--interval-ms I] [--once]
+//   kflushctl watch       [--host H] [--port P] --kind keyword|area|user
+//                         [--k K] [--term T] [--user U] [--min-lat ..]
+//                         [--count N]
 //   kflushctl scrape      [--host H] [--port P]
 //   kflushctl health      [--host H] [--port P]
 //   kflushctl shutdown    [--host H] [--port P]
@@ -747,6 +750,79 @@ int CmdTop(const Flags& flags) {
   }
 }
 
+int CmdWatch(const Flags& flags) {
+  auto client = ConnectFromFlags(flags);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  SubscriptionSpec spec;
+  const std::string kind = flags.Get("kind", "keyword");
+  if (kind == "keyword") {
+    spec.kind = SubKind::kKeyword;
+    spec.term = static_cast<TermId>(flags.GetInt("term", 0));
+  } else if (kind == "user") {
+    spec.kind = SubKind::kUser;
+    spec.user = static_cast<UserId>(flags.GetInt("user", 0));
+  } else if (kind == "area") {
+    spec.kind = SubKind::kArea;
+    spec.box.min_lat = flags.GetDouble("min-lat", 0.0);
+    spec.box.min_lon = flags.GetDouble("min-lon", 0.0);
+    spec.box.max_lat = flags.GetDouble("max-lat", 0.0);
+    spec.box.max_lon = flags.GetDouble("max-lon", 0.0);
+  } else {
+    std::fprintf(stderr, "unknown --kind '%s' (keyword|area|user)\n",
+                 kind.c_str());
+    return 2;
+  }
+  spec.k = static_cast<uint32_t>(flags.GetInt("k", 10));
+  Result<uint64_t> sub = (*client)->Subscribe(spec);
+  if (!sub.ok()) {
+    std::fprintf(stderr, "subscribe: %s\n", sub.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("watching sub_id=%llu kind=%s k=%u (ctrl-c to stop)\n",
+              static_cast<unsigned long long>(*sub), kind.c_str(), spec.k);
+  std::fflush(stdout);
+  // --count N: exit cleanly (with an unsubscribe) after N push frames —
+  // the smoke tests drive the command this way.
+  const long max_pushes = flags.GetInt("count", 0);
+  long pushes = 0;
+  while (max_pushes <= 0 || pushes < max_pushes) {
+    Result<net::Message> push = (*client)->RecvPush();
+    if (!push.ok()) {
+      std::fprintf(stderr, "%s\n", push.status().ToString().c_str());
+      return 1;
+    }
+    ++pushes;
+    if (push->push_terminal) {
+      std::printf("sub %llu TERMINATED by server (slow consumer / drain)\n",
+                  static_cast<unsigned long long>(push->sub_id));
+      return 1;
+    }
+    for (const SubDelta& d : push->deltas) {
+      if (d.kind == SubDeltaKind::kEnter) {
+        std::printf("  #%llu ENTER id=%llu score=%.4f \"%s\"\n",
+                    static_cast<unsigned long long>(d.seq),
+                    static_cast<unsigned long long>(d.id), d.score,
+                    d.record.text.c_str());
+      } else {
+        std::printf("  #%llu EXIT  id=%llu score=%.4f\n",
+                    static_cast<unsigned long long>(d.seq),
+                    static_cast<unsigned long long>(d.id), d.score);
+      }
+    }
+    std::fflush(stdout);
+  }
+  Status s = (*client)->Unsubscribe(*sub);
+  if (!s.ok()) {
+    std::fprintf(stderr, "unsubscribe: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("unsubscribed after %ld push(es)\n", pushes);
+  return 0;
+}
+
 void Usage() {
   std::fprintf(
       stderr,
@@ -769,6 +845,11 @@ void Usage() {
       "  top        [--host H] [--port P] [--interval-ms I] [--once]\n"
       "             (live terminal dashboard over kStatsProm; --once\n"
       "             prints machine-readable `key value` lines and exits)\n"
+      "  watch      [--host H] [--port P] --kind keyword|area|user [--k K]\n"
+      "             [--term T | --user U | --min-lat A --min-lon B\n"
+      "             --max-lat C --max-lon D] [--count N]\n"
+      "             (standing top-k: subscribe and stream enter/exit\n"
+      "             deltas; --count N unsubscribes after N pushes)\n"
       "  scrape     [--host H] [--port P]  (dump Prometheus exposition)\n"
       "  health     [--host H] [--port P]  (exit 0 iff serving)\n"
       "  shutdown   [--host H] [--port P]  (protocol shutdown + ack)\n"
@@ -799,6 +880,7 @@ int main(int argc, char** argv) {
   if (command == "trace") return CmdTrace(flags);
   if (command == "serve") return CmdServe(flags);
   if (command == "top") return CmdTop(flags);
+  if (command == "watch") return CmdWatch(flags);
   if (command == "scrape") return CmdScrape(flags);
   if (command == "health") return CmdHealth(flags);
   if (command == "shutdown") return CmdShutdownRemote(flags);
